@@ -1,0 +1,114 @@
+// Figure 1: speedup of the iterative coloring on all (naturally ordered)
+// graphs, threads 1..121 step 10, geometric mean over the seven suite
+// graphs. Three panels, as in the paper:
+//   (a) OpenMP static/dynamic/guided (paper-best chunks 40/100/100),
+//   (b) Cilk worker-id vs holder variants (grain 100),
+//   (c) TBB simple/auto/affinity partitioners (min chunk 40).
+// Series: machine model on the KNF description, plus measured wall-clock
+// runs of the real implementations on this host (small thread grid).
+#include <iostream>
+
+#include "micg/benchkit/benchkit.hpp"
+#include "micg/color/iterative.hpp"
+#include "micg/model/exec_model.hpp"
+#include "micg/model/machine.hpp"
+#include "micg/model/tracegen.hpp"
+#include "micg/support/timer.hpp"
+
+namespace {
+
+using micg::benchkit::series;
+using micg::rt::backend;
+
+struct variant {
+  backend kind;
+  std::int64_t chunk;
+};
+
+series modeled(const std::string& name, const variant& v,
+               const std::vector<int>& grid,
+               const micg::model::machine_config& m, double scale,
+               bool shuffled = false) {
+  std::vector<std::vector<double>> per_graph;
+  for (const auto& entry : micg::graph::table1_suite()) {
+    const auto& g = micg::benchkit::suite_graph(entry.name, scale);
+    const auto trace = micg::model::coloring_trace(g, shuffled);
+    per_graph.push_back(
+        micg::model::model_sweep(trace, v.kind, v.chunk, grid, m).speedup);
+  }
+  return micg::benchkit::geomean_series(name, per_graph);
+}
+
+series measured(const std::string& name, const variant& v,
+                const std::vector<int>& grid, double scale) {
+  std::vector<std::vector<double>> per_graph;
+  const int runs = micg::benchkit::measured_runs();
+  for (const auto& entry : micg::graph::table1_suite()) {
+    const auto& g = micg::benchkit::suite_graph(entry.name, scale);
+    std::vector<double> curve;
+    double t1 = 0.0;
+    for (int t : grid) {
+      micg::color::iterative_options opt;
+      opt.ex.kind = v.kind;
+      opt.ex.threads = t;
+      opt.ex.chunk = v.chunk;
+      const double secs = micg::benchkit::time_stable(
+          [&] { micg::color::iterative_color(g, opt); }, runs);
+      if (t == grid.front()) t1 = secs;
+      curve.push_back(t1 / secs);
+    }
+    per_graph.push_back(std::move(curve));
+  }
+  return micg::benchkit::geomean_series(name, per_graph);
+}
+
+}  // namespace
+
+int main() {
+  micg::stopwatch total;
+  const double scale = micg::benchkit::model_scale();
+  const auto knf = micg::model::machine_config::knf();
+  const auto grid = micg::model::paper_thread_grid(121);
+
+  std::cout << "Figure 1: coloring speedup, natural order, geomean over "
+               "the 7-graph suite (scale="
+            << scale << ")\n\n";
+
+  micg::benchkit::print_figure("Fig 1(a): OpenMP schedules [model:KNF]", grid,
+               {modeled("static(40)", {backend::omp_static, 40}, grid, knf,
+                        scale),
+                modeled("dynamic(100)", {backend::omp_dynamic, 100}, grid,
+                        knf, scale),
+                modeled("guided(100)", {backend::omp_guided, 100}, grid,
+                        knf, scale)});
+
+  micg::benchkit::print_figure("Fig 1(b): Cilk Plus variants [model:KNF]", grid,
+               {modeled("CilkPlus(tid,100)", {backend::cilk_tid, 100},
+                        grid, knf, scale),
+                modeled("CilkPlus-holder(100)",
+                        {backend::cilk_holder, 100}, grid, knf, scale)});
+
+  micg::benchkit::print_figure("Fig 1(c): TBB partitioners [model:KNF]", grid,
+               {modeled("simple(40)", {backend::tbb_simple, 40}, grid, knf,
+                        scale),
+                modeled("auto", {backend::tbb_auto, 40}, grid, knf, scale),
+                modeled("affinity", {backend::tbb_affinity, 40}, grid, knf,
+                        scale)});
+
+  // Measured on this host: the real implementations, small thread grid.
+  const auto mgrid = micg::benchkit::measured_threads();
+  const double mscale = micg::benchkit::measured_scale();
+  micg::benchkit::print_figure(
+      "Fig 1 (measured on this host, scale=" +
+          micg::table_printer::fmt(mscale, 3) + ")",
+      mgrid,
+      {measured("OpenMP-dynamic", {backend::omp_dynamic, 100}, mgrid,
+                mscale),
+       measured("CilkPlus-holder", {backend::cilk_holder, 100}, mgrid,
+                mscale),
+       measured("TBB-simple", {backend::tbb_simple, 40}, mgrid, mscale)});
+
+  std::cout << "[fig1_coloring] done in "
+            << micg::table_printer::fmt(total.seconds(), 1) << "s\n";
+  return 0;
+}

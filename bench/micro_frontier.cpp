@@ -1,0 +1,103 @@
+// Microbenchmarks (google-benchmark) for the BFS frontier data
+// structures: block-accessed queue push/flush, TLS queues push+merge,
+// Leiserson–Schardl bag insert/absorb/traverse, and the work-stealing
+// deque — the cost hierarchy behind §IV-C.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "micg/bfs/bag.hpp"
+#include "micg/bfs/block_queue.hpp"
+#include "micg/bfs/tls_queue.hpp"
+#include "micg/rt/ws_deque.hpp"
+
+namespace {
+
+using micg::graph::vertex_t;
+
+void bm_block_queue_push(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int block = static_cast<int>(state.range(1));
+  micg::bfs::block_queue q(n + 2 * static_cast<std::size_t>(block), block,
+                           1);
+  for (auto _ : state) {
+    q.reset();
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(0, static_cast<vertex_t>(i));
+    }
+    q.flush_all();
+    benchmark::DoNotOptimize(q.size_with_sentinels());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(bm_block_queue_push)
+    ->Args({1 << 14, 8})
+    ->Args({1 << 14, 32})
+    ->Args({1 << 14, 256});
+
+void bm_tls_push_merge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  micg::bfs::tls_frontier f(1);
+  std::vector<vertex_t> out;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      f.push(0, static_cast<vertex_t>(i));
+    }
+    f.merge_into(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(bm_tls_push_merge)->Arg(1 << 14);
+
+void bm_bag_insert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int grain = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    micg::bfs::vertex_bag bag(grain);
+    for (std::size_t i = 0; i < n; ++i) {
+      bag.insert(static_cast<vertex_t>(i));
+    }
+    benchmark::DoNotOptimize(bag.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(bm_bag_insert)->Args({1 << 14, 16})->Args({1 << 14, 128});
+
+void bm_bag_absorb(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    micg::bfs::vertex_bag a(128), b(128);
+    for (std::size_t i = 0; i < n; ++i) {
+      a.insert(static_cast<vertex_t>(i));
+      b.insert(static_cast<vertex_t>(i + n));
+    }
+    state.ResumeTiming();
+    a.absorb(std::move(b));
+    benchmark::DoNotOptimize(a.size());
+  }
+}
+BENCHMARK(bm_bag_absorb)->Arg(1 << 12);
+
+void bm_ws_deque_push_pop(benchmark::State& state) {
+  micg::rt::ws_deque<vertex_t> d;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      d.push(static_cast<vertex_t>(i));
+    }
+    while (d.pop().has_value()) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(bm_ws_deque_push_pop)->Arg(1 << 12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Unstructured-mesh simulation sketch (§I: "in simulations that use
+// unstructured mesh computations, dependencies on neighboring mesh
+// elements make the structure of computations irregular"): a heat pulse
+// diffuses over an FEM-style mesh (conserving total energy), then
+// PageRank identifies the structurally central elements, all on the same
+// parallel substrate.
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "micg/graph/generators.hpp"
+#include "micg/irregular/heat.hpp"
+#include "micg/irregular/pagerank.hpp"
+
+int main() {
+  micg::graph::fem_params p;
+  p.sx = p.sy = 16;
+  p.sz = 64;
+  p.stencil_pairs = 13;
+  const auto mesh = micg::graph::make_fem_like(p);
+  std::cout << "mesh: " << mesh.num_vertices() << " elements, "
+            << mesh.num_edges() << " couplings\n";
+
+  micg::rt::exec ex;
+  ex.kind = micg::rt::backend::tbb_simple;
+  ex.threads = 4;
+  ex.chunk = 128;
+
+  // Heat: inject a pulse in one corner, diffuse, check conservation.
+  std::vector<double> heat(static_cast<std::size_t>(mesh.num_vertices()),
+                           0.0);
+  heat[0] = 1000.0;
+  const double before = std::accumulate(heat.begin(), heat.end(), 0.0);
+  micg::irregular::heat_options hopt;
+  hopt.ex = ex;
+  hopt.alpha = 1.0 / (2.0 * static_cast<double>(mesh.max_degree()));
+  hopt.steps = 200;
+  const auto diffused = micg::irregular::heat_diffusion(mesh, heat, hopt);
+  const double after =
+      std::accumulate(diffused.begin(), diffused.end(), 0.0);
+  const auto hottest = static_cast<std::size_t>(
+      std::max_element(diffused.begin(), diffused.end()) -
+      diffused.begin());
+  std::cout << "heat: total " << before << " -> " << after
+            << " (conserved), peak moved from element 0 to " << hottest
+            << " with value " << diffused[hottest] << "\n";
+
+  // PageRank: central mesh elements (interior > boundary).
+  micg::irregular::pagerank_options popt;
+  popt.ex = ex;
+  const auto pr = micg::irregular::pagerank(mesh, popt);
+  const auto central = static_cast<std::size_t>(
+      std::max_element(pr.rank.begin(), pr.rank.end()) - pr.rank.begin());
+  std::cout << "pagerank: converged=" << pr.converged << " in "
+            << pr.iterations << " iterations; most central element "
+            << central << " (corner element 0 rank " << pr.rank[0]
+            << " < center rank " << pr.rank[central] << ")\n";
+  return pr.converged && std::abs(after - before) < 1e-6 * before ? 0 : 1;
+}

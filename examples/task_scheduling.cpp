@@ -1,0 +1,103 @@
+// The paper's motivating application for graph coloring (§I): "represent
+// the tasks of a computation as the vertices of a graph, and an edge
+// connects two vertices if these two vertices cannot be computed
+// simultaneously. Finding a coloring of this graph allows to partition
+// the tasks into sets that can be safely computed in parallel."
+//
+// We build a task conflict graph (tasks = mesh vertices; conflicts =
+// shared state with neighbors), color it, then execute the tasks color
+// class by color class in parallel — each class is an independent set, so
+// updates within a class touch disjoint state without locks (a parallel
+// Gauss–Seidel sweep). The result is compared against a sequential sweep
+// over the same schedule.
+#include <iostream>
+#include <vector>
+
+#include "micg/color/iterative.hpp"
+#include "micg/color/verify.hpp"
+#include "micg/graph/generators.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+/// One Gauss–Seidel-style task: relax v from its neighbors, in place.
+/// Safe to run concurrently for non-adjacent vertices.
+void relax(const csr_graph& g, std::vector<double>& x, vertex_t v) {
+  double sum = 2.0 * x[static_cast<std::size_t>(v)];
+  for (vertex_t w : g.neighbors(v)) sum += x[static_cast<std::size_t>(w)];
+  x[static_cast<std::size_t>(v)] =
+      sum / (static_cast<double>(g.degree(v)) + 2.0);
+}
+
+}  // namespace
+
+int main() {
+  // Task graph: a 3-D mesh with a wide stencil (realistic FEM coupling).
+  micg::graph::fem_params p;
+  p.sx = p.sy = 20;
+  p.sz = 40;
+  p.stencil_pairs = 13;
+  const auto g = micg::graph::make_fem_like(p);
+  std::cout << "task graph: " << g.num_vertices() << " tasks, "
+            << g.num_edges() << " conflicts\n";
+
+  // Color the conflict graph: each color class is an independent set.
+  micg::color::iterative_options copt;
+  copt.ex.kind = micg::rt::backend::cilk_holder;
+  copt.ex.threads = 4;
+  copt.ex.chunk = 64;
+  const auto coloring = micg::color::iterative_color(g, copt);
+  std::cout << "schedule: " << coloring.num_colors
+            << " parallel phases (colors), valid="
+            << micg::color::is_valid_coloring(g, coloring.color) << "\n";
+
+  // Group tasks by color.
+  std::vector<std::vector<vertex_t>> classes(
+      static_cast<std::size_t>(coloring.num_colors));
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    classes[static_cast<std::size_t>(
+                coloring.color[static_cast<std::size_t>(v)] - 1)]
+        .push_back(v);
+  }
+
+  // Reference: sequential sweep in schedule order.
+  std::vector<double> seq(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  seq[0] = 100.0;
+  for (const auto& cls : classes) {
+    for (vertex_t v : cls) relax(g, seq, v);
+  }
+
+  // Parallel: each phase runs its independent set concurrently. Within a
+  // class no two tasks are adjacent, so in-place updates cannot race —
+  // the whole point of the coloring. The per-phase result is identical to
+  // the sequential sweep because tasks in a class read only out-of-class
+  // state.
+  std::vector<double> par(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  par[0] = 100.0;
+  micg::rt::exec ex;
+  ex.kind = micg::rt::backend::omp_dynamic;
+  ex.threads = 4;
+  ex.chunk = 64;
+  for (const auto& cls : classes) {
+    micg::rt::for_range(
+        ex, static_cast<std::int64_t>(cls.size()),
+        [&](std::int64_t b, std::int64_t e, int) {
+          for (std::int64_t i = b; i < e; ++i) {
+            relax(g, par, cls[static_cast<std::size_t>(i)]);
+          }
+        });
+  }
+
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(seq[i] - par[i]));
+  }
+  std::cout << "parallel sweep matches sequential schedule: max |diff| = "
+            << max_diff << (max_diff == 0.0 ? "  (exact)" : "") << "\n";
+  std::cout << "phases executed: " << classes.size()
+            << "  (fewer colors = fewer synchronization points)\n";
+  return max_diff == 0.0 ? 0 : 1;
+}

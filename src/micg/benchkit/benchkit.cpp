@@ -1,0 +1,112 @@
+#include "micg/benchkit/benchkit.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "micg/support/assert.hpp"
+#include "micg/support/stats.hpp"
+#include "micg/support/timer.hpp"
+
+namespace micg::benchkit {
+
+void print_figure(const std::string& title,
+                  const std::vector<int>& threads,
+                  const std::vector<series>& curves) {
+  table_printer t(title);
+  std::vector<std::string> header{"threads"};
+  for (const auto& c : curves) header.push_back(c.name);
+  t.header(std::move(header));
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    std::vector<std::string> row{std::to_string(threads[i])};
+    for (const auto& c : curves) {
+      row.push_back(i < c.values.size() ? table_printer::fmt(c.values[i])
+                                        : "-");
+    }
+    t.row(std::move(row));
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+series geomean_series(const std::string& name,
+                      const std::vector<std::vector<double>>& per_graph) {
+  series s;
+  s.name = name;
+  if (per_graph.empty()) return s;
+  const std::size_t points = per_graph.front().size();
+  for (std::size_t i = 0; i < points; ++i) {
+    std::vector<double> column;
+    column.reserve(per_graph.size());
+    for (const auto& pg : per_graph) {
+      MICG_CHECK(pg.size() == points, "ragged per-graph series");
+      column.push_back(pg[i]);
+    }
+    s.values.push_back(geometric_mean(column));
+  }
+  return s;
+}
+
+namespace {
+double env_double(const char* name, double fallback) {
+  if (const char* v = std::getenv(name)) {
+    const double parsed = std::atof(v);
+    if (parsed > 0.0) return parsed;
+  }
+  return fallback;
+}
+}  // namespace
+
+double model_scale() { return env_double("MICG_SCALE", 1.0); }
+
+double measured_scale() { return env_double("MICG_MEASURED_SCALE", 0.02); }
+
+std::vector<int> measured_threads() {
+  std::vector<int> threads;
+  if (const char* v = std::getenv("MICG_MEASURED_THREADS")) {
+    std::stringstream ss(v);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      const int t = std::atoi(tok.c_str());
+      if (t >= 1) threads.push_back(t);
+    }
+  }
+  if (threads.empty()) threads = {1, 2, 4, 8};
+  return threads;
+}
+
+int measured_runs() {
+  return static_cast<int>(env_double("MICG_RUNS", 4.0));
+}
+
+const micg::graph::csr_graph& suite_graph(const std::string& name,
+                                          double scale) {
+  static std::map<std::pair<std::string, double>, micg::graph::csr_graph>
+      cache;
+  const auto key = std::make_pair(name, scale);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(key, micg::graph::make_suite_graph(
+                               micg::graph::suite_entry_by_name(name),
+                               scale))
+             .first;
+  }
+  return it->second;
+}
+
+double time_stable(const std::function<void()>& body, int runs) {
+  MICG_CHECK(runs >= 1, "need at least one run");
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    stopwatch sw;
+    body();
+    times.push_back(sw.seconds());
+  }
+  const auto kept = static_cast<std::size_t>((runs + 1) / 2);
+  return tail_mean(times, kept);
+}
+
+}  // namespace micg::benchkit

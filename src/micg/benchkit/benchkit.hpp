@@ -1,0 +1,57 @@
+// Shared infrastructure for the figure/table benchmark harnesses.
+//
+// Every bench prints two kinds of series:
+//   * model:KNF / model:Host — machine-model speedups from traces of the
+//     real algorithms (the series compared against the paper's figures);
+//   * measured — wall-clock runs of the real threaded implementations on
+//     the current host. On a small CI container these are recorded for
+//     completeness; their absolute shape depends on the local core count.
+//
+// Environment knobs:
+//   MICG_SCALE            graph scale for the modeled series (default 1.0)
+//   MICG_MEASURED_SCALE   graph scale for measured runs (default 0.02)
+//   MICG_MEASURED_THREADS comma list for measured sweeps (default "1,2,4,8")
+//   MICG_RUNS             measured repetitions; the mean of the last
+//                         half is reported (default 4; paper used 10/5)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/graph/suite.hpp"
+#include "micg/support/table.hpp"
+
+namespace micg::benchkit {
+
+/// One curve: y value per thread count.
+struct series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Print a figure: rows = thread counts, one column per series.
+void print_figure(const std::string& title,
+                  const std::vector<int>& threads,
+                  const std::vector<series>& curves);
+
+/// Geometric mean across per-graph curves (paper §V-A convention).
+series geomean_series(const std::string& name,
+                      const std::vector<std::vector<double>>& per_graph);
+
+/// Environment-configured parameters.
+double model_scale();
+double measured_scale();
+std::vector<int> measured_threads();
+int measured_runs();
+
+/// Build (and memoize per process) a suite graph at `scale`.
+const micg::graph::csr_graph& suite_graph(const std::string& name,
+                                          double scale);
+
+/// Run `body()` `runs` times and return the mean of the last half of the
+/// wall-clock times (paper: 10 runs, mean of the last 5).
+double time_stable(const std::function<void()>& body, int runs);
+
+}  // namespace micg::benchkit

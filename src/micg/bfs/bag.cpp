@@ -1,0 +1,152 @@
+#include "micg/bfs/bag.hpp"
+
+#include <utility>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::bfs {
+
+using detail::bag_node;
+
+namespace {
+
+/// Union of two pennants of equal rank k -> one pennant of rank k+1.
+/// O(1): y's root becomes x's root's child; y keeps its own subtree on the
+/// right (Leiserson–Schardl, Figure 2 of [20]).
+bag_node* pennant_union(bag_node* x, bag_node* y) {
+  y->right = x->left;
+  x->left = y;
+  return x;
+}
+
+/// Delete a pennant tree iteratively (pennants can hold millions of nodes;
+/// no recursion on the destruction path).
+void delete_tree(bag_node* root) {
+  std::vector<bag_node*> stack{root};
+  while (!stack.empty()) {
+    bag_node* n = stack.back();
+    stack.pop_back();
+    if (n->left != nullptr) stack.push_back(n->left);
+    if (n->right != nullptr) stack.push_back(n->right);
+    delete n;
+  }
+}
+
+}  // namespace
+
+vertex_bag::vertex_bag(int grain) : grain_(grain) {
+  MICG_CHECK(grain >= 1, "bag grain must be positive");
+}
+
+vertex_bag::~vertex_bag() { clear(); }
+
+vertex_bag::vertex_bag(vertex_bag&& other) noexcept
+    : grain_(other.grain_),
+      size_(other.size_),
+      hopper_(other.hopper_),
+      backbone_(std::move(other.backbone_)) {
+  other.size_ = 0;
+  other.hopper_ = nullptr;
+  other.backbone_.clear();
+}
+
+vertex_bag& vertex_bag::operator=(vertex_bag&& other) noexcept {
+  if (this != &other) {
+    clear();
+    grain_ = other.grain_;
+    size_ = other.size_;
+    hopper_ = other.hopper_;
+    backbone_ = std::move(other.backbone_);
+    other.size_ = 0;
+    other.hopper_ = nullptr;
+    other.backbone_.clear();
+  }
+  return *this;
+}
+
+void vertex_bag::clear() {
+  if (hopper_ != nullptr) {
+    delete hopper_;
+    hopper_ = nullptr;
+  }
+  for (auto* p : backbone_) {
+    if (p != nullptr) delete_tree(p);
+  }
+  backbone_.clear();
+  size_ = 0;
+}
+
+void vertex_bag::insert(micg::graph::vertex_t v) {
+  if (hopper_ == nullptr) {
+    hopper_ = new bag_node;
+    hopper_->items.reserve(static_cast<std::size_t>(grain_));
+  }
+  hopper_->items.push_back(v);
+  ++size_;
+  if (hopper_->items.size() == static_cast<std::size_t>(grain_)) {
+    push_pennant(std::exchange(hopper_, nullptr));
+  }
+}
+
+void vertex_bag::push_pennant(bag_node* p) {
+  // Binary increment with carries: rank-k collision -> union to rank k+1.
+  std::size_t k = 0;
+  for (;;) {
+    if (k == backbone_.size()) backbone_.push_back(nullptr);
+    if (backbone_[k] == nullptr) {
+      backbone_[k] = p;
+      return;
+    }
+    p = pennant_union(backbone_[k], p);
+    backbone_[k] = nullptr;
+    ++k;
+  }
+}
+
+void vertex_bag::absorb(vertex_bag&& other) {
+  MICG_CHECK(grain_ == other.grain_,
+             "cannot absorb a bag with a different grain");
+  // Consolidate the other bag's hopper first: cheaper than a dedicated
+  // hopper-merge path and bounded by one grain of work.
+  if (other.hopper_ != nullptr) {
+    for (auto v : other.hopper_->items) insert(v);
+    other.size_ -= other.hopper_->items.size();
+    delete other.hopper_;
+    other.hopper_ = nullptr;
+  }
+  // Backbone carry-save addition: each of other's pennants is one
+  // increment at its rank.
+  for (std::size_t k = 0; k < other.backbone_.size(); ++k) {
+    bag_node* p = other.backbone_[k];
+    if (p == nullptr) continue;
+    other.backbone_[k] = nullptr;
+    // push at rank k: same carry loop as push_pennant but starting at k.
+    std::size_t rank = k;
+    for (;;) {
+      // The incoming pennant's rank can exceed this backbone's length
+      // (absorbing a larger bag into a smaller one): extend with empty
+      // slots up to and including `rank`.
+      while (rank >= backbone_.size()) backbone_.push_back(nullptr);
+      if (backbone_[rank] == nullptr) {
+        backbone_[rank] = p;
+        break;
+      }
+      p = pennant_union(backbone_[rank], p);
+      backbone_[rank] = nullptr;
+      ++rank;
+    }
+  }
+  size_ += other.size_;
+  other.size_ = 0;
+  other.backbone_.clear();
+}
+
+std::size_t vertex_bag::backbone_pennants() const {
+  std::size_t count = 0;
+  for (auto* p : backbone_) {
+    if (p != nullptr) ++count;
+  }
+  return count;
+}
+
+}  // namespace micg::bfs

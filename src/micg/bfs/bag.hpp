@@ -1,0 +1,131 @@
+// Bag of pennants — the Leiserson–Schardl frontier data structure [20]
+// behind the paper's CilkPlus-Bag-relaxed BFS variant.
+//
+// A *pennant* of rank k is a tree of 2^k nodes: a root whose single child
+// is the root of a complete binary tree of 2^k - 1 nodes. Two rank-k
+// pennants merge into one rank-(k+1) pennant in O(1) pointer moves. A
+// *bag* is an array ("backbone") holding at most one pennant per rank, so
+// bag union is the carry-save addition the paper describes ("an algorithm
+// similar to carry-add for integer addition", §IV-C). Every node stores up
+// to `grain` vertices (the grainsize parameter of [20]) so traversal tasks
+// are coarse enough to amortize scheduling.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/rt/scheduler.hpp"
+#include "micg/rt/worker.hpp"
+
+namespace micg::bfs {
+
+namespace detail {
+struct bag_node {
+  std::vector<micg::graph::vertex_t> items;
+  bag_node* left = nullptr;
+  bag_node* right = nullptr;
+};
+}  // namespace detail
+
+class vertex_bag {
+ public:
+  static constexpr int default_grain = 128;
+
+  explicit vertex_bag(int grain = default_grain);
+  ~vertex_bag();
+
+  vertex_bag(vertex_bag&& other) noexcept;
+  vertex_bag& operator=(vertex_bag&& other) noexcept;
+  vertex_bag(const vertex_bag&) = delete;
+  vertex_bag& operator=(const vertex_bag&) = delete;
+
+  /// Append one vertex (owner thread only; bags are per-thread and merged).
+  void insert(micg::graph::vertex_t v);
+
+  /// Move all of `other`'s contents into this bag (carry-save backbone
+  /// addition + hopper consolidation). `other` is left empty.
+  void absorb(vertex_bag&& other);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] int grain() const { return grain_; }
+
+  /// Number of pennants in the backbone (for tests; == popcount of the
+  /// full-node count).
+  [[nodiscard]] std::size_t backbone_pennants() const;
+
+  /// Remove all contents.
+  void clear();
+
+  /// Sequential visit of every vertex.
+  template <typename F>
+  void for_each(F&& f) const {
+    if (hopper_ != nullptr) {
+      for (auto v : hopper_->items) f(v);
+    }
+    for (auto* p : backbone_) {
+      if (p != nullptr) walk_seq(p, f);
+    }
+  }
+
+  /// Parallel traversal: `f(span_of_vertices, worker)` is called once per
+  /// pennant node, with pennant subtrees spawned as work-stealing tasks.
+  /// Must be called from inside sched.run() (the L-S algorithm walks the
+  /// bag with nested cilk_spawn).
+  template <typename F>
+  void traverse_parallel(rt::task_scheduler& sched, const F& f) const {
+    rt::task_group g(sched);
+    if (hopper_ != nullptr && !hopper_->items.empty()) {
+      const detail::bag_node* h = hopper_;
+      g.spawn([h, &f] {
+        f(std::span<const micg::graph::vertex_t>(h->items),
+          rt::this_worker_id());
+      });
+    }
+    for (auto* p : backbone_) {
+      if (p != nullptr) {
+        const detail::bag_node* node = p;
+        g.spawn([&sched, node, &f] { walk_par(sched, node, f); });
+      }
+    }
+    g.wait();
+  }
+
+ private:
+  template <typename F>
+  static void walk_seq(const detail::bag_node* n, F&& f) {
+    for (auto v : n->items) f(v);
+    if (n->left != nullptr) walk_seq(n->left, f);
+    if (n->right != nullptr) walk_seq(n->right, f);
+  }
+
+  template <typename F>
+  static void walk_par(rt::task_scheduler& sched, const detail::bag_node* n,
+                       const F& f) {
+    f(std::span<const micg::graph::vertex_t>(n->items),
+      rt::this_worker_id());
+    if (n->left != nullptr && n->right != nullptr) {
+      rt::task_group g(sched);
+      const detail::bag_node* l = n->left;
+      g.spawn([&sched, l, &f] { walk_par(sched, l, f); });
+      walk_par(sched, n->right, f);
+      g.wait();
+    } else if (n->left != nullptr) {
+      walk_par(sched, n->left, f);
+    } else if (n->right != nullptr) {
+      walk_par(sched, n->right, f);
+    }
+  }
+
+  /// Push a full rank-0 pennant into the backbone with carry propagation.
+  void push_pennant(detail::bag_node* p);
+
+  int grain_;
+  std::size_t size_ = 0;
+  detail::bag_node* hopper_ = nullptr;         ///< partially filled node
+  std::vector<detail::bag_node*> backbone_;    ///< backbone_[k]: rank-k pennant
+};
+
+}  // namespace micg::bfs

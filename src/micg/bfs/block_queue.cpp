@@ -1,0 +1,56 @@
+#include "micg/bfs/block_queue.hpp"
+
+#include <utility>
+
+namespace micg::bfs {
+
+block_queue::block_queue(std::size_t capacity, int block_size,
+                         int max_workers)
+    : slots_(capacity, micg::graph::invalid_vertex),
+      block_size_(block_size),
+      handles_(std::make_unique<micg::padded<handle>[]>(
+          static_cast<std::size_t>(max_workers))),
+      max_workers_(max_workers) {
+  MICG_CHECK(block_size >= 1, "block size must be positive");
+  MICG_CHECK(max_workers >= 1, "need at least one worker");
+}
+
+void block_queue::flush_all() {
+  for (int w = 0; w < max_workers_; ++w) {
+    auto& h = handles_[static_cast<std::size_t>(w)].value;
+    while (h.pos < h.end) {
+      slots_[static_cast<std::size_t>(h.pos++)] =
+          micg::graph::invalid_vertex;
+    }
+  }
+}
+
+std::size_t block_queue::count_valid() const {
+  std::size_t valid = 0;
+  for (const auto v : raw()) {
+    if (v != micg::graph::invalid_vertex) ++valid;
+  }
+  return valid;
+}
+
+void block_queue::swap(block_queue& other) noexcept {
+  slots_.swap(other.slots_);
+  std::swap(block_size_, other.block_size_);
+  const auto a = cursor_.load(std::memory_order_relaxed);
+  cursor_.store(other.cursor_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  other.cursor_.store(a, std::memory_order_relaxed);
+  handles_.swap(other.handles_);
+  std::swap(max_workers_, other.max_workers_);
+}
+
+void block_queue::reset() {
+  // Only the handed-out prefix needs re-sentineling; blocks are re-padded
+  // by flush_all() anyway, so resetting cursors suffices.
+  cursor_.store(0, std::memory_order_relaxed);
+  for (int w = 0; w < max_workers_; ++w) {
+    handles_[static_cast<std::size_t>(w)].value = handle{};
+  }
+}
+
+}  // namespace micg::bfs

@@ -1,0 +1,100 @@
+// Block-accessed shared queue — the paper's novel frontier data structure
+// (§IV-C).
+//
+// The next-level frontier is one contiguous array. Each thread reserves a
+// block of `block_size` slots with a single atomic fetch-and-add and fills
+// it privately; at the end of the level, partially filled blocks are padded
+// with a sentinel (invalid_vertex) instead of being compacted, so consumers
+// simply skip sentinel entries. This trades a slightly longer queue for
+// the elimination of per-push synchronization ("by keeping the block size
+// small (but not so small so that we do not use atomics too often), the
+// overhead is minimized").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/support/assert.hpp"
+#include "micg/support/cacheline.hpp"
+
+namespace micg::bfs {
+
+class block_queue {
+ public:
+  /// `capacity` is the maximum number of slots (vertices + sentinel
+  /// padding) the queue can hold; `max_workers` bounds the number of
+  /// concurrent handles. Pushing past capacity throws (the BFS driver
+  /// sizes queues so this cannot happen).
+  block_queue(std::size_t capacity, int block_size, int max_workers);
+
+  block_queue(const block_queue&) = delete;
+  block_queue& operator=(const block_queue&) = delete;
+
+  /// Per-worker push cursor. Each worker uses its own slot (indexed by the
+  /// dense worker id) for the whole level, then the driver calls
+  /// flush_all().
+  void push(int worker, micg::graph::vertex_t v) {
+    auto& h = handles_[static_cast<std::size_t>(worker)].value;
+    if (h.pos == h.end) acquire_block(h);
+    slots_[static_cast<std::size_t>(h.pos++)] = v;
+  }
+
+  /// Pad every worker's unfinished block with the sentinel (§IV-C: "we
+  /// fill the remaining of the block with a sentinel value (an invalid
+  /// vertex ID, such as -1)"). Call once per level, after all pushes.
+  void flush_all();
+
+  /// All slots handed out so far, sentinels included. Valid after
+  /// flush_all().
+  [[nodiscard]] std::span<const micg::graph::vertex_t> raw() const {
+    return {slots_.data(),
+            static_cast<std::size_t>(cursor_.load(std::memory_order_acquire))};
+  }
+
+  /// Slots including sentinel padding.
+  [[nodiscard]] std::size_t size_with_sentinels() const {
+    return static_cast<std::size_t>(cursor_.load(std::memory_order_acquire));
+  }
+
+  /// Valid (non-sentinel) entries; O(size) scan, used by tests/driver.
+  [[nodiscard]] std::size_t count_valid() const;
+
+  /// Empty the queue for the next level (handles are reset too).
+  void reset();
+
+  /// Swap contents with `other` (the per-level cur/next exchange of
+  /// Algorithm 7). Both queues must be quiescent.
+  void swap(block_queue& other) noexcept;
+
+  [[nodiscard]] int block_size() const { return block_size_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct handle {
+    std::int64_t pos = 0;  ///< next free slot in the current block
+    std::int64_t end = 0;  ///< one past the current block
+  };
+
+  void acquire_block(handle& h) {
+    const std::int64_t b =
+        cursor_.fetch_add(block_size_, std::memory_order_relaxed);
+    MICG_CHECK(b + block_size_ <= static_cast<std::int64_t>(slots_.size()),
+               "block_queue capacity exhausted");
+    h.pos = b;
+    h.end = b + block_size_;
+  }
+
+  std::vector<micg::graph::vertex_t> slots_;
+  int block_size_;
+  alignas(cacheline_size) std::atomic<std::int64_t> cursor_{0};
+  std::unique_ptr<micg::padded<handle>[]> handles_;
+  int max_workers_;
+};
+
+inline void swap(block_queue& a, block_queue& b) noexcept { a.swap(b); }
+
+}  // namespace micg::bfs

@@ -1,0 +1,138 @@
+#include "micg/bfs/centrality.hpp"
+
+#include <vector>
+
+#include "micg/rt/tls.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::bfs {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+namespace {
+
+/// Private per-worker traversal state, reused across sources.
+struct brandes_state {
+  std::vector<int> dist;
+  std::vector<double> sigma;  // shortest-path counts
+  std::vector<double> delta;  // dependency accumulators
+  std::vector<vertex_t> order;  // BFS visit order (stack for phase 2)
+  std::vector<double> score;    // per-worker centrality accumulator
+
+  explicit brandes_state(vertex_t n)
+      : dist(static_cast<std::size_t>(n)),
+        sigma(static_cast<std::size_t>(n)),
+        delta(static_cast<std::size_t>(n)),
+        score(static_cast<std::size_t>(n), 0.0) {
+    order.reserve(static_cast<std::size_t>(n));
+  }
+};
+
+/// One source's contribution (Brandes 2001, Algorithm 1).
+void accumulate_source(const csr_graph& g, vertex_t s, brandes_state& st) {
+  const vertex_t n = g.num_vertices();
+  std::fill(st.dist.begin(), st.dist.end(), -1);
+  std::fill(st.sigma.begin(), st.sigma.end(), 0.0);
+  std::fill(st.delta.begin(), st.delta.end(), 0.0);
+  st.order.clear();
+
+  st.dist[static_cast<std::size_t>(s)] = 0;
+  st.sigma[static_cast<std::size_t>(s)] = 1.0;
+  st.order.push_back(s);
+  for (std::size_t head = 0; head < st.order.size(); ++head) {
+    const vertex_t v = st.order[head];
+    for (vertex_t w : g.neighbors(v)) {
+      if (st.dist[static_cast<std::size_t>(w)] < 0) {
+        st.dist[static_cast<std::size_t>(w)] =
+            st.dist[static_cast<std::size_t>(v)] + 1;
+        st.order.push_back(w);
+      }
+      if (st.dist[static_cast<std::size_t>(w)] ==
+          st.dist[static_cast<std::size_t>(v)] + 1) {
+        st.sigma[static_cast<std::size_t>(w)] +=
+            st.sigma[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  // Dependency accumulation in reverse BFS order.
+  for (std::size_t i = st.order.size(); i-- > 1;) {
+    const vertex_t w = st.order[i];
+    for (vertex_t v : g.neighbors(w)) {
+      if (st.dist[static_cast<std::size_t>(v)] ==
+          st.dist[static_cast<std::size_t>(w)] - 1) {
+        st.delta[static_cast<std::size_t>(v)] +=
+            st.sigma[static_cast<std::size_t>(v)] /
+            st.sigma[static_cast<std::size_t>(w)] *
+            (1.0 + st.delta[static_cast<std::size_t>(w)]);
+      }
+    }
+    if (w != s) {
+      st.score[static_cast<std::size_t>(w)] +=
+          st.delta[static_cast<std::size_t>(w)];
+    }
+  }
+  (void)n;
+}
+
+std::vector<vertex_t> pick_sources(vertex_t n, vertex_t samples) {
+  std::vector<vertex_t> sources;
+  if (samples <= 0 || samples >= n) {
+    sources.resize(static_cast<std::size_t>(n));
+    for (vertex_t v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+  } else {
+    sources.reserve(static_cast<std::size_t>(samples));
+    for (vertex_t i = 0; i < samples; ++i) {
+      sources.push_back(static_cast<vertex_t>(
+          static_cast<std::int64_t>(i) * n / samples));
+    }
+  }
+  return sources;
+}
+
+}  // namespace
+
+std::vector<double> betweenness_centrality(const csr_graph& g,
+                                           const centrality_options& opt) {
+  const vertex_t n = g.num_vertices();
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
+  const auto sources = pick_sources(n, opt.sample_sources);
+
+  rt::enumerable_thread_specific<brandes_state> states(
+      opt.ex.threads, [n] { return brandes_state(n); });
+
+  rt::for_range(opt.ex, static_cast<std::int64_t>(sources.size()),
+                [&](std::int64_t b, std::int64_t e, int) {
+                  brandes_state& st = states.local();
+                  for (std::int64_t i = b; i < e; ++i) {
+                    accumulate_source(
+                        g, sources[static_cast<std::size_t>(i)], st);
+                  }
+                });
+
+  std::vector<double> score(static_cast<std::size_t>(n), 0.0);
+  states.for_each([&](brandes_state& st) {
+    for (std::size_t v = 0; v < score.size(); ++v) {
+      score[v] += st.score[v];
+    }
+  });
+  // Undirected: each pair counted twice (once per endpoint as source).
+  const double pair_scale = 0.5;
+  const double sample_scale =
+      sources.size() < static_cast<std::size_t>(n)
+          ? static_cast<double>(n) / static_cast<double>(sources.size())
+          : 1.0;
+  for (double& x : score) x *= pair_scale * sample_scale;
+  return score;
+}
+
+std::vector<double> betweenness_centrality_seq(const csr_graph& g,
+                                               vertex_t sample_sources) {
+  centrality_options opt;
+  opt.ex.threads = 1;
+  opt.ex.kind = rt::backend::omp_static;
+  opt.sample_sources = sample_sources;
+  return betweenness_centrality(g, opt);
+}
+
+}  // namespace micg::bfs

@@ -1,0 +1,34 @@
+// Betweenness centrality (Brandes' algorithm) — the paper's §I names it
+// as the "computationally expensive centrality measure" BFS underpins
+// [Brandes 2001]. One BFS + dependency accumulation per source; sources
+// are distributed over threads (the standard coarse-grained
+// parallelization), each worker owning private traversal state and
+// accumulating into a per-worker score vector merged at the end.
+#pragma once
+
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::bfs {
+
+struct centrality_options {
+  rt::exec ex;
+  /// Number of source vertices to sample (0 or >= |V| means exact: all
+  /// sources). Sampled sources are evenly spaced for determinism.
+  micg::graph::vertex_t sample_sources = 0;
+};
+
+/// Exact (or source-sampled) betweenness centrality on the unweighted
+/// undirected graph. Endpoint pairs are counted once per unordered pair;
+/// scores of sampled runs are scaled by |V|/samples.
+std::vector<double> betweenness_centrality(
+    const micg::graph::csr_graph& g, const centrality_options& opt);
+
+/// Sequential reference implementation (used by tests).
+std::vector<double> betweenness_centrality_seq(
+    const micg::graph::csr_graph& g,
+    micg::graph::vertex_t sample_sources = 0);
+
+}  // namespace micg::bfs

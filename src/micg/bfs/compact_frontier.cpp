@@ -1,0 +1,112 @@
+#include "micg/bfs/compact_frontier.hpp"
+
+#include <atomic>
+
+#include "micg/rt/scan.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::bfs {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+compact_frontier::compact_frontier(int max_workers)
+    : segments_(std::make_unique<
+                micg::padded<std::vector<vertex_t>>[]>(
+          static_cast<std::size_t>(max_workers))),
+      max_workers_(max_workers) {
+  MICG_CHECK(max_workers >= 1, "need at least one worker");
+}
+
+std::size_t compact_frontier::total_size() const {
+  std::size_t total = 0;
+  for (int w = 0; w < max_workers_; ++w) {
+    total += segments_[static_cast<std::size_t>(w)].value.size();
+  }
+  return total;
+}
+
+std::vector<vertex_t> compact_frontier::compact(const rt::exec& ex) {
+  // Book keeping: exclusive scan over segment sizes gives each worker's
+  // offset into the dense output.
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(max_workers_));
+  for (int w = 0; w < max_workers_; ++w) {
+    offsets[static_cast<std::size_t>(w)] =
+        segments_[static_cast<std::size_t>(w)].value.size();
+  }
+  const std::size_t total = rt::parallel_exclusive_scan(ex, offsets);
+
+  std::vector<vertex_t> out(total);
+  // Parallel copy: one task per worker segment.
+  rt::for_range(ex, max_workers_,
+                [&](std::int64_t b, std::int64_t e, int) {
+                  for (std::int64_t w = b; w < e; ++w) {
+                    auto& seg = segments_[static_cast<std::size_t>(w)].value;
+                    std::copy(seg.begin(), seg.end(),
+                              out.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      offsets[static_cast<std::size_t>(w)]));
+                    seg.clear();
+                  }
+                });
+  return out;
+}
+
+compact_bfs_result parallel_bfs_compact(const csr_graph& g, vertex_t source,
+                                        const compact_bfs_options& opt) {
+  const vertex_t n = g.num_vertices();
+  MICG_CHECK(source >= 0 && source < n, "source out of range");
+  MICG_CHECK(opt.threads >= 1, "need at least one thread");
+
+  std::vector<std::atomic<int>> level(static_cast<std::size_t>(n));
+  for (auto& l : level) l.store(-1, std::memory_order_relaxed);
+
+  rt::exec ex;
+  ex.kind = rt::backend::omp_dynamic;
+  ex.threads = opt.threads;
+  ex.chunk = opt.chunk;
+
+  compact_frontier frontier(opt.threads);
+  std::vector<vertex_t> cur{source};
+  level[static_cast<std::size_t>(source)].store(0,
+                                                std::memory_order_relaxed);
+
+  int depth = 1;
+  while (!cur.empty()) {
+    rt::for_range(
+        ex, static_cast<std::int64_t>(cur.size()),
+        [&](std::int64_t b, std::int64_t e, int worker) {
+          for (std::int64_t i = b; i < e; ++i) {
+            const vertex_t v = cur[static_cast<std::size_t>(i)];
+            for (vertex_t w : g.neighbors(v)) {
+              int expected = -1;
+              if (level[static_cast<std::size_t>(w)]
+                      .compare_exchange_strong(expected, depth,
+                                               std::memory_order_relaxed,
+                                               std::memory_order_relaxed)) {
+                frontier.push(worker, w);
+              }
+            }
+          }
+        });
+    cur = frontier.compact(ex);
+    ++depth;
+  }
+
+  compact_bfs_result r;
+  r.level.resize(static_cast<std::size_t>(n));
+  int max_level = -1;
+  for (vertex_t v = 0; v < n; ++v) {
+    r.level[static_cast<std::size_t>(v)] =
+        level[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+    if (r.level[static_cast<std::size_t>(v)] >= 0) {
+      ++r.reached;
+      max_level =
+          std::max(max_level, r.level[static_cast<std::size_t>(v)]);
+    }
+  }
+  r.num_levels = max_level + 1;
+  return r;
+}
+
+}  // namespace micg::bfs

@@ -1,0 +1,66 @@
+// Compacting frontier — the §IV-C road not taken, built for the ablation.
+//
+// "At the end of a level, it is possible that some threads have not
+// entirely filled the last block ... One approach is to compact the queue
+// by swapping the last filled elements with these spaces, but this
+// requires a complex book keeping data structure. Instead, we fill the
+// remaining of the block with a sentinel value."
+//
+// This type implements the compaction approach the paper rejected:
+// per-worker segments collect vertices, and at the end of the level a
+// parallel exclusive scan over segment sizes computes each segment's
+// offset in the dense output (no sentinels, perfectly packed), at the
+// price of the scan pass and a parallel copy. bench/ablate_block_size
+// compares both designs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/rt/exec.hpp"
+#include "micg/support/cacheline.hpp"
+
+namespace micg::bfs {
+
+class compact_frontier {
+ public:
+  explicit compact_frontier(int max_workers);
+
+  /// Append to the calling worker's private segment (no synchronization).
+  void push(int worker, micg::graph::vertex_t v) {
+    segments_[static_cast<std::size_t>(worker)].value.push_back(v);
+  }
+
+  /// Compact all segments into a dense vector: parallel exclusive scan of
+  /// segment sizes + parallel copy. Segments are cleared (capacity kept).
+  std::vector<micg::graph::vertex_t> compact(const rt::exec& ex);
+
+  [[nodiscard]] std::size_t total_size() const;
+
+ private:
+  std::unique_ptr<micg::padded<std::vector<micg::graph::vertex_t>>[]>
+      segments_;
+  int max_workers_;
+};
+
+/// Layered BFS using the compacting frontier (locked insertion); the
+/// ablation counterpart of bfs_variant::omp_block. Levels are identical
+/// to seq_bfs.
+struct compact_bfs_options {
+  int threads = 1;
+  std::int64_t chunk = 64;
+};
+
+struct compact_bfs_result {
+  std::vector<int> level;
+  int num_levels = 0;
+  std::size_t reached = 0;
+};
+
+compact_bfs_result parallel_bfs_compact(const micg::graph::csr_graph& g,
+                                        micg::graph::vertex_t source,
+                                        const compact_bfs_options& opt);
+
+}  // namespace micg::bfs

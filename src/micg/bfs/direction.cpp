@@ -1,0 +1,119 @@
+#include "micg/bfs/direction.hpp"
+
+#include <atomic>
+
+#include "micg/rt/exec.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::bfs {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+direction_bfs_result direction_optimizing_bfs(const csr_graph& g,
+                                              vertex_t source,
+                                              const direction_options& opt) {
+  const vertex_t n = g.num_vertices();
+  MICG_CHECK(source >= 0 && source < n, "source out of range");
+  MICG_CHECK(opt.threads >= 1, "need at least one thread");
+
+  std::vector<std::atomic<int>> level(static_cast<std::size_t>(n));
+  for (auto& l : level) l.store(-1, std::memory_order_relaxed);
+
+  rt::exec ex;
+  ex.kind = rt::backend::omp_dynamic;
+  ex.threads = opt.threads;
+  ex.chunk = opt.chunk;
+
+  std::vector<vertex_t> frontier{source};
+  level[static_cast<std::size_t>(source)].store(0,
+                                                std::memory_order_relaxed);
+
+  direction_bfs_result r;
+  const double edge_threshold =
+      static_cast<double>(g.num_directed_edges()) / opt.alpha;
+  const double vertex_threshold = static_cast<double>(n) / opt.beta;
+
+  int depth = 1;
+  bool bottom_up = false;
+  while (!frontier.empty()) {
+    // Heuristic: frontier out-edges decide the direction of this step.
+    std::int64_t frontier_edges = 0;
+    for (vertex_t v : frontier) frontier_edges += g.degree(v);
+    if (!bottom_up &&
+        static_cast<double>(frontier_edges) > edge_threshold) {
+      bottom_up = true;
+    } else if (bottom_up &&
+               static_cast<double>(frontier.size()) < vertex_threshold) {
+      bottom_up = false;
+    }
+
+    std::vector<vertex_t> next(static_cast<std::size_t>(n));
+    std::atomic<std::size_t> cursor{0};
+    if (bottom_up) {
+      ++r.bottom_up_steps;
+      // Every unvisited vertex looks backwards for a parent one level up.
+      rt::for_range(
+          ex, n, [&](std::int64_t b, std::int64_t e, int) {
+            for (std::int64_t i = b; i < e; ++i) {
+              const auto v = static_cast<vertex_t>(i);
+              if (level[static_cast<std::size_t>(v)].load(
+                      std::memory_order_relaxed) != -1) {
+                continue;
+              }
+              for (vertex_t w : g.neighbors(v)) {
+                if (level[static_cast<std::size_t>(w)].load(
+                        std::memory_order_relaxed) == depth - 1) {
+                  level[static_cast<std::size_t>(v)].store(
+                      depth, std::memory_order_relaxed);
+                  next[cursor.fetch_add(1, std::memory_order_relaxed)] = v;
+                  break;  // first parent suffices
+                }
+              }
+            }
+          });
+    } else {
+      ++r.top_down_steps;
+      rt::for_range(
+          ex, static_cast<std::int64_t>(frontier.size()),
+          [&](std::int64_t b, std::int64_t e, int) {
+            for (std::int64_t i = b; i < e; ++i) {
+              const vertex_t v = frontier[static_cast<std::size_t>(i)];
+              for (vertex_t w : g.neighbors(v)) {
+                int expected = -1;
+                if (level[static_cast<std::size_t>(w)]
+                        .compare_exchange_strong(expected, depth,
+                                                 std::memory_order_relaxed,
+                                                 std::memory_order_relaxed)) {
+                  next[cursor.fetch_add(1, std::memory_order_relaxed)] = w;
+                }
+              }
+            }
+          });
+    }
+    next.resize(cursor.load(std::memory_order_relaxed));
+    frontier.swap(next);
+    ++depth;
+  }
+
+  r.level.resize(static_cast<std::size_t>(n));
+  int max_level = -1;
+  for (vertex_t v = 0; v < n; ++v) {
+    r.level[static_cast<std::size_t>(v)] =
+        level[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+    if (r.level[static_cast<std::size_t>(v)] > max_level) {
+      max_level = r.level[static_cast<std::size_t>(v)];
+    }
+  }
+  r.num_levels = max_level + 1;
+  r.frontier_sizes.assign(static_cast<std::size_t>(r.num_levels), 0);
+  for (int lv : r.level) {
+    if (lv >= 0) {
+      ++r.frontier_sizes[static_cast<std::size_t>(lv)];
+      ++r.reached;
+    }
+  }
+  return r;
+}
+
+}  // namespace micg::bfs

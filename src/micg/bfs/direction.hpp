@@ -1,0 +1,40 @@
+// Direction-optimizing BFS (Beamer, Asanović, Patterson SC'12) — a
+// beyond-the-paper ablation (§VI points at further algorithm engineering).
+//
+// Top-down steps expand the frontier through the block-accessed queue like
+// OpenMP-Block-relaxed; when the frontier grows past a threshold the search
+// switches to bottom-up steps, where every unvisited vertex scans its
+// neighbors for a parent in the current frontier (early exit on first hit),
+// then switches back when the frontier shrinks. On the high-diameter FEM
+// meshes of Table I the frontiers stay narrow and the heuristic rarely
+// fires; on RMAT graphs it collapses the few huge middle levels.
+#pragma once
+
+#include "micg/bfs/layered.hpp"
+#include "micg/bfs/seq.hpp"
+#include "micg/graph/csr.hpp"
+
+namespace micg::bfs {
+
+struct direction_options {
+  int threads = 1;
+  int block = 32;
+  std::int64_t chunk = 64;
+  /// Switch to bottom-up when frontier edges exceed |E|/alpha (Beamer's
+  /// alpha); back to top-down when the frontier shrinks below |V|/beta.
+  double alpha = 14.0;
+  double beta = 24.0;
+};
+
+struct direction_bfs_result : bfs_result {
+  int top_down_steps = 0;
+  int bottom_up_steps = 0;
+};
+
+/// Run direction-optimizing BFS from `source`. Levels are identical to
+/// seq_bfs().
+direction_bfs_result direction_optimizing_bfs(
+    const micg::graph::csr_graph& g, micg::graph::vertex_t source,
+    const direction_options& opt);
+
+}  // namespace micg::bfs

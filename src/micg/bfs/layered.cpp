@@ -1,0 +1,264 @@
+#include "micg/bfs/layered.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "micg/bfs/bag.hpp"
+#include "micg/bfs/block_queue.hpp"
+#include "micg/bfs/tls_queue.hpp"
+#include "micg/rt/exec.hpp"
+#include "micg/rt/scheduler.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::bfs {
+
+using micg::graph::csr_graph;
+using micg::graph::invalid_vertex;
+using micg::graph::vertex_t;
+
+const char* bfs_variant_name(bfs_variant v) {
+  switch (v) {
+    case bfs_variant::omp_block: return "OpenMP-Block";
+    case bfs_variant::omp_block_relaxed: return "OpenMP-Block-relaxed";
+    case bfs_variant::tbb_block: return "TBB-Block";
+    case bfs_variant::tbb_block_relaxed: return "TBB-Block-relaxed";
+    case bfs_variant::omp_tls: return "OpenMP-TLS";
+    case bfs_variant::cilk_bag_relaxed: return "CilkPlus-Bag-relaxed";
+  }
+  return "unknown";
+}
+
+std::vector<bfs_variant> all_bfs_variants() {
+  return {bfs_variant::omp_block,       bfs_variant::omp_block_relaxed,
+          bfs_variant::tbb_block,       bfs_variant::tbb_block_relaxed,
+          bfs_variant::omp_tls,         bfs_variant::cilk_bag_relaxed};
+}
+
+namespace {
+
+using level_array = std::vector<std::atomic<int>>;
+
+/// Try to claim w for `next_level`. Locked: CAS, exactly-once semantics.
+/// Relaxed: Leiserson–Schardl benign race — check then plain store.
+inline bool claim_vertex(level_array& level, vertex_t w, int next_level,
+                         bool relaxed) {
+  auto& slot = level[static_cast<std::size_t>(w)];
+  if (relaxed) {
+    if (slot.load(std::memory_order_relaxed) == -1) {
+      slot.store(next_level, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+  int expected = -1;
+  return slot.compare_exchange_strong(expected, next_level,
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed);
+}
+
+/// Derive the final result (frontier sizes, counts) from the level array.
+/// Uniform across variants; also the place where relaxed duplicates vanish
+/// (levels are unique even if queue entries were not).
+parallel_bfs_result finalize(const level_array& level) {
+  parallel_bfs_result r;
+  r.level.resize(level.size());
+  int max_level = -1;
+  for (std::size_t v = 0; v < level.size(); ++v) {
+    r.level[v] = level[v].load(std::memory_order_relaxed);
+    if (r.level[v] > max_level) max_level = r.level[v];
+  }
+  r.num_levels = max_level + 1;
+  r.frontier_sizes.assign(static_cast<std::size_t>(r.num_levels), 0);
+  for (int lv : r.level) {
+    if (lv >= 0) {
+      ++r.frontier_sizes[static_cast<std::size_t>(lv)];
+      ++r.reached;
+    }
+  }
+  return r;
+}
+
+/// The block-queue variants: two block-accessed queues swapped per level,
+/// the vertex loop scheduled by an OpenMP-dynamic or TBB-simple backend.
+parallel_bfs_result bfs_block(const csr_graph& g, vertex_t source,
+                              const parallel_bfs_options& opt,
+                              bool tbb_style, bool relaxed) {
+  const vertex_t n = g.num_vertices();
+  level_array level(static_cast<std::size_t>(n));
+  for (auto& l : level) l.store(-1, std::memory_order_relaxed);
+
+  // Capacity: every vertex once, plus sentinel padding (one partial block
+  // per worker per level is repacked on reset, so `threads * block`
+  // suffices), plus generous headroom for relaxed duplicates. The queue
+  // checks the bound; overflow would require a duplicate storm the benign
+  // race cannot produce in practice.
+  const std::size_t cap =
+      2 * static_cast<std::size_t>(n) +
+      static_cast<std::size_t>(opt.threads) *
+          static_cast<std::size_t>(opt.block) +
+      64;
+  block_queue cur(cap, opt.block, opt.threads);
+  block_queue next(cap, opt.block, opt.threads);
+
+  rt::exec ex;
+  ex.kind = tbb_style ? rt::backend::tbb_simple : rt::backend::omp_dynamic;
+  ex.threads = opt.threads;
+  ex.chunk = opt.chunk;
+  // Reuse one scheduler across all levels for the TBB-style backend.
+  rt::task_scheduler sched(ex.pool_or_global(), opt.threads);
+  if (tbb_style) ex.sched = &sched;
+
+  level[static_cast<std::size_t>(source)].store(0,
+                                                std::memory_order_relaxed);
+  cur.push(0, source);
+  cur.flush_all();
+
+  parallel_bfs_result partial;
+  int depth = 1;
+  while (cur.count_valid() > 0) {
+    partial.queue_slots_per_level.push_back(cur.size_with_sentinels());
+    next.reset();
+    const auto entries = cur.raw();
+    rt::for_range(
+        ex, static_cast<std::int64_t>(entries.size()),
+        [&](std::int64_t b, std::int64_t e, int worker) {
+          for (std::int64_t i = b; i < e; ++i) {
+            const vertex_t v = entries[static_cast<std::size_t>(i)];
+            if (v == invalid_vertex) continue;  // sentinel slot (§IV-C)
+            for (vertex_t w : g.neighbors(v)) {
+              if (claim_vertex(level, w, depth, relaxed)) {
+                next.push(worker, w);
+              }
+            }
+          }
+        });
+    next.flush_all();
+    cur.swap(next);
+    ++depth;
+  }
+
+  auto r = finalize(level);
+  r.queue_slots_per_level = std::move(partial.queue_slots_per_level);
+  return r;
+}
+
+/// SNAP-style variant: thread-local queues merged per level, exactly-once
+/// insertion via CAS claim (the "lock"), with the paper's improvement of
+/// testing the level before attempting the claim.
+parallel_bfs_result bfs_tls(const csr_graph& g, vertex_t source,
+                            const parallel_bfs_options& opt) {
+  const vertex_t n = g.num_vertices();
+  level_array level(static_cast<std::size_t>(n));
+  for (auto& l : level) l.store(-1, std::memory_order_relaxed);
+
+  rt::exec ex;
+  ex.kind = rt::backend::omp_dynamic;
+  ex.threads = opt.threads;
+  ex.chunk = opt.chunk;
+
+  tls_frontier locals(opt.threads);
+  std::vector<vertex_t> cur{source};
+  std::vector<vertex_t> next;
+  level[static_cast<std::size_t>(source)].store(0,
+                                                std::memory_order_relaxed);
+
+  int depth = 1;
+  while (!cur.empty()) {
+    rt::for_range(
+        ex, static_cast<std::int64_t>(cur.size()),
+        [&](std::int64_t b, std::int64_t e, int worker) {
+          for (std::int64_t i = b; i < e; ++i) {
+            const vertex_t v = cur[static_cast<std::size_t>(i)];
+            for (vertex_t w : g.neighbors(v)) {
+              // Check before locking (§IV-C: "checking if a vertex is
+              // traversed before attempting to lock it").
+              if (level[static_cast<std::size_t>(w)].load(
+                      std::memory_order_relaxed) != -1) {
+                continue;
+              }
+              if (claim_vertex(level, w, depth, /*relaxed=*/false)) {
+                locals.push(worker, w);
+              }
+            }
+          }
+        });
+    locals.merge_into(next);
+    cur.swap(next);
+    ++depth;
+  }
+  return finalize(level);
+}
+
+/// Bag variant: per-worker bags filled under work stealing, merged with
+/// carry-save bag union at each level (CilkPlus-Bag-relaxed).
+parallel_bfs_result bfs_bag(const csr_graph& g, vertex_t source,
+                            const parallel_bfs_options& opt) {
+  const vertex_t n = g.num_vertices();
+  level_array level(static_cast<std::size_t>(n));
+  for (auto& l : level) l.store(-1, std::memory_order_relaxed);
+
+  rt::task_scheduler sched(rt::thread_pool::global(), opt.threads);
+
+  std::vector<vertex_bag> worker_bags;
+  worker_bags.reserve(static_cast<std::size_t>(opt.threads));
+  for (int t = 0; t < opt.threads; ++t) {
+    worker_bags.emplace_back(opt.bag_grain);
+  }
+
+  vertex_bag cur(opt.bag_grain);
+  level[static_cast<std::size_t>(source)].store(0,
+                                                std::memory_order_relaxed);
+  cur.insert(source);
+
+  int depth = 1;
+  while (!cur.empty()) {
+    sched.run([&] {
+      cur.traverse_parallel(
+          sched, [&](std::span<const vertex_t> items, int worker) {
+            for (vertex_t v : items) {
+              for (vertex_t w : g.neighbors(v)) {
+                if (claim_vertex(level, w, depth, /*relaxed=*/true)) {
+                  worker_bags[static_cast<std::size_t>(worker)].insert(w);
+                }
+              }
+            }
+          });
+    });
+    vertex_bag merged(opt.bag_grain);
+    for (auto& b : worker_bags) merged.absorb(std::move(b));
+    cur = std::move(merged);
+    ++depth;
+  }
+  return finalize(level);
+}
+
+}  // namespace
+
+parallel_bfs_result parallel_bfs(const csr_graph& g, vertex_t source,
+                                 const parallel_bfs_options& opt) {
+  MICG_CHECK(source >= 0 && source < g.num_vertices(),
+             "source out of range");
+  MICG_CHECK(opt.threads >= 1, "need at least one thread");
+  MICG_CHECK(opt.block >= 1, "block size must be positive");
+  switch (opt.variant) {
+    case bfs_variant::omp_block:
+      return bfs_block(g, source, opt, /*tbb_style=*/false,
+                       /*relaxed=*/false);
+    case bfs_variant::omp_block_relaxed:
+      return bfs_block(g, source, opt, /*tbb_style=*/false,
+                       /*relaxed=*/true);
+    case bfs_variant::tbb_block:
+      return bfs_block(g, source, opt, /*tbb_style=*/true,
+                       /*relaxed=*/false);
+    case bfs_variant::tbb_block_relaxed:
+      return bfs_block(g, source, opt, /*tbb_style=*/true, /*relaxed=*/true);
+    case bfs_variant::omp_tls:
+      return bfs_tls(g, source, opt);
+    case bfs_variant::cilk_bag_relaxed:
+      return bfs_bag(g, source, opt);
+  }
+  MICG_CHECK(false, "unknown BFS variant");
+  return {};
+}
+
+}  // namespace micg::bfs

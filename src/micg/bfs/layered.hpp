@@ -1,0 +1,67 @@
+// Layered (level-synchronous) parallel BFS — Algorithm 7 of the paper —
+// with the paper's six frontier/runtime variants (§IV-C, Figure 4):
+//
+//   OpenMP-Block            block-accessed queue, CAS-locked insertion
+//   OpenMP-Block-relaxed    block-accessed queue, benign-race insertion
+//   TBB-Block               same queue under the TBB-style simple partitioner
+//   TBB-Block-relaxed       ... with benign-race insertion
+//   OpenMP-TLS              SNAP-style thread-local queues, locked insertion
+//   CilkPlus-Bag-relaxed    Leiserson–Schardl bag under work stealing
+//
+// "Locked" claims a vertex with a compare-and-swap on its level before
+// queueing it, so every vertex is queued exactly once. "Relaxed" performs
+// the check-then-store race Leiserson and Schardl proved benign: a vertex
+// may be queued (and expanded) more than once, but every copy carries the
+// same level, so the result is identical and the redundant work does not
+// snowball (§III-C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "micg/bfs/seq.hpp"
+#include "micg/graph/csr.hpp"
+
+namespace micg::bfs {
+
+enum class bfs_variant {
+  omp_block,
+  omp_block_relaxed,
+  tbb_block,
+  tbb_block_relaxed,
+  omp_tls,
+  cilk_bag_relaxed,
+};
+
+/// Paper-style display name ("OpenMP-Block-relaxed", ...).
+const char* bfs_variant_name(bfs_variant v);
+
+/// All six variants in paper order.
+std::vector<bfs_variant> all_bfs_variants();
+
+struct parallel_bfs_options {
+  bfs_variant variant = bfs_variant::omp_block_relaxed;
+  int threads = 1;
+  /// Block size of the block-accessed queue. 32 is the value "that yields
+  /// the best performance in our implementation" (§V-D).
+  int block = 32;
+  /// Scheduling chunk for the per-level vertex loop.
+  std::int64_t chunk = 64;
+  /// Pennant node capacity for the bag variant (grainsize of [20]).
+  int bag_grain = 128;
+};
+
+struct parallel_bfs_result : bfs_result {
+  /// Queue slots consumed per level *including sentinel padding* (block
+  /// variants only; empty otherwise). The overhead versus frontier_sizes
+  /// is the cost of not compacting partially-filled blocks.
+  std::vector<std::size_t> queue_slots_per_level;
+};
+
+/// Run layered parallel BFS from `source`. Levels are identical to
+/// seq_bfs() for every variant (BFS levels are unique).
+parallel_bfs_result parallel_bfs(const micg::graph::csr_graph& g,
+                                 micg::graph::vertex_t source,
+                                 const parallel_bfs_options& opt);
+
+}  // namespace micg::bfs

@@ -1,0 +1,117 @@
+#include "micg/bfs/parents.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "micg/bfs/block_queue.hpp"
+#include "micg/bfs/seq.hpp"
+#include "micg/rt/exec.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::bfs {
+
+using micg::graph::csr_graph;
+using micg::graph::invalid_vertex;
+using micg::graph::vertex_t;
+
+parent_bfs_result parallel_bfs_parents(const csr_graph& g, vertex_t source,
+                                       const parallel_bfs_options& opt) {
+  const vertex_t n = g.num_vertices();
+  MICG_CHECK(source >= 0 && source < n, "source out of range");
+  MICG_CHECK(opt.threads >= 1, "need at least one thread");
+
+  // parent doubles as the visited flag: a CAS from invalid_vertex claims
+  // the vertex exactly once (so parents are always consistent even though
+  // levels could tolerate the relaxed race).
+  std::vector<std::atomic<vertex_t>> parent(static_cast<std::size_t>(n));
+  for (auto& p : parent) p.store(invalid_vertex, std::memory_order_relaxed);
+  std::vector<int> level(static_cast<std::size_t>(n), -1);
+
+  const std::size_t cap = static_cast<std::size_t>(n) +
+                          static_cast<std::size_t>(opt.threads) *
+                              static_cast<std::size_t>(opt.block) +
+                          64;
+  block_queue cur(cap, opt.block, opt.threads);
+  block_queue next(cap, opt.block, opt.threads);
+
+  rt::exec ex;
+  ex.kind = rt::backend::omp_dynamic;
+  ex.threads = opt.threads;
+  ex.chunk = opt.chunk;
+
+  parent[static_cast<std::size_t>(source)].store(source,
+                                                 std::memory_order_relaxed);
+  level[static_cast<std::size_t>(source)] = 0;
+  cur.push(0, source);
+  cur.flush_all();
+
+  int depth = 1;
+  while (cur.count_valid() > 0) {
+    next.reset();
+    const auto entries = cur.raw();
+    rt::for_range(
+        ex, static_cast<std::int64_t>(entries.size()),
+        [&](std::int64_t b, std::int64_t e, int worker) {
+          for (std::int64_t i = b; i < e; ++i) {
+            const vertex_t v = entries[static_cast<std::size_t>(i)];
+            if (v == invalid_vertex) continue;
+            for (vertex_t w : g.neighbors(v)) {
+              vertex_t expected = invalid_vertex;
+              if (parent[static_cast<std::size_t>(w)]
+                      .compare_exchange_strong(expected, v,
+                                               std::memory_order_relaxed,
+                                               std::memory_order_relaxed)) {
+                level[static_cast<std::size_t>(w)] = depth;
+                next.push(worker, w);
+              }
+            }
+          }
+        });
+    next.flush_all();
+    cur.swap(next);
+    ++depth;
+  }
+
+  parent_bfs_result r;
+  r.parent.resize(static_cast<std::size_t>(n));
+  r.level = std::move(level);
+  for (vertex_t v = 0; v < n; ++v) {
+    r.parent[static_cast<std::size_t>(v)] =
+        parent[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+    if (r.parent[static_cast<std::size_t>(v)] != invalid_vertex) {
+      ++r.reached;
+    }
+  }
+  return r;
+}
+
+bool validate_parent_tree(const csr_graph& g, vertex_t source,
+                          std::span<const vertex_t> parent) {
+  const vertex_t n = g.num_vertices();
+  if (static_cast<vertex_t>(parent.size()) != n) return false;
+  if (source < 0 || source >= n) return false;
+  if (parent[static_cast<std::size_t>(source)] != source) return false;
+
+  const auto ref = seq_bfs(g, source);
+  for (vertex_t v = 0; v < n; ++v) {
+    const vertex_t p = parent[static_cast<std::size_t>(v)];
+    const int true_level = ref.level[static_cast<std::size_t>(v)];
+    if (p == invalid_vertex) {
+      // Unreached must be exactly the vertices outside the component.
+      if (true_level != -1) return false;
+      continue;
+    }
+    if (true_level == -1) return false;
+    if (v == source) continue;
+    // Tree edge exists in the graph...
+    auto nbrs = g.neighbors(v);
+    if (!std::binary_search(nbrs.begin(), nbrs.end(), p)) return false;
+    // ...and the parent is exactly one level closer to the source.
+    if (ref.level[static_cast<std::size_t>(p)] != true_level - 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace micg::bfs

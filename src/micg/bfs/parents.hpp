@@ -1,0 +1,42 @@
+// Parent-array BFS and the Graph500-style validator.
+//
+// The Graph500 benchmark (the paper's §I reference point for BFS) reports
+// a parent tree rather than levels and validates it with five structural
+// checks. parallel_bfs_parents() runs the block-accessed-queue BFS while
+// recording parents; validate_parent_tree() implements the checks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "micg/bfs/layered.hpp"
+#include "micg/graph/csr.hpp"
+
+namespace micg::bfs {
+
+struct parent_bfs_result {
+  /// parent[v]: BFS-tree parent of v; parent[source] == source;
+  /// unreachable vertices hold invalid_vertex.
+  std::vector<micg::graph::vertex_t> parent;
+  std::vector<int> level;
+  std::size_t reached = 0;
+};
+
+/// Layered BFS (relaxed block queue) that also records a valid parent for
+/// every discovered vertex.
+parent_bfs_result parallel_bfs_parents(const micg::graph::csr_graph& g,
+                                       micg::graph::vertex_t source,
+                                       const parallel_bfs_options& opt);
+
+/// Graph500-style validation of a parent tree:
+///  1. the source is its own parent;
+///  2. every reached vertex has a reached parent and the edge
+///     (v, parent[v]) exists in the graph;
+///  3. levels implied by the tree equal BFS levels (each vertex one
+///     deeper than its parent, consistent with the true distance);
+///  4. exactly the source's component is reached.
+bool validate_parent_tree(const micg::graph::csr_graph& g,
+                          micg::graph::vertex_t source,
+                          std::span<const micg::graph::vertex_t> parent);
+
+}  // namespace micg::bfs

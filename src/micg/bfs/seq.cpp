@@ -1,0 +1,46 @@
+#include "micg/bfs/seq.hpp"
+
+#include "micg/support/assert.hpp"
+
+namespace micg::bfs {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+bfs_result seq_bfs(const csr_graph& g, vertex_t source) {
+  const vertex_t n = g.num_vertices();
+  MICG_CHECK(source >= 0 && source < n, "source out of range");
+
+  bfs_result r;
+  r.level.assign(static_cast<std::size_t>(n), -1);
+
+  // The FIFO is one flat array with a read head: push_back is the enqueue,
+  // advancing `head` is the dequeue (no deque overhead, and the array
+  // doubles as the visit order).
+  std::vector<vertex_t> fifo;
+  fifo.reserve(static_cast<std::size_t>(n));
+  r.level[static_cast<std::size_t>(source)] = 0;
+  fifo.push_back(source);
+
+  std::size_t level_end = 1;  // index one past the last level-0 vertex
+  r.frontier_sizes.push_back(1);
+  for (std::size_t head = 0; head < fifo.size(); ++head) {
+    if (head == level_end) {
+      r.frontier_sizes.push_back(fifo.size() - level_end);
+      level_end = fifo.size();
+    }
+    const vertex_t v = fifo[head];
+    const int next_level = r.level[static_cast<std::size_t>(v)] + 1;
+    for (vertex_t w : g.neighbors(v)) {
+      if (r.level[static_cast<std::size_t>(w)] == -1) {
+        r.level[static_cast<std::size_t>(w)] = next_level;
+        fifo.push_back(w);
+      }
+    }
+  }
+  r.reached = fifo.size();
+  r.num_levels = static_cast<int>(r.frontier_sizes.size());
+  return r;
+}
+
+}  // namespace micg::bfs

@@ -1,0 +1,28 @@
+// Sequential FIFO breadth-first search (Algorithm 6 of the paper) — the
+// correctness reference and the 1-thread baseline for every parallel
+// variant.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+
+namespace micg::bfs {
+
+struct bfs_result {
+  /// Per-vertex BFS level; source = 0, unreachable = -1.
+  std::vector<int> level;
+  /// Number of levels (max level + 1); 0 for an empty graph.
+  int num_levels = 0;
+  /// Vertices discovered at each level; frontier_sizes[0] == 1 (source).
+  std::vector<std::size_t> frontier_sizes;
+  /// Vertices reached (== sum of frontier_sizes).
+  std::size_t reached = 0;
+};
+
+/// Textbook queue-based BFS from `source`.
+bfs_result seq_bfs(const micg::graph::csr_graph& g,
+                   micg::graph::vertex_t source);
+
+}  // namespace micg::bfs

@@ -1,0 +1,33 @@
+#include "micg/bfs/tls_queue.hpp"
+
+#include "micg/support/assert.hpp"
+
+namespace micg::bfs {
+
+tls_frontier::tls_frontier(int max_workers)
+    : locals_(std::make_unique<
+              micg::padded<std::vector<micg::graph::vertex_t>>[]>(
+          static_cast<std::size_t>(max_workers))),
+      max_workers_(max_workers) {
+  MICG_CHECK(max_workers >= 1, "need at least one worker");
+}
+
+void tls_frontier::merge_into(std::vector<micg::graph::vertex_t>& out) {
+  out.clear();
+  out.reserve(total_size());
+  for (int w = 0; w < max_workers_; ++w) {
+    auto& local = locals_[static_cast<std::size_t>(w)].value;
+    out.insert(out.end(), local.begin(), local.end());
+    local.clear();
+  }
+}
+
+std::size_t tls_frontier::total_size() const {
+  std::size_t total = 0;
+  for (int w = 0; w < max_workers_; ++w) {
+    total += locals_[static_cast<std::size_t>(w)].value.size();
+  }
+  return total;
+}
+
+}  // namespace micg::bfs

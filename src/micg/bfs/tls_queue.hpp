@@ -1,0 +1,42 @@
+// Thread-local-storage frontier (the SNAP approach, §IV-C of the paper):
+// each thread accumulates next-level vertices in a private queue; at the
+// end of the level the local queues are concatenated into one global
+// queue. A vertex is claimed with an atomic compare-and-swap on its level
+// before insertion ("locks a vertex before adding it to local queue to
+// guarantee that only one instance of that vertex will be added"), with
+// the paper's improvement of checking the visited state first.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/support/cacheline.hpp"
+
+namespace micg::bfs {
+
+class tls_frontier {
+ public:
+  explicit tls_frontier(int max_workers);
+
+  /// Append to the calling worker's private queue (no synchronization).
+  void push(int worker, micg::graph::vertex_t v) {
+    locals_[static_cast<std::size_t>(worker)].value.push_back(v);
+  }
+
+  /// Concatenate all local queues into `out` (cleared first) and clear the
+  /// locals. Sequential merge, as in SNAP — its cost is part of what the
+  /// paper measures for OpenMP-TLS.
+  void merge_into(std::vector<micg::graph::vertex_t>& out);
+
+  /// Total queued entries across workers.
+  [[nodiscard]] std::size_t total_size() const;
+
+ private:
+  std::unique_ptr<micg::padded<std::vector<micg::graph::vertex_t>>[]>
+      locals_;
+  int max_workers_;
+};
+
+}  // namespace micg::bfs

@@ -1,0 +1,46 @@
+#include "micg/bfs/validate.hpp"
+
+#include <cstdlib>
+
+#include "micg/bfs/seq.hpp"
+
+namespace micg::bfs {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+bool is_valid_bfs_levels(const csr_graph& g, vertex_t source,
+                         std::span<const int> level) {
+  const vertex_t n = g.num_vertices();
+  if (static_cast<vertex_t>(level.size()) != n) return false;
+  if (source < 0 || source >= n) return false;
+  if (level[static_cast<std::size_t>(source)] != 0) return false;
+
+  for (vertex_t v = 0; v < n; ++v) {
+    const int lv = level[static_cast<std::size_t>(v)];
+    if (lv < -1) return false;
+    bool has_parent = lv <= 0;  // source and unreached need no parent
+    for (vertex_t w : g.neighbors(v)) {
+      const int lw = level[static_cast<std::size_t>(w)];
+      // A labeled vertex cannot touch an unlabeled one, and adjacent
+      // labels differ by at most 1 (triangle property of BFS).
+      if ((lv == -1) != (lw == -1)) return false;
+      if (lv != -1 && std::abs(lv - lw) > 1) return false;
+      if (lv > 0 && lw == lv - 1) has_parent = true;
+    }
+    if (!has_parent) return false;
+  }
+
+  // Level-by-level agreement with the sequential reference (levels are
+  // unique, so this is both sound and complete).
+  const auto ref = seq_bfs(g, source);
+  for (vertex_t v = 0; v < n; ++v) {
+    if (ref.level[static_cast<std::size_t>(v)] !=
+        level[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace micg::bfs

@@ -1,0 +1,19 @@
+// BFS result validation: BFS levels are unique, so any correct variant
+// must produce the exact level array of the sequential reference.
+#pragma once
+
+#include <span>
+
+#include "micg/graph/csr.hpp"
+
+namespace micg::bfs {
+
+/// True iff `level` is a correct BFS level assignment from `source`:
+/// level[source] == 0; every edge differs by at most one level; every
+/// vertex with level k > 0 has a neighbor at level k-1; vertices in the
+/// source's component are all labeled and others are -1.
+bool is_valid_bfs_levels(const micg::graph::csr_graph& g,
+                         micg::graph::vertex_t source,
+                         std::span<const int> level);
+
+}  // namespace micg::bfs

@@ -1,0 +1,155 @@
+#include "micg/color/distance2.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "micg/rt/reducer.hpp"
+#include "micg/rt/tls.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::color {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+namespace {
+
+/// Scratch capacity: first-fit distance-2 never needs more than
+/// min(Delta^2 + 2, n + 1) slots.
+std::size_t d2_capacity(const csr_graph& g) {
+  const auto d = static_cast<std::size_t>(g.max_degree());
+  const auto by_degree = d * d + 2;
+  const auto by_n = static_cast<std::size_t>(g.num_vertices()) + 2;
+  return std::min(by_degree, by_n);
+}
+
+/// Visit the distance <= 2 neighborhood of v (excluding v itself; w == v
+/// two-hop paths are skipped).
+template <typename F>
+void for_d2_neighborhood(const csr_graph& g, vertex_t v, F&& f) {
+  for (vertex_t w : g.neighbors(v)) {
+    f(w);
+    for (vertex_t x : g.neighbors(w)) {
+      if (x != v) f(x);
+    }
+  }
+}
+
+}  // namespace
+
+coloring greedy_color_distance2(const csr_graph& g) {
+  const vertex_t n = g.num_vertices();
+  coloring result;
+  result.color.assign(static_cast<std::size_t>(n), 0);
+  forbidden_marks forbidden(d2_capacity(g));
+  int maxcolor = 0;
+  for (vertex_t v = 0; v < n; ++v) {
+    for_d2_neighborhood(g, v, [&](vertex_t u) {
+      forbidden.forbid(result.color[static_cast<std::size_t>(u)], v);
+    });
+    const int c = forbidden.first_allowed(v);
+    result.color[static_cast<std::size_t>(v)] = c;
+    maxcolor = std::max(maxcolor, c);
+  }
+  result.num_colors = maxcolor;
+  return result;
+}
+
+bool is_valid_distance2_coloring(const csr_graph& g,
+                                 std::span<const int> color) {
+  const vertex_t n = g.num_vertices();
+  if (static_cast<vertex_t>(color.size()) != n) return false;
+  for (vertex_t v = 0; v < n; ++v) {
+    if (color[static_cast<std::size_t>(v)] < 1) return false;
+    bool ok = true;
+    for_d2_neighborhood(g, v, [&](vertex_t u) {
+      if (u != v && color[static_cast<std::size_t>(u)] ==
+                        color[static_cast<std::size_t>(v)]) {
+        ok = false;
+      }
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+iterative_result iterative_color_distance2(const csr_graph& g,
+                                           const iterative_options& opt) {
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
+  const vertex_t n = g.num_vertices();
+  const std::size_t cap = d2_capacity(g);
+
+  std::vector<std::atomic<int>> color(static_cast<std::size_t>(n));
+  for (auto& c : color) c.store(0, std::memory_order_relaxed);
+
+  std::vector<vertex_t> visit(static_cast<std::size_t>(n));
+  std::iota(visit.begin(), visit.end(), vertex_t{0});
+
+  rt::enumerable_thread_specific<forbidden_marks> scratch(
+      opt.ex.threads, [cap] { return forbidden_marks(cap); });
+
+  iterative_result result;
+  std::vector<vertex_t> conflicts(visit.size());
+
+  while (!visit.empty()) {
+    MICG_CHECK(result.rounds < opt.max_rounds,
+               "iterative distance-2 coloring failed to converge");
+    ++result.rounds;
+
+    rt::for_range(opt.ex, static_cast<std::int64_t>(visit.size()),
+                  [&](std::int64_t b, std::int64_t e, int) {
+                    forbidden_marks& marks = scratch.local();
+                    for (std::int64_t i = b; i < e; ++i) {
+                      const vertex_t v = visit[static_cast<std::size_t>(i)];
+                      for_d2_neighborhood(g, v, [&](vertex_t u) {
+                        marks.forbid(
+                            color[static_cast<std::size_t>(u)].load(
+                                std::memory_order_relaxed),
+                            v);
+                      });
+                      color[static_cast<std::size_t>(v)].store(
+                          marks.first_allowed(v), std::memory_order_relaxed);
+                    }
+                  });
+
+    conflicts.resize(visit.size());
+    std::atomic<std::size_t> cursor{0};
+    rt::for_range(
+        opt.ex, static_cast<std::int64_t>(visit.size()),
+        [&](std::int64_t b, std::int64_t e, int) {
+          for (std::int64_t i = b; i < e; ++i) {
+            const vertex_t v = visit[static_cast<std::size_t>(i)];
+            const int cv = color[static_cast<std::size_t>(v)].load(
+                std::memory_order_relaxed);
+            bool conflicted = false;
+            for_d2_neighborhood(g, v, [&](vertex_t u) {
+              if (!conflicted && v < u &&
+                  cv == color[static_cast<std::size_t>(u)].load(
+                            std::memory_order_relaxed)) {
+                conflicted = true;
+              }
+            });
+            if (conflicted) {
+              conflicts[cursor.fetch_add(1, std::memory_order_relaxed)] = v;
+            }
+          }
+        });
+    conflicts.resize(cursor.load(std::memory_order_relaxed));
+    result.conflicts_per_round.push_back(conflicts.size());
+    visit.swap(conflicts);
+  }
+
+  result.color.resize(static_cast<std::size_t>(n));
+  int maxc = 0;
+  for (vertex_t v = 0; v < n; ++v) {
+    const int c =
+        color[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+    result.color[static_cast<std::size_t>(v)] = c;
+    maxc = std::max(maxc, c);
+  }
+  result.num_colors = maxc;
+  return result;
+}
+
+}  // namespace micg::color

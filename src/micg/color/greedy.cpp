@@ -1,0 +1,51 @@
+#include "micg/color/greedy.hpp"
+
+#include <algorithm>
+
+#include "micg/graph/permute.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::color {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+namespace {
+
+coloring greedy_color_impl(const csr_graph& g,
+                           std::span<const vertex_t> order) {
+  const vertex_t n = g.num_vertices();
+  coloring result;
+  result.color.assign(static_cast<std::size_t>(n), 0);
+  forbidden_marks forbidden(static_cast<std::size_t>(g.max_degree()) + 2);
+  int maxcolor = 0;
+  for (vertex_t v : order) {
+    for (vertex_t w : g.neighbors(v)) {
+      forbidden.forbid(result.color[static_cast<std::size_t>(w)], v);
+    }
+    const int c = forbidden.first_allowed(v);
+    result.color[static_cast<std::size_t>(v)] = c;
+    maxcolor = std::max(maxcolor, c);
+  }
+  result.num_colors = maxcolor;
+  return result;
+}
+
+}  // namespace
+
+coloring greedy_color(const csr_graph& g) {
+  const auto order = micg::graph::identity_permutation(g.num_vertices());
+  return greedy_color_impl(g, order);
+}
+
+coloring greedy_color(const csr_graph& g,
+                      std::span<const vertex_t> order) {
+  MICG_CHECK(static_cast<vertex_t>(order.size()) == g.num_vertices(),
+             "order must cover every vertex exactly once");
+  std::vector<vertex_t> check(order.begin(), order.end());
+  MICG_CHECK(micg::graph::is_permutation(check),
+             "order must be a permutation of the vertex set");
+  return greedy_color_impl(g, order);
+}
+
+}  // namespace micg::color

@@ -1,0 +1,63 @@
+// Sequential greedy graph coloring (Algorithm 1 of the paper).
+//
+// Visits vertices in a given order and assigns the smallest permissible
+// color (First Fit). Guarantees at most Delta+1 colors for any order; for
+// some orders the result is optimal [Culberson 92].
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+
+namespace micg::color {
+
+/// Colors are 1-based like the paper's pseudocode; 0 means "uncolored".
+struct coloring {
+  std::vector<int> color;  ///< per-vertex color, size |V|
+  int num_colors = 0;      ///< max color used
+};
+
+/// First-fit greedy coloring in natural vertex order (SeqGreedyColoring).
+coloring greedy_color(const micg::graph::csr_graph& g);
+
+/// First-fit greedy coloring visiting vertices in `order` (a permutation of
+/// the vertex set; checked).
+coloring greedy_color(const micg::graph::csr_graph& g,
+                      std::span<const micg::graph::vertex_t> order);
+
+/// Scratch array for first-fit: forbidden[c] holds the id of the vertex
+/// currently being colored when color c is forbidden for it. The stamp
+/// trick means the array is initialized once, not once per vertex.
+class forbidden_marks {
+ public:
+  /// Capacity must exceed the largest color that can be encountered;
+  /// Delta+2 always suffices for distance-1 first-fit.
+  explicit forbidden_marks(std::size_t capacity)
+      : marks_(capacity, micg::graph::invalid_vertex) {}
+
+  /// Mark `c` as forbidden for vertex `v`. Colors outside capacity are
+  /// ignored (they can never be the first-fit answer).
+  void forbid(int c, micg::graph::vertex_t v) {
+    if (c > 0 && static_cast<std::size_t>(c) < marks_.size()) {
+      marks_[static_cast<std::size_t>(c)] = v;
+    }
+  }
+
+  /// Smallest color >= 1 not forbidden for `v`.
+  [[nodiscard]] int first_allowed(micg::graph::vertex_t v) const {
+    int c = 1;
+    while (static_cast<std::size_t>(c) < marks_.size() &&
+           marks_[static_cast<std::size_t>(c)] == v) {
+      ++c;
+    }
+    return c;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return marks_.size(); }
+
+ private:
+  std::vector<micg::graph::vertex_t> marks_;
+};
+
+}  // namespace micg::color

@@ -1,0 +1,145 @@
+#include "micg/color/iterative.hpp"
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+
+#include "micg/rt/reducer.hpp"
+#include "micg/rt/tls.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::color {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+namespace {
+
+/// Per-thread forbidden-color scratch, either preallocated per worker id
+/// (OpenMP / Cilk-tid variants: "localFC are stored contiguously in memory
+/// ... each thread obtains a pointer ... using their thread IDs as an
+/// offset", §IV-A1) or created on demand as views (Cilk holder / TBB
+/// enumerable_thread_specific, §IV-A2/3).
+class scratch_provider {
+ public:
+  scratch_provider(rt::backend kind, int threads, std::size_t capacity)
+      : by_worker_id_(kind == rt::backend::omp_static ||
+                      kind == rt::backend::omp_static_chunked ||
+                      kind == rt::backend::omp_dynamic ||
+                      kind == rt::backend::omp_guided ||
+                      kind == rt::backend::cilk_tid),
+        views_(threads, [capacity] { return forbidden_marks(capacity); }) {
+    if (by_worker_id_) {
+      slots_.reserve(static_cast<std::size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        slots_.push_back(std::make_unique<forbidden_marks>(capacity));
+      }
+    }
+  }
+
+  forbidden_marks& get(int worker) {
+    if (by_worker_id_) return *slots_[static_cast<std::size_t>(worker)];
+    return views_.local();
+  }
+
+  [[nodiscard]] bool uses_worker_id() const { return by_worker_id_; }
+
+ private:
+  bool by_worker_id_;
+  std::vector<std::unique_ptr<forbidden_marks>> slots_;
+  rt::enumerable_thread_specific<forbidden_marks> views_;
+};
+
+}  // namespace
+
+iterative_result iterative_color(const csr_graph& g,
+                                 const iterative_options& opt) {
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
+  MICG_CHECK(opt.max_rounds >= 1, "need at least one round");
+  const vertex_t n = g.num_vertices();
+  const auto cap = static_cast<std::size_t>(g.max_degree()) + 2;
+
+  // Colors are written/read concurrently by design (speculation): relaxed
+  // atomics make the benign race well-defined without costing anything on
+  // x86 (plain loads/stores).
+  std::vector<std::atomic<int>> color(static_cast<std::size_t>(n));
+  for (auto& c : color) c.store(0, std::memory_order_relaxed);
+
+  std::vector<vertex_t> visit(static_cast<std::size_t>(n));
+  std::iota(visit.begin(), visit.end(), vertex_t{0});
+
+  scratch_provider scratch(opt.ex.kind, opt.ex.threads, cap);
+  rt::reducer_max<int> maxcolor(opt.ex.threads, 0);
+
+  iterative_result result;
+  std::vector<vertex_t> conflicts(visit.size());
+
+  while (!visit.empty()) {
+    MICG_CHECK(result.rounds < opt.max_rounds,
+               "iterative coloring failed to converge");
+    ++result.rounds;
+
+    // --- ParTentativeColoring (Algorithm 3) --------------------------------
+    rt::for_range(opt.ex, static_cast<std::int64_t>(visit.size()),
+                  [&](std::int64_t b, std::int64_t e, int worker) {
+                    forbidden_marks& marks = scratch.get(worker);
+                    for (std::int64_t i = b; i < e; ++i) {
+                      const vertex_t v = visit[static_cast<std::size_t>(i)];
+                      for (vertex_t w : g.neighbors(v)) {
+                        marks.forbid(color[static_cast<std::size_t>(w)].load(
+                                         std::memory_order_relaxed),
+                                     v);
+                      }
+                      const int c = marks.first_allowed(v);
+                      color[static_cast<std::size_t>(v)].store(
+                          c, std::memory_order_relaxed);
+                      maxcolor.update(c);
+                    }
+                  });
+
+    // --- ParDetectConflict (Algorithm 4) -----------------------------------
+    // "the number of conflicting vertices is usually low, we use an atomic
+    // fetch and add to obtain a unique index in the Conflict array" (§IV-A).
+    conflicts.resize(visit.size());
+    std::atomic<std::size_t> cursor{0};
+    rt::for_range(
+        opt.ex, static_cast<std::int64_t>(visit.size()),
+        [&](std::int64_t b, std::int64_t e, int) {
+          for (std::int64_t i = b; i < e; ++i) {
+            const vertex_t v = visit[static_cast<std::size_t>(i)];
+            const int cv = color[static_cast<std::size_t>(v)].load(
+                std::memory_order_relaxed);
+            for (vertex_t w : g.neighbors(v)) {
+              if (cv == color[static_cast<std::size_t>(w)].load(
+                            std::memory_order_relaxed) &&
+                  v < w) {
+                const std::size_t idx =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                conflicts[idx] = v;
+                break;
+              }
+            }
+          }
+        });
+    conflicts.resize(cursor.load(std::memory_order_relaxed));
+    result.conflicts_per_round.push_back(conflicts.size());
+    visit.swap(conflicts);
+  }
+
+  result.color.resize(static_cast<std::size_t>(n));
+  int exact_max = 0;
+  for (vertex_t v = 0; v < n; ++v) {
+    const int c =
+        color[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+    result.color[static_cast<std::size_t>(v)] = c;
+    exact_max = std::max(exact_max, c);
+  }
+  // The reducer tracks the max over *tentative* colors across all rounds;
+  // repairs can recolor the sole holder of the top color downward, so the
+  // exact count comes from the final array (reducer is an upper bound).
+  MICG_ASSERT(maxcolor.get() >= exact_max);
+  result.num_colors = exact_max;
+  return result;
+}
+
+}  // namespace micg::color

@@ -1,0 +1,49 @@
+// Iterative parallel greedy coloring — Algorithms 2–4 of the paper
+// (Gebremedhin–Manne speculation + Bozdağ et al. iterative conflict
+// resolution, as implemented for multithreaded machines by Çatalyürek et
+// al. [17]).
+//
+// Each round speculatively first-fit colors the Visit set in parallel
+// (ParTentativeColoring), then detects conflicting vertices in parallel
+// (ParDetectConflict); the conflict set becomes the next round's Visit set.
+// Benign data races on the color array are intentional and contained in
+// relaxed atomics; the conflict queue index is an atomic fetch-and-add
+// (§IV-A).
+//
+// The execution backend (OpenMP-style schedule / Cilk-style work stealing /
+// TBB-style partitioner), thread count and chunk size come from rt::exec,
+// so one implementation covers all nine variants of Figure 1. Per-thread
+// forbidden-color scratch is selected per the paper: worker-id-indexed
+// arrays for the OpenMP and Cilk-tid variants, on-demand views
+// (holder / enumerable_thread_specific) for Cilk-holder and all TBB
+// variants.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "micg/color/greedy.hpp"
+#include "micg/graph/csr.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::color {
+
+struct iterative_options {
+  rt::exec ex;            ///< backend, threads, chunk size
+  int max_rounds = 1000;  ///< safety bound; the algorithm converges long before
+};
+
+struct iterative_result {
+  std::vector<int> color;  ///< valid coloring (1-based)
+  int num_colors = 0;
+  int rounds = 0;  ///< tentative/detect iterations executed
+  /// Conflicts detected after round r (size == rounds; last entry is 0).
+  std::vector<std::size_t> conflicts_per_round;
+};
+
+/// Run the iterative parallel coloring. The result is always a valid
+/// coloring (a MICG_CHECK enforces convergence within max_rounds).
+iterative_result iterative_color(const micg::graph::csr_graph& g,
+                                 const iterative_options& opt);
+
+}  // namespace micg::color

@@ -1,0 +1,93 @@
+#include "micg/color/jones_plassmann.hpp"
+
+#include <atomic>
+#include <numeric>
+
+#include "micg/graph/permute.hpp"
+#include "micg/rt/tls.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::color {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+iterative_result jones_plassmann_color(const csr_graph& g,
+                                       const jp_options& opt) {
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
+  const vertex_t n = g.num_vertices();
+
+  // Random priorities: a permutation gives distinct values (ties would
+  // deadlock the local-max rule).
+  const auto priority = micg::graph::random_permutation(n, opt.seed);
+
+  std::vector<std::atomic<int>> color(static_cast<std::size_t>(n));
+  for (auto& c : color) c.store(0, std::memory_order_relaxed);
+
+  const auto cap = static_cast<std::size_t>(g.max_degree()) + 2;
+  rt::enumerable_thread_specific<forbidden_marks> scratch(
+      opt.ex.threads, [cap] { return forbidden_marks(cap); });
+
+  std::vector<vertex_t> active(static_cast<std::size_t>(n));
+  std::iota(active.begin(), active.end(), vertex_t{0});
+  std::vector<vertex_t> next(active.size());
+
+  iterative_result result;
+  while (!active.empty()) {
+    MICG_CHECK(result.rounds < opt.max_rounds,
+               "Jones-Plassmann failed to converge");
+    ++result.rounds;
+    std::atomic<std::size_t> cursor{0};
+    next.resize(active.size());
+
+    rt::for_range(
+        opt.ex, static_cast<std::int64_t>(active.size()),
+        [&](std::int64_t b, std::int64_t e, int) {
+          forbidden_marks& marks = scratch.local();
+          for (std::int64_t i = b; i < e; ++i) {
+            const vertex_t v = active[static_cast<std::size_t>(i)];
+            // Local max among *uncolored* neighbors?
+            bool is_max = true;
+            for (vertex_t w : g.neighbors(v)) {
+              if (color[static_cast<std::size_t>(w)].load(
+                      std::memory_order_relaxed) == 0 &&
+                  priority[static_cast<std::size_t>(w)] >
+                      priority[static_cast<std::size_t>(v)]) {
+                is_max = false;
+                break;
+              }
+            }
+            if (!is_max) {
+              next[cursor.fetch_add(1, std::memory_order_relaxed)] = v;
+              continue;
+            }
+            // Safe to color: all higher-priority neighbors are done and
+            // no same-round neighbor can also be a local max.
+            for (vertex_t w : g.neighbors(v)) {
+              marks.forbid(color[static_cast<std::size_t>(w)].load(
+                               std::memory_order_relaxed),
+                           v);
+            }
+            color[static_cast<std::size_t>(v)].store(
+                marks.first_allowed(v), std::memory_order_relaxed);
+          }
+        });
+
+    next.resize(cursor.load(std::memory_order_relaxed));
+    active.swap(next);
+    result.conflicts_per_round.push_back(0);  // by construction
+  }
+
+  result.color.resize(static_cast<std::size_t>(n));
+  int maxc = 0;
+  for (vertex_t v = 0; v < n; ++v) {
+    const int c =
+        color[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+    result.color[static_cast<std::size_t>(v)] = c;
+    maxc = std::max(maxc, c);
+  }
+  result.num_colors = maxc;
+  return result;
+}
+
+}  // namespace micg::color

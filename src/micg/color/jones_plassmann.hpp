@@ -1,0 +1,30 @@
+// Jones–Plassmann parallel coloring — the classic conflict-free
+// alternative to the paper's speculate-and-repair scheme, provided as the
+// comparison baseline (the paper's related work [16] contrasts both
+// families). Each vertex gets a random priority; in each round, every
+// uncolored vertex that is a local maximum among its uncolored neighbors
+// colors itself first-fit. No conflicts ever occur, at the price of many
+// more rounds than the iterative algorithm — exactly the trade-off
+// bench/ablate_coloring_algo quantifies.
+#pragma once
+
+#include <cstdint>
+
+#include "micg/color/iterative.hpp"
+#include "micg/graph/csr.hpp"
+
+namespace micg::color {
+
+struct jp_options {
+  rt::exec ex;
+  std::uint64_t seed = 1;  ///< priority permutation seed
+  int max_rounds = 1 << 20;
+};
+
+/// Run Jones–Plassmann. The result's `rounds` counts priority rounds and
+/// `conflicts_per_round` is always all-zero (kept for interface parity
+/// with iterative_color).
+iterative_result jones_plassmann_color(const micg::graph::csr_graph& g,
+                                       const jp_options& opt);
+
+}  // namespace micg::color

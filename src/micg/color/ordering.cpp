@@ -1,0 +1,128 @@
+#include "micg/color/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::color {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+std::vector<vertex_t> largest_first_order(const csr_graph& g) {
+  std::vector<vertex_t> order(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(order.begin(), order.end(), vertex_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](vertex_t a, vertex_t b) {
+                     return g.degree(a) > g.degree(b);
+                   });
+  return order;
+}
+
+namespace {
+
+/// Smallest-last elimination; returns (reverse removal order, degeneracy).
+/// Bucket queue implementation, O(|V| + |E|).
+std::pair<std::vector<vertex_t>, int> smallest_last_impl(
+    const csr_graph& g) {
+  const vertex_t n = g.num_vertices();
+  std::vector<int> deg(static_cast<std::size_t>(n));
+  const auto max_deg = static_cast<std::size_t>(g.max_degree());
+  std::vector<std::vector<vertex_t>> buckets(max_deg + 1);
+  for (vertex_t v = 0; v < n; ++v) {
+    deg[static_cast<std::size_t>(v)] = static_cast<int>(g.degree(v));
+    buckets[static_cast<std::size_t>(g.degree(v))].push_back(v);
+  }
+  std::vector<bool> removed(static_cast<std::size_t>(n), false);
+  std::vector<vertex_t> removal;
+  removal.reserve(static_cast<std::size_t>(n));
+  int degen = 0;
+  std::size_t cursor = 0;  // lowest possibly-non-empty bucket
+  for (vertex_t count = 0; count < n; ++count) {
+    // Find the lowest non-empty bucket with a live vertex.
+    while (true) {
+      while (cursor <= max_deg && buckets[cursor].empty()) ++cursor;
+      MICG_CHECK(cursor <= max_deg, "elimination ran out of vertices");
+      const vertex_t v = buckets[cursor].back();
+      buckets[cursor].pop_back();
+      if (removed[static_cast<std::size_t>(v)] ||
+          deg[static_cast<std::size_t>(v)] !=
+              static_cast<int>(cursor)) {
+        continue;  // stale entry
+      }
+      removed[static_cast<std::size_t>(v)] = true;
+      removal.push_back(v);
+      degen = std::max(degen, static_cast<int>(cursor));
+      for (vertex_t w : g.neighbors(v)) {
+        if (!removed[static_cast<std::size_t>(w)]) {
+          const int dw = --deg[static_cast<std::size_t>(w)];
+          buckets[static_cast<std::size_t>(dw)].push_back(w);
+          if (static_cast<std::size_t>(dw) < cursor) {
+            cursor = static_cast<std::size_t>(dw);
+          }
+        }
+      }
+      break;
+    }
+  }
+  std::reverse(removal.begin(), removal.end());
+  return {std::move(removal), degen};
+}
+
+}  // namespace
+
+std::vector<vertex_t> smallest_last_order(const csr_graph& g) {
+  return smallest_last_impl(g).first;
+}
+
+int degeneracy(const csr_graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  return smallest_last_impl(g).second;
+}
+
+std::vector<vertex_t> incidence_order(const csr_graph& g) {
+  const vertex_t n = g.num_vertices();
+  std::vector<int> back_degree(static_cast<std::size_t>(n), 0);
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  const auto max_deg = static_cast<std::size_t>(g.max_degree());
+  // Bucket queue keyed by back-degree (monotone non-decreasing per
+  // vertex), highest bucket first.
+  std::vector<std::vector<vertex_t>> buckets(max_deg + 1);
+  for (vertex_t v = 0; v < n; ++v) buckets[0].push_back(v);
+  std::vector<vertex_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::size_t cursor = 0;  // highest possibly-non-empty bucket
+  for (vertex_t count = 0; count < n; ++count) {
+    for (;;) {
+      while (buckets[cursor].empty()) {
+        MICG_CHECK(cursor > 0 || !buckets[0].empty(),
+                   "incidence order ran out of vertices");
+        if (cursor == 0) break;
+        --cursor;
+      }
+      const vertex_t v = buckets[cursor].back();
+      buckets[cursor].pop_back();
+      if (visited[static_cast<std::size_t>(v)] ||
+          back_degree[static_cast<std::size_t>(v)] !=
+              static_cast<int>(cursor)) {
+        continue;  // stale
+      }
+      visited[static_cast<std::size_t>(v)] = true;
+      order.push_back(v);
+      for (vertex_t w : g.neighbors(v)) {
+        if (!visited[static_cast<std::size_t>(w)]) {
+          const int bw = ++back_degree[static_cast<std::size_t>(w)];
+          buckets[static_cast<std::size_t>(bw)].push_back(w);
+          if (static_cast<std::size_t>(bw) > cursor) {
+            cursor = static_cast<std::size_t>(bw);
+          }
+        }
+      }
+      break;
+    }
+  }
+  return order;
+}
+
+}  // namespace micg::color

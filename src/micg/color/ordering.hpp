@@ -1,0 +1,38 @@
+// Vertex visit orders for greedy coloring.
+//
+// "for some orderings of the vertices it will produce an optimal
+// coloring" (§III-A, citing Culberson). The paper evaluates natural and
+// random orders; these classical degree-based orders (Welsh–Powell
+// largest-first, Matula smallest-last, incidence) are provided for
+// coloring-quality studies and the ordering ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+
+namespace micg::color {
+
+/// Vertices sorted by non-increasing degree (Welsh–Powell). Stable for
+/// equal degrees (ties in id order), so the result is deterministic.
+std::vector<micg::graph::vertex_t> largest_first_order(
+    const micg::graph::csr_graph& g);
+
+/// Matula's smallest-last order: repeatedly remove a minimum-degree
+/// vertex from the (shrinking) graph; color in reverse removal order.
+/// First-fit on this order uses at most degeneracy+1 colors.
+std::vector<micg::graph::vertex_t> smallest_last_order(
+    const micg::graph::csr_graph& g);
+
+/// Incidence order: grow from vertex 0, always next visiting the
+/// unvisited vertex with the most already-visited neighbors.
+std::vector<micg::graph::vertex_t> incidence_order(
+    const micg::graph::csr_graph& g);
+
+/// Degeneracy of the graph (max over the smallest-last elimination of the
+/// degree at removal time); a lower bound quality yardstick since
+/// first-fit on smallest-last uses <= degeneracy+1 colors.
+int degeneracy(const micg::graph::csr_graph& g);
+
+}  // namespace micg::color

@@ -1,0 +1,52 @@
+#include "micg/color/verify.hpp"
+
+#include <algorithm>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::color {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+bool is_valid_coloring(const csr_graph& g, std::span<const int> color) {
+  const vertex_t n = g.num_vertices();
+  if (static_cast<vertex_t>(color.size()) != n) return false;
+  for (vertex_t v = 0; v < n; ++v) {
+    if (color[static_cast<std::size_t>(v)] < 1) return false;
+    for (vertex_t w : g.neighbors(v)) {
+      if (color[static_cast<std::size_t>(v)] ==
+          color[static_cast<std::size_t>(w)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<vertex_t> find_conflicts(const csr_graph& g,
+                                     std::span<const int> color) {
+  MICG_CHECK(static_cast<vertex_t>(color.size()) == g.num_vertices(),
+             "color array size mismatch");
+  std::vector<vertex_t> conflicts;
+  const vertex_t n = g.num_vertices();
+  for (vertex_t v = 0; v < n; ++v) {
+    for (vertex_t w : g.neighbors(v)) {
+      if (color[static_cast<std::size_t>(v)] ==
+              color[static_cast<std::size_t>(w)] &&
+          v < w) {
+        conflicts.push_back(v);
+        break;
+      }
+    }
+  }
+  return conflicts;
+}
+
+int count_colors(std::span<const int> color) {
+  int maxc = 0;
+  for (int c : color) maxc = std::max(maxc, c);
+  return maxc;
+}
+
+}  // namespace micg::color

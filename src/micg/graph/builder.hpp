@@ -1,0 +1,39 @@
+// Edge-list to CSR conversion: symmetrize, sort, deduplicate, drop self
+// loops. All generators and the MatrixMarket reader funnel through here so
+// every csr_graph in the library satisfies the same invariants.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+
+namespace micg::graph {
+
+/// Accumulates undirected edges, then builds a canonical CSR graph.
+class graph_builder {
+ public:
+  explicit graph_builder(vertex_t num_vertices);
+
+  /// Record the undirected edge {u, v}. Self loops and duplicates are
+  /// accepted here and removed at build(). Ids must be in range.
+  void add_edge(vertex_t u, vertex_t v);
+
+  /// Pre-size the internal edge buffer.
+  void reserve(std::size_t num_edges);
+
+  [[nodiscard]] std::size_t pending_edges() const { return edges_.size(); }
+
+  /// Build the graph. The builder is consumed (edge buffer released).
+  csr_graph build() &&;
+
+ private:
+  vertex_t n_;
+  std::vector<std::pair<vertex_t, vertex_t>> edges_;
+};
+
+/// One-shot helper.
+csr_graph csr_from_edges(vertex_t num_vertices,
+                         const std::vector<std::pair<vertex_t, vertex_t>>& edges);
+
+}  // namespace micg::graph

@@ -1,0 +1,87 @@
+#include "micg/graph/components.hpp"
+
+#include <atomic>
+#include <numeric>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::graph {
+
+components_result parallel_components(const csr_graph& g,
+                                      const rt::exec& ex) {
+  MICG_CHECK(ex.threads >= 1, "need at least one thread");
+  const vertex_t n = g.num_vertices();
+  components_result r;
+
+  // Atomic labels: hooking races are benign (min-combining converges
+  // regardless of interleaving) but must be data-race-free.
+  std::vector<std::atomic<vertex_t>> label(static_cast<std::size_t>(n));
+  for (vertex_t v = 0; v < n; ++v) {
+    label[static_cast<std::size_t>(v)].store(v, std::memory_order_relaxed);
+  }
+
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    ++r.rounds;
+    MICG_CHECK(r.rounds <= n + 2, "component labeling failed to converge");
+    changed.store(false, std::memory_order_relaxed);
+
+    // Hook: adopt the smallest label in the closed neighborhood.
+    rt::for_range(ex, n, [&](std::int64_t b, std::int64_t e, int) {
+      bool local_changed = false;
+      for (std::int64_t i = b; i < e; ++i) {
+        const auto v = static_cast<vertex_t>(i);
+        vertex_t best =
+            label[static_cast<std::size_t>(v)].load(
+                std::memory_order_relaxed);
+        for (vertex_t w : g.neighbors(v)) {
+          best = std::min(best,
+                          label[static_cast<std::size_t>(w)].load(
+                              std::memory_order_relaxed));
+        }
+        // min-update; lost races just mean another thread wrote smaller.
+        vertex_t cur = label[static_cast<std::size_t>(v)].load(
+            std::memory_order_relaxed);
+        while (best < cur &&
+               !label[static_cast<std::size_t>(v)]
+                    .compare_exchange_weak(cur, best,
+                                           std::memory_order_relaxed)) {
+        }
+        if (best < cur) local_changed = true;
+        if (label[static_cast<std::size_t>(v)].load(
+                std::memory_order_relaxed) != cur) {
+          local_changed = true;
+        }
+      }
+      if (local_changed) changed.store(true, std::memory_order_relaxed);
+    });
+
+    // Compress: pointer-jump labels toward roots (label[label[v]]).
+    rt::for_range(ex, n, [&](std::int64_t b, std::int64_t e, int) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const auto v = static_cast<vertex_t>(i);
+        vertex_t l = label[static_cast<std::size_t>(v)].load(
+            std::memory_order_relaxed);
+        vertex_t ll = label[static_cast<std::size_t>(l)].load(
+            std::memory_order_relaxed);
+        while (ll < l) {
+          label[static_cast<std::size_t>(v)].store(
+              ll, std::memory_order_relaxed);
+          l = ll;
+          ll = label[static_cast<std::size_t>(l)].load(
+              std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  r.label.resize(static_cast<std::size_t>(n));
+  for (vertex_t v = 0; v < n; ++v) {
+    r.label[static_cast<std::size_t>(v)] =
+        label[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+    if (r.label[static_cast<std::size_t>(v)] == v) ++r.num_components;
+  }
+  return r;
+}
+
+}  // namespace micg::graph

@@ -1,0 +1,25 @@
+// Parallel connected components via label propagation with pointer
+// jumping — the standard shared-memory formulation (Shiloach–Vishkin
+// style hooking + shortcutting). Runs on any rt::exec backend; the
+// sequential count_components() in props.hpp is its test oracle.
+#pragma once
+
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::graph {
+
+struct components_result {
+  /// label[v]: smallest vertex id in v's component (canonical form).
+  std::vector<vertex_t> label;
+  vertex_t num_components = 0;
+  int rounds = 0;  ///< hook+compress iterations until fixpoint
+};
+
+/// Label-propagation connected components.
+components_result parallel_components(const csr_graph& g,
+                                      const rt::exec& ex);
+
+}  // namespace micg::graph

@@ -1,0 +1,80 @@
+// Compressed sparse row graph — the one graph representation every kernel
+// in micgraph operates on. Undirected: each edge {u,v} is stored in both
+// adjacency lists, exactly like the symmetric sparse matrices the paper's
+// test graphs come from.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace micg::graph {
+
+/// Vertex id. 32-bit: the paper's largest graph has 952K vertices and the
+/// adjacency array dominates memory, so half-width ids double what fits in
+/// cache (Per.16: use compact data structures).
+using vertex_t = std::int32_t;
+
+/// Edge index into the adjacency array; 64-bit because 2*|E| can exceed
+/// 2^31 at full scale with room to spare.
+using edge_t = std::int64_t;
+
+/// Sentinel used by the block-accessed BFS queue (§IV-C) and by level
+/// arrays for "not yet visited".
+inline constexpr vertex_t invalid_vertex = -1;
+
+class csr_graph {
+ public:
+  csr_graph() = default;
+
+  /// Takes ownership of a prebuilt CSR structure. `xadj` has size n+1 with
+  /// xadj[0] == 0; `adj` has size xadj[n]. Adjacency lists must be sorted,
+  /// duplicate-free, self-loop-free, and symmetric (validated).
+  csr_graph(std::vector<edge_t> xadj, std::vector<vertex_t> adj);
+
+  /// Number of vertices |V|.
+  [[nodiscard]] vertex_t num_vertices() const {
+    return xadj_.empty() ? 0 : static_cast<vertex_t>(xadj_.size() - 1);
+  }
+
+  /// Number of undirected edges |E| (each stored twice internally).
+  [[nodiscard]] edge_t num_edges() const {
+    return static_cast<edge_t>(adj_.size()) / 2;
+  }
+
+  /// Size of the adjacency array (2|E|).
+  [[nodiscard]] edge_t num_directed_edges() const {
+    return static_cast<edge_t>(adj_.size());
+  }
+
+  /// Degree of v (named delta_v in the paper).
+  [[nodiscard]] std::int64_t degree(vertex_t v) const {
+    return xadj_[static_cast<std::size_t>(v) + 1] -
+           xadj_[static_cast<std::size_t>(v)];
+  }
+
+  /// Sorted neighbor list of v (adj(v) in the paper).
+  [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const {
+    const auto b = static_cast<std::size_t>(xadj_[static_cast<std::size_t>(v)]);
+    const auto e =
+        static_cast<std::size_t>(xadj_[static_cast<std::size_t>(v) + 1]);
+    return {adj_.data() + b, e - b};
+  }
+
+  /// Maximum degree Delta; computed once at construction.
+  [[nodiscard]] std::int64_t max_degree() const { return max_degree_; }
+
+  [[nodiscard]] const std::vector<edge_t>& xadj() const { return xadj_; }
+  [[nodiscard]] const std::vector<vertex_t>& adj() const { return adj_; }
+
+  /// Re-checks all representation invariants; throws micg::check_error on
+  /// violation. O(|E| log Delta).
+  void validate() const;
+
+ private:
+  std::vector<edge_t> xadj_;
+  std::vector<vertex_t> adj_;
+  std::int64_t max_degree_ = 0;
+};
+
+}  // namespace micg::graph

@@ -1,0 +1,227 @@
+#include "micg/graph/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+#include <vector>
+
+#include "micg/graph/builder.hpp"
+#include "micg/support/assert.hpp"
+#include "micg/support/rng.hpp"
+
+namespace micg::graph {
+
+csr_graph make_chain(vertex_t n) {
+  MICG_CHECK(n >= 1, "chain needs at least one vertex");
+  graph_builder b(n);
+  b.reserve(static_cast<std::size_t>(n));
+  for (vertex_t v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+csr_graph make_cycle(vertex_t n) {
+  MICG_CHECK(n >= 3, "cycle needs at least three vertices");
+  graph_builder b(n);
+  for (vertex_t v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return std::move(b).build();
+}
+
+csr_graph make_star(vertex_t n) {
+  MICG_CHECK(n >= 2, "star needs at least two vertices");
+  graph_builder b(n);
+  for (vertex_t v = 1; v < n; ++v) b.add_edge(0, v);
+  return std::move(b).build();
+}
+
+csr_graph make_complete(vertex_t n) {
+  MICG_CHECK(n >= 1, "complete graph needs at least one vertex");
+  graph_builder b(n);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (vertex_t v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+csr_graph make_kary_tree(int arity, int levels) {
+  MICG_CHECK(arity >= 1 && levels >= 1, "need arity >= 1 and levels >= 1");
+  // Count vertices: 1 + k + k^2 + ... + k^(levels-1).
+  std::int64_t n = 0;
+  std::int64_t layer = 1;
+  for (int l = 0; l < levels; ++l) {
+    n += layer;
+    layer *= arity;
+  }
+  MICG_CHECK(n < (1LL << 31), "tree too large for 32-bit vertex ids");
+  graph_builder b(static_cast<vertex_t>(n));
+  // Children of v are v*k+1 .. v*k+k in heap order (exact for k-ary heaps).
+  for (std::int64_t v = 0; v < n; ++v) {
+    for (int c = 1; c <= arity; ++c) {
+      const std::int64_t child = v * arity + c;
+      if (child < n) {
+        b.add_edge(static_cast<vertex_t>(v), static_cast<vertex_t>(child));
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+csr_graph make_grid_2d(vertex_t nx, vertex_t ny, bool diagonals) {
+  MICG_CHECK(nx >= 1 && ny >= 1, "grid dimensions must be positive");
+  graph_builder b(nx * ny);
+  auto id = [nx](vertex_t x, vertex_t y) { return y * nx + x; };
+  for (vertex_t y = 0; y < ny; ++y) {
+    for (vertex_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx) b.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) b.add_edge(id(x, y), id(x, y + 1));
+      if (diagonals && x + 1 < nx && y + 1 < ny) {
+        b.add_edge(id(x, y), id(x + 1, y + 1));
+      }
+      if (diagonals && x >= 1 && y + 1 < ny) {
+        b.add_edge(id(x, y), id(x - 1, y + 1));
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+csr_graph make_erdos_renyi(vertex_t n, double avg_degree,
+                           std::uint64_t seed) {
+  MICG_CHECK(n >= 2, "need at least two vertices");
+  MICG_CHECK(avg_degree >= 0.0, "negative degree");
+  const auto target = static_cast<std::int64_t>(
+      static_cast<double>(n) * avg_degree / 2.0);
+  xoshiro256ss rng(seed);
+  graph_builder b(n);
+  b.reserve(static_cast<std::size_t>(target));
+  for (std::int64_t i = 0; i < target; ++i) {
+    const auto u = static_cast<vertex_t>(rng.below(
+        static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<vertex_t>(rng.below(
+        static_cast<std::uint64_t>(n)));
+    b.add_edge(u, v);  // self loops / duplicates removed at build
+  }
+  return std::move(b).build();
+}
+
+csr_graph make_rmat(int scale, int edge_factor, double a, double b, double c,
+                    std::uint64_t seed) {
+  MICG_CHECK(scale >= 1 && scale <= 28, "rmat scale out of range");
+  MICG_CHECK(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0,
+             "rmat probabilities must satisfy a+b+c < 1");
+  const vertex_t n = vertex_t{1} << scale;
+  const std::int64_t m = static_cast<std::int64_t>(edge_factor) * n;
+  xoshiro256ss rng(seed);
+  graph_builder bld(n);
+  bld.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    vertex_t u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      int quadrant;
+      if (r < a) {
+        quadrant = 0;
+      } else if (r < a + b) {
+        quadrant = 1;
+      } else if (r < a + b + c) {
+        quadrant = 2;
+      } else {
+        quadrant = 3;
+      }
+      u = static_cast<vertex_t>((u << 1) | (quadrant >> 1));
+      v = static_cast<vertex_t>((v << 1) | (quadrant & 1));
+    }
+    bld.add_edge(u, v);
+  }
+  return std::move(bld).build();
+}
+
+namespace {
+
+/// The 40 symmetric offset pairs with squared distance 1..6 in a 3-D grid,
+/// ordered by squared distance (so a prefix of length p is the p nearest
+/// pairs). Only the positive representative of each pair is stored.
+std::vector<std::array<int, 3>> stencil_offsets() {
+  std::vector<std::array<int, 3>> reps;
+  for (int dz = -2; dz <= 2; ++dz) {
+    for (int dy = -2; dy <= 2; ++dy) {
+      for (int dx = -2; dx <= 2; ++dx) {
+        const int d2 = dx * dx + dy * dy + dz * dz;
+        if (d2 == 0 || d2 > 6) continue;
+        // Keep the lexicographically positive representative.
+        if (dz > 0 || (dz == 0 && dy > 0) || (dz == 0 && dy == 0 && dx > 0)) {
+          reps.push_back({dx, dy, dz});
+        }
+      }
+    }
+  }
+  std::sort(reps.begin(), reps.end(),
+            [](const auto& l, const auto& r) {
+              const int dl = l[0] * l[0] + l[1] * l[1] + l[2] * l[2];
+              const int dr = r[0] * r[0] + r[1] * r[1] + r[2] * r[2];
+              if (dl != dr) return dl < dr;
+              return l < r;
+            });
+  return reps;
+}
+
+}  // namespace
+
+csr_graph make_fem_like(const fem_params& p) {
+  MICG_CHECK(p.sx >= 1 && p.sy >= 1 && p.sz >= 1,
+             "grid dimensions must be positive");
+  const auto offsets = stencil_offsets();
+  MICG_CHECK(p.stencil_pairs >= 1 &&
+                 p.stencil_pairs <= static_cast<int>(offsets.size()),
+             "stencil_pairs must be in [1, 40]");
+  const std::int64_t n64 = static_cast<std::int64_t>(p.sx) * p.sy * p.sz;
+  MICG_CHECK(n64 < (1LL << 31), "grid too large for 32-bit vertex ids");
+  const auto n = static_cast<vertex_t>(n64);
+
+  graph_builder b(n);
+  b.reserve(static_cast<std::size_t>(n64) *
+            static_cast<std::size_t>(p.stencil_pairs));
+  auto id = [&](vertex_t x, vertex_t y, vertex_t z) {
+    return x + p.sx * (y + p.sy * z);
+  };
+  for (vertex_t z = 0; z < p.sz; ++z) {
+    for (vertex_t y = 0; y < p.sy; ++y) {
+      for (vertex_t x = 0; x < p.sx; ++x) {
+        const vertex_t v = id(x, y, z);
+        for (int o = 0; o < p.stencil_pairs; ++o) {
+          const vertex_t nx = x + offsets[static_cast<std::size_t>(o)][0];
+          const vertex_t ny = y + offsets[static_cast<std::size_t>(o)][1];
+          const vertex_t nz = z + offsets[static_cast<std::size_t>(o)][2];
+          if (nx < 0 || nx >= p.sx || ny < 0 || ny >= p.sy || nz < 0 ||
+              nz >= p.sz) {
+            continue;
+          }
+          b.add_edge(v, id(nx, ny, nz));
+        }
+      }
+    }
+  }
+
+  // Hubs: evenly spaced vertices get extra links to their nearest index
+  // neighbors. Index distance <= hub_degree keeps the links local in the
+  // natural order (no diameter-destroying shortcuts).
+  if (p.num_hubs > 0 && p.hub_degree > 0) {
+    for (int h = 0; h < p.num_hubs; ++h) {
+      const auto hub = static_cast<vertex_t>(
+          static_cast<std::int64_t>(h + 1) * n / (p.num_hubs + 1));
+      int added = 0;
+      for (vertex_t d = 1; added < p.hub_degree && d < n; ++d) {
+        if (hub + d < n) {
+          b.add_edge(hub, hub + d);
+          ++added;
+        }
+        if (added < p.hub_degree && hub - d >= 0) {
+          b.add_edge(hub, hub - d);
+          ++added;
+        }
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace micg::graph

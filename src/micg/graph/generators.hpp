@@ -1,0 +1,64 @@
+// Synthetic graph generators.
+//
+// Structured families (chain/star/tree/grids) drive tests and the BFS
+// performance model's corner cases ("consider a graph that is a very long
+// chain", §III-C). make_fem_like() builds the 3-D stencil graphs that stand
+// in for the paper's UF-collection FEM matrices (see suite.hpp), and
+// make_rmat() provides Graph500-style inputs for the examples.
+#pragma once
+
+#include <cstdint>
+
+#include "micg/graph/csr.hpp"
+
+namespace micg::graph {
+
+/// Path 0-1-2-...-n-1. Worst case for layered BFS: one vertex per level.
+csr_graph make_chain(vertex_t n);
+
+/// Cycle of n vertices.
+csr_graph make_cycle(vertex_t n);
+
+/// Vertex 0 connected to all others. Delta = n-1, 2 BFS levels.
+csr_graph make_star(vertex_t n);
+
+/// Complete graph K_n (small n only: |E| = n(n-1)/2).
+csr_graph make_complete(vertex_t n);
+
+/// Complete k-ary tree with `levels` levels (root = level 0).
+csr_graph make_kary_tree(int arity, int levels);
+
+/// nx-by-ny grid, 4-point stencil (8-point when `diagonals`).
+csr_graph make_grid_2d(vertex_t nx, vertex_t ny, bool diagonals = false);
+
+/// Erdős–Rényi G(n, m) with m ~ n*avg_degree/2 distinct edges.
+csr_graph make_erdos_renyi(vertex_t n, double avg_degree,
+                           std::uint64_t seed);
+
+/// RMAT power-law generator (Chakrabarti et al.); Graph500 uses
+/// a=.57 b=.19 c=.19. n = 2^scale vertices, ~edge_factor*n edges before
+/// dedup.
+csr_graph make_rmat(int scale, int edge_factor, double a, double b, double c,
+                    std::uint64_t seed);
+
+/// Parameters for the FEM-like 3-D stencil family.
+///
+/// Vertices form an sx*sy*sz grid in natural (z-major) order. Every vertex
+/// connects to its `stencil_pairs` nearest grid offsets (symmetric pairs
+/// ordered by squared distance, up to the 40 pairs with d^2 <= 6), which
+/// sets the average degree to ~2*stencil_pairs. `num_hubs` evenly spaced
+/// vertices additionally connect to their `hub_degree` nearest neighbors in
+/// index order, raising the max degree without creating long-range
+/// shortcuts (so BFS level counts stay grid-like).
+struct fem_params {
+  vertex_t sx = 8;
+  vertex_t sy = 8;
+  vertex_t sz = 8;
+  int stencil_pairs = 13;  ///< 13 = full 3x3x3 box (26 neighbors)
+  int hub_degree = 0;      ///< 0 disables hubs
+  int num_hubs = 0;
+};
+
+csr_graph make_fem_like(const fem_params& p);
+
+}  // namespace micg::graph

@@ -1,0 +1,80 @@
+#include "micg/graph/io_binary.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::graph {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4d49434752415048ULL;  // "MICGRAPH"
+constexpr std::uint32_t kVersion = 1;
+
+struct header {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::int64_t num_vertices;
+  std::int64_t adj_size;
+};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  MICG_CHECK(in.good(), "truncated binary graph stream");
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const csr_graph& g) {
+  header h{kMagic, kVersion, 0, g.num_vertices(),
+           g.num_directed_edges()};
+  write_pod(out, h);
+  out.write(reinterpret_cast<const char*>(g.xadj().data()),
+            static_cast<std::streamsize>(g.xadj().size() * sizeof(edge_t)));
+  out.write(reinterpret_cast<const char*>(g.adj().data()),
+            static_cast<std::streamsize>(g.adj().size() * sizeof(vertex_t)));
+  MICG_CHECK(out.good(), "binary graph write failed");
+}
+
+void save_binary(const std::string& path, const csr_graph& g) {
+  std::ofstream out(path, std::ios::binary);
+  MICG_CHECK(out.good(), "cannot open " + path + " for writing");
+  write_binary(out, g);
+}
+
+csr_graph read_binary(std::istream& in) {
+  header h{};
+  read_pod(in, h);
+  MICG_CHECK(h.magic == kMagic, "not a micgraph binary file");
+  MICG_CHECK(h.version == kVersion, "unsupported binary graph version");
+  MICG_CHECK(h.num_vertices >= 0 && h.adj_size >= 0,
+             "corrupt binary graph header");
+  std::vector<edge_t> xadj(static_cast<std::size_t>(h.num_vertices) + 1);
+  in.read(reinterpret_cast<char*>(xadj.data()),
+          static_cast<std::streamsize>(xadj.size() * sizeof(edge_t)));
+  MICG_CHECK(in.good(), "truncated xadj array");
+  std::vector<vertex_t> adj(static_cast<std::size_t>(h.adj_size));
+  in.read(reinterpret_cast<char*>(adj.data()),
+          static_cast<std::streamsize>(adj.size() * sizeof(vertex_t)));
+  MICG_CHECK(in.good(), "truncated adjacency array");
+  csr_graph g(std::move(xadj), std::move(adj));
+  g.validate();
+  return g;
+}
+
+csr_graph load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MICG_CHECK(in.good(), "cannot open " + path);
+  return read_binary(in);
+}
+
+}  // namespace micg::graph

@@ -1,0 +1,22 @@
+// Binary CSR serialization: loading the paper's larger graphs from
+// MatrixMarket takes seconds of parsing; this compact format reloads in
+// one read per array. Little-endian, versioned, checksummed header.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "micg/graph/csr.hpp"
+
+namespace micg::graph {
+
+/// Write `g` in micgraph binary CSR format.
+void write_binary(std::ostream& out, const csr_graph& g);
+void save_binary(const std::string& path, const csr_graph& g);
+
+/// Read a graph written by write_binary. Throws micg::check_error on a
+/// bad magic/version/size mismatch.
+csr_graph read_binary(std::istream& in);
+csr_graph load_binary(const std::string& path);
+
+}  // namespace micg::graph

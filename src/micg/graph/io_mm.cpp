@@ -1,0 +1,104 @@
+#include "micg/graph/io_mm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "micg/graph/builder.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::graph {
+
+namespace {
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+}  // namespace
+
+csr_graph read_matrix_market(std::istream& in) {
+  std::string line;
+  MICG_CHECK(static_cast<bool>(std::getline(in, line)),
+             "empty MatrixMarket stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  MICG_CHECK(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
+  MICG_CHECK(to_lower(object) == "matrix", "only matrix objects supported");
+  MICG_CHECK(to_lower(format) == "coordinate",
+             "only coordinate format supported");
+  field = to_lower(field);
+  symmetry = to_lower(symmetry);
+  MICG_CHECK(field == "pattern" || field == "real" || field == "integer",
+             "unsupported field type: " + field);
+  MICG_CHECK(symmetry == "general" || symmetry == "symmetric",
+             "unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  do {
+    MICG_CHECK(static_cast<bool>(std::getline(in, line)),
+               "truncated MatrixMarket stream");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream dims(line);
+  long long rows = 0, cols = 0, nnz = 0;
+  dims >> rows >> cols >> nnz;
+  MICG_CHECK(rows > 0 && cols > 0 && nnz >= 0, "bad size line");
+  MICG_CHECK(rows == cols, "graph requires a square matrix");
+  MICG_CHECK(rows < (1LL << 31), "matrix too large for 32-bit vertex ids");
+
+  graph_builder b(static_cast<vertex_t>(rows));
+  b.reserve(static_cast<std::size_t>(nnz));
+  const bool has_value = field != "pattern";
+  for (long long i = 0; i < nnz; ++i) {
+    MICG_CHECK(static_cast<bool>(std::getline(in, line)),
+               "truncated entry list");
+    std::istringstream entry(line);
+    long long r = 0, c = 0;
+    entry >> r >> c;
+    MICG_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
+               "entry index out of range");
+    if (has_value) {
+      double v;
+      entry >> v;  // value ignored; pattern defines the graph
+    }
+    // 1-based -> 0-based; the builder symmetrizes and drops self loops.
+    b.add_edge(static_cast<vertex_t>(r - 1), static_cast<vertex_t>(c - 1));
+  }
+  csr_graph g = std::move(b).build();
+  g.validate();
+  return g;
+}
+
+csr_graph load_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  MICG_CHECK(in.good(), "cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const csr_graph& g) {
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  out << "% written by micgraph\n";
+  const vertex_t n = g.num_vertices();
+  out << n << ' ' << n << ' ' << g.num_edges() << '\n';
+  for (vertex_t v = 0; v < n; ++v) {
+    for (vertex_t w : g.neighbors(v)) {
+      if (w < v) {
+        // Lower triangle, 1-based.
+        out << (v + 1) << ' ' << (w + 1) << '\n';
+      }
+    }
+  }
+}
+
+void save_matrix_market(const std::string& path, const csr_graph& g) {
+  std::ofstream out(path);
+  MICG_CHECK(out.good(), "cannot open " + path + " for writing");
+  write_matrix_market(out, g);
+  MICG_CHECK(out.good(), "write failed for " + path);
+}
+
+}  // namespace micg::graph

@@ -1,0 +1,31 @@
+// MatrixMarket coordinate I/O.
+//
+// The paper's graphs come from the UF Sparse Matrix Collection, distributed
+// as MatrixMarket files. This reader accepts the subset those files use —
+// `matrix coordinate (pattern|real|integer) (general|symmetric)` — turning
+// the nonzero pattern of the (symmetrized) matrix into an undirected graph
+// (diagonal entries = self loops are dropped). If real UF files are
+// available they drop straight into the suite via load_matrix_market().
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "micg/graph/csr.hpp"
+
+namespace micg::graph {
+
+/// Parse a MatrixMarket stream. Throws micg::check_error on malformed
+/// input. Rectangular matrices are rejected (graphs must be square).
+csr_graph read_matrix_market(std::istream& in);
+
+/// Convenience file wrapper; throws micg::check_error if unreadable.
+csr_graph load_matrix_market(const std::string& path);
+
+/// Write as `matrix coordinate pattern symmetric` (lower triangle).
+void write_matrix_market(std::ostream& out, const csr_graph& g);
+
+/// Convenience file wrapper.
+void save_matrix_market(const std::string& path, const csr_graph& g);
+
+}  // namespace micg::graph

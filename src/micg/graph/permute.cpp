@@ -1,0 +1,72 @@
+#include "micg/graph/permute.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "micg/support/assert.hpp"
+#include "micg/support/rng.hpp"
+
+namespace micg::graph {
+
+std::vector<vertex_t> identity_permutation(vertex_t n) {
+  std::vector<vertex_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), vertex_t{0});
+  return perm;
+}
+
+std::vector<vertex_t> random_permutation(vertex_t n, std::uint64_t seed) {
+  auto perm = identity_permutation(n);
+  xoshiro256ss rng(seed);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+bool is_permutation(const std::vector<vertex_t>& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (vertex_t p : perm) {
+    if (p < 0 || static_cast<std::size_t>(p) >= perm.size()) return false;
+    if (seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+csr_graph apply_permutation(const csr_graph& g,
+                            const std::vector<vertex_t>& perm) {
+  const vertex_t n = g.num_vertices();
+  MICG_CHECK(static_cast<vertex_t>(perm.size()) == n,
+             "permutation size must equal vertex count");
+  MICG_CHECK(is_permutation(perm), "not a valid permutation");
+
+  // Inverse mapping: new id -> old id, then rebuild CSR directly (cheaper
+  // than going through the edge-list builder: lists stay dedupe-free).
+  std::vector<vertex_t> inv(static_cast<std::size_t>(n));
+  for (vertex_t old = 0; old < n; ++old) {
+    inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(old)])] = old;
+  }
+
+  std::vector<edge_t> xadj(static_cast<std::size_t>(n) + 1, 0);
+  for (vertex_t nv = 0; nv < n; ++nv) {
+    xadj[static_cast<std::size_t>(nv) + 1] =
+        xadj[static_cast<std::size_t>(nv)] +
+        g.degree(inv[static_cast<std::size_t>(nv)]);
+  }
+  std::vector<vertex_t> adj(static_cast<std::size_t>(xadj.back()));
+  for (vertex_t nv = 0; nv < n; ++nv) {
+    auto nbrs = g.neighbors(inv[static_cast<std::size_t>(nv)]);
+    auto out = adj.begin() +
+               static_cast<std::ptrdiff_t>(xadj[static_cast<std::size_t>(nv)]);
+    for (vertex_t w : nbrs) {
+      *out++ = perm[static_cast<std::size_t>(w)];
+    }
+    std::sort(adj.begin() + static_cast<std::ptrdiff_t>(
+                                xadj[static_cast<std::size_t>(nv)]),
+              out);
+  }
+  return csr_graph(std::move(xadj), std::move(adj));
+}
+
+}  // namespace micg::graph

@@ -1,0 +1,29 @@
+// Vertex relabeling. The paper's Figure 2 shuffles vertex ids "randomly
+// which break all the locality that naturally appears in the graphs"
+// (§V-B); apply_permutation() + random_permutation() implement exactly that
+// transformation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+
+namespace micg::graph {
+
+/// perm[old_id] == new_id; identity mapping.
+std::vector<vertex_t> identity_permutation(vertex_t n);
+
+/// Uniformly random permutation (Fisher–Yates) from `seed`.
+std::vector<vertex_t> random_permutation(vertex_t n, std::uint64_t seed);
+
+/// Relabel: vertex v of `g` becomes perm[v] in the result. The edge set is
+/// unchanged up to renaming, so every structural property (degrees, colors
+/// needed, BFS level count from a mapped source) is preserved.
+csr_graph apply_permutation(const csr_graph& g,
+                            const std::vector<vertex_t>& perm);
+
+/// True iff perm is a bijection on [0, n).
+bool is_permutation(const std::vector<vertex_t>& perm);
+
+}  // namespace micg::graph

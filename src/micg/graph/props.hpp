@@ -1,0 +1,26 @@
+// Structural graph properties used by Table I and the test suite.
+#pragma once
+
+#include <cstdint>
+
+#include "micg/graph/csr.hpp"
+
+namespace micg::graph {
+
+struct degree_stats {
+  std::int64_t min = 0;
+  std::int64_t max = 0;  ///< Delta in the paper
+  double mean = 0.0;
+};
+
+degree_stats compute_degree_stats(const csr_graph& g);
+
+/// Number of connected components (sequential traversal).
+vertex_t count_components(const csr_graph& g);
+
+/// Number of BFS levels reachable from `source` (the level of the source is
+/// 1, matching the "#Level" column of Table I which counts levels of a
+/// traversal "from vertex |V|/2").
+int count_bfs_levels(const csr_graph& g, vertex_t source);
+
+}  // namespace micg::graph

@@ -1,0 +1,70 @@
+#include "micg/graph/suite.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "micg/graph/io_mm.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::graph {
+
+const std::vector<suite_entry>& table1_suite() {
+  // Stand-in geometry: sz ~ 2 * zreach * paper_levels (zreach is 2 when the
+  // stencil includes distance-2 offsets, i.e. pairs >= 14), sx = sy sized to
+  // reach paper |V|; stencil_pairs ~ paper average degree / 2; hub degree
+  // tops vertices up to the paper's Delta without long-range shortcuts.
+  static const std::vector<suite_entry> suite = {
+      {"auto", 448'695, 3'314'611, 37, 13, 58,
+       fem_params{74, 74, 81, 7, 25, 16}},
+      {"bmw3_2", 227'362, 5'530'634, 335, 48, 86,
+       fem_params{26, 26, 344, 24, 303, 16}},
+      {"hood", 220'542, 4'837'286, 76, 40, 116,
+       fem_params{23, 23, 424, 22, 36, 16}},
+      {"inline_1", 503'712, 18'156'315, 842, 51, 183,
+       fem_params{26, 26, 732, 36, 790, 16}},
+      {"ldoor", 952'203, 20'770'807, 76, 42, 169,
+       fem_params{40, 40, 608, 22, 36, 16}},
+      {"msdoor", 415'863, 9'378'650, 76, 42, 99,
+       fem_params{35, 35, 341, 22, 36, 16}},
+      {"pwtk", 217'918, 5'653'257, 179, 48, 267,
+       fem_params{14, 14, 1068, 26, 145, 16}},
+  };
+  return suite;
+}
+
+const suite_entry& suite_entry_by_name(const std::string& name) {
+  for (const auto& e : table1_suite()) {
+    if (e.name == name) return e;
+  }
+  MICG_CHECK(false, "unknown suite graph: " + name);
+  return table1_suite().front();  // unreachable
+}
+
+fem_params scaled_params(const suite_entry& entry, double scale) {
+  MICG_CHECK(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  fem_params p = entry.params;
+  const double f = std::cbrt(scale);
+  auto scale_dim = [f](vertex_t d) {
+    const auto s = static_cast<vertex_t>(std::lround(f * d));
+    return s < 3 ? 3 : s;
+  };
+  p.sx = scale_dim(p.sx);
+  p.sy = scale_dim(p.sy);
+  p.sz = scale_dim(p.sz);
+  return p;
+}
+
+csr_graph make_suite_graph(const suite_entry& entry, double scale) {
+  if (const char* dir = std::getenv("MICG_GRAPH_DIR")) {
+    const std::string path = std::string(dir) + "/" + entry.name + ".mtx";
+    std::ifstream probe(path);
+    if (probe.good()) {
+      probe.close();
+      return load_matrix_market(path);
+    }
+  }
+  return make_fem_like(scaled_params(entry, scale));
+}
+
+}  // namespace micg::graph

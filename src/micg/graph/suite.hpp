@@ -1,0 +1,52 @@
+// The Table I graph suite.
+//
+// The paper evaluates seven FEM/structural matrices from the UF collection
+// (auto, bmw3_2, hood, inline_1, ldoor, msdoor, pwtk). Those files are not
+// redistributable here, so each entry carries (a) the paper-reported
+// statistics and (b) fem_params for a synthetic 3-D stencil graph matched
+// on |V|, average degree, max degree, and BFS level count — the four
+// statistics that drive coloring and layered-BFS behaviour (see DESIGN.md
+// §2). `scale` shrinks |V| for fast tests/benches (dimensions scale by
+// cbrt(scale); the level count shrinks accordingly and is recorded in
+// EXPERIMENTS.md).
+//
+// If real UF MatrixMarket files are present in MICG_GRAPH_DIR, the loader
+// prefers them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/graph/generators.hpp"
+
+namespace micg::graph {
+
+struct suite_entry {
+  std::string name;
+  // Paper-reported values (Table I).
+  std::int64_t paper_vertices;
+  std::int64_t paper_edges;
+  int paper_max_degree;
+  int paper_colors;  ///< sequential greedy, natural order
+  int paper_levels;  ///< BFS from vertex |V|/2
+  // Synthetic stand-in at scale 1.0.
+  fem_params params;
+};
+
+/// All seven Table I entries, paper order.
+const std::vector<suite_entry>& table1_suite();
+
+/// Entry by name; throws micg::check_error for unknown names.
+const suite_entry& suite_entry_by_name(const std::string& name);
+
+/// Parameters scaled so |V| ~ scale * paper |V| (each grid dimension is
+/// scaled by cbrt(scale), minimum 3).
+fem_params scaled_params(const suite_entry& entry, double scale);
+
+/// Build the synthetic stand-in for `entry` at `scale`. If the environment
+/// variable MICG_GRAPH_DIR is set and contains "<name>.mtx", that file is
+/// loaded instead (scale is ignored for real files).
+csr_graph make_suite_graph(const suite_entry& entry, double scale = 1.0);
+
+}  // namespace micg::graph

@@ -1,0 +1,42 @@
+#include "micg/irregular/heat.hpp"
+
+#include <utility>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::irregular {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+std::vector<double> heat_diffusion(const csr_graph& g,
+                                   std::span<const double> state,
+                                   const heat_options& opt) {
+  const vertex_t n = g.num_vertices();
+  MICG_CHECK(static_cast<vertex_t>(state.size()) == n,
+             "state size must equal vertex count");
+  MICG_CHECK(opt.steps >= 0, "steps must be non-negative");
+  MICG_CHECK(opt.alpha > 0.0, "alpha must be positive");
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
+
+  std::vector<double> cur(state.begin(), state.end());
+  std::vector<double> next(cur.size());
+  for (int s = 0; s < opt.steps; ++s) {
+    const double* src = cur.data();
+    double* dst = next.data();
+    rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const auto v = static_cast<vertex_t>(i);
+        double acc = 0.0;
+        for (vertex_t w : g.neighbors(v)) {
+          acc += src[static_cast<std::size_t>(w)] - src[i];
+        }
+        dst[i] = src[i] + opt.alpha * acc;
+      }
+    });
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+}  // namespace micg::irregular

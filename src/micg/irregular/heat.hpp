@@ -1,0 +1,31 @@
+// Jacobi heat diffusion on a graph — the paper's other named abstraction
+// target ("Heat Equation solvers", §III-B). Explicit Euler step on the
+// graph Laplacian:
+//
+//   u'(v) = u(v) + alpha * sum_{w in adj(v)} (u(w) - u(v))
+//
+// The Laplacian is symmetric, so total heat is conserved exactly (a tested
+// invariant) and the state converges to the component-wise mean for
+// alpha < 1 / Delta.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::irregular {
+
+struct heat_options {
+  rt::exec ex;
+  double alpha = 0.1;  ///< step size; stable when alpha * Delta < 1
+  int steps = 1;
+};
+
+/// Run `steps` diffusion steps from `state` and return the result.
+std::vector<double> heat_diffusion(const micg::graph::csr_graph& g,
+                                   std::span<const double> state,
+                                   const heat_options& opt);
+
+}  // namespace micg::irregular

@@ -1,0 +1,84 @@
+#include "micg/irregular/kernel.hpp"
+
+#include "micg/support/assert.hpp"
+
+namespace micg::irregular {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+namespace {
+
+/// One vertex update: `iterations` rounds of averaging over the (fixed)
+/// neighbor states read through `read`.
+template <typename Read>
+double update_vertex(const csr_graph& g, vertex_t v, int iterations,
+                     const Read& read) {
+  double mine = read(v);
+  const auto nbrs = g.neighbors(v);
+  const double inv = 1.0 / (static_cast<double>(nbrs.size()) + 1.0);
+  for (int i = 0; i < iterations; ++i) {
+    double sum = mine;
+    for (vertex_t w : nbrs) sum += read(w);
+    mine = sum * inv;
+  }
+  return mine;
+}
+
+}  // namespace
+
+std::vector<double> irregular_kernel(const csr_graph& g,
+                                     std::span<const double> state,
+                                     const kernel_options& opt) {
+  const vertex_t n = g.num_vertices();
+  MICG_CHECK(static_cast<vertex_t>(state.size()) == n,
+             "state size must equal vertex count");
+  MICG_CHECK(opt.iterations >= 1, "need at least one iteration");
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
+
+  std::vector<double> out(state.begin(), state.end());
+  if (opt.mode == kernel_mode::in_place) {
+    // Algorithm 5: concurrent reads of `out` while it is updated. The
+    // races are benign for the benchmark's purpose (every write is a
+    // convex combination of current values).
+    double* data = out.data();
+    rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const auto v = static_cast<vertex_t>(i);
+        data[i] = update_vertex(g, v, opt.iterations, [data](vertex_t w) {
+          return data[static_cast<std::size_t>(w)];
+        });
+      }
+    });
+  } else {
+    const double* src = state.data();
+    double* dst = out.data();
+    rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const auto v = static_cast<vertex_t>(i);
+        dst[i] = update_vertex(g, v, opt.iterations, [src](vertex_t w) {
+          return src[static_cast<std::size_t>(w)];
+        });
+      }
+    });
+  }
+  return out;
+}
+
+std::vector<double> irregular_kernel_seq(const csr_graph& g,
+                                         std::span<const double> state,
+                                         int iterations) {
+  const vertex_t n = g.num_vertices();
+  MICG_CHECK(static_cast<vertex_t>(state.size()) == n,
+             "state size must equal vertex count");
+  std::vector<double> out(state.begin(), state.end());
+  for (vertex_t v = 0; v < n; ++v) {
+    out[static_cast<std::size_t>(v)] =
+        update_vertex(g, v, iterations, [&out](vertex_t w) {
+          return out[static_cast<std::size_t>(w)];
+        });
+  }
+  return out;
+}
+
+}  // namespace micg::irregular

@@ -1,0 +1,49 @@
+// Irregular-computation microbenchmark — Algorithm 5 of the paper.
+//
+// Each vertex holds a double; one kernel application replaces the state of
+// every vertex with the average of itself and its neighbors, repeated
+// `iterations` times *per vertex* inside the vertex loop (the paper's knob
+// for the computation-to-communication ratio: memory traffic is one sweep
+// of the adjacency, FLOPs scale with `iterations`).
+//
+// Two modes:
+//  * in_place (the paper's Algorithm 5): updates race benignly against
+//    neighbor reads, like a chaotic relaxation sweep. Nondeterministic
+//    under real parallelism but always a convex combination of previous
+//    states, so min/max bounds are preserved (tested).
+//  * jacobi: reads from the previous snapshot, writes a fresh buffer;
+//    deterministic, used as the correctness reference and by the heat
+//    solver.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::irregular {
+
+enum class kernel_mode {
+  in_place,  ///< Algorithm 5 verbatim (benign races)
+  jacobi,    ///< double-buffered, deterministic
+};
+
+struct kernel_options {
+  rt::exec ex;
+  int iterations = 1;  ///< the paper sweeps {1, 3, 5, 10}
+  kernel_mode mode = kernel_mode::in_place;
+};
+
+/// Apply the kernel to `state` (size |V|) and return the new state.
+std::vector<double> irregular_kernel(const micg::graph::csr_graph& g,
+                                     std::span<const double> state,
+                                     const kernel_options& opt);
+
+/// Sequential reference (natural order, in-place), for 1-thread equality
+/// tests and the trace generator.
+std::vector<double> irregular_kernel_seq(const micg::graph::csr_graph& g,
+                                         std::span<const double> state,
+                                         int iterations);
+
+}  // namespace micg::irregular

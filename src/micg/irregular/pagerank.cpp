@@ -1,0 +1,76 @@
+#include "micg/irregular/pagerank.hpp"
+
+#include <cmath>
+
+#include "micg/rt/tls.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::irregular {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+pagerank_result pagerank(const csr_graph& g, const pagerank_options& opt) {
+  const vertex_t n = g.num_vertices();
+  MICG_CHECK(n > 0, "pagerank needs a non-empty graph");
+  MICG_CHECK(opt.damping > 0.0 && opt.damping < 1.0,
+             "damping must be in (0, 1)");
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
+
+  const double init = 1.0 / static_cast<double>(n);
+  pagerank_result r;
+  r.rank.assign(static_cast<std::size_t>(n), init);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+
+  // Per-thread accumulators for dangling mass and the convergence delta.
+  rt::combinable<double> dangling_acc(opt.ex.threads);
+  rt::combinable<double> delta_acc(opt.ex.threads);
+
+  for (r.iterations = 0; r.iterations < opt.max_iterations;
+       ++r.iterations) {
+    // Dangling (isolated) vertices spread their rank everywhere.
+    dangling_acc.clear();
+    rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int) {
+      double local = 0.0;
+      for (std::int64_t i = b; i < e; ++i) {
+        if (g.degree(static_cast<vertex_t>(i)) == 0) {
+          local += r.rank[static_cast<std::size_t>(i)];
+        }
+      }
+      dangling_acc.local() += local;
+    });
+    const double dangling = dangling_acc.combine(
+        0.0, [](double a, double b) { return a + b; });
+    const double base =
+        (1.0 - opt.damping) / static_cast<double>(n) +
+        opt.damping * dangling / static_cast<double>(n);
+
+    delta_acc.clear();
+    rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int) {
+      double local_delta = 0.0;
+      for (std::int64_t i = b; i < e; ++i) {
+        const auto v = static_cast<vertex_t>(i);
+        double sum = 0.0;
+        for (vertex_t w : g.neighbors(v)) {
+          sum += r.rank[static_cast<std::size_t>(w)] /
+                 static_cast<double>(g.degree(w));
+        }
+        const double nv = base + opt.damping * sum;
+        local_delta += std::abs(nv - r.rank[static_cast<std::size_t>(v)]);
+        next[static_cast<std::size_t>(v)] = nv;
+      }
+      delta_acc.local() += local_delta;
+    });
+    r.final_delta =
+        delta_acc.combine(0.0, [](double a, double b) { return a + b; });
+    r.rank.swap(next);
+    if (r.final_delta < opt.tolerance) {
+      r.converged = true;
+      ++r.iterations;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace micg::irregular

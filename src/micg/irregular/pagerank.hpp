@@ -1,0 +1,31 @@
+// PageRank — one of the real applications the paper's microbenchmark
+// abstracts ("a reasonable abstraction of a single iteration of algorithms
+// such as Page Rank", §III-B). Power iteration on the undirected graph,
+// double-buffered, parallel over vertices on any rt::exec backend.
+#pragma once
+
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::irregular {
+
+struct pagerank_options {
+  rt::exec ex;
+  double damping = 0.85;
+  double tolerance = 1e-8;  ///< L1 change per iteration that counts as converged
+  int max_iterations = 200;
+};
+
+struct pagerank_result {
+  std::vector<double> rank;  ///< sums to 1 (dangling mass redistributed)
+  int iterations = 0;
+  double final_delta = 0.0;  ///< L1 change of the last iteration
+  bool converged = false;
+};
+
+pagerank_result pagerank(const micg::graph::csr_graph& g,
+                         const pagerank_options& opt);
+
+}  // namespace micg::irregular

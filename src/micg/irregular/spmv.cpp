@@ -1,0 +1,36 @@
+#include "micg/irregular/spmv.hpp"
+
+#include "micg/support/assert.hpp"
+
+namespace micg::irregular {
+
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+
+std::vector<double> spmv(const csr_graph& g, std::span<const double> x,
+                         const rt::exec& ex, spmv_matrix matrix) {
+  const vertex_t n = g.num_vertices();
+  MICG_CHECK(static_cast<vertex_t>(x.size()) == n,
+             "vector size must equal vertex count");
+  MICG_CHECK(ex.threads >= 1, "need at least one thread");
+
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  const double* src = x.data();
+  double* dst = y.data();
+  rt::for_range(ex, n, [&](std::int64_t b, std::int64_t e, int) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto v = static_cast<vertex_t>(i);
+      double acc = 0.0;
+      for (vertex_t w : g.neighbors(v)) {
+        acc += src[static_cast<std::size_t>(w)];
+      }
+      if (matrix == spmv_matrix::random_walk && g.degree(v) > 0) {
+        acc /= static_cast<double>(g.degree(v));
+      }
+      dst[i] = acc;
+    }
+  });
+  return y;
+}
+
+}  // namespace micg::irregular

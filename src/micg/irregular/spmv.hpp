@@ -1,0 +1,26 @@
+// Sparse matrix-vector product with the graph's adjacency pattern — the
+// paper notes the microbenchmark "has data dependencies similar to a sparse
+// matrix vector multiplication" (§III-B). y[v] = sum over neighbors w of
+// value(v, w) * x[w], where the implicit value is 1 (adjacency) or
+// 1/degree(v) (row-stochastic / random-walk matrix).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::irregular {
+
+enum class spmv_matrix {
+  adjacency,   ///< A[v][w] = 1 for each edge
+  random_walk, ///< A[v][w] = 1/degree(v)
+};
+
+/// y = A x on the selected backend.
+std::vector<double> spmv(const micg::graph::csr_graph& g,
+                         std::span<const double> x, const rt::exec& ex,
+                         spmv_matrix matrix = spmv_matrix::adjacency);
+
+}  // namespace micg::irregular

@@ -1,0 +1,44 @@
+#include "micg/model/bfs_model.hpp"
+
+#include "micg/support/assert.hpp"
+
+namespace micg::model {
+
+double bfs_level_cost(std::size_t frontier, int threads, int block) {
+  MICG_CHECK(threads >= 1, "need at least one thread");
+  MICG_CHECK(block >= 1, "block must be positive");
+  const auto x = static_cast<double>(frontier);
+  const auto b = static_cast<double>(block);
+  if (x < b) return x;
+  const double rounds =
+      static_cast<double>((frontier + static_cast<std::size_t>(threads) *
+                                          static_cast<std::size_t>(block) -
+                           1) /
+                          (static_cast<std::size_t>(threads) *
+                           static_cast<std::size_t>(block)));
+  return rounds * b;
+}
+
+double bfs_model_speedup(std::span<const std::size_t> frontier_sizes,
+                         int threads, int block) {
+  double work = 0.0;
+  double cost = 0.0;
+  for (std::size_t x : frontier_sizes) {
+    work += static_cast<double>(x);
+    cost += bfs_level_cost(x, threads, block);
+  }
+  return cost > 0.0 ? work / cost : 0.0;
+}
+
+std::vector<double> bfs_model_curve(
+    std::span<const std::size_t> frontier_sizes,
+    std::span<const int> thread_counts, int block) {
+  std::vector<double> curve;
+  curve.reserve(thread_counts.size());
+  for (int t : thread_counts) {
+    curve.push_back(bfs_model_speedup(frontier_sizes, t, block));
+  }
+  return curve;
+}
+
+}  // namespace micg::model

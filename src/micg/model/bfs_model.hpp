@@ -1,0 +1,31 @@
+// The paper's analytical performance model of layered BFS (§III-C).
+//
+// L synchronized steps; x_l vertices at level l; t threads; blocks of b
+// vertices. Under the paper's five simplifying assumptions, the time of
+// level l is
+//
+//   c(l) = x_l                    if x_l <  b   (one thread does it all)
+//   c(l) = ceil(x_l/(t*b)) * b    otherwise     (rounds of full blocks)
+//
+// and the achievable speedup is sum(x_l) / sum(c(l)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace micg::model {
+
+/// c(l) for a single level.
+double bfs_level_cost(std::size_t frontier, int threads, int block);
+
+/// The model's achievable speedup for a whole traversal.
+double bfs_model_speedup(std::span<const std::size_t> frontier_sizes,
+                         int threads, int block);
+
+/// Convenience: the model curve over a thread grid.
+std::vector<double> bfs_model_curve(
+    std::span<const std::size_t> frontier_sizes,
+    std::span<const int> thread_counts, int block);
+
+}  // namespace micg::model

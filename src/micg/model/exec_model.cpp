@@ -1,0 +1,114 @@
+#include "micg/model/exec_model.hpp"
+
+#include <algorithm>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::model {
+
+double step_time(std::span<const thread_load> loads,
+                 const machine_config& m, double solo_overlap,
+                 double mem_scale) {
+  const int t = static_cast<int>(loads.size());
+  if (t == 0) return 0.0;
+  const int cores_used = std::min(t, m.cores);
+
+  double worst_core = 0.0;
+  double chip_mem_ops = 0.0;
+  for (int c = 0; c < cores_used; ++c) {
+    double pipeline = 0.0;
+    double mem = 0.0;
+    double stall = 0.0;
+    double chain = 0.0;
+    int k = 0;
+    for (int th = c; th < t; th += m.cores) {
+      const auto& ld = loads[static_cast<std::size_t>(th)];
+      ++k;
+      const double ld_mem = ld.mem_ops * mem_scale;
+      pipeline += ld.cpu_ops * m.cpu_per_op + ld.overhead;
+      mem += ld_mem;
+      stall += ld.stall_ops;
+      const double exposed =
+          (ld.stall_ops * m.cpu_per_op + ld_mem * m.mem_latency) *
+          (1.0 - solo_overlap);
+      chain = std::max(chain,
+                       ld.cpu_ops * m.cpu_per_op + ld.overhead + exposed);
+    }
+    if (k == 0) continue;
+    chip_mem_ops += mem;
+    const double mem_stall =
+        mem * m.mem_latency / static_cast<double>(std::min(k, m.mlp));
+    const double fp_stall = stall * m.cpu_per_op / static_cast<double>(k);
+    worst_core = std::max(
+        {worst_core, pipeline, mem_stall, fp_stall, chain});
+  }
+  // Chip-wide bandwidth floor.
+  const double bw_floor = chip_mem_ops / m.chip_mem_ops_per_unit;
+  return std::max(worst_core, bw_floor);
+}
+
+double trace_time(const work_trace& trace, const exec_options& opt,
+                  const machine_config& m) {
+  MICG_CHECK(opt.threads >= 1, "need at least one thread");
+  double total = 0.0;
+  const double barrier =
+      m.barrier_per_thread * static_cast<double>(opt.threads);
+  const int cores_used = std::min(opt.threads, m.cores);
+  const double mem_scale =
+      m.cores > 1
+          ? 1.0 - trace.cache_gain * static_cast<double>(cores_used - 1) /
+                      static_cast<double>(m.cores - 1)
+          : 1.0;
+  for (const auto& step : trace.steps) {
+    total += step.serial_cpu_ops * m.cpu_per_op;
+    if (step.items.empty()) continue;
+    const auto loads =
+        assign_step(step, opt.policy, opt.threads, opt.chunk, m);
+    total += step_time(loads, m, opt.solo_overlap, mem_scale);
+    if (opt.threads > 1) total += barrier;
+  }
+  return total;
+}
+
+double baseline_time(const work_trace& trace, const machine_config& m) {
+  exec_options base;
+  base.policy = rt::backend::omp_static;  // cheapest 1-thread schedule
+  base.threads = 1;
+  return trace_time(trace, base, m);
+}
+
+double model_speedup(const work_trace& trace, const exec_options& opt,
+                     const machine_config& m) {
+  return model_speedup_vs(trace, opt, m, baseline_time(trace, m));
+}
+
+double model_speedup_vs(const work_trace& trace, const exec_options& opt,
+                        const machine_config& m, double baseline) {
+  const double tt = trace_time(trace, opt, m);
+  return tt > 0.0 ? baseline / tt : 0.0;
+}
+
+sweep_series model_sweep(const work_trace& trace, rt::backend policy,
+                         std::int64_t chunk,
+                         std::span<const int> thread_counts,
+                         const machine_config& m, double solo_overlap) {
+  sweep_series s;
+  for (int t : thread_counts) {
+    exec_options opt;
+    opt.policy = policy;
+    opt.threads = t;
+    opt.chunk = chunk;
+    opt.solo_overlap = solo_overlap;
+    s.threads.push_back(t);
+    s.speedup.push_back(model_speedup(trace, opt, m));
+  }
+  return s;
+}
+
+std::vector<int> paper_thread_grid(int max_threads) {
+  std::vector<int> grid;
+  for (int t = 1; t <= max_threads; t += 10) grid.push_back(t);
+  return grid;
+}
+
+}  // namespace micg::model

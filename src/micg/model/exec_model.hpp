@@ -1,0 +1,88 @@
+// Execution model: turns per-thread loads into time on a described
+// machine. This is where SMT latency hiding — the paper's central
+// observation — lives.
+//
+// Threads are placed round-robin over cores (thread i -> core i % cores,
+// matching how the MIC runtime spreads software threads). For one core
+// running k threads, four lower bounds compete and the largest wins:
+//
+//   pipeline   sum of issue ops + scheduling overhead: SMT threads share
+//              the in-order core's issue width, so arithmetic serializes.
+//   mem stall  sum of miss latencies / min(k, MLP): co-resident threads
+//              overlap misses up to the core's MLP ("hiding latencies in
+//              irregular applications", abstract).
+//   fp stall   sum of dependency stalls / k: another thread can always
+//              issue into a dependency bubble.
+//   chain      the slowest single thread's fully-exposed solo time: a
+//              thread can never beat its own dependence chain. On an
+//              out-of-order host a fraction `solo_overlap` of the chain's
+//              stalls is hidden even solo.
+//
+// The step then takes max over cores, is floored by the chip-wide memory
+// bandwidth, and pays a barrier linear in t.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "micg/model/machine.hpp"
+#include "micg/model/sched_model.hpp"
+#include "micg/model/trace.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::model {
+
+/// Fraction of a solo thread's exposed stall time hidden by out-of-order
+/// execution; 0 for the in-order KNF cores, ~0.6 for the Xeon host.
+/// Separated from machine_config to keep that struct paper-facing; set via
+/// exec_options.
+struct exec_options {
+  rt::backend policy = rt::backend::omp_dynamic;
+  int threads = 1;
+  std::int64_t chunk = 64;
+  double solo_overlap = 0.0;
+};
+
+/// Time of one scheduled step on the machine (excludes barrier).
+/// `mem_scale` multiplies every load's miss count (the aggregate-cache
+/// factor derived from work_trace::cache_gain).
+double step_time(std::span<const thread_load> loads,
+                 const machine_config& m, double solo_overlap,
+                 double mem_scale = 1.0);
+
+/// Time of a whole trace: sum of scheduled step times, barriers, and
+/// serial sections.
+double trace_time(const work_trace& trace, const exec_options& opt,
+                  const machine_config& m);
+
+/// 1-thread time of `trace` under the cheapest schedule — the paper's
+/// "configuration that performs the fastest on 1 thread" baseline (§V-A).
+double baseline_time(const work_trace& trace, const machine_config& m);
+
+/// One point of a speedup curve: baseline_time(trace) / trace_time(opt).
+double model_speedup(const work_trace& trace, const exec_options& opt,
+                     const machine_config& m);
+
+/// Speedup against an explicit baseline time. Use when several algorithm
+/// variants share one figure: the paper normalizes them all by the single
+/// fastest 1-thread configuration, so a costlier variant's curve sits
+/// lower even at equal scaling.
+double model_speedup_vs(const work_trace& trace, const exec_options& opt,
+                        const machine_config& m, double baseline);
+
+/// Sweep a thread list (the paper uses 1, 11, 21, ..., 121).
+struct sweep_series {
+  std::vector<int> threads;
+  std::vector<double> speedup;
+};
+sweep_series model_sweep(const work_trace& trace, rt::backend policy,
+                         std::int64_t chunk,
+                         std::span<const int> thread_counts,
+                         const machine_config& m,
+                         double solo_overlap = 0.0);
+
+/// The paper's thread grid: 1, 11, 21, ..., up to `max_threads`.
+std::vector<int> paper_thread_grid(int max_threads);
+
+}  // namespace micg::model

@@ -1,0 +1,49 @@
+// Scheduling simulators: how each runtime policy distributes one parallel
+// step's work items over t logical threads, and what it charges for doing
+// so. Mirrors the real schedulers in micg::rt policy-for-policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "micg/model/machine.hpp"
+#include "micg/model/trace.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::model {
+
+/// Work accumulated on one logical thread after scheduling a step.
+struct thread_load {
+  double cpu_ops = 0.0;
+  double stall_ops = 0.0;
+  double mem_ops = 0.0;
+  double overhead = 0.0;  ///< scheduling time units (claims, spawns, steals)
+};
+
+/// Scalar solo-execution estimate for one item (what a list scheduler
+/// "sees" when placing work): pipeline + exposed stalls + exposed misses.
+double item_solo_cost(const work_item& it, const machine_config& m);
+
+/// Multiplier on per-item pipeline work charged by the runtime itself.
+/// OpenMP's loop scheduling is nearly free; the work-stealing runtimes pay
+/// bookkeeping that grows with the thread count — the paper's empirical
+/// finding in Figure 1 (OpenMP > TBB > Cilk beyond ~51 threads), which the
+/// paper attributes to the runtime engines rather than the algorithm.
+/// Calibrated in machine.cpp's presets; see EXPERIMENTS.md.
+double runtime_tax(rt::backend policy, int threads);
+
+/// Per-task cost (time units) charged by the work-stealing runtimes for
+/// one leaf task, growing with the thread count (steal probes / deque
+/// traffic on the ring interconnect). Calibrated against Figures 1-3; see
+/// EXPERIMENTS.md.
+double ws_task_cost(rt::backend policy, int threads,
+                    const machine_config& m);
+
+/// Simulate scheduling `step` under `policy` with `threads` logical
+/// threads and the given chunk/grain. Returns one load per thread.
+std::vector<thread_load> assign_step(const parallel_step& step,
+                                     rt::backend policy, int threads,
+                                     std::int64_t chunk,
+                                     const machine_config& m);
+
+}  // namespace micg::model

@@ -1,0 +1,36 @@
+#include "micg/model/trace.hpp"
+
+namespace micg::model {
+
+double work_trace::total_cpu() const {
+  double total = 0.0;
+  for (const auto& s : steps) {
+    total += s.serial_cpu_ops;
+    for (const auto& it : s.items) total += it.cpu_ops;
+  }
+  return total;
+}
+
+double work_trace::total_stall() const {
+  double total = 0.0;
+  for (const auto& s : steps) {
+    for (const auto& it : s.items) total += it.stall_ops;
+  }
+  return total;
+}
+
+double work_trace::total_mem() const {
+  double total = 0.0;
+  for (const auto& s : steps) {
+    for (const auto& it : s.items) total += it.mem_ops;
+  }
+  return total;
+}
+
+std::size_t work_trace::total_items() const {
+  std::size_t total = 0;
+  for (const auto& s : steps) total += s.items.size();
+  return total;
+}
+
+}  // namespace micg::model

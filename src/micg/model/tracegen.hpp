@@ -1,0 +1,58 @@
+// Trace extraction: runs (or replays) the real algorithms on the real
+// graphs and converts their structure into work traces for the machine
+// model. The algorithmic quantities (visit sets, conflict counts, BFS
+// frontiers, degrees) are genuine; only per-operation costs are modeled
+// constants (calibrated once, documented in EXPERIMENTS.md).
+#pragma once
+
+#include "micg/graph/csr.hpp"
+#include "micg/model/trace.hpp"
+
+namespace micg::model {
+
+/// Cost of processing one vertex and one incident edge in a kernel.
+struct kernel_costs {
+  double cpu_per_edge = 0.0;
+  double cpu_per_vertex = 0.0;
+  double stall_per_edge = 0.0;
+  double stall_per_vertex = 0.0;
+  double miss_per_edge = 0.0;    ///< expected cache misses per neighbor access
+  double miss_per_vertex = 0.0;
+};
+
+/// Calibrated cost sets (constants justified in EXPERIMENTS.md §Model).
+kernel_costs coloring_costs(bool shuffled);
+kernel_costs conflict_detect_costs(bool shuffled);
+kernel_costs irregular_costs(int iterations);
+kernel_costs bfs_costs(bool shuffled = false);
+
+/// Iterative-coloring trace: two parallel steps (tentative + detect) per
+/// round. Round sizes come from running the real iterative algorithm;
+/// conflict-set degrees are sampled evenly from the graph.
+work_trace coloring_trace(const micg::graph::csr_graph& g, bool shuffled);
+
+/// Irregular-kernel trace: one parallel step over all vertices with the
+/// FLOP count scaled by `iterations` and memory traffic independent of it
+/// (neighbor states stay cached across the inner loop, §III-B).
+work_trace irregular_trace(const micg::graph::csr_graph& g, int iterations);
+
+/// Frontier data structure of the modeled BFS (per §IV-C).
+enum class bfs_frontier {
+  block,  ///< block-accessed shared queue
+  tls,    ///< SNAP thread-local queues (always locked)
+  bag,    ///< Leiserson–Schardl bag (always relaxed)
+};
+
+struct bfs_trace_options {
+  bfs_frontier frontier = bfs_frontier::block;
+  bool relaxed = true;  ///< block queue only
+};
+
+/// Layered-BFS trace: one parallel step per level with the real frontier
+/// (vertices and degrees from a sequential traversal), plus
+/// variant-specific insertion/merge costs.
+work_trace bfs_trace(const micg::graph::csr_graph& g,
+                     micg::graph::vertex_t source,
+                     const bfs_trace_options& opt);
+
+}  // namespace micg::model

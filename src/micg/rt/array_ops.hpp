@@ -1,0 +1,86 @@
+// Data-parallel array operations — the Cilk Plus "array notation" the
+// paper's §II-B footnotes (`w[:] = a*x[:]+b*y[:]`), provided as plain
+// functions over spans on any exec backend. These are the regular,
+// vectorizable counterpoint to the irregular kernels: the compiler
+// auto-vectorizes the inner loops (contiguous, restrict-free simple
+// form), the runtime parallelizes across chunks.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "micg/rt/exec.hpp"
+#include "micg/rt/parallel_reduce.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::rt {
+
+/// w[:] = a*x[:] + b*y[:]  (the paper's footnote example, §II-B).
+inline void axpby(const exec& e, double a, std::span<const double> x,
+                  double b, std::span<const double> y,
+                  std::span<double> w) {
+  MICG_CHECK(x.size() == y.size() && x.size() == w.size(),
+             "axpby: size mismatch");
+  const double* px = x.data();
+  const double* py = y.data();
+  double* pw = w.data();
+  for_range(e, static_cast<std::int64_t>(x.size()),
+            [&](std::int64_t lo, std::int64_t hi, int) {
+              for (std::int64_t i = lo; i < hi; ++i) {
+                pw[i] = a * px[i] + b * py[i];
+              }
+            });
+}
+
+/// w[:] = value.
+inline void fill(const exec& e, std::span<double> w, double value) {
+  double* pw = w.data();
+  for_range(e, static_cast<std::int64_t>(w.size()),
+            [&](std::int64_t lo, std::int64_t hi, int) {
+              for (std::int64_t i = lo; i < hi; ++i) pw[i] = value;
+            });
+}
+
+/// w[:] *= a.
+inline void scale(const exec& e, std::span<double> w, double a) {
+  double* pw = w.data();
+  for_range(e, static_cast<std::int64_t>(w.size()),
+            [&](std::int64_t lo, std::int64_t hi, int) {
+              for (std::int64_t i = lo; i < hi; ++i) pw[i] *= a;
+            });
+}
+
+/// sum(x[:] * y[:]).
+inline double dot(const exec& e, std::span<const double> x,
+                  std::span<const double> y) {
+  MICG_CHECK(x.size() == y.size(), "dot: size mismatch");
+  const double* px = x.data();
+  const double* py = y.data();
+  return parallel_sum<double>(
+      e, static_cast<std::int64_t>(x.size()),
+      [px, py](std::int64_t lo, std::int64_t hi) {
+        double s = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) s += px[i] * py[i];
+        return s;
+      });
+}
+
+/// sqrt(dot(x, x)).
+inline double norm2(const exec& e, std::span<const double> x) {
+  return std::sqrt(dot(e, x, x));
+}
+
+/// w[i] = f(x[i]) — the "user defined elemental function" form (§II-B).
+template <typename F>
+void map_elemental(const exec& e, std::span<const double> x,
+                   std::span<double> w, const F& f) {
+  MICG_CHECK(x.size() == w.size(), "map: size mismatch");
+  const double* px = x.data();
+  double* pw = w.data();
+  for_range(e, static_cast<std::int64_t>(x.size()),
+            [&](std::int64_t lo, std::int64_t hi, int) {
+              for (std::int64_t i = lo; i < hi; ++i) pw[i] = f(px[i]);
+            });
+}
+
+}  // namespace micg::rt

@@ -1,0 +1,50 @@
+// Centralized generation-counting barrier.
+//
+// The layered BFS and the coloring rounds are bulk-synchronous; this barrier
+// is the synchronization point between phases when a persistent parallel
+// region is used. Spin-then-yield so it stays correct (if slower) when the
+// machine is oversubscribed. A generation counter (rather than a
+// sense-reversing thread-local) keeps the barrier safe when one thread uses
+// several barrier objects.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::rt {
+
+class sense_barrier {
+ public:
+  explicit sense_barrier(int participants) : participants_(participants) {
+    MICG_CHECK(participants >= 1, "barrier needs at least one participant");
+  }
+
+  /// Block until all `participants` threads have arrived.
+  void arrive_and_wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+      count_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        if (++spins > 128) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] int participants() const { return participants_; }
+
+ private:
+  const int participants_;
+  std::atomic<int> count_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace micg::rt

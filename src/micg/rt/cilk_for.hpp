@@ -1,0 +1,60 @@
+// Recursive parallel loop over the work-stealing scheduler — the analogue
+// of the `cilk_for` construct (§II-B of the paper): the iteration space is
+// split in halves by spawned tasks until a grain size is reached, and
+// leaves execute the body.
+#pragma once
+
+#include <cstdint>
+
+#include "micg/rt/scheduler.hpp"
+#include "micg/rt/worker.hpp"
+
+namespace micg::rt {
+
+/// Default grain: Cilk Plus sizes chunks so the task count is proportional
+/// to the worker count (§IV-A2); 8 leaves per worker balances steal traffic
+/// against load balance.
+inline std::int64_t cilk_default_grain(std::int64_t n, int nthreads) {
+  const std::int64_t leaves = static_cast<std::int64_t>(nthreads) * 8;
+  std::int64_t grain = (n + leaves - 1) / leaves;
+  return grain < 1 ? 1 : grain;
+}
+
+namespace detail {
+template <typename Body>
+void cilk_for_rec(task_scheduler& sched, std::int64_t begin, std::int64_t end,
+                  std::int64_t grain, const Body& body) {
+  if (end - begin <= grain) {
+    if (begin < end) body(begin, end, this_worker_id());
+    return;
+  }
+  const std::int64_t mid = begin + (end - begin) / 2;
+  task_group g(sched);
+  g.spawn([&sched, mid, end, grain, &body] {
+    cilk_for_rec(sched, mid, end, grain, body);
+  });
+  cilk_for_rec(sched, begin, mid, grain, body);
+  g.wait();  // sync the spawned right half (helps execute queued leaves)
+}
+}  // namespace detail
+
+/// Parallel loop over [begin, end). `body(chunk_begin, chunk_end, worker)`
+/// is invoked on grain-sized leaves. Must be called from inside
+/// task_scheduler::run(); see cilk_parallel_for for the one-shot wrapper.
+template <typename Body>
+void cilk_for(task_scheduler& sched, std::int64_t begin, std::int64_t end,
+              std::int64_t grain, const Body& body) {
+  if (begin >= end) return;
+  if (grain <= 0) grain = cilk_default_grain(end - begin, sched.nthreads());
+  detail::cilk_for_rec(sched, begin, end, grain, body);
+}
+
+/// One-shot wrapper: enters a scheduling region, runs the loop, returns.
+template <typename Body>
+void cilk_parallel_for(task_scheduler& sched, std::int64_t begin,
+                       std::int64_t end, std::int64_t grain,
+                       const Body& body) {
+  sched.run([&] { cilk_for(sched, begin, end, grain, body); });
+}
+
+}  // namespace micg::rt

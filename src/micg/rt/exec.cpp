@@ -1,0 +1,38 @@
+#include "micg/rt/exec.hpp"
+
+#include "micg/support/assert.hpp"
+
+namespace micg::rt {
+
+const char* backend_name(backend b) {
+  switch (b) {
+    case backend::omp_static: return "OpenMP-static";
+    case backend::omp_static_chunked: return "OpenMP-static-chunked";
+    case backend::omp_dynamic: return "OpenMP-dynamic";
+    case backend::omp_guided: return "OpenMP-guided";
+    case backend::cilk_tid: return "CilkPlus";
+    case backend::cilk_holder: return "CilkPlus-holder";
+    case backend::tbb_simple: return "TBB-simple";
+    case backend::tbb_auto: return "TBB-auto";
+    case backend::tbb_affinity: return "TBB-affinity";
+  }
+  return "unknown";
+}
+
+backend backend_from_name(const std::string& name) {
+  for (backend b : all_backends()) {
+    if (name == backend_name(b)) return b;
+  }
+  MICG_CHECK(false, "unknown backend name: " + name);
+  return backend::omp_dynamic;  // unreachable
+}
+
+std::vector<backend> all_backends() {
+  return {backend::omp_static,  backend::omp_static_chunked,
+          backend::omp_dynamic, backend::omp_guided,
+          backend::cilk_tid,    backend::cilk_holder,
+          backend::tbb_simple,  backend::tbb_auto,
+          backend::tbb_affinity};
+}
+
+}  // namespace micg::rt

@@ -1,0 +1,123 @@
+// General reducer hyperobjects over user-defined monoids.
+//
+// §II-B of the paper: "Thread Local Storage and reductions are performed
+// through holders and reducers. A user can define her own Thread Local
+// Variable by implementing a monoid which allows to define what should
+// happen during a steal and a reduce operations." This header provides
+// that construct for the micgraph runtime: a Monoid supplies identity()
+// and reduce(left, right); the reducer keeps one lazily-created view per
+// worker and folds the views on get().
+//
+// Unlike true Cilk reducers the fold happens at the final get() rather
+// than eagerly at steal boundaries, so reduce() must be associative AND
+// commutative here (the common case: sums, maxima, bags). Order-sensitive
+// reductions (e.g. list concatenation in iteration order) should use
+// ordered_list_reducer, which tags appends with a caller-supplied index.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "micg/rt/tls.hpp"
+
+namespace micg::rt {
+
+/// Requirements: `T identity() const` and `T reduce(T, T) const` with
+/// reduce associative and commutative.
+template <typename T, typename Monoid>
+class reducer {
+ public:
+  reducer(int max_workers, Monoid monoid = Monoid{})
+      : monoid_(std::move(monoid)),
+        views_(max_workers, [this] { return monoid_.identity(); }) {}
+
+  /// The calling worker's view (create on demand, like a holder).
+  T& view() { return views_.local(); }
+
+  /// Fold `value` into the calling worker's view.
+  void combine(T value) {
+    T& v = views_.local();
+    v = monoid_.reduce(std::move(v), std::move(value));
+  }
+
+  /// Merge all views. Call only when quiescent.
+  [[nodiscard]] T get() {
+    T acc = monoid_.identity();
+    views_.for_each([&](T& v) { acc = monoid_.reduce(std::move(acc), v); });
+    return acc;
+  }
+
+  /// Drop all views (next access re-creates from the identity).
+  void clear() { views_.clear(); }
+
+ private:
+  Monoid monoid_;
+  enumerable_thread_specific<T> views_;
+};
+
+/// Monoid for sums (the cilk reducer_opadd analogue).
+template <typename T>
+struct opadd_monoid {
+  T identity() const { return T{}; }
+  T reduce(T a, T b) const { return a + b; }
+};
+template <typename T>
+using reducer_opadd = reducer<T, opadd_monoid<T>>;
+
+/// Monoid for minima.
+template <typename T>
+struct min_monoid {
+  T init;
+  T identity() const { return init; }
+  T reduce(T a, T b) const { return std::min(a, b); }
+};
+
+/// Unordered container-append monoid (bag semantics).
+template <typename T>
+struct append_monoid {
+  std::vector<T> identity() const { return {}; }
+  std::vector<T> reduce(std::vector<T> a, std::vector<T> b) const {
+    if (a.size() < b.size()) a.swap(b);
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+  }
+};
+template <typename T>
+using reducer_append = reducer<std::vector<T>, append_monoid<T>>;
+
+/// Order-preserving list reducer: each append carries the loop index it
+/// came from; get() returns elements sorted by that index, recovering the
+/// sequential semantics a true Cilk list reducer provides.
+template <typename T>
+class ordered_list_reducer {
+ public:
+  explicit ordered_list_reducer(int max_workers) : views_(max_workers) {}
+
+  void append(std::int64_t index, T value) {
+    views_.local().emplace_back(index, std::move(value));
+  }
+
+  /// All appended values in index order. Call only when quiescent.
+  [[nodiscard]] std::vector<T> get() {
+    std::vector<std::pair<std::int64_t, T>> all;
+    views_.for_each([&](auto& v) {
+      all.insert(all.end(), std::make_move_iterator(v.begin()),
+                 std::make_move_iterator(v.end()));
+    });
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<T> out;
+    out.reserve(all.size());
+    for (auto& [idx, val] : all) out.push_back(std::move(val));
+    return out;
+  }
+
+  void clear() { views_.clear(); }
+
+ private:
+  enumerable_thread_specific<std::vector<std::pair<std::int64_t, T>>>
+      views_;
+};
+
+}  // namespace micg::rt

@@ -1,0 +1,102 @@
+// OpenMP-style parallel loop scheduling: static, static-chunked, dynamic
+// and guided policies (§II-A of the paper), executed on the persistent
+// thread pool. Implemented here rather than with compiler OpenMP so all
+// three programming-model substrates share one pool and are equally
+// instrumentable by the scheduling model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "micg/rt/thread_pool.hpp"
+#include "micg/support/assert.hpp"
+#include "micg/support/cacheline.hpp"
+
+namespace micg::rt {
+
+enum class omp_schedule {
+  static_even,     ///< one contiguous block per thread (OpenMP static)
+  static_chunked,  ///< round-robin chunks (OpenMP static,chunk)
+  dynamic,         ///< FCFS chunks off a shared counter (OpenMP dynamic,chunk)
+  guided,          ///< geometrically decreasing chunks (OpenMP guided,chunk)
+};
+
+struct loop_options {
+  omp_schedule schedule = omp_schedule::dynamic;
+  std::int64_t chunk = 64;  ///< chunk size (minimum chunk for guided)
+};
+
+/// Parallel loop over [0, n). `body(chunk_begin, chunk_end, worker)` runs
+/// for every chunk the policy hands to `worker`. The calling thread
+/// participates as worker 0; returns when the whole range is done.
+template <typename Body>
+void omp_parallel_for(thread_pool& pool, int nthreads, std::int64_t n,
+                      const loop_options& opt, const Body& body) {
+  MICG_CHECK(nthreads >= 1, "need at least one thread");
+  if (n <= 0) return;
+  const std::int64_t chunk = opt.chunk > 0 ? opt.chunk : 1;
+
+  switch (opt.schedule) {
+    case omp_schedule::static_even: {
+      pool.run(nthreads, [&](int w) {
+        // Evenly sized contiguous blocks, remainder spread over the first
+        // (n % nthreads) workers — the usual OpenMP static partition.
+        const std::int64_t base = n / nthreads;
+        const std::int64_t rem = n % nthreads;
+        const std::int64_t begin =
+            w * base + (w < rem ? w : rem);
+        const std::int64_t len = base + (w < rem ? 1 : 0);
+        if (len > 0) body(begin, begin + len, w);
+      });
+      break;
+    }
+    case omp_schedule::static_chunked: {
+      pool.run(nthreads, [&](int w) {
+        for (std::int64_t b = static_cast<std::int64_t>(w) * chunk; b < n;
+             b += static_cast<std::int64_t>(nthreads) * chunk) {
+          const std::int64_t e = b + chunk < n ? b + chunk : n;
+          body(b, e, w);
+        }
+      });
+      break;
+    }
+    case omp_schedule::dynamic: {
+      // Shared cursor; each claim is one fetch_add (the paper's observation
+      // that cheap dynamic scheduling wins on latency-bound kernels, §V-B).
+      alignas(cacheline_size) std::atomic<std::int64_t> next{0};
+      pool.run(nthreads, [&](int w) {
+        for (;;) {
+          const std::int64_t b =
+              next.fetch_add(chunk, std::memory_order_relaxed);
+          if (b >= n) break;
+          const std::int64_t e = b + chunk < n ? b + chunk : n;
+          body(b, e, w);
+        }
+      });
+      break;
+    }
+    case omp_schedule::guided: {
+      // Chunk = remaining/nthreads, geometrically decreasing, floored at
+      // `chunk`. Claimed with a CAS because the size depends on the cursor.
+      alignas(cacheline_size) std::atomic<std::int64_t> next{0};
+      pool.run(nthreads, [&](int w) {
+        for (;;) {
+          std::int64_t b = next.load(std::memory_order_relaxed);
+          std::int64_t size = 0;
+          do {
+            if (b >= n) return;
+            const std::int64_t remaining = n - b;
+            size = remaining / nthreads;
+            if (size < chunk) size = chunk;
+            if (size > remaining) size = remaining;
+          } while (!next.compare_exchange_weak(b, b + size,
+                                               std::memory_order_relaxed));
+          body(b, b + size, w);
+        }
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace micg::rt

@@ -1,0 +1,40 @@
+// TBB-style parallel_reduce and parallel_scan-free helpers built on the
+// exec facade: map a range to per-chunk partial values, fold them with a
+// commutative-associative op. Used by PageRank's delta accumulation and
+// available as public API.
+#pragma once
+
+#include <cstdint>
+
+#include "micg/rt/exec.hpp"
+#include "micg/rt/hyperobject.hpp"
+
+namespace micg::rt {
+
+/// Reduce `body(i)` over [0, n): `body(begin, end) -> T` computes a
+/// chunk-partial value; `Reduce(T, T) -> T` folds partials (must be
+/// associative and commutative); `identity` seeds every partial chain.
+template <typename T, typename Body, typename Reduce>
+T parallel_reduce(const exec& e, std::int64_t n, T identity,
+                  const Body& body, const Reduce& reduce) {
+  struct monoid {
+    T init;
+    const Reduce* op;
+    T identity() const { return init; }
+    T reduce(T a, T b) const { return (*op)(std::move(a), std::move(b)); }
+  };
+  reducer<T, monoid> acc(e.threads, monoid{identity, &reduce});
+  for_range(e, n, [&](std::int64_t b, std::int64_t en, int) {
+    acc.combine(body(b, en));
+  });
+  return acc.get();
+}
+
+/// Sum `body(begin, end)` chunk results over [0, n).
+template <typename T, typename Body>
+T parallel_sum(const exec& e, std::int64_t n, const Body& body) {
+  return parallel_reduce(
+      e, n, T{}, body, [](T a, T b) { return a + b; });
+}
+
+}  // namespace micg::rt

@@ -1,0 +1,215 @@
+// TBB-style parallel_for with the three partitioners the paper compares
+// (§II-C): simple (recursive split to grain), auto (split further only when
+// a range is stolen), affinity (replay chunk->worker placement across
+// repeated loops).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <cstdint>
+#include <vector>
+
+#include "micg/rt/range.hpp"
+#include "micg/rt/scheduler.hpp"
+#include "micg/rt/worker.hpp"
+#include "micg/support/cacheline.hpp"
+
+namespace micg::rt {
+
+/// Recursively split the range until it is no longer divisible; execute
+/// every leaf as a work-stealing task. "In a way, the simple partitioner is
+/// similar to the dynamic scheduling policy of OpenMP" (§II-C).
+struct simple_partitioner {};
+
+/// Create roughly one subrange per worker up front; split a subrange
+/// further only when it is observed to have been stolen (TBB's
+/// split-on-steal heuristic), bounded by a split depth.
+struct auto_partitioner {
+  /// Extra binary splits allowed after a steal before executing in place.
+  int max_extra_splits = 4;
+};
+
+/// Remembers which worker executed each chunk of the previous invocation
+/// and offers chunks to the same worker first; idle workers steal leftover
+/// chunks. Reuse one instance across loop invocations to benefit.
+class affinity_partitioner {
+ public:
+  /// chunks_per_worker controls placement granularity (TBB uses a small
+  /// multiple of the worker count).
+  explicit affinity_partitioner(int chunks_per_worker = 4)
+      : chunks_per_worker_(chunks_per_worker) {}
+
+  [[nodiscard]] int chunks_per_worker() const { return chunks_per_worker_; }
+
+  /// Placement map from the previous run: chunk index -> preferred worker.
+  /// Empty before the first run or after a geometry change.
+  [[nodiscard]] const std::vector<int>& placement() const {
+    return placement_;
+  }
+
+ private:
+  template <typename Body>
+  friend void parallel_for(task_scheduler&, blocked_range, const Body&,
+                           affinity_partitioner&);
+
+  int chunks_per_worker_;
+  std::vector<int> placement_;
+  std::int64_t last_size_ = -1;
+};
+
+namespace detail {
+
+template <typename Body>
+void simple_split_exec(task_scheduler& sched, blocked_range r,
+                       const Body& body) {
+  while (r.is_divisible()) {
+    blocked_range right = r.split();
+    task_group g(sched);
+    g.spawn([&sched, right, &body] { simple_split_exec(sched, right, body); });
+    simple_split_exec(sched, r, body);
+    g.wait();
+    return;
+  }
+  if (!r.empty()) body(r, this_worker_id());
+}
+
+template <typename Body>
+void auto_split_exec(task_scheduler& sched, blocked_range r, const Body& body,
+                     int splits_left) {
+  // Split further only when this task landed on a thief, imitating TBB's
+  // auto_partitioner: work splits lazily, tracking actual imbalance.
+  while (splits_left > 0 && r.is_divisible() &&
+         task_scheduler::current_task_was_stolen()) {
+    blocked_range right = r.split();
+    const int remaining = splits_left - 1;
+    task_group g(sched);
+    g.spawn([&sched, right, &body, remaining] {
+      auto_split_exec(sched, right, body, remaining);
+    });
+    auto_split_exec(sched, r, body, remaining);
+    g.wait();
+    return;
+  }
+  if (!r.empty()) body(r, this_worker_id());
+}
+
+}  // namespace detail
+
+/// parallel_for with the simple partitioner. `body(range, worker)` receives
+/// leaf ranges of at most `grain` iterations.
+template <typename Body>
+void parallel_for(task_scheduler& sched, blocked_range range,
+                  const Body& body, simple_partitioner) {
+  if (range.empty()) return;
+  sched.run([&] { detail::simple_split_exec(sched, range, body); });
+}
+
+/// parallel_for with the auto partitioner.
+template <typename Body>
+void parallel_for(task_scheduler& sched, blocked_range range,
+                  const Body& body, auto_partitioner ap) {
+  if (range.empty()) return;
+  const int nthreads = sched.nthreads();
+  sched.run([&] {
+    // Seed one subrange per worker, then let steals drive further splits.
+    const std::int64_t n = range.size();
+    const std::int64_t per =
+        (n + nthreads - 1) / static_cast<std::int64_t>(nthreads);
+    task_group g(sched);
+    for (std::int64_t b = range.begin(); b < range.end(); b += per) {
+      const std::int64_t e = b + per < range.end() ? b + per : range.end();
+      blocked_range sub(b, e, range.grain());
+      g.spawn([&sched, sub, &body, ap] {
+        detail::auto_split_exec(sched, sub, body, ap.max_extra_splits);
+      });
+    }
+    g.wait();
+  });
+}
+
+/// parallel_for with the affinity partitioner. Chunks are offered to the
+/// worker that ran them last time; leftovers are claimed FCFS.
+template <typename Body>
+void parallel_for(task_scheduler& sched, blocked_range range,
+                  const Body& body, affinity_partitioner& ap) {
+  if (range.empty()) return;
+  const int nthreads = sched.nthreads();
+  const std::int64_t n = range.size();
+  std::int64_t nchunks =
+      static_cast<std::int64_t>(nthreads) * ap.chunks_per_worker_;
+  // Never create chunks below the grain size.
+  const std::int64_t max_chunks =
+      (n + range.grain() - 1) / range.grain();
+  if (nchunks > max_chunks) nchunks = max_chunks;
+  if (nchunks < 1) nchunks = 1;
+
+  if (ap.last_size_ != n ||
+      static_cast<std::int64_t>(ap.placement_.size()) != nchunks) {
+    // Geometry changed: default placement is blocked (chunk c -> worker
+    // c*nthreads/nchunks), which is also cache-friendly for a first run.
+    ap.placement_.assign(static_cast<std::size_t>(nchunks), 0);
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+      ap.placement_[static_cast<std::size_t>(c)] =
+          static_cast<int>(c * nthreads / nchunks);
+    }
+    ap.last_size_ = n;
+  }
+
+  // Array, not vector: padded<atomic> is neither copyable nor movable.
+  auto claimed = std::make_unique<padded<std::atomic<bool>>[]>(
+      static_cast<std::size_t>(nchunks));
+  std::vector<int> ran_by(static_cast<std::size_t>(nchunks), 0);
+  const std::vector<int> preferred = ap.placement_;
+
+  auto chunk_bounds = [&](std::int64_t c) {
+    const std::int64_t b = range.begin() + c * n / nchunks;
+    const std::int64_t e = range.begin() + (c + 1) * n / nchunks;
+    return blocked_range(b, e, range.grain());
+  };
+
+  sched.run([&] {
+    task_group g(sched);
+    for (int w = 1; w < nthreads; ++w) {
+      g.spawn([&, w] {
+        // Pass 1: chunks placed on me last time.
+        for (std::int64_t c = 0; c < nchunks; ++c) {
+          const auto ci = static_cast<std::size_t>(c);
+          if (preferred[ci] != w) continue;
+          if (claimed[ci].value.exchange(true, std::memory_order_acq_rel))
+            continue;
+          ran_by[ci] = this_worker_id();
+          body(chunk_bounds(c), this_worker_id());
+        }
+        // Pass 2: help with whatever is left (affinity misses).
+        for (std::int64_t c = 0; c < nchunks; ++c) {
+          const auto ci = static_cast<std::size_t>(c);
+          if (claimed[ci].value.exchange(true, std::memory_order_acq_rel))
+            continue;
+          ran_by[ci] = this_worker_id();
+          body(chunk_bounds(c), this_worker_id());
+        }
+      });
+    }
+    // Worker 0 does its own passes inline.
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (preferred[ci] != 0) continue;
+      if (claimed[ci].value.exchange(true, std::memory_order_acq_rel))
+        continue;
+      ran_by[ci] = this_worker_id();
+      body(chunk_bounds(c), this_worker_id());
+    }
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (claimed[ci].value.exchange(true, std::memory_order_acq_rel))
+        continue;
+      ran_by[ci] = this_worker_id();
+      body(chunk_bounds(c), this_worker_id());
+    }
+    g.wait();
+  });
+
+  ap.placement_ = ran_by;  // remember actual placement for the next loop
+}
+
+}  // namespace micg::rt

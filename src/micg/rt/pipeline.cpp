@@ -1,0 +1,165 @@
+#include "micg/rt/pipeline.hpp"
+
+#include <optional>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::rt {
+
+void pipeline::add_filter(filter_mode mode, filter_fn fn) {
+  MICG_CHECK(static_cast<bool>(fn), "filter function must be callable");
+  filters_.push_back({mode, std::move(fn)});
+}
+
+namespace {
+
+struct work_item {
+  std::uint64_t seq;
+  void* data;
+};
+
+/// Shared pipeline state. One mutex guards everything: pipelines carry
+/// coarse items (that is the point of the construct), so the critical
+/// sections are tiny relative to filter work.
+struct pipeline_state {
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Per (non-source) stage: pending items and serial-execution state.
+  struct stage_state {
+    std::deque<work_item> ready;          // any-order candidates
+    std::map<std::uint64_t, work_item> in_order;  // for serial_in_order
+    std::uint64_t next_seq = 0;  // next sequence a serial_in_order stage emits
+    bool busy = false;           // a serial stage is executing
+  };
+  std::vector<stage_state> stages;  // index 0 unused (source)
+
+  bool source_busy = false;
+  bool source_done = false;
+  std::uint64_t next_source_seq = 0;
+  int tokens_in_flight = 0;
+  int max_tokens = 1;
+  int executing = 0;  // filters currently running (any stage)
+};
+
+}  // namespace
+
+void pipeline::run(thread_pool& pool, int threads, int max_tokens) {
+  MICG_CHECK(filters_.size() >= 2,
+             "pipeline needs at least a source and a sink filter");
+  MICG_CHECK(threads >= 1, "need at least one thread");
+  MICG_CHECK(max_tokens >= 1, "need at least one token");
+
+  pipeline_state st;
+  st.stages.resize(filters_.size());
+  st.max_tokens = max_tokens;
+
+  auto worker = [&](int) {
+    std::unique_lock<std::mutex> lock(st.mu);
+    for (;;) {
+      // 1) Prefer draining downstream stages (keeps tokens recycling).
+      std::optional<std::size_t> stage_idx;
+      std::optional<work_item> item;
+      for (std::size_t s = filters_.size(); s-- > 1;) {
+        auto& ss = st.stages[s];
+        const auto mode = filters_[s].mode;
+        if (mode == filter_mode::parallel) {
+          if (!ss.ready.empty()) {
+            item = ss.ready.front();
+            ss.ready.pop_front();
+            stage_idx = s;
+            break;
+          }
+        } else if (!ss.busy) {
+          if (mode == filter_mode::serial_out_of_order &&
+              !ss.ready.empty()) {
+            item = ss.ready.front();
+            ss.ready.pop_front();
+            ss.busy = true;
+            stage_idx = s;
+            break;
+          }
+          if (mode == filter_mode::serial_in_order &&
+              !ss.in_order.empty() &&
+              ss.in_order.begin()->first == ss.next_seq) {
+            item = ss.in_order.begin()->second;
+            ss.in_order.erase(ss.in_order.begin());
+            ss.busy = true;
+            stage_idx = s;
+            break;
+          }
+        }
+      }
+
+      // 2) Otherwise pump the source if a token is available.
+      bool run_source = false;
+      if (!stage_idx.has_value()) {
+        if (!st.source_done && !st.source_busy &&
+            st.tokens_in_flight < st.max_tokens) {
+          st.source_busy = true;
+          run_source = true;
+        } else if (st.source_done && st.tokens_in_flight == 0 &&
+                   st.executing == 0) {
+          st.cv.notify_all();
+          return;  // stream fully drained
+        } else {
+          st.cv.wait(lock);
+          continue;
+        }
+      }
+
+      ++st.executing;
+      if (run_source) {
+        const std::uint64_t seq = st.next_source_seq;
+        lock.unlock();
+        void* data = filters_[0].fn(nullptr);
+        lock.lock();
+        --st.executing;
+        st.source_busy = false;
+        if (data == nullptr) {
+          st.source_done = true;
+        } else {
+          ++st.next_source_seq;
+          ++st.tokens_in_flight;
+          auto& next = st.stages[1];
+          if (filters_[1].mode == filter_mode::serial_in_order) {
+            next.in_order.emplace(seq, work_item{seq, data});
+          } else {
+            next.ready.push_back(work_item{seq, data});
+          }
+        }
+        st.cv.notify_all();
+        continue;
+      }
+
+      const std::size_t s = *stage_idx;
+      work_item wi = *item;
+      lock.unlock();
+      void* out = filters_[s].fn(wi.data);
+      lock.lock();
+      --st.executing;
+      auto& ss = st.stages[s];
+      if (filters_[s].mode != filter_mode::parallel) {
+        ss.busy = false;
+        if (filters_[s].mode == filter_mode::serial_in_order) {
+          ++ss.next_seq;
+        }
+      }
+      if (s + 1 < filters_.size()) {
+        auto& next = st.stages[s + 1];
+        if (filters_[s + 1].mode == filter_mode::serial_in_order) {
+          next.in_order.emplace(wi.seq, work_item{wi.seq, out});
+        } else {
+          next.ready.push_back(work_item{wi.seq, out});
+        }
+      } else {
+        --st.tokens_in_flight;  // item retired at the sink
+      }
+      st.cv.notify_all();
+    }
+  };
+
+  pool.run(threads, worker);
+}
+
+}  // namespace micg::rt

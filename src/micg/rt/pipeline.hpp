@@ -1,0 +1,58 @@
+// TBB-style pipeline (§II-C of the paper: "The flow graph construct
+// allows to define tasks that are repeatedly executed by taking some data
+// as an input and producing an output. It allows to easily set up a
+// pipeline of tasks ... typically, video compression, graphical
+// rendering, and data processing").
+//
+// A pipeline is a linear chain of filters. The first filter is the
+// source: called with nullptr, it returns a new item or nullptr for
+// end-of-stream. Later filters transform the item (returning it or a
+// replacement); the last filter's return value is discarded. Filters
+// declare a mode:
+//   * parallel          — any number of items in flight simultaneously;
+//   * serial_in_order   — one item at a time, in production order;
+//   * serial_out_of_order — one item at a time, any order.
+// run() processes the stream with at most `max_tokens` items in flight on
+// `threads` workers of the pool (the classic token-limited design).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "micg/rt/thread_pool.hpp"
+
+namespace micg::rt {
+
+enum class filter_mode {
+  parallel,
+  serial_in_order,
+  serial_out_of_order,
+};
+
+class pipeline {
+ public:
+  using filter_fn = std::function<void*(void*)>;
+
+  /// Append a filter. The first added filter is the source.
+  void add_filter(filter_mode mode, filter_fn fn);
+
+  [[nodiscard]] std::size_t num_filters() const { return filters_.size(); }
+
+  /// Run the stream to exhaustion. Requires at least two filters (a
+  /// source and a sink) and max_tokens >= 1.
+  void run(thread_pool& pool, int threads, int max_tokens);
+
+ private:
+  struct filter {
+    filter_mode mode;
+    filter_fn fn;
+  };
+  std::vector<filter> filters_;
+};
+
+}  // namespace micg::rt

@@ -1,0 +1,43 @@
+// TBB-style splittable iteration range.
+#pragma once
+
+#include <cstdint>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::rt {
+
+/// Half-open index range with a grain size; splittable in two. The TBB-style
+/// partitioners (partitioner.hpp) decide when to split it.
+class blocked_range {
+ public:
+  blocked_range(std::int64_t begin, std::int64_t end, std::int64_t grain = 1)
+      : begin_(begin), end_(end), grain_(grain > 0 ? grain : 1) {
+    MICG_CHECK(begin <= end, "blocked_range: begin must not exceed end");
+  }
+
+  [[nodiscard]] std::int64_t begin() const { return begin_; }
+  [[nodiscard]] std::int64_t end() const { return end_; }
+  [[nodiscard]] std::int64_t size() const { return end_ - begin_; }
+  [[nodiscard]] std::int64_t grain() const { return grain_; }
+  [[nodiscard]] bool empty() const { return begin_ >= end_; }
+
+  /// A range splits while it holds more than one grain of work.
+  [[nodiscard]] bool is_divisible() const { return size() > grain_; }
+
+  /// Split in half: this keeps the left part, the right part is returned.
+  blocked_range split() {
+    MICG_ASSERT(is_divisible());
+    const std::int64_t mid = begin_ + size() / 2;
+    blocked_range right(mid, end_, grain_);
+    end_ = mid;
+    return right;
+  }
+
+ private:
+  std::int64_t begin_;
+  std::int64_t end_;
+  std::int64_t grain_;
+};
+
+}  // namespace micg::rt

@@ -1,0 +1,71 @@
+// Parallel prefix sums (exclusive scan) over the exec facade.
+//
+// Two-pass blocked scan: per-chunk partial sums, a sequential scan over
+// the (few) chunk totals, then a second parallel pass rewriting each
+// chunk with its offset. Parallelism is over *chunk indices*, so any
+// backend's range splitting is safe. This is the "complex book keeping"
+// substrate §IV-C alludes to for compacting partially-filled queue
+// blocks (see bfs/compact_frontier.hpp for that use).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "micg/rt/exec.hpp"
+
+namespace micg::rt {
+
+/// Exclusive prefix sum of values[0..n) in place: values[i] becomes
+/// sum(values[0..i)). Returns the total.
+template <typename T>
+T parallel_exclusive_scan(const exec& e, std::vector<T>& values) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  if (n == 0) return T{};
+
+  const std::int64_t chunk =
+      std::max<std::int64_t>(e.chunk > 0 ? e.chunk : 1024, 1);
+  const std::int64_t nchunks = (n + chunk - 1) / chunk;
+  std::vector<T> partial(static_cast<std::size_t>(nchunks), T{});
+
+  exec pass = e;
+  pass.chunk = 1;  // items are whole chunks already
+
+  // Pass 1: per-chunk sums.
+  for_range(pass, nchunks, [&](std::int64_t b, std::int64_t en, int) {
+    for (std::int64_t c = b; c < en; ++c) {
+      const std::int64_t cbegin = c * chunk;
+      const std::int64_t cend = std::min(cbegin + chunk, n);
+      T sum{};
+      for (std::int64_t j = cbegin; j < cend; ++j) {
+        sum += values[static_cast<std::size_t>(j)];
+      }
+      partial[static_cast<std::size_t>(c)] = sum;
+    }
+  });
+
+  // Sequential scan of chunk totals (nchunks is small).
+  T running{};
+  for (auto& p : partial) {
+    const T next = running + p;
+    p = running;
+    running = next;
+  }
+
+  // Pass 2: local exclusive scan per chunk, seeded with the chunk offset.
+  for_range(pass, nchunks, [&](std::int64_t b, std::int64_t en, int) {
+    for (std::int64_t c = b; c < en; ++c) {
+      const std::int64_t cbegin = c * chunk;
+      const std::int64_t cend = std::min(cbegin + chunk, n);
+      T acc = partial[static_cast<std::size_t>(c)];
+      for (std::int64_t j = cbegin; j < cend; ++j) {
+        const T v = values[static_cast<std::size_t>(j)];
+        values[static_cast<std::size_t>(j)] = acc;
+        acc += v;
+      }
+    }
+  });
+  return running;
+}
+
+}  // namespace micg::rt

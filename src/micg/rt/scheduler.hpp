@@ -1,0 +1,128 @@
+// Cilk-style fork-join work-stealing scheduler.
+//
+// This is the substrate behind the paper's "Cilk Plus" variants and behind
+// the TBB-style partitioners: per-worker Chase–Lev deques, LIFO local
+// execution, randomized FIFO stealing (child-stealing / help-first, the
+// policy the TBB scheduler and the Cilk Plus runtime both approximate).
+//
+// Usage:
+//   task_scheduler sched(pool, nthreads);
+//   sched.run([&] {
+//     task_group g(sched);
+//     g.spawn([&] { left(); });
+//     right();
+//     g.wait();                 // or rely on ~task_group()
+//   });
+//
+// cilk_for() in cilk_for.hpp layers the recursive loop decomposition of the
+// `cilk_for` construct on top of task_group.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "micg/rt/thread_pool.hpp"
+#include "micg/rt/ws_deque.hpp"
+#include "micg/support/cacheline.hpp"
+
+namespace micg::rt {
+
+class task_group;
+
+/// Aggregate scheduler statistics for one run(); used by tests and by the
+/// machine-model calibration.
+struct scheduler_stats {
+  std::uint64_t spawned = 0;   ///< tasks pushed to deques
+  std::uint64_t stolen = 0;    ///< tasks executed by a worker other than the spawner
+  std::uint64_t executed = 0;  ///< tasks executed in total
+};
+
+class task_scheduler {
+ public:
+  /// Schedules on `nthreads` workers of `pool`.
+  task_scheduler(thread_pool& pool, int nthreads);
+  ~task_scheduler();
+
+  task_scheduler(const task_scheduler&) = delete;
+  task_scheduler& operator=(const task_scheduler&) = delete;
+
+  /// Execute `root` as the root task on worker 0; all workers steal until
+  /// the root (and therefore every task_group inside it) completes.
+  void run(const std::function<void()>& root);
+
+  [[nodiscard]] int nthreads() const { return nthreads_; }
+
+  /// Statistics accumulated since construction (sums across run() calls).
+  [[nodiscard]] scheduler_stats stats() const;
+
+  /// True when called from inside a task that is being executed by a
+  /// different worker than the one that spawned it. This is the signal the
+  /// auto-partitioner uses to split further (TBB's split-on-steal rule).
+  static bool current_task_was_stolen();
+
+ private:
+  friend class task_group;
+
+  struct task {
+    std::function<void()> fn;
+    std::atomic<std::int64_t>* pending;
+    int spawner;
+  };
+
+  void spawn_task(task_group& group, std::function<void()> fn);
+  void wait_group(task_group& group);
+
+  /// Pop-or-steal one task and execute it. Returns false when nothing was
+  /// found anywhere.
+  bool try_execute_one(int self);
+  void execute(task* t, int self);
+
+  thread_pool& pool_;
+  const int nthreads_;
+  std::vector<std::unique_ptr<ws_deque<task*>>> deques_;
+  // Arrays (not vectors): padded<atomic> is neither copyable nor movable.
+  std::unique_ptr<padded<std::atomic<std::uint64_t>>[]> steal_count_;
+  std::unique_ptr<padded<std::atomic<std::uint64_t>>[]> spawn_count_;
+  std::unique_ptr<padded<std::atomic<std::uint64_t>>[]> exec_count_;
+  std::atomic<bool> done_{false};
+};
+
+/// A set of spawned tasks that is awaited together (the `cilk_sync` scope).
+/// The destructor waits, so a task_group can never be abandoned with tasks
+/// in flight.
+class task_group {
+ public:
+  explicit task_group(task_scheduler& sched) : sched_(sched) {}
+  ~task_group() { wait(); }
+
+  task_group(const task_group&) = delete;
+  task_group& operator=(const task_group&) = delete;
+
+  /// Spawn `fn` to run asynchronously (the `cilk_spawn` edge).
+  void spawn(std::function<void()> fn) {
+    sched_.spawn_task(*this, std::move(fn));
+  }
+
+  /// Block until every task spawned through this group has completed,
+  /// helping to execute queued tasks meanwhile (the `cilk_sync` edge).
+  void wait() { sched_.wait_group(*this); }
+
+ private:
+  friend class task_scheduler;
+  task_scheduler& sched_;
+  std::atomic<std::int64_t> pending_{0};
+};
+
+/// Run `a` and `b` potentially in parallel and wait for both.
+template <typename A, typename B>
+void parallel_invoke(task_scheduler& sched, A&& a, B&& b) {
+  task_group g(sched);
+  g.spawn(std::forward<A>(a));
+  b();
+  g.wait();
+}
+
+}  // namespace micg::rt

@@ -1,0 +1,45 @@
+// Test-and-test-and-set spinlock with yield backoff.
+//
+// Used where the critical section is a handful of instructions (frontier
+// merges, conflict-list appends in tests). BasicLockable, so it composes
+// with std::lock_guard / std::scoped_lock (CP.20: RAII, never bare
+// lock()/unlock()).
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace micg::rt {
+
+class spinlock {
+ public:
+  void lock() {
+    int spins = 0;
+    for (;;) {
+      // Test first to avoid hammering the line with RMWs.
+      if (!flag_.load(std::memory_order_relaxed) &&
+          !flag_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      // This library routinely oversubscribes cores (121 threads on a
+      // 31-core part in the paper; many threads on few cores in CI), so
+      // yield early instead of burning the quantum.
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace micg::rt

@@ -1,0 +1,147 @@
+#include "micg/rt/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "micg/rt/worker.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::rt {
+
+thread_pool::thread_pool(int max_threads) {
+  MICG_CHECK(max_threads >= 1, "pool needs at least one thread");
+  std::lock_guard<std::mutex> lock(mu_);
+  spawn_locked(max_threads - 1);
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+thread_pool& thread_pool::global() {
+  static thread_pool pool([] {
+    int n = 128;
+    if (const char* env = std::getenv("MICG_MAX_THREADS")) {
+      const int parsed = std::atoi(env);
+      if (parsed >= 1) n = parsed;
+    }
+    return n;
+  }());
+  return pool;
+}
+
+int thread_pool::max_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size()) + 1;
+}
+
+void thread_pool::reserve(int nthreads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spawn_locked(nthreads - 1);
+}
+
+void thread_pool::spawn_locked(int target_helpers) {
+  // Caller holds mu_. Helpers are workers 1..target; worker 0 is the caller.
+  while (static_cast<int>(threads_.size()) < target_helpers) {
+    const int id = static_cast<int>(threads_.size()) + 1;
+    threads_.emplace_back([this, id] { worker_main(id); });
+  }
+}
+
+void thread_pool::run(int nthreads, const std::function<void(int)>& fn) {
+  MICG_CHECK(nthreads >= 1, "parallel region needs at least one worker");
+
+  // Width-1 regions execute inline and are therefore legal anywhere —
+  // including nested inside another region (a pipeline filter running a
+  // serial coloring, a task calling a serial library routine, ...). The
+  // worker id is scoped so per-worker storage indexes slot 0 and is
+  // restored afterwards.
+  if (nthreads == 1) {
+    worker_id_scope scope(0);
+    fn(0);
+    return;
+  }
+  MICG_CHECK(this_worker_id() < 0,
+             "a multi-thread thread_pool::run() is not reentrant from "
+             "inside a parallel region (use width 1, or the work-stealing "
+             "scheduler for nested parallelism)");
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    MICG_CHECK(!in_region_, "concurrent thread_pool::run() calls");
+    spawn_locked(nthreads - 1);
+    in_region_ = true;
+    job_fn_ = &fn;
+    job_threads_ = nthreads;
+    job_remaining_.store(nthreads - 1, std::memory_order_relaxed);
+    job_error_ = nullptr;
+    ++job_epoch_;
+  }
+  cv_.notify_all();
+
+  // Exceptions (from any worker, including this caller) must not unwind
+  // past the region while helpers still reference `fn`: capture the first
+  // one, always join, rethrow after.
+  std::exception_ptr caller_error;
+  {
+    worker_id_scope scope(0);
+    try {
+      fn(0);
+    } catch (...) {
+      caller_error = std::current_exception();
+    }
+  }
+
+  std::exception_ptr helper_error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] {
+      return job_remaining_.load(std::memory_order_acquire) == 0;
+    });
+    job_fn_ = nullptr;
+    in_region_ = false;
+    helper_error = job_error_;
+    job_error_ = nullptr;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (helper_error) std::rethrow_exception(helper_error);
+}
+
+void thread_pool::worker_main(int id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || job_epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = job_epoch_;
+      if (id < job_threads_) fn = job_fn_;
+    }
+    if (fn != nullptr) {
+      {
+        worker_id_scope scope(id);
+        try {
+          (*fn)(id);
+        } catch (...) {
+          // First worker exception wins; rethrown by run() on the caller.
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!job_error_) job_error_ = std::current_exception();
+        }
+      }
+      if (job_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last helper out wakes the caller. Take the lock so the notify
+        // cannot race with the caller's wait registration.
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace micg::rt

@@ -1,0 +1,73 @@
+// Persistent fork-join thread pool.
+//
+// All three programming-model substrates (OpenMP-style loops, Cilk-style
+// work stealing, TBB-style partitioned ranges) execute on this pool, so a
+// thread-count sweep exercises identical OS threads for every model — the
+// property the paper relies on when comparing runtimes (§V).
+//
+// Workers are created once and parked on a condition variable between
+// parallel regions (CP.41: minimize thread creation). The pool deliberately
+// supports oversubscription: the paper runs 121 threads on 31 cores, and CI
+// machines may have a single core.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace micg::rt {
+
+class thread_pool {
+ public:
+  /// A pool that can host parallel regions of up to `max_threads` workers
+  /// (including the caller, which always participates as worker 0).
+  explicit thread_pool(int max_threads);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Process-wide pool. Sized from the MICG_MAX_THREADS environment
+  /// variable when set, otherwise 128 (enough for the paper's 121-thread
+  /// sweeps). Grown on demand by run().
+  static thread_pool& global();
+
+  /// Execute `fn(worker_id)` on workers 0..nthreads-1 and return when all
+  /// have finished. The calling thread runs worker 0. Not reentrant: a
+  /// worker must not call run() on the same pool (nested parallelism is
+  /// provided by the work-stealing scheduler instead).
+  void run(int nthreads, const std::function<void(int)>& fn);
+
+  /// Current capacity (including the caller's slot).
+  [[nodiscard]] int max_threads() const;
+
+  /// Ensure capacity for regions of `nthreads` workers.
+  void reserve(int nthreads);
+
+ private:
+  void worker_main(int id);
+  void spawn_locked(int target_helpers);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // workers park here between regions
+  std::condition_variable done_cv_;  // caller waits here for completion
+  std::vector<std::thread> threads_;
+
+  // Job state. Published under mu_ (epoch bump is the release point for
+  // parked workers); completion is counted with an atomic so finishing
+  // workers do not serialize on the mutex longer than needed.
+  const std::function<void(int)>* job_fn_ = nullptr;
+  int job_threads_ = 0;
+  std::uint64_t job_epoch_ = 0;
+  std::exception_ptr job_error_;  ///< first helper exception, if any
+  std::atomic<int> job_remaining_{0};
+  bool stopping_ = false;
+  bool in_region_ = false;
+};
+
+}  // namespace micg::rt

@@ -1,0 +1,121 @@
+// Thread-local storage substrates: the TBB-style enumerable_thread_specific
+// and combinable, and the Cilk-style holder view (§II-B/C, §IV-A).
+//
+// Slots are indexed by the dense worker id, padded to a cache line each,
+// and lazily constructed on first access — exactly the "at most one object
+// per thread is created on demand" semantics the paper describes for ETS
+// and holders.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "micg/rt/worker.hpp"
+#include "micg/support/assert.hpp"
+#include "micg/support/cacheline.hpp"
+
+namespace micg::rt {
+
+/// One lazily-constructed T per worker. T is built by `factory` on the
+/// first local() call of each worker (so memory is touched by the thread
+/// that will use it).
+template <typename T>
+class enumerable_thread_specific {
+ public:
+  explicit enumerable_thread_specific(
+      int max_workers, std::function<T()> factory = [] { return T{}; })
+      : factory_(std::move(factory)),
+        slots_(static_cast<std::size_t>(max_workers)) {
+    MICG_CHECK(max_workers >= 1, "need at least one worker slot");
+  }
+
+  /// The calling worker's instance, constructed on first use.
+  T& local() {
+    const int w = this_worker_id();
+    MICG_CHECK(w >= 0 && w < static_cast<int>(slots_.size()),
+               "local() called outside a parallel region or beyond capacity");
+    auto& slot = slots_[static_cast<std::size_t>(w)].value;
+    if (!slot.has_value()) slot.emplace(factory_());
+    return *slot;
+  }
+
+  /// Number of instances constructed so far. Call only when quiescent.
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : slots_) n += s.value.has_value() ? 1 : 0;
+    return n;
+  }
+
+  /// Visit every constructed instance. Call only when quiescent.
+  template <typename F>
+  void for_each(F&& f) {
+    for (auto& s : slots_) {
+      if (s.value.has_value()) f(*s.value);
+    }
+  }
+
+  /// Fold the constructed instances with `op` starting from `init`.
+  /// Call only when quiescent.
+  template <typename U, typename Op>
+  U combine(U init, Op&& op) {
+    for (auto& s : slots_) {
+      if (s.value.has_value()) init = op(std::move(init), *s.value);
+    }
+    return init;
+  }
+
+  /// Destroy all instances (the next local() re-constructs).
+  void clear() {
+    for (auto& s : slots_) s.value.reset();
+  }
+
+ private:
+  std::function<T()> factory_;
+  std::vector<padded<std::optional<T>>> slots_;
+};
+
+/// TBB-style combinable: per-thread value plus a final combine().
+template <typename T>
+class combinable {
+ public:
+  explicit combinable(
+      int max_workers, std::function<T()> factory = [] { return T{}; })
+      : ets_(max_workers, std::move(factory)) {}
+
+  T& local() { return ets_.local(); }
+
+  /// Reduce all per-thread values with the binary op; `identity` seeds the
+  /// fold. Call only when quiescent.
+  template <typename Op>
+  T combine(T identity, Op&& op) {
+    return ets_.combine(std::move(identity), std::forward<Op>(op));
+  }
+
+  void clear() { ets_.clear(); }
+
+ private:
+  enumerable_thread_specific<T> ets_;
+};
+
+/// Cilk-style holder: thread-local views created on demand by the monoid's
+/// identity; views are *not* merged (a holder's reduce keeps the left
+/// view), matching the Cilk Plus holder used for scratch space (§IV-A2).
+template <typename T>
+class holder {
+ public:
+  explicit holder(
+      int max_workers, std::function<T()> identity = [] { return T{}; })
+      : ets_(max_workers, std::move(identity)) {}
+
+  /// This worker's view.
+  T& view() { return ets_.local(); }
+
+  /// Number of views that were materialized.
+  [[nodiscard]] std::size_t views_created() const { return ets_.size(); }
+
+ private:
+  enumerable_thread_specific<T> ets_;
+};
+
+}  // namespace micg::rt

@@ -1,0 +1,34 @@
+// Thread-local worker identity.
+//
+// Every thread participating in a micgraph parallel region has a dense
+// worker id in [0, nthreads). Algorithms use it to index per-thread state
+// (the paper's OpenMP and Cilk worker-id variants); the TLS and reducer
+// substrates use it internally.
+#pragma once
+
+namespace micg::rt {
+
+namespace detail {
+// -1 outside any parallel region.
+inline thread_local int tls_worker_id = -1;
+}  // namespace detail
+
+/// Dense id of the calling worker inside the innermost parallel region,
+/// or -1 when called outside one.
+inline int this_worker_id() { return detail::tls_worker_id; }
+
+/// RAII setter used by the thread pool; not for user code.
+class worker_id_scope {
+ public:
+  explicit worker_id_scope(int id) : saved_(detail::tls_worker_id) {
+    detail::tls_worker_id = id;
+  }
+  ~worker_id_scope() { detail::tls_worker_id = saved_; }
+  worker_id_scope(const worker_id_scope&) = delete;
+  worker_id_scope& operator=(const worker_id_scope&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace micg::rt

@@ -1,0 +1,147 @@
+// Chase–Lev work-stealing deque.
+//
+// One deque per worker: the owner pushes/pops at the bottom (LIFO, cheap),
+// thieves steal from the top (FIFO, one CAS). This is the scheduling
+// structure behind the Cilk-style substrate, following the memory-order
+// discipline of Lê, Pop, Cohen & Zappa Nardelli, "Correct and Efficient
+// Work-Stealing for Weak Memory Models" (PPoPP'13). (CP.100 says avoid
+// lock-free code unless you have to; a work-stealing runtime is the
+// canonical "have to", and this is the literature-standard implementation.)
+//
+// T must be trivially copyable (we store raw task pointers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+namespace micg::rt {
+
+template <typename T>
+class ws_deque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ws_deque stores trivially copyable items (task pointers)");
+
+ public:
+  explicit ws_deque(std::size_t initial_capacity = 64)
+      : array_(new ring(round_up(initial_capacity))) {}
+
+  ~ws_deque() {
+    delete array_.load(std::memory_order_relaxed);
+    for (ring* r : retired_) delete r;
+  }
+
+  ws_deque(const ws_deque&) = delete;
+  ws_deque& operator=(const ws_deque&) = delete;
+
+  /// Owner only. Push one item at the bottom.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    ring* a = array_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, t, b);
+    }
+    a->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Pop the most recently pushed item, if any.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    ring* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      T item = a->get(b);
+      if (t == b) {
+        // Single element left: race against thieves with a CAS on top.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          // Lost the race; a thief took it.
+          bottom_.store(b + 1, std::memory_order_relaxed);
+          return std::nullopt;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+      return item;
+    }
+    // Deque was empty.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  /// Any thread. Steal the oldest item, if any.
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      ring* a = array_.load(std::memory_order_consume);
+      T item = a->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return std::nullopt;  // lost to another thief or the owner
+      }
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  /// Approximate size; exact only when the owner is quiescent.
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  struct ring {
+    explicit ring(std::size_t cap) : capacity(cap), mask(cap - 1),
+                                     slots(new std::atomic<T>[cap]) {}
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T item) {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          item, std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 8;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  ring* grow(ring* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    array_.store(bigger, std::memory_order_release);
+    // Thieves may still hold a pointer to the old ring; retire it until the
+    // deque is destroyed instead of freeing (simple, bounded leak-freedom:
+    // total retired memory < 2x the peak ring size).
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<ring*> array_;
+  std::vector<ring*> retired_;  // owner-only
+};
+
+}  // namespace micg::rt

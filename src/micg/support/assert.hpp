@@ -1,0 +1,46 @@
+// Checked assertions for micgraph.
+//
+// MICG_CHECK(cond, msg)   -- always evaluated; throws micg::check_error on
+//                            failure with file/line context. Use on API
+//                            boundaries and invariants whose violation must
+//                            never be silent, even in release builds.
+// MICG_ASSERT(cond)       -- debug-only (compiled out under NDEBUG). Use on
+//                            hot paths where the check would cost throughput.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace micg {
+
+/// Thrown by MICG_CHECK when a checked invariant fails.
+class check_error : public std::logic_error {
+ public:
+  explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MICG_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw check_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace micg
+
+#define MICG_CHECK(cond, msg)                                           \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::micg::detail::check_failed(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define MICG_ASSERT(cond) ((void)0)
+#else
+#define MICG_ASSERT(cond) MICG_CHECK(cond, "")
+#endif

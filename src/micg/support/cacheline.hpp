@@ -1,0 +1,33 @@
+// Cache-line utilities: the destructive-interference size and a padded
+// wrapper that keeps per-thread counters on private lines (false-sharing
+// avoidance is load-bearing for every scalability result in the paper).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace micg {
+
+/// Conservative destructive-interference size. 64 bytes on every x86 part
+/// including the MIC family this library models.
+inline constexpr std::size_t cacheline_size = 64;
+
+/// Value padded out to a full cache line. Use for per-thread mutable slots
+/// stored contiguously (local maxima, queue cursors, statistics).
+template <typename T>
+struct alignas(cacheline_size) padded {
+  T value{};
+
+  padded() = default;
+  explicit padded(T v) : value(std::move(v)) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+static_assert(alignof(padded<int>) == cacheline_size);
+static_assert(sizeof(padded<int>) == cacheline_size);
+
+}  // namespace micg

@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of micgraph (graph generators, vertex shuffles,
+// work-stealing victim selection) draw from these generators so that every
+// test, example and benchmark is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+namespace micg {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Used to seed xoshiro and as a
+/// cheap stateless mixer.
+class splitmix64 {
+ public:
+  explicit splitmix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman, Vigna). Fast, high-quality, 2^256-1 period.
+class xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit xoshiro256ss(std::uint64_t seed) {
+    splitmix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Unbiased integer in [0, bound). Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // 128-bit multiply; rejection keeps the result unbiased.
+    for (;;) {
+      std::uint64_t x = next();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      auto lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace micg

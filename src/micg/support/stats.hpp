@@ -1,0 +1,48 @@
+// Small statistics helpers used by the benchmark harness.
+//
+// The paper reports geometric means of per-graph speedups (§V-A) and the
+// average of the last 5 of 10 runs; both conventions live here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace micg {
+
+/// Welford one-pass accumulator for mean / variance / min / max.
+class running_stats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean of strictly positive values; 0 if the span is empty.
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+/// Arithmetic mean; 0 if empty.
+[[nodiscard]] double arithmetic_mean(std::span<const double> values);
+
+/// Median (averages the middle pair for even sizes); 0 if empty.
+[[nodiscard]] double median(std::vector<double> values);
+
+/// Paper §V-A convention: run `total` repetitions, average the last `kept`.
+/// This helper just averages the tail of an already-collected vector.
+[[nodiscard]] double tail_mean(std::span<const double> values,
+                               std::size_t kept);
+
+}  // namespace micg

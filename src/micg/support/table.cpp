@@ -1,0 +1,95 @@
+#include "micg/support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+namespace micg {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != 'e' && c != 'E' && c != 'K' &&
+        c != 'M' && c != 'x' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void table_printer::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void table_printer::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void table_printer::print(std::ostream& os) const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  if (cols == 0) return;
+
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+
+  auto emit = [&](const std::vector<std::string>& r, bool is_header) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < r.size() ? r[c] : "";
+      const bool right = !is_header && looks_numeric(cell);
+      os << (c ? "  " : "");
+      os << (right ? std::setiosflags(std::ios::right)
+                   : std::setiosflags(std::ios::left));
+      os << std::setw(static_cast<int>(width[c])) << cell;
+      os << std::resetiosflags(std::ios::adjustfield);
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_, true);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < cols; ++c) total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r, false);
+}
+
+std::string table_printer::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string table_printer::fmt(std::size_t v) { return std::to_string(v); }
+
+std::string table_printer::fmt(long long v) { return std::to_string(v); }
+
+std::string table_printer::human(long long v) {
+  std::ostringstream os;
+  const double d = static_cast<double>(v);
+  if (v >= 10'000'000) {
+    os << std::fixed << std::setprecision(1) << d / 1e6 << "M";
+  } else if (v >= 1'000'000) {
+    os << std::fixed << std::setprecision(1) << d / 1e6 << "M";
+  } else if (v >= 1'000) {
+    os << std::fixed << std::setprecision(0) << d / 1e3 << "K";
+  } else {
+    os << v;
+  }
+  return os.str();
+}
+
+}  // namespace micg

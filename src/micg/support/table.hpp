@@ -1,0 +1,45 @@
+// Fixed-width console table printer.
+//
+// Every figure/table bench prints its series through this so the output is
+// aligned, greppable, and diffable against EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace micg {
+
+/// Collects rows of strings and prints them with per-column alignment.
+/// Numeric cells are right-aligned, text cells left-aligned.
+class table_printer {
+ public:
+  /// `title` is printed above the table; empty suppresses it.
+  explicit table_printer(std::string title = "") : title_(std::move(title)) {}
+
+  /// Set the header row. Resets nothing else.
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row. Rows may be ragged; short rows are padded.
+  void row(std::vector<std::string> cells);
+
+  /// Render to `os` with a separator under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Format helpers used by the benches.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::size_t v);
+  static std::string fmt(long long v);
+  /// 3300000 -> "3.3M", 448000 -> "448K" (Table I style).
+  static std::string human(long long v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace micg

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the measured side of every benchmark.
+#pragma once
+
+#include <chrono>
+
+namespace micg {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+
+  /// Restart the stopwatch from now.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace micg

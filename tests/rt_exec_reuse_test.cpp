@@ -1,0 +1,114 @@
+// Tests for the exec facade's reusable-state paths: a caller-provided
+// task_scheduler shared across loops, persistent affinity_partitioner
+// placement, and a caller-provided thread pool. These are the paths the
+// BFS driver and the coloring rounds use in production.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "micg/rt/exec.hpp"
+#include "micg/rt/partitioner.hpp"
+#include "micg/rt/scheduler.hpp"
+#include "micg/rt/thread_pool.hpp"
+
+namespace {
+
+using micg::rt::backend;
+using micg::rt::exec;
+
+TEST(ExecReuse, SharedSchedulerAcrossManyLoops) {
+  micg::rt::thread_pool pool(4);
+  micg::rt::task_scheduler sched(pool, 4);
+  exec e;
+  e.kind = backend::cilk_holder;
+  e.threads = 4;
+  e.chunk = 16;
+  e.pool = &pool;
+  e.sched = &sched;
+  std::atomic<std::int64_t> total{0};
+  // Many loops through one scheduler (the BFS per-level pattern).
+  for (int level = 0; level < 50; ++level) {
+    micg::rt::for_range(e, 200, [&](std::int64_t b, std::int64_t en, int) {
+      total.fetch_add(en - b, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50 * 200);
+  // The shared scheduler accumulated spawns across all loops.
+  EXPECT_GT(sched.stats().spawned, 0u);
+}
+
+TEST(ExecReuse, SharedSchedulerWithTbbBackends) {
+  micg::rt::thread_pool pool(4);
+  micg::rt::task_scheduler sched(pool, 4);
+  for (backend kind : {backend::tbb_simple, backend::tbb_auto}) {
+    exec e;
+    e.kind = kind;
+    e.threads = 4;
+    e.chunk = 8;
+    e.pool = &pool;
+    e.sched = &sched;
+    std::vector<std::atomic<int>> hits(500);
+    micg::rt::for_range(e, 500, [&](std::int64_t b, std::int64_t en, int) {
+      for (std::int64_t i = b; i < en; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    for (auto& h : hits) {
+      ASSERT_EQ(h.load(), 1) << micg::rt::backend_name(kind);
+    }
+  }
+}
+
+TEST(ExecReuse, PersistentAffinityStateThroughExec) {
+  micg::rt::affinity_partitioner ap;
+  exec e;
+  e.kind = backend::tbb_affinity;
+  e.threads = 4;
+  e.chunk = 16;
+  e.affinity = &ap;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::atomic<int>> hits(1000);
+    micg::rt::for_range(e, 1000,
+                        [&](std::int64_t b, std::int64_t en, int) {
+                          for (std::int64_t i = b; i < en; ++i) {
+                            hits[static_cast<std::size_t>(i)].fetch_add(1);
+                          }
+                        });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1) << "round " << round;
+  }
+  // Placement memory survived the loops.
+  EXPECT_FALSE(ap.placement().empty());
+}
+
+TEST(ExecReuse, ExplicitPoolIsUsed) {
+  micg::rt::thread_pool pool(2);
+  exec e;
+  e.kind = backend::omp_dynamic;
+  e.threads = 2;
+  e.pool = &pool;
+  EXPECT_EQ(&e.pool_or_global(), &pool);
+  std::atomic<int> hits{0};
+  micg::rt::for_range(e, 100, [&](std::int64_t b, std::int64_t en, int) {
+    hits.fetch_add(static_cast<int>(en - b));
+  });
+  EXPECT_EQ(hits.load(), 100);
+  exec d;
+  EXPECT_EQ(&d.pool_or_global(), &micg::rt::thread_pool::global());
+}
+
+TEST(ExecReuse, GrainZeroMeansAutoForWorkStealing) {
+  exec e;
+  e.kind = backend::cilk_tid;
+  e.threads = 4;
+  e.chunk = 0;  // auto grain
+  std::atomic<std::int64_t> sum{0};
+  micg::rt::for_range(e, 10000, [&](std::int64_t b, std::int64_t en, int) {
+    std::int64_t s = 0;
+    for (std::int64_t i = b; i < en; ++i) s += i;
+    sum.fetch_add(s, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 9999LL * 10000 / 2);
+}
+
+}  // namespace

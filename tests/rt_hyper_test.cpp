@@ -1,0 +1,260 @@
+// Tests for the hyperobject reducers, parallel_reduce, and the TBB-style
+// pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "micg/rt/hyperobject.hpp"
+#include "micg/rt/loop.hpp"
+#include "micg/rt/parallel_reduce.hpp"
+#include "micg/rt/pipeline.hpp"
+#include "micg/rt/thread_pool.hpp"
+#include "micg/support/assert.hpp"
+
+namespace {
+
+using micg::rt::thread_pool;
+
+// ------------------------------------------------------------- hyperobject
+
+TEST(Reducer, OpaddSumsAcrossWorkers) {
+  thread_pool pool(4);
+  micg::rt::reducer_opadd<std::int64_t> sum(4);
+  micg::rt::omp_parallel_for(pool, 4, 100000,
+                             {micg::rt::omp_schedule::dynamic, 256},
+                             [&](std::int64_t b, std::int64_t e, int) {
+                               std::int64_t local = 0;
+                               for (std::int64_t i = b; i < e; ++i) {
+                                 local += i;
+                               }
+                               sum.combine(local);
+                             });
+  EXPECT_EQ(sum.get(), 99999LL * 100000LL / 2);
+}
+
+TEST(Reducer, CustomMonoid) {
+  thread_pool pool(4);
+  micg::rt::reducer<int, micg::rt::min_monoid<int>> rmin(
+      4, micg::rt::min_monoid<int>{1 << 30});
+  micg::rt::omp_parallel_for(pool, 4, 10000,
+                             {micg::rt::omp_schedule::dynamic, 64},
+                             [&](std::int64_t b, std::int64_t e, int) {
+                               for (std::int64_t i = b; i < e; ++i) {
+                                 rmin.combine(
+                                     static_cast<int>((i * 7919) % 100003));
+                               }
+                             });
+  // 7919 is coprime with 100003, i ranges over 10000 values; compute the
+  // true minimum for comparison.
+  int expect = 1 << 30;
+  for (std::int64_t i = 0; i < 10000; ++i) {
+    expect = std::min(expect, static_cast<int>((i * 7919) % 100003));
+  }
+  EXPECT_EQ(rmin.get(), expect);
+}
+
+TEST(Reducer, ClearResetsViews) {
+  thread_pool pool(2);
+  micg::rt::reducer_opadd<int> sum(2);
+  pool.run(1, [&](int) { sum.combine(5); });
+  EXPECT_EQ(sum.get(), 5);
+  sum.clear();
+  EXPECT_EQ(sum.get(), 0);
+}
+
+TEST(Reducer, AppendCollectsEverything) {
+  thread_pool pool(4);
+  micg::rt::reducer_append<int> bag(4);
+  micg::rt::omp_parallel_for(pool, 4, 1000,
+                             {micg::rt::omp_schedule::dynamic, 16},
+                             [&](std::int64_t b, std::int64_t e, int) {
+                               for (std::int64_t i = b; i < e; ++i) {
+                                 bag.view().push_back(static_cast<int>(i));
+                               }
+                             });
+  auto all = bag.get();
+  EXPECT_EQ(all.size(), 1000u);
+  std::set<int> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), 1000u);
+}
+
+TEST(OrderedListReducer, RecoversSequentialOrder) {
+  thread_pool pool(4);
+  micg::rt::ordered_list_reducer<std::string> list(4);
+  micg::rt::omp_parallel_for(pool, 4, 100,
+                             {micg::rt::omp_schedule::dynamic, 4},
+                             [&](std::int64_t b, std::int64_t e, int) {
+                               for (std::int64_t i = b; i < e; ++i) {
+                                 list.append(i, "item" + std::to_string(i));
+                               }
+                             });
+  const auto out = list.get();
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], "item" + std::to_string(i));
+  }
+}
+
+// --------------------------------------------------------- parallel_reduce
+
+TEST(ParallelReduce, SumMatchesSerial) {
+  micg::rt::exec e;
+  e.kind = micg::rt::backend::omp_dynamic;
+  e.threads = 4;
+  e.chunk = 128;
+  const auto total = micg::rt::parallel_sum<std::int64_t>(
+      e, 50000, [](std::int64_t b, std::int64_t en) {
+        std::int64_t s = 0;
+        for (std::int64_t i = b; i < en; ++i) s += i * i;
+        return s;
+      });
+  std::int64_t expect = 0;
+  for (std::int64_t i = 0; i < 50000; ++i) expect += i * i;
+  EXPECT_EQ(total, expect);
+}
+
+TEST(ParallelReduce, MaxWithCustomOp) {
+  micg::rt::exec e;
+  e.kind = micg::rt::backend::cilk_holder;
+  e.threads = 4;
+  e.chunk = 64;
+  const auto best = micg::rt::parallel_reduce<double>(
+      e, 10000, 0.0,
+      [](std::int64_t b, std::int64_t en) {
+        double m = 0.0;
+        for (std::int64_t i = b; i < en; ++i) {
+          m = std::max(m, static_cast<double>((i * 31) % 9973));
+        }
+        return m;
+      },
+      [](double a, double b) { return std::max(a, b); });
+  EXPECT_EQ(best, 9972.0);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  micg::rt::exec e;
+  e.threads = 2;
+  EXPECT_EQ(micg::rt::parallel_sum<int>(
+                e, 0, [](std::int64_t, std::int64_t) { return 1; }),
+            0);
+}
+
+// ----------------------------------------------------------------- pipeline
+
+TEST(Pipeline, ThreeStagesProcessEverythingInOrder) {
+  thread_pool pool(4);
+  micg::rt::pipeline p;
+  int produced = 0;
+  constexpr int kItems = 200;
+  // Source: serial, emits 1..kItems.
+  p.add_filter(micg::rt::filter_mode::serial_in_order, [&](void*) -> void* {
+    if (produced == kItems) return nullptr;
+    return new int(++produced);
+  });
+  // Middle: parallel transform.
+  p.add_filter(micg::rt::filter_mode::parallel, [](void* d) -> void* {
+    auto* x = static_cast<int*>(d);
+    *x *= 2;
+    return x;
+  });
+  // Sink: serial in-order; checks ordering and collects.
+  std::vector<int> out;
+  p.add_filter(micg::rt::filter_mode::serial_in_order,
+               [&](void* d) -> void* {
+                 std::unique_ptr<int> x(static_cast<int*>(d));
+                 out.push_back(*x);
+                 return nullptr;
+               });
+  p.run(pool, 4, /*max_tokens=*/8);
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], 2 * (i + 1));
+  }
+}
+
+TEST(Pipeline, SerialOutOfOrderStillSeesAllItems) {
+  thread_pool pool(4);
+  micg::rt::pipeline p;
+  int produced = 0;
+  p.add_filter(micg::rt::filter_mode::serial_in_order, [&](void*) -> void* {
+    if (produced == 100) return nullptr;
+    return new int(produced++);
+  });
+  std::set<int> seen;
+  p.add_filter(micg::rt::filter_mode::serial_out_of_order,
+               [&](void* d) -> void* {
+                 std::unique_ptr<int> x(static_cast<int*>(d));
+                 seen.insert(*x);  // serial stage: no lock needed
+                 return nullptr;
+               });
+  p.run(pool, 4, 4);
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Pipeline, SingleTokenDegeneratesToSequential) {
+  thread_pool pool(2);
+  micg::rt::pipeline p;
+  int produced = 0;
+  std::atomic<int> in_flight{0};
+  std::atomic<bool> overlapped{false};
+  p.add_filter(micg::rt::filter_mode::serial_in_order, [&](void*) -> void* {
+    if (produced == 50) return nullptr;
+    return new int(produced++);
+  });
+  p.add_filter(micg::rt::filter_mode::parallel, [&](void* d) -> void* {
+    if (in_flight.fetch_add(1) > 0) overlapped.store(true);
+    in_flight.fetch_sub(1);
+    return d;
+  });
+  std::vector<int> out;
+  p.add_filter(micg::rt::filter_mode::serial_in_order,
+               [&](void* d) -> void* {
+                 std::unique_ptr<int> x(static_cast<int*>(d));
+                 out.push_back(*x);
+                 return nullptr;
+               });
+  p.run(pool, 2, /*max_tokens=*/1);
+  EXPECT_EQ(out.size(), 50u);
+  EXPECT_FALSE(overlapped.load());  // one token: never two items at once
+}
+
+TEST(Pipeline, RejectsDegenerateConfigs) {
+  thread_pool pool(2);
+  micg::rt::pipeline p;
+  EXPECT_THROW(p.run(pool, 2, 4), micg::check_error);  // no filters
+  p.add_filter(micg::rt::filter_mode::parallel, [](void*) -> void* {
+    return nullptr;
+  });
+  EXPECT_THROW(p.run(pool, 2, 4), micg::check_error);  // only a source
+  p.add_filter(micg::rt::filter_mode::parallel, [](void* d) { return d; });
+  EXPECT_THROW(p.run(pool, 2, 0), micg::check_error);  // no tokens
+  EXPECT_THROW(p.add_filter(micg::rt::filter_mode::parallel, nullptr),
+               micg::check_error);
+}
+
+TEST(Pipeline, WorksSingleThreaded) {
+  thread_pool pool(1);
+  micg::rt::pipeline p;
+  int produced = 0;
+  p.add_filter(micg::rt::filter_mode::serial_in_order, [&](void*) -> void* {
+    if (produced == 10) return nullptr;
+    return new int(produced++);
+  });
+  int sum = 0;
+  p.add_filter(micg::rt::filter_mode::serial_in_order,
+               [&](void* d) -> void* {
+                 std::unique_ptr<int> x(static_cast<int*>(d));
+                 sum += *x;
+                 return nullptr;
+               });
+  p.run(pool, 1, 4);
+  EXPECT_EQ(sum, 45);
+}
+
+}  // namespace

@@ -1,0 +1,275 @@
+// Tests for the OpenMP-style loop scheduler, the exec facade, TLS and
+// reducers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "micg/rt/exec.hpp"
+#include "micg/rt/loop.hpp"
+#include "micg/rt/reducer.hpp"
+#include "micg/rt/tls.hpp"
+#include "micg/rt/thread_pool.hpp"
+
+namespace {
+
+using micg::rt::backend;
+using micg::rt::exec;
+using micg::rt::loop_options;
+using micg::rt::omp_schedule;
+using micg::rt::thread_pool;
+
+// ------------------------------------------------------------ omp schedules
+
+struct LoopCase {
+  omp_schedule schedule;
+  std::int64_t chunk;
+  int threads;
+  std::int64_t n;
+};
+
+class OmpLoop : public ::testing::TestWithParam<LoopCase> {};
+
+TEST_P(OmpLoop, CoversRangeExactlyOnce) {
+  const auto p = GetParam();
+  thread_pool pool(p.threads);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(p.n));
+  micg::rt::omp_parallel_for(
+      pool, p.threads, p.n, {p.schedule, p.chunk},
+      [&](std::int64_t b, std::int64_t e, int) {
+        for (std::int64_t i = b; i < e; ++i) {
+          hits[static_cast<std::size_t>(i)].fetch_add(1);
+        }
+      });
+  for (std::int64_t i = 0; i < p.n; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, OmpLoop,
+    ::testing::Values(
+        LoopCase{omp_schedule::static_even, 1, 1, 100},
+        LoopCase{omp_schedule::static_even, 1, 4, 1000},
+        LoopCase{omp_schedule::static_even, 1, 7, 10},  // n < threads
+        LoopCase{omp_schedule::static_chunked, 16, 4, 1000},
+        LoopCase{omp_schedule::static_chunked, 100, 3, 101},
+        LoopCase{omp_schedule::dynamic, 16, 4, 1000},
+        LoopCase{omp_schedule::dynamic, 1, 8, 100},
+        LoopCase{omp_schedule::dynamic, 1000, 4, 100},  // chunk > n
+        LoopCase{omp_schedule::guided, 16, 4, 1000},
+        LoopCase{omp_schedule::guided, 1, 2, 7},
+        LoopCase{omp_schedule::guided, 50, 6, 5000}));
+
+TEST(OmpLoopEdge, EmptyRangeIsNoop) {
+  thread_pool pool(2);
+  bool touched = false;
+  micg::rt::omp_parallel_for(pool, 2, 0,
+                             {omp_schedule::dynamic, 4},
+                             [&](std::int64_t, std::int64_t, int) {
+                               touched = true;
+                             });
+  EXPECT_FALSE(touched);
+}
+
+TEST(OmpLoopEdge, StaticEvenBalancesWithinOne) {
+  thread_pool pool(4);
+  std::vector<micg::padded<std::int64_t>> per_thread(4);
+  micg::rt::omp_parallel_for(pool, 4, 103,
+                             {omp_schedule::static_even, 1},
+                             [&](std::int64_t b, std::int64_t e, int w) {
+                               per_thread[static_cast<std::size_t>(w)].value +=
+                                   e - b;
+                             });
+  std::int64_t lo = 1000, hi = 0;
+  for (auto& p : per_thread) {
+    lo = std::min(lo, p.value);
+    hi = std::max(hi, p.value);
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(OmpLoopEdge, GuidedChunksDecrease) {
+  thread_pool pool(1);
+  std::vector<std::int64_t> sizes;
+  micg::rt::omp_parallel_for(pool, 4, 10000,
+                             {omp_schedule::guided, 8},
+                             [&](std::int64_t b, std::int64_t e, int) {
+                               sizes.push_back(e - b);  // 1 thread: no race
+                             });
+  // First chunk should be about n/nthreads, later chunks shrink to >= 8.
+  ASSERT_GE(sizes.size(), 2u);
+  EXPECT_GE(sizes.front(), 2000);
+  EXPECT_GE(sizes.back(), 1);
+  EXPECT_LT(sizes.back(), sizes.front());
+}
+
+// ---------------------------------------------------------------- exec facade
+
+class ExecBackend : public ::testing::TestWithParam<backend> {};
+
+TEST_P(ExecBackend, ForRangeCoversExactlyOnce) {
+  exec e;
+  e.kind = GetParam();
+  e.threads = 4;
+  e.chunk = 32;
+  constexpr std::int64_t kN = 3000;
+  std::vector<std::atomic<int>> hits(kN);
+  micg::rt::for_range(e, kN, [&](std::int64_t b, std::int64_t eend, int) {
+    for (std::int64_t i = b; i < eend; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ExecBackend, SingleThreadWorks) {
+  exec e;
+  e.kind = GetParam();
+  e.threads = 1;
+  e.chunk = 10;
+  std::int64_t sum = 0;
+  micg::rt::for_range(e, 100, [&](std::int64_t b, std::int64_t eend, int) {
+    for (std::int64_t i = b; i < eend; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 99 * 100 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ExecBackend,
+                         ::testing::ValuesIn(micg::rt::all_backends()),
+                         [](const auto& info) {
+                           std::string n = micg::rt::backend_name(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(ExecNames, RoundTrip) {
+  for (backend b : micg::rt::all_backends()) {
+    EXPECT_EQ(micg::rt::backend_from_name(micg::rt::backend_name(b)), b);
+  }
+  EXPECT_THROW(micg::rt::backend_from_name("NotABackend"),
+               micg::check_error);
+}
+
+TEST(ExecNames, FamilyPredicates) {
+  EXPECT_TRUE(micg::rt::is_omp(backend::omp_guided));
+  EXPECT_TRUE(micg::rt::is_cilk(backend::cilk_holder));
+  EXPECT_TRUE(micg::rt::is_tbb(backend::tbb_affinity));
+  EXPECT_FALSE(micg::rt::is_omp(backend::cilk_tid));
+  EXPECT_FALSE(micg::rt::is_tbb(backend::omp_static));
+}
+
+// --------------------------------------------------------------- tls/reducer
+
+TEST(Tls, OneInstancePerWorker) {
+  thread_pool pool(4);
+  micg::rt::enumerable_thread_specific<std::int64_t> ets(4);
+  micg::rt::omp_parallel_for(pool, 4, 1000,
+                             {omp_schedule::dynamic, 8},
+                             [&](std::int64_t b, std::int64_t e, int) {
+                               ets.local() += e - b;
+                             });
+  EXPECT_LE(ets.size(), 4u);
+  EXPECT_GE(ets.size(), 1u);
+  const std::int64_t total =
+      ets.combine(std::int64_t{0},
+                  [](std::int64_t acc, std::int64_t v) { return acc + v; });
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(Tls, FactoryRunsLazily) {
+  thread_pool pool(4);
+  std::atomic<int> constructed{0};
+  micg::rt::enumerable_thread_specific<int> ets(4, [&] {
+    constructed.fetch_add(1);
+    return 7;
+  });
+  EXPECT_EQ(constructed.load(), 0);
+  pool.run(1, [&](int) { EXPECT_EQ(ets.local(), 7); });
+  EXPECT_EQ(constructed.load(), 1);
+}
+
+TEST(Tls, LocalOutsideRegionThrows) {
+  micg::rt::enumerable_thread_specific<int> ets(2);
+  EXPECT_THROW(ets.local(), micg::check_error);
+}
+
+TEST(Tls, ClearResets) {
+  thread_pool pool(2);
+  micg::rt::enumerable_thread_specific<int> ets(2);
+  pool.run(1, [&](int) { ets.local() = 42; });
+  ets.clear();
+  EXPECT_EQ(ets.size(), 0u);
+  pool.run(1, [&](int) { EXPECT_EQ(ets.local(), 0); });
+}
+
+TEST(Combinable, CombinesAcrossThreads) {
+  thread_pool pool(4);
+  micg::rt::combinable<std::int64_t> acc(4);
+  micg::rt::omp_parallel_for(pool, 4, 100,
+                             {omp_schedule::static_even, 1},
+                             [&](std::int64_t b, std::int64_t e, int) {
+                               for (std::int64_t i = b; i < e; ++i) {
+                                 acc.local() += i;
+                               }
+                             });
+  const std::int64_t total = acc.combine(
+      std::int64_t{0},
+      [](std::int64_t a, std::int64_t b2) { return a + b2; });
+  EXPECT_EQ(total, 99 * 100 / 2);
+}
+
+TEST(Holder, ViewsAreIndependentScratch) {
+  thread_pool pool(4);
+  micg::rt::holder<std::vector<int>> h(
+      4, [] { return std::vector<int>(16, -1); });
+  std::atomic<bool> clean{true};
+  micg::rt::omp_parallel_for(pool, 4, 200,
+                             {omp_schedule::dynamic, 4},
+                             [&](std::int64_t b, std::int64_t e, int) {
+                               auto& view = h.view();
+                               if (view.size() != 16) clean.store(false);
+                               for (std::int64_t i = b; i < e; ++i) {
+                                 view[static_cast<std::size_t>(i) % 16] =
+                                     static_cast<int>(i);
+                               }
+                             });
+  EXPECT_TRUE(clean.load());
+  EXPECT_GE(h.views_created(), 1u);
+  EXPECT_LE(h.views_created(), 4u);
+}
+
+TEST(ReducerMax, FindsGlobalMax) {
+  thread_pool pool(4);
+  micg::rt::reducer_max<int> rmax(4, 0);
+  micg::rt::omp_parallel_for(pool, 4, 10000,
+                             {omp_schedule::dynamic, 64},
+                             [&](std::int64_t b, std::int64_t e, int) {
+                               for (std::int64_t i = b; i < e; ++i) {
+                                 rmax.update(static_cast<int>((i * 37) % 9973));
+                               }
+                             });
+  EXPECT_EQ(rmax.get(), 9972);  // 37 and 9973 coprime -> all residues hit
+}
+
+TEST(ReducerMax, IdentityWhenUntouched) {
+  micg::rt::reducer_max<int> rmax(4, -5);
+  EXPECT_EQ(rmax.get(), -5);
+}
+
+TEST(ReducerMax, ResetRestoresIdentity) {
+  thread_pool pool(2);
+  micg::rt::reducer_max<int> rmax(2, 0);
+  pool.run(1, [&](int) { rmax.update(99); });
+  EXPECT_EQ(rmax.get(), 99);
+  rmax.reset();
+  EXPECT_EQ(rmax.get(), 0);
+}
+
+}  // namespace

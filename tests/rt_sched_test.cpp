@@ -1,0 +1,285 @@
+// Tests for the work-stealing deque, the Cilk-style scheduler, cilk_for,
+// and the TBB-style partitioners.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "micg/rt/cilk_for.hpp"
+#include "micg/rt/partitioner.hpp"
+#include "micg/rt/scheduler.hpp"
+#include "micg/rt/thread_pool.hpp"
+#include "micg/rt/ws_deque.hpp"
+#include "micg/support/cacheline.hpp"
+
+namespace {
+
+using micg::rt::blocked_range;
+using micg::rt::task_group;
+using micg::rt::task_scheduler;
+using micg::rt::thread_pool;
+using micg::rt::ws_deque;
+
+// ---------------------------------------------------------------- ws_deque
+
+TEST(WsDeque, LifoForOwner) {
+  ws_deque<int> d;
+  d.push(1);
+  d.push(2);
+  d.push(3);
+  EXPECT_EQ(d.pop().value(), 3);
+  EXPECT_EQ(d.pop().value(), 2);
+  EXPECT_EQ(d.pop().value(), 1);
+  EXPECT_FALSE(d.pop().has_value());
+}
+
+TEST(WsDeque, FifoForThief) {
+  ws_deque<int> d;
+  d.push(1);
+  d.push(2);
+  d.push(3);
+  EXPECT_EQ(d.steal().value(), 1);
+  EXPECT_EQ(d.steal().value(), 2);
+  EXPECT_EQ(d.steal().value(), 3);
+  EXPECT_FALSE(d.steal().has_value());
+}
+
+TEST(WsDeque, GrowsPastInitialCapacity) {
+  ws_deque<int> d(8);
+  for (int i = 0; i < 1000; ++i) d.push(i);
+  EXPECT_EQ(d.size_approx(), 1000u);
+  for (int i = 999; i >= 0; --i) EXPECT_EQ(d.pop().value(), i);
+}
+
+TEST(WsDeque, ConcurrentStealersGetEveryItemOnce) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 4;
+  ws_deque<std::int64_t> d;
+  thread_pool pool(kThieves + 1);
+  std::vector<micg::padded<std::int64_t>> sums(kThieves + 1);
+  std::atomic<int> taken{0};
+  pool.run(kThieves + 1, [&](int w) {
+    if (w == 0) {
+      // Owner: push everything, then pop what the thieves leave behind.
+      for (int i = 1; i <= kItems; ++i) d.push(i);
+      while (auto v = d.pop()) {
+        sums[0].value += *v;
+        taken.fetch_add(1);
+      }
+    } else {
+      // Thieves race the owner the whole time.
+      while (taken.load(std::memory_order_relaxed) < kItems) {
+        if (auto v = d.steal()) {
+          sums[static_cast<std::size_t>(w)].value += *v;
+          taken.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  });
+  std::int64_t total = 0;
+  for (const auto& s : sums) total += s.value;
+  // Sum 1..kItems is preserved iff every item was handed out exactly once.
+  EXPECT_EQ(total, static_cast<std::int64_t>(kItems) * (kItems + 1) / 2);
+  EXPECT_EQ(taken.load(), kItems);
+}
+
+// ---------------------------------------------------------------- scheduler
+
+TEST(Scheduler, RunsRootToCompletion) {
+  thread_pool pool(4);
+  task_scheduler sched(pool, 4);
+  bool ran = false;
+  sched.run([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, SpawnedTasksAllExecute) {
+  thread_pool pool(4);
+  task_scheduler sched(pool, 4);
+  std::atomic<int> count{0};
+  sched.run([&] {
+    task_group g(sched);
+    for (int i = 0; i < 100; ++i) {
+      g.spawn([&] { count.fetch_add(1); });
+    }
+    g.wait();
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Scheduler, NestedSpawnsComplete) {
+  thread_pool pool(4);
+  task_scheduler sched(pool, 4);
+  std::atomic<int> leaves{0};
+  // Recursive fibonacci-style fork tree of depth 8 -> 2^8 leaves.
+  std::function<void(int)> tree = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    task_group g(sched);
+    g.spawn([&, depth] { tree(depth - 1); });
+    tree(depth - 1);
+    g.wait();
+  };
+  sched.run([&] { tree(8); });
+  EXPECT_EQ(leaves.load(), 256);
+}
+
+TEST(Scheduler, ParallelInvokeRunsBoth) {
+  thread_pool pool(2);
+  task_scheduler sched(pool, 2);
+  std::atomic<int> mask{0};
+  sched.run([&] {
+    micg::rt::parallel_invoke(
+        sched, [&] { mask.fetch_or(1); }, [&] { mask.fetch_or(2); });
+  });
+  EXPECT_EQ(mask.load(), 3);
+}
+
+TEST(Scheduler, SingleThreadStillCorrect) {
+  thread_pool pool(1);
+  task_scheduler sched(pool, 1);
+  std::atomic<int> count{0};
+  sched.run([&] {
+    task_group g(sched);
+    for (int i = 0; i < 50; ++i) g.spawn([&] { count.fetch_add(1); });
+    g.wait();
+  });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(Scheduler, StatsCountSpawns) {
+  thread_pool pool(2);
+  task_scheduler sched(pool, 2);
+  sched.run([&] {
+    task_group g(sched);
+    for (int i = 0; i < 10; ++i) g.spawn([] {});
+    g.wait();
+  });
+  const auto stats = sched.stats();
+  EXPECT_EQ(stats.spawned, 10u);
+  EXPECT_EQ(stats.executed, 10u);
+  EXPECT_LE(stats.stolen, stats.executed);
+}
+
+// ---------------------------------------------------------------- cilk_for
+
+TEST(CilkFor, CoversRangeExactlyOnce) {
+  thread_pool pool(4);
+  task_scheduler sched(pool, 4);
+  constexpr std::int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  micg::rt::cilk_parallel_for(
+      sched, 0, kN, 16, [&](std::int64_t b, std::int64_t e, int) {
+        for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]
+            .fetch_add(1);
+      });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(CilkFor, RespectsGrainSize) {
+  thread_pool pool(2);
+  task_scheduler sched(pool, 2);
+  std::atomic<std::int64_t> max_chunk{0};
+  micg::rt::cilk_parallel_for(
+      sched, 0, 1000, 64, [&](std::int64_t b, std::int64_t e, int) {
+        std::int64_t len = e - b;
+        std::int64_t cur = max_chunk.load();
+        while (len > cur && !max_chunk.compare_exchange_weak(cur, len)) {
+        }
+      });
+  EXPECT_LE(max_chunk.load(), 64);
+}
+
+TEST(CilkFor, EmptyRangeIsNoop) {
+  thread_pool pool(2);
+  task_scheduler sched(pool, 2);
+  bool touched = false;
+  micg::rt::cilk_parallel_for(sched, 5, 5, 1,
+                              [&](std::int64_t, std::int64_t, int) {
+                                touched = true;
+                              });
+  EXPECT_FALSE(touched);
+}
+
+TEST(CilkFor, DefaultGrainProportionalToThreads) {
+  EXPECT_EQ(micg::rt::cilk_default_grain(800, 10), 10);
+  EXPECT_GE(micg::rt::cilk_default_grain(1, 128), 1);
+}
+
+// ------------------------------------------------------------ blocked_range
+
+TEST(BlockedRange, SplitHalves) {
+  blocked_range r(0, 100, 10);
+  EXPECT_TRUE(r.is_divisible());
+  blocked_range right = r.split();
+  EXPECT_EQ(r.begin(), 0);
+  EXPECT_EQ(r.end(), 50);
+  EXPECT_EQ(right.begin(), 50);
+  EXPECT_EQ(right.end(), 100);
+}
+
+TEST(BlockedRange, NotDivisibleAtGrain) {
+  blocked_range r(0, 10, 10);
+  EXPECT_FALSE(r.is_divisible());
+}
+
+// -------------------------------------------------------------- partitioners
+
+template <typename Partitioner>
+void expect_full_coverage(Partitioner&& p, int nthreads) {
+  thread_pool pool(nthreads);
+  task_scheduler sched(pool, nthreads);
+  constexpr std::int64_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  micg::rt::parallel_for(
+      sched, blocked_range(0, kN, 32),
+      [&](const blocked_range& r, int) {
+        for (std::int64_t i = r.begin(); i < r.end(); ++i) {
+          hits[static_cast<std::size_t>(i)].fetch_add(1);
+        }
+      },
+      std::forward<Partitioner>(p));
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Partitioner, SimpleCoversRange) {
+  expect_full_coverage(micg::rt::simple_partitioner{}, 4);
+}
+
+TEST(Partitioner, AutoCoversRange) {
+  expect_full_coverage(micg::rt::auto_partitioner{}, 4);
+}
+
+TEST(Partitioner, AffinityCoversRange) {
+  micg::rt::affinity_partitioner ap;
+  expect_full_coverage(ap, 4);
+}
+
+TEST(Partitioner, AffinityReplayKeepsCoverage) {
+  micg::rt::affinity_partitioner ap;
+  // Same loop three times through one partitioner: placement is replayed.
+  for (int round = 0; round < 3; ++round) {
+    expect_full_coverage(ap, 4);
+  }
+  EXPECT_FALSE(ap.placement().empty());
+}
+
+TEST(Partitioner, SingleThreadAllPartitioners) {
+  expect_full_coverage(micg::rt::simple_partitioner{}, 1);
+  expect_full_coverage(micg::rt::auto_partitioner{}, 1);
+  micg::rt::affinity_partitioner ap;
+  expect_full_coverage(ap, 1);
+}
+
+}  // namespace

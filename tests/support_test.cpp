@@ -1,0 +1,153 @@
+// Unit tests for the support module: assertions, rng, stats, padding,
+// table formatting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "micg/support/assert.hpp"
+#include "micg/support/cacheline.hpp"
+#include "micg/support/rng.hpp"
+#include "micg/support/stats.hpp"
+#include "micg/support/table.hpp"
+#include "micg/support/timer.hpp"
+
+namespace {
+
+TEST(Assert, CheckThrowsWithContext) {
+  try {
+    MICG_CHECK(1 == 2, "math is broken");
+    FAIL() << "MICG_CHECK should have thrown";
+  } catch (const micg::check_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Assert, CheckPassesSilently) {
+  EXPECT_NO_THROW(MICG_CHECK(2 + 2 == 4, "fine"));
+}
+
+TEST(Rng, SplitMixIsDeterministic) {
+  micg::splitmix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMixDiffersAcrossSeeds) {
+  micg::splitmix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDeterministic) {
+  micg::xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  micg::xoshiro256ss rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  micg::xoshiro256ss rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  micg::xoshiro256ss rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Stats, RunningStatsBasics) {
+  micg::running_stats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
+}
+
+TEST(Stats, EmptyStatsAreZero) {
+  micg::running_stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> v{1.0, 8.0};
+  EXPECT_NEAR(micg::geometric_mean(v), 2.8284271, 1e-6);
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(micg::geometric_mean(one), 5.0);
+  EXPECT_EQ(micg::geometric_mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, GeometricMeanRejectsNonPositive) {
+  const std::vector<double> v{1.0, 0.0};
+  EXPECT_THROW(micg::geometric_mean(v), micg::check_error);
+}
+
+TEST(Stats, Median) {
+  EXPECT_DOUBLE_EQ(micg::median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(micg::median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(micg::median({}), 0.0);
+}
+
+TEST(Stats, TailMeanMatchesPaperConvention) {
+  // Paper: 10 runs, report the average of the last 5.
+  std::vector<double> runs{100, 90, 80, 70, 10, 10, 10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(micg::tail_mean(runs, 5), 10.0);
+  EXPECT_DOUBLE_EQ(micg::tail_mean(runs, 100), 40.0);  // clamped to size
+}
+
+TEST(Cacheline, PaddedIsolatesLines) {
+  micg::padded<int> a[2];
+  const auto* pa = reinterpret_cast<const char*>(&a[0]);
+  const auto* pb = reinterpret_cast<const char*>(&a[1]);
+  EXPECT_GE(pb - pa, static_cast<ptrdiff_t>(micg::cacheline_size));
+}
+
+TEST(Table, AlignsAndFormats) {
+  micg::table_printer t("demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1.00"});
+  t.row({"b", "22.50"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.50"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, HumanNumbers) {
+  EXPECT_EQ(micg::table_printer::human(448000), "448K");
+  EXPECT_EQ(micg::table_printer::human(3300000), "3.3M");
+  EXPECT_EQ(micg::table_printer::human(37), "37");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  micg::stopwatch sw;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+}  // namespace

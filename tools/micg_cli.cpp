@@ -1,0 +1,290 @@
+// micg — command-line front end for the micgraph library.
+//
+//   micg gen <family> [options] -o FILE     generate a graph
+//   micg convert IN OUT                     convert between .mtx and .micg
+//   micg info FILE                          structural statistics
+//   micg color FILE [--threads N] [--backend NAME] [--chunk C] [--d2]
+//   micg bfs FILE [--source V] [--variant NAME] [--threads N] [--block B]
+//   micg bc FILE [--samples K] [--threads N] [--top M]
+//
+// Families for gen: chain N | cycle N | star N | complete N | tree K L |
+// grid2d NX NY | er N AVGDEG SEED | rmat SCALE EDGEFACTOR SEED |
+// suite NAME SCALE. File format chosen by extension: .mtx (MatrixMarket)
+// or .micg (binary CSR).
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "micg/bfs/centrality.hpp"
+#include "micg/bfs/layered.hpp"
+#include "micg/bfs/seq.hpp"
+#include "micg/color/distance2.hpp"
+#include "micg/color/greedy.hpp"
+#include "micg/color/iterative.hpp"
+#include "micg/color/ordering.hpp"
+#include "micg/color/verify.hpp"
+#include "micg/graph/generators.hpp"
+#include "micg/graph/io_binary.hpp"
+#include "micg/graph/io_mm.hpp"
+#include "micg/graph/props.hpp"
+#include "micg/graph/suite.hpp"
+#include "micg/support/table.hpp"
+#include "micg/support/timer.hpp"
+
+namespace {
+
+using micg::graph::csr_graph;
+
+[[noreturn]] void usage(const std::string& msg = "") {
+  if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  micg gen <family> [params] -o FILE\n"
+      "      families: chain N | cycle N | star N | complete N | tree K L\n"
+      "                | grid2d NX NY | er N AVGDEG SEED\n"
+      "                | rmat SCALE EDGEFACTOR SEED | suite NAME SCALE\n"
+      "  micg convert IN OUT\n"
+      "  micg info FILE\n"
+      "  micg color FILE [--threads N] [--backend NAME] [--chunk C] [--d2]\n"
+      "  micg bfs FILE [--source V] [--variant NAME] [--threads N] [--block B]\n"
+      "  micg bc FILE [--samples K] [--threads N] [--top M]\n"
+      "file formats by extension: .mtx (MatrixMarket), .micg (binary)\n";
+  std::exit(2);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+csr_graph load_graph(const std::string& path) {
+  if (ends_with(path, ".micg")) return micg::graph::load_binary(path);
+  if (ends_with(path, ".mtx")) return micg::graph::load_matrix_market(path);
+  usage("unknown graph file extension: " + path);
+}
+
+void save_graph(const std::string& path, const csr_graph& g) {
+  if (ends_with(path, ".micg")) {
+    micg::graph::save_binary(path, g);
+  } else if (ends_with(path, ".mtx")) {
+    micg::graph::save_matrix_market(path, g);
+  } else {
+    usage("unknown graph file extension: " + path);
+  }
+}
+
+struct arg_parser {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  arg_parser(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        if (i + 1 >= argc) usage("flag " + a + " needs a value");
+        flags.emplace_back(a.substr(2), argv[++i]);
+      } else if (a == "-o") {
+        if (i + 1 >= argc) usage("-o needs a value");
+        flags.emplace_back("out", argv[++i]);
+      } else {
+        positional.push_back(std::move(a));
+      }
+    }
+  }
+
+  std::string flag(const std::string& name, const std::string& dflt) const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return v;
+    }
+    return dflt;
+  }
+  long flag_int(const std::string& name, long dflt) const {
+    const auto v = flag(name, "");
+    return v.empty() ? dflt : std::atol(v.c_str());
+  }
+};
+
+int cmd_gen(const arg_parser& args) {
+  if (args.positional.empty()) usage("gen needs a family");
+  const auto& fam = args.positional[0];
+  auto pos_int = [&](std::size_t i) -> long {
+    if (i >= args.positional.size()) usage("missing parameter for " + fam);
+    return std::atol(args.positional[i].c_str());
+  };
+  csr_graph g;
+  if (fam == "chain") {
+    g = micg::graph::make_chain(static_cast<int>(pos_int(1)));
+  } else if (fam == "cycle") {
+    g = micg::graph::make_cycle(static_cast<int>(pos_int(1)));
+  } else if (fam == "star") {
+    g = micg::graph::make_star(static_cast<int>(pos_int(1)));
+  } else if (fam == "complete") {
+    g = micg::graph::make_complete(static_cast<int>(pos_int(1)));
+  } else if (fam == "tree") {
+    g = micg::graph::make_kary_tree(static_cast<int>(pos_int(1)),
+                                    static_cast<int>(pos_int(2)));
+  } else if (fam == "grid2d") {
+    g = micg::graph::make_grid_2d(static_cast<int>(pos_int(1)),
+                                  static_cast<int>(pos_int(2)));
+  } else if (fam == "er") {
+    if (args.positional.size() < 4) usage("er needs N AVGDEG SEED");
+    g = micg::graph::make_erdos_renyi(
+        static_cast<int>(pos_int(1)),
+        std::atof(args.positional[2].c_str()),
+        static_cast<std::uint64_t>(pos_int(3)));
+  } else if (fam == "rmat") {
+    g = micg::graph::make_rmat(static_cast<int>(pos_int(1)),
+                               static_cast<int>(pos_int(2)), 0.57, 0.19,
+                               0.19, static_cast<std::uint64_t>(pos_int(3)));
+  } else if (fam == "suite") {
+    if (args.positional.size() < 3) usage("suite needs NAME SCALE");
+    g = micg::graph::make_suite_graph(
+        micg::graph::suite_entry_by_name(args.positional[1]),
+        std::atof(args.positional[2].c_str()));
+  } else {
+    usage("unknown family: " + fam);
+  }
+  const auto out = args.flag("out", "");
+  if (out.empty()) usage("gen needs -o FILE");
+  save_graph(out, g);
+  std::cout << "wrote " << out << "  |V|=" << g.num_vertices()
+            << " |E|=" << g.num_edges() << "\n";
+  return 0;
+}
+
+int cmd_convert(const arg_parser& args) {
+  if (args.positional.size() != 2) usage("convert needs IN OUT");
+  const auto g = load_graph(args.positional[0]);
+  save_graph(args.positional[1], g);
+  std::cout << "converted " << args.positional[0] << " -> "
+            << args.positional[1] << "\n";
+  return 0;
+}
+
+int cmd_info(const arg_parser& args) {
+  if (args.positional.empty()) usage("info needs FILE");
+  const auto g = load_graph(args.positional[0]);
+  const auto stats = micg::graph::compute_degree_stats(g);
+  micg::table_printer t("graph info: " + args.positional[0]);
+  t.header({"property", "value"});
+  t.row({"|V|", micg::table_printer::fmt(
+                    static_cast<long long>(g.num_vertices()))});
+  t.row({"|E|", micg::table_printer::fmt(
+                    static_cast<long long>(g.num_edges()))});
+  t.row({"min degree", micg::table_printer::fmt(
+                            static_cast<long long>(stats.min))});
+  t.row({"max degree (Delta)",
+         micg::table_printer::fmt(static_cast<long long>(stats.max))});
+  t.row({"avg degree", micg::table_printer::fmt(stats.mean)});
+  t.row({"components",
+         micg::table_printer::fmt(
+             static_cast<long long>(micg::graph::count_components(g)))});
+  t.row({"degeneracy", micg::table_printer::fmt(static_cast<long long>(
+                           micg::color::degeneracy(g)))});
+  t.row({"BFS levels from |V|/2",
+         micg::table_printer::fmt(static_cast<long long>(
+             micg::graph::count_bfs_levels(g, g.num_vertices() / 2)))});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_color(const arg_parser& args) {
+  if (args.positional.empty()) usage("color needs FILE");
+  const auto g = load_graph(args.positional[0]);
+  micg::color::iterative_options opt;
+  opt.ex.kind = micg::rt::backend_from_name(
+      args.flag("backend", "OpenMP-dynamic"));
+  opt.ex.threads = static_cast<int>(args.flag_int("threads", 4));
+  opt.ex.chunk = args.flag_int("chunk", 100);
+  micg::stopwatch sw;
+  if (args.flag("d2", "no") != "no") {  // pass --d2 yes for distance-2
+    const auto r = micg::color::iterative_color_distance2(g, opt);
+    std::cout << "distance-2 colors: " << r.num_colors << " in "
+              << r.rounds << " rounds, "
+              << micg::table_printer::fmt(sw.millis()) << " ms, valid="
+              << micg::color::is_valid_distance2_coloring(g, r.color)
+              << "\n";
+  } else {
+    const auto r = micg::color::iterative_color(g, opt);
+    std::cout << "colors: " << r.num_colors << " in " << r.rounds
+              << " rounds, " << micg::table_printer::fmt(sw.millis())
+              << " ms, valid="
+              << micg::color::is_valid_coloring(g, r.color) << "\n";
+  }
+  return 0;
+}
+
+int cmd_bfs(const arg_parser& args) {
+  if (args.positional.empty()) usage("bfs needs FILE");
+  const auto g = load_graph(args.positional[0]);
+  micg::bfs::parallel_bfs_options opt;
+  opt.threads = static_cast<int>(args.flag_int("threads", 4));
+  opt.block = static_cast<int>(args.flag_int("block", 32));
+  const auto vname = args.flag("variant", "OpenMP-Block-relaxed");
+  bool found = false;
+  for (auto v : micg::bfs::all_bfs_variants()) {
+    if (vname == micg::bfs::bfs_variant_name(v)) {
+      opt.variant = v;
+      found = true;
+    }
+  }
+  if (!found) usage("unknown BFS variant: " + vname);
+  const auto source = static_cast<micg::graph::vertex_t>(
+      args.flag_int("source", g.num_vertices() / 2));
+  micg::stopwatch sw;
+  const auto r = micg::bfs::parallel_bfs(g, source, opt);
+  std::cout << micg::bfs::bfs_variant_name(opt.variant) << ": "
+            << r.num_levels << " levels, reached " << r.reached << "/"
+            << g.num_vertices() << " in "
+            << micg::table_printer::fmt(sw.millis()) << " ms\n";
+  return 0;
+}
+
+int cmd_bc(const arg_parser& args) {
+  if (args.positional.empty()) usage("bc needs FILE");
+  const auto g = load_graph(args.positional[0]);
+  micg::bfs::centrality_options opt;
+  opt.ex.threads = static_cast<int>(args.flag_int("threads", 4));
+  opt.sample_sources = static_cast<micg::graph::vertex_t>(
+      args.flag_int("samples", 0));
+  micg::stopwatch sw;
+  const auto bc = micg::bfs::betweenness_centrality(g, opt);
+  const auto top = static_cast<std::size_t>(args.flag_int("top", 5));
+  std::vector<std::size_t> idx(bc.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::partial_sort(idx.begin(),
+                    idx.begin() + static_cast<std::ptrdiff_t>(
+                                      std::min(top, idx.size())),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      return bc[a] > bc[b];
+                    });
+  std::cout << "betweenness centrality ("
+            << micg::table_printer::fmt(sw.millis()) << " ms):\n";
+  for (std::size_t i = 0; i < std::min(top, idx.size()); ++i) {
+    std::cout << "  #" << i + 1 << "  vertex " << idx[i] << "  bc="
+              << micg::table_printer::fmt(bc[idx[i]]) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const arg_parser args(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "convert") return cmd_convert(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "color") return cmd_color(args);
+    if (cmd == "bfs") return cmd_bfs(args);
+    if (cmd == "bc") return cmd_bc(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage("unknown command: " + cmd);
+}
