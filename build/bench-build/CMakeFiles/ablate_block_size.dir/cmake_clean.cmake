@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_block_size"
+  "../bench/ablate_block_size.pdb"
+  "CMakeFiles/ablate_block_size.dir/ablate_block_size.cpp.o"
+  "CMakeFiles/ablate_block_size.dir/ablate_block_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_coloring_algo"
+  "../bench/ablate_coloring_algo.pdb"
+  "CMakeFiles/ablate_coloring_algo.dir/ablate_coloring_algo.cpp.o"
+  "CMakeFiles/ablate_coloring_algo.dir/ablate_coloring_algo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_coloring_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_direction"
+  "../bench/ablate_direction.pdb"
+  "CMakeFiles/ablate_direction.dir/ablate_direction.cpp.o"
+  "CMakeFiles/ablate_direction.dir/ablate_direction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_direction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_coloring"
+  "../bench/fig1_coloring.pdb"
+  "CMakeFiles/fig1_coloring.dir/fig1_coloring.cpp.o"
+  "CMakeFiles/fig1_coloring.dir/fig1_coloring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_coloring_random.cpp" "bench-build/CMakeFiles/fig2_coloring_random.dir/fig2_coloring_random.cpp.o" "gcc" "bench-build/CMakeFiles/fig2_coloring_random.dir/fig2_coloring_random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/micg/benchkit/CMakeFiles/micg_benchkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/model/CMakeFiles/micg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/color/CMakeFiles/micg_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/bfs/CMakeFiles/micg_bfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/irregular/CMakeFiles/micg_irregular.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/graph/CMakeFiles/micg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/rt/CMakeFiles/micg_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/support/CMakeFiles/micg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_coloring_random"
+  "../bench/fig2_coloring_random.pdb"
+  "CMakeFiles/fig2_coloring_random.dir/fig2_coloring_random.cpp.o"
+  "CMakeFiles/fig2_coloring_random.dir/fig2_coloring_random.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_coloring_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

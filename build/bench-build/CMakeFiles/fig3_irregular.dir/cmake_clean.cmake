@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_irregular"
+  "../bench/fig3_irregular.pdb"
+  "CMakeFiles/fig3_irregular.dir/fig3_irregular.cpp.o"
+  "CMakeFiles/fig3_irregular.dir/fig3_irregular.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_bfs"
+  "../bench/fig4_bfs.pdb"
+  "CMakeFiles/fig4_bfs.dir/fig4_bfs.cpp.o"
+  "CMakeFiles/fig4_bfs.dir/fig4_bfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

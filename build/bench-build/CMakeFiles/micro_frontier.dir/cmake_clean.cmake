@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_frontier"
+  "../bench/micro_frontier.pdb"
+  "CMakeFiles/micro_frontier.dir/micro_frontier.cpp.o"
+  "CMakeFiles/micro_frontier.dir/micro_frontier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_pipeline.dir/analysis_pipeline.cpp.o"
+  "CMakeFiles/analysis_pipeline.dir/analysis_pipeline.cpp.o.d"
+  "analysis_pipeline"
+  "analysis_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

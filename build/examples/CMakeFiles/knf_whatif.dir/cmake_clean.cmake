@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knf_whatif.dir/knf_whatif.cpp.o"
+  "CMakeFiles/knf_whatif.dir/knf_whatif.cpp.o.d"
+  "knf_whatif"
+  "knf_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knf_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

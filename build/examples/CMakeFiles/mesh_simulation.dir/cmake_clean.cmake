@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_simulation.dir/mesh_simulation.cpp.o"
+  "CMakeFiles/mesh_simulation.dir/mesh_simulation.cpp.o.d"
+  "mesh_simulation"
+  "mesh_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

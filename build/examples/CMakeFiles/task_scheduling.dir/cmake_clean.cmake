@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_scheduling.dir/task_scheduling.cpp.o"
+  "CMakeFiles/task_scheduling.dir/task_scheduling.cpp.o.d"
+  "task_scheduling"
+  "task_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micg_benchkit.dir/benchkit.cpp.o"
+  "CMakeFiles/micg_benchkit.dir/benchkit.cpp.o.d"
+  "libmicg_benchkit.a"
+  "libmicg_benchkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micg_benchkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmicg_benchkit.a"
+)

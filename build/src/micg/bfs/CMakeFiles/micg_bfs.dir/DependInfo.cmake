@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/micg/bfs/bag.cpp" "src/micg/bfs/CMakeFiles/micg_bfs.dir/bag.cpp.o" "gcc" "src/micg/bfs/CMakeFiles/micg_bfs.dir/bag.cpp.o.d"
+  "/root/repo/src/micg/bfs/block_queue.cpp" "src/micg/bfs/CMakeFiles/micg_bfs.dir/block_queue.cpp.o" "gcc" "src/micg/bfs/CMakeFiles/micg_bfs.dir/block_queue.cpp.o.d"
+  "/root/repo/src/micg/bfs/centrality.cpp" "src/micg/bfs/CMakeFiles/micg_bfs.dir/centrality.cpp.o" "gcc" "src/micg/bfs/CMakeFiles/micg_bfs.dir/centrality.cpp.o.d"
+  "/root/repo/src/micg/bfs/compact_frontier.cpp" "src/micg/bfs/CMakeFiles/micg_bfs.dir/compact_frontier.cpp.o" "gcc" "src/micg/bfs/CMakeFiles/micg_bfs.dir/compact_frontier.cpp.o.d"
+  "/root/repo/src/micg/bfs/direction.cpp" "src/micg/bfs/CMakeFiles/micg_bfs.dir/direction.cpp.o" "gcc" "src/micg/bfs/CMakeFiles/micg_bfs.dir/direction.cpp.o.d"
+  "/root/repo/src/micg/bfs/layered.cpp" "src/micg/bfs/CMakeFiles/micg_bfs.dir/layered.cpp.o" "gcc" "src/micg/bfs/CMakeFiles/micg_bfs.dir/layered.cpp.o.d"
+  "/root/repo/src/micg/bfs/parents.cpp" "src/micg/bfs/CMakeFiles/micg_bfs.dir/parents.cpp.o" "gcc" "src/micg/bfs/CMakeFiles/micg_bfs.dir/parents.cpp.o.d"
+  "/root/repo/src/micg/bfs/seq.cpp" "src/micg/bfs/CMakeFiles/micg_bfs.dir/seq.cpp.o" "gcc" "src/micg/bfs/CMakeFiles/micg_bfs.dir/seq.cpp.o.d"
+  "/root/repo/src/micg/bfs/tls_queue.cpp" "src/micg/bfs/CMakeFiles/micg_bfs.dir/tls_queue.cpp.o" "gcc" "src/micg/bfs/CMakeFiles/micg_bfs.dir/tls_queue.cpp.o.d"
+  "/root/repo/src/micg/bfs/validate.cpp" "src/micg/bfs/CMakeFiles/micg_bfs.dir/validate.cpp.o" "gcc" "src/micg/bfs/CMakeFiles/micg_bfs.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/micg/graph/CMakeFiles/micg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/rt/CMakeFiles/micg_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/support/CMakeFiles/micg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

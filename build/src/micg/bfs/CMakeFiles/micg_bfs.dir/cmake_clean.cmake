@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micg_bfs.dir/bag.cpp.o"
+  "CMakeFiles/micg_bfs.dir/bag.cpp.o.d"
+  "CMakeFiles/micg_bfs.dir/block_queue.cpp.o"
+  "CMakeFiles/micg_bfs.dir/block_queue.cpp.o.d"
+  "CMakeFiles/micg_bfs.dir/centrality.cpp.o"
+  "CMakeFiles/micg_bfs.dir/centrality.cpp.o.d"
+  "CMakeFiles/micg_bfs.dir/compact_frontier.cpp.o"
+  "CMakeFiles/micg_bfs.dir/compact_frontier.cpp.o.d"
+  "CMakeFiles/micg_bfs.dir/direction.cpp.o"
+  "CMakeFiles/micg_bfs.dir/direction.cpp.o.d"
+  "CMakeFiles/micg_bfs.dir/layered.cpp.o"
+  "CMakeFiles/micg_bfs.dir/layered.cpp.o.d"
+  "CMakeFiles/micg_bfs.dir/parents.cpp.o"
+  "CMakeFiles/micg_bfs.dir/parents.cpp.o.d"
+  "CMakeFiles/micg_bfs.dir/seq.cpp.o"
+  "CMakeFiles/micg_bfs.dir/seq.cpp.o.d"
+  "CMakeFiles/micg_bfs.dir/tls_queue.cpp.o"
+  "CMakeFiles/micg_bfs.dir/tls_queue.cpp.o.d"
+  "CMakeFiles/micg_bfs.dir/validate.cpp.o"
+  "CMakeFiles/micg_bfs.dir/validate.cpp.o.d"
+  "libmicg_bfs.a"
+  "libmicg_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micg_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/micg/color/distance2.cpp" "src/micg/color/CMakeFiles/micg_color.dir/distance2.cpp.o" "gcc" "src/micg/color/CMakeFiles/micg_color.dir/distance2.cpp.o.d"
+  "/root/repo/src/micg/color/greedy.cpp" "src/micg/color/CMakeFiles/micg_color.dir/greedy.cpp.o" "gcc" "src/micg/color/CMakeFiles/micg_color.dir/greedy.cpp.o.d"
+  "/root/repo/src/micg/color/iterative.cpp" "src/micg/color/CMakeFiles/micg_color.dir/iterative.cpp.o" "gcc" "src/micg/color/CMakeFiles/micg_color.dir/iterative.cpp.o.d"
+  "/root/repo/src/micg/color/jones_plassmann.cpp" "src/micg/color/CMakeFiles/micg_color.dir/jones_plassmann.cpp.o" "gcc" "src/micg/color/CMakeFiles/micg_color.dir/jones_plassmann.cpp.o.d"
+  "/root/repo/src/micg/color/ordering.cpp" "src/micg/color/CMakeFiles/micg_color.dir/ordering.cpp.o" "gcc" "src/micg/color/CMakeFiles/micg_color.dir/ordering.cpp.o.d"
+  "/root/repo/src/micg/color/verify.cpp" "src/micg/color/CMakeFiles/micg_color.dir/verify.cpp.o" "gcc" "src/micg/color/CMakeFiles/micg_color.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/micg/graph/CMakeFiles/micg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/rt/CMakeFiles/micg_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/support/CMakeFiles/micg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

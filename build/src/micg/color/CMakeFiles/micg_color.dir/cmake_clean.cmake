@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micg_color.dir/distance2.cpp.o"
+  "CMakeFiles/micg_color.dir/distance2.cpp.o.d"
+  "CMakeFiles/micg_color.dir/greedy.cpp.o"
+  "CMakeFiles/micg_color.dir/greedy.cpp.o.d"
+  "CMakeFiles/micg_color.dir/iterative.cpp.o"
+  "CMakeFiles/micg_color.dir/iterative.cpp.o.d"
+  "CMakeFiles/micg_color.dir/jones_plassmann.cpp.o"
+  "CMakeFiles/micg_color.dir/jones_plassmann.cpp.o.d"
+  "CMakeFiles/micg_color.dir/ordering.cpp.o"
+  "CMakeFiles/micg_color.dir/ordering.cpp.o.d"
+  "CMakeFiles/micg_color.dir/verify.cpp.o"
+  "CMakeFiles/micg_color.dir/verify.cpp.o.d"
+  "libmicg_color.a"
+  "libmicg_color.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micg_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/micg/graph/builder.cpp" "src/micg/graph/CMakeFiles/micg_graph.dir/builder.cpp.o" "gcc" "src/micg/graph/CMakeFiles/micg_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/micg/graph/components.cpp" "src/micg/graph/CMakeFiles/micg_graph.dir/components.cpp.o" "gcc" "src/micg/graph/CMakeFiles/micg_graph.dir/components.cpp.o.d"
+  "/root/repo/src/micg/graph/csr.cpp" "src/micg/graph/CMakeFiles/micg_graph.dir/csr.cpp.o" "gcc" "src/micg/graph/CMakeFiles/micg_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/micg/graph/generators.cpp" "src/micg/graph/CMakeFiles/micg_graph.dir/generators.cpp.o" "gcc" "src/micg/graph/CMakeFiles/micg_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/micg/graph/io_binary.cpp" "src/micg/graph/CMakeFiles/micg_graph.dir/io_binary.cpp.o" "gcc" "src/micg/graph/CMakeFiles/micg_graph.dir/io_binary.cpp.o.d"
+  "/root/repo/src/micg/graph/io_mm.cpp" "src/micg/graph/CMakeFiles/micg_graph.dir/io_mm.cpp.o" "gcc" "src/micg/graph/CMakeFiles/micg_graph.dir/io_mm.cpp.o.d"
+  "/root/repo/src/micg/graph/permute.cpp" "src/micg/graph/CMakeFiles/micg_graph.dir/permute.cpp.o" "gcc" "src/micg/graph/CMakeFiles/micg_graph.dir/permute.cpp.o.d"
+  "/root/repo/src/micg/graph/props.cpp" "src/micg/graph/CMakeFiles/micg_graph.dir/props.cpp.o" "gcc" "src/micg/graph/CMakeFiles/micg_graph.dir/props.cpp.o.d"
+  "/root/repo/src/micg/graph/suite.cpp" "src/micg/graph/CMakeFiles/micg_graph.dir/suite.cpp.o" "gcc" "src/micg/graph/CMakeFiles/micg_graph.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/micg/support/CMakeFiles/micg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/rt/CMakeFiles/micg_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

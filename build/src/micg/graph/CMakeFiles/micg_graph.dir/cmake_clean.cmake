@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micg_graph.dir/builder.cpp.o"
+  "CMakeFiles/micg_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/micg_graph.dir/components.cpp.o"
+  "CMakeFiles/micg_graph.dir/components.cpp.o.d"
+  "CMakeFiles/micg_graph.dir/csr.cpp.o"
+  "CMakeFiles/micg_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/micg_graph.dir/generators.cpp.o"
+  "CMakeFiles/micg_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/micg_graph.dir/io_binary.cpp.o"
+  "CMakeFiles/micg_graph.dir/io_binary.cpp.o.d"
+  "CMakeFiles/micg_graph.dir/io_mm.cpp.o"
+  "CMakeFiles/micg_graph.dir/io_mm.cpp.o.d"
+  "CMakeFiles/micg_graph.dir/permute.cpp.o"
+  "CMakeFiles/micg_graph.dir/permute.cpp.o.d"
+  "CMakeFiles/micg_graph.dir/props.cpp.o"
+  "CMakeFiles/micg_graph.dir/props.cpp.o.d"
+  "CMakeFiles/micg_graph.dir/suite.cpp.o"
+  "CMakeFiles/micg_graph.dir/suite.cpp.o.d"
+  "libmicg_graph.a"
+  "libmicg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

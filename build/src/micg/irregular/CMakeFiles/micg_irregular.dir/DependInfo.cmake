@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/micg/irregular/gauss_seidel.cpp" "src/micg/irregular/CMakeFiles/micg_irregular.dir/gauss_seidel.cpp.o" "gcc" "src/micg/irregular/CMakeFiles/micg_irregular.dir/gauss_seidel.cpp.o.d"
+  "/root/repo/src/micg/irregular/heat.cpp" "src/micg/irregular/CMakeFiles/micg_irregular.dir/heat.cpp.o" "gcc" "src/micg/irregular/CMakeFiles/micg_irregular.dir/heat.cpp.o.d"
+  "/root/repo/src/micg/irregular/kernel.cpp" "src/micg/irregular/CMakeFiles/micg_irregular.dir/kernel.cpp.o" "gcc" "src/micg/irregular/CMakeFiles/micg_irregular.dir/kernel.cpp.o.d"
+  "/root/repo/src/micg/irregular/pagerank.cpp" "src/micg/irregular/CMakeFiles/micg_irregular.dir/pagerank.cpp.o" "gcc" "src/micg/irregular/CMakeFiles/micg_irregular.dir/pagerank.cpp.o.d"
+  "/root/repo/src/micg/irregular/spmv.cpp" "src/micg/irregular/CMakeFiles/micg_irregular.dir/spmv.cpp.o" "gcc" "src/micg/irregular/CMakeFiles/micg_irregular.dir/spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/micg/graph/CMakeFiles/micg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/rt/CMakeFiles/micg_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/color/CMakeFiles/micg_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/micg/support/CMakeFiles/micg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micg_irregular.dir/gauss_seidel.cpp.o"
+  "CMakeFiles/micg_irregular.dir/gauss_seidel.cpp.o.d"
+  "CMakeFiles/micg_irregular.dir/heat.cpp.o"
+  "CMakeFiles/micg_irregular.dir/heat.cpp.o.d"
+  "CMakeFiles/micg_irregular.dir/kernel.cpp.o"
+  "CMakeFiles/micg_irregular.dir/kernel.cpp.o.d"
+  "CMakeFiles/micg_irregular.dir/pagerank.cpp.o"
+  "CMakeFiles/micg_irregular.dir/pagerank.cpp.o.d"
+  "CMakeFiles/micg_irregular.dir/spmv.cpp.o"
+  "CMakeFiles/micg_irregular.dir/spmv.cpp.o.d"
+  "libmicg_irregular.a"
+  "libmicg_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micg_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

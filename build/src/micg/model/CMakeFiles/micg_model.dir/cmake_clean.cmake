@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micg_model.dir/bfs_model.cpp.o"
+  "CMakeFiles/micg_model.dir/bfs_model.cpp.o.d"
+  "CMakeFiles/micg_model.dir/exec_model.cpp.o"
+  "CMakeFiles/micg_model.dir/exec_model.cpp.o.d"
+  "CMakeFiles/micg_model.dir/machine.cpp.o"
+  "CMakeFiles/micg_model.dir/machine.cpp.o.d"
+  "CMakeFiles/micg_model.dir/sched_model.cpp.o"
+  "CMakeFiles/micg_model.dir/sched_model.cpp.o.d"
+  "CMakeFiles/micg_model.dir/trace.cpp.o"
+  "CMakeFiles/micg_model.dir/trace.cpp.o.d"
+  "CMakeFiles/micg_model.dir/tracegen.cpp.o"
+  "CMakeFiles/micg_model.dir/tracegen.cpp.o.d"
+  "libmicg_model.a"
+  "libmicg_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micg_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

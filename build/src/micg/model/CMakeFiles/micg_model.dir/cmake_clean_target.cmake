@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmicg_model.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/micg/rt/exec.cpp" "src/micg/rt/CMakeFiles/micg_rt.dir/exec.cpp.o" "gcc" "src/micg/rt/CMakeFiles/micg_rt.dir/exec.cpp.o.d"
+  "/root/repo/src/micg/rt/pipeline.cpp" "src/micg/rt/CMakeFiles/micg_rt.dir/pipeline.cpp.o" "gcc" "src/micg/rt/CMakeFiles/micg_rt.dir/pipeline.cpp.o.d"
+  "/root/repo/src/micg/rt/scheduler.cpp" "src/micg/rt/CMakeFiles/micg_rt.dir/scheduler.cpp.o" "gcc" "src/micg/rt/CMakeFiles/micg_rt.dir/scheduler.cpp.o.d"
+  "/root/repo/src/micg/rt/thread_pool.cpp" "src/micg/rt/CMakeFiles/micg_rt.dir/thread_pool.cpp.o" "gcc" "src/micg/rt/CMakeFiles/micg_rt.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/micg/support/CMakeFiles/micg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

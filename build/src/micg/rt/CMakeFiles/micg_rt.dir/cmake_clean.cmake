@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micg_rt.dir/exec.cpp.o"
+  "CMakeFiles/micg_rt.dir/exec.cpp.o.d"
+  "CMakeFiles/micg_rt.dir/pipeline.cpp.o"
+  "CMakeFiles/micg_rt.dir/pipeline.cpp.o.d"
+  "CMakeFiles/micg_rt.dir/scheduler.cpp.o"
+  "CMakeFiles/micg_rt.dir/scheduler.cpp.o.d"
+  "CMakeFiles/micg_rt.dir/thread_pool.cpp.o"
+  "CMakeFiles/micg_rt.dir/thread_pool.cpp.o.d"
+  "libmicg_rt.a"
+  "libmicg_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micg_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micg_support.dir/stats.cpp.o"
+  "CMakeFiles/micg_support.dir/stats.cpp.o.d"
+  "CMakeFiles/micg_support.dir/table.cpp.o"
+  "CMakeFiles/micg_support.dir/table.cpp.o.d"
+  "libmicg_support.a"
+  "libmicg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_ext2_test.dir/algo_ext2_test.cpp.o"
+  "CMakeFiles/algo_ext2_test.dir/algo_ext2_test.cpp.o.d"
+  "algo_ext2_test"
+  "algo_ext2_test.pdb"
+  "algo_ext2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_ext2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

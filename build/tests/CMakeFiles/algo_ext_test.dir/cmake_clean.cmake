@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_ext_test.dir/algo_ext_test.cpp.o"
+  "CMakeFiles/algo_ext_test.dir/algo_ext_test.cpp.o.d"
+  "algo_ext_test"
+  "algo_ext_test.pdb"
+  "algo_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_test.dir/irregular_test.cpp.o"
+  "CMakeFiles/irregular_test.dir/irregular_test.cpp.o.d"
+  "irregular_test"
+  "irregular_test.pdb"
+  "irregular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

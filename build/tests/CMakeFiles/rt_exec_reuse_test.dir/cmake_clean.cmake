@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_exec_reuse_test.dir/rt_exec_reuse_test.cpp.o"
+  "CMakeFiles/rt_exec_reuse_test.dir/rt_exec_reuse_test.cpp.o.d"
+  "rt_exec_reuse_test"
+  "rt_exec_reuse_test.pdb"
+  "rt_exec_reuse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_exec_reuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

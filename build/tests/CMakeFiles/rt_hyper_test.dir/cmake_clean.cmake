@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_hyper_test.dir/rt_hyper_test.cpp.o"
+  "CMakeFiles/rt_hyper_test.dir/rt_hyper_test.cpp.o.d"
+  "rt_hyper_test"
+  "rt_hyper_test.pdb"
+  "rt_hyper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_hyper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_loop_test.dir/rt_loop_test.cpp.o"
+  "CMakeFiles/rt_loop_test.dir/rt_loop_test.cpp.o.d"
+  "rt_loop_test"
+  "rt_loop_test.pdb"
+  "rt_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

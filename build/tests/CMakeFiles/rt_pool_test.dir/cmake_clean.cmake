@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_pool_test.dir/rt_pool_test.cpp.o"
+  "CMakeFiles/rt_pool_test.dir/rt_pool_test.cpp.o.d"
+  "rt_pool_test"
+  "rt_pool_test.pdb"
+  "rt_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_scan_array_test.dir/rt_scan_array_test.cpp.o"
+  "CMakeFiles/rt_scan_array_test.dir/rt_scan_array_test.cpp.o.d"
+  "rt_scan_array_test"
+  "rt_scan_array_test.pdb"
+  "rt_scan_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_scan_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

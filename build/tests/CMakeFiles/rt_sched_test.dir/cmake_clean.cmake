@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_sched_test.dir/rt_sched_test.cpp.o"
+  "CMakeFiles/rt_sched_test.dir/rt_sched_test.cpp.o.d"
+  "rt_sched_test"
+  "rt_sched_test.pdb"
+  "rt_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

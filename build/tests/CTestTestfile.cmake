@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_sched_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_loop_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/color_test[1]_include.cmake")
+include("/root/repo/build/tests/bfs_test[1]_include.cmake")
+include("/root/repo/build/tests/irregular_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_hyper_test[1]_include.cmake")
+include("/root/repo/build/tests/algo_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/algo_ext2_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_exec_reuse_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_scan_array_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micg.dir/micg_cli.cpp.o"
+  "CMakeFiles/micg.dir/micg_cli.cpp.o.d"
+  "micg"
+  "micg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
