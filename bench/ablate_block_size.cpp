@@ -19,10 +19,11 @@
 #include "micg/model/tracegen.hpp"
 #include "micg/support/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using micg::table_printer;
   micg::stopwatch total;
-  const double scale = micg::benchkit::model_scale();
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  const double scale = cfg.model_scale;
   const auto knf = micg::model::machine_config::knf();
   const std::vector<int> blocks{1, 4, 8, 16, 32, 64, 128, 256, 1024};
 
@@ -79,7 +80,7 @@ int main() {
   // 3) Real execution: sentinel padding overhead of the block queue
   // ("this scheme can produce slightly larger queues").
   {
-    const double mscale = micg::benchkit::measured_scale();
+    const double mscale = cfg.measured_scale;
     table_printer t(
         "Measured queue padding (slots incl. sentinels / frontier), 8 "
         "threads, scale=" +
@@ -93,7 +94,7 @@ int main() {
       for (int b : blocks) {
         micg::bfs::parallel_bfs_options opt;
         opt.variant = micg::bfs::bfs_variant::omp_block_relaxed;
-        opt.threads = 8;
+        opt.ex.threads = 8;
         opt.block = b;
         const auto r =
             micg::bfs::parallel_bfs(g, g.num_vertices() / 2, opt);
@@ -112,9 +113,9 @@ int main() {
   // 4) Sentinel padding vs compaction (the §IV-C design decision): wall
   // clock of the relaxed block queue against the scan-compacted frontier.
   {
-    const double mscale = micg::benchkit::measured_scale();
-    const int threads = micg::benchkit::measured_threads().back();
-    const int runs = micg::benchkit::measured_runs();
+    const double mscale = cfg.measured_scale;
+    const int threads = cfg.measured_threads.back();
+    const int runs = cfg.measured_runs;
     table_printer t("Measured: sentinel-padded block queue vs compacting frontier (ms, " +
                     std::to_string(threads) + " threads)");
     t.header({"graph", "sentinel(b=32)", "compact(scan)", "ratio"});
@@ -123,13 +124,13 @@ int main() {
       const auto src = g.num_vertices() / 2;
       micg::bfs::parallel_bfs_options sopt;
       sopt.variant = micg::bfs::bfs_variant::omp_block_relaxed;
-      sopt.threads = threads;
+      sopt.ex.threads = threads;
       sopt.block = 32;
       const double sentinel_ms =
           1e3 * micg::benchkit::time_stable(
                     [&] { micg::bfs::parallel_bfs(g, src, sopt); }, runs);
       micg::bfs::compact_bfs_options copt;
-      copt.threads = threads;
+      copt.ex.threads = threads;
       const double compact_ms =
           1e3 * micg::benchkit::time_stable(
                     [&] { micg::bfs::parallel_bfs_compact(g, src, copt); },
@@ -140,6 +141,20 @@ int main() {
     }
     t.print(std::cout);
     std::cout << '\n';
+  }
+
+  // Structured metrics: one instrumented block-queue BFS run.
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
+  if (sink.enabled()) {
+    const auto& g = micg::benchkit::suite_graph("pwtk", cfg.measured_scale);
+    micg::bfs::parallel_bfs_options opt;
+    opt.variant = micg::bfs::bfs_variant::omp_block_relaxed;
+    opt.ex.threads = cfg.measured_threads.back();
+    opt.block = 32;
+    micg::benchkit::record_run(
+        sink,
+        {{"bench", "ablate_block_size"}, {"graph", "pwtk"}},
+        [&] { micg::bfs::parallel_bfs(g, g.num_vertices() / 2, opt); });
   }
 
   std::cout << "[ablate_block_size] done in "

@@ -13,11 +13,12 @@
 #include "micg/support/stats.hpp"
 #include "micg/support/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using micg::table_printer;
   using micg::rt::backend;
   micg::stopwatch total;
-  const double scale = micg::benchkit::model_scale();
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  const double scale = cfg.model_scale;
   const auto knf = micg::model::machine_config::knf();
   const std::vector<std::int64_t> chunks{10, 20, 40, 70, 100, 150, 250,
                                          400};
@@ -66,8 +67,8 @@ int main() {
 
   // Measured: real iterative coloring, chunk sweep at a fixed thread
   // count on this host.
-  const double mscale = micg::benchkit::measured_scale();
-  const int runs = micg::benchkit::measured_runs();
+  const double mscale = cfg.measured_scale;
+  const int runs = cfg.measured_runs;
   const auto& g = micg::benchkit::suite_graph("hood", mscale);
   table_printer mt("Measured runtime (ms) on this host, 8 threads, hood");
   std::vector<std::string> mheader{"schedule"};
@@ -87,6 +88,19 @@ int main() {
     mt.row(std::move(row));
   }
   mt.print(std::cout);
+
+  // Structured metrics: one instrumented coloring at the paper-best chunk.
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
+  if (sink.enabled()) {
+    micg::color::iterative_options opt;
+    opt.ex.kind = backend::omp_dynamic;
+    opt.ex.threads = 8;
+    opt.ex.chunk = 100;
+    micg::benchkit::record_run(
+        sink,
+        {{"bench", "ablate_chunk_size"}, {"graph", "hood"}},
+        [&] { micg::color::iterative_color(g, opt); });
+  }
 
   std::cout << "\n[ablate_chunk_size] done in "
             << table_printer::fmt(total.seconds(), 1) << "s\n";

@@ -17,12 +17,14 @@
 #include "micg/support/table.hpp"
 #include "micg/support/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using micg::table_printer;
   micg::stopwatch total;
-  const double mscale = micg::benchkit::measured_scale();
-  const int threads = micg::benchkit::measured_threads().back();
-  const int runs = micg::benchkit::measured_runs();
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  const double mscale = cfg.measured_scale;
+  const int threads = cfg.measured_threads.back();
+  const int runs = cfg.measured_runs;
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
 
   std::cout << "Ablation: coloring algorithm & visit order (" << threads
             << " threads, scale=" << table_printer::fmt(mscale, 3)
@@ -52,6 +54,14 @@ int main() {
           1e3 *
           micg::benchkit::time_stable(
               [&] { micg::color::jones_plassmann_color(g, jopt); }, runs);
+
+      // Structured metrics: instrumented speculate+repair run per graph.
+      if (sink.enabled()) {
+        micg::benchkit::record_run(
+            sink,
+            {{"bench", "ablate_coloring_algo"}, {"graph", entry.name}},
+            [&] { micg::color::iterative_color(g, iopt); });
+      }
 
       t.row({entry.name,
              table_printer::fmt(static_cast<long long>(it.num_colors)),

@@ -11,12 +11,14 @@
 #include "micg/graph/generators.hpp"
 #include "micg/support/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using micg::table_printer;
   micg::stopwatch total;
-  const double mscale = micg::benchkit::measured_scale();
-  const int runs = micg::benchkit::measured_runs();
-  const int threads = micg::benchkit::measured_threads().back();
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  const double mscale = cfg.measured_scale;
+  const int runs = cfg.measured_runs;
+  const int threads = cfg.measured_threads.back();
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
 
   std::cout << "Ablation: direction-optimizing vs layered BFS ("
             << threads << " threads)\n\n";
@@ -47,13 +49,13 @@ int main() {
 
     micg::bfs::parallel_bfs_options lopt;
     lopt.variant = micg::bfs::bfs_variant::omp_block_relaxed;
-    lopt.threads = threads;
+    lopt.ex.threads = threads;
     const double layered_ms =
         1e3 * micg::benchkit::time_stable(
                   [&] { micg::bfs::parallel_bfs(c.g, src, lopt); }, runs);
 
     micg::bfs::direction_options dopt;
-    dopt.threads = threads;
+    dopt.ex.threads = threads;
     const auto dres = micg::bfs::direction_optimizing_bfs(c.g, src, dopt);
     const double dir_ms =
         1e3 * micg::benchkit::time_stable(
@@ -67,6 +69,14 @@ int main() {
                static_cast<long long>(dres.bottom_up_steps)),
            table_printer::fmt(layered_ms), table_printer::fmt(dir_ms),
            table_printer::fmt(layered_ms / dir_ms)});
+
+    // Structured metrics: one instrumented dir-opt run per case.
+    if (sink.enabled()) {
+      micg::benchkit::record_run(
+          sink,
+          {{"bench", "ablate_direction"}, {"graph", c.name}},
+          [&] { micg::bfs::direction_optimizing_bfs(c.g, src, dopt); });
+    }
   }
   t.print(std::cout);
 

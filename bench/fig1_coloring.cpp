@@ -40,9 +40,8 @@ series modeled(const std::string& name, const variant& v,
 }
 
 series measured(const std::string& name, const variant& v,
-                const std::vector<int>& grid, double scale) {
+                const std::vector<int>& grid, double scale, int runs) {
   std::vector<std::vector<double>> per_graph;
-  const int runs = micg::benchkit::measured_runs();
   for (const auto& entry : micg::graph::table1_suite()) {
     const auto& g = micg::benchkit::suite_graph(entry.name, scale);
     std::vector<double> curve;
@@ -64,9 +63,10 @@ series measured(const std::string& name, const variant& v,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   micg::stopwatch total;
-  const double scale = micg::benchkit::model_scale();
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  const double scale = cfg.model_scale;
   const auto knf = micg::model::machine_config::knf();
   const auto grid = micg::model::paper_thread_grid(121);
 
@@ -96,17 +96,38 @@ int main() {
                         scale)});
 
   // Measured on this host: the real implementations, small thread grid.
-  const auto mgrid = micg::benchkit::measured_threads();
-  const double mscale = micg::benchkit::measured_scale();
+  const auto& mgrid = cfg.measured_threads;
+  const double mscale = cfg.measured_scale;
   micg::benchkit::print_figure(
       "Fig 1 (measured on this host, scale=" +
           micg::table_printer::fmt(mscale, 3) + ")",
       mgrid,
       {measured("OpenMP-dynamic", {backend::omp_dynamic, 100}, mgrid,
-                mscale),
+                mscale, cfg.measured_runs),
        measured("CilkPlus-holder", {backend::cilk_holder, 100}, mgrid,
-                mscale),
-       measured("TBB-simple", {backend::tbb_simple, 40}, mgrid, mscale)});
+                mscale, cfg.measured_runs),
+       measured("TBB-simple", {backend::tbb_simple, 40}, mgrid, mscale,
+                cfg.measured_runs)});
+
+  // Structured metrics: one instrumented coloring per programming model.
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
+  if (sink.enabled()) {
+    const auto& g = micg::benchkit::suite_graph("pwtk", mscale);
+    for (const variant v : {variant{backend::omp_dynamic, 100},
+                            variant{backend::cilk_holder, 100},
+                            variant{backend::tbb_simple, 40}}) {
+      micg::color::iterative_options opt;
+      opt.ex.kind = v.kind;
+      opt.ex.threads = mgrid.back();
+      opt.ex.chunk = v.chunk;
+      micg::benchkit::record_run(
+          sink,
+          {{"bench", "fig1_coloring"},
+           {"graph", "pwtk"},
+           {"threads", std::to_string(mgrid.back())}},
+          [&] { micg::color::iterative_color(g, opt); });
+    }
+  }
 
   std::cout << "[fig1_coloring] done in "
             << micg::table_printer::fmt(total.seconds(), 1) << "s\n";

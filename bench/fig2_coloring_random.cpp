@@ -33,9 +33,10 @@ series modeled(const std::string& name, backend kind, std::int64_t chunk,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   micg::stopwatch total;
-  const double scale = micg::benchkit::model_scale();
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  const double scale = cfg.model_scale;
   const auto knf = micg::model::machine_config::knf();
   const auto grid = micg::model::paper_thread_grid(121);
 
@@ -54,9 +55,10 @@ int main() {
                knf, scale)});
 
   // Measured: really shuffle the graphs and run the real algorithm.
-  const auto mgrid = micg::benchkit::measured_threads();
-  const double mscale = micg::benchkit::measured_scale();
-  const int runs = micg::benchkit::measured_runs();
+  const auto& mgrid = cfg.measured_threads;
+  const double mscale = cfg.measured_scale;
+  const int runs = cfg.measured_runs;
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
   std::vector<std::vector<double>> per_graph;
   for (const auto& entry : micg::graph::table1_suite()) {
     const auto& g = micg::benchkit::suite_graph(entry.name, mscale);
@@ -78,6 +80,23 @@ int main() {
   }
   micg::benchkit::print_figure("Fig 2 (measured on this host, OpenMP-dynamic)", mgrid,
                {micg::benchkit::geomean_series("OpenMP-dynamic", per_graph)});
+
+  // Structured metrics: one instrumented run on a shuffled suite graph.
+  if (sink.enabled()) {
+    const auto& g = micg::benchkit::suite_graph("pwtk", mscale);
+    const auto shuffled = micg::graph::apply_permutation(
+        g, micg::graph::random_permutation(g.num_vertices(), 2026));
+    micg::color::iterative_options opt;
+    opt.ex.kind = backend::omp_dynamic;
+    opt.ex.threads = mgrid.back();
+    opt.ex.chunk = 100;
+    micg::benchkit::record_run(
+        sink,
+        {{"bench", "fig2_coloring_random"},
+         {"graph", "pwtk/shuffled"},
+         {"threads", std::to_string(mgrid.back())}},
+        [&] { micg::color::iterative_color(shuffled, opt); });
+  }
 
   std::cout << "[fig2_coloring_random] done in "
             << micg::table_printer::fmt(total.seconds(), 1) << "s\n";

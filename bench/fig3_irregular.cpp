@@ -46,9 +46,10 @@ std::vector<series> panel(backend kind, std::int64_t chunk,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   micg::stopwatch total;
-  const double scale = micg::benchkit::model_scale();
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  const double scale = cfg.model_scale;
   const auto knf = micg::model::machine_config::knf();
   const auto grid = micg::model::paper_thread_grid(121);
 
@@ -63,9 +64,9 @@ int main() {
                panel(backend::tbb_simple, 0, grid, knf, scale));
 
   // Measured: run the real Algorithm 5 kernel (in-place mode).
-  const auto mgrid = micg::benchkit::measured_threads();
-  const double mscale = micg::benchkit::measured_scale();
-  const int runs = micg::benchkit::measured_runs();
+  const auto& mgrid = cfg.measured_threads;
+  const double mscale = cfg.measured_scale;
+  const int runs = cfg.measured_runs;
   std::vector<series> curves;
   for (int iter : {1, 10}) {
     std::vector<std::vector<double>> per_graph;
@@ -96,6 +97,30 @@ int main() {
   }
   micg::benchkit::print_figure("Fig 3 (measured on this host, OpenMP-dynamic)", mgrid,
                curves);
+
+  // Structured metrics: one instrumented kernel run per iteration count.
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
+  if (sink.enabled()) {
+    const auto& g = micg::benchkit::suite_graph("pwtk", mscale);
+    for (int iter : {1, 10}) {
+      std::vector<double> state(
+          static_cast<std::size_t>(g.num_vertices()));
+      micg::xoshiro256ss rng(7);
+      for (auto& x : state) x = rng.uniform();
+      micg::irregular::kernel_options opt;
+      opt.ex.kind = backend::omp_dynamic;
+      opt.ex.threads = mgrid.back();
+      opt.ex.chunk = 100;
+      opt.iterations = iter;
+      micg::benchkit::record_run(
+          sink,
+          {{"bench", "fig3_irregular"},
+           {"graph", "pwtk"},
+           {"iter", std::to_string(iter)},
+           {"threads", std::to_string(mgrid.back())}},
+          [&] { micg::irregular::irregular_kernel(g, state, opt); });
+    }
+  }
 
   std::cout << "[fig3_irregular] done in "
             << micg::table_printer::fmt(total.seconds(), 1) << "s\n";

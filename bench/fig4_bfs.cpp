@@ -131,9 +131,10 @@ void all_graphs_panel(const std::string& title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   micg::stopwatch total;
-  const double scale = micg::benchkit::model_scale();
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  const double scale = cfg.model_scale;
   const auto knf = micg::model::machine_config::knf();
   const auto host = micg::model::machine_config::host_xeon();
   const auto grid = micg::model::paper_thread_grid(121);
@@ -159,9 +160,9 @@ int main() {
                    host_variants, host_grid, host, 0.6, scale);
 
   // Measured: real BFS variants on this host.
-  const auto mgrid = micg::benchkit::measured_threads();
-  const double mscale = micg::benchkit::measured_scale();
-  const int runs = micg::benchkit::measured_runs();
+  const auto& mgrid = cfg.measured_threads;
+  const double mscale = cfg.measured_scale;
+  const int runs = cfg.measured_runs;
   std::vector<series> measured;
   for (auto variant : micg::bfs::all_bfs_variants()) {
     std::vector<std::vector<double>> per_graph;
@@ -173,7 +174,7 @@ int main() {
       for (int t : mgrid) {
         micg::bfs::parallel_bfs_options opt;
         opt.variant = variant;
-        opt.threads = t;
+        opt.ex.threads = t;
         opt.block = kBlock;
         const double secs = micg::benchkit::time_stable(
             [&] { micg::bfs::parallel_bfs(g, source, opt); }, runs);
@@ -187,6 +188,25 @@ int main() {
   }
   micg::benchkit::print_figure("Fig 4 (measured on this host, pwtk+inline_1)", mgrid,
                measured);
+
+  // Structured metrics: one instrumented run per BFS variant.
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
+  if (sink.enabled()) {
+    const auto& g = micg::benchkit::suite_graph("pwtk", mscale);
+    const auto source = g.num_vertices() / 2;
+    for (auto variant : micg::bfs::all_bfs_variants()) {
+      micg::bfs::parallel_bfs_options opt;
+      opt.variant = variant;
+      opt.ex.threads = mgrid.back();
+      opt.block = kBlock;
+      micg::benchkit::record_run(
+          sink,
+          {{"bench", "fig4_bfs"},
+           {"graph", "pwtk"},
+           {"threads", std::to_string(mgrid.back())}},
+          [&] { micg::bfs::parallel_bfs(g, source, opt); });
+    }
+  }
 
   std::cout << "[fig4_bfs] done in "
             << micg::table_printer::fmt(total.seconds(), 1) << "s\n";

@@ -7,6 +7,7 @@
 
 #include <atomic>
 
+#include "micg/obs/obs.hpp"
 #include "micg/rt/barrier.hpp"
 #include "micg/rt/cilk_for.hpp"
 #include "micg/rt/exec.hpp"
@@ -80,6 +81,33 @@ void bm_region_forkjoin(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_region_forkjoin)->Arg(1)->Arg(4)->Arg(8);
+
+// Same fork-join region with a global obs recorder installed: bounds the
+// observability overhead (acceptance: <2% on the parallel-region bench —
+// compare against bm_region_forkjoin).
+void bm_region_forkjoin_observed(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  auto& pool = micg::rt::thread_pool::global();
+  pool.reserve(threads);
+  micg::obs::recorder rec;
+  micg::obs::scoped_global guard(rec);
+  for (auto _ : state) {
+    pool.run(threads, [](int) {});
+  }
+}
+BENCHMARK(bm_region_forkjoin_observed)->Arg(1)->Arg(4)->Arg(8);
+
+// Hot-loop counter discipline: per-chunk add to a cacheline-padded slot.
+void bm_obs_counter_add(benchmark::State& state) {
+  micg::obs::recorder rec;
+  micg::obs::counter& c = rec.get_counter("bench.items");
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) c.add(i & 7, 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(bm_obs_counter_add);
 
 void bm_barrier_round(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));

@@ -14,9 +14,10 @@
 #include "micg/support/table.hpp"
 #include "micg/support/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using micg::table_printer;
-  const double scale = micg::benchkit::model_scale();
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  const double scale = cfg.model_scale;
   micg::stopwatch total;
 
   table_printer t("Table I: properties of the test graphs (paper -> measured stand-in, scale=" +
@@ -58,6 +59,23 @@ int main() {
            table_printer::fmt(ratio)});
   }
   t.print(std::cout);
+
+  // Structured metrics: one instrumented coloring of the first suite graph.
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
+  if (sink.enabled()) {
+    const auto& g = micg::benchkit::suite_graph(
+        micg::graph::table1_suite().front().name, scale);
+    micg::color::iterative_options opt;
+    opt.ex.kind = micg::rt::backend::omp_dynamic;
+    opt.ex.threads = 8;
+    opt.ex.chunk = 100;
+    micg::benchkit::record_run(
+        sink,
+        {{"bench", "table1_graphs"},
+         {"graph", micg::graph::table1_suite().front().name}},
+        [&] { micg::color::iterative_color(g, opt); });
+  }
+
   std::cout << "\n[table1_graphs] done in "
             << table_printer::fmt(total.seconds(), 1) << "s\n";
   return 0;

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     for (auto root : roots) {
       micg::bfs::parallel_bfs_options opt;
       opt.variant = variant;
-      opt.threads = threads;
+      opt.ex.threads = threads;
       opt.block = 32;
       micg::stopwatch sw;
       const auto r = micg::bfs::parallel_bfs(g, root, opt);

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   // 2. Layered parallel BFS with the block-accessed queue (Algorithm 7).
   micg::bfs::parallel_bfs_options bopt;
   bopt.variant = micg::bfs::bfs_variant::omp_block_relaxed;
-  bopt.threads = threads;
+  bopt.ex.threads = threads;
   bopt.block = 32;
   const auto source = g.num_vertices() / 2;
   const auto bfs = micg::bfs::parallel_bfs(g, source, bopt);

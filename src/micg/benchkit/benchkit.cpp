@@ -4,7 +4,9 @@
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <utility>
 
+#include "micg/obs/emit.hpp"
 #include "micg/support/assert.hpp"
 #include "micg/support/stats.hpp"
 #include "micg/support/timer.hpp"
@@ -58,27 +60,88 @@ double env_double(const char* name, double fallback) {
 }
 }  // namespace
 
-double model_scale() { return env_double("MICG_SCALE", 1.0); }
-
-double measured_scale() { return env_double("MICG_MEASURED_SCALE", 0.02); }
-
-std::vector<int> measured_threads() {
-  std::vector<int> threads;
+config config::from_env() {
+  config c;
+  c.model_scale = env_double("MICG_SCALE", c.model_scale);
+  c.measured_scale = env_double("MICG_MEASURED_SCALE", c.measured_scale);
+  c.measured_runs =
+      static_cast<int>(env_double("MICG_RUNS",
+                                  static_cast<double>(c.measured_runs)));
   if (const char* v = std::getenv("MICG_MEASURED_THREADS")) {
+    std::vector<int> threads;
     std::stringstream ss(v);
     std::string tok;
     while (std::getline(ss, tok, ',')) {
       const int t = std::atoi(tok.c_str());
       if (t >= 1) threads.push_back(t);
     }
+    if (!threads.empty()) c.measured_threads = std::move(threads);
   }
-  if (threads.empty()) threads = {1, 2, 4, 8};
-  return threads;
+  if (const char* v = std::getenv("MICG_METRICS_JSON")) c.metrics_json = v;
+  return c;
 }
 
-int measured_runs() {
-  return static_cast<int>(env_double("MICG_RUNS", 4.0));
+config config::from_args(int argc, char** argv) {
+  config c = from_env();
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics-json") {
+      c.metrics_json = argv[i + 1];
+    }
+  }
+  return c;
 }
+
+metrics_sink::~metrics_sink() {
+  try {
+    flush();
+  } catch (const std::exception& e) {
+    std::cerr << "metrics sink: " << e.what() << "\n";
+  }
+}
+
+void metrics_sink::record(obs::snapshot snap) {
+  if (!enabled()) return;
+  records_.push_back(std::move(snap));
+  dirty_ = true;
+}
+
+void metrics_sink::flush() {
+  if (!enabled() || !dirty_) return;
+  obs::write_json_file(path_, records_);
+  dirty_ = false;
+}
+
+void record_run(
+    metrics_sink& sink,
+    const std::vector<std::pair<std::string, std::string>>& meta,
+    const std::function<void()>& body) {
+  if (!sink.enabled()) {
+    body();
+    return;
+  }
+  obs::recorder rec;
+  {
+    obs::scoped_global guard(rec);
+    body();
+  }
+  for (const auto& [k, v] : meta) rec.set_meta(k, v);
+  sink.record(rec.take());
+}
+
+// Deprecated shims; kept one release for out-of-tree users. Definitions
+// reference the deprecated declarations, which some compilers warn about.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+double model_scale() { return config::from_env().model_scale; }
+
+double measured_scale() { return config::from_env().measured_scale; }
+
+std::vector<int> measured_threads() {
+  return config::from_env().measured_threads;
+}
+
+int measured_runs() { return config::from_env().measured_runs; }
+#pragma GCC diagnostic pop
 
 const micg::graph::csr_graph& suite_graph(const std::string& name,
                                           double scale) {

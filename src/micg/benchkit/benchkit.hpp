@@ -7,12 +7,15 @@
 //     the current host. On a small CI container these are recorded for
 //     completeness; their absolute shape depends on the local core count.
 //
-// Environment knobs:
+// Configuration is parsed once into a benchkit::config and passed
+// explicitly to the harness helpers:
 //   MICG_SCALE            graph scale for the modeled series (default 1.0)
 //   MICG_MEASURED_SCALE   graph scale for measured runs (default 0.02)
 //   MICG_MEASURED_THREADS comma list for measured sweeps (default "1,2,4,8")
 //   MICG_RUNS             measured repetitions; the mean of the last
 //                         half is reported (default 4; paper used 10/5)
+//   MICG_METRICS_JSON     path for the structured metrics record
+//                         (--metrics-json PATH overrides; empty = off)
 #pragma once
 
 #include <functional>
@@ -21,6 +24,7 @@
 
 #include "micg/graph/csr.hpp"
 #include "micg/graph/suite.hpp"
+#include "micg/obs/obs.hpp"
 #include "micg/support/table.hpp"
 
 namespace micg::benchkit {
@@ -40,11 +44,51 @@ void print_figure(const std::string& title,
 series geomean_series(const std::string& name,
                       const std::vector<std::vector<double>>& per_graph);
 
-/// Environment-configured parameters.
-double model_scale();
-double measured_scale();
-std::vector<int> measured_threads();
-int measured_runs();
+/// All harness configuration, parsed once instead of re-read from the
+/// environment at every call site.
+struct config {
+  double model_scale = 1.0;
+  double measured_scale = 0.02;
+  std::vector<int> measured_threads{1, 2, 4, 8};
+  int measured_runs = 4;
+  /// Output path for the structured metrics record; empty disables the
+  /// metrics sink.
+  std::string metrics_json;
+
+  /// Parse the MICG_* environment variables.
+  static config from_env();
+  /// from_env() plus command-line overrides (--metrics-json PATH).
+  static config from_args(int argc, char** argv);
+};
+
+/// Collects obs snapshots and writes one micg.metrics.v1 file (see
+/// obs/emit.hpp) on flush/destruction. A sink with an empty path is
+/// disabled: record() drops, the destructor writes nothing.
+class metrics_sink {
+ public:
+  explicit metrics_sink(std::string path) : path_(std::move(path)) {}
+  ~metrics_sink();
+  metrics_sink(const metrics_sink&) = delete;
+  metrics_sink& operator=(const metrics_sink&) = delete;
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  void record(obs::snapshot snap);
+  /// Write the file now (also called by the destructor).
+  void flush();
+
+ private:
+  std::string path_;
+  std::vector<obs::snapshot> records_;
+  bool dirty_ = false;
+};
+
+/// Run `body` once with a fresh recorder installed globally, stamp the
+/// snapshot with `meta`, and record it into `sink`. When the sink is
+/// disabled the body runs un-instrumented.
+void record_run(
+    metrics_sink& sink,
+    const std::vector<std::pair<std::string, std::string>>& meta,
+    const std::function<void()>& body);
 
 /// Build (and memoize per process) a suite graph at `scale`.
 const micg::graph::csr_graph& suite_graph(const std::string& name,
@@ -53,5 +97,19 @@ const micg::graph::csr_graph& suite_graph(const std::string& name,
 /// Run `body()` `runs` times and return the mean of the last half of the
 /// wall-clock times (paper: 10 runs, mean of the last 5).
 double time_stable(const std::function<void()>& body, int runs);
+
+// ---------------------------------------------------------------------------
+// Deprecated environment accessors — superseded by benchkit::config.
+// Each call re-reads the environment; new code should parse a config once
+// (config::from_env / config::from_args) and pass it down.
+
+[[deprecated("use benchkit::config::from_env().model_scale")]]
+double model_scale();
+[[deprecated("use benchkit::config::from_env().measured_scale")]]
+double measured_scale();
+[[deprecated("use benchkit::config::from_env().measured_threads")]]
+std::vector<int> measured_threads();
+[[deprecated("use benchkit::config::from_env().measured_runs")]]
+int measured_runs();
 
 }  // namespace micg::benchkit

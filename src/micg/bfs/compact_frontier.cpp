@@ -56,17 +56,13 @@ compact_bfs_result parallel_bfs_compact(const csr_graph& g, vertex_t source,
                                         const compact_bfs_options& opt) {
   const vertex_t n = g.num_vertices();
   MICG_CHECK(source >= 0 && source < n, "source out of range");
-  MICG_CHECK(opt.threads >= 1, "need at least one thread");
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
 
   std::vector<std::atomic<int>> level(static_cast<std::size_t>(n));
   for (auto& l : level) l.store(-1, std::memory_order_relaxed);
 
-  rt::exec ex;
-  ex.kind = rt::backend::omp_dynamic;
-  ex.threads = opt.threads;
-  ex.chunk = opt.chunk;
-
-  compact_frontier frontier(opt.threads);
+  const rt::exec& ex = opt.ex;
+  compact_frontier frontier(opt.ex.threads);
   std::vector<vertex_t> cur{source};
   level[static_cast<std::size_t>(source)].store(0,
                                                 std::memory_order_relaxed);

@@ -49,8 +49,10 @@ class compact_frontier {
 /// ablation counterpart of bfs_variant::omp_block. Levels are identical
 /// to seq_bfs.
 struct compact_bfs_options {
-  int threads = 1;
-  std::int64_t chunk = 64;
+  /// Threads, chunk, backend kind, pool and metrics sink — the compacting
+  /// BFS honors ex.kind (default OpenMP-dynamic) since any substrate can
+  /// schedule its per-level loops.
+  rt::exec ex;
 };
 
 struct compact_bfs_result {

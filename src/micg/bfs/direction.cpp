@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "micg/obs/obs.hpp"
 #include "micg/rt/exec.hpp"
 #include "micg/support/assert.hpp"
 
@@ -15,15 +16,13 @@ direction_bfs_result direction_optimizing_bfs(const csr_graph& g,
                                               const direction_options& opt) {
   const vertex_t n = g.num_vertices();
   MICG_CHECK(source >= 0 && source < n, "source out of range");
-  MICG_CHECK(opt.threads >= 1, "need at least one thread");
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
 
   std::vector<std::atomic<int>> level(static_cast<std::size_t>(n));
   for (auto& l : level) l.store(-1, std::memory_order_relaxed);
 
-  rt::exec ex;
+  rt::exec ex = opt.ex;
   ex.kind = rt::backend::omp_dynamic;
-  ex.threads = opt.threads;
-  ex.chunk = opt.chunk;
 
   std::vector<vertex_t> frontier{source};
   level[static_cast<std::size_t>(source)].store(0,
@@ -112,6 +111,17 @@ direction_bfs_result direction_optimizing_bfs(const csr_graph& g,
       ++r.frontier_sizes[static_cast<std::size_t>(lv)];
       ++r.reached;
     }
+  }
+  if (obs::recorder* rec = opt.ex.sink(); rec != nullptr) {
+    rec->set_meta("kernel", "direction_optimizing_bfs");
+    rec->get_counter("bfs.top_down_steps")
+        .add(0, static_cast<std::uint64_t>(r.top_down_steps));
+    rec->get_counter("bfs.bottom_up_steps")
+        .add(0, static_cast<std::uint64_t>(r.bottom_up_steps));
+    rec->get_counter("bfs.levels")
+        .add(0, static_cast<std::uint64_t>(r.num_levels));
+    rec->get_counter("bfs.reached")
+        .add(0, static_cast<std::uint64_t>(r.reached));
   }
   return r;
 }

@@ -13,13 +13,15 @@
 #include "micg/bfs/layered.hpp"
 #include "micg/bfs/seq.hpp"
 #include "micg/graph/csr.hpp"
+#include "micg/rt/exec.hpp"
 
 namespace micg::bfs {
 
 struct direction_options {
-  int threads = 1;
+  /// Threads, chunk, pool and metrics sink (the backend kind is fixed to
+  /// the OpenMP-dynamic substrate).
+  rt::exec ex;
   int block = 32;
-  std::int64_t chunk = 64;
   /// Switch to bottom-up when frontier edges exceed |E|/alpha (Beamer's
   /// alpha); back to top-down when the frontier shrinks below |V|/beta.
   double alpha = 14.0;

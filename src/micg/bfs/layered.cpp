@@ -6,6 +6,7 @@
 #include "micg/bfs/bag.hpp"
 #include "micg/bfs/block_queue.hpp"
 #include "micg/bfs/tls_queue.hpp"
+#include "micg/obs/obs.hpp"
 #include "micg/rt/exec.hpp"
 #include "micg/rt/scheduler.hpp"
 #include "micg/support/assert.hpp"
@@ -32,6 +33,14 @@ std::vector<bfs_variant> all_bfs_variants() {
   return {bfs_variant::omp_block,       bfs_variant::omp_block_relaxed,
           bfs_variant::tbb_block,       bfs_variant::tbb_block_relaxed,
           bfs_variant::omp_tls,         bfs_variant::cilk_bag_relaxed};
+}
+
+bfs_variant bfs_variant_from_name(const std::string& name) {
+  for (bfs_variant v : all_bfs_variants()) {
+    if (name == bfs_variant_name(v)) return v;
+  }
+  MICG_CHECK(false, "unknown BFS variant name: " + name);
+  return bfs_variant::omp_block_relaxed;  // unreachable
 }
 
 namespace {
@@ -94,19 +103,18 @@ parallel_bfs_result bfs_block(const csr_graph& g, vertex_t source,
   // race cannot produce in practice.
   const std::size_t cap =
       2 * static_cast<std::size_t>(n) +
-      static_cast<std::size_t>(opt.threads) *
+      static_cast<std::size_t>(opt.ex.threads) *
           static_cast<std::size_t>(opt.block) +
       64;
-  block_queue cur(cap, opt.block, opt.threads);
-  block_queue next(cap, opt.block, opt.threads);
+  block_queue cur(cap, opt.block, opt.ex.threads);
+  block_queue next(cap, opt.block, opt.ex.threads);
 
-  rt::exec ex;
+  rt::exec ex = opt.ex;
   ex.kind = tbb_style ? rt::backend::tbb_simple : rt::backend::omp_dynamic;
-  ex.threads = opt.threads;
-  ex.chunk = opt.chunk;
   // Reuse one scheduler across all levels for the TBB-style backend.
-  rt::task_scheduler sched(ex.pool_or_global(), opt.threads);
+  rt::task_scheduler sched(ex.pool_or_global(), ex.threads);
   if (tbb_style) ex.sched = &sched;
+  obs::recorder* rec = opt.ex.sink();
 
   level[static_cast<std::size_t>(source)].store(0,
                                                 std::memory_order_relaxed);
@@ -117,6 +125,12 @@ parallel_bfs_result bfs_block(const csr_graph& g, vertex_t source,
   int depth = 1;
   while (cur.count_valid() > 0) {
     partial.queue_slots_per_level.push_back(cur.size_with_sentinels());
+    obs::span level_span =
+        rec != nullptr ? rec->start_span("bfs.level", depth - 1)
+                       : obs::span();
+    level_span.value(
+        "queue_slots",
+        static_cast<double>(partial.queue_slots_per_level.back()));
     next.reset();
     const auto entries = cur.raw();
     rt::for_range(
@@ -151,12 +165,11 @@ parallel_bfs_result bfs_tls(const csr_graph& g, vertex_t source,
   level_array level(static_cast<std::size_t>(n));
   for (auto& l : level) l.store(-1, std::memory_order_relaxed);
 
-  rt::exec ex;
+  rt::exec ex = opt.ex;
   ex.kind = rt::backend::omp_dynamic;
-  ex.threads = opt.threads;
-  ex.chunk = opt.chunk;
+  obs::recorder* rec = opt.ex.sink();
 
-  tls_frontier locals(opt.threads);
+  tls_frontier locals(opt.ex.threads);
   std::vector<vertex_t> cur{source};
   std::vector<vertex_t> next;
   level[static_cast<std::size_t>(source)].store(0,
@@ -164,6 +177,10 @@ parallel_bfs_result bfs_tls(const csr_graph& g, vertex_t source,
 
   int depth = 1;
   while (!cur.empty()) {
+    obs::span level_span =
+        rec != nullptr ? rec->start_span("bfs.level", depth - 1)
+                       : obs::span();
+    level_span.value("frontier", static_cast<double>(cur.size()));
     rt::for_range(
         ex, static_cast<std::int64_t>(cur.size()),
         [&](std::int64_t b, std::int64_t e, int worker) {
@@ -197,11 +214,12 @@ parallel_bfs_result bfs_bag(const csr_graph& g, vertex_t source,
   level_array level(static_cast<std::size_t>(n));
   for (auto& l : level) l.store(-1, std::memory_order_relaxed);
 
-  rt::task_scheduler sched(rt::thread_pool::global(), opt.threads);
+  rt::task_scheduler sched(opt.ex.pool_or_global(), opt.ex.threads);
+  obs::recorder* rec = opt.ex.sink();
 
   std::vector<vertex_bag> worker_bags;
-  worker_bags.reserve(static_cast<std::size_t>(opt.threads));
-  for (int t = 0; t < opt.threads; ++t) {
+  worker_bags.reserve(static_cast<std::size_t>(opt.ex.threads));
+  for (int t = 0; t < opt.ex.threads; ++t) {
     worker_bags.emplace_back(opt.bag_grain);
   }
 
@@ -212,6 +230,9 @@ parallel_bfs_result bfs_bag(const csr_graph& g, vertex_t source,
 
   int depth = 1;
   while (!cur.empty()) {
+    obs::span level_span =
+        rec != nullptr ? rec->start_span("bfs.level", depth - 1)
+                       : obs::span();
     sched.run([&] {
       cur.traverse_parallel(
           sched, [&](std::span<const vertex_t> items, int worker) {
@@ -234,12 +255,10 @@ parallel_bfs_result bfs_bag(const csr_graph& g, vertex_t source,
 
 }  // namespace
 
-parallel_bfs_result parallel_bfs(const csr_graph& g, vertex_t source,
-                                 const parallel_bfs_options& opt) {
-  MICG_CHECK(source >= 0 && source < g.num_vertices(),
-             "source out of range");
-  MICG_CHECK(opt.threads >= 1, "need at least one thread");
-  MICG_CHECK(opt.block >= 1, "block size must be positive");
+namespace {
+
+parallel_bfs_result run_variant(const csr_graph& g, vertex_t source,
+                                const parallel_bfs_options& opt) {
   switch (opt.variant) {
     case bfs_variant::omp_block:
       return bfs_block(g, source, opt, /*tbb_style=*/false,
@@ -259,6 +278,29 @@ parallel_bfs_result parallel_bfs(const csr_graph& g, vertex_t source,
   }
   MICG_CHECK(false, "unknown BFS variant");
   return {};
+}
+
+}  // namespace
+
+parallel_bfs_result parallel_bfs(const csr_graph& g, vertex_t source,
+                                 const parallel_bfs_options& opt) {
+  MICG_CHECK(source >= 0 && source < g.num_vertices(),
+             "source out of range");
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
+  MICG_CHECK(opt.block >= 1, "block size must be positive");
+  auto r = run_variant(g, source, opt);
+  if (obs::recorder* rec = opt.ex.sink(); rec != nullptr) {
+    rec->set_meta("kernel", "parallel_bfs");
+    rec->set_meta("variant", bfs_variant_name(opt.variant));
+    rec->get_counter("bfs.levels")
+        .add(0, static_cast<std::uint64_t>(r.num_levels));
+    rec->get_counter("bfs.reached")
+        .add(0, static_cast<std::uint64_t>(r.reached));
+    std::size_t slots = 0;
+    for (std::size_t s : r.queue_slots_per_level) slots += s;
+    rec->get_counter("bfs.queue_slots").add(0, slots);
+  }
+  return r;
 }
 
 }  // namespace micg::bfs

@@ -21,6 +21,7 @@
 
 #include "micg/bfs/seq.hpp"
 #include "micg/graph/csr.hpp"
+#include "micg/rt/exec.hpp"
 
 namespace micg::bfs {
 
@@ -36,17 +37,23 @@ enum class bfs_variant {
 /// Paper-style display name ("OpenMP-Block-relaxed", ...).
 const char* bfs_variant_name(bfs_variant v);
 
+/// Parse a display name back to the enum; throws micg::check_error on
+/// unknown names (the inverse of bfs_variant_name, mirroring
+/// rt::backend_name / rt::backend_from_name).
+bfs_variant bfs_variant_from_name(const std::string& name);
+
 /// All six variants in paper order.
 std::vector<bfs_variant> all_bfs_variants();
 
 struct parallel_bfs_options {
   bfs_variant variant = bfs_variant::omp_block_relaxed;
-  int threads = 1;
+  /// Threads, per-level scheduling chunk, pool and metrics sink. The
+  /// backend kind is decided by `variant` (ex.kind is ignored); the other
+  /// fields apply to every variant.
+  rt::exec ex;
   /// Block size of the block-accessed queue. 32 is the value "that yields
   /// the best performance in our implementation" (§V-D).
   int block = 32;
-  /// Scheduling chunk for the per-level vertex loop.
-  std::int64_t chunk = 64;
   /// Pennant node capacity for the bag variant (grainsize of [20]).
   int bag_grain = 128;
 };

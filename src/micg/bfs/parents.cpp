@@ -18,7 +18,7 @@ parent_bfs_result parallel_bfs_parents(const csr_graph& g, vertex_t source,
                                        const parallel_bfs_options& opt) {
   const vertex_t n = g.num_vertices();
   MICG_CHECK(source >= 0 && source < n, "source out of range");
-  MICG_CHECK(opt.threads >= 1, "need at least one thread");
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
 
   // parent doubles as the visited flag: a CAS from invalid_vertex claims
   // the vertex exactly once (so parents are always consistent even though
@@ -28,16 +28,14 @@ parent_bfs_result parallel_bfs_parents(const csr_graph& g, vertex_t source,
   std::vector<int> level(static_cast<std::size_t>(n), -1);
 
   const std::size_t cap = static_cast<std::size_t>(n) +
-                          static_cast<std::size_t>(opt.threads) *
+                          static_cast<std::size_t>(opt.ex.threads) *
                               static_cast<std::size_t>(opt.block) +
                           64;
-  block_queue cur(cap, opt.block, opt.threads);
-  block_queue next(cap, opt.block, opt.threads);
+  block_queue cur(cap, opt.block, opt.ex.threads);
+  block_queue next(cap, opt.block, opt.ex.threads);
 
-  rt::exec ex;
+  rt::exec ex = opt.ex;
   ex.kind = rt::backend::omp_dynamic;
-  ex.threads = opt.threads;
-  ex.chunk = opt.chunk;
 
   parent[static_cast<std::size_t>(source)].store(source,
                                                  std::memory_order_relaxed);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <numeric>
 
+#include "micg/obs/obs.hpp"
 #include "micg/rt/reducer.hpp"
 #include "micg/rt/tls.hpp"
 #include "micg/support/assert.hpp"
@@ -71,6 +72,11 @@ iterative_result iterative_color(const csr_graph& g,
   scratch_provider scratch(opt.ex.kind, opt.ex.threads, cap);
   rt::reducer_max<int> maxcolor(opt.ex.threads, 0);
 
+  obs::recorder* rec = opt.ex.sink();
+  obs::counter* tentative_ctr =
+      rec != nullptr ? &rec->get_counter("color.tentative_colorings")
+                     : nullptr;
+
   iterative_result result;
   std::vector<vertex_t> conflicts(visit.size());
 
@@ -78,11 +84,19 @@ iterative_result iterative_color(const csr_graph& g,
     MICG_CHECK(result.rounds < opt.max_rounds,
                "iterative coloring failed to converge");
     ++result.rounds;
+    obs::span round_span =
+        rec != nullptr ? rec->start_span("color.round", result.rounds - 1)
+                       : obs::span();
+    round_span.value("visit", static_cast<double>(visit.size()));
 
     // --- ParTentativeColoring (Algorithm 3) --------------------------------
     rt::for_range(opt.ex, static_cast<std::int64_t>(visit.size()),
                   [&](std::int64_t b, std::int64_t e, int worker) {
                     forbidden_marks& marks = scratch.get(worker);
+                    if (tentative_ctr != nullptr) {
+                      tentative_ctr->add(worker,
+                                         static_cast<std::uint64_t>(e - b));
+                    }
                     for (std::int64_t i = b; i < e; ++i) {
                       const vertex_t v = visit[static_cast<std::size_t>(i)];
                       for (vertex_t w : g.neighbors(v)) {
@@ -123,6 +137,7 @@ iterative_result iterative_color(const csr_graph& g,
         });
     conflicts.resize(cursor.load(std::memory_order_relaxed));
     result.conflicts_per_round.push_back(conflicts.size());
+    round_span.value("conflicts", static_cast<double>(conflicts.size()));
     visit.swap(conflicts);
   }
 
@@ -139,6 +154,18 @@ iterative_result iterative_color(const csr_graph& g,
   // exact count comes from the final array (reducer is an upper bound).
   MICG_ASSERT(maxcolor.get() >= exact_max);
   result.num_colors = exact_max;
+  if (rec != nullptr) {
+    rec->set_meta("kernel", "iterative_color");
+    rec->set_meta("backend", rt::backend_name(opt.ex.kind));
+    rec->get_counter("color.rounds")
+        .add(0, static_cast<std::uint64_t>(result.rounds));
+    std::size_t conflicts_total = 0;
+    for (std::size_t c : result.conflicts_per_round) conflicts_total += c;
+    rec->get_counter("color.conflicts")
+        .add(0, static_cast<std::uint64_t>(conflicts_total));
+    rec->set_value("color.num_colors",
+                   static_cast<double>(result.num_colors));
+  }
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "micg/irregular/kernel.hpp"
 
+#include "micg/obs/obs.hpp"
 #include "micg/support/assert.hpp"
 
 namespace micg::irregular {
@@ -36,13 +37,30 @@ std::vector<double> irregular_kernel(const csr_graph& g,
   MICG_CHECK(opt.iterations >= 1, "need at least one iteration");
   MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
 
+  obs::recorder* rec = opt.ex.sink();
+  obs::counter* updates_ctr =
+      rec != nullptr ? &rec->get_counter("irregular.vertex_updates")
+                     : nullptr;
+  obs::span sweep_span =
+      rec != nullptr ? rec->start_span("irregular.sweep") : obs::span();
+  sweep_span.value("iterations", static_cast<double>(opt.iterations));
+  if (rec != nullptr) {
+    rec->set_meta("kernel", "irregular_kernel");
+    rec->set_meta("mode",
+                  opt.mode == kernel_mode::in_place ? "in_place" : "jacobi");
+    rec->set_meta("backend", rt::backend_name(opt.ex.kind));
+  }
+
   std::vector<double> out(state.begin(), state.end());
   if (opt.mode == kernel_mode::in_place) {
     // Algorithm 5: concurrent reads of `out` while it is updated. The
     // races are benign for the benchmark's purpose (every write is a
     // convex combination of current values).
     double* data = out.data();
-    rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int) {
+    rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int worker) {
+      if (updates_ctr != nullptr) {
+        updates_ctr->add(worker, static_cast<std::uint64_t>(e - b));
+      }
       for (std::int64_t i = b; i < e; ++i) {
         const auto v = static_cast<vertex_t>(i);
         data[i] = update_vertex(g, v, opt.iterations, [data](vertex_t w) {
@@ -53,7 +71,10 @@ std::vector<double> irregular_kernel(const csr_graph& g,
   } else {
     const double* src = state.data();
     double* dst = out.data();
-    rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int) {
+    rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int worker) {
+      if (updates_ctr != nullptr) {
+        updates_ctr->add(worker, static_cast<std::uint64_t>(e - b));
+      }
       for (std::int64_t i = b; i < e; ++i) {
         const auto v = static_cast<vertex_t>(i);
         dst[i] = update_vertex(g, v, opt.iterations, [src](vertex_t w) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "micg/obs/obs.hpp"
 #include "micg/rt/tls.hpp"
 #include "micg/support/assert.hpp"
 
@@ -69,6 +70,13 @@ pagerank_result pagerank(const csr_graph& g, const pagerank_options& opt) {
       ++r.iterations;
       break;
     }
+  }
+  if (obs::recorder* rec = opt.ex.sink(); rec != nullptr) {
+    rec->set_meta("kernel", "pagerank");
+    rec->set_meta("converged", r.converged ? "true" : "false");
+    rec->get_counter("pagerank.iterations")
+        .add(0, static_cast<std::uint64_t>(r.iterations));
+    rec->set_value("pagerank.final_delta", r.final_delta);
   }
   return r;
 }

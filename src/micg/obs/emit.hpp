@@ -1,0 +1,62 @@
+// Serialization of obs snapshots — the `micg.metrics.v1` schema.
+//
+// One run record (a snapshot) serializes to a JSON object:
+//
+//   {
+//     "schema": "micg.metrics.v1",
+//     "meta":     {"kernel": "iterative_color", ...},   // strings
+//     "counters": {"color.rounds": 3, ...},             // integers
+//     "timers":   {"rt.worker_busy": 0.0123, ...},      // seconds
+//     "values":   {"color.num_colors": 42, ...},        // gauges
+//     "spans": [
+//       {"name": "color.round", "index": 0, "depth": 0,
+//        "seconds": 0.001, "values": {"conflicts": 17}},
+//       ...
+//     ]
+//   }
+//
+// A metrics *file* (what --metrics-json / MICG_METRICS_JSON produces)
+// wraps one or more records:
+//
+//   {"schema": "micg.metrics.v1", "records": [<record>, ...]}
+//
+// from_json() parses exactly the subset the emitters produce, enabling
+// round-trip tests and tools without a JSON library dependency.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "micg/obs/obs.hpp"
+
+namespace micg::obs {
+
+/// Schema identifier stamped into every record and metrics file.
+inline constexpr const char* schema_name = "micg.metrics.v1";
+
+/// One record as a JSON object.
+std::string to_json(const snapshot& s);
+
+/// A metrics file: {"schema": ..., "records": [...]}.
+std::string to_json(const std::vector<snapshot>& records);
+
+void write_json(std::ostream& os, const snapshot& s);
+
+/// Write a metrics file to `path`; throws micg::check_error on I/O error.
+void write_json_file(const std::string& path,
+                     const std::vector<snapshot>& records);
+
+/// Parse a single record produced by to_json(const snapshot&). Throws
+/// micg::check_error on malformed input or schema mismatch.
+snapshot from_json(const std::string& json);
+
+/// Parse a metrics file produced by to_json(const vector<snapshot>&).
+std::vector<snapshot> records_from_json(const std::string& json);
+
+/// CSV emitters: one "section,name,value" table for scalars and one
+/// "span,name,index,depth,seconds,key=value;..." row per span.
+std::string to_csv(const snapshot& s);
+void write_csv(std::ostream& os, const snapshot& s);
+
+}  // namespace micg::obs

@@ -1,0 +1,123 @@
+#include "micg/obs/obs.hpp"
+
+#include <algorithm>
+
+namespace micg::obs {
+
+std::atomic<recorder*> recorder::global_{nullptr};
+
+span& span::operator=(span&& other) noexcept {
+  if (this != &other) {
+    finish();
+    rec_ = other.rec_;
+    record_ = std::move(other.record_);
+    clock_ = other.clock_;
+    other.rec_ = nullptr;
+  }
+  return *this;
+}
+
+span::span(recorder* rec, std::string_view name, std::int64_t index)
+    : rec_(rec) {
+  if (rec_ == nullptr) return;
+  record_.name = std::string(name);
+  record_.index = index;
+  clock_.reset();
+}
+
+void span::value(std::string_view key, double v) {
+  if (rec_ == nullptr) return;
+  record_.values.emplace_back(std::string(key), v);
+}
+
+void span::finish() {
+  if (rec_ == nullptr) return;
+  record_.seconds = clock_.seconds();
+  rec_->record_span(std::move(record_));
+  rec_ = nullptr;
+}
+
+counter& recorder::get_counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) {
+    if (c->name() == name) return *c;
+  }
+  counters_.push_back(std::make_unique<counter>(std::string(name)));
+  return *counters_.back();
+}
+
+phase_timer& recorder::get_timer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : timers_) {
+    if (t->name() == name) return *t;
+  }
+  timers_.push_back(std::make_unique<phase_timer>(std::string(name)));
+  return *timers_.back();
+}
+
+void recorder::set_meta(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = std::string(value);
+      return;
+    }
+  }
+  meta_.emplace_back(std::string(key), std::string(value));
+}
+
+void recorder::set_value(std::string_view key, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [k, old] : values_) {
+    if (k == key) {
+      old = v;
+      return;
+    }
+  }
+  values_.emplace_back(std::string(key), v);
+}
+
+span recorder::start_span(std::string_view name, std::int64_t index) {
+  span s(this, name, index);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.record_.depth = span_depth_++;
+  return s;
+}
+
+void recorder::record_span(span_record&& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --span_depth_;
+  spans_.push_back(std::move(rec));
+}
+
+snapshot recorder::take() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot s;
+  s.meta = meta_;
+  s.values = values_;
+  s.spans = spans_;
+  for (const auto& c : counters_) {
+    s.counters.emplace_back(c->name(), c->total());
+  }
+  for (const auto& t : timers_) {
+    s.timers.emplace_back(t->name(), t->total_seconds());
+  }
+  auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(s.counters.begin(), s.counters.end(), by_name);
+  std::sort(s.timers.begin(), s.timers.end(), by_name);
+  return s;
+}
+
+void recorder::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  timers_.clear();
+  meta_.clear();
+  values_.clear();
+  spans_.clear();
+  span_depth_ = 0;
+}
+
+}  // namespace micg::obs

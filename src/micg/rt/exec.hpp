@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "micg/obs/obs.hpp"
 #include "micg/rt/cilk_for.hpp"
 #include "micg/rt/loop.hpp"
 #include "micg/rt/partitioner.hpp"
@@ -71,9 +72,18 @@ struct exec {
   task_scheduler* sched = nullptr;
   /// Persistent placement state for tbb_affinity; nullptr disables replay.
   affinity_partitioner* affinity = nullptr;
+  /// Metrics sink the kernel publishes into; nullptr falls back to
+  /// obs::recorder::global() (which is itself nullptr — recording off —
+  /// unless a recorder is installed).
+  obs::recorder* rec = nullptr;
 
   [[nodiscard]] thread_pool& pool_or_global() const {
     return pool != nullptr ? *pool : thread_pool::global();
+  }
+
+  /// The effective metrics sink for this execution; may be nullptr.
+  [[nodiscard]] obs::recorder* sink() const {
+    return rec != nullptr ? rec : obs::recorder::global();
   }
 };
 

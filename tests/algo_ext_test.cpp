@@ -170,7 +170,7 @@ TEST(ParentBfs, ValidTreeOnVariousGraphs) {
     vertex_t src = c.source;
     while (c.g.degree(src) == 0) ++src;
     micg::bfs::parallel_bfs_options opt;
-    opt.threads = 4;
+    opt.ex.threads = 4;
     opt.block = 16;
     const auto r = micg::bfs::parallel_bfs_parents(c.g, src, opt);
     EXPECT_TRUE(micg::bfs::validate_parent_tree(c.g, src, r.parent));
@@ -181,7 +181,7 @@ TEST(ParentBfs, ValidTreeOnVariousGraphs) {
 TEST(ParentBfs, ValidatorRejectsCorruptTrees) {
   auto g = micg::graph::make_grid_2d(10, 10);
   micg::bfs::parallel_bfs_options opt;
-  opt.threads = 2;
+  opt.ex.threads = 2;
   auto r = micg::bfs::parallel_bfs_parents(g, 0, opt);
   ASSERT_TRUE(micg::bfs::validate_parent_tree(g, 0, r.parent));
   auto bad = r.parent;
@@ -201,7 +201,7 @@ TEST(ParentBfs, UnreachedStayUnparented) {
   b.add_edge(3, 4);
   auto g = std::move(b).build();
   micg::bfs::parallel_bfs_options opt;
-  opt.threads = 2;
+  opt.ex.threads = 2;
   const auto r = micg::bfs::parallel_bfs_parents(g, 0, opt);
   EXPECT_EQ(r.reached, 2u);
   EXPECT_EQ(r.parent[3], micg::graph::invalid_vertex);

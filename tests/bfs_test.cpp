@@ -245,9 +245,9 @@ TEST_P(LayeredBfs, MatchesSequentialOnStructuredGraphs) {
   const auto p = GetParam();
   micg::bfs::parallel_bfs_options opt;
   opt.variant = p.variant;
-  opt.threads = p.threads;
+  opt.ex.threads = p.threads;
+  opt.ex.chunk = 16;
   opt.block = 8;
-  opt.chunk = 16;
 
   const struct {
     csr_graph g;
@@ -274,7 +274,7 @@ TEST_P(LayeredBfs, MatchesSequentialOnIrregularGraphs) {
   const auto p = GetParam();
   micg::bfs::parallel_bfs_options opt;
   opt.variant = p.variant;
-  opt.threads = p.threads;
+  opt.ex.threads = p.threads;
   opt.block = 32;
 
   auto er = micg::graph::make_erdos_renyi(4000, 8.0, 77);
@@ -304,7 +304,7 @@ TEST_P(LayeredBfs, MatchesSequentialOnSuiteStandIn) {
   const vertex_t src = g.num_vertices() / 2;
   micg::bfs::parallel_bfs_options opt;
   opt.variant = p.variant;
-  opt.threads = p.threads;
+  opt.ex.threads = p.threads;
   const auto seq = micg::bfs::seq_bfs(g, src);
   const auto par = micg::bfs::parallel_bfs(g, src, opt);
   EXPECT_EQ(par.level, seq.level);
@@ -335,7 +335,7 @@ TEST(LayeredBfsDetails, BlockVariantReportsQueueSlots) {
   auto g = micg::graph::make_grid_2d(40, 40);
   micg::bfs::parallel_bfs_options opt;
   opt.variant = bfs_variant::omp_block_relaxed;
-  opt.threads = 4;
+  opt.ex.threads = 4;
   opt.block = 8;
   const auto r = micg::bfs::parallel_bfs(g, 0, opt);
   ASSERT_FALSE(r.queue_slots_per_level.empty());
@@ -351,9 +351,9 @@ TEST(LayeredBfsDetails, BlockVariantReportsQueueSlots) {
 TEST(LayeredBfsDetails, OptionsValidated) {
   auto g = micg::graph::make_chain(4);
   micg::bfs::parallel_bfs_options opt;
-  opt.threads = 0;
+  opt.ex.threads = 0;
   EXPECT_THROW(micg::bfs::parallel_bfs(g, 0, opt), micg::check_error);
-  opt.threads = 1;
+  opt.ex.threads = 1;
   opt.block = 0;
   EXPECT_THROW(micg::bfs::parallel_bfs(g, 0, opt), micg::check_error);
   opt.block = 8;
@@ -379,7 +379,7 @@ TEST(Validate, AcceptsCorrectAndRejectsCorrupt) {
 TEST(DirectionBfs, MatchesSequentialOnMesh) {
   auto g = micg::graph::make_grid_2d(40, 40);
   micg::bfs::direction_options opt;
-  opt.threads = 4;
+  opt.ex.threads = 4;
   const auto seq = micg::bfs::seq_bfs(g, 5);
   const auto dir = micg::bfs::direction_optimizing_bfs(g, 5, opt);
   EXPECT_EQ(dir.level, seq.level);
@@ -393,7 +393,7 @@ TEST(DirectionBfs, SwitchesToBottomUpOnRmat) {
   vertex_t src = 0;
   while (g.degree(src) == 0) ++src;
   micg::bfs::direction_options opt;
-  opt.threads = 4;
+  opt.ex.threads = 4;
   opt.alpha = 50.0;  // aggressive switch for the test
   const auto seq = micg::bfs::seq_bfs(g, src);
   const auto dir = micg::bfs::direction_optimizing_bfs(g, src, opt);

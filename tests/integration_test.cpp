@@ -113,13 +113,13 @@ TEST(Integration, BfsFamilyAgreesEverywhere) {
   for (auto variant : micg::bfs::all_bfs_variants()) {
     micg::bfs::parallel_bfs_options opt;
     opt.variant = variant;
-    opt.threads = 4;
+    opt.ex.threads = 4;
     const auto r = micg::bfs::parallel_bfs(g, src, opt);
     ASSERT_EQ(r.level, ref.level) << micg::bfs::bfs_variant_name(variant);
   }
 
   micg::bfs::parallel_bfs_options popt;
-  popt.threads = 4;
+  popt.ex.threads = 4;
   const auto pr = micg::bfs::parallel_bfs_parents(g, src, popt);
   EXPECT_TRUE(micg::bfs::validate_parent_tree(g, src, pr.parent));
   EXPECT_EQ(pr.reached, ref.reached);

@@ -1,0 +1,144 @@
+// Pins the obs-published telemetry to the legacy result-struct fields:
+// both views of a run must agree, for coloring and for the block-queue
+// BFS, via both sink routes (explicit exec.rec and the global recorder).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "micg/bfs/layered.hpp"
+#include "micg/bfs/seq.hpp"
+#include "micg/color/iterative.hpp"
+#include "micg/graph/generators.hpp"
+#include "micg/obs/obs.hpp"
+#include "micg/support/assert.hpp"
+
+namespace {
+
+std::uint64_t counter_value(const micg::obs::snapshot& s,
+                            const std::string& name) {
+  for (const auto& [k, v] : s.counters) {
+    if (k == name) return v;
+  }
+  ADD_FAILURE() << "counter not found: " << name;
+  return 0;
+}
+
+double gauge_value(const micg::obs::snapshot& s, const std::string& name) {
+  for (const auto& [k, v] : s.values) {
+    if (k == name) return v;
+  }
+  ADD_FAILURE() << "value not found: " << name;
+  return 0.0;
+}
+
+std::string meta_value(const micg::obs::snapshot& s,
+                       const std::string& key) {
+  for (const auto& [k, v] : s.meta) {
+    if (k == key) return v;
+  }
+  ADD_FAILURE() << "meta not found: " << key;
+  return "";
+}
+
+std::size_t spans_named(const micg::obs::snapshot& s,
+                        const std::string& name) {
+  std::size_t n = 0;
+  for (const auto& sp : s.spans) {
+    if (sp.name == name) ++n;
+  }
+  return n;
+}
+
+TEST(ObsKernel, IterativeColorPublishesLegacyFields) {
+  auto g = micg::graph::make_erdos_renyi(3000, 12.0, 11);
+  micg::obs::recorder rec;
+  micg::color::iterative_options opt;
+  opt.ex.kind = micg::rt::backend::omp_dynamic;
+  opt.ex.threads = 4;
+  opt.ex.chunk = 64;
+  opt.ex.rec = &rec;  // explicit sink route
+  const auto r = micg::color::iterative_color(g, opt);
+
+  const auto snap = rec.take();
+  EXPECT_EQ(meta_value(snap, "kernel"), "iterative_color");
+  EXPECT_EQ(meta_value(snap, "backend"), "OpenMP-dynamic");
+  EXPECT_EQ(counter_value(snap, "color.rounds"),
+            static_cast<std::uint64_t>(r.rounds));
+  std::uint64_t conflicts = 0;
+  for (std::size_t c : r.conflicts_per_round) conflicts += c;
+  EXPECT_EQ(counter_value(snap, "color.conflicts"), conflicts);
+  EXPECT_EQ(gauge_value(snap, "color.num_colors"),
+            static_cast<double>(r.num_colors));
+  // Every vertex gets a tentative color in round 1; repairs add more.
+  EXPECT_GE(counter_value(snap, "color.tentative_colorings"),
+            static_cast<std::uint64_t>(g.num_vertices()));
+  // One span per round, each carrying the visited count.
+  EXPECT_EQ(spans_named(snap, "color.round"),
+            static_cast<std::size_t>(r.rounds));
+}
+
+TEST(ObsKernel, BlockQueueBfsPublishesLegacyFields) {
+  auto g = micg::graph::make_grid_2d(60, 60);
+  micg::obs::recorder rec;
+  micg::bfs::parallel_bfs_options opt;
+  opt.variant = micg::bfs::bfs_variant::omp_block_relaxed;
+  opt.ex.threads = 4;
+  opt.block = 8;
+  opt.ex.rec = &rec;
+  const auto r = micg::bfs::parallel_bfs(g, 0, opt);
+
+  const auto snap = rec.take();
+  EXPECT_EQ(meta_value(snap, "kernel"), "parallel_bfs");
+  EXPECT_EQ(meta_value(snap, "variant"), "OpenMP-Block-relaxed");
+  EXPECT_EQ(counter_value(snap, "bfs.levels"),
+            static_cast<std::uint64_t>(r.num_levels));
+  EXPECT_EQ(counter_value(snap, "bfs.reached"),
+            static_cast<std::uint64_t>(r.reached));
+  std::uint64_t slots = 0;
+  for (auto s : r.queue_slots_per_level) slots += s;
+  EXPECT_EQ(counter_value(snap, "bfs.queue_slots"), slots);
+  EXPECT_EQ(spans_named(snap, "bfs.level"),
+            static_cast<std::size_t>(r.num_levels));
+}
+
+TEST(ObsKernel, GlobalRecorderRouteMatchesExplicit) {
+  auto g = micg::graph::make_kary_tree(3, 8);
+  micg::bfs::parallel_bfs_options opt;
+  opt.variant = micg::bfs::bfs_variant::omp_tls;
+  opt.ex.threads = 2;
+
+  micg::obs::recorder rec;
+  micg::bfs::parallel_bfs_result r;
+  {
+    micg::obs::scoped_global guard(rec);
+    r = micg::bfs::parallel_bfs(g, 0, opt);
+  }
+  const auto snap = rec.take();
+  EXPECT_EQ(counter_value(snap, "bfs.levels"),
+            static_cast<std::uint64_t>(r.num_levels));
+  EXPECT_EQ(counter_value(snap, "bfs.reached"),
+            static_cast<std::uint64_t>(r.reached));
+}
+
+TEST(ObsKernel, NoRecorderMeansNoObservableState) {
+  auto g = micg::graph::make_chain(100);
+  micg::bfs::parallel_bfs_options opt;
+  opt.ex.threads = 2;
+  const auto ref = micg::bfs::seq_bfs(g, 0);
+  const auto r = micg::bfs::parallel_bfs(g, 0, opt);  // no sink installed
+  EXPECT_EQ(r.level, ref.level);
+  EXPECT_EQ(micg::obs::recorder::global(), nullptr);
+}
+
+TEST(ObsKernel, VariantNamesRoundTrip) {
+  for (auto v : micg::bfs::all_bfs_variants()) {
+    EXPECT_EQ(micg::bfs::bfs_variant_from_name(
+                  micg::bfs::bfs_variant_name(v)),
+              v);
+  }
+  EXPECT_THROW(micg::bfs::bfs_variant_from_name("no-such-variant"),
+               micg::check_error);
+}
+
+}  // namespace

@@ -117,7 +117,7 @@ TEST(CompactBfs, MatchesSequentialLevels) {
     while (c.g.degree(src) == 0) ++src;
     const auto ref = micg::bfs::seq_bfs(c.g, src);
     micg::bfs::compact_bfs_options opt;
-    opt.threads = 4;
+    opt.ex.threads = 4;
     const auto r = micg::bfs::parallel_bfs_compact(c.g, src, opt);
     EXPECT_EQ(r.level, ref.level);
     EXPECT_EQ(r.num_levels, ref.num_levels);

@@ -217,9 +217,9 @@ TEST(Stress, BfsAllVariantsTinyBlocks) {
   for (auto variant : micg::bfs::all_bfs_variants()) {
     micg::bfs::parallel_bfs_options opt;
     opt.variant = variant;
-    opt.threads = kStressThreads;
+    opt.ex.threads = kStressThreads;
+    opt.ex.chunk = 4;
     opt.block = 2;  // adversarial: maximal atomic traffic
-    opt.chunk = 4;
     opt.bag_grain = 4;
     const auto r = micg::bfs::parallel_bfs(g, src, opt);
     ASSERT_EQ(r.level, ref.level) << micg::bfs::bfs_variant_name(variant);

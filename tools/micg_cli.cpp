@@ -7,14 +7,19 @@
 //   micg bfs FILE [--source V] [--variant NAME] [--threads N] [--block B]
 //   micg bc FILE [--samples K] [--threads N] [--top M]
 //
+// color/bfs/bc accept --metrics-json PATH (or MICG_METRICS_JSON in the
+// environment) to write a micg.metrics.v1 record of the run.
+//
 // Families for gen: chain N | cycle N | star N | complete N | tree K L |
 // grid2d NX NY | er N AVGDEG SEED | rmat SCALE EDGEFACTOR SEED |
 // suite NAME SCALE. File format chosen by extension: .mtx (MatrixMarket)
 // or .micg (binary CSR).
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "micg/bfs/centrality.hpp"
@@ -30,6 +35,8 @@
 #include "micg/graph/io_mm.hpp"
 #include "micg/graph/props.hpp"
 #include "micg/graph/suite.hpp"
+#include "micg/obs/emit.hpp"
+#include "micg/obs/obs.hpp"
 #include "micg/support/table.hpp"
 #include "micg/support/timer.hpp"
 
@@ -50,6 +57,8 @@ using micg::graph::csr_graph;
       "  micg color FILE [--threads N] [--backend NAME] [--chunk C] [--d2]\n"
       "  micg bfs FILE [--source V] [--variant NAME] [--threads N] [--block B]\n"
       "  micg bc FILE [--samples K] [--threads N] [--top M]\n"
+      "color/bfs/bc: --metrics-json PATH (or MICG_METRICS_JSON) writes a\n"
+      "  micg.metrics.v1 record of the run\n"
       "file formats by extension: .mtx (MatrixMarket), .micg (binary)\n";
   std::exit(2);
 }
@@ -105,6 +114,33 @@ struct arg_parser {
     return v.empty() ? dflt : std::atol(v.c_str());
   }
 };
+
+/// Resolve the metrics output path: --metrics-json beats MICG_METRICS_JSON;
+/// empty means metrics are off.
+std::string metrics_path(const arg_parser& args) {
+  const char* env = std::getenv("MICG_METRICS_JSON");
+  return args.flag("metrics-json", env != nullptr ? env : "");
+}
+
+/// Run `body` with a recorder installed if `path` is non-empty, stamp
+/// `meta`, and write a single-record micg.metrics.v1 file.
+void run_with_metrics(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& meta,
+    const std::function<void()>& body) {
+  if (path.empty()) {
+    body();
+    return;
+  }
+  micg::obs::recorder rec;
+  {
+    micg::obs::scoped_global guard(rec);
+    body();
+  }
+  for (const auto& [k, v] : meta) rec.set_meta(k, v);
+  micg::obs::write_json_file(path, {rec.take()});
+  std::cout << "wrote metrics to " << path << "\n";
+}
 
 int cmd_gen(const arg_parser& args) {
   if (args.positional.empty()) usage("gen needs a family");
@@ -199,20 +235,25 @@ int cmd_color(const arg_parser& args) {
   opt.ex.threads = static_cast<int>(args.flag_int("threads", 4));
   opt.ex.chunk = args.flag_int("chunk", 100);
   micg::stopwatch sw;
-  if (args.flag("d2", "no") != "no") {  // pass --d2 yes for distance-2
-    const auto r = micg::color::iterative_color_distance2(g, opt);
-    std::cout << "distance-2 colors: " << r.num_colors << " in "
-              << r.rounds << " rounds, "
-              << micg::table_printer::fmt(sw.millis()) << " ms, valid="
-              << micg::color::is_valid_distance2_coloring(g, r.color)
-              << "\n";
-  } else {
-    const auto r = micg::color::iterative_color(g, opt);
-    std::cout << "colors: " << r.num_colors << " in " << r.rounds
-              << " rounds, " << micg::table_printer::fmt(sw.millis())
-              << " ms, valid="
-              << micg::color::is_valid_coloring(g, r.color) << "\n";
-  }
+  run_with_metrics(
+      metrics_path(args), {{"tool", "micg color"},
+                           {"graph", args.positional[0]}},
+      [&] {
+        if (args.flag("d2", "no") != "no") {  // pass --d2 yes for distance-2
+          const auto r = micg::color::iterative_color_distance2(g, opt);
+          std::cout << "distance-2 colors: " << r.num_colors << " in "
+                    << r.rounds << " rounds, "
+                    << micg::table_printer::fmt(sw.millis()) << " ms, valid="
+                    << micg::color::is_valid_distance2_coloring(g, r.color)
+                    << "\n";
+        } else {
+          const auto r = micg::color::iterative_color(g, opt);
+          std::cout << "colors: " << r.num_colors << " in " << r.rounds
+                    << " rounds, " << micg::table_printer::fmt(sw.millis())
+                    << " ms, valid="
+                    << micg::color::is_valid_coloring(g, r.color) << "\n";
+        }
+      });
   return 0;
 }
 
@@ -220,25 +261,23 @@ int cmd_bfs(const arg_parser& args) {
   if (args.positional.empty()) usage("bfs needs FILE");
   const auto g = load_graph(args.positional[0]);
   micg::bfs::parallel_bfs_options opt;
-  opt.threads = static_cast<int>(args.flag_int("threads", 4));
+  opt.ex.threads = static_cast<int>(args.flag_int("threads", 4));
   opt.block = static_cast<int>(args.flag_int("block", 32));
   const auto vname = args.flag("variant", "OpenMP-Block-relaxed");
-  bool found = false;
-  for (auto v : micg::bfs::all_bfs_variants()) {
-    if (vname == micg::bfs::bfs_variant_name(v)) {
-      opt.variant = v;
-      found = true;
-    }
-  }
-  if (!found) usage("unknown BFS variant: " + vname);
+  opt.variant = micg::bfs::bfs_variant_from_name(vname);
   const auto source = static_cast<micg::graph::vertex_t>(
       args.flag_int("source", g.num_vertices() / 2));
   micg::stopwatch sw;
-  const auto r = micg::bfs::parallel_bfs(g, source, opt);
-  std::cout << micg::bfs::bfs_variant_name(opt.variant) << ": "
-            << r.num_levels << " levels, reached " << r.reached << "/"
-            << g.num_vertices() << " in "
-            << micg::table_printer::fmt(sw.millis()) << " ms\n";
+  run_with_metrics(
+      metrics_path(args),
+      {{"tool", "micg bfs"}, {"graph", args.positional[0]}},
+      [&] {
+        const auto r = micg::bfs::parallel_bfs(g, source, opt);
+        std::cout << micg::bfs::bfs_variant_name(opt.variant) << ": "
+                  << r.num_levels << " levels, reached " << r.reached << "/"
+                  << g.num_vertices() << " in "
+                  << micg::table_printer::fmt(sw.millis()) << " ms\n";
+      });
   return 0;
 }
 
@@ -250,7 +289,11 @@ int cmd_bc(const arg_parser& args) {
   opt.sample_sources = static_cast<micg::graph::vertex_t>(
       args.flag_int("samples", 0));
   micg::stopwatch sw;
-  const auto bc = micg::bfs::betweenness_centrality(g, opt);
+  std::vector<double> bc;
+  run_with_metrics(
+      metrics_path(args),
+      {{"tool", "micg bc"}, {"graph", args.positional[0]}},
+      [&] { bc = micg::bfs::betweenness_centrality(g, opt); });
   const auto top = static_cast<std::size_t>(args.flag_int("top", 5));
   std::vector<std::size_t> idx(bc.size());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
