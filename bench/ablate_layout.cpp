@@ -1,0 +1,119 @@
+// Ablation: index-width layout (csr32 / csr32e64 / csr64) versus kernel
+// throughput. The paper's KNF card has 1-2 GB of GDDR and in-order cores
+// that live or die by memory traffic (§II); halving the bytes per index
+// is the kind of bandwidth lever §VI points at. This bench quantifies it:
+// the same BFS / coloring / PageRank runs on the same graph stored at each
+// shipped layout, reporting time and effective traversal rate per layout.
+#include <iostream>
+#include <vector>
+
+#include "micg/benchkit/benchkit.hpp"
+#include "micg/bfs/layered.hpp"
+#include "micg/color/iterative.hpp"
+#include "micg/graph/any_csr.hpp"
+#include "micg/irregular/pagerank.hpp"
+#include "micg/support/table.hpp"
+#include "micg/support/timer.hpp"
+
+namespace {
+
+using micg::graph::any_csr;
+using micg::graph::csr_layout;
+
+constexpr csr_layout kLayouts[] = {csr_layout::v32e32, csr_layout::v32e64,
+                                   csr_layout::v64e64};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using micg::table_printer;
+  micg::stopwatch total;
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  const double mscale = cfg.measured_scale;
+  const int threads = cfg.measured_threads.back();
+  const int runs = cfg.measured_runs;
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
+
+  std::cout << "Ablation: CSR index layout (" << threads
+            << " threads, scale=" << table_printer::fmt(mscale, 3)
+            << ")\n\n";
+
+  for (const auto& entry : micg::graph::table1_suite()) {
+    const auto& base = micg::benchkit::suite_graph(entry.name, mscale);
+    const auto source =
+        static_cast<micg::graph::vertex_t>(base.num_vertices() / 2);
+
+    table_printer t(entry.name + "  |V|=" +
+                    table_printer::fmt(
+                        static_cast<long long>(base.num_vertices())) +
+                    " |E|=" +
+                    table_printer::fmt(
+                        static_cast<long long>(base.num_edges())));
+    t.header({"layout", "index MB", "bfs ms", "bfs MTEPS", "color ms",
+              "pagerank ms"});
+
+    for (csr_layout layout : kLayouts) {
+      const any_csr ag = micg::graph::to_layout(any_csr(base), layout);
+      const double edges = static_cast<double>(ag.num_edges());
+
+      double bfs_ms = 0.0;
+      double color_ms = 0.0;
+      double pr_ms = 0.0;
+      ag.visit([&](const auto& g) {
+        using VId = typename std::decay_t<decltype(g)>::vertex_type;
+
+        micg::bfs::parallel_bfs_options bopt;
+        bopt.variant = micg::bfs::bfs_variant::omp_block_relaxed;
+        bopt.ex.threads = threads;
+        bfs_ms = 1e3 * micg::benchkit::time_stable(
+                           [&] {
+                             micg::bfs::parallel_bfs(
+                                 g, static_cast<VId>(source), bopt);
+                           },
+                           runs);
+
+        micg::color::iterative_options copt;
+        copt.ex.kind = micg::rt::backend::omp_dynamic;
+        copt.ex.threads = threads;
+        copt.ex.chunk = 100;
+        color_ms = 1e3 * micg::benchkit::time_stable(
+                             [&] { micg::color::iterative_color(g, copt); },
+                             runs);
+
+        micg::irregular::pagerank_options popt;
+        popt.ex.threads = threads;
+        popt.max_iterations = 20;
+        popt.tolerance = 0.0;  // fixed work per run
+        pr_ms = 1e3 * micg::benchkit::time_stable(
+                          [&] { micg::irregular::pagerank(g, popt); }, runs);
+
+        // Structured metrics: one instrumented BFS + coloring run per
+        // (graph, layout) so the schema step can compare layouts.
+        if (sink.enabled()) {
+          micg::benchkit::record_run(
+              sink,
+              {{"bench", "ablate_layout"},
+               {"graph", entry.name},
+               {"layout", micg::graph::layout_name(layout)}},
+              [&] {
+                micg::bfs::parallel_bfs(g, static_cast<VId>(source), bopt);
+                micg::color::iterative_color(g, copt);
+              });
+        }
+      });
+
+      const double mteps = edges / (bfs_ms * 1e-3) / 1e6;
+      t.row({micg::graph::layout_name(layout),
+             table_printer::fmt(
+                 static_cast<double>(ag.index_bytes()) / 1e6, 1),
+             table_printer::fmt(bfs_ms), table_printer::fmt(mteps),
+             table_printer::fmt(color_ms), table_printer::fmt(pr_ms)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "[ablate_layout] done in "
+            << table_printer::fmt(total.seconds(), 1) << "s\n";
+  return 0;
+}

@@ -128,21 +128,6 @@ void record_run(
   sink.record(rec.take());
 }
 
-// Deprecated shims; kept one release for out-of-tree users. Definitions
-// reference the deprecated declarations, which some compilers warn about.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-double model_scale() { return config::from_env().model_scale; }
-
-double measured_scale() { return config::from_env().measured_scale; }
-
-std::vector<int> measured_threads() {
-  return config::from_env().measured_threads;
-}
-
-int measured_runs() { return config::from_env().measured_runs; }
-#pragma GCC diagnostic pop
-
 const micg::graph::csr_graph& suite_graph(const std::string& name,
                                           double scale) {
   static std::map<std::pair<std::string, double>, micg::graph::csr_graph>

@@ -98,18 +98,4 @@ const micg::graph::csr_graph& suite_graph(const std::string& name,
 /// wall-clock times (paper: 10 runs, mean of the last 5).
 double time_stable(const std::function<void()>& body, int runs);
 
-// ---------------------------------------------------------------------------
-// Deprecated environment accessors — superseded by benchkit::config.
-// Each call re-reads the environment; new code should parse a config once
-// (config::from_env / config::from_args) and pass it down.
-
-[[deprecated("use benchkit::config::from_env().model_scale")]]
-double model_scale();
-[[deprecated("use benchkit::config::from_env().measured_scale")]]
-double measured_scale();
-[[deprecated("use benchkit::config::from_env().measured_threads")]]
-std::vector<int> measured_threads();
-[[deprecated("use benchkit::config::from_env().measured_runs")]]
-int measured_runs();
-
 }  // namespace micg::benchkit

@@ -6,14 +6,14 @@
 
 namespace micg::bfs {
 
-using detail::bag_node;
-
 namespace {
 
 /// Union of two pennants of equal rank k -> one pennant of rank k+1.
 /// O(1): y's root becomes x's root's child; y keeps its own subtree on the
 /// right (Leiserson–Schardl, Figure 2 of [20]).
-bag_node* pennant_union(bag_node* x, bag_node* y) {
+template <class VId>
+detail::basic_bag_node<VId>* pennant_union(detail::basic_bag_node<VId>* x,
+                                           detail::basic_bag_node<VId>* y) {
   y->right = x->left;
   x->left = y;
   return x;
@@ -21,10 +21,11 @@ bag_node* pennant_union(bag_node* x, bag_node* y) {
 
 /// Delete a pennant tree iteratively (pennants can hold millions of nodes;
 /// no recursion on the destruction path).
-void delete_tree(bag_node* root) {
-  std::vector<bag_node*> stack{root};
+template <class VId>
+void delete_tree(detail::basic_bag_node<VId>* root) {
+  std::vector<detail::basic_bag_node<VId>*> stack{root};
   while (!stack.empty()) {
-    bag_node* n = stack.back();
+    auto* n = stack.back();
     stack.pop_back();
     if (n->left != nullptr) stack.push_back(n->left);
     if (n->right != nullptr) stack.push_back(n->right);
@@ -34,13 +35,18 @@ void delete_tree(bag_node* root) {
 
 }  // namespace
 
-vertex_bag::vertex_bag(int grain) : grain_(grain) {
+template <std::signed_integral VId>
+basic_vertex_bag<VId>::basic_vertex_bag(int grain) : grain_(grain) {
   MICG_CHECK(grain >= 1, "bag grain must be positive");
 }
 
-vertex_bag::~vertex_bag() { clear(); }
+template <std::signed_integral VId>
+basic_vertex_bag<VId>::~basic_vertex_bag() {
+  clear();
+}
 
-vertex_bag::vertex_bag(vertex_bag&& other) noexcept
+template <std::signed_integral VId>
+basic_vertex_bag<VId>::basic_vertex_bag(basic_vertex_bag&& other) noexcept
     : grain_(other.grain_),
       size_(other.size_),
       hopper_(other.hopper_),
@@ -50,7 +56,9 @@ vertex_bag::vertex_bag(vertex_bag&& other) noexcept
   other.backbone_.clear();
 }
 
-vertex_bag& vertex_bag::operator=(vertex_bag&& other) noexcept {
+template <std::signed_integral VId>
+basic_vertex_bag<VId>& basic_vertex_bag<VId>::operator=(
+    basic_vertex_bag&& other) noexcept {
   if (this != &other) {
     clear();
     grain_ = other.grain_;
@@ -64,7 +72,8 @@ vertex_bag& vertex_bag::operator=(vertex_bag&& other) noexcept {
   return *this;
 }
 
-void vertex_bag::clear() {
+template <std::signed_integral VId>
+void basic_vertex_bag<VId>::clear() {
   if (hopper_ != nullptr) {
     delete hopper_;
     hopper_ = nullptr;
@@ -76,9 +85,10 @@ void vertex_bag::clear() {
   size_ = 0;
 }
 
-void vertex_bag::insert(micg::graph::vertex_t v) {
+template <std::signed_integral VId>
+void basic_vertex_bag<VId>::insert(VId v) {
   if (hopper_ == nullptr) {
-    hopper_ = new bag_node;
+    hopper_ = new node;
     hopper_->items.reserve(static_cast<std::size_t>(grain_));
   }
   hopper_->items.push_back(v);
@@ -88,7 +98,8 @@ void vertex_bag::insert(micg::graph::vertex_t v) {
   }
 }
 
-void vertex_bag::push_pennant(bag_node* p) {
+template <std::signed_integral VId>
+void basic_vertex_bag<VId>::push_pennant(node* p) {
   // Binary increment with carries: rank-k collision -> union to rank k+1.
   std::size_t k = 0;
   for (;;) {
@@ -103,7 +114,8 @@ void vertex_bag::push_pennant(bag_node* p) {
   }
 }
 
-void vertex_bag::absorb(vertex_bag&& other) {
+template <std::signed_integral VId>
+void basic_vertex_bag<VId>::absorb(basic_vertex_bag&& other) {
   MICG_CHECK(grain_ == other.grain_,
              "cannot absorb a bag with a different grain");
   // Consolidate the other bag's hopper first: cheaper than a dedicated
@@ -117,7 +129,7 @@ void vertex_bag::absorb(vertex_bag&& other) {
   // Backbone carry-save addition: each of other's pennants is one
   // increment at its rank.
   for (std::size_t k = 0; k < other.backbone_.size(); ++k) {
-    bag_node* p = other.backbone_[k];
+    node* p = other.backbone_[k];
     if (p == nullptr) continue;
     other.backbone_[k] = nullptr;
     // push at rank k: same carry loop as push_pennant but starting at k.
@@ -141,12 +153,16 @@ void vertex_bag::absorb(vertex_bag&& other) {
   other.backbone_.clear();
 }
 
-std::size_t vertex_bag::backbone_pennants() const {
+template <std::signed_integral VId>
+std::size_t basic_vertex_bag<VId>::backbone_pennants() const {
   std::size_t count = 0;
   for (auto* p : backbone_) {
     if (p != nullptr) ++count;
   }
   return count;
 }
+
+template class basic_vertex_bag<std::int32_t>;
+template class basic_vertex_bag<std::int64_t>;
 
 }  // namespace micg::bfs

@@ -22,31 +22,36 @@
 namespace micg::bfs {
 
 namespace detail {
-struct bag_node {
-  std::vector<micg::graph::vertex_t> items;
-  bag_node* left = nullptr;
-  bag_node* right = nullptr;
+template <class VId>
+struct basic_bag_node {
+  std::vector<VId> items;
+  basic_bag_node* left = nullptr;
+  basic_bag_node* right = nullptr;
 };
+using bag_node = basic_bag_node<micg::graph::vertex_t>;
 }  // namespace detail
 
-class vertex_bag {
+template <std::signed_integral VId>
+class basic_vertex_bag {
  public:
+  using node = detail::basic_bag_node<VId>;
+
   static constexpr int default_grain = 128;
 
-  explicit vertex_bag(int grain = default_grain);
-  ~vertex_bag();
+  explicit basic_vertex_bag(int grain = default_grain);
+  ~basic_vertex_bag();
 
-  vertex_bag(vertex_bag&& other) noexcept;
-  vertex_bag& operator=(vertex_bag&& other) noexcept;
-  vertex_bag(const vertex_bag&) = delete;
-  vertex_bag& operator=(const vertex_bag&) = delete;
+  basic_vertex_bag(basic_vertex_bag&& other) noexcept;
+  basic_vertex_bag& operator=(basic_vertex_bag&& other) noexcept;
+  basic_vertex_bag(const basic_vertex_bag&) = delete;
+  basic_vertex_bag& operator=(const basic_vertex_bag&) = delete;
 
   /// Append one vertex (owner thread only; bags are per-thread and merged).
-  void insert(micg::graph::vertex_t v);
+  void insert(VId v);
 
   /// Move all of `other`'s contents into this bag (carry-save backbone
   /// addition + hopper consolidation). `other` is left empty.
-  void absorb(vertex_bag&& other);
+  void absorb(basic_vertex_bag&& other);
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
@@ -78,16 +83,15 @@ class vertex_bag {
   void traverse_parallel(rt::task_scheduler& sched, const F& f) const {
     rt::task_group g(sched);
     if (hopper_ != nullptr && !hopper_->items.empty()) {
-      const detail::bag_node* h = hopper_;
+      const node* h = hopper_;
       g.spawn([h, &f] {
-        f(std::span<const micg::graph::vertex_t>(h->items),
-          rt::this_worker_id());
+        f(std::span<const VId>(h->items), rt::this_worker_id());
       });
     }
     for (auto* p : backbone_) {
       if (p != nullptr) {
-        const detail::bag_node* node = p;
-        g.spawn([&sched, node, &f] { walk_par(sched, node, f); });
+        const node* n = p;
+        g.spawn([&sched, n, &f] { walk_par(sched, n, f); });
       }
     }
     g.wait();
@@ -95,20 +99,19 @@ class vertex_bag {
 
  private:
   template <typename F>
-  static void walk_seq(const detail::bag_node* n, F&& f) {
+  static void walk_seq(const node* n, F&& f) {
     for (auto v : n->items) f(v);
     if (n->left != nullptr) walk_seq(n->left, f);
     if (n->right != nullptr) walk_seq(n->right, f);
   }
 
   template <typename F>
-  static void walk_par(rt::task_scheduler& sched, const detail::bag_node* n,
+  static void walk_par(rt::task_scheduler& sched, const node* n,
                        const F& f) {
-    f(std::span<const micg::graph::vertex_t>(n->items),
-      rt::this_worker_id());
+    f(std::span<const VId>(n->items), rt::this_worker_id());
     if (n->left != nullptr && n->right != nullptr) {
       rt::task_group g(sched);
-      const detail::bag_node* l = n->left;
+      const node* l = n->left;
       g.spawn([&sched, l, &f] { walk_par(sched, l, f); });
       walk_par(sched, n->right, f);
       g.wait();
@@ -120,12 +123,14 @@ class vertex_bag {
   }
 
   /// Push a full rank-0 pennant into the backbone with carry propagation.
-  void push_pennant(detail::bag_node* p);
+  void push_pennant(node* p);
 
   int grain_;
   std::size_t size_ = 0;
-  detail::bag_node* hopper_ = nullptr;         ///< partially filled node
-  std::vector<detail::bag_node*> backbone_;    ///< backbone_[k]: rank-k pennant
+  node* hopper_ = nullptr;         ///< partially filled node
+  std::vector<node*> backbone_;    ///< backbone_[k]: rank-k pennant
 };
+
+using vertex_bag = basic_vertex_bag<micg::graph::vertex_t>;
 
 }  // namespace micg::bfs

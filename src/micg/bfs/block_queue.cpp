@@ -4,9 +4,10 @@
 
 namespace micg::bfs {
 
-block_queue::block_queue(std::size_t capacity, int block_size,
-                         int max_workers)
-    : slots_(capacity, micg::graph::invalid_vertex),
+template <std::signed_integral VId>
+basic_block_queue<VId>::basic_block_queue(std::size_t capacity,
+                                          int block_size, int max_workers)
+    : slots_(capacity, micg::graph::invalid_vertex_v<VId>),
       block_size_(block_size),
       handles_(std::make_unique<micg::padded<handle>[]>(
           static_cast<std::size_t>(max_workers))),
@@ -15,25 +16,28 @@ block_queue::block_queue(std::size_t capacity, int block_size,
   MICG_CHECK(max_workers >= 1, "need at least one worker");
 }
 
-void block_queue::flush_all() {
+template <std::signed_integral VId>
+void basic_block_queue<VId>::flush_all() {
   for (int w = 0; w < max_workers_; ++w) {
     auto& h = handles_[static_cast<std::size_t>(w)].value;
     while (h.pos < h.end) {
       slots_[static_cast<std::size_t>(h.pos++)] =
-          micg::graph::invalid_vertex;
+          micg::graph::invalid_vertex_v<VId>;
     }
   }
 }
 
-std::size_t block_queue::count_valid() const {
+template <std::signed_integral VId>
+std::size_t basic_block_queue<VId>::count_valid() const {
   std::size_t valid = 0;
   for (const auto v : raw()) {
-    if (v != micg::graph::invalid_vertex) ++valid;
+    if (v != micg::graph::invalid_vertex_v<VId>) ++valid;
   }
   return valid;
 }
 
-void block_queue::swap(block_queue& other) noexcept {
+template <std::signed_integral VId>
+void basic_block_queue<VId>::swap(basic_block_queue& other) noexcept {
   slots_.swap(other.slots_);
   std::swap(block_size_, other.block_size_);
   const auto a = cursor_.load(std::memory_order_relaxed);
@@ -44,7 +48,8 @@ void block_queue::swap(block_queue& other) noexcept {
   std::swap(max_workers_, other.max_workers_);
 }
 
-void block_queue::reset() {
+template <std::signed_integral VId>
+void basic_block_queue<VId>::reset() {
   // Only the handed-out prefix needs re-sentineling; blocks are re-padded
   // by flush_all() anyway, so resetting cursors suffices.
   cursor_.store(0, std::memory_order_relaxed);
@@ -52,5 +57,8 @@ void block_queue::reset() {
     handles_[static_cast<std::size_t>(w)].value = handle{};
   }
 }
+
+template class basic_block_queue<std::int32_t>;
+template class basic_block_queue<std::int64_t>;
 
 }  // namespace micg::bfs

@@ -9,6 +9,9 @@
 // the elimination of per-push synchronization ("by keeping the block size
 // small (but not so small so that we do not use atomics too often), the
 // overhead is minimized").
+//
+// Templated on the vertex id width: the queue stores raw vertex ids, so a
+// csr32 traversal moves half the frontier bytes of a csr64 one.
 #pragma once
 
 #include <atomic>
@@ -23,21 +26,22 @@
 
 namespace micg::bfs {
 
-class block_queue {
+template <std::signed_integral VId>
+class basic_block_queue {
  public:
   /// `capacity` is the maximum number of slots (vertices + sentinel
   /// padding) the queue can hold; `max_workers` bounds the number of
   /// concurrent handles. Pushing past capacity throws (the BFS driver
   /// sizes queues so this cannot happen).
-  block_queue(std::size_t capacity, int block_size, int max_workers);
+  basic_block_queue(std::size_t capacity, int block_size, int max_workers);
 
-  block_queue(const block_queue&) = delete;
-  block_queue& operator=(const block_queue&) = delete;
+  basic_block_queue(const basic_block_queue&) = delete;
+  basic_block_queue& operator=(const basic_block_queue&) = delete;
 
   /// Per-worker push cursor. Each worker uses its own slot (indexed by the
   /// dense worker id) for the whole level, then the driver calls
   /// flush_all().
-  void push(int worker, micg::graph::vertex_t v) {
+  void push(int worker, VId v) {
     auto& h = handles_[static_cast<std::size_t>(worker)].value;
     if (h.pos == h.end) acquire_block(h);
     slots_[static_cast<std::size_t>(h.pos++)] = v;
@@ -50,7 +54,7 @@ class block_queue {
 
   /// All slots handed out so far, sentinels included. Valid after
   /// flush_all().
-  [[nodiscard]] std::span<const micg::graph::vertex_t> raw() const {
+  [[nodiscard]] std::span<const VId> raw() const {
     return {slots_.data(),
             static_cast<std::size_t>(cursor_.load(std::memory_order_acquire))};
   }
@@ -68,7 +72,7 @@ class block_queue {
 
   /// Swap contents with `other` (the per-level cur/next exchange of
   /// Algorithm 7). Both queues must be quiescent.
-  void swap(block_queue& other) noexcept;
+  void swap(basic_block_queue& other) noexcept;
 
   [[nodiscard]] int block_size() const { return block_size_; }
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
@@ -88,13 +92,19 @@ class block_queue {
     h.end = b + block_size_;
   }
 
-  std::vector<micg::graph::vertex_t> slots_;
+  std::vector<VId> slots_;
   int block_size_;
   alignas(cacheline_size) std::atomic<std::int64_t> cursor_{0};
   std::unique_ptr<micg::padded<handle>[]> handles_;
   int max_workers_;
 };
 
-inline void swap(block_queue& a, block_queue& b) noexcept { a.swap(b); }
+using block_queue = basic_block_queue<micg::graph::vertex_t>;
+
+template <std::signed_integral VId>
+inline void swap(basic_block_queue<VId>& a,
+                 basic_block_queue<VId>& b) noexcept {
+  a.swap(b);
+}
 
 }  // namespace micg::bfs

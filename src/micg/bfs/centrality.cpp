@@ -1,5 +1,6 @@
 #include "micg/bfs/centrality.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "micg/rt/tls.hpp"
@@ -7,20 +8,18 @@
 
 namespace micg::bfs {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
 namespace {
 
 /// Private per-worker traversal state, reused across sources.
+template <class VId>
 struct brandes_state {
   std::vector<int> dist;
   std::vector<double> sigma;  // shortest-path counts
   std::vector<double> delta;  // dependency accumulators
-  std::vector<vertex_t> order;  // BFS visit order (stack for phase 2)
-  std::vector<double> score;    // per-worker centrality accumulator
+  std::vector<VId> order;     // BFS visit order (stack for phase 2)
+  std::vector<double> score;  // per-worker centrality accumulator
 
-  explicit brandes_state(vertex_t n)
+  explicit brandes_state(VId n)
       : dist(static_cast<std::size_t>(n)),
         sigma(static_cast<std::size_t>(n)),
         delta(static_cast<std::size_t>(n)),
@@ -30,8 +29,10 @@ struct brandes_state {
 };
 
 /// One source's contribution (Brandes 2001, Algorithm 1).
-void accumulate_source(const csr_graph& g, vertex_t s, brandes_state& st) {
-  const vertex_t n = g.num_vertices();
+template <micg::graph::CsrGraph G>
+void accumulate_source(const G& g, typename G::vertex_type s,
+                       brandes_state<typename G::vertex_type>& st) {
+  using VId = typename G::vertex_type;
   std::fill(st.dist.begin(), st.dist.end(), -1);
   std::fill(st.sigma.begin(), st.sigma.end(), 0.0);
   std::fill(st.delta.begin(), st.delta.end(), 0.0);
@@ -41,8 +42,8 @@ void accumulate_source(const csr_graph& g, vertex_t s, brandes_state& st) {
   st.sigma[static_cast<std::size_t>(s)] = 1.0;
   st.order.push_back(s);
   for (std::size_t head = 0; head < st.order.size(); ++head) {
-    const vertex_t v = st.order[head];
-    for (vertex_t w : g.neighbors(v)) {
+    const VId v = st.order[head];
+    for (VId w : g.neighbors(v)) {
       if (st.dist[static_cast<std::size_t>(w)] < 0) {
         st.dist[static_cast<std::size_t>(w)] =
             st.dist[static_cast<std::size_t>(v)] + 1;
@@ -57,8 +58,8 @@ void accumulate_source(const csr_graph& g, vertex_t s, brandes_state& st) {
   }
   // Dependency accumulation in reverse BFS order.
   for (std::size_t i = st.order.size(); i-- > 1;) {
-    const vertex_t w = st.order[i];
-    for (vertex_t v : g.neighbors(w)) {
+    const VId w = st.order[i];
+    for (VId v : g.neighbors(w)) {
       if (st.dist[static_cast<std::size_t>(v)] ==
           st.dist[static_cast<std::size_t>(w)] - 1) {
         st.delta[static_cast<std::size_t>(v)] +=
@@ -72,19 +73,19 @@ void accumulate_source(const csr_graph& g, vertex_t s, brandes_state& st) {
           st.delta[static_cast<std::size_t>(w)];
     }
   }
-  (void)n;
 }
 
-std::vector<vertex_t> pick_sources(vertex_t n, vertex_t samples) {
-  std::vector<vertex_t> sources;
-  if (samples <= 0 || samples >= n) {
+template <class VId>
+std::vector<VId> pick_sources(VId n, std::int64_t samples) {
+  std::vector<VId> sources;
+  if (samples <= 0 || samples >= static_cast<std::int64_t>(n)) {
     sources.resize(static_cast<std::size_t>(n));
-    for (vertex_t v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+    for (VId v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
   } else {
     sources.reserve(static_cast<std::size_t>(samples));
-    for (vertex_t i = 0; i < samples; ++i) {
-      sources.push_back(static_cast<vertex_t>(
-          static_cast<std::int64_t>(i) * n / samples));
+    for (std::int64_t i = 0; i < samples; ++i) {
+      sources.push_back(static_cast<VId>(
+          i * static_cast<std::int64_t>(n) / samples));
     }
   }
   return sources;
@@ -92,18 +93,20 @@ std::vector<vertex_t> pick_sources(vertex_t n, vertex_t samples) {
 
 }  // namespace
 
-std::vector<double> betweenness_centrality(const csr_graph& g,
+template <micg::graph::CsrGraph G>
+std::vector<double> betweenness_centrality(const G& g,
                                            const centrality_options& opt) {
-  const vertex_t n = g.num_vertices();
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
   const auto sources = pick_sources(n, opt.sample_sources);
 
-  rt::enumerable_thread_specific<brandes_state> states(
-      opt.ex.threads, [n] { return brandes_state(n); });
+  rt::enumerable_thread_specific<brandes_state<VId>> states(
+      opt.ex.threads, [n] { return brandes_state<VId>(n); });
 
   rt::for_range(opt.ex, static_cast<std::int64_t>(sources.size()),
                 [&](std::int64_t b, std::int64_t e, int) {
-                  brandes_state& st = states.local();
+                  brandes_state<VId>& st = states.local();
                   for (std::int64_t i = b; i < e; ++i) {
                     accumulate_source(
                         g, sources[static_cast<std::size_t>(i)], st);
@@ -111,7 +114,7 @@ std::vector<double> betweenness_centrality(const csr_graph& g,
                 });
 
   std::vector<double> score(static_cast<std::size_t>(n), 0.0);
-  states.for_each([&](brandes_state& st) {
+  states.for_each([&](brandes_state<VId>& st) {
     for (std::size_t v = 0; v < score.size(); ++v) {
       score[v] += st.score[v];
     }
@@ -126,13 +129,22 @@ std::vector<double> betweenness_centrality(const csr_graph& g,
   return score;
 }
 
-std::vector<double> betweenness_centrality_seq(const csr_graph& g,
-                                               vertex_t sample_sources) {
+template <micg::graph::CsrGraph G>
+std::vector<double> betweenness_centrality_seq(const G& g,
+                                               std::int64_t sample_sources) {
   centrality_options opt;
   opt.ex.threads = 1;
   opt.ex.kind = rt::backend::omp_static;
   opt.sample_sources = sample_sources;
   return betweenness_centrality(g, opt);
 }
+
+#define MICG_INSTANTIATE(G)                                  \
+  template std::vector<double> betweenness_centrality<G>(    \
+      const G&, const centrality_options&);                  \
+  template std::vector<double> betweenness_centrality_seq<G>(\
+      const G&, std::int64_t);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::bfs

@@ -6,6 +6,7 @@
 // accumulating into a per-worker score vector merged at the end.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "micg/graph/csr.hpp"
@@ -17,18 +18,20 @@ struct centrality_options {
   rt::exec ex;
   /// Number of source vertices to sample (0 or >= |V| means exact: all
   /// sources). Sampled sources are evenly spaced for determinism.
-  micg::graph::vertex_t sample_sources = 0;
+  /// Width-independent (64-bit) so the options work with every layout.
+  std::int64_t sample_sources = 0;
 };
 
 /// Exact (or source-sampled) betweenness centrality on the unweighted
 /// undirected graph. Endpoint pairs are counted once per unordered pair;
 /// scores of sampled runs are scaled by |V|/samples.
-std::vector<double> betweenness_centrality(
-    const micg::graph::csr_graph& g, const centrality_options& opt);
+template <micg::graph::CsrGraph G>
+std::vector<double> betweenness_centrality(const G& g,
+                                           const centrality_options& opt);
 
 /// Sequential reference implementation (used by tests).
+template <micg::graph::CsrGraph G>
 std::vector<double> betweenness_centrality_seq(
-    const micg::graph::csr_graph& g,
-    micg::graph::vertex_t sample_sources = 0);
+    const G& g, std::int64_t sample_sources = 0);
 
 }  // namespace micg::bfs

@@ -1,5 +1,6 @@
 #include "micg/bfs/compact_frontier.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "micg/rt/scan.hpp"
@@ -7,18 +8,16 @@
 
 namespace micg::bfs {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
-compact_frontier::compact_frontier(int max_workers)
-    : segments_(std::make_unique<
-                micg::padded<std::vector<vertex_t>>[]>(
+template <std::signed_integral VId>
+basic_compact_frontier<VId>::basic_compact_frontier(int max_workers)
+    : segments_(std::make_unique<micg::padded<std::vector<VId>>[]>(
           static_cast<std::size_t>(max_workers))),
       max_workers_(max_workers) {
   MICG_CHECK(max_workers >= 1, "need at least one worker");
 }
 
-std::size_t compact_frontier::total_size() const {
+template <std::signed_integral VId>
+std::size_t basic_compact_frontier<VId>::total_size() const {
   std::size_t total = 0;
   for (int w = 0; w < max_workers_; ++w) {
     total += segments_[static_cast<std::size_t>(w)].value.size();
@@ -26,7 +25,8 @@ std::size_t compact_frontier::total_size() const {
   return total;
 }
 
-std::vector<vertex_t> compact_frontier::compact(const rt::exec& ex) {
+template <std::signed_integral VId>
+std::vector<VId> basic_compact_frontier<VId>::compact(const rt::exec& ex) {
   // Book keeping: exclusive scan over segment sizes gives each worker's
   // offset into the dense output.
   std::vector<std::size_t> offsets(static_cast<std::size_t>(max_workers_));
@@ -36,7 +36,7 @@ std::vector<vertex_t> compact_frontier::compact(const rt::exec& ex) {
   }
   const std::size_t total = rt::parallel_exclusive_scan(ex, offsets);
 
-  std::vector<vertex_t> out(total);
+  std::vector<VId> out(total);
   // Parallel copy: one task per worker segment.
   rt::for_range(ex, max_workers_,
                 [&](std::int64_t b, std::int64_t e, int) {
@@ -52,9 +52,15 @@ std::vector<vertex_t> compact_frontier::compact(const rt::exec& ex) {
   return out;
 }
 
-compact_bfs_result parallel_bfs_compact(const csr_graph& g, vertex_t source,
+template class basic_compact_frontier<std::int32_t>;
+template class basic_compact_frontier<std::int64_t>;
+
+template <micg::graph::CsrGraph G>
+compact_bfs_result parallel_bfs_compact(const G& g,
+                                        typename G::vertex_type source,
                                         const compact_bfs_options& opt) {
-  const vertex_t n = g.num_vertices();
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   MICG_CHECK(source >= 0 && source < n, "source out of range");
   MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
 
@@ -62,8 +68,8 @@ compact_bfs_result parallel_bfs_compact(const csr_graph& g, vertex_t source,
   for (auto& l : level) l.store(-1, std::memory_order_relaxed);
 
   const rt::exec& ex = opt.ex;
-  compact_frontier frontier(opt.ex.threads);
-  std::vector<vertex_t> cur{source};
+  basic_compact_frontier<VId> frontier(opt.ex.threads);
+  std::vector<VId> cur{source};
   level[static_cast<std::size_t>(source)].store(0,
                                                 std::memory_order_relaxed);
 
@@ -73,8 +79,8 @@ compact_bfs_result parallel_bfs_compact(const csr_graph& g, vertex_t source,
         ex, static_cast<std::int64_t>(cur.size()),
         [&](std::int64_t b, std::int64_t e, int worker) {
           for (std::int64_t i = b; i < e; ++i) {
-            const vertex_t v = cur[static_cast<std::size_t>(i)];
-            for (vertex_t w : g.neighbors(v)) {
+            const VId v = cur[static_cast<std::size_t>(i)];
+            for (VId w : g.neighbors(v)) {
               int expected = -1;
               if (level[static_cast<std::size_t>(w)]
                       .compare_exchange_strong(expected, depth,
@@ -92,7 +98,7 @@ compact_bfs_result parallel_bfs_compact(const csr_graph& g, vertex_t source,
   compact_bfs_result r;
   r.level.resize(static_cast<std::size_t>(n));
   int max_level = -1;
-  for (vertex_t v = 0; v < n; ++v) {
+  for (VId v = 0; v < n; ++v) {
     r.level[static_cast<std::size_t>(v)] =
         level[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
     if (r.level[static_cast<std::size_t>(v)] >= 0) {
@@ -104,5 +110,11 @@ compact_bfs_result parallel_bfs_compact(const csr_graph& g, vertex_t source,
   r.num_levels = max_level + 1;
   return r;
 }
+
+#define MICG_INSTANTIATE(G)                            \
+  template compact_bfs_result parallel_bfs_compact<G>( \
+      const G&, typename G::vertex_type, const compact_bfs_options&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::bfs

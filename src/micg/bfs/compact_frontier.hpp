@@ -24,26 +24,28 @@
 
 namespace micg::bfs {
 
-class compact_frontier {
+template <std::signed_integral VId>
+class basic_compact_frontier {
  public:
-  explicit compact_frontier(int max_workers);
+  explicit basic_compact_frontier(int max_workers);
 
   /// Append to the calling worker's private segment (no synchronization).
-  void push(int worker, micg::graph::vertex_t v) {
+  void push(int worker, VId v) {
     segments_[static_cast<std::size_t>(worker)].value.push_back(v);
   }
 
   /// Compact all segments into a dense vector: parallel exclusive scan of
   /// segment sizes + parallel copy. Segments are cleared (capacity kept).
-  std::vector<micg::graph::vertex_t> compact(const rt::exec& ex);
+  std::vector<VId> compact(const rt::exec& ex);
 
   [[nodiscard]] std::size_t total_size() const;
 
  private:
-  std::unique_ptr<micg::padded<std::vector<micg::graph::vertex_t>>[]>
-      segments_;
+  std::unique_ptr<micg::padded<std::vector<VId>>[]> segments_;
   int max_workers_;
 };
+
+using compact_frontier = basic_compact_frontier<micg::graph::vertex_t>;
 
 /// Layered BFS using the compacting frontier (locked insertion); the
 /// ablation counterpart of bfs_variant::omp_block. Levels are identical
@@ -61,8 +63,9 @@ struct compact_bfs_result {
   std::size_t reached = 0;
 };
 
-compact_bfs_result parallel_bfs_compact(const micg::graph::csr_graph& g,
-                                        micg::graph::vertex_t source,
+template <micg::graph::CsrGraph G>
+compact_bfs_result parallel_bfs_compact(const G& g,
+                                        typename G::vertex_type source,
                                         const compact_bfs_options& opt);
 
 }  // namespace micg::bfs

@@ -8,13 +8,12 @@
 
 namespace micg::bfs {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
-direction_bfs_result direction_optimizing_bfs(const csr_graph& g,
-                                              vertex_t source,
+template <micg::graph::CsrGraph G>
+direction_bfs_result direction_optimizing_bfs(const G& g,
+                                              typename G::vertex_type source,
                                               const direction_options& opt) {
-  const vertex_t n = g.num_vertices();
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   MICG_CHECK(source >= 0 && source < n, "source out of range");
   MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
 
@@ -24,7 +23,7 @@ direction_bfs_result direction_optimizing_bfs(const csr_graph& g,
   rt::exec ex = opt.ex;
   ex.kind = rt::backend::omp_dynamic;
 
-  std::vector<vertex_t> frontier{source};
+  std::vector<VId> frontier{source};
   level[static_cast<std::size_t>(source)].store(0,
                                                 std::memory_order_relaxed);
 
@@ -38,7 +37,9 @@ direction_bfs_result direction_optimizing_bfs(const csr_graph& g,
   while (!frontier.empty()) {
     // Heuristic: frontier out-edges decide the direction of this step.
     std::int64_t frontier_edges = 0;
-    for (vertex_t v : frontier) frontier_edges += g.degree(v);
+    for (VId v : frontier) {
+      frontier_edges += static_cast<std::int64_t>(g.degree(v));
+    }
     if (!bottom_up &&
         static_cast<double>(frontier_edges) > edge_threshold) {
       bottom_up = true;
@@ -47,7 +48,7 @@ direction_bfs_result direction_optimizing_bfs(const csr_graph& g,
       bottom_up = false;
     }
 
-    std::vector<vertex_t> next(static_cast<std::size_t>(n));
+    std::vector<VId> next(static_cast<std::size_t>(n));
     std::atomic<std::size_t> cursor{0};
     if (bottom_up) {
       ++r.bottom_up_steps;
@@ -55,12 +56,12 @@ direction_bfs_result direction_optimizing_bfs(const csr_graph& g,
       rt::for_range(
           ex, n, [&](std::int64_t b, std::int64_t e, int) {
             for (std::int64_t i = b; i < e; ++i) {
-              const auto v = static_cast<vertex_t>(i);
+              const auto v = static_cast<VId>(i);
               if (level[static_cast<std::size_t>(v)].load(
                       std::memory_order_relaxed) != -1) {
                 continue;
               }
-              for (vertex_t w : g.neighbors(v)) {
+              for (VId w : g.neighbors(v)) {
                 if (level[static_cast<std::size_t>(w)].load(
                         std::memory_order_relaxed) == depth - 1) {
                   level[static_cast<std::size_t>(v)].store(
@@ -77,8 +78,8 @@ direction_bfs_result direction_optimizing_bfs(const csr_graph& g,
           ex, static_cast<std::int64_t>(frontier.size()),
           [&](std::int64_t b, std::int64_t e, int) {
             for (std::int64_t i = b; i < e; ++i) {
-              const vertex_t v = frontier[static_cast<std::size_t>(i)];
-              for (vertex_t w : g.neighbors(v)) {
+              const VId v = frontier[static_cast<std::size_t>(i)];
+              for (VId w : g.neighbors(v)) {
                 int expected = -1;
                 if (level[static_cast<std::size_t>(w)]
                         .compare_exchange_strong(expected, depth,
@@ -97,7 +98,7 @@ direction_bfs_result direction_optimizing_bfs(const csr_graph& g,
 
   r.level.resize(static_cast<std::size_t>(n));
   int max_level = -1;
-  for (vertex_t v = 0; v < n; ++v) {
+  for (VId v = 0; v < n; ++v) {
     r.level[static_cast<std::size_t>(v)] =
         level[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
     if (r.level[static_cast<std::size_t>(v)] > max_level) {
@@ -125,5 +126,11 @@ direction_bfs_result direction_optimizing_bfs(const csr_graph& g,
   }
   return r;
 }
+
+#define MICG_INSTANTIATE(G)                                 \
+  template direction_bfs_result direction_optimizing_bfs<G>( \
+      const G&, typename G::vertex_type, const direction_options&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::bfs

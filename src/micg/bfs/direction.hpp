@@ -34,9 +34,10 @@ struct direction_bfs_result : bfs_result {
 };
 
 /// Run direction-optimizing BFS from `source`. Levels are identical to
-/// seq_bfs().
-direction_bfs_result direction_optimizing_bfs(
-    const micg::graph::csr_graph& g, micg::graph::vertex_t source,
-    const direction_options& opt);
+/// seq_bfs(). Defined for every shipped layout.
+template <micg::graph::CsrGraph G>
+direction_bfs_result direction_optimizing_bfs(const G& g,
+                                              typename G::vertex_type source,
+                                              const direction_options& opt);
 
 }  // namespace micg::bfs

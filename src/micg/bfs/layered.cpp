@@ -13,9 +13,7 @@
 
 namespace micg::bfs {
 
-using micg::graph::csr_graph;
-using micg::graph::invalid_vertex;
-using micg::graph::vertex_t;
+using micg::graph::invalid_vertex_v;
 
 const char* bfs_variant_name(bfs_variant v) {
   switch (v) {
@@ -49,7 +47,8 @@ using level_array = std::vector<std::atomic<int>>;
 
 /// Try to claim w for `next_level`. Locked: CAS, exactly-once semantics.
 /// Relaxed: Leiserson–Schardl benign race — check then plain store.
-inline bool claim_vertex(level_array& level, vertex_t w, int next_level,
+template <class VId>
+inline bool claim_vertex(level_array& level, VId w, int next_level,
                          bool relaxed) {
   auto& slot = level[static_cast<std::size_t>(w)];
   if (relaxed) {
@@ -89,10 +88,12 @@ parallel_bfs_result finalize(const level_array& level) {
 
 /// The block-queue variants: two block-accessed queues swapped per level,
 /// the vertex loop scheduled by an OpenMP-dynamic or TBB-simple backend.
-parallel_bfs_result bfs_block(const csr_graph& g, vertex_t source,
+template <micg::graph::CsrGraph G>
+parallel_bfs_result bfs_block(const G& g, typename G::vertex_type source,
                               const parallel_bfs_options& opt,
                               bool tbb_style, bool relaxed) {
-  const vertex_t n = g.num_vertices();
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   level_array level(static_cast<std::size_t>(n));
   for (auto& l : level) l.store(-1, std::memory_order_relaxed);
 
@@ -106,8 +107,8 @@ parallel_bfs_result bfs_block(const csr_graph& g, vertex_t source,
       static_cast<std::size_t>(opt.ex.threads) *
           static_cast<std::size_t>(opt.block) +
       64;
-  block_queue cur(cap, opt.block, opt.ex.threads);
-  block_queue next(cap, opt.block, opt.ex.threads);
+  basic_block_queue<VId> cur(cap, opt.block, opt.ex.threads);
+  basic_block_queue<VId> next(cap, opt.block, opt.ex.threads);
 
   rt::exec ex = opt.ex;
   ex.kind = tbb_style ? rt::backend::tbb_simple : rt::backend::omp_dynamic;
@@ -137,9 +138,9 @@ parallel_bfs_result bfs_block(const csr_graph& g, vertex_t source,
         ex, static_cast<std::int64_t>(entries.size()),
         [&](std::int64_t b, std::int64_t e, int worker) {
           for (std::int64_t i = b; i < e; ++i) {
-            const vertex_t v = entries[static_cast<std::size_t>(i)];
-            if (v == invalid_vertex) continue;  // sentinel slot (§IV-C)
-            for (vertex_t w : g.neighbors(v)) {
+            const VId v = entries[static_cast<std::size_t>(i)];
+            if (v == invalid_vertex_v<VId>) continue;  // sentinel (§IV-C)
+            for (VId w : g.neighbors(v)) {
               if (claim_vertex(level, w, depth, relaxed)) {
                 next.push(worker, w);
               }
@@ -159,9 +160,11 @@ parallel_bfs_result bfs_block(const csr_graph& g, vertex_t source,
 /// SNAP-style variant: thread-local queues merged per level, exactly-once
 /// insertion via CAS claim (the "lock"), with the paper's improvement of
 /// testing the level before attempting the claim.
-parallel_bfs_result bfs_tls(const csr_graph& g, vertex_t source,
+template <micg::graph::CsrGraph G>
+parallel_bfs_result bfs_tls(const G& g, typename G::vertex_type source,
                             const parallel_bfs_options& opt) {
-  const vertex_t n = g.num_vertices();
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   level_array level(static_cast<std::size_t>(n));
   for (auto& l : level) l.store(-1, std::memory_order_relaxed);
 
@@ -169,9 +172,9 @@ parallel_bfs_result bfs_tls(const csr_graph& g, vertex_t source,
   ex.kind = rt::backend::omp_dynamic;
   obs::recorder* rec = opt.ex.sink();
 
-  tls_frontier locals(opt.ex.threads);
-  std::vector<vertex_t> cur{source};
-  std::vector<vertex_t> next;
+  basic_tls_frontier<VId> locals(opt.ex.threads);
+  std::vector<VId> cur{source};
+  std::vector<VId> next;
   level[static_cast<std::size_t>(source)].store(0,
                                                 std::memory_order_relaxed);
 
@@ -185,8 +188,8 @@ parallel_bfs_result bfs_tls(const csr_graph& g, vertex_t source,
         ex, static_cast<std::int64_t>(cur.size()),
         [&](std::int64_t b, std::int64_t e, int worker) {
           for (std::int64_t i = b; i < e; ++i) {
-            const vertex_t v = cur[static_cast<std::size_t>(i)];
-            for (vertex_t w : g.neighbors(v)) {
+            const VId v = cur[static_cast<std::size_t>(i)];
+            for (VId w : g.neighbors(v)) {
               // Check before locking (§IV-C: "checking if a vertex is
               // traversed before attempting to lock it").
               if (level[static_cast<std::size_t>(w)].load(
@@ -208,22 +211,24 @@ parallel_bfs_result bfs_tls(const csr_graph& g, vertex_t source,
 
 /// Bag variant: per-worker bags filled under work stealing, merged with
 /// carry-save bag union at each level (CilkPlus-Bag-relaxed).
-parallel_bfs_result bfs_bag(const csr_graph& g, vertex_t source,
+template <micg::graph::CsrGraph G>
+parallel_bfs_result bfs_bag(const G& g, typename G::vertex_type source,
                             const parallel_bfs_options& opt) {
-  const vertex_t n = g.num_vertices();
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   level_array level(static_cast<std::size_t>(n));
   for (auto& l : level) l.store(-1, std::memory_order_relaxed);
 
   rt::task_scheduler sched(opt.ex.pool_or_global(), opt.ex.threads);
   obs::recorder* rec = opt.ex.sink();
 
-  std::vector<vertex_bag> worker_bags;
+  std::vector<basic_vertex_bag<VId>> worker_bags;
   worker_bags.reserve(static_cast<std::size_t>(opt.ex.threads));
   for (int t = 0; t < opt.ex.threads; ++t) {
     worker_bags.emplace_back(opt.bag_grain);
   }
 
-  vertex_bag cur(opt.bag_grain);
+  basic_vertex_bag<VId> cur(opt.bag_grain);
   level[static_cast<std::size_t>(source)].store(0,
                                                 std::memory_order_relaxed);
   cur.insert(source);
@@ -235,9 +240,9 @@ parallel_bfs_result bfs_bag(const csr_graph& g, vertex_t source,
                        : obs::span();
     sched.run([&] {
       cur.traverse_parallel(
-          sched, [&](std::span<const vertex_t> items, int worker) {
-            for (vertex_t v : items) {
-              for (vertex_t w : g.neighbors(v)) {
+          sched, [&](std::span<const VId> items, int worker) {
+            for (VId v : items) {
+              for (VId w : g.neighbors(v)) {
                 if (claim_vertex(level, w, depth, /*relaxed=*/true)) {
                   worker_bags[static_cast<std::size_t>(worker)].insert(w);
                 }
@@ -245,7 +250,7 @@ parallel_bfs_result bfs_bag(const csr_graph& g, vertex_t source,
             }
           });
     });
-    vertex_bag merged(opt.bag_grain);
+    basic_vertex_bag<VId> merged(opt.bag_grain);
     for (auto& b : worker_bags) merged.absorb(std::move(b));
     cur = std::move(merged);
     ++depth;
@@ -253,11 +258,8 @@ parallel_bfs_result bfs_bag(const csr_graph& g, vertex_t source,
   return finalize(level);
 }
 
-}  // namespace
-
-namespace {
-
-parallel_bfs_result run_variant(const csr_graph& g, vertex_t source,
+template <micg::graph::CsrGraph G>
+parallel_bfs_result run_variant(const G& g, typename G::vertex_type source,
                                 const parallel_bfs_options& opt) {
   switch (opt.variant) {
     case bfs_variant::omp_block:
@@ -282,7 +284,8 @@ parallel_bfs_result run_variant(const csr_graph& g, vertex_t source,
 
 }  // namespace
 
-parallel_bfs_result parallel_bfs(const csr_graph& g, vertex_t source,
+template <micg::graph::CsrGraph G>
+parallel_bfs_result parallel_bfs(const G& g, typename G::vertex_type source,
                                  const parallel_bfs_options& opt) {
   MICG_CHECK(source >= 0 && source < g.num_vertices(),
              "source out of range");
@@ -302,5 +305,11 @@ parallel_bfs_result parallel_bfs(const csr_graph& g, vertex_t source,
   }
   return r;
 }
+
+#define MICG_INSTANTIATE(G)                      \
+  template parallel_bfs_result parallel_bfs<G>(  \
+      const G&, typename G::vertex_type, const parallel_bfs_options&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::bfs

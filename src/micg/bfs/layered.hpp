@@ -66,9 +66,10 @@ struct parallel_bfs_result : bfs_result {
 };
 
 /// Run layered parallel BFS from `source`. Levels are identical to
-/// seq_bfs() for every variant (BFS levels are unique).
-parallel_bfs_result parallel_bfs(const micg::graph::csr_graph& g,
-                                 micg::graph::vertex_t source,
+/// seq_bfs() for every variant (BFS levels are unique). Defined for every
+/// shipped layout (instantiations in layered.cpp).
+template <micg::graph::CsrGraph G>
+parallel_bfs_result parallel_bfs(const G& g, typename G::vertex_type source,
                                  const parallel_bfs_options& opt);
 
 }  // namespace micg::bfs

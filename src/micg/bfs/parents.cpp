@@ -10,29 +10,32 @@
 
 namespace micg::bfs {
 
-using micg::graph::csr_graph;
-using micg::graph::invalid_vertex;
-using micg::graph::vertex_t;
+using micg::graph::invalid_vertex_v;
 
-parent_bfs_result parallel_bfs_parents(const csr_graph& g, vertex_t source,
-                                       const parallel_bfs_options& opt) {
-  const vertex_t n = g.num_vertices();
+template <micg::graph::CsrGraph G>
+basic_parent_bfs_result<typename G::vertex_type> parallel_bfs_parents(
+    const G& g, typename G::vertex_type source,
+    const parallel_bfs_options& opt) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   MICG_CHECK(source >= 0 && source < n, "source out of range");
   MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
 
   // parent doubles as the visited flag: a CAS from invalid_vertex claims
   // the vertex exactly once (so parents are always consistent even though
   // levels could tolerate the relaxed race).
-  std::vector<std::atomic<vertex_t>> parent(static_cast<std::size_t>(n));
-  for (auto& p : parent) p.store(invalid_vertex, std::memory_order_relaxed);
+  std::vector<std::atomic<VId>> parent(static_cast<std::size_t>(n));
+  for (auto& p : parent) {
+    p.store(invalid_vertex_v<VId>, std::memory_order_relaxed);
+  }
   std::vector<int> level(static_cast<std::size_t>(n), -1);
 
   const std::size_t cap = static_cast<std::size_t>(n) +
                           static_cast<std::size_t>(opt.ex.threads) *
                               static_cast<std::size_t>(opt.block) +
                           64;
-  block_queue cur(cap, opt.block, opt.ex.threads);
-  block_queue next(cap, opt.block, opt.ex.threads);
+  basic_block_queue<VId> cur(cap, opt.block, opt.ex.threads);
+  basic_block_queue<VId> next(cap, opt.block, opt.ex.threads);
 
   rt::exec ex = opt.ex;
   ex.kind = rt::backend::omp_dynamic;
@@ -51,10 +54,10 @@ parent_bfs_result parallel_bfs_parents(const csr_graph& g, vertex_t source,
         ex, static_cast<std::int64_t>(entries.size()),
         [&](std::int64_t b, std::int64_t e, int worker) {
           for (std::int64_t i = b; i < e; ++i) {
-            const vertex_t v = entries[static_cast<std::size_t>(i)];
-            if (v == invalid_vertex) continue;
-            for (vertex_t w : g.neighbors(v)) {
-              vertex_t expected = invalid_vertex;
+            const VId v = entries[static_cast<std::size_t>(i)];
+            if (v == invalid_vertex_v<VId>) continue;
+            for (VId w : g.neighbors(v)) {
+              VId expected = invalid_vertex_v<VId>;
               if (parent[static_cast<std::size_t>(w)]
                       .compare_exchange_strong(expected, v,
                                                std::memory_order_relaxed,
@@ -70,31 +73,33 @@ parent_bfs_result parallel_bfs_parents(const csr_graph& g, vertex_t source,
     ++depth;
   }
 
-  parent_bfs_result r;
+  basic_parent_bfs_result<VId> r;
   r.parent.resize(static_cast<std::size_t>(n));
   r.level = std::move(level);
-  for (vertex_t v = 0; v < n; ++v) {
+  for (VId v = 0; v < n; ++v) {
     r.parent[static_cast<std::size_t>(v)] =
         parent[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
-    if (r.parent[static_cast<std::size_t>(v)] != invalid_vertex) {
+    if (r.parent[static_cast<std::size_t>(v)] != invalid_vertex_v<VId>) {
       ++r.reached;
     }
   }
   return r;
 }
 
-bool validate_parent_tree(const csr_graph& g, vertex_t source,
-                          std::span<const vertex_t> parent) {
-  const vertex_t n = g.num_vertices();
-  if (static_cast<vertex_t>(parent.size()) != n) return false;
+template <micg::graph::CsrGraph G>
+bool validate_parent_tree(const G& g, typename G::vertex_type source,
+                          std::span<const typename G::vertex_type> parent) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
+  if (static_cast<VId>(parent.size()) != n) return false;
   if (source < 0 || source >= n) return false;
   if (parent[static_cast<std::size_t>(source)] != source) return false;
 
   const auto ref = seq_bfs(g, source);
-  for (vertex_t v = 0; v < n; ++v) {
-    const vertex_t p = parent[static_cast<std::size_t>(v)];
+  for (VId v = 0; v < n; ++v) {
+    const VId p = parent[static_cast<std::size_t>(v)];
     const int true_level = ref.level[static_cast<std::size_t>(v)];
-    if (p == invalid_vertex) {
+    if (p == invalid_vertex_v<VId>) {
       // Unreached must be exactly the vertices outside the component.
       if (true_level != -1) return false;
       continue;
@@ -111,5 +116,15 @@ bool validate_parent_tree(const csr_graph& g, vertex_t source,
   }
   return true;
 }
+
+#define MICG_INSTANTIATE(G)                                          \
+  template basic_parent_bfs_result<typename G::vertex_type>          \
+  parallel_bfs_parents<G>(const G&, typename G::vertex_type,         \
+                          const parallel_bfs_options&);              \
+  template bool validate_parent_tree<G>(                             \
+      const G&, typename G::vertex_type,                             \
+      std::span<const typename G::vertex_type>);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::bfs

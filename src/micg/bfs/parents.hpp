@@ -14,19 +14,23 @@
 
 namespace micg::bfs {
 
-struct parent_bfs_result {
+template <class VId>
+struct basic_parent_bfs_result {
   /// parent[v]: BFS-tree parent of v; parent[source] == source;
-  /// unreachable vertices hold invalid_vertex.
-  std::vector<micg::graph::vertex_t> parent;
+  /// unreachable vertices hold invalid_vertex_v<VId>.
+  std::vector<VId> parent;
   std::vector<int> level;
   std::size_t reached = 0;
 };
 
+using parent_bfs_result = basic_parent_bfs_result<micg::graph::vertex_t>;
+
 /// Layered BFS (relaxed block queue) that also records a valid parent for
 /// every discovered vertex.
-parent_bfs_result parallel_bfs_parents(const micg::graph::csr_graph& g,
-                                       micg::graph::vertex_t source,
-                                       const parallel_bfs_options& opt);
+template <micg::graph::CsrGraph G>
+basic_parent_bfs_result<typename G::vertex_type> parallel_bfs_parents(
+    const G& g, typename G::vertex_type source,
+    const parallel_bfs_options& opt);
 
 /// Graph500-style validation of a parent tree:
 ///  1. the source is its own parent;
@@ -35,8 +39,8 @@ parent_bfs_result parallel_bfs_parents(const micg::graph::csr_graph& g,
 ///  3. levels implied by the tree equal BFS levels (each vertex one
 ///     deeper than its parent, consistent with the true distance);
 ///  4. exactly the source's component is reached.
-bool validate_parent_tree(const micg::graph::csr_graph& g,
-                          micg::graph::vertex_t source,
-                          std::span<const micg::graph::vertex_t> parent);
+template <micg::graph::CsrGraph G>
+bool validate_parent_tree(const G& g, typename G::vertex_type source,
+                          std::span<const typename G::vertex_type> parent);
 
 }  // namespace micg::bfs

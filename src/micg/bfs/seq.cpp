@@ -4,11 +4,10 @@
 
 namespace micg::bfs {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
-bfs_result seq_bfs(const csr_graph& g, vertex_t source) {
-  const vertex_t n = g.num_vertices();
+template <micg::graph::CsrGraph G>
+bfs_result seq_bfs(const G& g, typename G::vertex_type source) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   MICG_CHECK(source >= 0 && source < n, "source out of range");
 
   bfs_result r;
@@ -17,7 +16,7 @@ bfs_result seq_bfs(const csr_graph& g, vertex_t source) {
   // The FIFO is one flat array with a read head: push_back is the enqueue,
   // advancing `head` is the dequeue (no deque overhead, and the array
   // doubles as the visit order).
-  std::vector<vertex_t> fifo;
+  std::vector<VId> fifo;
   fifo.reserve(static_cast<std::size_t>(n));
   r.level[static_cast<std::size_t>(source)] = 0;
   fifo.push_back(source);
@@ -29,9 +28,9 @@ bfs_result seq_bfs(const csr_graph& g, vertex_t source) {
       r.frontier_sizes.push_back(fifo.size() - level_end);
       level_end = fifo.size();
     }
-    const vertex_t v = fifo[head];
+    const VId v = fifo[head];
     const int next_level = r.level[static_cast<std::size_t>(v)] + 1;
-    for (vertex_t w : g.neighbors(v)) {
+    for (VId w : g.neighbors(v)) {
       if (r.level[static_cast<std::size_t>(w)] == -1) {
         r.level[static_cast<std::size_t>(w)] = next_level;
         fifo.push_back(w);
@@ -42,5 +41,10 @@ bfs_result seq_bfs(const csr_graph& g, vertex_t source) {
   r.num_levels = static_cast<int>(r.frontier_sizes.size());
   return r;
 }
+
+#define MICG_INSTANTIATE(G) \
+  template bfs_result seq_bfs<G>(const G&, typename G::vertex_type);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::bfs

@@ -21,8 +21,9 @@ struct bfs_result {
   std::size_t reached = 0;
 };
 
-/// Textbook queue-based BFS from `source`.
-bfs_result seq_bfs(const micg::graph::csr_graph& g,
-                   micg::graph::vertex_t source);
+/// Textbook queue-based BFS from `source`. Defined for every shipped
+/// layout (instantiations in seq.cpp).
+template <micg::graph::CsrGraph G>
+bfs_result seq_bfs(const G& g, typename G::vertex_type source);
 
 }  // namespace micg::bfs

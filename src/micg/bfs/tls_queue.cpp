@@ -4,15 +4,16 @@
 
 namespace micg::bfs {
 
-tls_frontier::tls_frontier(int max_workers)
-    : locals_(std::make_unique<
-              micg::padded<std::vector<micg::graph::vertex_t>>[]>(
+template <std::signed_integral VId>
+basic_tls_frontier<VId>::basic_tls_frontier(int max_workers)
+    : locals_(std::make_unique<micg::padded<std::vector<VId>>[]>(
           static_cast<std::size_t>(max_workers))),
       max_workers_(max_workers) {
   MICG_CHECK(max_workers >= 1, "need at least one worker");
 }
 
-void tls_frontier::merge_into(std::vector<micg::graph::vertex_t>& out) {
+template <std::signed_integral VId>
+void basic_tls_frontier<VId>::merge_into(std::vector<VId>& out) {
   out.clear();
   out.reserve(total_size());
   for (int w = 0; w < max_workers_; ++w) {
@@ -22,12 +23,16 @@ void tls_frontier::merge_into(std::vector<micg::graph::vertex_t>& out) {
   }
 }
 
-std::size_t tls_frontier::total_size() const {
+template <std::signed_integral VId>
+std::size_t basic_tls_frontier<VId>::total_size() const {
   std::size_t total = 0;
   for (int w = 0; w < max_workers_; ++w) {
     total += locals_[static_cast<std::size_t>(w)].value.size();
   }
   return total;
 }
+
+template class basic_tls_frontier<std::int32_t>;
+template class basic_tls_frontier<std::int64_t>;
 
 }  // namespace micg::bfs

@@ -16,27 +16,29 @@
 
 namespace micg::bfs {
 
-class tls_frontier {
+template <std::signed_integral VId>
+class basic_tls_frontier {
  public:
-  explicit tls_frontier(int max_workers);
+  explicit basic_tls_frontier(int max_workers);
 
   /// Append to the calling worker's private queue (no synchronization).
-  void push(int worker, micg::graph::vertex_t v) {
+  void push(int worker, VId v) {
     locals_[static_cast<std::size_t>(worker)].value.push_back(v);
   }
 
   /// Concatenate all local queues into `out` (cleared first) and clear the
   /// locals. Sequential merge, as in SNAP — its cost is part of what the
   /// paper measures for OpenMP-TLS.
-  void merge_into(std::vector<micg::graph::vertex_t>& out);
+  void merge_into(std::vector<VId>& out);
 
   /// Total queued entries across workers.
   [[nodiscard]] std::size_t total_size() const;
 
  private:
-  std::unique_ptr<micg::padded<std::vector<micg::graph::vertex_t>>[]>
-      locals_;
+  std::unique_ptr<micg::padded<std::vector<VId>>[]> locals_;
   int max_workers_;
 };
+
+using tls_frontier = basic_tls_frontier<micg::graph::vertex_t>;
 
 }  // namespace micg::bfs

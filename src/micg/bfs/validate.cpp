@@ -6,21 +6,20 @@
 
 namespace micg::bfs {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
-bool is_valid_bfs_levels(const csr_graph& g, vertex_t source,
+template <micg::graph::CsrGraph G>
+bool is_valid_bfs_levels(const G& g, typename G::vertex_type source,
                          std::span<const int> level) {
-  const vertex_t n = g.num_vertices();
-  if (static_cast<vertex_t>(level.size()) != n) return false;
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
+  if (static_cast<VId>(level.size()) != n) return false;
   if (source < 0 || source >= n) return false;
   if (level[static_cast<std::size_t>(source)] != 0) return false;
 
-  for (vertex_t v = 0; v < n; ++v) {
+  for (VId v = 0; v < n; ++v) {
     const int lv = level[static_cast<std::size_t>(v)];
     if (lv < -1) return false;
     bool has_parent = lv <= 0;  // source and unreached need no parent
-    for (vertex_t w : g.neighbors(v)) {
+    for (VId w : g.neighbors(v)) {
       const int lw = level[static_cast<std::size_t>(w)];
       // A labeled vertex cannot touch an unlabeled one, and adjacent
       // labels differ by at most 1 (triangle property of BFS).
@@ -34,7 +33,7 @@ bool is_valid_bfs_levels(const csr_graph& g, vertex_t source,
   // Level-by-level agreement with the sequential reference (levels are
   // unique, so this is both sound and complete).
   const auto ref = seq_bfs(g, source);
-  for (vertex_t v = 0; v < n; ++v) {
+  for (VId v = 0; v < n; ++v) {
     if (ref.level[static_cast<std::size_t>(v)] !=
         level[static_cast<std::size_t>(v)]) {
       return false;
@@ -42,5 +41,11 @@ bool is_valid_bfs_levels(const csr_graph& g, vertex_t source,
   }
   return true;
 }
+
+#define MICG_INSTANTIATE(G)                \
+  template bool is_valid_bfs_levels<G>(    \
+      const G&, typename G::vertex_type, std::span<const int>);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::bfs

@@ -12,8 +12,8 @@ namespace micg::bfs {
 /// level[source] == 0; every edge differs by at most one level; every
 /// vertex with level k > 0 has a neighbor at level k-1; vertices in the
 /// source's component are all labeled and others are -1.
-bool is_valid_bfs_levels(const micg::graph::csr_graph& g,
-                         micg::graph::vertex_t source,
+template <micg::graph::CsrGraph G>
+bool is_valid_bfs_levels(const G& g, typename G::vertex_type source,
                          std::span<const int> level);
 
 }  // namespace micg::bfs

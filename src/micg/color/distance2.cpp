@@ -10,14 +10,12 @@
 
 namespace micg::color {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
 namespace {
 
 /// Scratch capacity: first-fit distance-2 never needs more than
 /// min(Delta^2 + 2, n + 1) slots.
-std::size_t d2_capacity(const csr_graph& g) {
+template <micg::graph::CsrGraph G>
+std::size_t d2_capacity(const G& g) {
   const auto d = static_cast<std::size_t>(g.max_degree());
   const auto by_degree = d * d + 2;
   const auto by_n = static_cast<std::size_t>(g.num_vertices()) + 2;
@@ -26,11 +24,12 @@ std::size_t d2_capacity(const csr_graph& g) {
 
 /// Visit the distance <= 2 neighborhood of v (excluding v itself; w == v
 /// two-hop paths are skipped).
-template <typename F>
-void for_d2_neighborhood(const csr_graph& g, vertex_t v, F&& f) {
-  for (vertex_t w : g.neighbors(v)) {
+template <micg::graph::CsrGraph G, typename F>
+void for_d2_neighborhood(const G& g, typename G::vertex_type v, F&& f) {
+  using VId = typename G::vertex_type;
+  for (VId w : g.neighbors(v)) {
     f(w);
-    for (vertex_t x : g.neighbors(w)) {
+    for (VId x : g.neighbors(w)) {
       if (x != v) f(x);
     }
   }
@@ -38,14 +37,16 @@ void for_d2_neighborhood(const csr_graph& g, vertex_t v, F&& f) {
 
 }  // namespace
 
-coloring greedy_color_distance2(const csr_graph& g) {
-  const vertex_t n = g.num_vertices();
+template <micg::graph::CsrGraph G>
+coloring greedy_color_distance2(const G& g) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   coloring result;
   result.color.assign(static_cast<std::size_t>(n), 0);
   forbidden_marks forbidden(d2_capacity(g));
   int maxcolor = 0;
-  for (vertex_t v = 0; v < n; ++v) {
-    for_d2_neighborhood(g, v, [&](vertex_t u) {
+  for (VId v = 0; v < n; ++v) {
+    for_d2_neighborhood(g, v, [&](VId u) {
       forbidden.forbid(result.color[static_cast<std::size_t>(u)], v);
     });
     const int c = forbidden.first_allowed(v);
@@ -56,14 +57,15 @@ coloring greedy_color_distance2(const csr_graph& g) {
   return result;
 }
 
-bool is_valid_distance2_coloring(const csr_graph& g,
-                                 std::span<const int> color) {
-  const vertex_t n = g.num_vertices();
-  if (static_cast<vertex_t>(color.size()) != n) return false;
-  for (vertex_t v = 0; v < n; ++v) {
+template <micg::graph::CsrGraph G>
+bool is_valid_distance2_coloring(const G& g, std::span<const int> color) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
+  if (static_cast<VId>(color.size()) != n) return false;
+  for (VId v = 0; v < n; ++v) {
     if (color[static_cast<std::size_t>(v)] < 1) return false;
     bool ok = true;
-    for_d2_neighborhood(g, v, [&](vertex_t u) {
+    for_d2_neighborhood(g, v, [&](VId u) {
       if (u != v && color[static_cast<std::size_t>(u)] ==
                         color[static_cast<std::size_t>(v)]) {
         ok = false;
@@ -74,23 +76,25 @@ bool is_valid_distance2_coloring(const csr_graph& g,
   return true;
 }
 
-iterative_result iterative_color_distance2(const csr_graph& g,
+template <micg::graph::CsrGraph G>
+iterative_result iterative_color_distance2(const G& g,
                                            const iterative_options& opt) {
+  using VId = typename G::vertex_type;
   MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
-  const vertex_t n = g.num_vertices();
+  const VId n = g.num_vertices();
   const std::size_t cap = d2_capacity(g);
 
   std::vector<std::atomic<int>> color(static_cast<std::size_t>(n));
   for (auto& c : color) c.store(0, std::memory_order_relaxed);
 
-  std::vector<vertex_t> visit(static_cast<std::size_t>(n));
-  std::iota(visit.begin(), visit.end(), vertex_t{0});
+  std::vector<VId> visit(static_cast<std::size_t>(n));
+  std::iota(visit.begin(), visit.end(), VId{0});
 
   rt::enumerable_thread_specific<forbidden_marks> scratch(
       opt.ex.threads, [cap] { return forbidden_marks(cap); });
 
   iterative_result result;
-  std::vector<vertex_t> conflicts(visit.size());
+  std::vector<VId> conflicts(visit.size());
 
   while (!visit.empty()) {
     MICG_CHECK(result.rounds < opt.max_rounds,
@@ -101,8 +105,8 @@ iterative_result iterative_color_distance2(const csr_graph& g,
                   [&](std::int64_t b, std::int64_t e, int) {
                     forbidden_marks& marks = scratch.local();
                     for (std::int64_t i = b; i < e; ++i) {
-                      const vertex_t v = visit[static_cast<std::size_t>(i)];
-                      for_d2_neighborhood(g, v, [&](vertex_t u) {
+                      const VId v = visit[static_cast<std::size_t>(i)];
+                      for_d2_neighborhood(g, v, [&](VId u) {
                         marks.forbid(
                             color[static_cast<std::size_t>(u)].load(
                                 std::memory_order_relaxed),
@@ -119,11 +123,11 @@ iterative_result iterative_color_distance2(const csr_graph& g,
         opt.ex, static_cast<std::int64_t>(visit.size()),
         [&](std::int64_t b, std::int64_t e, int) {
           for (std::int64_t i = b; i < e; ++i) {
-            const vertex_t v = visit[static_cast<std::size_t>(i)];
+            const VId v = visit[static_cast<std::size_t>(i)];
             const int cv = color[static_cast<std::size_t>(v)].load(
                 std::memory_order_relaxed);
             bool conflicted = false;
-            for_d2_neighborhood(g, v, [&](vertex_t u) {
+            for_d2_neighborhood(g, v, [&](VId u) {
               if (!conflicted && v < u &&
                   cv == color[static_cast<std::size_t>(u)].load(
                             std::memory_order_relaxed)) {
@@ -142,7 +146,7 @@ iterative_result iterative_color_distance2(const csr_graph& g,
 
   result.color.resize(static_cast<std::size_t>(n));
   int maxc = 0;
-  for (vertex_t v = 0; v < n; ++v) {
+  for (VId v = 0; v < n; ++v) {
     const int c =
         color[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
     result.color[static_cast<std::size_t>(v)] = c;
@@ -151,5 +155,14 @@ iterative_result iterative_color_distance2(const csr_graph& g,
   result.num_colors = maxc;
   return result;
 }
+
+#define MICG_INSTANTIATE(G)                                        \
+  template coloring greedy_color_distance2<G>(const G&);           \
+  template iterative_result iterative_color_distance2<G>(          \
+      const G&, const iterative_options&);                         \
+  template bool is_valid_distance2_coloring<G>(                    \
+      const G&, std::span<const int>);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::color

@@ -19,14 +19,16 @@ namespace micg::color {
 
 /// Sequential first-fit distance-2 coloring in natural order. Uses at most
 /// Delta^2 + 1 colors.
-coloring greedy_color_distance2(const micg::graph::csr_graph& g);
+template <micg::graph::CsrGraph G>
+coloring greedy_color_distance2(const G& g);
 
 /// Iterative parallel distance-2 coloring (speculate + detect + repair).
-iterative_result iterative_color_distance2(const micg::graph::csr_graph& g,
+template <micg::graph::CsrGraph G>
+iterative_result iterative_color_distance2(const G& g,
                                            const iterative_options& opt);
 
 /// True iff no two distinct vertices within distance 2 share a color.
-bool is_valid_distance2_coloring(const micg::graph::csr_graph& g,
-                                 std::span<const int> color);
+template <micg::graph::CsrGraph G>
+bool is_valid_distance2_coloring(const G& g, std::span<const int> color);
 
 }  // namespace micg::color

@@ -7,20 +7,19 @@
 
 namespace micg::color {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
 namespace {
 
-coloring greedy_color_impl(const csr_graph& g,
-                           std::span<const vertex_t> order) {
-  const vertex_t n = g.num_vertices();
+template <micg::graph::CsrGraph G>
+coloring greedy_color_impl(const G& g,
+                           std::span<const typename G::vertex_type> order) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   coloring result;
   result.color.assign(static_cast<std::size_t>(n), 0);
   forbidden_marks forbidden(static_cast<std::size_t>(g.max_degree()) + 2);
   int maxcolor = 0;
-  for (vertex_t v : order) {
-    for (vertex_t w : g.neighbors(v)) {
+  for (VId v : order) {
+    for (VId w : g.neighbors(v)) {
       forbidden.forbid(result.color[static_cast<std::size_t>(w)], v);
     }
     const int c = forbidden.first_allowed(v);
@@ -33,19 +32,29 @@ coloring greedy_color_impl(const csr_graph& g,
 
 }  // namespace
 
-coloring greedy_color(const csr_graph& g) {
+template <micg::graph::CsrGraph G>
+coloring greedy_color(const G& g) {
   const auto order = micg::graph::identity_permutation(g.num_vertices());
-  return greedy_color_impl(g, order);
+  return greedy_color_impl(g, std::span<const typename G::vertex_type>(order));
 }
 
-coloring greedy_color(const csr_graph& g,
-                      std::span<const vertex_t> order) {
-  MICG_CHECK(static_cast<vertex_t>(order.size()) == g.num_vertices(),
+template <micg::graph::CsrGraph G>
+coloring greedy_color(const G& g,
+                      std::span<const typename G::vertex_type> order) {
+  using VId = typename G::vertex_type;
+  MICG_CHECK(static_cast<VId>(order.size()) == g.num_vertices(),
              "order must cover every vertex exactly once");
-  std::vector<vertex_t> check(order.begin(), order.end());
+  std::vector<VId> check(order.begin(), order.end());
   MICG_CHECK(micg::graph::is_permutation(check),
              "order must be a permutation of the vertex set");
   return greedy_color_impl(g, order);
 }
+
+#define MICG_INSTANTIATE(G)                  \
+  template coloring greedy_color<G>(const G&); \
+  template coloring greedy_color<G>(           \
+      const G&, std::span<const typename G::vertex_type>);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::color

@@ -5,6 +5,7 @@
 // some orders the result is optimal [Culberson 92].
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -19,33 +20,38 @@ struct coloring {
 };
 
 /// First-fit greedy coloring in natural vertex order (SeqGreedyColoring).
-coloring greedy_color(const micg::graph::csr_graph& g);
+/// Defined for every shipped layout.
+template <micg::graph::CsrGraph G>
+coloring greedy_color(const G& g);
 
 /// First-fit greedy coloring visiting vertices in `order` (a permutation of
 /// the vertex set; checked).
-coloring greedy_color(const micg::graph::csr_graph& g,
-                      std::span<const micg::graph::vertex_t> order);
+template <micg::graph::CsrGraph G>
+coloring greedy_color(const G& g,
+                      std::span<const typename G::vertex_type> order);
 
 /// Scratch array for first-fit: forbidden[c] holds the id of the vertex
 /// currently being colored when color c is forbidden for it. The stamp
 /// trick means the array is initialized once, not once per vertex.
+///
+/// Stamps are stored at 64 bits so one scratch type serves every graph
+/// layout (any vertex id converts losslessly).
 class forbidden_marks {
  public:
   /// Capacity must exceed the largest color that can be encountered;
   /// Delta+2 always suffices for distance-1 first-fit.
-  explicit forbidden_marks(std::size_t capacity)
-      : marks_(capacity, micg::graph::invalid_vertex) {}
+  explicit forbidden_marks(std::size_t capacity) : marks_(capacity, -1) {}
 
   /// Mark `c` as forbidden for vertex `v`. Colors outside capacity are
   /// ignored (they can never be the first-fit answer).
-  void forbid(int c, micg::graph::vertex_t v) {
+  void forbid(int c, std::int64_t v) {
     if (c > 0 && static_cast<std::size_t>(c) < marks_.size()) {
       marks_[static_cast<std::size_t>(c)] = v;
     }
   }
 
   /// Smallest color >= 1 not forbidden for `v`.
-  [[nodiscard]] int first_allowed(micg::graph::vertex_t v) const {
+  [[nodiscard]] int first_allowed(std::int64_t v) const {
     int c = 1;
     while (static_cast<std::size_t>(c) < marks_.size() &&
            marks_[static_cast<std::size_t>(c)] == v) {
@@ -57,7 +63,7 @@ class forbidden_marks {
   [[nodiscard]] std::size_t capacity() const { return marks_.size(); }
 
  private:
-  std::vector<micg::graph::vertex_t> marks_;
+  std::vector<std::int64_t> marks_;
 };
 
 }  // namespace micg::color

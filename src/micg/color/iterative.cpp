@@ -11,9 +11,6 @@
 
 namespace micg::color {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
 namespace {
 
 /// Per-thread forbidden-color scratch, either preallocated per worker id
@@ -53,11 +50,12 @@ class scratch_provider {
 
 }  // namespace
 
-iterative_result iterative_color(const csr_graph& g,
-                                 const iterative_options& opt) {
+template <micg::graph::CsrGraph G>
+iterative_result iterative_color(const G& g, const iterative_options& opt) {
+  using VId = typename G::vertex_type;
   MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
   MICG_CHECK(opt.max_rounds >= 1, "need at least one round");
-  const vertex_t n = g.num_vertices();
+  const VId n = g.num_vertices();
   const auto cap = static_cast<std::size_t>(g.max_degree()) + 2;
 
   // Colors are written/read concurrently by design (speculation): relaxed
@@ -66,8 +64,8 @@ iterative_result iterative_color(const csr_graph& g,
   std::vector<std::atomic<int>> color(static_cast<std::size_t>(n));
   for (auto& c : color) c.store(0, std::memory_order_relaxed);
 
-  std::vector<vertex_t> visit(static_cast<std::size_t>(n));
-  std::iota(visit.begin(), visit.end(), vertex_t{0});
+  std::vector<VId> visit(static_cast<std::size_t>(n));
+  std::iota(visit.begin(), visit.end(), VId{0});
 
   scratch_provider scratch(opt.ex.kind, opt.ex.threads, cap);
   rt::reducer_max<int> maxcolor(opt.ex.threads, 0);
@@ -78,7 +76,7 @@ iterative_result iterative_color(const csr_graph& g,
                      : nullptr;
 
   iterative_result result;
-  std::vector<vertex_t> conflicts(visit.size());
+  std::vector<VId> conflicts(visit.size());
 
   while (!visit.empty()) {
     MICG_CHECK(result.rounds < opt.max_rounds,
@@ -98,8 +96,8 @@ iterative_result iterative_color(const csr_graph& g,
                                          static_cast<std::uint64_t>(e - b));
                     }
                     for (std::int64_t i = b; i < e; ++i) {
-                      const vertex_t v = visit[static_cast<std::size_t>(i)];
-                      for (vertex_t w : g.neighbors(v)) {
+                      const VId v = visit[static_cast<std::size_t>(i)];
+                      for (VId w : g.neighbors(v)) {
                         marks.forbid(color[static_cast<std::size_t>(w)].load(
                                          std::memory_order_relaxed),
                                      v);
@@ -120,10 +118,10 @@ iterative_result iterative_color(const csr_graph& g,
         opt.ex, static_cast<std::int64_t>(visit.size()),
         [&](std::int64_t b, std::int64_t e, int) {
           for (std::int64_t i = b; i < e; ++i) {
-            const vertex_t v = visit[static_cast<std::size_t>(i)];
+            const VId v = visit[static_cast<std::size_t>(i)];
             const int cv = color[static_cast<std::size_t>(v)].load(
                 std::memory_order_relaxed);
-            for (vertex_t w : g.neighbors(v)) {
+            for (VId w : g.neighbors(v)) {
               if (cv == color[static_cast<std::size_t>(w)].load(
                             std::memory_order_relaxed) &&
                   v < w) {
@@ -143,7 +141,7 @@ iterative_result iterative_color(const csr_graph& g,
 
   result.color.resize(static_cast<std::size_t>(n));
   int exact_max = 0;
-  for (vertex_t v = 0; v < n; ++v) {
+  for (VId v = 0; v < n; ++v) {
     const int c =
         color[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
     result.color[static_cast<std::size_t>(v)] = c;
@@ -168,5 +166,11 @@ iterative_result iterative_color(const csr_graph& g,
   }
   return result;
 }
+
+#define MICG_INSTANTIATE(G)                     \
+  template iterative_result iterative_color<G>( \
+      const G&, const iterative_options&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::color

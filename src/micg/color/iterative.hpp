@@ -43,7 +43,8 @@ struct iterative_result {
 
 /// Run the iterative parallel coloring. The result is always a valid
 /// coloring (a MICG_CHECK enforces convergence within max_rounds).
-iterative_result iterative_color(const micg::graph::csr_graph& g,
-                                 const iterative_options& opt);
+/// Defined for every shipped layout.
+template <micg::graph::CsrGraph G>
+iterative_result iterative_color(const G& g, const iterative_options& opt);
 
 }  // namespace micg::color

@@ -1,5 +1,6 @@
 #include "micg/color/jones_plassmann.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 
@@ -9,13 +10,11 @@
 
 namespace micg::color {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
-iterative_result jones_plassmann_color(const csr_graph& g,
-                                       const jp_options& opt) {
+template <micg::graph::CsrGraph G>
+iterative_result jones_plassmann_color(const G& g, const jp_options& opt) {
+  using VId = typename G::vertex_type;
   MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
-  const vertex_t n = g.num_vertices();
+  const VId n = g.num_vertices();
 
   // Random priorities: a permutation gives distinct values (ties would
   // deadlock the local-max rule).
@@ -28,9 +27,9 @@ iterative_result jones_plassmann_color(const csr_graph& g,
   rt::enumerable_thread_specific<forbidden_marks> scratch(
       opt.ex.threads, [cap] { return forbidden_marks(cap); });
 
-  std::vector<vertex_t> active(static_cast<std::size_t>(n));
-  std::iota(active.begin(), active.end(), vertex_t{0});
-  std::vector<vertex_t> next(active.size());
+  std::vector<VId> active(static_cast<std::size_t>(n));
+  std::iota(active.begin(), active.end(), VId{0});
+  std::vector<VId> next(active.size());
 
   iterative_result result;
   while (!active.empty()) {
@@ -45,10 +44,10 @@ iterative_result jones_plassmann_color(const csr_graph& g,
         [&](std::int64_t b, std::int64_t e, int) {
           forbidden_marks& marks = scratch.local();
           for (std::int64_t i = b; i < e; ++i) {
-            const vertex_t v = active[static_cast<std::size_t>(i)];
+            const VId v = active[static_cast<std::size_t>(i)];
             // Local max among *uncolored* neighbors?
             bool is_max = true;
-            for (vertex_t w : g.neighbors(v)) {
+            for (VId w : g.neighbors(v)) {
               if (color[static_cast<std::size_t>(w)].load(
                       std::memory_order_relaxed) == 0 &&
                   priority[static_cast<std::size_t>(w)] >
@@ -63,7 +62,7 @@ iterative_result jones_plassmann_color(const csr_graph& g,
             }
             // Safe to color: all higher-priority neighbors are done and
             // no same-round neighbor can also be a local max.
-            for (vertex_t w : g.neighbors(v)) {
+            for (VId w : g.neighbors(v)) {
               marks.forbid(color[static_cast<std::size_t>(w)].load(
                                std::memory_order_relaxed),
                            v);
@@ -80,7 +79,7 @@ iterative_result jones_plassmann_color(const csr_graph& g,
 
   result.color.resize(static_cast<std::size_t>(n));
   int maxc = 0;
-  for (vertex_t v = 0; v < n; ++v) {
+  for (VId v = 0; v < n; ++v) {
     const int c =
         color[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
     result.color[static_cast<std::size_t>(v)] = c;
@@ -89,5 +88,11 @@ iterative_result jones_plassmann_color(const csr_graph& g,
   result.num_colors = maxc;
   return result;
 }
+
+#define MICG_INSTANTIATE(G)                           \
+  template iterative_result jones_plassmann_color<G>( \
+      const G&, const jp_options&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::color

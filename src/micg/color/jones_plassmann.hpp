@@ -23,8 +23,8 @@ struct jp_options {
 
 /// Run Jones–Plassmann. The result's `rounds` counts priority rounds and
 /// `conflicts_per_round` is always all-zero (kept for interface parity
-/// with iterative_color).
-iterative_result jones_plassmann_color(const micg::graph::csr_graph& g,
-                                       const jp_options& opt);
+/// with iterative_color). Defined for every shipped layout.
+template <micg::graph::CsrGraph G>
+iterative_result jones_plassmann_color(const G& g, const jp_options& opt);
 
 }  // namespace micg::color

@@ -2,21 +2,20 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "micg/support/assert.hpp"
 
 namespace micg::color {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
-std::vector<vertex_t> largest_first_order(const csr_graph& g) {
-  std::vector<vertex_t> order(static_cast<std::size_t>(g.num_vertices()));
-  std::iota(order.begin(), order.end(), vertex_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](vertex_t a, vertex_t b) {
-                     return g.degree(a) > g.degree(b);
-                   });
+template <micg::graph::CsrGraph G>
+std::vector<typename G::vertex_type> largest_first_order(const G& g) {
+  using VId = typename G::vertex_type;
+  std::vector<VId> order(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(order.begin(), order.end(), VId{0});
+  std::stable_sort(order.begin(), order.end(), [&](VId a, VId b) {
+    return g.degree(a) > g.degree(b);
+  });
   return order;
 }
 
@@ -24,27 +23,29 @@ namespace {
 
 /// Smallest-last elimination; returns (reverse removal order, degeneracy).
 /// Bucket queue implementation, O(|V| + |E|).
-std::pair<std::vector<vertex_t>, int> smallest_last_impl(
-    const csr_graph& g) {
-  const vertex_t n = g.num_vertices();
+template <micg::graph::CsrGraph G>
+std::pair<std::vector<typename G::vertex_type>, int> smallest_last_impl(
+    const G& g) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   std::vector<int> deg(static_cast<std::size_t>(n));
   const auto max_deg = static_cast<std::size_t>(g.max_degree());
-  std::vector<std::vector<vertex_t>> buckets(max_deg + 1);
-  for (vertex_t v = 0; v < n; ++v) {
+  std::vector<std::vector<VId>> buckets(max_deg + 1);
+  for (VId v = 0; v < n; ++v) {
     deg[static_cast<std::size_t>(v)] = static_cast<int>(g.degree(v));
     buckets[static_cast<std::size_t>(g.degree(v))].push_back(v);
   }
   std::vector<bool> removed(static_cast<std::size_t>(n), false);
-  std::vector<vertex_t> removal;
+  std::vector<VId> removal;
   removal.reserve(static_cast<std::size_t>(n));
   int degen = 0;
   std::size_t cursor = 0;  // lowest possibly-non-empty bucket
-  for (vertex_t count = 0; count < n; ++count) {
+  for (VId count = 0; count < n; ++count) {
     // Find the lowest non-empty bucket with a live vertex.
     while (true) {
       while (cursor <= max_deg && buckets[cursor].empty()) ++cursor;
       MICG_CHECK(cursor <= max_deg, "elimination ran out of vertices");
-      const vertex_t v = buckets[cursor].back();
+      const VId v = buckets[cursor].back();
       buckets[cursor].pop_back();
       if (removed[static_cast<std::size_t>(v)] ||
           deg[static_cast<std::size_t>(v)] !=
@@ -54,7 +55,7 @@ std::pair<std::vector<vertex_t>, int> smallest_last_impl(
       removed[static_cast<std::size_t>(v)] = true;
       removal.push_back(v);
       degen = std::max(degen, static_cast<int>(cursor));
-      for (vertex_t w : g.neighbors(v)) {
+      for (VId w : g.neighbors(v)) {
         if (!removed[static_cast<std::size_t>(w)]) {
           const int dw = --deg[static_cast<std::size_t>(w)];
           buckets[static_cast<std::size_t>(dw)].push_back(w);
@@ -72,28 +73,32 @@ std::pair<std::vector<vertex_t>, int> smallest_last_impl(
 
 }  // namespace
 
-std::vector<vertex_t> smallest_last_order(const csr_graph& g) {
+template <micg::graph::CsrGraph G>
+std::vector<typename G::vertex_type> smallest_last_order(const G& g) {
   return smallest_last_impl(g).first;
 }
 
-int degeneracy(const csr_graph& g) {
+template <micg::graph::CsrGraph G>
+int degeneracy(const G& g) {
   if (g.num_vertices() == 0) return 0;
   return smallest_last_impl(g).second;
 }
 
-std::vector<vertex_t> incidence_order(const csr_graph& g) {
-  const vertex_t n = g.num_vertices();
+template <micg::graph::CsrGraph G>
+std::vector<typename G::vertex_type> incidence_order(const G& g) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   std::vector<int> back_degree(static_cast<std::size_t>(n), 0);
   std::vector<bool> visited(static_cast<std::size_t>(n), false);
   const auto max_deg = static_cast<std::size_t>(g.max_degree());
   // Bucket queue keyed by back-degree (monotone non-decreasing per
   // vertex), highest bucket first.
-  std::vector<std::vector<vertex_t>> buckets(max_deg + 1);
-  for (vertex_t v = 0; v < n; ++v) buckets[0].push_back(v);
-  std::vector<vertex_t> order;
+  std::vector<std::vector<VId>> buckets(max_deg + 1);
+  for (VId v = 0; v < n; ++v) buckets[0].push_back(v);
+  std::vector<VId> order;
   order.reserve(static_cast<std::size_t>(n));
   std::size_t cursor = 0;  // highest possibly-non-empty bucket
-  for (vertex_t count = 0; count < n; ++count) {
+  for (VId count = 0; count < n; ++count) {
     for (;;) {
       while (buckets[cursor].empty()) {
         MICG_CHECK(cursor > 0 || !buckets[0].empty(),
@@ -101,7 +106,7 @@ std::vector<vertex_t> incidence_order(const csr_graph& g) {
         if (cursor == 0) break;
         --cursor;
       }
-      const vertex_t v = buckets[cursor].back();
+      const VId v = buckets[cursor].back();
       buckets[cursor].pop_back();
       if (visited[static_cast<std::size_t>(v)] ||
           back_degree[static_cast<std::size_t>(v)] !=
@@ -110,7 +115,7 @@ std::vector<vertex_t> incidence_order(const csr_graph& g) {
       }
       visited[static_cast<std::size_t>(v)] = true;
       order.push_back(v);
-      for (vertex_t w : g.neighbors(v)) {
+      for (VId w : g.neighbors(v)) {
         if (!visited[static_cast<std::size_t>(w)]) {
           const int bw = ++back_degree[static_cast<std::size_t>(w)];
           buckets[static_cast<std::size_t>(bw)].push_back(w);
@@ -124,5 +129,16 @@ std::vector<vertex_t> incidence_order(const csr_graph& g) {
   }
   return order;
 }
+
+#define MICG_INSTANTIATE(G)                                              \
+  template std::vector<typename G::vertex_type> largest_first_order<G>(  \
+      const G&);                                                         \
+  template std::vector<typename G::vertex_type> smallest_last_order<G>(  \
+      const G&);                                                         \
+  template std::vector<typename G::vertex_type> incidence_order<G>(      \
+      const G&);                                                         \
+  template int degeneracy<G>(const G&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::color

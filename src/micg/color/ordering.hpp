@@ -16,23 +16,24 @@ namespace micg::color {
 
 /// Vertices sorted by non-increasing degree (Welsh–Powell). Stable for
 /// equal degrees (ties in id order), so the result is deterministic.
-std::vector<micg::graph::vertex_t> largest_first_order(
-    const micg::graph::csr_graph& g);
+template <micg::graph::CsrGraph G>
+std::vector<typename G::vertex_type> largest_first_order(const G& g);
 
 /// Matula's smallest-last order: repeatedly remove a minimum-degree
 /// vertex from the (shrinking) graph; color in reverse removal order.
 /// First-fit on this order uses at most degeneracy+1 colors.
-std::vector<micg::graph::vertex_t> smallest_last_order(
-    const micg::graph::csr_graph& g);
+template <micg::graph::CsrGraph G>
+std::vector<typename G::vertex_type> smallest_last_order(const G& g);
 
 /// Incidence order: grow from vertex 0, always next visiting the
 /// unvisited vertex with the most already-visited neighbors.
-std::vector<micg::graph::vertex_t> incidence_order(
-    const micg::graph::csr_graph& g);
+template <micg::graph::CsrGraph G>
+std::vector<typename G::vertex_type> incidence_order(const G& g);
 
 /// Degeneracy of the graph (max over the smallest-last elimination of the
 /// degree at removal time); a lower bound quality yardstick since
 /// first-fit on smallest-last uses <= degeneracy+1 colors.
-int degeneracy(const micg::graph::csr_graph& g);
+template <micg::graph::CsrGraph G>
+int degeneracy(const G& g);
 
 }  // namespace micg::color

@@ -6,15 +6,14 @@
 
 namespace micg::color {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
-bool is_valid_coloring(const csr_graph& g, std::span<const int> color) {
-  const vertex_t n = g.num_vertices();
-  if (static_cast<vertex_t>(color.size()) != n) return false;
-  for (vertex_t v = 0; v < n; ++v) {
+template <micg::graph::CsrGraph G>
+bool is_valid_coloring(const G& g, std::span<const int> color) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
+  if (static_cast<VId>(color.size()) != n) return false;
+  for (VId v = 0; v < n; ++v) {
     if (color[static_cast<std::size_t>(v)] < 1) return false;
-    for (vertex_t w : g.neighbors(v)) {
+    for (VId w : g.neighbors(v)) {
       if (color[static_cast<std::size_t>(v)] ==
           color[static_cast<std::size_t>(w)]) {
         return false;
@@ -24,14 +23,16 @@ bool is_valid_coloring(const csr_graph& g, std::span<const int> color) {
   return true;
 }
 
-std::vector<vertex_t> find_conflicts(const csr_graph& g,
-                                     std::span<const int> color) {
-  MICG_CHECK(static_cast<vertex_t>(color.size()) == g.num_vertices(),
+template <micg::graph::CsrGraph G>
+std::vector<typename G::vertex_type> find_conflicts(
+    const G& g, std::span<const int> color) {
+  using VId = typename G::vertex_type;
+  MICG_CHECK(static_cast<VId>(color.size()) == g.num_vertices(),
              "color array size mismatch");
-  std::vector<vertex_t> conflicts;
-  const vertex_t n = g.num_vertices();
-  for (vertex_t v = 0; v < n; ++v) {
-    for (vertex_t w : g.neighbors(v)) {
+  std::vector<VId> conflicts;
+  const VId n = g.num_vertices();
+  for (VId v = 0; v < n; ++v) {
+    for (VId w : g.neighbors(v)) {
       if (color[static_cast<std::size_t>(v)] ==
               color[static_cast<std::size_t>(w)] &&
           v < w) {
@@ -48,5 +49,13 @@ int count_colors(std::span<const int> color) {
   for (int c : color) maxc = std::max(maxc, c);
   return maxc;
 }
+
+#define MICG_INSTANTIATE(G)                                     \
+  template bool is_valid_coloring<G>(const G&,                  \
+                                     std::span<const int>);     \
+  template std::vector<typename G::vertex_type>                 \
+  find_conflicts<G>(const G&, std::span<const int>);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::color

@@ -10,13 +10,14 @@
 namespace micg::color {
 
 /// True iff every vertex has a color >= 1 and no edge is monochromatic.
-bool is_valid_coloring(const micg::graph::csr_graph& g,
-                       std::span<const int> color);
+template <micg::graph::CsrGraph G>
+bool is_valid_coloring(const G& g, std::span<const int> color);
 
 /// Vertices that conflict with a neighbor (v is reported when it has a
 /// neighbor w with color[v] == color[w] and v < w, mirroring Algorithm 4).
-std::vector<micg::graph::vertex_t> find_conflicts(
-    const micg::graph::csr_graph& g, std::span<const int> color);
+template <micg::graph::CsrGraph G>
+std::vector<typename G::vertex_type> find_conflicts(
+    const G& g, std::span<const int> color);
 
 /// Number of distinct colors used (= max color for first-fit colorings).
 int count_colors(std::span<const int> color);

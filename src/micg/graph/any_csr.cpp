@@ -1,0 +1,99 @@
+#include "micg/graph/any_csr.hpp"
+
+#include <limits>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::graph {
+
+const char* layout_name(csr_layout l) {
+  switch (l) {
+    case csr_layout::v32e32: return "csr32";
+    case csr_layout::v32e64: return "csr32e64";
+    case csr_layout::v64e64: return "csr64";
+  }
+  return "unknown";
+}
+
+csr_layout layout_from_name(const std::string& name) {
+  for (csr_layout l : {csr_layout::v32e32, csr_layout::v32e64,
+                       csr_layout::v64e64}) {
+    if (name == layout_name(l)) return l;
+  }
+  MICG_CHECK(false, "unknown csr layout name: " + name);
+  return csr_layout::v32e64;  // unreachable
+}
+
+csr_layout select_layout(std::int64_t num_vertices,
+                         std::int64_t num_directed_edges) {
+  MICG_CHECK(num_vertices >= 0 && num_directed_edges >= 0,
+             "negative graph dimensions");
+  constexpr auto max32 =
+      static_cast<std::int64_t>(std::numeric_limits<std::int32_t>::max());
+  // xadj has n+1 entries, so the vertex *count* itself must stay below the
+  // id limit (ids are 0..n-1; n-1 <= max is implied by n <= max).
+  if (num_vertices > max32) return csr_layout::v64e64;
+  if (num_directed_edges > max32) return csr_layout::v32e64;
+  return csr_layout::v32e32;
+}
+
+std::int64_t any_csr::num_vertices() const {
+  return visit([](const auto& g) {
+    return static_cast<std::int64_t>(g.num_vertices());
+  });
+}
+
+std::int64_t any_csr::num_edges() const {
+  return visit(
+      [](const auto& g) { return static_cast<std::int64_t>(g.num_edges()); });
+}
+
+std::int64_t any_csr::num_directed_edges() const {
+  return visit([](const auto& g) {
+    return static_cast<std::int64_t>(g.num_directed_edges());
+  });
+}
+
+std::int64_t any_csr::max_degree() const {
+  return visit(
+      [](const auto& g) { return static_cast<std::int64_t>(g.max_degree()); });
+}
+
+std::size_t any_csr::index_bytes() const {
+  return visit([](const auto& g) { return g.index_bytes(); });
+}
+
+void any_csr::validate() const {
+  visit([](const auto& g) { g.validate(); });
+}
+
+namespace {
+
+template <CsrGraph From>
+any_csr convert_to(const From& g, csr_layout target) {
+  switch (target) {
+    case csr_layout::v32e32: return convert_csr<csr32>(g);
+    case csr_layout::v32e64: return convert_csr<csr_graph>(g);
+    case csr_layout::v64e64: return convert_csr<csr64>(g);
+  }
+  MICG_CHECK(false, "unknown target layout");
+  return {};  // unreachable
+}
+
+}  // namespace
+
+any_csr to_narrowest(any_csr g) {
+  const csr_layout best = select_layout(g.num_vertices(),
+                                        g.num_directed_edges());
+  if (best == g.layout()) return g;
+  return to_layout(g, best);
+}
+
+any_csr to_narrowest(csr_graph g) { return to_narrowest(any_csr(std::move(g))); }
+
+any_csr to_layout(const any_csr& g, csr_layout target) {
+  if (g.layout() == target) return g;
+  return g.visit([target](const auto& c) { return convert_to(c, target); });
+}
+
+}  // namespace micg::graph

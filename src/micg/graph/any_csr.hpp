@@ -1,0 +1,97 @@
+// Runtime layout dispatch: a graph whose index widths were chosen from the
+// input's size rather than at compile time.
+//
+// IO readers, the builder's build_auto(), the CLI, benches and examples
+// hold an any_csr and visit() it; the visitor is instantiated once per
+// shipped layout (csr32 / csr_graph / csr64), so every kernel call inside
+// the visitor statically binds to the right basic_csr instantiation.
+//
+// Dispatch rule (select_layout): the narrowest layout whose index widths
+// represent |V| and 2|E| — 32-bit edge offsets when 2|E| < 2^31 (halving
+// xadj traffic, the dominant array for high-degree graphs), 64-bit vertex
+// ids only when |V| itself needs them. Overflowing a chosen layout is a
+// hard micg::check_error, never a truncation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "micg/graph/csr.hpp"
+
+namespace micg::graph {
+
+/// The shipped layouts, narrowest first.
+enum class csr_layout {
+  v32e32,  ///< csr32: 32-bit vertex ids, 32-bit edge offsets
+  v32e64,  ///< csr_graph: 32-bit vertex ids, 64-bit edge offsets
+  v64e64,  ///< csr64: 64-bit everything
+};
+
+/// Display name ("csr32", "csr32e64", "csr64").
+const char* layout_name(csr_layout l);
+
+/// Inverse of layout_name; throws micg::check_error on unknown names.
+csr_layout layout_from_name(const std::string& name);
+
+/// Narrowest layout that represents `num_vertices` vertices and
+/// `num_directed_edges` adjacency entries (pass 2|E|, the xadj back value).
+csr_layout select_layout(std::int64_t num_vertices,
+                         std::int64_t num_directed_edges);
+
+/// A graph in one of the shipped layouts, chosen at runtime.
+class any_csr {
+ public:
+  any_csr() = default;
+  any_csr(csr32 g) : g_(std::move(g)) {}
+  any_csr(csr_graph g) : g_(std::move(g)) {}
+  any_csr(csr64 g) : g_(std::move(g)) {}
+
+  [[nodiscard]] csr_layout layout() const {
+    switch (g_.index()) {
+      case 0: return csr_layout::v32e32;
+      case 1: return csr_layout::v32e64;
+      default: return csr_layout::v64e64;
+    }
+  }
+
+  /// Apply `f` to the concrete basic_csr. `f` must accept every shipped
+  /// layout (generic lambdas do).
+  template <class F>
+  decltype(auto) visit(F&& f) const {
+    return std::visit(std::forward<F>(f), g_);
+  }
+
+  /// Width-independent queries (widened to 64-bit).
+  [[nodiscard]] std::int64_t num_vertices() const;
+  [[nodiscard]] std::int64_t num_edges() const;
+  [[nodiscard]] std::int64_t num_directed_edges() const;
+  [[nodiscard]] std::int64_t max_degree() const;
+  [[nodiscard]] std::size_t index_bytes() const;
+
+  /// Concrete access; throws micg::check_error when the held layout
+  /// differs (use visit() for layout-generic code).
+  template <CsrGraph G>
+  [[nodiscard]] const G& get() const {
+    const G* g = std::get_if<G>(&g_);
+    MICG_CHECK(g != nullptr, "any_csr holds a different layout");
+    return *g;
+  }
+
+  /// Re-checks representation invariants of the held graph.
+  void validate() const;
+
+ private:
+  std::variant<csr32, csr_graph, csr64> g_;
+};
+
+/// Repack into the narrowest layout that fits (no-op moves when `g`
+/// already is the narrowest).
+any_csr to_narrowest(any_csr g);
+any_csr to_narrowest(csr_graph g);
+
+/// Convert to an explicit layout; hard-errors if the graph does not fit.
+any_csr to_layout(const any_csr& g, csr_layout target);
+
+}  // namespace micg::graph

@@ -1,69 +1,13 @@
 #include "micg/graph/builder.hpp"
 
-#include <algorithm>
-
-#include "micg/support/assert.hpp"
-
+// basic_builder is header-only for the same reason as basic_csr (tests
+// build deliberately tiny layouts to hit overflow paths); the shipped
+// layouts are instantiated once here.
 namespace micg::graph {
 
-graph_builder::graph_builder(vertex_t num_vertices) : n_(num_vertices) {
-  MICG_CHECK(num_vertices >= 0, "negative vertex count");
-}
-
-void graph_builder::add_edge(vertex_t u, vertex_t v) {
-  MICG_ASSERT(u >= 0 && u < n_ && v >= 0 && v < n_);
-  edges_.emplace_back(u, v);
-}
-
-void graph_builder::reserve(std::size_t num_edges) {
-  edges_.reserve(num_edges);
-}
-
-csr_graph graph_builder::build() && {
-  const auto n = static_cast<std::size_t>(n_);
-
-  // Pass 1: count both directions, skipping self loops.
-  std::vector<edge_t> xadj(n + 1, 0);
-  for (const auto& [u, v] : edges_) {
-    MICG_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_, "edge id out of range");
-    if (u == v) continue;
-    ++xadj[static_cast<std::size_t>(u) + 1];
-    ++xadj[static_cast<std::size_t>(v) + 1];
-  }
-  for (std::size_t i = 0; i < n; ++i) xadj[i + 1] += xadj[i];
-
-  // Pass 2: scatter.
-  std::vector<vertex_t> adj(static_cast<std::size_t>(xadj[n]));
-  std::vector<edge_t> cursor(xadj.begin(), xadj.end() - 1);
-  for (const auto& [u, v] : edges_) {
-    if (u == v) continue;
-    adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
-    adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
-  }
-  edges_.clear();
-  edges_.shrink_to_fit();
-
-  // Pass 3: sort each list and drop duplicates, compacting in place.
-  std::vector<edge_t> new_xadj(n + 1, 0);
-  std::size_t write = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    const auto b = static_cast<std::size_t>(xadj[v]);
-    const auto e = static_cast<std::size_t>(xadj[v + 1]);
-    std::sort(adj.begin() + static_cast<std::ptrdiff_t>(b),
-              adj.begin() + static_cast<std::ptrdiff_t>(e));
-    std::size_t kept_begin = write;
-    for (std::size_t i = b; i < e; ++i) {
-      if (i > b && adj[i] == adj[i - 1]) continue;
-      adj[write++] = adj[i];
-    }
-    new_xadj[v + 1] = new_xadj[v] +
-                      static_cast<edge_t>(write - kept_begin);
-  }
-  adj.resize(write);
-  adj.shrink_to_fit();
-
-  return csr_graph(std::move(new_xadj), std::move(adj));
-}
+template class basic_builder<std::int32_t, std::int32_t>;
+template class basic_builder<std::int32_t, std::int64_t>;
+template class basic_builder<std::int64_t, std::int64_t>;
 
 csr_graph csr_from_edges(
     vertex_t num_vertices,

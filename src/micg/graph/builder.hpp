@@ -1,39 +1,129 @@
 // Edge-list to CSR conversion: symmetrize, sort, deduplicate, drop self
 // loops. All generators and the MatrixMarket reader funnel through here so
-// every csr_graph in the library satisfies the same invariants.
+// every graph in the library satisfies the same invariants.
+//
+// basic_builder is templated on the target layout and *hard-errors* (throws
+// micg::check_error) when the accumulated edges cannot be represented at
+// that layout's index widths — overflow is never a silent truncation.
+// build_auto() instead picks the narrowest shipped layout that fits the
+// final (deduplicated) graph and returns an any_csr.
 #pragma once
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 #include <vector>
 
+#include "micg/graph/any_csr.hpp"
 #include "micg/graph/csr.hpp"
+#include "micg/support/assert.hpp"
 
 namespace micg::graph {
 
 /// Accumulates undirected edges, then builds a canonical CSR graph.
-class graph_builder {
+template <std::signed_integral VId, std::signed_integral EId>
+class basic_builder {
  public:
-  explicit graph_builder(vertex_t num_vertices);
+  using graph_type = basic_csr<VId, EId>;
+
+  explicit basic_builder(VId num_vertices) : n_(num_vertices) {
+    MICG_CHECK(num_vertices >= 0, "negative vertex count");
+  }
 
   /// Record the undirected edge {u, v}. Self loops and duplicates are
   /// accepted here and removed at build(). Ids must be in range.
-  void add_edge(vertex_t u, vertex_t v);
+  void add_edge(VId u, VId v) {
+    MICG_ASSERT(u >= 0 && u < n_ && v >= 0 && v < n_);
+    edges_.emplace_back(u, v);
+  }
 
   /// Pre-size the internal edge buffer.
-  void reserve(std::size_t num_edges);
+  void reserve(std::size_t num_edges) { edges_.reserve(num_edges); }
 
   [[nodiscard]] std::size_t pending_edges() const { return edges_.size(); }
 
-  /// Build the graph. The builder is consumed (edge buffer released).
-  csr_graph build() &&;
+  /// Build the graph at this builder's layout. The builder is consumed
+  /// (edge buffer released). Throws micg::check_error if the symmetrized
+  /// adjacency cannot fit EId — the pre-dedup directed count (2 * pending)
+  /// is the checked bound, so a build that would overflow the counting
+  /// pass is refused up front rather than wrapped silently.
+  graph_type build() && {
+    MICG_CHECK(
+        2 * edges_.size() <=
+            static_cast<std::size_t>(std::numeric_limits<EId>::max()),
+        "edge count overflows this layout's edge index width; "
+        "use a wider layout (or build_auto)");
+    const auto n = static_cast<std::size_t>(n_);
+
+    // Pass 1: count both directions, skipping self loops.
+    std::vector<EId> xadj(n + 1, 0);
+    for (const auto& [u, v] : edges_) {
+      MICG_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_,
+                 "edge id out of range");
+      if (u == v) continue;
+      ++xadj[static_cast<std::size_t>(u) + 1];
+      ++xadj[static_cast<std::size_t>(v) + 1];
+    }
+    for (std::size_t i = 0; i < n; ++i) xadj[i + 1] += xadj[i];
+
+    // Pass 2: scatter.
+    std::vector<VId> adj(static_cast<std::size_t>(xadj[n]));
+    std::vector<EId> cursor(xadj.begin(), xadj.end() - 1);
+    for (const auto& [u, v] : edges_) {
+      if (u == v) continue;
+      adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] =
+          v;
+      adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] =
+          u;
+    }
+    edges_.clear();
+    edges_.shrink_to_fit();
+
+    // Pass 3: sort each list and drop duplicates, compacting in place.
+    std::vector<EId> new_xadj(n + 1, 0);
+    std::size_t write = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto b = static_cast<std::size_t>(xadj[v]);
+      const auto e = static_cast<std::size_t>(xadj[v + 1]);
+      std::sort(adj.begin() + static_cast<std::ptrdiff_t>(b),
+                adj.begin() + static_cast<std::ptrdiff_t>(e));
+      std::size_t kept_begin = write;
+      for (std::size_t i = b; i < e; ++i) {
+        if (i > b && adj[i] == adj[i - 1]) continue;
+        adj[write++] = adj[i];
+      }
+      new_xadj[v + 1] =
+          new_xadj[v] + static_cast<EId>(write - kept_begin);
+    }
+    adj.resize(write);
+    adj.shrink_to_fit();
+
+    return graph_type(std::move(new_xadj), std::move(adj));
+  }
 
  private:
-  vertex_t n_;
-  std::vector<std::pair<vertex_t, vertex_t>> edges_;
+  VId n_;
+  std::vector<std::pair<VId, VId>> edges_;
 };
 
+/// Default-layout builder (the historical graph_builder).
+using graph_builder = basic_builder<vertex_t, edge_t>;
+
+/// 64-bit builder for graphs whose vertex count exceeds 2^31.
+using graph_builder64 = basic_builder<std::int64_t, std::int64_t>;
+
+/// Build at the narrowest shipped layout that represents the final
+/// (deduplicated) graph: the edges are materialized at the builder's own
+/// widths first, then repacked downward when they fit. The builder is
+/// consumed.
+template <std::signed_integral VId, std::signed_integral EId>
+any_csr build_auto(basic_builder<VId, EId>&& b) {
+  return to_narrowest(any_csr(std::move(b).build()));
+}
+
 /// One-shot helper.
-csr_graph csr_from_edges(vertex_t num_vertices,
-                         const std::vector<std::pair<vertex_t, vertex_t>>& edges);
+csr_graph csr_from_edges(
+    vertex_t num_vertices,
+    const std::vector<std::pair<vertex_t, vertex_t>>& edges);
 
 }  // namespace micg::graph

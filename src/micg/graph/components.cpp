@@ -7,16 +7,18 @@
 
 namespace micg::graph {
 
-components_result parallel_components(const csr_graph& g,
-                                      const rt::exec& ex) {
+template <CsrGraph G>
+basic_components_result<typename G::vertex_type> parallel_components(
+    const G& g, const rt::exec& ex) {
+  using VId = typename G::vertex_type;
   MICG_CHECK(ex.threads >= 1, "need at least one thread");
-  const vertex_t n = g.num_vertices();
-  components_result r;
+  const VId n = g.num_vertices();
+  basic_components_result<VId> r;
 
   // Atomic labels: hooking races are benign (min-combining converges
   // regardless of interleaving) but must be data-race-free.
-  std::vector<std::atomic<vertex_t>> label(static_cast<std::size_t>(n));
-  for (vertex_t v = 0; v < n; ++v) {
+  std::vector<std::atomic<VId>> label(static_cast<std::size_t>(n));
+  for (VId v = 0; v < n; ++v) {
     label[static_cast<std::size_t>(v)].store(v, std::memory_order_relaxed);
   }
 
@@ -30,17 +32,17 @@ components_result parallel_components(const csr_graph& g,
     rt::for_range(ex, n, [&](std::int64_t b, std::int64_t e, int) {
       bool local_changed = false;
       for (std::int64_t i = b; i < e; ++i) {
-        const auto v = static_cast<vertex_t>(i);
-        vertex_t best =
+        const auto v = static_cast<VId>(i);
+        VId best =
             label[static_cast<std::size_t>(v)].load(
                 std::memory_order_relaxed);
-        for (vertex_t w : g.neighbors(v)) {
+        for (VId w : g.neighbors(v)) {
           best = std::min(best,
                           label[static_cast<std::size_t>(w)].load(
                               std::memory_order_relaxed));
         }
         // min-update; lost races just mean another thread wrote smaller.
-        vertex_t cur = label[static_cast<std::size_t>(v)].load(
+        VId cur = label[static_cast<std::size_t>(v)].load(
             std::memory_order_relaxed);
         while (best < cur &&
                !label[static_cast<std::size_t>(v)]
@@ -59,10 +61,10 @@ components_result parallel_components(const csr_graph& g,
     // Compress: pointer-jump labels toward roots (label[label[v]]).
     rt::for_range(ex, n, [&](std::int64_t b, std::int64_t e, int) {
       for (std::int64_t i = b; i < e; ++i) {
-        const auto v = static_cast<vertex_t>(i);
-        vertex_t l = label[static_cast<std::size_t>(v)].load(
+        const auto v = static_cast<VId>(i);
+        VId l = label[static_cast<std::size_t>(v)].load(
             std::memory_order_relaxed);
-        vertex_t ll = label[static_cast<std::size_t>(l)].load(
+        VId ll = label[static_cast<std::size_t>(l)].load(
             std::memory_order_relaxed);
         while (ll < l) {
           label[static_cast<std::size_t>(v)].store(
@@ -76,12 +78,18 @@ components_result parallel_components(const csr_graph& g,
   }
 
   r.label.resize(static_cast<std::size_t>(n));
-  for (vertex_t v = 0; v < n; ++v) {
+  for (VId v = 0; v < n; ++v) {
     r.label[static_cast<std::size_t>(v)] =
         label[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
     if (r.label[static_cast<std::size_t>(v)] == v) ++r.num_components;
   }
   return r;
 }
+
+#define MICG_INSTANTIATE(G)                                               \
+  template basic_components_result<typename G::vertex_type>               \
+  parallel_components<G>(const G&, const rt::exec&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::graph

@@ -11,15 +11,20 @@
 
 namespace micg::graph {
 
-struct components_result {
+template <class VId>
+struct basic_components_result {
   /// label[v]: smallest vertex id in v's component (canonical form).
-  std::vector<vertex_t> label;
-  vertex_t num_components = 0;
+  std::vector<VId> label;
+  VId num_components = 0;
   int rounds = 0;  ///< hook+compress iterations until fixpoint
 };
 
-/// Label-propagation connected components.
-components_result parallel_components(const csr_graph& g,
-                                      const rt::exec& ex);
+using components_result = basic_components_result<vertex_t>;
+
+/// Label-propagation connected components. Defined for every shipped
+/// layout (explicit instantiations in components.cpp).
+template <CsrGraph G>
+basic_components_result<typename G::vertex_type> parallel_components(
+    const G& g, const rt::exec& ex);
 
 }  // namespace micg::graph

@@ -1,48 +1,13 @@
 #include "micg/graph/csr.hpp"
 
-#include <algorithm>
-
-#include "micg/support/assert.hpp"
-
+// basic_csr is header-only (tests instantiate deliberately tiny layouts
+// like basic_csr<int16_t, int16_t> to exercise overflow paths cheaply);
+// the shipped layouts are instantiated once here so downstream translation
+// units that only use the aliases do not each re-instantiate the class.
 namespace micg::graph {
 
-csr_graph::csr_graph(std::vector<edge_t> xadj, std::vector<vertex_t> adj)
-    : xadj_(std::move(xadj)), adj_(std::move(adj)) {
-  MICG_CHECK(!xadj_.empty() && xadj_.front() == 0,
-             "xadj must start with 0");
-  MICG_CHECK(xadj_.back() == static_cast<edge_t>(adj_.size()),
-             "xadj must end at the adjacency size");
-  const vertex_t n = num_vertices();
-  for (vertex_t v = 0; v < n; ++v) {
-    max_degree_ = std::max(max_degree_, degree(v));
-  }
-  // Full invariant validation is O(|E| log Delta); callers that construct
-  // from untrusted data (e.g. MatrixMarket files) call validate() itself.
-}
-
-void csr_graph::validate() const {
-  const vertex_t n = num_vertices();
-  MICG_CHECK(!xadj_.empty() && xadj_.front() == 0, "bad xadj prefix");
-  MICG_CHECK(xadj_.back() == static_cast<edge_t>(adj_.size()),
-             "bad xadj suffix");
-  for (vertex_t v = 0; v < n; ++v) {
-    MICG_CHECK(xadj_[static_cast<std::size_t>(v)] <=
-                   xadj_[static_cast<std::size_t>(v) + 1],
-               "xadj must be non-decreasing");
-    auto nbrs = neighbors(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const vertex_t w = nbrs[i];
-      MICG_CHECK(w >= 0 && w < n, "neighbor id out of range");
-      MICG_CHECK(w != v, "self loop present");
-      if (i > 0) {
-        MICG_CHECK(nbrs[i - 1] < w, "adjacency not sorted/deduplicated");
-      }
-      // Symmetry: v must appear in w's (sorted) list.
-      auto back = neighbors(w);
-      MICG_CHECK(std::binary_search(back.begin(), back.end(), v),
-                 "adjacency not symmetric");
-    }
-  }
-}
+template class basic_csr<std::int32_t, std::int32_t>;
+template class basic_csr<std::int32_t, std::int64_t>;
+template class basic_csr<std::int64_t, std::int64_t>;
 
 }  // namespace micg::graph

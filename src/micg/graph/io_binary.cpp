@@ -11,15 +11,20 @@ namespace micg::graph {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4d49434752415048ULL;  // "MICGRAPH"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 
+// Same 32-byte layout as version 1, with the old reserved word split into
+// the two index widths (version-1 writers always wrote it as zero, so the
+// reader can recover the implicit 4/8 widths from the version field alone).
 struct header {
   std::uint64_t magic;
   std::uint32_t version;
-  std::uint32_t reserved;
+  std::uint16_t vid_bytes;
+  std::uint16_t eid_bytes;
   std::int64_t num_vertices;
   std::int64_t adj_size;
 };
+static_assert(sizeof(header) == 32);
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -32,43 +37,100 @@ void read_pod(std::istream& in, T& value) {
   MICG_CHECK(in.good(), "truncated binary graph stream");
 }
 
+template <std::signed_integral VId, std::signed_integral EId>
+basic_csr<VId, EId> read_arrays(std::istream& in, std::int64_t num_vertices,
+                                std::int64_t adj_size) {
+  std::vector<EId> xadj(static_cast<std::size_t>(num_vertices) + 1);
+  in.read(reinterpret_cast<char*>(xadj.data()),
+          static_cast<std::streamsize>(xadj.size() * sizeof(EId)));
+  MICG_CHECK(in.good(), "truncated xadj array");
+  std::vector<VId> adj(static_cast<std::size_t>(adj_size));
+  in.read(reinterpret_cast<char*>(adj.data()),
+          static_cast<std::streamsize>(adj.size() * sizeof(VId)));
+  MICG_CHECK(in.good(), "truncated adjacency array");
+  basic_csr<VId, EId> g(std::move(xadj), std::move(adj));
+  g.validate();
+  return g;
+}
+
 }  // namespace
 
-void write_binary(std::ostream& out, const csr_graph& g) {
-  header h{kMagic, kVersion, 0, g.num_vertices(),
-           g.num_directed_edges()};
+template <CsrGraph G>
+void write_binary(std::ostream& out, const G& g) {
+  using VId = typename G::vertex_type;
+  using EId = typename G::edge_type;
+  header h{kMagic,
+           kVersion,
+           static_cast<std::uint16_t>(sizeof(VId)),
+           static_cast<std::uint16_t>(sizeof(EId)),
+           static_cast<std::int64_t>(g.num_vertices()),
+           static_cast<std::int64_t>(g.num_directed_edges())};
   write_pod(out, h);
   out.write(reinterpret_cast<const char*>(g.xadj().data()),
-            static_cast<std::streamsize>(g.xadj().size() * sizeof(edge_t)));
+            static_cast<std::streamsize>(g.xadj().size() * sizeof(EId)));
   out.write(reinterpret_cast<const char*>(g.adj().data()),
-            static_cast<std::streamsize>(g.adj().size() * sizeof(vertex_t)));
+            static_cast<std::streamsize>(g.adj().size() * sizeof(VId)));
   MICG_CHECK(out.good(), "binary graph write failed");
 }
 
-void save_binary(const std::string& path, const csr_graph& g) {
+void write_binary(std::ostream& out, const any_csr& g) {
+  g.visit([&out](const auto& c) { write_binary(out, c); });
+}
+
+template <CsrGraph G>
+void save_binary(const std::string& path, const G& g) {
   std::ofstream out(path, std::ios::binary);
   MICG_CHECK(out.good(), "cannot open " + path + " for writing");
   write_binary(out, g);
 }
 
-csr_graph read_binary(std::istream& in) {
+void save_binary(const std::string& path, const any_csr& g) {
+  g.visit([&path](const auto& c) { save_binary(path, c); });
+}
+
+any_csr read_binary_any(std::istream& in) {
   header h{};
   read_pod(in, h);
   MICG_CHECK(h.magic == kMagic, "not a micgraph binary file");
-  MICG_CHECK(h.version == kVersion, "unsupported binary graph version");
+  MICG_CHECK(h.version == 1 || h.version == 2,
+             "unsupported binary graph version");
   MICG_CHECK(h.num_vertices >= 0 && h.adj_size >= 0,
              "corrupt binary graph header");
-  std::vector<edge_t> xadj(static_cast<std::size_t>(h.num_vertices) + 1);
-  in.read(reinterpret_cast<char*>(xadj.data()),
-          static_cast<std::streamsize>(xadj.size() * sizeof(edge_t)));
-  MICG_CHECK(in.good(), "truncated xadj array");
-  std::vector<vertex_t> adj(static_cast<std::size_t>(h.adj_size));
-  in.read(reinterpret_cast<char*>(adj.data()),
-          static_cast<std::streamsize>(adj.size() * sizeof(vertex_t)));
-  MICG_CHECK(in.good(), "truncated adjacency array");
-  csr_graph g(std::move(xadj), std::move(adj));
-  g.validate();
-  return g;
+  std::uint32_t vid_bytes = h.vid_bytes;
+  std::uint32_t eid_bytes = h.eid_bytes;
+  if (h.version == 1) {
+    // Version 1 had a zero reserved word where the widths now live and
+    // always stored the historical csr_graph layout.
+    MICG_CHECK(vid_bytes == 0 && eid_bytes == 0,
+               "corrupt version-1 binary graph header");
+    vid_bytes = sizeof(vertex_t);
+    eid_bytes = sizeof(edge_t);
+  }
+  if (vid_bytes == 4 && eid_bytes == 4) {
+    return read_arrays<std::int32_t, std::int32_t>(in, h.num_vertices,
+                                                   h.adj_size);
+  }
+  if (vid_bytes == 4 && eid_bytes == 8) {
+    return read_arrays<std::int32_t, std::int64_t>(in, h.num_vertices,
+                                                   h.adj_size);
+  }
+  if (vid_bytes == 8 && eid_bytes == 8) {
+    return read_arrays<std::int64_t, std::int64_t>(in, h.num_vertices,
+                                                   h.adj_size);
+  }
+  MICG_CHECK(false, "binary graph uses an unsupported index layout");
+  return {};  // unreachable
+}
+
+any_csr load_binary_any(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MICG_CHECK(in.good(), "cannot open " + path);
+  return read_binary_any(in);
+}
+
+csr_graph read_binary(std::istream& in) {
+  return to_layout(read_binary_any(in), csr_layout::v32e64)
+      .get<csr_graph>();
 }
 
 csr_graph load_binary(const std::string& path) {
@@ -76,5 +138,11 @@ csr_graph load_binary(const std::string& path) {
   MICG_CHECK(in.good(), "cannot open " + path);
   return read_binary(in);
 }
+
+#define MICG_INSTANTIATE(G)                                \
+  template void write_binary<G>(std::ostream&, const G&);  \
+  template void save_binary<G>(const std::string&, const G&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::graph

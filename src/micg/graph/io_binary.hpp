@@ -1,21 +1,39 @@
 // Binary CSR serialization: loading the paper's larger graphs from
 // MatrixMarket takes seconds of parsing; this compact format reloads in
-// one read per array. Little-endian, versioned, checksummed header.
+// one read per array. Little-endian, versioned header.
+//
+// Version 2 records the index widths of the written layout, so a csr32
+// graph costs half the disk (and reload) traffic of the old fixed-width
+// format. Version-1 files (implicit 4-byte vertex ids / 8-byte edge
+// offsets — the historical csr_graph layout) remain readable.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "micg/graph/any_csr.hpp"
 #include "micg/graph/csr.hpp"
 
 namespace micg::graph {
 
-/// Write `g` in micgraph binary CSR format.
-void write_binary(std::ostream& out, const csr_graph& g);
-void save_binary(const std::string& path, const csr_graph& g);
+/// Write `g` in micgraph binary CSR format (version 2, at the graph's own
+/// index widths). Defined for every shipped layout.
+template <CsrGraph G>
+void write_binary(std::ostream& out, const G& g);
+void write_binary(std::ostream& out, const any_csr& g);
 
-/// Read a graph written by write_binary. Throws micg::check_error on a
-/// bad magic/version/size mismatch.
+template <CsrGraph G>
+void save_binary(const std::string& path, const G& g);
+void save_binary(const std::string& path, const any_csr& g);
+
+/// Read a graph written by write_binary (either version), preserving the
+/// layout it was written at. Throws micg::check_error on a bad
+/// magic/version/width/size mismatch.
+any_csr read_binary_any(std::istream& in);
+any_csr load_binary_any(const std::string& path);
+
+/// Compatibility readers: as read_binary_any, then converted to the default
+/// csr_graph layout (hard-erroring if the stored graph does not fit it).
 csr_graph read_binary(std::istream& in);
 csr_graph load_binary(const std::string& path);
 

@@ -12,14 +12,22 @@
 namespace micg::graph {
 
 namespace {
+
 std::string to_lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   return s;
 }
-}  // namespace
 
-csr_graph read_matrix_market(std::istream& in) {
+struct mm_size {
+  long long rows = 0;
+  long long nnz = 0;
+  bool has_value = false;
+};
+
+/// Consumes the banner, comments and size line; leaves the stream at the
+/// first entry.
+mm_size read_mm_header(std::istream& in) {
   std::string line;
   MICG_CHECK(static_cast<bool>(std::getline(in, line)),
              "empty MatrixMarket stream");
@@ -48,29 +56,41 @@ csr_graph read_matrix_market(std::istream& in) {
   dims >> rows >> cols >> nnz;
   MICG_CHECK(rows > 0 && cols > 0 && nnz >= 0, "bad size line");
   MICG_CHECK(rows == cols, "graph requires a square matrix");
-  MICG_CHECK(rows < (1LL << 31), "matrix too large for 32-bit vertex ids");
+  return {rows, nnz, field != "pattern"};
+}
 
-  graph_builder b(static_cast<vertex_t>(rows));
-  b.reserve(static_cast<std::size_t>(nnz));
-  const bool has_value = field != "pattern";
-  for (long long i = 0; i < nnz; ++i) {
+/// Reads the entry list into a builder of the given layout and builds.
+template <std::signed_integral VId, std::signed_integral EId>
+basic_csr<VId, EId> read_mm_entries(std::istream& in, const mm_size& sz) {
+  basic_builder<VId, EId> b(static_cast<VId>(sz.rows));
+  b.reserve(static_cast<std::size_t>(sz.nnz));
+  std::string line;
+  for (long long i = 0; i < sz.nnz; ++i) {
     MICG_CHECK(static_cast<bool>(std::getline(in, line)),
                "truncated entry list");
     std::istringstream entry(line);
     long long r = 0, c = 0;
     entry >> r >> c;
-    MICG_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
+    MICG_CHECK(r >= 1 && r <= sz.rows && c >= 1 && c <= sz.rows,
                "entry index out of range");
-    if (has_value) {
+    if (sz.has_value) {
       double v;
       entry >> v;  // value ignored; pattern defines the graph
     }
     // 1-based -> 0-based; the builder symmetrizes and drops self loops.
-    b.add_edge(static_cast<vertex_t>(r - 1), static_cast<vertex_t>(c - 1));
+    b.add_edge(static_cast<VId>(r - 1), static_cast<VId>(c - 1));
   }
-  csr_graph g = std::move(b).build();
+  auto g = std::move(b).build();
   g.validate();
   return g;
+}
+
+}  // namespace
+
+csr_graph read_matrix_market(std::istream& in) {
+  const mm_size sz = read_mm_header(in);
+  MICG_CHECK(sz.rows < (1LL << 31), "matrix too large for 32-bit vertex ids");
+  return read_mm_entries<vertex_t, edge_t>(in, sz);
 }
 
 csr_graph load_matrix_market(const std::string& path) {
@@ -79,13 +99,32 @@ csr_graph load_matrix_market(const std::string& path) {
   return read_matrix_market(in);
 }
 
-void write_matrix_market(std::ostream& out, const csr_graph& g) {
+any_csr read_matrix_market_any(std::istream& in) {
+  const mm_size sz = read_mm_header(in);
+  // Parse at a width that certainly fits, then repack to the narrowest
+  // layout the deduplicated graph allows.
+  if (sz.rows < (1LL << 31)) {
+    return to_narrowest(any_csr(read_mm_entries<vertex_t, edge_t>(in, sz)));
+  }
+  return to_narrowest(
+      any_csr(read_mm_entries<std::int64_t, std::int64_t>(in, sz)));
+}
+
+any_csr load_matrix_market_any(const std::string& path) {
+  std::ifstream in(path);
+  MICG_CHECK(in.good(), "cannot open " + path);
+  return read_matrix_market_any(in);
+}
+
+template <CsrGraph G>
+void write_matrix_market(std::ostream& out, const G& g) {
+  using VId = typename G::vertex_type;
   out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
   out << "% written by micgraph\n";
-  const vertex_t n = g.num_vertices();
+  const VId n = g.num_vertices();
   out << n << ' ' << n << ' ' << g.num_edges() << '\n';
-  for (vertex_t v = 0; v < n; ++v) {
-    for (vertex_t w : g.neighbors(v)) {
+  for (VId v = 0; v < n; ++v) {
+    for (VId w : g.neighbors(v)) {
       if (w < v) {
         // Lower triangle, 1-based.
         out << (v + 1) << ' ' << (w + 1) << '\n';
@@ -94,11 +133,26 @@ void write_matrix_market(std::ostream& out, const csr_graph& g) {
   }
 }
 
-void save_matrix_market(const std::string& path, const csr_graph& g) {
+void write_matrix_market(std::ostream& out, const any_csr& g) {
+  g.visit([&out](const auto& c) { write_matrix_market(out, c); });
+}
+
+template <CsrGraph G>
+void save_matrix_market(const std::string& path, const G& g) {
   std::ofstream out(path);
   MICG_CHECK(out.good(), "cannot open " + path + " for writing");
   write_matrix_market(out, g);
   MICG_CHECK(out.good(), "write failed for " + path);
 }
+
+void save_matrix_market(const std::string& path, const any_csr& g) {
+  g.visit([&path](const auto& c) { save_matrix_market(path, c); });
+}
+
+#define MICG_INSTANTIATE(G)                                     \
+  template void write_matrix_market<G>(std::ostream&, const G&); \
+  template void save_matrix_market<G>(const std::string&, const G&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::graph

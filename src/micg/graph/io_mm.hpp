@@ -6,26 +6,42 @@
 // the nonzero pattern of the (symmetrized) matrix into an undirected graph
 // (diagonal entries = self loops are dropped). If real UF files are
 // available they drop straight into the suite via load_matrix_market().
+//
+// The *_any readers pick the narrowest shipped layout that fits the input
+// (and are the only MatrixMarket path for matrices with 2^31+ rows); the
+// plain readers keep returning the default csr_graph layout.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "micg/graph/any_csr.hpp"
 #include "micg/graph/csr.hpp"
 
 namespace micg::graph {
 
-/// Parse a MatrixMarket stream. Throws micg::check_error on malformed
-/// input. Rectangular matrices are rejected (graphs must be square).
+/// Parse a MatrixMarket stream at the default layout. Throws
+/// micg::check_error on malformed input or when the matrix does not fit
+/// 32-bit vertex ids (use the _any reader for those). Rectangular matrices
+/// are rejected (graphs must be square).
 csr_graph read_matrix_market(std::istream& in);
 
 /// Convenience file wrapper; throws micg::check_error if unreadable.
 csr_graph load_matrix_market(const std::string& path);
 
-/// Write as `matrix coordinate pattern symmetric` (lower triangle).
-void write_matrix_market(std::ostream& out, const csr_graph& g);
+/// Parse at the narrowest layout that fits the (deduplicated) graph.
+any_csr read_matrix_market_any(std::istream& in);
+any_csr load_matrix_market_any(const std::string& path);
 
-/// Convenience file wrapper.
-void save_matrix_market(const std::string& path, const csr_graph& g);
+/// Write as `matrix coordinate pattern symmetric` (lower triangle).
+/// Defined for every shipped layout (instantiations in io_mm.cpp).
+template <CsrGraph G>
+void write_matrix_market(std::ostream& out, const G& g);
+void write_matrix_market(std::ostream& out, const any_csr& g);
+
+/// Convenience file wrappers.
+template <CsrGraph G>
+void save_matrix_market(const std::string& path, const G& g);
+void save_matrix_market(const std::string& path, const any_csr& g);
 
 }  // namespace micg::graph

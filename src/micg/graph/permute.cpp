@@ -8,13 +8,15 @@
 
 namespace micg::graph {
 
-std::vector<vertex_t> identity_permutation(vertex_t n) {
-  std::vector<vertex_t> perm(static_cast<std::size_t>(n));
-  std::iota(perm.begin(), perm.end(), vertex_t{0});
+template <std::signed_integral VId>
+std::vector<VId> identity_permutation(VId n) {
+  std::vector<VId> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), VId{0});
   return perm;
 }
 
-std::vector<vertex_t> random_permutation(vertex_t n, std::uint64_t seed) {
+template <std::signed_integral VId>
+std::vector<VId> random_permutation(VId n, std::uint64_t seed) {
   auto perm = identity_permutation(n);
   xoshiro256ss rng(seed);
   for (std::size_t i = perm.size(); i > 1; --i) {
@@ -24,9 +26,10 @@ std::vector<vertex_t> random_permutation(vertex_t n, std::uint64_t seed) {
   return perm;
 }
 
-bool is_permutation(const std::vector<vertex_t>& perm) {
+template <std::signed_integral VId>
+bool is_permutation(const std::vector<VId>& perm) {
   std::vector<bool> seen(perm.size(), false);
-  for (vertex_t p : perm) {
+  for (VId p : perm) {
     if (p < 0 || static_cast<std::size_t>(p) >= perm.size()) return false;
     if (seen[static_cast<std::size_t>(p)]) return false;
     seen[static_cast<std::size_t>(p)] = true;
@@ -34,39 +37,59 @@ bool is_permutation(const std::vector<vertex_t>& perm) {
   return true;
 }
 
-csr_graph apply_permutation(const csr_graph& g,
-                            const std::vector<vertex_t>& perm) {
-  const vertex_t n = g.num_vertices();
-  MICG_CHECK(static_cast<vertex_t>(perm.size()) == n,
+template <CsrGraph G>
+G apply_permutation(const G& g,
+                    const std::vector<typename G::vertex_type>& perm) {
+  using VId = typename G::vertex_type;
+  using EId = typename G::edge_type;
+  const VId n = g.num_vertices();
+  MICG_CHECK(static_cast<VId>(perm.size()) == n,
              "permutation size must equal vertex count");
   MICG_CHECK(is_permutation(perm), "not a valid permutation");
 
   // Inverse mapping: new id -> old id, then rebuild CSR directly (cheaper
   // than going through the edge-list builder: lists stay dedupe-free).
-  std::vector<vertex_t> inv(static_cast<std::size_t>(n));
-  for (vertex_t old = 0; old < n; ++old) {
+  std::vector<VId> inv(static_cast<std::size_t>(n));
+  for (VId old = 0; old < n; ++old) {
     inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(old)])] = old;
   }
 
-  std::vector<edge_t> xadj(static_cast<std::size_t>(n) + 1, 0);
-  for (vertex_t nv = 0; nv < n; ++nv) {
+  std::vector<EId> xadj(static_cast<std::size_t>(n) + 1, 0);
+  for (VId nv = 0; nv < n; ++nv) {
     xadj[static_cast<std::size_t>(nv) + 1] =
         xadj[static_cast<std::size_t>(nv)] +
         g.degree(inv[static_cast<std::size_t>(nv)]);
   }
-  std::vector<vertex_t> adj(static_cast<std::size_t>(xadj.back()));
-  for (vertex_t nv = 0; nv < n; ++nv) {
+  std::vector<VId> adj(static_cast<std::size_t>(xadj.back()));
+  for (VId nv = 0; nv < n; ++nv) {
     auto nbrs = g.neighbors(inv[static_cast<std::size_t>(nv)]);
     auto out = adj.begin() +
                static_cast<std::ptrdiff_t>(xadj[static_cast<std::size_t>(nv)]);
-    for (vertex_t w : nbrs) {
+    for (VId w : nbrs) {
       *out++ = perm[static_cast<std::size_t>(w)];
     }
     std::sort(adj.begin() + static_cast<std::ptrdiff_t>(
                                 xadj[static_cast<std::size_t>(nv)]),
               out);
   }
-  return csr_graph(std::move(xadj), std::move(adj));
+  return G(std::move(xadj), std::move(adj));
 }
+
+// Permutation vectors depend only on the vertex id width (two widths across
+// the three shipped layouts).
+template std::vector<std::int32_t> identity_permutation(std::int32_t);
+template std::vector<std::int64_t> identity_permutation(std::int64_t);
+template std::vector<std::int32_t> random_permutation(std::int32_t,
+                                                      std::uint64_t);
+template std::vector<std::int64_t> random_permutation(std::int64_t,
+                                                      std::uint64_t);
+template bool is_permutation(const std::vector<std::int32_t>&);
+template bool is_permutation(const std::vector<std::int64_t>&);
+
+#define MICG_INSTANTIATE(G) \
+  template G apply_permutation<G>( \
+      const G&, const std::vector<typename G::vertex_type>&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::graph

@@ -11,19 +11,24 @@
 
 namespace micg::graph {
 
-/// perm[old_id] == new_id; identity mapping.
-std::vector<vertex_t> identity_permutation(vertex_t n);
+/// perm[old_id] == new_id; identity mapping. Instantiated for the shipped
+/// vertex id widths (int32/int64).
+template <std::signed_integral VId>
+std::vector<VId> identity_permutation(VId n);
 
 /// Uniformly random permutation (Fisher–Yates) from `seed`.
-std::vector<vertex_t> random_permutation(vertex_t n, std::uint64_t seed);
+template <std::signed_integral VId>
+std::vector<VId> random_permutation(VId n, std::uint64_t seed);
 
 /// Relabel: vertex v of `g` becomes perm[v] in the result. The edge set is
 /// unchanged up to renaming, so every structural property (degrees, colors
 /// needed, BFS level count from a mapped source) is preserved.
-csr_graph apply_permutation(const csr_graph& g,
-                            const std::vector<vertex_t>& perm);
+template <CsrGraph G>
+G apply_permutation(const G& g,
+                    const std::vector<typename G::vertex_type>& perm);
 
 /// True iff perm is a bijection on [0, n).
-bool is_permutation(const std::vector<vertex_t>& perm);
+template <std::signed_integral VId>
+bool is_permutation(const std::vector<VId>& perm);
 
 }  // namespace micg::graph

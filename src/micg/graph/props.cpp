@@ -7,13 +7,15 @@
 
 namespace micg::graph {
 
-degree_stats compute_degree_stats(const csr_graph& g) {
+template <CsrGraph G>
+degree_stats compute_degree_stats(const G& g) {
+  using VId = typename G::vertex_type;
   degree_stats s;
-  const vertex_t n = g.num_vertices();
+  const VId n = g.num_vertices();
   if (n == 0) return s;
-  s.min = g.degree(0);
-  for (vertex_t v = 0; v < n; ++v) {
-    const std::int64_t d = g.degree(v);
+  s.min = static_cast<std::int64_t>(g.degree(0));
+  for (VId v = 0; v < n; ++v) {
+    const auto d = static_cast<std::int64_t>(g.degree(v));
     s.min = std::min(s.min, d);
     s.max = std::max(s.max, d);
     s.mean += static_cast<double>(d);
@@ -26,18 +28,19 @@ namespace {
 
 /// Simple scratch BFS (distinct from the bfs module: props must not depend
 /// on the algorithm layer). Returns the number of levels from `source`.
-int scratch_bfs_levels(const csr_graph& g, vertex_t source,
-                       std::vector<vertex_t>* visited_order = nullptr) {
-  const vertex_t n = g.num_vertices();
+template <CsrGraph G>
+int scratch_bfs_levels(const G& g, typename G::vertex_type source) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   std::vector<int> level(static_cast<std::size_t>(n), -1);
-  std::vector<vertex_t> queue;
+  std::vector<VId> queue;
   queue.reserve(static_cast<std::size_t>(n));
   level[static_cast<std::size_t>(source)] = 0;
   queue.push_back(source);
   int max_level = 0;
   for (std::size_t head = 0; head < queue.size(); ++head) {
-    const vertex_t v = queue[head];
-    for (vertex_t w : g.neighbors(v)) {
+    const VId v = queue[head];
+    for (VId w : g.neighbors(v)) {
       if (level[static_cast<std::size_t>(w)] < 0) {
         level[static_cast<std::size_t>(w)] =
             level[static_cast<std::size_t>(v)] + 1;
@@ -46,26 +49,27 @@ int scratch_bfs_levels(const csr_graph& g, vertex_t source,
       }
     }
   }
-  if (visited_order != nullptr) *visited_order = std::move(queue);
   return max_level + 1;  // levels are counted from 1
 }
 
 }  // namespace
 
-vertex_t count_components(const csr_graph& g) {
-  const vertex_t n = g.num_vertices();
+template <CsrGraph G>
+typename G::vertex_type count_components(const G& g) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   std::vector<bool> seen(static_cast<std::size_t>(n), false);
-  vertex_t components = 0;
-  std::vector<vertex_t> stack;
-  for (vertex_t root = 0; root < n; ++root) {
+  VId components = 0;
+  std::vector<VId> stack;
+  for (VId root = 0; root < n; ++root) {
     if (seen[static_cast<std::size_t>(root)]) continue;
     ++components;
     seen[static_cast<std::size_t>(root)] = true;
     stack.push_back(root);
     while (!stack.empty()) {
-      const vertex_t v = stack.back();
+      const VId v = stack.back();
       stack.pop_back();
-      for (vertex_t w : g.neighbors(v)) {
+      for (VId w : g.neighbors(v)) {
         if (!seen[static_cast<std::size_t>(w)]) {
           seen[static_cast<std::size_t>(w)] = true;
           stack.push_back(w);
@@ -76,10 +80,18 @@ vertex_t count_components(const csr_graph& g) {
   return components;
 }
 
-int count_bfs_levels(const csr_graph& g, vertex_t source) {
+template <CsrGraph G>
+int count_bfs_levels(const G& g, typename G::vertex_type source) {
   MICG_CHECK(source >= 0 && source < g.num_vertices(),
              "source out of range");
   return scratch_bfs_levels(g, source);
 }
+
+#define MICG_INSTANTIATE(G)                                        \
+  template degree_stats compute_degree_stats<G>(const G&);         \
+  template typename G::vertex_type count_components<G>(const G&);  \
+  template int count_bfs_levels<G>(const G&, typename G::vertex_type);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::graph

@@ -7,20 +7,25 @@
 
 namespace micg::graph {
 
+/// Width-independent (always 64-bit) so callers can compare stats across
+/// layouts without casts.
 struct degree_stats {
   std::int64_t min = 0;
   std::int64_t max = 0;  ///< Delta in the paper
   double mean = 0.0;
 };
 
-degree_stats compute_degree_stats(const csr_graph& g);
+template <CsrGraph G>
+degree_stats compute_degree_stats(const G& g);
 
 /// Number of connected components (sequential traversal).
-vertex_t count_components(const csr_graph& g);
+template <CsrGraph G>
+typename G::vertex_type count_components(const G& g);
 
 /// Number of BFS levels reachable from `source` (the level of the source is
 /// 1, matching the "#Level" column of Table I which counts levels of a
 /// traversal "from vertex |V|/2").
-int count_bfs_levels(const csr_graph& g, vertex_t source);
+template <CsrGraph G>
+int count_bfs_levels(const G& g, typename G::vertex_type source);
 
 }  // namespace micg::graph

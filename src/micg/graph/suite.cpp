@@ -67,4 +67,16 @@ csr_graph make_suite_graph(const suite_entry& entry, double scale) {
   return make_fem_like(scaled_params(entry, scale));
 }
 
+any_csr make_suite_graph_any(const suite_entry& entry, double scale) {
+  if (const char* dir = std::getenv("MICG_GRAPH_DIR")) {
+    const std::string path = std::string(dir) + "/" + entry.name + ".mtx";
+    std::ifstream probe(path);
+    if (probe.good()) {
+      probe.close();
+      return load_matrix_market_any(path);
+    }
+  }
+  return to_narrowest(make_fem_like(scaled_params(entry, scale)));
+}
+
 }  // namespace micg::graph

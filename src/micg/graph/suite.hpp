@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "micg/graph/any_csr.hpp"
 #include "micg/graph/csr.hpp"
 #include "micg/graph/generators.hpp"
 
@@ -48,5 +49,9 @@ fem_params scaled_params(const suite_entry& entry, double scale);
 /// variable MICG_GRAPH_DIR is set and contains "<name>.mtx", that file is
 /// loaded instead (scale is ignored for real files).
 csr_graph make_suite_graph(const suite_entry& entry, double scale = 1.0);
+
+/// As make_suite_graph, but at the narrowest layout that fits (real files
+/// beyond 32-bit limits load here rather than erroring).
+any_csr make_suite_graph_any(const suite_entry& entry, double scale = 1.0);
 
 }  // namespace micg::graph

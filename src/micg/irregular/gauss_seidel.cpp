@@ -7,21 +7,20 @@
 
 namespace micg::irregular {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
 namespace {
 
 /// Group vertices by color class, classes ordered by color value,
 /// vertices in id order within a class.
-std::vector<std::vector<vertex_t>> color_classes(const csr_graph& g,
-                                                 std::span<const int> color) {
+template <micg::graph::CsrGraph G>
+std::vector<std::vector<typename G::vertex_type>> color_classes(
+    const G& g, std::span<const int> color) {
+  using VId = typename G::vertex_type;
   MICG_CHECK(micg::color::is_valid_coloring(g, color),
              "colored_gauss_seidel requires a valid coloring");
   const int num_colors = micg::color::count_colors(color);
-  std::vector<std::vector<vertex_t>> classes(
+  std::vector<std::vector<VId>> classes(
       static_cast<std::size_t>(num_colors));
-  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+  for (VId v = 0; v < g.num_vertices(); ++v) {
     classes[static_cast<std::size_t>(color[static_cast<std::size_t>(v)]) -
             1]
         .push_back(v);
@@ -29,20 +28,24 @@ std::vector<std::vector<vertex_t>> color_classes(const csr_graph& g,
   return classes;
 }
 
-inline void relax(const csr_graph& g, double* x, vertex_t v,
+template <micg::graph::CsrGraph G>
+inline void relax(const G& g, double* x, typename G::vertex_type v,
                   double self_weight) {
+  using VId = typename G::vertex_type;
   double sum = self_weight * x[v];
-  for (vertex_t w : g.neighbors(v)) sum += x[w];
+  for (VId w : g.neighbors(v)) sum += x[w];
   x[v] = sum / (self_weight + static_cast<double>(g.degree(v)));
 }
 
 }  // namespace
 
-std::vector<double> colored_gauss_seidel(const csr_graph& g,
+template <micg::graph::CsrGraph G>
+std::vector<double> colored_gauss_seidel(const G& g,
                                          std::span<const int> color,
                                          std::span<const double> state,
                                          const gauss_seidel_options& opt) {
-  MICG_CHECK(static_cast<vertex_t>(state.size()) == g.num_vertices(),
+  using VId = typename G::vertex_type;
+  MICG_CHECK(static_cast<VId>(state.size()) == g.num_vertices(),
              "state size must equal vertex count");
   MICG_CHECK(opt.sweeps >= 0, "sweeps must be non-negative");
   MICG_CHECK(opt.self_weight > 0.0, "self weight must be positive");
@@ -67,18 +70,28 @@ std::vector<double> colored_gauss_seidel(const csr_graph& g,
   return x;
 }
 
-std::vector<double> gauss_seidel_seq(const csr_graph& g,
-                                     std::span<const int> color,
+template <micg::graph::CsrGraph G>
+std::vector<double> gauss_seidel_seq(const G& g, std::span<const int> color,
                                      std::span<const double> state,
                                      int sweeps, double self_weight) {
+  using VId = typename G::vertex_type;
   const auto classes = color_classes(g, color);
   std::vector<double> x(state.begin(), state.end());
   for (int s = 0; s < sweeps; ++s) {
     for (const auto& cls : classes) {
-      for (vertex_t v : cls) relax(g, x.data(), v, self_weight);
+      for (VId v : cls) relax(g, x.data(), v, self_weight);
     }
   }
   return x;
 }
+
+#define MICG_INSTANTIATE(G)                             \
+  template std::vector<double> colored_gauss_seidel<G>( \
+      const G&, std::span<const int>, std::span<const double>, \
+      const gauss_seidel_options&);                     \
+  template std::vector<double> gauss_seidel_seq<G>(     \
+      const G&, std::span<const int>, std::span<const double>, int, double);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::irregular

@@ -26,15 +26,16 @@ struct gauss_seidel_options {
 /// In-place colored Gauss–Seidel: `color` must be a valid distance-1
 /// coloring of `g` (1-based; checked). Returns the relaxed state.
 /// Deterministic: equals the sequential sweep in (color, vertex-id) order
-/// bit-for-bit, for any thread count.
-std::vector<double> colored_gauss_seidel(const micg::graph::csr_graph& g,
+/// bit-for-bit, for any thread count. Defined for every shipped layout.
+template <micg::graph::CsrGraph G>
+std::vector<double> colored_gauss_seidel(const G& g,
                                          std::span<const int> color,
                                          std::span<const double> state,
                                          const gauss_seidel_options& opt);
 
 /// The sequential reference sweep over the same schedule.
-std::vector<double> gauss_seidel_seq(const micg::graph::csr_graph& g,
-                                     std::span<const int> color,
+template <micg::graph::CsrGraph G>
+std::vector<double> gauss_seidel_seq(const G& g, std::span<const int> color,
                                      std::span<const double> state,
                                      int sweeps, double self_weight);
 

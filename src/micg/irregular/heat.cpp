@@ -6,14 +6,13 @@
 
 namespace micg::irregular {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
-std::vector<double> heat_diffusion(const csr_graph& g,
+template <micg::graph::CsrGraph G>
+std::vector<double> heat_diffusion(const G& g,
                                    std::span<const double> state,
                                    const heat_options& opt) {
-  const vertex_t n = g.num_vertices();
-  MICG_CHECK(static_cast<vertex_t>(state.size()) == n,
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
+  MICG_CHECK(static_cast<VId>(state.size()) == n,
              "state size must equal vertex count");
   MICG_CHECK(opt.steps >= 0, "steps must be non-negative");
   MICG_CHECK(opt.alpha > 0.0, "alpha must be positive");
@@ -26,9 +25,9 @@ std::vector<double> heat_diffusion(const csr_graph& g,
     double* dst = next.data();
     rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int) {
       for (std::int64_t i = b; i < e; ++i) {
-        const auto v = static_cast<vertex_t>(i);
+        const auto v = static_cast<VId>(i);
         double acc = 0.0;
-        for (vertex_t w : g.neighbors(v)) {
+        for (VId w : g.neighbors(v)) {
           acc += src[static_cast<std::size_t>(w)] - src[i];
         }
         dst[i] = src[i] + opt.alpha * acc;
@@ -38,5 +37,11 @@ std::vector<double> heat_diffusion(const csr_graph& g,
   }
   return cur;
 }
+
+#define MICG_INSTANTIATE(G)                       \
+  template std::vector<double> heat_diffusion<G>( \
+      const G&, std::span<const double>, const heat_options&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::irregular

@@ -24,7 +24,9 @@ struct heat_options {
 };
 
 /// Run `steps` diffusion steps from `state` and return the result.
-std::vector<double> heat_diffusion(const micg::graph::csr_graph& g,
+/// Defined for every shipped layout.
+template <micg::graph::CsrGraph G>
+std::vector<double> heat_diffusion(const G& g,
                                    std::span<const double> state,
                                    const heat_options& opt);
 

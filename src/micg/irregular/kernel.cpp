@@ -5,22 +5,20 @@
 
 namespace micg::irregular {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
 namespace {
 
 /// One vertex update: `iterations` rounds of averaging over the (fixed)
 /// neighbor states read through `read`.
-template <typename Read>
-double update_vertex(const csr_graph& g, vertex_t v, int iterations,
+template <micg::graph::CsrGraph G, typename Read>
+double update_vertex(const G& g, typename G::vertex_type v, int iterations,
                      const Read& read) {
+  using VId = typename G::vertex_type;
   double mine = read(v);
   const auto nbrs = g.neighbors(v);
   const double inv = 1.0 / (static_cast<double>(nbrs.size()) + 1.0);
   for (int i = 0; i < iterations; ++i) {
     double sum = mine;
-    for (vertex_t w : nbrs) sum += read(w);
+    for (VId w : nbrs) sum += read(w);
     mine = sum * inv;
   }
   return mine;
@@ -28,11 +26,13 @@ double update_vertex(const csr_graph& g, vertex_t v, int iterations,
 
 }  // namespace
 
-std::vector<double> irregular_kernel(const csr_graph& g,
+template <micg::graph::CsrGraph G>
+std::vector<double> irregular_kernel(const G& g,
                                      std::span<const double> state,
                                      const kernel_options& opt) {
-  const vertex_t n = g.num_vertices();
-  MICG_CHECK(static_cast<vertex_t>(state.size()) == n,
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
+  MICG_CHECK(static_cast<VId>(state.size()) == n,
              "state size must equal vertex count");
   MICG_CHECK(opt.iterations >= 1, "need at least one iteration");
   MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
@@ -62,8 +62,8 @@ std::vector<double> irregular_kernel(const csr_graph& g,
         updates_ctr->add(worker, static_cast<std::uint64_t>(e - b));
       }
       for (std::int64_t i = b; i < e; ++i) {
-        const auto v = static_cast<vertex_t>(i);
-        data[i] = update_vertex(g, v, opt.iterations, [data](vertex_t w) {
+        const auto v = static_cast<VId>(i);
+        data[i] = update_vertex(g, v, opt.iterations, [data](VId w) {
           return data[static_cast<std::size_t>(w)];
         });
       }
@@ -76,8 +76,8 @@ std::vector<double> irregular_kernel(const csr_graph& g,
         updates_ctr->add(worker, static_cast<std::uint64_t>(e - b));
       }
       for (std::int64_t i = b; i < e; ++i) {
-        const auto v = static_cast<vertex_t>(i);
-        dst[i] = update_vertex(g, v, opt.iterations, [src](vertex_t w) {
+        const auto v = static_cast<VId>(i);
+        dst[i] = update_vertex(g, v, opt.iterations, [src](VId w) {
           return src[static_cast<std::size_t>(w)];
         });
       }
@@ -86,20 +86,30 @@ std::vector<double> irregular_kernel(const csr_graph& g,
   return out;
 }
 
-std::vector<double> irregular_kernel_seq(const csr_graph& g,
+template <micg::graph::CsrGraph G>
+std::vector<double> irregular_kernel_seq(const G& g,
                                          std::span<const double> state,
                                          int iterations) {
-  const vertex_t n = g.num_vertices();
-  MICG_CHECK(static_cast<vertex_t>(state.size()) == n,
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
+  MICG_CHECK(static_cast<VId>(state.size()) == n,
              "state size must equal vertex count");
   std::vector<double> out(state.begin(), state.end());
-  for (vertex_t v = 0; v < n; ++v) {
+  for (VId v = 0; v < n; ++v) {
     out[static_cast<std::size_t>(v)] =
-        update_vertex(g, v, iterations, [&out](vertex_t w) {
+        update_vertex(g, v, iterations, [&out](VId w) {
           return out[static_cast<std::size_t>(w)];
         });
   }
   return out;
 }
+
+#define MICG_INSTANTIATE(G)                          \
+  template std::vector<double> irregular_kernel<G>(  \
+      const G&, std::span<const double>, const kernel_options&); \
+  template std::vector<double> irregular_kernel_seq<G>(          \
+      const G&, std::span<const double>, int);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::irregular

@@ -36,13 +36,16 @@ struct kernel_options {
 };
 
 /// Apply the kernel to `state` (size |V|) and return the new state.
-std::vector<double> irregular_kernel(const micg::graph::csr_graph& g,
+/// Defined for every shipped layout.
+template <micg::graph::CsrGraph G>
+std::vector<double> irregular_kernel(const G& g,
                                      std::span<const double> state,
                                      const kernel_options& opt);
 
 /// Sequential reference (natural order, in-place), for 1-thread equality
 /// tests and the trace generator.
-std::vector<double> irregular_kernel_seq(const micg::graph::csr_graph& g,
+template <micg::graph::CsrGraph G>
+std::vector<double> irregular_kernel_seq(const G& g,
                                          std::span<const double> state,
                                          int iterations);
 

@@ -8,11 +8,10 @@
 
 namespace micg::irregular {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
-pagerank_result pagerank(const csr_graph& g, const pagerank_options& opt) {
-  const vertex_t n = g.num_vertices();
+template <micg::graph::CsrGraph G>
+pagerank_result pagerank(const G& g, const pagerank_options& opt) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   MICG_CHECK(n > 0, "pagerank needs a non-empty graph");
   MICG_CHECK(opt.damping > 0.0 && opt.damping < 1.0,
              "damping must be in (0, 1)");
@@ -34,7 +33,7 @@ pagerank_result pagerank(const csr_graph& g, const pagerank_options& opt) {
     rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int) {
       double local = 0.0;
       for (std::int64_t i = b; i < e; ++i) {
-        if (g.degree(static_cast<vertex_t>(i)) == 0) {
+        if (g.degree(static_cast<VId>(i)) == 0) {
           local += r.rank[static_cast<std::size_t>(i)];
         }
       }
@@ -50,9 +49,9 @@ pagerank_result pagerank(const csr_graph& g, const pagerank_options& opt) {
     rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int) {
       double local_delta = 0.0;
       for (std::int64_t i = b; i < e; ++i) {
-        const auto v = static_cast<vertex_t>(i);
+        const auto v = static_cast<VId>(i);
         double sum = 0.0;
-        for (vertex_t w : g.neighbors(v)) {
+        for (VId w : g.neighbors(v)) {
           sum += r.rank[static_cast<std::size_t>(w)] /
                  static_cast<double>(g.degree(w));
         }
@@ -80,5 +79,10 @@ pagerank_result pagerank(const csr_graph& g, const pagerank_options& opt) {
   }
   return r;
 }
+
+#define MICG_INSTANTIATE(G) \
+  template pagerank_result pagerank<G>(const G&, const pagerank_options&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::irregular

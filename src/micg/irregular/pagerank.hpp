@@ -25,7 +25,8 @@ struct pagerank_result {
   bool converged = false;
 };
 
-pagerank_result pagerank(const micg::graph::csr_graph& g,
-                         const pagerank_options& opt);
+/// Power-iteration PageRank. Defined for every shipped layout.
+template <micg::graph::CsrGraph G>
+pagerank_result pagerank(const G& g, const pagerank_options& opt);
 
 }  // namespace micg::irregular

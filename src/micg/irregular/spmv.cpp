@@ -4,13 +4,12 @@
 
 namespace micg::irregular {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
-std::vector<double> spmv(const csr_graph& g, std::span<const double> x,
+template <micg::graph::CsrGraph G>
+std::vector<double> spmv(const G& g, std::span<const double> x,
                          const rt::exec& ex, spmv_matrix matrix) {
-  const vertex_t n = g.num_vertices();
-  MICG_CHECK(static_cast<vertex_t>(x.size()) == n,
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
+  MICG_CHECK(static_cast<VId>(x.size()) == n,
              "vector size must equal vertex count");
   MICG_CHECK(ex.threads >= 1, "need at least one thread");
 
@@ -19,9 +18,9 @@ std::vector<double> spmv(const csr_graph& g, std::span<const double> x,
   double* dst = y.data();
   rt::for_range(ex, n, [&](std::int64_t b, std::int64_t e, int) {
     for (std::int64_t i = b; i < e; ++i) {
-      const auto v = static_cast<vertex_t>(i);
+      const auto v = static_cast<VId>(i);
       double acc = 0.0;
-      for (vertex_t w : g.neighbors(v)) {
+      for (VId w : g.neighbors(v)) {
         acc += src[static_cast<std::size_t>(w)];
       }
       if (matrix == spmv_matrix::random_walk && g.degree(v) > 0) {
@@ -32,5 +31,11 @@ std::vector<double> spmv(const csr_graph& g, std::span<const double> x,
   });
   return y;
 }
+
+#define MICG_INSTANTIATE(G)             \
+  template std::vector<double> spmv<G>( \
+      const G&, std::span<const double>, const rt::exec&, spmv_matrix);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::irregular

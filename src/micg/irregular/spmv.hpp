@@ -18,9 +18,10 @@ enum class spmv_matrix {
   random_walk, ///< A[v][w] = 1/degree(v)
 };
 
-/// y = A x on the selected backend.
-std::vector<double> spmv(const micg::graph::csr_graph& g,
-                         std::span<const double> x, const rt::exec& ex,
+/// y = A x on the selected backend. Defined for every shipped layout.
+template <micg::graph::CsrGraph G>
+std::vector<double> spmv(const G& g, std::span<const double> x,
+                         const rt::exec& ex,
                          spmv_matrix matrix = spmv_matrix::adjacency);
 
 }  // namespace micg::irregular

@@ -8,9 +8,6 @@
 
 namespace micg::model {
 
-using micg::graph::csr_graph;
-using micg::graph::vertex_t;
-
 // ---------------------------------------------------------------------------
 // Calibrated kernel costs. One unit == one issue slot of a KNF core; the
 // memory latency (machine_config::mem_latency = 40) turns miss counts into
@@ -71,7 +68,8 @@ kernel_costs bfs_costs(bool shuffled) {
 
 namespace {
 
-work_item item_for_vertex(const csr_graph& g, vertex_t v,
+template <micg::graph::CsrGraph G>
+work_item item_for_vertex(const G& g, typename G::vertex_type v,
                           const kernel_costs& c) {
   const auto deg = static_cast<double>(g.degree(v));
   work_item it;
@@ -83,8 +81,10 @@ work_item item_for_vertex(const csr_graph& g, vertex_t v,
 
 }  // namespace
 
-work_trace coloring_trace(const csr_graph& g, bool shuffled) {
-  const vertex_t n = g.num_vertices();
+template <micg::graph::CsrGraph G>
+work_trace coloring_trace(const G& g, bool shuffled) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
   const kernel_costs tentative = coloring_costs(shuffled);
   const kernel_costs detect = conflict_detect_costs(shuffled);
 
@@ -104,15 +104,15 @@ work_trace coloring_trace(const csr_graph& g, bool shuffled) {
     // Visit vertices: the whole graph in round 0; later rounds use an
     // evenly spaced sample of the real conflict count (degree-
     // representative without recording the exact conflict set).
-    std::vector<vertex_t> visit;
+    std::vector<VId> visit;
     visit.reserve(visit_size);
     if (visit_size == static_cast<std::size_t>(n)) {
-      for (vertex_t v = 0; v < n; ++v) visit.push_back(v);
+      for (VId v = 0; v < n; ++v) visit.push_back(v);
     } else if (visit_size > 0) {
       const std::size_t stride =
           std::max<std::size_t>(1, static_cast<std::size_t>(n) / visit_size);
       for (std::size_t i = 0; i < visit_size; ++i) {
-        visit.push_back(static_cast<vertex_t>(
+        visit.push_back(static_cast<VId>(
             (i * stride) % static_cast<std::size_t>(n)));
       }
     }
@@ -121,7 +121,7 @@ work_trace coloring_trace(const csr_graph& g, bool shuffled) {
     parallel_step det;
     tent.items.reserve(visit.size());
     det.items.reserve(visit.size());
-    for (vertex_t v : visit) {
+    for (VId v : visit) {
       tent.items.push_back(item_for_vertex(g, v, tentative));
       det.items.push_back(item_for_vertex(g, v, detect));
     }
@@ -135,29 +135,33 @@ work_trace coloring_trace(const csr_graph& g, bool shuffled) {
   return trace;
 }
 
-work_trace irregular_trace(const csr_graph& g, int iterations) {
+template <micg::graph::CsrGraph G>
+work_trace irregular_trace(const G& g, int iterations) {
+  using VId = typename G::vertex_type;
   const kernel_costs costs = irregular_costs(iterations);
   work_trace trace;
   trace.cache_gain = 0.10;
   parallel_step step;
-  const vertex_t n = g.num_vertices();
+  const VId n = g.num_vertices();
   step.items.reserve(static_cast<std::size_t>(n));
-  for (vertex_t v = 0; v < n; ++v) {
+  for (VId v = 0; v < n; ++v) {
     step.items.push_back(item_for_vertex(g, v, costs));
   }
   trace.steps.push_back(std::move(step));
   return trace;
 }
 
-work_trace bfs_trace(const csr_graph& g, vertex_t source,
+template <micg::graph::CsrGraph G>
+work_trace bfs_trace(const G& g, typename G::vertex_type source,
                      const bfs_trace_options& opt) {
+  using VId = typename G::vertex_type;
   const kernel_costs base = bfs_costs();
   const auto ref = micg::bfs::seq_bfs(g, source);
 
   // Bucket vertices by level (the real frontiers).
-  std::vector<std::vector<vertex_t>> levels(
+  std::vector<std::vector<VId>> levels(
       static_cast<std::size_t>(ref.num_levels));
-  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+  for (VId v = 0; v < g.num_vertices(); ++v) {
     const int lv = ref.level[static_cast<std::size_t>(v)];
     if (lv >= 0) levels[static_cast<std::size_t>(lv)].push_back(v);
   }
@@ -167,7 +171,7 @@ work_trace bfs_trace(const csr_graph& g, vertex_t source,
   for (std::size_t l = 0; l < levels.size(); ++l) {
     parallel_step step;
     step.items.reserve(levels[l].size());
-    for (vertex_t v : levels[l]) {
+    for (VId v : levels[l]) {
       work_item it = item_for_vertex(g, v, base);
       const auto deg = static_cast<double>(g.degree(v));
       switch (opt.frontier) {
@@ -211,5 +215,13 @@ work_trace bfs_trace(const csr_graph& g, vertex_t source,
   }
   return trace;
 }
+
+#define MICG_INSTANTIATE(G)                                         \
+  template work_trace coloring_trace<G>(const G&, bool);            \
+  template work_trace irregular_trace<G>(const G&, int);            \
+  template work_trace bfs_trace<G>(const G&, typename G::vertex_type, \
+                                   const bfs_trace_options&);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
 
 }  // namespace micg::model

@@ -28,13 +28,16 @@ kernel_costs bfs_costs(bool shuffled = false);
 
 /// Iterative-coloring trace: two parallel steps (tentative + detect) per
 /// round. Round sizes come from running the real iterative algorithm;
-/// conflict-set degrees are sampled evenly from the graph.
-work_trace coloring_trace(const micg::graph::csr_graph& g, bool shuffled);
+/// conflict-set degrees are sampled evenly from the graph. Defined for
+/// every shipped layout.
+template <micg::graph::CsrGraph G>
+work_trace coloring_trace(const G& g, bool shuffled);
 
 /// Irregular-kernel trace: one parallel step over all vertices with the
 /// FLOP count scaled by `iterations` and memory traffic independent of it
 /// (neighbor states stay cached across the inner loop, §III-B).
-work_trace irregular_trace(const micg::graph::csr_graph& g, int iterations);
+template <micg::graph::CsrGraph G>
+work_trace irregular_trace(const G& g, int iterations);
 
 /// Frontier data structure of the modeled BFS (per §IV-C).
 enum class bfs_frontier {
@@ -51,8 +54,8 @@ struct bfs_trace_options {
 /// Layered-BFS trace: one parallel step per level with the real frontier
 /// (vertices and degrees from a sequential traversal), plus
 /// variant-specific insertion/merge costs.
-work_trace bfs_trace(const micg::graph::csr_graph& g,
-                     micg::graph::vertex_t source,
+template <micg::graph::CsrGraph G>
+work_trace bfs_trace(const G& g, typename G::vertex_type source,
                      const bfs_trace_options& opt);
 
 }  // namespace micg::model

@@ -1,0 +1,274 @@
+// Tests for the width-parameterized graph core: select_layout boundaries,
+// builder overflow refusal, any_csr binary round-trips (including the
+// version-1 compatibility path), and cross-layout result parity for the
+// kernels that run on every layout.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "micg/bfs/layered.hpp"
+#include "micg/bfs/seq.hpp"
+#include "micg/bfs/validate.hpp"
+#include "micg/color/greedy.hpp"
+#include "micg/color/iterative.hpp"
+#include "micg/color/verify.hpp"
+#include "micg/graph/any_csr.hpp"
+#include "micg/graph/builder.hpp"
+#include "micg/graph/csr.hpp"
+#include "micg/graph/generators.hpp"
+#include "micg/graph/io_binary.hpp"
+#include "micg/graph/suite.hpp"
+#include "micg/irregular/pagerank.hpp"
+#include "micg/support/assert.hpp"
+
+namespace {
+
+using micg::graph::any_csr;
+using micg::graph::csr32;
+using micg::graph::csr64;
+using micg::graph::csr_graph;
+using micg::graph::csr_layout;
+
+constexpr std::int64_t kMax32 =
+    std::numeric_limits<std::int32_t>::max();
+
+// ---------------------------------------------------------- select_layout
+
+TEST(SelectLayout, SmallGraphsUseNarrowestLayout) {
+  EXPECT_EQ(micg::graph::select_layout(0, 0), csr_layout::v32e32);
+  EXPECT_EQ(micg::graph::select_layout(1000, 5000), csr_layout::v32e32);
+}
+
+TEST(SelectLayout, EdgeCountBoundary) {
+  // 2|E| up to int32 max still fits 32-bit edge offsets...
+  EXPECT_EQ(micg::graph::select_layout(1000, kMax32), csr_layout::v32e32);
+  // ...one past needs 64-bit offsets but keeps 32-bit vertex ids.
+  EXPECT_EQ(micg::graph::select_layout(1000, kMax32 + 1),
+            csr_layout::v32e64);
+}
+
+TEST(SelectLayout, VertexCountBoundary) {
+  EXPECT_EQ(micg::graph::select_layout(kMax32, 10), csr_layout::v32e32);
+  EXPECT_EQ(micg::graph::select_layout(kMax32 + 1, 10),
+            csr_layout::v64e64);
+  // Wide vertices force wide edges regardless of the edge count.
+  EXPECT_EQ(micg::graph::select_layout(kMax32 + 1, kMax32 + 1),
+            csr_layout::v64e64);
+}
+
+TEST(SelectLayout, RejectsNegativeDimensions) {
+  EXPECT_THROW(micg::graph::select_layout(-1, 0), micg::check_error);
+  EXPECT_THROW(micg::graph::select_layout(0, -1), micg::check_error);
+}
+
+TEST(SelectLayout, LayoutNamesRoundTrip) {
+  for (csr_layout l : {csr_layout::v32e32, csr_layout::v32e64,
+                       csr_layout::v64e64}) {
+    EXPECT_EQ(micg::graph::layout_from_name(micg::graph::layout_name(l)),
+              l);
+  }
+  EXPECT_THROW(micg::graph::layout_from_name("csr128"), micg::check_error);
+}
+
+// ----------------------------------------------------- builder overflow
+
+// The builder template accepts any signed layout, so a deliberately tiny
+// int16 instantiation makes the overflow boundary testable without
+// allocating multi-gigabyte arrays.
+using tiny_builder = micg::graph::basic_builder<std::int16_t, std::int16_t>;
+
+TEST(BuilderOverflow, TinyLayoutBuildsWithinBounds) {
+  // 2 * 16383 = 32766 <= int16 max (32767): must succeed.
+  constexpr std::int16_t n = 16384;
+  tiny_builder b(n);
+  for (std::int16_t v = 0; v + 1 < n; ++v) {
+    b.add_edge(v, static_cast<std::int16_t>(v + 1));
+  }
+  ASSERT_EQ(b.pending_edges(), 16383u);
+  const auto g = std::move(b).build();
+  EXPECT_EQ(g.num_vertices(), n);
+  EXPECT_EQ(g.num_edges(), 16383);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(BuilderOverflow, TinyLayoutRefusesOverflow) {
+  // 16384 pending edges -> 2 * 16384 = 32768 > int16 max: hard error, not
+  // a silent wrap (duplicates count because the check is pre-dedup).
+  constexpr std::int16_t n = 16384;
+  tiny_builder b(n);
+  for (std::int16_t v = 0; v + 1 < n; ++v) {
+    b.add_edge(v, static_cast<std::int16_t>(v + 1));
+  }
+  b.add_edge(0, 1);  // duplicate pushes the pre-dedup count over the limit
+  ASSERT_EQ(b.pending_edges(), 16384u);
+  EXPECT_THROW(std::move(b).build(), micg::check_error);
+}
+
+TEST(BuilderOverflow, BuildAutoPicksNarrowestLayout) {
+  micg::graph::graph_builder64 b(100);
+  for (int v = 0; v + 1 < 100; ++v) {
+    b.add_edge(v, v + 1);
+  }
+  const any_csr g = micg::graph::build_auto(std::move(b));
+  EXPECT_EQ(g.layout(), csr_layout::v32e32);
+  EXPECT_EQ(g.num_vertices(), 100);
+  EXPECT_EQ(g.num_edges(), 99);
+  EXPECT_NO_THROW(g.validate());
+}
+
+// ------------------------------------------------------ binary round-trip
+
+void expect_same_structure(const any_csr& a, const any_csr& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_directed_edges(), b.num_directed_edges());
+  a.visit([&](const auto& ga) {
+    b.visit([&](const auto& gb) {
+      for (std::int64_t v = 0; v < a.num_vertices(); ++v) {
+        const auto na = ga.neighbors(
+            static_cast<typename std::decay_t<decltype(ga)>::vertex_type>(
+                v));
+        const auto nb = gb.neighbors(
+            static_cast<typename std::decay_t<decltype(gb)>::vertex_type>(
+                v));
+        ASSERT_EQ(na.size(), nb.size());
+        for (std::size_t i = 0; i < na.size(); ++i) {
+          EXPECT_EQ(static_cast<std::int64_t>(na[i]),
+                    static_cast<std::int64_t>(nb[i]));
+        }
+      }
+    });
+  });
+}
+
+TEST(AnyCsrBinary, RoundTripPreservesEveryLayout) {
+  const csr_graph base = micg::graph::make_grid_2d(13, 17);
+  for (csr_layout l : {csr_layout::v32e32, csr_layout::v32e64,
+                       csr_layout::v64e64}) {
+    const any_csr g = micg::graph::to_layout(any_csr(base), l);
+    std::stringstream ss;
+    micg::graph::write_binary(ss, g);
+    const any_csr back = micg::graph::read_binary_any(ss);
+    EXPECT_EQ(back.layout(), l) << micg::graph::layout_name(l);
+    expect_same_structure(g, back);
+  }
+}
+
+TEST(AnyCsrBinary, CompatReaderNormalizesToDefaultLayout) {
+  const csr_graph base = micg::graph::make_kary_tree(3, 5);
+  std::stringstream ss;
+  // Write the narrowest layout; the compat reader must widen it back to
+  // the historical csr_graph layout.
+  micg::graph::write_binary(ss, micg::graph::to_narrowest(base));
+  const csr_graph back = micg::graph::read_binary(ss);
+  expect_same_structure(any_csr(base), any_csr(back));
+}
+
+TEST(AnyCsrBinary, ReadsVersion1Streams) {
+  // A version-1 file is byte-identical to a version-2 csr_graph file with
+  // version=1 and a zero reserved word where the widths now live.
+  const csr_graph base = micg::graph::make_grid_2d(7, 9);
+  std::stringstream ss;
+  micg::graph::write_binary(ss, base);
+  std::string bytes = ss.str();
+  const std::uint32_t v1 = 1;
+  const std::uint16_t zero16 = 0;
+  std::memcpy(bytes.data() + 8, &v1, sizeof(v1));        // version
+  std::memcpy(bytes.data() + 12, &zero16, sizeof(zero16));  // vid_bytes
+  std::memcpy(bytes.data() + 14, &zero16, sizeof(zero16));  // eid_bytes
+  std::stringstream v1s(bytes);
+  const any_csr back = micg::graph::read_binary_any(v1s);
+  EXPECT_EQ(back.layout(), csr_layout::v32e64);
+  expect_same_structure(any_csr(base), back);
+}
+
+TEST(AnyCsrBinary, RejectsCorruptVersion1Header) {
+  const csr_graph base = micg::graph::make_grid_2d(4, 4);
+  std::stringstream ss;
+  micg::graph::write_binary(ss, base);
+  std::string bytes = ss.str();
+  const std::uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 8, &v1, sizeof(v1));
+  // Leave the width fields at (4, 8): a real version-1 writer always
+  // wrote zeros there, so this header is corrupt.
+  std::stringstream v1s(bytes);
+  EXPECT_THROW(micg::graph::read_binary_any(v1s), micg::check_error);
+}
+
+TEST(AnyCsrBinary, RejectsUnsupportedIndexWidths) {
+  const csr_graph base = micg::graph::make_grid_2d(4, 4);
+  std::stringstream ss;
+  micg::graph::write_binary(ss, base);
+  std::string bytes = ss.str();
+  const std::uint16_t two = 2;
+  std::memcpy(bytes.data() + 12, &two, sizeof(two));  // vid_bytes = 2
+  std::stringstream bad(bytes);
+  EXPECT_THROW(micg::graph::read_binary_any(bad), micg::check_error);
+}
+
+// ------------------------------------------------------ cross-layout parity
+
+class LayoutParity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LayoutParity, KernelsAgreeOnEveryLayout) {
+  const auto& entry = micg::graph::suite_entry_by_name(GetParam());
+  const csr_graph ref = micg::graph::make_suite_graph(entry, 0.002);
+  const auto source =
+      static_cast<micg::graph::vertex_t>(ref.num_vertices() / 2);
+
+  // Reference results on the historical layout.
+  const auto ref_bfs = micg::bfs::seq_bfs(ref, source);
+  const auto ref_greedy = micg::color::greedy_color(ref);
+  micg::irregular::pagerank_options popt;
+  popt.ex.threads = 2;
+  popt.max_iterations = 30;
+  const auto ref_pr = micg::irregular::pagerank(ref, popt);
+
+  for (csr_layout l : {csr_layout::v32e32, csr_layout::v64e64}) {
+    SCOPED_TRACE(micg::graph::layout_name(l));
+    const any_csr g = micg::graph::to_layout(any_csr(ref), l);
+    g.visit([&](const auto& gl) {
+      using VId = typename std::decay_t<decltype(gl)>::vertex_type;
+
+      // BFS: parallel (every variant's default) levels match the
+      // sequential reference computed on the historical layout.
+      micg::bfs::parallel_bfs_options bopt;
+      bopt.ex.threads = 2;
+      const auto r =
+          micg::bfs::parallel_bfs(gl, static_cast<VId>(source), bopt);
+      EXPECT_EQ(r.level, ref_bfs.level);
+      EXPECT_TRUE(micg::bfs::is_valid_bfs_levels(
+          gl, static_cast<VId>(source), r.level));
+
+      // Greedy coloring is deterministic: exact color-array equality.
+      const auto c = micg::color::greedy_color(gl);
+      EXPECT_EQ(c.color, ref_greedy.color);
+      EXPECT_EQ(c.num_colors, ref_greedy.num_colors);
+
+      // Iterative coloring is nondeterministic but must stay valid.
+      micg::color::iterative_options iopt;
+      iopt.ex.threads = 2;
+      const auto ic = micg::color::iterative_color(gl, iopt);
+      EXPECT_TRUE(micg::color::is_valid_coloring(gl, ic.color));
+
+      // PageRank runs the same schedule on every layout: identical
+      // floating-point operation order, identical ranks.
+      const auto pr = micg::irregular::pagerank(gl, popt);
+      ASSERT_EQ(pr.rank.size(), ref_pr.rank.size());
+      EXPECT_EQ(pr.iterations, ref_pr.iterations);
+      for (std::size_t i = 0; i < pr.rank.size(); ++i) {
+        EXPECT_DOUBLE_EQ(pr.rank[i], ref_pr.rank[i]);
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, LayoutParity,
+                         ::testing::Values("auto", "hood", "pwtk"));
+
+}  // namespace

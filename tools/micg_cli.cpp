@@ -30,6 +30,7 @@
 #include "micg/color/iterative.hpp"
 #include "micg/color/ordering.hpp"
 #include "micg/color/verify.hpp"
+#include "micg/graph/any_csr.hpp"
 #include "micg/graph/generators.hpp"
 #include "micg/graph/io_binary.hpp"
 #include "micg/graph/io_mm.hpp"
@@ -42,6 +43,7 @@
 
 namespace {
 
+using micg::graph::any_csr;
 using micg::graph::csr_graph;
 
 [[noreturn]] void usage(const std::string& msg = "") {
@@ -68,13 +70,17 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-csr_graph load_graph(const std::string& path) {
-  if (ends_with(path, ".micg")) return micg::graph::load_binary(path);
-  if (ends_with(path, ".mtx")) return micg::graph::load_matrix_market(path);
+/// Load into whichever layout the file needs (narrowest safe one); the
+/// kernels below dispatch on it at runtime via visit().
+any_csr load_graph(const std::string& path) {
+  if (ends_with(path, ".micg")) return micg::graph::load_binary_any(path);
+  if (ends_with(path, ".mtx")) {
+    return micg::graph::load_matrix_market_any(path);
+  }
   usage("unknown graph file extension: " + path);
 }
 
-void save_graph(const std::string& path, const csr_graph& g) {
+void save_graph(const std::string& path, const any_csr& g) {
   if (ends_with(path, ".micg")) {
     micg::graph::save_binary(path, g);
   } else if (ends_with(path, ".mtx")) {
@@ -184,9 +190,11 @@ int cmd_gen(const arg_parser& args) {
   }
   const auto out = args.flag("out", "");
   if (out.empty()) usage("gen needs -o FILE");
-  save_graph(out, g);
-  std::cout << "wrote " << out << "  |V|=" << g.num_vertices()
-            << " |E|=" << g.num_edges() << "\n";
+  const any_csr ag = micg::graph::to_narrowest(std::move(g));
+  save_graph(out, ag);
+  std::cout << "wrote " << out << " [" << micg::graph::layout_name(ag.layout())
+            << "]  |V|=" << ag.num_vertices() << " |E|=" << ag.num_edges()
+            << "\n";
   return 0;
 }
 
@@ -201,34 +209,38 @@ int cmd_convert(const arg_parser& args) {
 
 int cmd_info(const arg_parser& args) {
   if (args.positional.empty()) usage("info needs FILE");
-  const auto g = load_graph(args.positional[0]);
-  const auto stats = micg::graph::compute_degree_stats(g);
+  const auto ag = load_graph(args.positional[0]);
   micg::table_printer t("graph info: " + args.positional[0]);
   t.header({"property", "value"});
-  t.row({"|V|", micg::table_printer::fmt(
-                    static_cast<long long>(g.num_vertices()))});
-  t.row({"|E|", micg::table_printer::fmt(
-                    static_cast<long long>(g.num_edges()))});
-  t.row({"min degree", micg::table_printer::fmt(
-                            static_cast<long long>(stats.min))});
-  t.row({"max degree (Delta)",
-         micg::table_printer::fmt(static_cast<long long>(stats.max))});
-  t.row({"avg degree", micg::table_printer::fmt(stats.mean)});
-  t.row({"components",
-         micg::table_printer::fmt(
-             static_cast<long long>(micg::graph::count_components(g)))});
-  t.row({"degeneracy", micg::table_printer::fmt(static_cast<long long>(
-                           micg::color::degeneracy(g)))});
-  t.row({"BFS levels from |V|/2",
-         micg::table_printer::fmt(static_cast<long long>(
-             micg::graph::count_bfs_levels(g, g.num_vertices() / 2)))});
+  t.row({"layout", std::string(micg::graph::layout_name(ag.layout()))});
+  ag.visit([&](const auto& g) {
+    const auto stats = micg::graph::compute_degree_stats(g);
+    t.row({"|V|", micg::table_printer::fmt(
+                      static_cast<long long>(g.num_vertices()))});
+    t.row({"|E|", micg::table_printer::fmt(
+                      static_cast<long long>(g.num_edges()))});
+    t.row({"min degree", micg::table_printer::fmt(
+                             static_cast<long long>(stats.min))});
+    t.row({"max degree (Delta)",
+           micg::table_printer::fmt(static_cast<long long>(stats.max))});
+    t.row({"avg degree", micg::table_printer::fmt(stats.mean)});
+    t.row({"components",
+           micg::table_printer::fmt(static_cast<long long>(
+               micg::graph::count_components(g)))});
+    t.row({"degeneracy", micg::table_printer::fmt(static_cast<long long>(
+                             micg::color::degeneracy(g)))});
+    t.row({"BFS levels from |V|/2",
+           micg::table_printer::fmt(static_cast<long long>(
+               micg::graph::count_bfs_levels(
+                   g, g.num_vertices() / 2)))});
+  });
   t.print(std::cout);
   return 0;
 }
 
 int cmd_color(const arg_parser& args) {
   if (args.positional.empty()) usage("color needs FILE");
-  const auto g = load_graph(args.positional[0]);
+  const auto ag = load_graph(args.positional[0]);
   micg::color::iterative_options opt;
   opt.ex.kind = micg::rt::backend_from_name(
       args.flag("backend", "OpenMP-dynamic"));
@@ -236,64 +248,80 @@ int cmd_color(const arg_parser& args) {
   opt.ex.chunk = args.flag_int("chunk", 100);
   micg::stopwatch sw;
   run_with_metrics(
-      metrics_path(args), {{"tool", "micg color"},
-                           {"graph", args.positional[0]}},
+      metrics_path(args),
+      {{"tool", "micg color"},
+       {"graph", args.positional[0]},
+       {"layout", std::string(micg::graph::layout_name(ag.layout()))}},
       [&] {
-        if (args.flag("d2", "no") != "no") {  // pass --d2 yes for distance-2
-          const auto r = micg::color::iterative_color_distance2(g, opt);
-          std::cout << "distance-2 colors: " << r.num_colors << " in "
-                    << r.rounds << " rounds, "
-                    << micg::table_printer::fmt(sw.millis()) << " ms, valid="
-                    << micg::color::is_valid_distance2_coloring(g, r.color)
-                    << "\n";
-        } else {
-          const auto r = micg::color::iterative_color(g, opt);
-          std::cout << "colors: " << r.num_colors << " in " << r.rounds
-                    << " rounds, " << micg::table_printer::fmt(sw.millis())
-                    << " ms, valid="
-                    << micg::color::is_valid_coloring(g, r.color) << "\n";
-        }
+        ag.visit([&](const auto& g) {
+          if (args.flag("d2", "no") != "no") {  // pass --d2 yes for distance-2
+            const auto r = micg::color::iterative_color_distance2(g, opt);
+            std::cout << "distance-2 colors: " << r.num_colors << " in "
+                      << r.rounds << " rounds, "
+                      << micg::table_printer::fmt(sw.millis())
+                      << " ms, valid="
+                      << micg::color::is_valid_distance2_coloring(g, r.color)
+                      << "\n";
+          } else {
+            const auto r = micg::color::iterative_color(g, opt);
+            std::cout << "colors: " << r.num_colors << " in " << r.rounds
+                      << " rounds, " << micg::table_printer::fmt(sw.millis())
+                      << " ms, valid="
+                      << micg::color::is_valid_coloring(g, r.color) << "\n";
+          }
+        });
       });
   return 0;
 }
 
 int cmd_bfs(const arg_parser& args) {
   if (args.positional.empty()) usage("bfs needs FILE");
-  const auto g = load_graph(args.positional[0]);
+  const auto ag = load_graph(args.positional[0]);
   micg::bfs::parallel_bfs_options opt;
   opt.ex.threads = static_cast<int>(args.flag_int("threads", 4));
   opt.block = static_cast<int>(args.flag_int("block", 32));
   const auto vname = args.flag("variant", "OpenMP-Block-relaxed");
   opt.variant = micg::bfs::bfs_variant_from_name(vname);
-  const auto source = static_cast<micg::graph::vertex_t>(
-      args.flag_int("source", g.num_vertices() / 2));
+  const std::int64_t source =
+      args.flag_int("source", static_cast<long>(ag.num_vertices() / 2));
   micg::stopwatch sw;
   run_with_metrics(
       metrics_path(args),
-      {{"tool", "micg bfs"}, {"graph", args.positional[0]}},
+      {{"tool", "micg bfs"},
+       {"graph", args.positional[0]},
+       {"layout", std::string(micg::graph::layout_name(ag.layout()))}},
       [&] {
-        const auto r = micg::bfs::parallel_bfs(g, source, opt);
-        std::cout << micg::bfs::bfs_variant_name(opt.variant) << ": "
-                  << r.num_levels << " levels, reached " << r.reached << "/"
-                  << g.num_vertices() << " in "
-                  << micg::table_printer::fmt(sw.millis()) << " ms\n";
+        ag.visit([&](const auto& g) {
+          using VId = typename std::decay_t<decltype(g)>::vertex_type;
+          const auto r =
+              micg::bfs::parallel_bfs(g, static_cast<VId>(source), opt);
+          std::cout << micg::bfs::bfs_variant_name(opt.variant) << ": "
+                    << r.num_levels << " levels, reached " << r.reached
+                    << "/" << g.num_vertices() << " in "
+                    << micg::table_printer::fmt(sw.millis()) << " ms\n";
+        });
       });
   return 0;
 }
 
 int cmd_bc(const arg_parser& args) {
   if (args.positional.empty()) usage("bc needs FILE");
-  const auto g = load_graph(args.positional[0]);
+  const auto ag = load_graph(args.positional[0]);
   micg::bfs::centrality_options opt;
   opt.ex.threads = static_cast<int>(args.flag_int("threads", 4));
-  opt.sample_sources = static_cast<micg::graph::vertex_t>(
-      args.flag_int("samples", 0));
+  opt.sample_sources = args.flag_int("samples", 0);
   micg::stopwatch sw;
   std::vector<double> bc;
   run_with_metrics(
       metrics_path(args),
-      {{"tool", "micg bc"}, {"graph", args.positional[0]}},
-      [&] { bc = micg::bfs::betweenness_centrality(g, opt); });
+      {{"tool", "micg bc"},
+       {"graph", args.positional[0]},
+       {"layout", std::string(micg::graph::layout_name(ag.layout()))}},
+      [&] {
+        ag.visit([&](const auto& g) {
+          bc = micg::bfs::betweenness_centrality(g, opt);
+        });
+      });
   const auto top = static_cast<std::size_t>(args.flag_int("top", 5));
   std::vector<std::size_t> idx(bc.size());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
