@@ -37,13 +37,30 @@ std::size_t basic_block_queue<VId>::count_valid() const {
 }
 
 template <std::signed_integral VId>
-void basic_block_queue<VId>::swap(basic_block_queue& other) noexcept {
+void basic_block_queue<VId>::swap(basic_block_queue& other) noexcept(false) {
+  // Quiescence check (see header): an open block means a producer is (or
+  // was) mid-level and the cursor exchange below would race with its
+  // acquire_block. flush_all()/reset() close every handle (pos == end).
+  for (int w = 0; w < max_workers_; ++w) {
+    const auto& h = handles_[static_cast<std::size_t>(w)].value;
+    MICG_CHECK(h.pos == h.end,
+               "block_queue::swap with an open block (call flush_all "
+               "before swapping)");
+  }
+  for (int w = 0; w < other.max_workers_; ++w) {
+    const auto& h = other.handles_[static_cast<std::size_t>(w)].value;
+    MICG_CHECK(h.pos == h.end,
+               "block_queue::swap with an open block in the other queue");
+  }
   slots_.swap(other.slots_);
   std::swap(block_size_, other.block_size_);
-  const auto a = cursor_.load(std::memory_order_relaxed);
-  cursor_.store(other.cursor_.load(std::memory_order_relaxed),
-                std::memory_order_relaxed);
-  other.cursor_.store(a, std::memory_order_relaxed);
+  // Each cursor is updated in a single RMW (exchange), not a separate
+  // load/store pair, so even a misuse under concurrency cannot interleave
+  // half an update into either atomic.
+  const auto mine =
+      cursor_.exchange(other.cursor_.load(std::memory_order_acquire),
+                       std::memory_order_acq_rel);
+  other.cursor_.store(mine, std::memory_order_release);
   handles_.swap(other.handles_);
   std::swap(max_workers_, other.max_workers_);
 }

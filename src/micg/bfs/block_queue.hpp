@@ -71,8 +71,16 @@ class basic_block_queue {
   void reset();
 
   /// Swap contents with `other` (the per-level cur/next exchange of
-  /// Algorithm 7). Both queues must be quiescent.
-  void swap(basic_block_queue& other) noexcept;
+  /// Algorithm 7).
+  ///
+  /// Precondition: both queues are *quiescent* — no concurrent push() or
+  /// acquire_block() anywhere, and every handed-out block has been closed
+  /// by flush_all() (or the queue was reset()). The driver calls swap only
+  /// between levels, after the parallel region joined. This is checked:
+  /// swap asserts no worker still holds an open block, because the
+  /// two-atomic cursor exchange below is not atomic as a whole and would
+  /// silently lose pushes if producers were live.
+  void swap(basic_block_queue& other) noexcept(false);
 
   [[nodiscard]] int block_size() const { return block_size_; }
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
@@ -103,7 +111,7 @@ using block_queue = basic_block_queue<micg::graph::vertex_t>;
 
 template <std::signed_integral VId>
 inline void swap(basic_block_queue<VId>& a,
-                 basic_block_queue<VId>& b) noexcept {
+                 basic_block_queue<VId>& b) noexcept(false) {
   a.swap(b);
 }
 

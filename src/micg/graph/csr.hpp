@@ -125,10 +125,16 @@ class basic_csr {
     MICG_CHECK(!xadj_.empty() && xadj_.front() == 0, "bad xadj prefix");
     MICG_CHECK(xadj_.back() == static_cast<EId>(adj_.size()),
                "bad xadj suffix");
+    // The whole offset array must be proven monotone (hence in-bounds,
+    // given the prefix/suffix checks) before any adj_ access: a corrupt
+    // xadj like [0, 10, 5] over 5 adjacency slots would otherwise send
+    // neighbors(0) reading past the array while the scan is still at v=0.
     for (VId v = 0; v < n; ++v) {
       MICG_CHECK(xadj_[static_cast<std::size_t>(v)] <=
                      xadj_[static_cast<std::size_t>(v) + 1],
                  "xadj must be non-decreasing");
+    }
+    for (VId v = 0; v < n; ++v) {
       auto nbrs = neighbors(v);
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const VId w = nbrs[i];

@@ -2,8 +2,11 @@
 
 #include <cstdint>
 #include <fstream>
+#include <new>
+#include <stdexcept>
 #include <vector>
 
+#include "micg/qa/failpoint.hpp"
 #include "micg/support/assert.hpp"
 
 namespace micg::graph {
@@ -37,14 +40,50 @@ void read_pod(std::istream& in, T& value) {
   MICG_CHECK(in.good(), "truncated binary graph stream");
 }
 
+/// Allocation that converts exhaustion into a parse error: a header that
+/// over-reports its array sizes on a non-seekable stream is only detected
+/// here, and the reader's contract is check_error, never bad_alloc.
+template <typename T>
+std::vector<T> checked_alloc(std::size_t n, const char* what) {
+  try {
+    return std::vector<T>(n);
+  } catch (const std::bad_alloc&) {
+    throw check_error(std::string("binary graph header over-reports the ") +
+                      what + " size (allocation failed)");
+  } catch (const std::length_error&) {
+    throw check_error(std::string("binary graph header over-reports the ") +
+                      what + " size (exceeds max_size)");
+  }
+}
+
+/// Bytes between the current position and the end of a seekable stream;
+/// -1 when the stream does not support seeking (pipe, faulty_stream).
+std::int64_t remaining_bytes(std::istream& in) {
+  const auto pos = in.tellg();
+  if (pos == std::istream::pos_type(-1) || !in.good()) {
+    in.clear(in.rdstate() & ~std::ios::failbit);
+    return -1;
+  }
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.clear(in.rdstate() & ~std::ios::failbit);
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return -1;
+  return static_cast<std::int64_t>(end - pos);
+}
+
 template <std::signed_integral VId, std::signed_integral EId>
 basic_csr<VId, EId> read_arrays(std::istream& in, std::int64_t num_vertices,
                                 std::int64_t adj_size) {
-  std::vector<EId> xadj(static_cast<std::size_t>(num_vertices) + 1);
+  auto xadj = checked_alloc<EId>(static_cast<std::size_t>(num_vertices) + 1,
+                                 "xadj array");
+  MICG_FAILPOINT("io_binary.xadj", &in);
   in.read(reinterpret_cast<char*>(xadj.data()),
           static_cast<std::streamsize>(xadj.size() * sizeof(EId)));
   MICG_CHECK(in.good(), "truncated xadj array");
-  std::vector<VId> adj(static_cast<std::size_t>(adj_size));
+  auto adj = checked_alloc<VId>(static_cast<std::size_t>(adj_size),
+                                "adjacency array");
+  MICG_FAILPOINT("io_binary.adj", &in);
   in.read(reinterpret_cast<char*>(adj.data()),
           static_cast<std::streamsize>(adj.size() * sizeof(VId)));
   MICG_CHECK(in.good(), "truncated adjacency array");
@@ -88,14 +127,23 @@ void save_binary(const std::string& path, const any_csr& g) {
   g.visit([&path](const auto& c) { save_binary(path, c); });
 }
 
-any_csr read_binary_any(std::istream& in) {
+namespace {
+
+any_csr read_binary_any_impl(std::istream& in) {
   header h{};
   read_pod(in, h);
+  MICG_FAILPOINT("io_binary.header", &in);
   MICG_CHECK(h.magic == kMagic, "not a micgraph binary file");
   MICG_CHECK(h.version == 1 || h.version == 2,
              "unsupported binary graph version");
   MICG_CHECK(h.num_vertices >= 0 && h.adj_size >= 0,
              "corrupt binary graph header");
+  // Cap both counts so the payload-size arithmetic below cannot overflow
+  // and an over-reported header cannot demand an exabyte allocation. 2^48
+  // indices is far beyond anything the widest layout is used for.
+  constexpr std::int64_t kMaxIndices = std::int64_t{1} << 48;
+  MICG_CHECK(h.num_vertices < kMaxIndices && h.adj_size < kMaxIndices,
+             "implausible binary graph header (over-reported sizes)");
   std::uint32_t vid_bytes = h.vid_bytes;
   std::uint32_t eid_bytes = h.eid_bytes;
   if (h.version == 1) {
@@ -105,6 +153,18 @@ any_csr read_binary_any(std::istream& in) {
                "corrupt version-1 binary graph header");
     vid_bytes = sizeof(vertex_t);
     eid_bytes = sizeof(edge_t);
+  }
+  // On a seekable stream the header must agree with the bytes actually
+  // present — an over-report is rejected before any allocation happens.
+  // Non-seekable streams fall back to checked_alloc + truncation checks.
+  const std::int64_t have = remaining_bytes(in);
+  if (have >= 0 && (vid_bytes == 4 || vid_bytes == 8) &&
+      (eid_bytes == 4 || eid_bytes == 8)) {
+    const std::int64_t want =
+        (h.num_vertices + 1) * static_cast<std::int64_t>(eid_bytes) +
+        h.adj_size * static_cast<std::int64_t>(vid_bytes);
+    MICG_CHECK(want <= have,
+               "binary graph header over-reports the payload size");
   }
   if (vid_bytes == 4 && eid_bytes == 4) {
     return read_arrays<std::int32_t, std::int32_t>(in, h.num_vertices,
@@ -120,6 +180,21 @@ any_csr read_binary_any(std::istream& in) {
   }
   MICG_CHECK(false, "binary graph uses an unsupported index layout");
   return {};  // unreachable
+}
+
+}  // namespace
+
+any_csr read_binary_any(std::istream& in) {
+  // Streams configured with exceptions(), or streambufs that throw on I/O
+  // errors, must surface through the same check_error contract as every
+  // other malformed input (the default swallow-and-set-badbit path is
+  // caught by the in.good() checks).
+  try {
+    return read_binary_any_impl(in);
+  } catch (const std::ios_base::failure& e) {
+    throw check_error(std::string("I/O error while reading binary graph: ") +
+                      e.what());
+  }
 }
 
 any_csr load_binary_any(const std::string& path) {

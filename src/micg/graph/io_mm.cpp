@@ -7,6 +7,7 @@
 #include <string>
 
 #include "micg/graph/builder.hpp"
+#include "micg/qa/failpoint.hpp"
 #include "micg/support/assert.hpp"
 
 namespace micg::graph {
@@ -53,9 +54,16 @@ mm_size read_mm_header(std::istream& in) {
 
   std::istringstream dims(line);
   long long rows = 0, cols = 0, nnz = 0;
-  dims >> rows >> cols >> nnz;
+  // Extraction must be checked: "100 100" would otherwise leave nnz == 0
+  // and yield a silently empty graph.
+  MICG_CHECK(static_cast<bool>(dims >> rows >> cols >> nnz),
+             "malformed size line (need <rows> <cols> <nnz>)");
+  std::string trailing;
+  MICG_CHECK(!(dims >> trailing),
+             "trailing garbage on size line: " + trailing);
   MICG_CHECK(rows > 0 && cols > 0 && nnz >= 0, "bad size line");
   MICG_CHECK(rows == cols, "graph requires a square matrix");
+  MICG_FAILPOINT("io_mm.size_line", &in);
   return {rows, nnz, field != "pattern"};
 }
 
@@ -63,19 +71,28 @@ mm_size read_mm_header(std::istream& in) {
 template <std::signed_integral VId, std::signed_integral EId>
 basic_csr<VId, EId> read_mm_entries(std::istream& in, const mm_size& sz) {
   basic_builder<VId, EId> b(static_cast<VId>(sz.rows));
-  b.reserve(static_cast<std::size_t>(sz.nnz));
+  // An over-reported nnz must not become a multi-terabyte reservation
+  // before the (checked) entry loop discovers the lie; cap the hint and
+  // let the buffer grow normally for genuinely large inputs.
+  constexpr long long kReserveCap = 1 << 22;
+  b.reserve(static_cast<std::size_t>(std::min(sz.nnz, kReserveCap)));
   std::string line;
   for (long long i = 0; i < sz.nnz; ++i) {
     MICG_CHECK(static_cast<bool>(std::getline(in, line)),
                "truncated entry list");
+    MICG_FAILPOINT("io_mm.entry", &in);
     std::istringstream entry(line);
     long long r = 0, c = 0;
-    entry >> r >> c;
+    MICG_CHECK(static_cast<bool>(entry >> r >> c),
+               "malformed entry line: " + line);
     MICG_CHECK(r >= 1 && r <= sz.rows && c >= 1 && c <= sz.rows,
                "entry index out of range");
     if (sz.has_value) {
       double v;
-      entry >> v;  // value ignored; pattern defines the graph
+      // Value ignored (the pattern defines the graph) but its absence is
+      // a malformed file, not a pattern entry.
+      MICG_CHECK(static_cast<bool>(entry >> v),
+                 "entry missing its value: " + line);
     }
     // 1-based -> 0-based; the builder symmetrizes and drops self loops.
     b.add_edge(static_cast<VId>(r - 1), static_cast<VId>(c - 1));
@@ -85,12 +102,29 @@ basic_csr<VId, EId> read_mm_entries(std::istream& in, const mm_size& sz) {
   return g;
 }
 
+/// Runs a parse step, converting stream exceptions (streams configured
+/// with exceptions(), or throwing streambufs) into the check_error
+/// contract every other malformed-input path follows.
+template <typename Fn>
+auto checked_io(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::ios_base::failure& e) {
+    throw check_error(
+        std::string("I/O error while reading MatrixMarket stream: ") +
+        e.what());
+  }
+}
+
 }  // namespace
 
 csr_graph read_matrix_market(std::istream& in) {
-  const mm_size sz = read_mm_header(in);
-  MICG_CHECK(sz.rows < (1LL << 31), "matrix too large for 32-bit vertex ids");
-  return read_mm_entries<vertex_t, edge_t>(in, sz);
+  return checked_io([&] {
+    const mm_size sz = read_mm_header(in);
+    MICG_CHECK(sz.rows < (1LL << 31),
+               "matrix too large for 32-bit vertex ids");
+    return read_mm_entries<vertex_t, edge_t>(in, sz);
+  });
 }
 
 csr_graph load_matrix_market(const std::string& path) {
@@ -100,14 +134,17 @@ csr_graph load_matrix_market(const std::string& path) {
 }
 
 any_csr read_matrix_market_any(std::istream& in) {
-  const mm_size sz = read_mm_header(in);
-  // Parse at a width that certainly fits, then repack to the narrowest
-  // layout the deduplicated graph allows.
-  if (sz.rows < (1LL << 31)) {
-    return to_narrowest(any_csr(read_mm_entries<vertex_t, edge_t>(in, sz)));
-  }
-  return to_narrowest(
-      any_csr(read_mm_entries<std::int64_t, std::int64_t>(in, sz)));
+  return checked_io([&] {
+    const mm_size sz = read_mm_header(in);
+    // Parse at a width that certainly fits, then repack to the narrowest
+    // layout the deduplicated graph allows.
+    if (sz.rows < (1LL << 31)) {
+      return to_narrowest(
+          any_csr(read_mm_entries<vertex_t, edge_t>(in, sz)));
+    }
+    return to_narrowest(
+        any_csr(read_mm_entries<std::int64_t, std::int64_t>(in, sz)));
+  });
 }
 
 any_csr load_matrix_market_any(const std::string& path) {

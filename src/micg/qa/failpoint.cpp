@@ -1,0 +1,80 @@
+#include "micg/qa/failpoint.hpp"
+
+#include <cstring>
+#include <ios>
+#include <mutex>
+#include <new>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::qa {
+
+namespace detail {
+std::atomic<int> failpoints_armed{0};
+}  // namespace detail
+
+namespace {
+
+// The single armed point. Guarded by mu; failpoints_armed is the lock-free
+// fast-path gate (hits far outnumber arms).
+std::mutex mu;
+const char* armed_name = nullptr;
+fail_action armed_action = fail_action::fail_stream;
+int armed_skip = 0;
+int armed_fired = 0;
+
+}  // namespace
+
+namespace detail {
+
+void failpoint_hit_slow(const char* name, std::istream* stream) {
+  fail_action action{};
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (armed_name == nullptr || std::strcmp(armed_name, name) != 0) return;
+    if (armed_skip > 0) {
+      --armed_skip;
+      return;
+    }
+    ++armed_fired;
+    action = armed_action;
+  }
+  switch (action) {
+    case fail_action::fail_stream:
+      MICG_CHECK(stream != nullptr,
+                 "fail_stream armed on a failpoint with no stream");
+      stream->setstate(std::ios::badbit);
+      return;
+    case fail_action::throw_bad_alloc:
+      throw std::bad_alloc();
+    case fail_action::throw_io_error:
+      throw std::ios_base::failure("injected failpoint I/O error");
+  }
+}
+
+}  // namespace detail
+
+failpoint_scope::failpoint_scope(const char* name, fail_action action,
+                                 int skip) {
+  std::lock_guard<std::mutex> lock(mu);
+  MICG_CHECK(armed_name == nullptr,
+             "only one failpoint may be armed at a time");
+  armed_name = name;
+  armed_action = action;
+  armed_skip = skip;
+  armed_fired = 0;
+  detail::failpoints_armed.store(1, std::memory_order_release);
+}
+
+failpoint_scope::~failpoint_scope() {
+  std::lock_guard<std::mutex> lock(mu);
+  armed_name = nullptr;
+  detail::failpoints_armed.store(0, std::memory_order_release);
+}
+
+int failpoint_scope::fired() const {
+  std::lock_guard<std::mutex> lock(mu);
+  return armed_fired;
+}
+
+}  // namespace micg::qa

@@ -1,0 +1,63 @@
+// Failure points (micg::qa): named hooks compiled into error-prone code
+// paths that tests can arm to force a fault at an exact site.
+//
+// A corruption test can only damage *bytes*; some failures (allocation
+// exhaustion mid-parse, a stream going bad between two reads) are states,
+// not bytes. The parsers in io_binary/io_mm call
+//
+//     MICG_FAILPOINT("io_binary.xadj", &in);
+//
+// at those sites. When nothing is armed this is one relaxed atomic load —
+// cheap enough to stay compiled in for release builds. A test arms a point
+// for a scope:
+//
+//     micg::qa::failpoint_scope fp("io_binary.xadj",
+//                                  micg::qa::fail_action::throw_bad_alloc);
+//     EXPECT_THROW(read_binary_any(in), micg::check_error);
+//
+// Only one failpoint may be armed at a time (tests are sequential); arming
+// is thread-safe with respect to concurrent hits.
+#pragma once
+
+#include <atomic>
+#include <istream>
+
+namespace micg::qa {
+
+/// What an armed failpoint does when hit.
+enum class fail_action {
+  fail_stream,      ///< set badbit on the stream passed to the hit
+  throw_bad_alloc,  ///< throw std::bad_alloc (allocation exhaustion)
+  throw_io_error,   ///< throw std::ios_base::failure
+};
+
+namespace detail {
+extern std::atomic<int> failpoints_armed;
+void failpoint_hit_slow(const char* name, std::istream* stream);
+}  // namespace detail
+
+/// Instrumentation call. Near-zero cost when nothing is armed.
+inline void failpoint_hit(const char* name, std::istream* stream = nullptr) {
+  if (detail::failpoints_armed.load(std::memory_order_acquire) == 0) return;
+  detail::failpoint_hit_slow(name, stream);
+}
+
+/// RAII arming of one failpoint. `skip` hits pass through before the
+/// action fires (so a per-entry hook can fail on entry k, not entry 0);
+/// every later hit fires again until the scope ends.
+class failpoint_scope {
+ public:
+  failpoint_scope(const char* name, fail_action action, int skip = 0);
+  ~failpoint_scope();
+
+  failpoint_scope(const failpoint_scope&) = delete;
+  failpoint_scope& operator=(const failpoint_scope&) = delete;
+
+  /// Times the armed point has fired (not counting skipped hits).
+  [[nodiscard]] int fired() const;
+};
+
+}  // namespace micg::qa
+
+#define MICG_FAILPOINT(name, stream_ptr) \
+  ::micg::qa::failpoint_hit((name), (stream_ptr))

@@ -1,0 +1,71 @@
+#include "micg/qa/faulty_stream.hpp"
+
+#include <algorithm>
+#include <ios>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::qa {
+
+std::string truncated(std::string data, std::size_t size) {
+  if (size < data.size()) data.resize(size);
+  return data;
+}
+
+std::string bit_flipped(std::string data, std::size_t byte, unsigned bit) {
+  MICG_CHECK(byte < data.size(), "bit flip outside the image");
+  MICG_CHECK(bit < 8, "bit index must be 0..7");
+  data[byte] = static_cast<char>(
+      static_cast<unsigned char>(data[byte]) ^ (1u << bit));
+  return data;
+}
+
+std::string with_bytes_at(std::string data, std::size_t offset,
+                          const void* bytes, std::size_t n) {
+  MICG_CHECK(offset <= data.size() && n <= data.size() - offset,
+             "patch outside the image");
+  std::memcpy(data.data() + offset, bytes, n);
+  return data;
+}
+
+namespace detail {
+
+faulty_streambuf::faulty_streambuf(std::string data, fault_mode mode,
+                                   std::size_t at)
+    : data_(std::move(data)),
+      mode_(mode),
+      limit_(mode == fault_mode::none ? data_.size()
+                                      : std::min(at, data_.size())) {
+  char* base = data_.data();
+  setg(base, base, base + limit_);
+}
+
+faulty_streambuf::int_type faulty_streambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  // The whole pre-fault window is already exposed via setg, so reaching
+  // here means the fault point (or the true end) has been hit.
+  if (mode_ == fault_mode::error_at && consumed() >= limit_) {
+    // istream::read catches this and sets badbit (not eofbit): the
+    // canonical shape of a mid-read I/O error.
+    throw std::ios_base::failure("injected I/O error");
+  }
+  return traits_type::eof();
+}
+
+std::streamsize faulty_streambuf::xsgetn(char_type* s, std::streamsize n) {
+  const std::streamsize got = std::streambuf::xsgetn(s, n);
+  if (got < n && mode_ == fault_mode::error_at && consumed() >= limit_) {
+    throw std::ios_base::failure("injected I/O error");
+  }
+  return got;
+}
+
+}  // namespace detail
+
+faulty_stream::faulty_stream(std::string data, fault_mode mode,
+                             std::size_t at)
+    : std::istream(nullptr), buf_(std::move(data), mode, at) {
+  rdbuf(&buf_);
+}
+
+}  // namespace micg::qa

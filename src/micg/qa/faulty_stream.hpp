@@ -1,0 +1,102 @@
+// Fault-injection streams and corruption helpers (micg::qa).
+//
+// The graph readers (io_binary, io_mm) accept untrusted bytes; every error
+// path in them must raise micg::check_error instead of crashing, hanging,
+// or silently returning a wrong graph. This header provides the tools the
+// fault-injection tests use to prove that:
+//
+//  * corruption helpers — pure functions that damage an in-memory
+//    serialized image (truncate, flip one bit, overwrite a header field),
+//  * faulty_stream — an istream over such an image that can additionally
+//    simulate an I/O *error* (badbit mid-read), which plain string streams
+//    cannot: truncation ends in EOF, a dying NFS mount ends in badbit, and
+//    parsers must survive both.
+//
+// Nothing in here is linked into hot paths; the library exists so tests
+// and tools/ fuzz drivers share one vocabulary of faults.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <streambuf>
+#include <string>
+
+namespace micg::qa {
+
+// ---------------------------------------------------------------------------
+// Corruption helpers. All take the image by value and return the damaged
+// copy so call sites can fan one pristine image into many faults.
+// ---------------------------------------------------------------------------
+
+/// First `size` bytes of `data` (no-op when size >= data.size()).
+std::string truncated(std::string data, std::size_t size);
+
+/// `data` with bit `bit` (0..7) of byte `byte` inverted.
+std::string bit_flipped(std::string data, std::size_t byte, unsigned bit);
+
+/// `data` with `n` bytes at `offset` overwritten from `bytes`. The range
+/// must lie inside the image.
+std::string with_bytes_at(std::string data, std::size_t offset,
+                          const void* bytes, std::size_t n);
+
+/// `data` with a trivially-copyable value spliced in at `offset` — the tool
+/// for over-reporting a binary header field (e.g. num_vertices = 1 << 60).
+template <typename T>
+std::string with_pod_at(std::string data, std::size_t offset, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return with_bytes_at(std::move(data), offset, &value, sizeof(T));
+}
+
+// ---------------------------------------------------------------------------
+// faulty_stream
+// ---------------------------------------------------------------------------
+
+/// What happens when the stream reaches its fault point.
+enum class fault_mode {
+  none,      ///< serve the whole image, then normal EOF
+  eof_at,    ///< serve `at` bytes, then behave as a truncated file (EOF)
+  error_at,  ///< serve `at` bytes, then fail like an I/O error (badbit)
+};
+
+namespace detail {
+
+/// Read-only streambuf over an owned byte image with a fault point.
+class faulty_streambuf : public std::streambuf {
+ public:
+  faulty_streambuf(std::string data, fault_mode mode, std::size_t at);
+
+ protected:
+  int_type underflow() override;
+  std::streamsize xsgetn(char_type* s, std::streamsize n) override;
+
+ private:
+  [[nodiscard]] std::size_t consumed() const {
+    return static_cast<std::size_t>(gptr() - eback());
+  }
+
+  std::string data_;
+  fault_mode mode_;
+  std::size_t limit_;  ///< bytes served before the fault fires
+};
+
+}  // namespace detail
+
+/// Seekable? No — deliberately. The binary reader has a stricter validation
+/// path for seekable streams (it can compare the header against the real
+/// payload size); faulty_stream is non-seekable so tests also exercise the
+/// pipe/socket path where only incremental checks are possible.
+class faulty_stream : public std::istream {
+ public:
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+  explicit faulty_stream(std::string data,
+                         fault_mode mode = fault_mode::none,
+                         std::size_t at = npos);
+
+ private:
+  detail::faulty_streambuf buf_;
+};
+
+}  // namespace micg::qa

@@ -29,6 +29,13 @@ class ws_deque {
   explicit ws_deque(std::size_t initial_capacity = 64)
       : array_(new ring(round_up(initial_capacity))) {}
 
+  // Reclamation rule for retired rings: grow() never frees the old ring,
+  // it parks it on retired_ (owner-only, unsynchronized) because a thief
+  // that loaded array_ before the growth may still be reading old slots.
+  // Retired rings are freed only here, and the destructor may only run
+  // when no thief can still touch the deque — the scheduler guarantees
+  // that by joining every worker before destroying its deques. Total
+  // retired memory is bounded by the doubling: < 2x the final ring.
   ~ws_deque() {
     delete array_.load(std::memory_order_relaxed);
     for (ring* r : retired_) delete r;
@@ -46,17 +53,28 @@ class ws_deque {
       a = grow(a, t, b);
     }
     a->put(b, item);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    // Release store (not Lê et al.'s release-fence + relaxed store): a
+    // thief that acquire-loads bottom_ then synchronizes with this store,
+    // which is what publishes the item *and whatever it points to* — the
+    // payload edge race detectors need to see, since TSan does not model
+    // standalone fences.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner only. Pop the most recently pushed item, if any.
   std::optional<T> pop() {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     ring* a = array_.load(std::memory_order_relaxed);
-    bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_relaxed);
+    // Lê et al. write release-store(bottom); seq_cst fence; relaxed
+    // load(top). The fence exists solely for the StoreLoad edge between
+    // the two, and TSan does not model standalone fences — so express the
+    // same edge through the seq_cst total order on the operations
+    // themselves (on x86 the store compiles to the xchg the fence would
+    // have cost anyway; the load stays a plain mov). A seq_cst store is
+    // also a release store, which is what hands the payload
+    // happens-before edge to a thief that acquire-loads bottom_.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
     if (t <= b) {
       T item = a->get(b);
       if (t == b) {
@@ -64,26 +82,38 @@ class ws_deque {
         if (!top_.compare_exchange_strong(t, t + 1,
                                           std::memory_order_seq_cst,
                                           std::memory_order_relaxed)) {
-          // Lost the race; a thief took it.
-          bottom_.store(b + 1, std::memory_order_relaxed);
+          // Lost the race; a thief took it. Every bottom_ store is release
+          // so that *whichever* store a thief's acquire load reads carries
+          // the payload happens-before edge (C++20 dropped same-thread
+          // stores from release sequences, so a relaxed store here would
+          // break the chain formally, not just under TSan).
+          bottom_.store(b + 1, std::memory_order_release);
           return std::nullopt;
         }
-        bottom_.store(b + 1, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_release);
       }
       return item;
     }
     // Deque was empty.
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
     return std::nullopt;
   }
 
   /// Any thread. Steal the oldest item, if any.
   std::optional<T> steal() {
-    std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    // Same fence elimination as pop(): the paper's acquire-load(top);
+    // seq_cst fence; acquire-load(bottom) becomes two seq_cst loads. The
+    // total order guarantees that a thief racing the owner's pop cannot
+    // read a stale bottom_ after reading the new top_, and seq_cst loads
+    // are also acquire loads, so the payload edge from the owner's
+    // bottom_ store and the slot-reuse edge from top_ both survive.
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t < b) {
-      ring* a = array_.load(std::memory_order_consume);
+      // Acquire, not consume: memory_order_consume is deprecated (P0371R1),
+      // every current compiler already promotes it to acquire, and TSan
+      // has no dependency-ordering model — so spell the promoted order.
+      ring* a = array_.load(std::memory_order_acquire);
       T item = a->get(t);
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {

@@ -1,0 +1,27 @@
+// ThreadSanitizer detection.
+//
+// MICG_TSAN is 1 when the translation unit is compiled with
+// -fsanitize=thread (GCC defines __SANITIZE_THREAD__, Clang exposes it via
+// __has_feature). Used to scale stress workloads down under the ~5-20x
+// TSan slowdown and to document, at the code site, decisions made for the
+// benefit of the race detector.
+//
+// Policy note (docs/runtime.md "Memory model"): the runtime avoids
+// *correctness* that only exists under MICG_TSAN. Synchronization is
+// expressed with atomic release/acquire operations on the variables that
+// carry the happens-before edges — never with standalone fences for
+// payload publication, because TSan does not model fences and the code
+// must be provable by the tool that CI runs.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define MICG_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MICG_TSAN 1
+#endif
+#endif
+
+#ifndef MICG_TSAN
+#define MICG_TSAN 0
+#endif

@@ -1,0 +1,429 @@
+// Fault-injection suite for the untrusted-input readers (io_binary, io_mm).
+//
+// Contract under test: *every* corruption of a serialized graph — byte
+// truncation, bit flips, over-reported header fields, injected I/O errors,
+// forced allocation failure — either raises micg::check_error or yields a
+// graph that passes full validation. Never a crash, hang, out-of-bounds
+// access (the ASan job runs this same binary), or a silently wrong graph.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "micg/graph/builder.hpp"
+#include "micg/graph/csr.hpp"
+#include "micg/graph/io_binary.hpp"
+#include "micg/graph/io_mm.hpp"
+#include "micg/qa/failpoint.hpp"
+#include "micg/qa/faulty_stream.hpp"
+#include "micg/support/assert.hpp"
+
+namespace {
+
+using micg::check_error;
+using micg::graph::any_csr;
+using micg::graph::csr_graph;
+using micg::graph::vertex_t;
+using micg::qa::fault_mode;
+using micg::qa::faulty_stream;
+
+// Binary v2 header layout (io_binary.cpp): magic @0, version @8,
+// vid_bytes @12, eid_bytes @14, num_vertices @16, adj_size @24.
+constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffVidBytes = 12;
+constexpr std::size_t kOffEidBytes = 14;
+constexpr std::size_t kOffNumVertices = 16;
+constexpr std::size_t kOffAdjSize = 24;
+constexpr std::size_t kHeaderBytes = 32;
+
+/// Ring graph: every vertex has degree exactly 2, so xadj is strictly
+/// increasing — which makes every header-field corruption detectable.
+csr_graph ring_graph(vertex_t n) {
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  for (vertex_t v = 0; v < n; ++v) {
+    edges.emplace_back(v, static_cast<vertex_t>((v + 1) % n));
+  }
+  return micg::graph::csr_from_edges(n, edges);
+}
+
+std::string binary_image(const csr_graph& g) {
+  std::ostringstream os;
+  micg::graph::write_binary(os, g);
+  return os.str();
+}
+
+enum class outcome { threw_check, parsed_valid };
+
+/// The only two acceptable fates of a corrupted stream.
+outcome read_binary_outcome(std::istream& in) {
+  try {
+    any_csr g = micg::graph::read_binary_any(in);
+    g.visit([](const auto& c) { c.validate(); });
+    return outcome::parsed_valid;
+  } catch (const check_error&) {
+    return outcome::threw_check;
+  }
+  // Anything else escapes and fails the test.
+}
+
+outcome read_mm_outcome(std::istream& in) {
+  try {
+    csr_graph g = micg::graph::read_matrix_market(in);
+    g.validate();
+    return outcome::parsed_valid;
+  } catch (const check_error&) {
+    return outcome::threw_check;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MatrixMarket: malformed-input regressions
+// ---------------------------------------------------------------------------
+
+std::string mm_file(const std::string& size_line,
+                    const std::string& entries,
+                    const std::string& banner =
+                        "%%MatrixMarket matrix coordinate pattern symmetric") {
+  return banner + "\n% comment\n" + size_line + "\n" + entries;
+}
+
+TEST(FaultInjectionMM, ValidFileParses) {
+  std::istringstream in(mm_file("4 4 3", "1 2\n2 3\n3 4\n"));
+  const auto g = micg::graph::read_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+// The headline regression: "100 100" used to leave nnz == 0 unreported and
+// produce a silently empty 100-vertex graph.
+TEST(FaultInjectionMM, SizeLineMissingNnzIsRejected) {
+  std::istringstream in(mm_file("100 100", "1 2\n"));
+  EXPECT_THROW(micg::graph::read_matrix_market(in), check_error);
+}
+
+TEST(FaultInjectionMM, SizeLineRejectsBadShapes) {
+  const char* bad[] = {
+      "",               // blank line where the size line should be
+      "100",            // rows only
+      "100 100 abc",    // non-numeric nnz
+      "abc def ghi",    // all garbage
+      "100 100 3 7",    // trailing garbage
+      "100 100 3 x",    // trailing non-numeric garbage
+      "100 90 3",       // rectangular
+      "-4 -4 2",        // negative dims
+      "0 0 0",          // empty matrix (rows must be positive)
+      "4 4 -1",         // negative nnz
+      "1e2 1e2 3",      // exponent notation leaves trailing garbage
+  };
+  for (const char* size_line : bad) {
+    std::istringstream in(mm_file(size_line, "1 2\n2 3\n3 4\n"));
+    EXPECT_THROW(micg::graph::read_matrix_market(in), check_error)
+        << "size line: '" << size_line << "'";
+  }
+}
+
+TEST(FaultInjectionMM, EntryListRejectsBadEntries) {
+  const char* bad[] = {
+      "0 1\n",    // 0-based index
+      "5 1\n",    // row out of range (rows = 4)
+      "1 5\n",    // col out of range
+      "1\n",      // missing column
+      "x y\n",    // garbage
+      "",         // empty body: truncated entry list
+  };
+  for (const char* entries : bad) {
+    std::istringstream in(mm_file("4 4 1", entries));
+    EXPECT_THROW(micg::graph::read_matrix_market(in), check_error)
+        << "entries: '" << entries << "'";
+  }
+}
+
+TEST(FaultInjectionMM, RealFieldRequiresValues) {
+  const std::string banner =
+      "%%MatrixMarket matrix coordinate real symmetric";
+  {
+    std::istringstream in(mm_file("4 4 2", "1 2 1.5\n2 3 2.5\n", banner));
+    const auto g = micg::graph::read_matrix_market(in);
+    EXPECT_EQ(g.num_edges(), 2);
+  }
+  {
+    // Second entry lost its value: malformed, not a pattern entry.
+    std::istringstream in(mm_file("4 4 2", "1 2 1.5\n2 3\n", banner));
+    EXPECT_THROW(micg::graph::read_matrix_market(in), check_error);
+  }
+}
+
+// nnz over-reported by nine orders of magnitude: must fail fast on the
+// entry check, not allocate terabytes for the reservation.
+TEST(FaultInjectionMM, HugeOverReportedNnzFailsFast) {
+  std::istringstream in(mm_file("4 4 4000000000000000000", "1 2\n2 3\n"));
+  EXPECT_THROW(micg::graph::read_matrix_market(in), check_error);
+}
+
+TEST(FaultInjectionMM, TruncationAtEveryByteIsCaught) {
+  const std::string image = mm_file("4 4 4", "1 2\n2 3\n3 4\n4 1\n");
+  // Stop one short: losing only the final '\n' still parses (getline
+  // accepts the last entry at EOF), which is correct, not a fault.
+  for (std::size_t len = 0; len + 1 < image.size(); ++len) {
+    faulty_stream in(image, fault_mode::eof_at, len);
+    EXPECT_EQ(read_mm_outcome(in), outcome::threw_check) << "len " << len;
+  }
+}
+
+TEST(FaultInjectionMM, IoErrorAtEveryByteIsCaught) {
+  const std::string image = mm_file("4 4 4", "1 2\n2 3\n3 4\n4 1\n");
+  for (std::size_t at = 0; at + 1 < image.size(); ++at) {
+    faulty_stream in(image, fault_mode::error_at, at);
+    EXPECT_EQ(read_mm_outcome(in), outcome::threw_check) << "at " << at;
+  }
+}
+
+// Streams configured to throw (exceptions() mask) must still surface as
+// check_error, not leak std::ios_base::failure through the reader API.
+TEST(FaultInjectionMM, ThrowingStreamSurfacesAsCheckError) {
+  std::istringstream in(mm_file("4 4 4", "1 2\n2 3\n"));  // truncated
+  in.exceptions(std::ios::badbit | std::ios::failbit);
+  EXPECT_THROW(micg::graph::read_matrix_market(in), check_error);
+}
+
+TEST(FaultInjectionMM, FailpointsExerciseStreamDeathMidParse) {
+  const std::string image = mm_file("4 4 3", "1 2\n2 3\n3 4\n");
+  {
+    micg::qa::failpoint_scope fp("io_mm.size_line",
+                                 micg::qa::fail_action::fail_stream);
+    std::istringstream in(image);
+    EXPECT_THROW(micg::graph::read_matrix_market(in), check_error);
+    EXPECT_EQ(fp.fired(), 1);
+  }
+  {
+    // Die after the second entry, not the first.
+    micg::qa::failpoint_scope fp("io_mm.entry",
+                                 micg::qa::fail_action::fail_stream,
+                                 /*skip=*/1);
+    std::istringstream in(image);
+    EXPECT_THROW(micg::graph::read_matrix_market(in), check_error);
+    EXPECT_EQ(fp.fired(), 1);
+  }
+  // Nothing armed: the same image parses.
+  std::istringstream in(image);
+  EXPECT_EQ(micg::graph::read_matrix_market(in).num_edges(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Binary format: corruption sweeps
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionBinary, RoundTripControl) {
+  const auto g = ring_graph(8);
+  const std::string image = binary_image(g);
+  std::istringstream in(image);
+  const auto back = micg::graph::read_binary_any(in);
+  EXPECT_EQ(back.num_vertices(), 8);
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+}
+
+TEST(FaultInjectionBinary, TruncationAtEveryByteIsCaught) {
+  const std::string image = binary_image(ring_graph(8));
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    // Seekable path (header cross-checked against real payload size).
+    std::istringstream seekable(micg::qa::truncated(image, len));
+    EXPECT_EQ(read_binary_outcome(seekable), outcome::threw_check)
+        << "seekable, len " << len;
+    // Non-seekable path (incremental checks only).
+    faulty_stream pipe(image, fault_mode::eof_at, len);
+    EXPECT_EQ(read_binary_outcome(pipe), outcome::threw_check)
+        << "pipe, len " << len;
+  }
+}
+
+TEST(FaultInjectionBinary, IoErrorAtEveryByteIsCaught) {
+  const std::string image = binary_image(ring_graph(8));
+  for (std::size_t at = 0; at < image.size(); ++at) {
+    faulty_stream in(image, fault_mode::error_at, at);
+    EXPECT_EQ(read_binary_outcome(in), outcome::threw_check) << "at " << at;
+  }
+}
+
+TEST(FaultInjectionBinary, HeaderBitFlipsAreAllCaught) {
+  const std::string image = binary_image(ring_graph(8));
+  for (std::size_t byte = 0; byte < kHeaderBytes; ++byte) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      std::istringstream in(micg::qa::bit_flipped(image, byte, bit));
+      // Degree-2 everywhere makes xadj strictly increasing, so any header
+      // damage is structurally detectable — a flip may not hide in slack.
+      EXPECT_EQ(read_binary_outcome(in), outcome::threw_check)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(FaultInjectionBinary, PayloadBitFlipsNeverEscapeValidation) {
+  const std::string image = binary_image(ring_graph(8));
+  int rejected = 0;
+  for (std::size_t byte = kHeaderBytes; byte < image.size(); ++byte) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      std::istringstream in(micg::qa::bit_flipped(image, byte, bit));
+      // Either fate is allowed (a flip could in principle produce another
+      // structurally valid graph) but nothing may crash or escape as a
+      // non-check exception; in practice validation rejects them all.
+      if (read_binary_outcome(in) == outcome::threw_check) ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FaultInjectionBinary, OverReportedHeaderFieldsAreRejected) {
+  const std::string image = binary_image(ring_graph(8));
+  const std::int64_t absurd = std::int64_t{1} << 50;  // above the 2^48 cap
+  for (std::size_t off : {kOffNumVertices, kOffAdjSize}) {
+    // Implausible sizes are rejected before any allocation, on both the
+    // seekable and the non-seekable path.
+    std::istringstream seekable(micg::qa::with_pod_at(image, off, absurd));
+    EXPECT_EQ(read_binary_outcome(seekable), outcome::threw_check);
+    faulty_stream pipe(micg::qa::with_pod_at(image, off, absurd));
+    EXPECT_EQ(read_binary_outcome(pipe), outcome::threw_check);
+  }
+  // Plausible but still lying (one vertex too many): seekable streams
+  // reject on the payload-size cross-check, pipes on the truncated read.
+  for (std::size_t off : {kOffNumVertices, kOffAdjSize}) {
+    std::int64_t value = 0;
+    std::memcpy(&value, image.data() + off, sizeof(value));
+    const auto lied = micg::qa::with_pod_at(image, off, value + 1);
+    std::istringstream seekable(lied);
+    EXPECT_EQ(read_binary_outcome(seekable), outcome::threw_check);
+    faulty_stream pipe(lied);
+    EXPECT_EQ(read_binary_outcome(pipe), outcome::threw_check);
+  }
+}
+
+TEST(FaultInjectionBinary, NegativeHeaderFieldsAreRejected) {
+  const std::string image = binary_image(ring_graph(8));
+  for (std::size_t off : {kOffNumVertices, kOffAdjSize}) {
+    std::istringstream in(
+        micg::qa::with_pod_at(image, off, std::int64_t{-1}));
+    EXPECT_EQ(read_binary_outcome(in), outcome::threw_check);
+  }
+}
+
+// Regression for the validate() ordering fix: a corrupt xadj whose first
+// offsets point far past the adjacency array must be rejected by the
+// monotonicity pass *before* any neighbors() access touches adj_ (the ASan
+// job proves no out-of-bounds read happens on this exact input).
+TEST(FaultInjectionBinary, CorruptXadjOffsetsDoNotReadOutOfBounds) {
+  const std::string image = binary_image(ring_graph(8));
+  // xadj[1] lives right after the header (csr_graph stores 8-byte offsets).
+  const auto corrupt =
+      micg::qa::with_pod_at(image, kHeaderBytes + 8, std::int64_t{1000});
+  std::istringstream in(corrupt);
+  EXPECT_EQ(read_binary_outcome(in), outcome::threw_check);
+}
+
+TEST(FaultInjectionBinary, Version1CompatAndCorruption) {
+  const std::string v2 = binary_image(ring_graph(8));
+  // A version-1 writer stored the same arrays with a zero reserved word
+  // where the widths now live.
+  auto v1 = micg::qa::with_pod_at(v2, kOffVersion, std::uint32_t{1});
+  v1 = micg::qa::with_pod_at(v1, kOffVidBytes, std::uint16_t{0});
+  v1 = micg::qa::with_pod_at(v1, kOffEidBytes, std::uint16_t{0});
+  {
+    std::istringstream in(v1);
+    const auto g = micg::graph::read_binary_any(in);
+    EXPECT_EQ(g.num_vertices(), 8);
+  }
+  {
+    // Version 1 with nonzero widths is contradictory, not trusted.
+    std::istringstream in(
+        micg::qa::with_pod_at(v1, kOffVidBytes, std::uint16_t{4}));
+    EXPECT_THROW(micg::graph::read_binary_any(in), check_error);
+  }
+}
+
+TEST(FaultInjectionBinary, EmptyAndForeignStreamsAreRejected) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(micg::graph::read_binary_any(in), check_error);
+  }
+  {
+    std::istringstream in("this is not a micgraph file at all........");
+    EXPECT_THROW(micg::graph::read_binary_any(in), check_error);
+  }
+}
+
+TEST(FaultInjectionBinary, FailpointsCoverEveryReadSite) {
+  const std::string image = binary_image(ring_graph(8));
+  for (const char* site :
+       {"io_binary.header", "io_binary.xadj", "io_binary.adj"}) {
+    micg::qa::failpoint_scope fp(site, micg::qa::fail_action::fail_stream);
+    std::istringstream in(image);
+    EXPECT_THROW(micg::graph::read_binary_any(in), check_error) << site;
+    EXPECT_EQ(fp.fired(), 1) << site;
+  }
+}
+
+// An I/O error raised as an exception mid-parse (a stream with
+// exceptions() enabled dies between two reads) converts to check_error.
+TEST(FaultInjectionBinary, ThrownIoErrorConvertsToCheckError) {
+  const std::string image = binary_image(ring_graph(8));
+  micg::qa::failpoint_scope fp("io_binary.adj",
+                               micg::qa::fail_action::throw_io_error);
+  std::istringstream in(image);
+  EXPECT_THROW(micg::graph::read_binary_any(in), check_error);
+  EXPECT_EQ(fp.fired(), 1);
+}
+
+// Allocation exhaustion mid-parse propagates cleanly (std::bad_alloc, no
+// corrupted state) and the reader stays usable afterwards.
+TEST(FaultInjectionBinary, AllocationFailureMidParseIsClean) {
+  const std::string image = binary_image(ring_graph(8));
+  {
+    micg::qa::failpoint_scope fp("io_binary.xadj",
+                                 micg::qa::fail_action::throw_bad_alloc);
+    std::istringstream in(image);
+    EXPECT_THROW(micg::graph::read_binary_any(in), std::bad_alloc);
+  }
+  std::istringstream in(image);
+  EXPECT_EQ(micg::graph::read_binary_any(in).num_vertices(), 8);
+}
+
+TEST(FaultInjectionBinary, MissingFileIsACheckError) {
+  EXPECT_THROW(micg::graph::load_binary_any("/nonexistent/graph.bin"),
+               check_error);
+  EXPECT_THROW(micg::graph::load_matrix_market("/nonexistent/graph.mtx"),
+               check_error);
+}
+
+// ---------------------------------------------------------------------------
+// faulty_stream self-tests (the harness must be trustworthy too)
+// ---------------------------------------------------------------------------
+
+TEST(FaultyStream, EofAtStopsExactlyThere) {
+  faulty_stream in("abcdef", fault_mode::eof_at, 3);
+  char buf[8] = {};
+  in.read(buf, 6);
+  EXPECT_FALSE(in.good());
+  EXPECT_TRUE(in.eof());
+  EXPECT_EQ(in.gcount(), 3);
+  EXPECT_EQ(std::string(buf, 3), "abc");
+}
+
+TEST(FaultyStream, ErrorAtSetsBadbitNotEof) {
+  faulty_stream in("abcdef", fault_mode::error_at, 3);
+  char buf[8] = {};
+  in.read(buf, 6);
+  EXPECT_TRUE(in.bad());
+  EXPECT_EQ(std::string(buf, 3), "abc");
+}
+
+TEST(FaultyStream, NoFaultServesWholeImage) {
+  faulty_stream in("abcdef");
+  std::string all(6, '\0');
+  in.read(all.data(), 6);
+  EXPECT_TRUE(in.good());
+  EXPECT_EQ(all, "abcdef");
+}
+
+}  // namespace
