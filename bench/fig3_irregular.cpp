@@ -63,62 +63,83 @@ int main(int argc, char** argv) {
   micg::benchkit::print_figure("Fig 3(c): TBB-simple [model:KNF]", grid,
                panel(backend::tbb_simple, 0, grid, knf, scale));
 
-  // Measured: run the real Algorithm 5 kernel (in-place mode).
+  // Measured: run the real Algorithm 5 kernel (in-place mode), once per
+  // memory-hierarchy path selected by --memopt (fast = SIMD gather +
+  // prefetch + edge-balanced chunks, scalar = the pre-optimization loop —
+  // results are bit-identical, so the pairs of curves isolate the memory
+  // effects).
   const auto& mgrid = cfg.measured_threads;
   const double mscale = cfg.measured_scale;
   const int runs = cfg.measured_runs;
+  struct mem_variant {
+    const char* name;
+    micg::rt::mem_opts mem;
+  };
+  std::vector<mem_variant> variants;
+  if (cfg.run_fast()) variants.push_back({"fast", micg::rt::mem_opts{}});
+  if (cfg.run_scalar()) {
+    variants.push_back({"scalar", micg::rt::scalar_mem_opts()});
+  }
   std::vector<series> curves;
-  for (int iter : {1, 10}) {
-    std::vector<std::vector<double>> per_graph;
-    for (const auto& entry : micg::graph::table1_suite()) {
-      const auto& g = micg::benchkit::suite_graph(entry.name, mscale);
-      std::vector<double> state(
-          static_cast<std::size_t>(g.num_vertices()));
-      micg::xoshiro256ss rng(7);
-      for (auto& x : state) x = rng.uniform();
-      std::vector<double> curve;
-      double t1 = 0.0;
-      for (int t : mgrid) {
-        micg::irregular::kernel_options opt;
-        opt.ex.kind = backend::omp_dynamic;
-        opt.ex.threads = t;
-        opt.ex.chunk = 100;
-        opt.iterations = iter;
-        const double secs = micg::benchkit::time_stable(
-            [&] { micg::irregular::irregular_kernel(g, state, opt); },
-            runs);
-        if (t == mgrid.front()) t1 = secs;
-        curve.push_back(t1 / secs);
+  for (const auto& variant : variants) {
+    for (int iter : {1, 10}) {
+      std::vector<std::vector<double>> per_graph;
+      for (const auto& entry : micg::graph::table1_suite()) {
+        const auto& g = micg::benchkit::suite_graph(entry.name, mscale);
+        std::vector<double> state(
+            static_cast<std::size_t>(g.num_vertices()));
+        micg::xoshiro256ss rng(7);
+        for (auto& x : state) x = rng.uniform();
+        std::vector<double> curve;
+        double t1 = 0.0;
+        for (int t : mgrid) {
+          micg::irregular::kernel_options opt;
+          opt.ex.kind = backend::omp_dynamic;
+          opt.ex.threads = t;
+          opt.ex.chunk = 100;
+          opt.iterations = iter;
+          opt.mem = variant.mem;
+          const double secs = micg::benchkit::time_stable(
+              [&] { micg::irregular::irregular_kernel(g, state, opt); },
+              runs);
+          if (t == mgrid.front()) t1 = secs;
+          curve.push_back(t1 / secs);
+        }
+        per_graph.push_back(std::move(curve));
       }
-      per_graph.push_back(std::move(curve));
+      curves.push_back(micg::benchkit::geomean_series(
+          std::to_string(iter) + "-iter/" + variant.name, per_graph));
     }
-    curves.push_back(micg::benchkit::geomean_series(
-        std::to_string(iter) + "-iter", per_graph));
   }
   micg::benchkit::print_figure("Fig 3 (measured on this host, OpenMP-dynamic)", mgrid,
                curves);
 
-  // Structured metrics: one instrumented kernel run per iteration count.
+  // Structured metrics: one instrumented kernel run per iteration count
+  // and memory path.
   micg::benchkit::metrics_sink sink(cfg.metrics_json);
   if (sink.enabled()) {
     const auto& g = micg::benchkit::suite_graph("pwtk", mscale);
-    for (int iter : {1, 10}) {
-      std::vector<double> state(
-          static_cast<std::size_t>(g.num_vertices()));
-      micg::xoshiro256ss rng(7);
-      for (auto& x : state) x = rng.uniform();
-      micg::irregular::kernel_options opt;
-      opt.ex.kind = backend::omp_dynamic;
-      opt.ex.threads = mgrid.back();
-      opt.ex.chunk = 100;
-      opt.iterations = iter;
-      micg::benchkit::record_run(
-          sink,
-          {{"bench", "fig3_irregular"},
-           {"graph", "pwtk"},
-           {"iter", std::to_string(iter)},
-           {"threads", std::to_string(mgrid.back())}},
-          [&] { micg::irregular::irregular_kernel(g, state, opt); });
+    for (const auto& variant : variants) {
+      for (int iter : {1, 10}) {
+        std::vector<double> state(
+            static_cast<std::size_t>(g.num_vertices()));
+        micg::xoshiro256ss rng(7);
+        for (auto& x : state) x = rng.uniform();
+        micg::irregular::kernel_options opt;
+        opt.ex.kind = backend::omp_dynamic;
+        opt.ex.threads = mgrid.back();
+        opt.ex.chunk = 100;
+        opt.iterations = iter;
+        opt.mem = variant.mem;
+        micg::benchkit::record_run(
+            sink,
+            {{"bench", "fig3_irregular"},
+             {"graph", "pwtk"},
+             {"iter", std::to_string(iter)},
+             {"memopt", variant.name},
+             {"threads", std::to_string(mgrid.back())}},
+            [&] { micg::irregular::irregular_kernel(g, state, opt); });
+      }
     }
   }
 

@@ -12,6 +12,7 @@
 
 #include "micg/bfs/seq.hpp"
 #include "micg/benchkit/benchkit.hpp"
+#include "micg/bfs/direction.hpp"
 #include "micg/bfs/layered.hpp"
 #include "micg/model/bfs_model.hpp"
 #include "micg/model/exec_model.hpp"
@@ -189,7 +190,55 @@ int main(int argc, char** argv) {
   micg::benchkit::print_figure("Fig 4 (measured on this host, pwtk+inline_1)", mgrid,
                measured);
 
-  // Structured metrics: one instrumented run per BFS variant.
+  // Measured: direction-optimizing BFS, bitmap word-scan frontier versus
+  // the queue path (and the partitioning of the bitmap's bottom-up steps),
+  // selected by --memopt. Levels are identical; only the frontier
+  // representation and load balance change.
+  struct dir_variant {
+    const char* name;
+    bool bitmap;
+    micg::rt::partition_mode partition;
+  };
+  std::vector<dir_variant> dir_variants;
+  if (cfg.run_fast()) {
+    dir_variants.push_back(
+        {"bitmap/edge", true, micg::rt::partition_mode::edge});
+  }
+  if (cfg.run_scalar()) {
+    dir_variants.push_back(
+        {"queue", false, micg::rt::partition_mode::vertex});
+  }
+  std::vector<series> dir_measured;
+  for (const auto& v : dir_variants) {
+    std::vector<std::vector<double>> per_graph;
+    for (const char* name : {"pwtk", "inline_1"}) {
+      const auto& g = micg::benchkit::suite_graph(name, mscale);
+      const auto source = g.num_vertices() / 2;
+      std::vector<double> curve;
+      double t1 = 0.0;
+      for (int t : mgrid) {
+        micg::bfs::direction_options opt;
+        opt.ex.threads = t;
+        opt.block = kBlock;
+        opt.bitmap = v.bitmap;
+        opt.partition = v.partition;
+        const double secs = micg::benchkit::time_stable(
+            [&] { micg::bfs::direction_optimizing_bfs(g, source, opt); },
+            runs);
+        if (t == mgrid.front()) t1 = secs;
+        curve.push_back(t1 / secs);
+      }
+      per_graph.push_back(std::move(curve));
+    }
+    dir_measured.push_back(
+        micg::benchkit::geomean_series(v.name, per_graph));
+  }
+  micg::benchkit::print_figure(
+      "Fig 4 extra (measured direction-optimizing BFS, frontier paths)",
+      mgrid, dir_measured);
+
+  // Structured metrics: one instrumented run per BFS variant, plus the
+  // direction-optimizing frontier paths.
   micg::benchkit::metrics_sink sink(cfg.metrics_json);
   if (sink.enabled()) {
     const auto& g = micg::benchkit::suite_graph("pwtk", mscale);
@@ -205,6 +254,20 @@ int main(int argc, char** argv) {
            {"graph", "pwtk"},
            {"threads", std::to_string(mgrid.back())}},
           [&] { micg::bfs::parallel_bfs(g, source, opt); });
+    }
+    for (const auto& v : dir_variants) {
+      micg::bfs::direction_options opt;
+      opt.ex.threads = mgrid.back();
+      opt.block = kBlock;
+      opt.bitmap = v.bitmap;
+      opt.partition = v.partition;
+      micg::benchkit::record_run(
+          sink,
+          {{"bench", "fig4_bfs"},
+           {"graph", "pwtk"},
+           {"frontier", v.name},
+           {"threads", std::to_string(mgrid.back())}},
+          [&] { micg::bfs::direction_optimizing_bfs(g, source, opt); });
     }
   }
 

@@ -78,6 +78,9 @@ config config::from_env() {
     if (!threads.empty()) c.measured_threads = std::move(threads);
   }
   if (const char* v = std::getenv("MICG_METRICS_JSON")) c.metrics_json = v;
+  if (const char* v = std::getenv("MICG_MEMOPT")) c.memopt = v;
+  MICG_CHECK(c.memopt == "fast" || c.memopt == "scalar" || c.memopt == "both",
+             "MICG_MEMOPT must be fast, scalar or both");
   return c;
 }
 
@@ -86,8 +89,12 @@ config config::from_args(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--metrics-json") {
       c.metrics_json = argv[i + 1];
+    } else if (std::string(argv[i]) == "--memopt") {
+      c.memopt = argv[i + 1];
     }
   }
+  MICG_CHECK(c.memopt == "fast" || c.memopt == "scalar" || c.memopt == "both",
+             "--memopt must be fast, scalar or both");
   return c;
 }
 

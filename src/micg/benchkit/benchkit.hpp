@@ -54,10 +54,21 @@ struct config {
   /// Output path for the structured metrics record; empty disables the
   /// metrics sink.
   std::string metrics_json;
+  /// Which memory-hierarchy configurations the figure benches measure:
+  /// "fast" (SIMD + prefetch + edge-balanced), "scalar" (the
+  /// pre-optimization path), or "both" (one labeled curve set per path,
+  /// so the fast-path speedup is reproducible from the shipped binaries).
+  /// MICG_MEMOPT / --memopt override; invalid values are rejected.
+  std::string memopt = "both";
+
+  /// True when the scalar (fast) path should be measured under `memopt`.
+  [[nodiscard]] bool run_scalar() const { return memopt != "fast"; }
+  [[nodiscard]] bool run_fast() const { return memopt != "scalar"; }
 
   /// Parse the MICG_* environment variables.
   static config from_env();
-  /// from_env() plus command-line overrides (--metrics-json PATH).
+  /// from_env() plus command-line overrides (--metrics-json PATH,
+  /// --memopt fast|scalar|both).
   static config from_args(int argc, char** argv);
 };
 

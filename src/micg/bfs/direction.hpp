@@ -13,6 +13,7 @@
 #include "micg/bfs/layered.hpp"
 #include "micg/bfs/seq.hpp"
 #include "micg/graph/csr.hpp"
+#include "micg/rt/edge_partition.hpp"
 #include "micg/rt/exec.hpp"
 
 namespace micg::bfs {
@@ -26,6 +27,15 @@ struct direction_options {
   /// alpha); back to top-down when the frontier shrinks below |V|/beta.
   double alpha = 14.0;
   double beta = 24.0;
+  /// Bottom-up steps iterate a 64-vertex-per-word bitmap frontier with
+  /// countr_zero word scans instead of testing every vertex's level; the
+  /// levels produced are identical (tested). false restores the
+  /// per-vertex visited scan.
+  bool bitmap = true;
+  /// How bottom-up steps split the vertex range across workers; edge
+  /// balancing stops skewed (RMAT) degree distributions from serializing
+  /// on hub rows. Only the bitmap path honors this knob.
+  rt::partition_mode partition = rt::partition_mode::edge;
 };
 
 struct direction_bfs_result : bfs_result {

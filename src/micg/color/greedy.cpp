@@ -16,15 +16,30 @@ coloring greedy_color_impl(const G& g,
   const VId n = g.num_vertices();
   coloring result;
   result.color.assign(static_cast<std::size_t>(n), 0);
-  forbidden_marks forbidden(static_cast<std::size_t>(g.max_degree()) + 2);
   int maxcolor = 0;
-  for (VId v : order) {
-    for (VId w : g.neighbors(v)) {
-      forbidden.forbid(result.color[static_cast<std::size_t>(w)], v);
+  if (static_cast<std::int64_t>(g.max_degree()) >= bitset_degree_threshold) {
+    // High-degree graphs: the bit-per-color scratch keeps the forbidden
+    // set cache-resident and scans it a word at a time.
+    forbidden_bitset forbidden(static_cast<std::size_t>(g.max_degree()) + 2);
+    for (VId v : order) {
+      for (VId w : g.neighbors(v)) {
+        forbidden.forbid(result.color[static_cast<std::size_t>(w)]);
+      }
+      const int c = forbidden.first_allowed();
+      forbidden.reset();
+      result.color[static_cast<std::size_t>(v)] = c;
+      maxcolor = std::max(maxcolor, c);
     }
-    const int c = forbidden.first_allowed(v);
-    result.color[static_cast<std::size_t>(v)] = c;
-    maxcolor = std::max(maxcolor, c);
+  } else {
+    forbidden_marks forbidden(static_cast<std::size_t>(g.max_degree()) + 2);
+    for (VId v : order) {
+      for (VId w : g.neighbors(v)) {
+        forbidden.forbid(result.color[static_cast<std::size_t>(w)], v);
+      }
+      const int c = forbidden.first_allowed(v);
+      result.color[static_cast<std::size_t>(v)] = c;
+      maxcolor = std::max(maxcolor, c);
+    }
   }
   result.num_colors = maxcolor;
   return result;

@@ -5,6 +5,8 @@
 // some orders the result is optimal [Culberson 92].
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -38,16 +40,23 @@ coloring greedy_color(const G& g,
 /// layout (any vertex id converts losslessly).
 class forbidden_marks {
  public:
-  /// Capacity must exceed the largest color that can be encountered;
-  /// Delta+2 always suffices for distance-1 first-fit.
+  /// Sizing hint: Delta+2 always suffices for distance-1 first-fit. The
+  /// array grows on demand, so an underestimate costs reallocation, never
+  /// correctness.
   explicit forbidden_marks(std::size_t capacity) : marks_(capacity, -1) {}
 
-  /// Mark `c` as forbidden for vertex `v`. Colors outside capacity are
-  /// ignored (they can never be the first-fit answer).
+  /// Mark `c` as forbidden for vertex `v`. Colors beyond the current
+  /// capacity grow the array (silently dropping them would let
+  /// first_allowed() return a color a neighbor already holds).
   void forbid(int c, std::int64_t v) {
-    if (c > 0 && static_cast<std::size_t>(c) < marks_.size()) {
-      marks_[static_cast<std::size_t>(c)] = v;
+    if (c <= 0) return;
+    if (static_cast<std::size_t>(c) >= marks_.size()) {
+      marks_.resize(
+          std::max<std::size_t>(static_cast<std::size_t>(c) + 1,
+                                marks_.size() * 2),
+          -1);
     }
+    marks_[static_cast<std::size_t>(c)] = v;
   }
 
   /// Smallest color >= 1 not forbidden for `v`.
@@ -65,5 +74,58 @@ class forbidden_marks {
  private:
   std::vector<std::int64_t> marks_;
 };
+
+/// Bitset variant of the first-fit scratch, for high-degree vertices: one
+/// bit per color (64x denser than the 8-byte stamps, so a Delta ~ 100k hub
+/// scans ~200 cache lines instead of ~12k) and first_allowed() advances a
+/// whole word per countr_one instead of one color per probe. Unlike the
+/// stamp array it must be reset() between vertices; only the words dirtied
+/// since the last reset are cleared.
+class forbidden_bitset {
+ public:
+  /// Sizing hint, like forbidden_marks: grows on demand.
+  explicit forbidden_bitset(std::size_t capacity)
+      : words_(capacity / 64 + 2, 0) {}
+
+  /// Mark color `c` as forbidden (0 = "uncolored" is ignored).
+  void forbid(int c) {
+    if (c <= 0) return;
+    const auto w = static_cast<std::size_t>(c) / 64;
+    if (w >= words_.size()) {
+      words_.resize(std::max(w + 2, words_.size() * 2), 0);
+    }
+    if (words_[w] == 0) touched_.push_back(static_cast<std::uint32_t>(w));
+    words_[w] |= 1ull << (static_cast<std::size_t>(c) % 64);
+  }
+
+  /// Smallest color >= 1 not forbidden since the last reset().
+  [[nodiscard]] int first_allowed() const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t val = words_[w];
+      if (w == 0) val |= 1;  // color 0 means "uncolored"
+      const int bit = std::countr_one(val);
+      if (bit < 64) return static_cast<int>(w * 64) + bit;
+    }
+    // Unreachable: the constructor and forbid() keep at least one word
+    // past the highest forbidden color.
+    return static_cast<int>(words_.size() * 64);
+  }
+
+  /// Clear every forbidden mark (touched words only).
+  void reset() {
+    for (std::uint32_t w : touched_) words_[w] = 0;
+    touched_.clear();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return words_.size() * 64; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint32_t> touched_;  ///< words dirtied since reset()
+};
+
+/// Degree at or above which the greedy colorers switch their scratch from
+/// the stamp array to the bitset.
+inline constexpr std::int64_t bitset_degree_threshold = 2048;
 
 }  // namespace micg::color

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "micg/graph/csr.hpp"
+#include "micg/rt/edge_partition.hpp"
 #include "micg/rt/exec.hpp"
 
 namespace micg::irregular {
@@ -21,6 +22,9 @@ struct heat_options {
   rt::exec ex;
   double alpha = 0.1;  ///< step size; stable when alpha * Delta < 1
   int steps = 1;
+  /// Memory-hierarchy fast-path knobs; every combination yields
+  /// bit-identical states (tested).
+  rt::mem_opts mem;
 };
 
 /// Run `steps` diffusion steps from `state` and return the result.

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "micg/graph/csr.hpp"
+#include "micg/rt/edge_partition.hpp"
 #include "micg/rt/exec.hpp"
 
 namespace micg::irregular {
@@ -33,6 +34,10 @@ struct kernel_options {
   rt::exec ex;
   int iterations = 1;  ///< the paper sweeps {1, 3, 5, 10}
   kernel_mode mode = kernel_mode::in_place;
+  /// Memory-hierarchy fast-path knobs; in jacobi mode every combination
+  /// yields bit-identical states (tested; in_place races are benign but
+  /// nondeterministic regardless of knobs).
+  rt::mem_opts mem;
 };
 
 /// Apply the kernel to `state` (size |V|) and return the new state.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "micg/graph/csr.hpp"
+#include "micg/rt/edge_partition.hpp"
 #include "micg/rt/exec.hpp"
 
 namespace micg::irregular {
@@ -16,6 +17,10 @@ struct pagerank_options {
   double damping = 0.85;
   double tolerance = 1e-8;  ///< L1 change per iteration that counts as converged
   int max_iterations = 200;
+  /// Memory-hierarchy fast-path knobs; every combination yields
+  /// bit-identical ranks (tested). rt::scalar_mem_opts() is the
+  /// pre-optimization path.
+  rt::mem_opts mem;
 };
 
 struct pagerank_result {

@@ -1,0 +1,214 @@
+// Portable SIMD gather-accumulate layer.
+//
+// Every irregular kernel's hot loop is `for e in row: acc += x[adj[e]]` —
+// a gather feeding an add, exactly the shape the paper's KNF vector units
+// (and AVX2's vgatherdpd/vgatherqpd) were built for. This header wraps the
+// intrinsics behind one function, gather_sum(), with a scalar fallback
+// that is **bit-identical** to the vector path:
+//
+//   both paths accumulate into 8 stripes (stripe j sums elements j, j+8,
+//   j+16, ...), fold the halves pairwise (t_j = s_j + s_{j+4}), and
+//   reduce as (t0+t2)+(t1+t3). Fixing the association makes the result
+//   independent of the ISA, so parity tests can require exact equality
+//   between the vector build, the scalar fallback, and the MICG_NO_SIMD
+//   build. Eight stripes rather than four because the vector path keeps
+//   two independent accumulator registers in flight — one FP-add chain
+//   per half — which halves the add-latency floor of the hot loop.
+//   Rows below short_row_threshold skip the striped machinery and take
+//   the same plain left-to-right sum on every path.
+//
+// Selection is purely compile-time (no CPUID dispatch): the AVX2 path is
+// used when the translation unit is compiled with -mavx2/-march=native and
+// MICG_NO_SIMD is not defined. The `vectorize` runtime knob lets one
+// binary run both paths for ablations; it is ignored (always scalar) when
+// the vector path is not compiled in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(MICG_NO_SIMD) && defined(__AVX2__)
+#define MICG_SIMD_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace micg::simd {
+
+/// Accumulation stripe width shared by every path (not the hardware
+/// vector width — it is fixed so results never depend on the ISA).
+inline constexpr int stripe_width = 8;
+
+/// Rows shorter than this take a plain left-to-right sum on every path:
+/// the striped setup/tail/fold costs ~2 dozen instructions per call,
+/// which a low-degree row cannot amortize (the average RMAT row is ~15
+/// edges). The rule depends only on n, never on the ISA, so the simd
+/// knob still cannot change results.
+inline constexpr std::size_t short_row_threshold = 16;
+
+/// True when the vector gather path is compiled into this binary.
+constexpr bool vectorized() {
+#ifdef MICG_SIMD_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// ISA the vector path targets ("avx2" or "scalar"), for metrics tags.
+constexpr const char* isa_name() { return vectorized() ? "avx2" : "scalar"; }
+
+/// Reference semantics: striped 8-accumulator sum of x[idx[0..n)] —
+/// element k lands in stripe k % 8, the tail (in element order) fills
+/// stripes 0..rem-1, halves fold pairwise (t_j = s_j + s_{j+4}), and the
+/// final reduce is (t0+t2)+(t1+t3). Every other path must match this bit
+/// for bit.
+template <class Index>
+double gather_sum_scalar(const double* x, const Index* idx, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    s0 += x[static_cast<std::size_t>(idx[i])];
+    s1 += x[static_cast<std::size_t>(idx[i + 1])];
+    s2 += x[static_cast<std::size_t>(idx[i + 2])];
+    s3 += x[static_cast<std::size_t>(idx[i + 3])];
+    s4 += x[static_cast<std::size_t>(idx[i + 4])];
+    s5 += x[static_cast<std::size_t>(idx[i + 5])];
+    s6 += x[static_cast<std::size_t>(idx[i + 6])];
+    s7 += x[static_cast<std::size_t>(idx[i + 7])];
+  }
+  switch (n - i) {
+    case 7:
+      s6 += x[static_cast<std::size_t>(idx[i + 6])];
+      [[fallthrough]];
+    case 6:
+      s5 += x[static_cast<std::size_t>(idx[i + 5])];
+      [[fallthrough]];
+    case 5:
+      s4 += x[static_cast<std::size_t>(idx[i + 4])];
+      [[fallthrough]];
+    case 4:
+      s3 += x[static_cast<std::size_t>(idx[i + 3])];
+      [[fallthrough]];
+    case 3:
+      s2 += x[static_cast<std::size_t>(idx[i + 2])];
+      [[fallthrough]];
+    case 2:
+      s1 += x[static_cast<std::size_t>(idx[i + 1])];
+      [[fallthrough]];
+    case 1:
+      s0 += x[static_cast<std::size_t>(idx[i])];
+      break;
+    default:
+      break;
+  }
+  const double t0 = s0 + s4;
+  const double t1 = s1 + s5;
+  const double t2 = s2 + s6;
+  const double t3 = s3 + s7;
+  return (t0 + t2) + (t1 + t3);
+}
+
+#ifdef MICG_SIMD_AVX2
+
+/// One 4-wide masked gather of x[idx[0..4)]. The all-ones mask gathers
+/// every lane; the masked form (with a zeroed pass-through source) is
+/// used because the plain gather leaves its source operand formally
+/// uninitialized, tripping -Wmaybe-uninitialized.
+template <class Index>
+inline __m256d gather4(const double* x, const Index* idx) {
+  static_assert(sizeof(Index) == 4 || sizeof(Index) == 8,
+                "gather supports 32- and 64-bit indices");
+  const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  if constexpr (sizeof(Index) == 4) {
+    const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx));
+    return _mm256_mask_i32gather_pd(_mm256_setzero_pd(), x, vi, all,
+                                    sizeof(double));
+  } else {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+    return _mm256_mask_i64gather_pd(_mm256_setzero_pd(), x, vi, all,
+                                    sizeof(double));
+  }
+}
+
+/// AVX2 path: two independent accumulator registers — lane j of `acc_a`
+/// is stripe j, lane j of `acc_b` is stripe j+4 — so consecutive gathers
+/// feed alternating FP-add chains and the add latency overlaps. A tail of
+/// 4..7 still takes one 4-wide gather (into stripes 0..3) before the
+/// scalar patch-up. Stripe assignment, fold, and reduce match
+/// gather_sum_scalar exactly.
+template <class Index>
+double gather_sum_vec(const double* x, const Index* idx, std::size_t n) {
+  __m256d acc_a = _mm256_setzero_pd();
+  __m256d acc_b = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc_a = _mm256_add_pd(acc_a, gather4(x, idx + i));
+    acc_b = _mm256_add_pd(acc_b, gather4(x, idx + i + 4));
+  }
+  const std::size_t rem = n - i;
+  if (rem >= 4) acc_a = _mm256_add_pd(acc_a, gather4(x, idx + i));
+  alignas(32) double sa[4];
+  alignas(32) double sb[4];
+  _mm256_store_pd(sa, acc_a);
+  _mm256_store_pd(sb, acc_b);
+  switch (rem) {
+    case 7:
+      sb[2] += x[static_cast<std::size_t>(idx[i + 6])];
+      [[fallthrough]];
+    case 6:
+      sb[1] += x[static_cast<std::size_t>(idx[i + 5])];
+      [[fallthrough]];
+    case 5:
+      sb[0] += x[static_cast<std::size_t>(idx[i + 4])];
+      break;
+    case 3:
+      sa[2] += x[static_cast<std::size_t>(idx[i + 2])];
+      [[fallthrough]];
+    case 2:
+      sa[1] += x[static_cast<std::size_t>(idx[i + 1])];
+      [[fallthrough]];
+    case 1:
+      sa[0] += x[static_cast<std::size_t>(idx[i])];
+      break;
+    default:
+      break;
+  }
+  const double t0 = sa[0] + sb[0];
+  const double t1 = sa[1] + sb[1];
+  const double t2 = sa[2] + sb[2];
+  const double t3 = sa[3] + sb[3];
+  return (t0 + t2) + (t1 + t3);
+}
+
+#endif  // MICG_SIMD_AVX2
+
+/// Plain left-to-right sum, used by every path for short rows.
+template <class Index>
+inline double gather_sum_small(const double* x, const Index* idx,
+                               std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += x[static_cast<std::size_t>(idx[i])];
+  }
+  return acc;
+}
+
+/// Sum of x[idx[0..n)]. Rows below short_row_threshold use the plain
+/// left-to-right sum; longer rows use the striped-8 association, with
+/// `vectorize` selecting the intrinsic path when it is compiled in. Every
+/// choice of `vectorize` (and every build) returns bit-identical results.
+template <class Index>
+inline double gather_sum(const double* x, const Index* idx, std::size_t n,
+                         bool vectorize = true) {
+  if (n < short_row_threshold) return gather_sum_small(x, idx, n);
+#ifdef MICG_SIMD_AVX2
+  if (vectorize) return gather_sum_vec(x, idx, n);
+#else
+  (void)vectorize;
+#endif
+  return gather_sum_scalar(x, idx, n);
+}
+
+}  // namespace micg::simd

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 #include <vector>
 
@@ -399,6 +400,85 @@ TEST(DirectionBfs, SwitchesToBottomUpOnRmat) {
   const auto dir = micg::bfs::direction_optimizing_bfs(g, src, opt);
   EXPECT_EQ(dir.level, seq.level);
   EXPECT_GT(dir.bottom_up_steps, 0);
+}
+
+// The word-scan bitmap frontier is a pure representation change: levels,
+// step counts, and direction-switch sequences must match the queue path
+// exactly, under either partitioning, on every CSR layout.
+TEST(DirectionBfs, BitmapMatchesQueuePathExactly) {
+  struct Case {
+    csr_graph g;
+    vertex_t source;
+    double alpha;
+  };
+  const Case cases[] = {
+      {micg::graph::make_rmat(12, 16, 0.57, 0.19, 0.19, 3), 0, 50.0},
+      {micg::graph::make_grid_2d(50, 50), 17, 14.0},
+      {micg::graph::make_star(3000), 1, 14.0},
+  };
+  for (const auto& c : cases) {
+    vertex_t src = c.source;
+    while (c.g.degree(src) == 0) ++src;
+    micg::bfs::direction_options queue_opt;
+    queue_opt.ex.threads = 4;
+    queue_opt.alpha = c.alpha;
+    queue_opt.bitmap = false;
+    const auto ref = micg::bfs::direction_optimizing_bfs(c.g, src, queue_opt);
+    for (auto part : {micg::rt::partition_mode::vertex,
+                      micg::rt::partition_mode::edge}) {
+      micg::bfs::direction_options opt = queue_opt;
+      opt.bitmap = true;
+      opt.partition = part;
+      const auto bm = micg::bfs::direction_optimizing_bfs(c.g, src, opt);
+      const char* label = micg::rt::partition_mode_name(part);
+      EXPECT_EQ(bm.level, ref.level) << label;
+      EXPECT_EQ(bm.top_down_steps, ref.top_down_steps) << label;
+      EXPECT_EQ(bm.bottom_up_steps, ref.bottom_up_steps) << label;
+      EXPECT_EQ(bm.reached, ref.reached) << label;
+      EXPECT_TRUE(micg::bfs::is_valid_bfs_levels(c.g, src, bm.level))
+          << label;
+    }
+  }
+}
+
+TEST(DirectionBfs, BitmapMatchesOnAllLayouts) {
+  const auto g = micg::graph::make_rmat(11, 12, 0.57, 0.19, 0.19, 9);
+  vertex_t src = 0;
+  while (g.degree(src) == 0) ++src;
+  const auto g32 = micg::graph::convert_csr<micg::graph::csr32>(g);
+  const auto g64 = micg::graph::convert_csr<micg::graph::csr64>(g);
+  micg::bfs::direction_options opt;
+  opt.ex.threads = 4;
+  opt.alpha = 30.0;
+  const auto ref = micg::bfs::direction_optimizing_bfs(g, src, opt);
+  const auto r32 = micg::bfs::direction_optimizing_bfs(
+      g32, static_cast<std::int32_t>(src), opt);
+  const auto r64 = micg::bfs::direction_optimizing_bfs(
+      g64, static_cast<std::int64_t>(src), opt);
+  EXPECT_EQ(r32.level, ref.level);
+  EXPECT_EQ(r64.level, ref.level);
+  EXPECT_EQ(r32.bottom_up_steps, ref.bottom_up_steps);
+  EXPECT_EQ(r64.bottom_up_steps, ref.bottom_up_steps);
+}
+
+// Bouncing back to top-down after bottom-up exercises the bitmap -> queue
+// frontier unpack; beta makes the final sparse tail switch back.
+TEST(DirectionBfs, BitmapHandlesDirectionBounce) {
+  auto g = micg::graph::make_rmat(12, 8, 0.57, 0.19, 0.19, 21);
+  vertex_t src = 0;
+  while (g.degree(src) == 0) ++src;
+  micg::bfs::direction_options queue_opt;
+  queue_opt.ex.threads = 4;
+  queue_opt.alpha = 100.0;  // switch down early...
+  queue_opt.beta = 2.0;     // ...and back up as the frontier thins
+  queue_opt.bitmap = false;
+  const auto ref = micg::bfs::direction_optimizing_bfs(g, src, queue_opt);
+  micg::bfs::direction_options opt = queue_opt;
+  opt.bitmap = true;
+  const auto bm = micg::bfs::direction_optimizing_bfs(g, src, opt);
+  EXPECT_EQ(bm.level, ref.level);
+  EXPECT_EQ(bm.top_down_steps, ref.top_down_steps);
+  EXPECT_EQ(bm.bottom_up_steps, ref.bottom_up_steps);
 }
 
 }  // namespace

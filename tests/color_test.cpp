@@ -10,6 +10,7 @@
 #include "micg/color/greedy.hpp"
 #include "micg/color/iterative.hpp"
 #include "micg/color/verify.hpp"
+#include "micg/graph/builder.hpp"
 #include "micg/graph/generators.hpp"
 #include "micg/graph/permute.hpp"
 #include "micg/graph/suite.hpp"
@@ -78,11 +79,104 @@ TEST(ForbiddenMarks, StampSemantics) {
   EXPECT_EQ(m.first_allowed(10), 3);
   // Different vertex ignores stale stamps: no re-initialization needed.
   EXPECT_EQ(m.first_allowed(11), 1);
-  // Out-of-capacity colors are ignored.
-  m.forbid(100, 12);
+  // Non-colors are ignored.
   m.forbid(0, 12);
   m.forbid(-3, 12);
   EXPECT_EQ(m.first_allowed(12), 1);
+}
+
+TEST(ForbiddenMarks, GrowsBeyondInitialCapacity) {
+  // An undersized scratch must not drop marks: a dropped mark would let
+  // first_allowed() hand out a color a neighbor already holds.
+  micg::color::forbidden_marks m(2);
+  for (int c = 1; c <= 100; ++c) m.forbid(c, /*v=*/7);
+  EXPECT_EQ(m.first_allowed(7), 101);
+  EXPECT_GE(m.capacity(), 101u);
+  // The grown region is initialized: other vertices are unaffected.
+  EXPECT_EQ(m.first_allowed(8), 1);
+}
+
+TEST(ForbiddenBitset, MarksAndScansWordBoundaries) {
+  micg::color::forbidden_bitset b(16);
+  EXPECT_EQ(b.first_allowed(), 1);
+  b.forbid(1);
+  b.forbid(2);
+  EXPECT_EQ(b.first_allowed(), 3);
+  // Fill a full word's worth so the scan crosses into word 1.
+  for (int c = 1; c <= 64; ++c) b.forbid(c);
+  EXPECT_EQ(b.first_allowed(), 65);
+  b.forbid(65);
+  EXPECT_EQ(b.first_allowed(), 66);
+  // Non-colors ignored; reset clears only what was touched.
+  b.forbid(0);
+  b.forbid(-5);
+  b.reset();
+  EXPECT_EQ(b.first_allowed(), 1);
+}
+
+TEST(ForbiddenBitset, GrowsBeyondInitialCapacity) {
+  micg::color::forbidden_bitset b(4);
+  for (int c = 1; c <= 1000; ++c) b.forbid(c);
+  EXPECT_EQ(b.first_allowed(), 1001);
+  EXPECT_GE(b.capacity(), 1001u);
+  b.reset();
+  EXPECT_EQ(b.first_allowed(), 1);
+}
+
+TEST(ForbiddenBitset, SparseHighColorsScanFast) {
+  micg::color::forbidden_bitset b(256);
+  b.forbid(200);
+  EXPECT_EQ(b.first_allowed(), 1);
+  for (int c = 1; c <= 10; ++c) b.forbid(c);
+  EXPECT_EQ(b.first_allowed(), 11);
+}
+
+TEST(Greedy, HighDegreeHubCrossesBitsetThreshold) {
+  // A star larger than bitset_degree_threshold routes its hub through the
+  // bitset scratch while the leaves stay on the stamp path; the coloring
+  // must remain a valid 2-coloring either way.
+  const auto n = static_cast<vertex_t>(
+      micg::color::bitset_degree_threshold + 500);
+  auto g = micg::graph::make_star(n);
+  const auto c = micg::color::greedy_color(g);
+  EXPECT_EQ(c.num_colors, 2);
+  EXPECT_TRUE(micg::color::is_valid_coloring(g, c.color));
+  // Reverse order colors every leaf before the hub — the hub's scan then
+  // walks a fully-marked bitset.
+  std::vector<vertex_t> order(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<vertex_t>(order.size() - 1 - i);
+  }
+  const auto rev = micg::color::greedy_color(g, order);
+  EXPECT_EQ(rev.num_colors, 2);
+  EXPECT_TRUE(micg::color::is_valid_coloring(g, rev.color));
+}
+
+TEST(Greedy, CliqueWithHubPendantsAboveThreshold) {
+  // A clique pinned to >2 colors where the first clique vertex also owns
+  // enough pendant leaves to cross the bitset threshold: the bitset path
+  // must reproduce the same first-fit colors as the stamp path would.
+  const auto extra = static_cast<vertex_t>(
+      micg::color::bitset_degree_threshold + 10);
+  micg::graph::graph_builder b(20 + extra);
+  for (vertex_t v = 0; v < 20; ++v) {
+    for (vertex_t w = static_cast<vertex_t>(v + 1); w < 20; ++w) {
+      b.add_edge(v, w);
+    }
+  }
+  for (vertex_t l = 0; l < extra; ++l) {
+    b.add_edge(0, static_cast<vertex_t>(20 + l));
+  }
+  auto g = std::move(b).build();
+  const auto c = micg::color::greedy_color(g);
+  EXPECT_EQ(c.num_colors, 20);
+  EXPECT_TRUE(micg::color::is_valid_coloring(g, c.color));
+  // First-fit in natural order: clique vertex v gets color v+1, pendants
+  // see only vertex 0 and get color 2.
+  for (vertex_t v = 0; v < 20; ++v) {
+    EXPECT_EQ(c.color[static_cast<std::size_t>(v)], static_cast<int>(v) + 1);
+  }
+  EXPECT_EQ(c.color[25], 2);
 }
 
 // ------------------------------------------------------------------ verify

@@ -4,10 +4,13 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "micg/graph/builder.hpp"
+#include "micg/graph/csr.hpp"
 #include "micg/graph/generators.hpp"
+#include "micg/rt/edge_partition.hpp"
 #include "micg/irregular/heat.hpp"
 #include "micg/irregular/kernel.hpp"
 #include "micg/irregular/pagerank.hpp"
@@ -252,6 +255,128 @@ TEST(Spmv, RandomWalkMatrixRowsAverage) {
       g, x, ex, micg::irregular::spmv_matrix::random_walk);
   EXPECT_NEAR(y[0], (1.0 + 2.0 + 3.0 + 4.0) / 4.0, 1e-12);
   EXPECT_NEAR(y[1], 0.0, 1e-12);  // leaf sees only the center
+}
+
+// ------------------------------------------------- fast-path knob parity
+//
+// The whole point of the striped gather_sum design is that flipping any
+// memory-hierarchy knob (SIMD, prefetch distance, partitioning) changes
+// performance only: results must be *bit-identical*, on every CSR layout.
+
+const std::vector<micg::rt::mem_opts>& knob_grid() {
+  static std::vector<micg::rt::mem_opts> grid = [] {
+    std::vector<micg::rt::mem_opts> g;
+    for (bool simd : {false, true}) {
+      for (int dist : {0, 16}) {
+        for (auto part : {micg::rt::partition_mode::vertex,
+                          micg::rt::partition_mode::edge}) {
+          g.push_back({part, dist, simd});
+        }
+      }
+    }
+    return g;
+  }();
+  return grid;
+}
+
+std::string knob_label(const micg::rt::mem_opts& m) {
+  return std::string(micg::rt::partition_mode_name(m.partition)) +
+         "/pf" + std::to_string(m.prefetch_distance) +
+         (m.simd ? "/simd" : "/scalar");
+}
+
+TEST(Spmv, KnobsAreBitIdenticalAcrossLayouts) {
+  const auto g = micg::graph::make_rmat(10, 8, 0.57, 0.19, 0.19, 99);
+  const auto x = random_state(g.num_vertices(), 31);
+  const auto g32 = micg::graph::convert_csr<micg::graph::csr32>(g);
+  const auto g64 = micg::graph::convert_csr<micg::graph::csr64>(g);
+  for (auto matrix : {micg::irregular::spmv_matrix::adjacency,
+                      micg::irregular::spmv_matrix::random_walk}) {
+    micg::irregular::spmv_options base;
+    base.ex.kind = backend::omp_dynamic;
+    base.ex.threads = 4;
+    base.ex.chunk = 32;
+    base.matrix = matrix;
+    base.mem = micg::rt::scalar_mem_opts();
+    const auto ref = micg::irregular::spmv(g, x, base);
+    for (const auto& mem : knob_grid()) {
+      auto opt = base;
+      opt.mem = mem;
+      EXPECT_EQ(micg::irregular::spmv(g, x, opt), ref) << knob_label(mem);
+      EXPECT_EQ(micg::irregular::spmv(g32, x, opt), ref)
+          << "csr32 " << knob_label(mem);
+      EXPECT_EQ(micg::irregular::spmv(g64, x, opt), ref)
+          << "csr64 " << knob_label(mem);
+    }
+  }
+}
+
+TEST(Spmv, LegacyOverloadUsesFastDefaults) {
+  const auto g = micg::graph::make_erdos_renyi(500, 8.0, 17);
+  const auto x = random_state(g.num_vertices(), 23);
+  micg::rt::exec ex;
+  ex.threads = 2;
+  micg::irregular::spmv_options opt;
+  opt.ex = ex;
+  EXPECT_EQ(micg::irregular::spmv(g, x, ex),
+            micg::irregular::spmv(g, x, opt));
+}
+
+TEST(Pagerank, KnobsAreBitIdenticalAcrossLayouts) {
+  const auto g = micg::graph::make_rmat(10, 8, 0.57, 0.19, 0.19, 5);
+  const auto g32 = micg::graph::convert_csr<micg::graph::csr32>(g);
+  const auto g64 = micg::graph::convert_csr<micg::graph::csr64>(g);
+  micg::irregular::pagerank_options base;
+  base.ex.kind = backend::tbb_auto;
+  base.ex.threads = 4;
+  base.max_iterations = 30;
+  base.mem = micg::rt::scalar_mem_opts();
+  const auto ref = micg::irregular::pagerank(g, base);
+  for (const auto& mem : knob_grid()) {
+    auto opt = base;
+    opt.mem = mem;
+    const auto r = micg::irregular::pagerank(g, opt);
+    EXPECT_EQ(r.rank, ref.rank) << knob_label(mem);
+    EXPECT_EQ(r.iterations, ref.iterations) << knob_label(mem);
+    EXPECT_EQ(micg::irregular::pagerank(g32, opt).rank, ref.rank)
+        << "csr32 " << knob_label(mem);
+    EXPECT_EQ(micg::irregular::pagerank(g64, opt).rank, ref.rank)
+        << "csr64 " << knob_label(mem);
+  }
+}
+
+TEST(Heat, KnobsAreBitIdentical) {
+  const auto g = micg::graph::make_rmat(9, 8, 0.45, 0.22, 0.22, 7);
+  const auto state = random_state(g.num_vertices(), 41);
+  micg::irregular::heat_options base;
+  base.ex.threads = 4;
+  base.alpha = 0.001;
+  base.steps = 5;
+  base.mem = micg::rt::scalar_mem_opts();
+  const auto ref = micg::irregular::heat_diffusion(g, state, base);
+  for (const auto& mem : knob_grid()) {
+    auto opt = base;
+    opt.mem = mem;
+    EXPECT_EQ(micg::irregular::heat_diffusion(g, state, opt), ref)
+        << knob_label(mem);
+  }
+}
+
+TEST(Kernel, JacobiKnobsAreBitIdentical) {
+  const auto g = micg::graph::make_rmat(9, 8, 0.57, 0.19, 0.19, 3);
+  const auto state = random_state(g.num_vertices(), 43);
+  micg::irregular::kernel_options base;
+  base.ex.threads = 4;
+  base.iterations = 3;
+  base.mode = micg::irregular::kernel_mode::jacobi;
+  base.mem = micg::rt::scalar_mem_opts();
+  const auto ref = micg::irregular::irregular_kernel(g, state, base);
+  for (const auto& mem : knob_grid()) {
+    auto opt = base;
+    opt.mem = mem;
+    EXPECT_EQ(micg::irregular::irregular_kernel(g, state, opt), ref)
+        << knob_label(mem);
+  }
 }
 
 TEST(Spmv, ConsistentAcrossBackends) {

@@ -2,11 +2,13 @@
 // reducers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <set>
 #include <vector>
 
+#include "micg/rt/edge_partition.hpp"
 #include "micg/rt/exec.hpp"
 #include "micg/rt/loop.hpp"
 #include "micg/rt/reducer.hpp"
@@ -270,6 +272,127 @@ TEST(ReducerMax, ResetRestoresIdentity) {
   EXPECT_EQ(rmax.get(), 99);
   rmax.reset();
   EXPECT_EQ(rmax.get(), 0);
+}
+
+// --------------------------------------------------------- edge partition
+
+// Offsets of a pathological "one hub plus leaves" degree distribution:
+// vertex 0 owns half of all edges. Templated on the offset type so both
+// CSR edge-id widths exercise the binary search.
+template <class EId>
+std::vector<EId> hub_xadj(std::int64_t n) {
+  std::vector<EId> xadj(static_cast<std::size_t>(n) + 1, 0);
+  xadj[1] = static_cast<EId>(n - 1);  // the hub row
+  for (std::int64_t v = 2; v <= n; ++v) {
+    xadj[static_cast<std::size_t>(v)] =
+        xadj[static_cast<std::size_t>(v) - 1] + 1;
+  }
+  return xadj;
+}
+
+template <class EId>
+void expect_covers_exactly_once() {
+  const std::int64_t n = 997;
+  const auto xadj = hub_xadj<EId>(n);
+  for (backend kind : micg::rt::all_backends()) {
+    exec e;
+    e.kind = kind;
+    e.threads = 4;
+    e.chunk = 50;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    for (auto& h : hits) h.store(0);
+    micg::rt::for_range_edges(
+        e, n, xadj.data(), [&](std::int64_t b, std::int64_t ed, int) {
+          for (std::int64_t i = b; i < ed; ++i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+          }
+        });
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << micg::rt::backend_name(kind) << " vertex " << i;
+    }
+  }
+}
+
+TEST(EdgePartition, CoversEveryVertexExactlyOnceInt32) {
+  expect_covers_exactly_once<std::int32_t>();
+}
+
+TEST(EdgePartition, CoversEveryVertexExactlyOnceInt64) {
+  expect_covers_exactly_once<std::int64_t>();
+}
+
+TEST(EdgePartition, ChunksBalanceEdgesNotVertices) {
+  const std::int64_t n = 1000;
+  const auto xadj = hub_xadj<std::int64_t>(n);
+  const std::int64_t total = xadj.back();
+  exec e;
+  e.threads = 1;
+  e.chunk = 100;  // a vertex split would put the hub plus 99 rows together
+  std::int64_t max_chunk_edges = 0;
+  std::int64_t chunks = 0;
+  micg::rt::for_range_edges(
+      e, n, xadj.data(), [&](std::int64_t b, std::int64_t ed, int) {
+        ++chunks;
+        const std::int64_t edges = xadj[static_cast<std::size_t>(ed)] -
+                                   xadj[static_cast<std::size_t>(b)];
+        max_chunk_edges = std::max(max_chunk_edges, edges);
+      });
+  // 10 chunks over ~2n edges: every chunk stays near total/10 + one row.
+  EXPECT_GE(chunks, 2);
+  EXPECT_LE(max_chunk_edges, total / 10 + n);
+  // The hub must not drag half the vertex range into its chunk: the
+  // chunk holding vertex 0 ends long before vertex n/2.
+  bool hub_seen = false;
+  micg::rt::for_range_edges(
+      e, n, xadj.data(), [&](std::int64_t b, std::int64_t ed, int) {
+        if (b == 0) {
+          hub_seen = true;
+          EXPECT_LT(ed, n / 2);
+        }
+      });
+  EXPECT_TRUE(hub_seen);
+}
+
+TEST(EdgePartition, HandlesZeroDegreeRunsAndEmptyGraphs) {
+  // All-zero degrees: falls back to the vertex split but still covers
+  // the range.
+  const std::int64_t n = 65;
+  std::vector<std::int64_t> xadj(static_cast<std::size_t>(n) + 1, 0);
+  exec e;
+  e.threads = 2;
+  e.chunk = 8;
+  std::atomic<std::int64_t> covered{0};
+  micg::rt::for_range_edges(
+      e, n, xadj.data(), [&](std::int64_t b, std::int64_t ed, int) {
+        covered.fetch_add(ed - b);
+      });
+  EXPECT_EQ(covered.load(), n);
+  micg::rt::for_range_edges(e, 0, xadj.data(),
+                            [&](std::int64_t, std::int64_t, int) {
+                              FAIL() << "empty range must not call body";
+                            });
+}
+
+TEST(EdgePartition, VertexModeDispatchesToPlainForRange) {
+  const std::int64_t n = 100;
+  const auto xadj = hub_xadj<std::int64_t>(n);
+  exec e;
+  e.threads = 2;
+  e.chunk = 10;
+  std::atomic<std::int64_t> covered{0};
+  micg::rt::for_range_graph(e, n, xadj.data(),
+                            micg::rt::partition_mode::vertex,
+                            [&](std::int64_t b, std::int64_t ed, int) {
+                              covered.fetch_add(ed - b);
+                            });
+  EXPECT_EQ(covered.load(), n);
+  EXPECT_STREQ(micg::rt::partition_mode_name(
+                   micg::rt::partition_mode::vertex),
+               "vertex");
+  EXPECT_STREQ(
+      micg::rt::partition_mode_name(micg::rt::partition_mode::edge),
+      "edge");
 }
 
 }  // namespace

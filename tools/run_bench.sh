@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Reproduce BENCH_baseline.json: run the figure/ablation benches in a
+# smoke-sized configuration with structured metrics enabled, then merge
+# the per-bench micg.metrics.v1 files into one baseline document.
+#
+# Usage: tools/run_bench.sh [output.json]
+#   BUILD_DIR              build tree holding bench/ (default: build)
+#   MICG_SCALE             model-series graph scale       (default: 0.05)
+#   MICG_MEASURED_SCALE    measured-series graph scale    (default: 0.05)
+#   MICG_MEMLAT_SCALE      measured scale for ablate_memlat only
+#                          (default: 8.0 -> RMAT scale 19, large enough
+#                          that the gathered vector falls out of L2 and
+#                          the fast paths measurably win — see
+#                          docs/performance.md)
+#   MICG_MEMLAT_THREADS    thread sweep for ablate_memlat only (default:
+#                          1,2,4,8 — it times at the sweep maximum, and
+#                          latency-bound gathers need concurrency to show
+#                          the fast-path win even on few-core hosts)
+#   MICG_MEASURED_THREADS  thread sweep                   (default: host procs)
+#   MICG_RUNS              repetitions per timing         (default: 4)
+#
+# The figure benches run smoke-sized; the memory-latency ablation gets
+# its own larger scale because cache-resident runs show nothing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_baseline.json}
+
+if [ ! -x "$BUILD_DIR/bench/ablate_memlat" ]; then
+  echo "error: $BUILD_DIR/bench/ablate_memlat not found — build with" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+export MICG_SCALE=${MICG_SCALE:-0.05}
+export MICG_MEASURED_SCALE=${MICG_MEASURED_SCALE:-0.05}
+export MICG_MEASURED_THREADS=${MICG_MEASURED_THREADS:-$(nproc)}
+export MICG_RUNS=${MICG_RUNS:-4}
+MICG_MEMLAT_SCALE=${MICG_MEMLAT_SCALE:-8.0}
+MICG_MEMLAT_THREADS=${MICG_MEMLAT_THREADS:-1,2,4,8}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== run_bench: scale=$MICG_SCALE measured_scale=$MICG_MEASURED_SCALE" \
+     "memlat_scale=$MICG_MEMLAT_SCALE threads=$MICG_MEASURED_THREADS" \
+     "runs=$MICG_RUNS =="
+
+"$BUILD_DIR/bench/fig3_irregular" --metrics-json "$tmp/fig3.json"
+"$BUILD_DIR/bench/fig4_bfs" --metrics-json "$tmp/fig4.json"
+MICG_MEASURED_SCALE="$MICG_MEMLAT_SCALE" \
+MICG_MEASURED_THREADS="$MICG_MEMLAT_THREADS" \
+  "$BUILD_DIR/bench/ablate_memlat" --metrics-json "$tmp/memlat.json"
+
+python3 - "$OUT" "$tmp"/fig3.json "$tmp"/fig4.json "$tmp"/memlat.json <<'EOF'
+import json
+import sys
+
+out, *parts = sys.argv[1:]
+records = []
+for path in parts:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "micg.metrics.v1", (path, doc.get("schema"))
+    records.extend(doc["records"])
+
+with open(out, "w") as f:
+    json.dump({"schema": "micg.metrics.v1", "records": records}, f, indent=1)
+    f.write("\n")
+
+memlat = [r for r in records if r["meta"].get("bench") == "ablate_memlat"]
+assert memlat, "ablate_memlat emitted no records"
+best = max(r["values"]["speedup_vs_baseline"] for r in memlat)
+print(f"wrote {out}: {len(records)} records "
+      f"({len(memlat)} memlat, best fast-path speedup {best:.2f}x)")
+EOF
