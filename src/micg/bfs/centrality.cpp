@@ -1,9 +1,11 @@
 #include "micg/bfs/centrality.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
-#include "micg/rt/tls.hpp"
+#include "micg/bfs/msbfs.hpp"
+#include "micg/obs/obs.hpp"
 #include "micg/support/assert.hpp"
 
 namespace micg::bfs {
@@ -13,10 +15,11 @@ namespace {
 /// Private per-worker traversal state, reused across sources.
 template <class VId>
 struct brandes_state {
-  std::vector<int> dist;
+  std::vector<int> dist;      // repeated path's own BFS distances
   std::vector<double> sigma;  // shortest-path counts
   std::vector<double> delta;  // dependency accumulators
-  std::vector<VId> order;     // BFS visit order (stack for phase 2)
+  std::vector<VId> order;     // canonical (dist, id) visit order
+  std::vector<std::size_t> bucket;  // counting-sort cursors
   std::vector<double> score;  // per-worker centrality accumulator
 
   explicit brandes_state(VId n)
@@ -28,40 +31,60 @@ struct brandes_state {
   }
 };
 
-/// One source's contribution (Brandes 2001, Algorithm 1).
+/// One source's contribution (Brandes 2001, Algorithm 1), driven by a
+/// precomputed distance array — either the repeated path's own BFS or one
+/// msbfs lane. Both passes walk the canonical (dist, id) order (any
+/// topological order of the shortest-path DAG is valid, and a shared
+/// canonical one makes the two traversal modes produce identical sums).
 template <micg::graph::CsrGraph G>
-void accumulate_source(const G& g, typename G::vertex_type s,
-                       brandes_state<typename G::vertex_type>& st) {
+void accumulate_from_dist(const G& g, typename G::vertex_type s,
+                          const int* dist,
+                          brandes_state<typename G::vertex_type>& st) {
   using VId = typename G::vertex_type;
-  std::fill(st.dist.begin(), st.dist.end(), -1);
+  const VId n = g.num_vertices();
+
+  // Counting sort by distance, stable in vertex id.
+  int num_levels = 0;
+  std::size_t reached = 0;
+  for (VId v = 0; v < n; ++v) {
+    const int d = dist[static_cast<std::size_t>(v)];
+    if (d >= 0) {
+      ++reached;
+      if (d + 1 > num_levels) num_levels = d + 1;
+    }
+  }
+  st.bucket.assign(static_cast<std::size_t>(num_levels) + 1, 0);
+  for (VId v = 0; v < n; ++v) {
+    const int d = dist[static_cast<std::size_t>(v)];
+    if (d >= 0) ++st.bucket[static_cast<std::size_t>(d) + 1];
+  }
+  for (std::size_t l = 1; l <= static_cast<std::size_t>(num_levels); ++l) {
+    st.bucket[l] += st.bucket[l - 1];
+  }
+  st.order.resize(reached);
+  for (VId v = 0; v < n; ++v) {
+    const int d = dist[static_cast<std::size_t>(v)];
+    if (d >= 0) st.order[st.bucket[static_cast<std::size_t>(d)]++] = v;
+  }
+
   std::fill(st.sigma.begin(), st.sigma.end(), 0.0);
   std::fill(st.delta.begin(), st.delta.end(), 0.0);
-  st.order.clear();
-
-  st.dist[static_cast<std::size_t>(s)] = 0;
   st.sigma[static_cast<std::size_t>(s)] = 1.0;
-  st.order.push_back(s);
-  for (std::size_t head = 0; head < st.order.size(); ++head) {
-    const VId v = st.order[head];
+  for (const VId v : st.order) {
+    const int dv = dist[static_cast<std::size_t>(v)];
     for (VId w : g.neighbors(v)) {
-      if (st.dist[static_cast<std::size_t>(w)] < 0) {
-        st.dist[static_cast<std::size_t>(w)] =
-            st.dist[static_cast<std::size_t>(v)] + 1;
-        st.order.push_back(w);
-      }
-      if (st.dist[static_cast<std::size_t>(w)] ==
-          st.dist[static_cast<std::size_t>(v)] + 1) {
+      if (dist[static_cast<std::size_t>(w)] == dv + 1) {
         st.sigma[static_cast<std::size_t>(w)] +=
             st.sigma[static_cast<std::size_t>(v)];
       }
     }
   }
-  // Dependency accumulation in reverse BFS order.
+  // Dependency accumulation in reverse canonical order.
   for (std::size_t i = st.order.size(); i-- > 1;) {
     const VId w = st.order[i];
+    const int dw = dist[static_cast<std::size_t>(w)];
     for (VId v : g.neighbors(w)) {
-      if (st.dist[static_cast<std::size_t>(v)] ==
-          st.dist[static_cast<std::size_t>(w)] - 1) {
+      if (dist[static_cast<std::size_t>(v)] == dw - 1) {
         st.delta[static_cast<std::size_t>(v)] +=
             st.sigma[static_cast<std::size_t>(v)] /
             st.sigma[static_cast<std::size_t>(w)] *
@@ -71,6 +94,27 @@ void accumulate_source(const G& g, typename G::vertex_type s,
     if (w != s) {
       st.score[static_cast<std::size_t>(w)] +=
           st.delta[static_cast<std::size_t>(w)];
+    }
+  }
+}
+
+/// Textbook queue BFS into st.dist (the repeated path's traversal).
+template <micg::graph::CsrGraph G>
+void bfs_fill_dist(const G& g, typename G::vertex_type s,
+                   brandes_state<typename G::vertex_type>& st) {
+  using VId = typename G::vertex_type;
+  std::fill(st.dist.begin(), st.dist.end(), -1);
+  st.order.clear();
+  st.dist[static_cast<std::size_t>(s)] = 0;
+  st.order.push_back(s);
+  for (std::size_t head = 0; head < st.order.size(); ++head) {
+    const VId v = st.order[head];
+    for (VId w : g.neighbors(v)) {
+      if (st.dist[static_cast<std::size_t>(w)] < 0) {
+        st.dist[static_cast<std::size_t>(w)] =
+            st.dist[static_cast<std::size_t>(v)] + 1;
+        st.order.push_back(w);
+      }
     }
   }
 }
@@ -91,6 +135,38 @@ std::vector<VId> pick_sources(VId n, std::int64_t samples) {
   return sources;
 }
 
+/// Lazily-built per-worker states, indexed by the dense worker id (the
+/// batched path's callbacks may run outside a worker context, so the id is
+/// threaded explicitly instead of via this_worker_id()).
+template <class VId>
+class worker_states {
+ public:
+  worker_states(int workers, VId n)
+      : slots_(static_cast<std::size_t>(workers)), n_(n) {}
+
+  brandes_state<VId>& get(int worker) {
+    MICG_CHECK(worker >= 0 &&
+                   worker < static_cast<int>(slots_.size()),
+               "worker id out of range");
+    auto& slot = slots_[static_cast<std::size_t>(worker)];
+    if (slot == nullptr) {
+      slot = std::make_unique<brandes_state<VId>>(n_);
+    }
+    return *slot;
+  }
+
+  template <typename F>
+  void for_each(F&& f) {
+    for (auto& slot : slots_) {
+      if (slot != nullptr) f(*slot);
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<brandes_state<VId>>> slots_;
+  VId n_;
+};
+
 }  // namespace
 
 template <micg::graph::CsrGraph G>
@@ -99,19 +175,38 @@ std::vector<double> betweenness_centrality(const G& g,
   using VId = typename G::vertex_type;
   const VId n = g.num_vertices();
   MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
+  MICG_CHECK(opt.batch_lanes >= 1 && opt.batch_lanes <= msbfs_max_lanes,
+             "batch_lanes must be in [1, 64]");
   const auto sources = pick_sources(n, opt.sample_sources);
 
-  rt::enumerable_thread_specific<brandes_state<VId>> states(
-      opt.ex.threads, [n] { return brandes_state<VId>(n); });
+  worker_states<VId> states(opt.ex.threads, n);
 
-  rt::for_range(opt.ex, static_cast<std::int64_t>(sources.size()),
-                [&](std::int64_t b, std::int64_t e, int) {
-                  brandes_state<VId>& st = states.local();
-                  for (std::int64_t i = b; i < e; ++i) {
-                    accumulate_source(
-                        g, sources[static_cast<std::size_t>(i)], st);
-                  }
-                });
+  if (opt.batched) {
+    msbfs_pool::options po;
+    po.ex = opt.ex;
+    po.lanes = opt.batch_lanes;
+    msbfs_pool pool(po);
+    pool.for_each_batch(
+        g, std::span<const VId>(sources),
+        [&](const msbfs_batch& batch, const msbfs_result& res) {
+          brandes_state<VId>& st = states.get(batch.worker);
+          for (int lane = 0; lane < batch.lanes; ++lane) {
+            const VId s = sources[static_cast<std::size_t>(
+                batch.first_source + lane)];
+            accumulate_from_dist(g, s, res.lane_levels(lane).data(), st);
+          }
+        });
+  } else {
+    rt::for_range(opt.ex, static_cast<std::int64_t>(sources.size()),
+                  [&](std::int64_t b, std::int64_t e, int worker) {
+                    brandes_state<VId>& st = states.get(worker);
+                    for (std::int64_t i = b; i < e; ++i) {
+                      const VId s = sources[static_cast<std::size_t>(i)];
+                      bfs_fill_dist(g, s, st);
+                      accumulate_from_dist(g, s, st.dist.data(), st);
+                    }
+                  });
+  }
 
   std::vector<double> score(static_cast<std::size_t>(n), 0.0);
   states.for_each([&](brandes_state<VId>& st) {
@@ -126,6 +221,15 @@ std::vector<double> betweenness_centrality(const G& g,
           ? static_cast<double>(n) / static_cast<double>(sources.size())
           : 1.0;
   for (double& x : score) x *= pair_scale * sample_scale;
+
+  if (obs::recorder* rec = opt.ex.sink(); rec != nullptr) {
+    rec->set_meta("kernel", "betweenness_centrality");
+    rec->set_meta("bc.mode", opt.batched ? "batched" : "repeated");
+    rec->set_value("bc.sources", static_cast<double>(sources.size()));
+    if (opt.batched) {
+      rec->set_value("bc.batch_lanes", static_cast<double>(opt.batch_lanes));
+    }
+  }
   return score;
 }
 
@@ -136,6 +240,7 @@ std::vector<double> betweenness_centrality_seq(const G& g,
   opt.ex.threads = 1;
   opt.ex.kind = rt::backend::omp_static;
   opt.sample_sources = sample_sources;
+  opt.batched = false;
   return betweenness_centrality(g, opt);
 }
 

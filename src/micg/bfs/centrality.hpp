@@ -1,9 +1,12 @@
 // Betweenness centrality (Brandes' algorithm) — the paper's §I names it
 // as the "computationally expensive centrality measure" BFS underpins
-// [Brandes 2001]. One BFS + dependency accumulation per source; sources
-// are distributed over threads (the standard coarse-grained
-// parallelization), each worker owning private traversal state and
-// accumulating into a per-worker score vector merged at the end.
+// [Brandes 2001]. One shortest-path DAG + dependency accumulation per
+// source; the traversals ride on the batched multi-source BFS (msbfs) by
+// default, so 64 sources share one edge sweep per level, and the
+// accumulation passes walk a canonical (distance, id) vertex order — the
+// same order the repeated single-source path uses, so both modes produce
+// the same scores (bit-identical at one thread; the usual floating-point
+// merge reordering across workers otherwise).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +23,14 @@ struct centrality_options {
   /// sources). Sampled sources are evenly spaced for determinism.
   /// Width-independent (64-bit) so the options work with every layout.
   std::int64_t sample_sources = 0;
+  /// Ride on batched multi-source BFS (the default): sources are tiled
+  /// into 64-lane batches, one shared traversal per batch, per-lane depth
+  /// extraction feeding the accumulation. false restores one BFS per
+  /// source (the historical path, kept for ablation and as the test
+  /// oracle).
+  bool batched = true;
+  /// Lanes per batch when batched (1..64).
+  int batch_lanes = 64;
 };
 
 /// Exact (or source-sampled) betweenness centrality on the unweighted
@@ -29,7 +40,8 @@ template <micg::graph::CsrGraph G>
 std::vector<double> betweenness_centrality(const G& g,
                                            const centrality_options& opt);
 
-/// Sequential reference implementation (used by tests).
+/// Sequential reference implementation (used by tests). Runs the repeated
+/// single-source path at one thread.
 template <micg::graph::CsrGraph G>
 std::vector<double> betweenness_centrality_seq(
     const G& g, std::int64_t sample_sources = 0);

@@ -1,0 +1,298 @@
+#include "micg/bfs/msbfs.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <utility>
+
+#include "micg/obs/obs.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::bfs {
+
+namespace {
+
+/// Expand/settle bodies run either inline (ex.threads == 1 — no pool
+/// calls, so msbfs_pool can nest whole batches inside a pool region) or
+/// through the configured backend.
+template <typename Body>
+void run_phase(const rt::exec& ex, std::int64_t n, const std::int64_t* fxadj,
+               rt::partition_mode mode, const Body& body) {
+  if (ex.threads <= 1) {
+    if (n > 0) body(0, n, 0);
+    return;
+  }
+  if (fxadj != nullptr) {
+    rt::for_range_graph(ex, n, fxadj, mode, body);
+  } else {
+    rt::for_range(ex, n, body);
+  }
+}
+
+}  // namespace
+
+template <micg::graph::CsrGraph G>
+msbfs_result msbfs(const G& g,
+                   std::span<const typename G::vertex_type> sources,
+                   const msbfs_options& opt) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
+  const auto n64 = static_cast<std::int64_t>(n);
+  const int lanes = static_cast<int>(sources.size());
+  MICG_CHECK(lanes <= msbfs_max_lanes,
+             "msbfs batch exceeds 64 lanes; tile through msbfs_pool");
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
+
+  msbfs_result r;
+  r.lanes = lanes;
+  r.n = n64;
+  r.num_levels.assign(static_cast<std::size_t>(lanes), 0);
+  r.reached.assign(static_cast<std::size_t>(lanes), 0);
+  if (lanes == 0 || n == 0) return r;
+  for (VId s : sources) {
+    MICG_CHECK(s >= 0 && s < n, "msbfs source out of range");
+  }
+
+  rt::exec ex = opt.ex;
+  ex.kind = rt::backend::omp_dynamic;
+  const bool parallel = ex.threads > 1;
+  const int nworkers = parallel ? ex.threads : 1;
+
+  r.level.assign(static_cast<std::size_t>(lanes) *
+                     static_cast<std::size_t>(n64),
+                 -1);
+  std::vector<std::uint64_t> seen(static_cast<std::size_t>(n64), 0);
+  std::vector<std::uint64_t> cur(static_cast<std::size_t>(n64), 0);
+  std::vector<std::atomic<std::uint64_t>> nxt(static_cast<std::size_t>(n64));
+  for (auto& w : nxt) w.store(0, std::memory_order_relaxed);
+
+  // Shared frontier: the distinct vertices any lane discovered last level.
+  std::vector<VId> frontier;
+  frontier.reserve(static_cast<std::size_t>(n64));
+  for (int lane = 0; lane < lanes; ++lane) {
+    const auto s = static_cast<std::size_t>(sources[static_cast<std::size_t>(
+        lane)]);
+    if (cur[s] == 0) frontier.push_back(static_cast<VId>(s));
+    const std::uint64_t bit = 1ull << lane;
+    cur[s] |= bit;
+    seen[s] |= bit;
+    r.level[static_cast<std::size_t>(lane) * static_cast<std::size_t>(n64) +
+            s] = 0;
+  }
+  r.frontier_sizes.push_back(frontier.size());
+
+  // Per-worker discovery lists (merged between phases) and the edge-count
+  // prefix of the frontier the edge-balanced split binary-searches.
+  std::vector<std::vector<VId>> local_next(
+      static_cast<std::size_t>(nworkers));
+  std::vector<std::int64_t> fxadj;
+
+  int depth = 1;
+  while (!frontier.empty()) {
+    const auto fsize = static_cast<std::int64_t>(frontier.size());
+    const std::int64_t* fx = nullptr;
+    if (parallel && opt.partition == rt::partition_mode::edge) {
+      fxadj.resize(static_cast<std::size_t>(fsize) + 1);
+      fxadj[0] = 0;
+      for (std::int64_t i = 0; i < fsize; ++i) {
+        fxadj[static_cast<std::size_t>(i) + 1] =
+            fxadj[static_cast<std::size_t>(i)] +
+            static_cast<std::int64_t>(
+                g.degree(frontier[static_cast<std::size_t>(i)]));
+      }
+      fx = fxadj.data();
+    }
+
+    // Expand: push each frontier vertex's lane mask to its neighbors. One
+    // relaxed fetch_or per edge whose mask still carries unseen lanes; the
+    // worker whose fetch_or found the word empty owns the enqueue, so the
+    // merged next list is duplicate-free. `seen` is read-only here (it
+    // advances in settle), which keeps the pre-check race-free.
+    run_phase(ex, fsize, fx, opt.partition,
+              [&](std::int64_t b, std::int64_t e, int worker) {
+                auto& out = local_next[static_cast<std::size_t>(worker)];
+                for (std::int64_t i = b; i < e; ++i) {
+                  const VId v = frontier[static_cast<std::size_t>(i)];
+                  const std::uint64_t m = cur[static_cast<std::size_t>(v)];
+                  cur[static_cast<std::size_t>(v)] = 0;  // consumed
+                  for (VId u : g.neighbors(v)) {
+                    const std::uint64_t t =
+                        m & ~seen[static_cast<std::size_t>(u)];
+                    if (t == 0) continue;
+                    const std::uint64_t old =
+                        nxt[static_cast<std::size_t>(u)].fetch_or(
+                            t, std::memory_order_relaxed);
+                    if (old == 0) out.push_back(u);
+                  }
+                }
+              });
+
+    frontier.clear();
+    for (auto& out : local_next) {
+      frontier.insert(frontier.end(), out.begin(), out.end());
+      out.clear();
+    }
+    if (frontier.empty()) break;
+    r.frontier_sizes.push_back(frontier.size());
+
+    // Settle: claim the accumulated bits against `seen` and record lane
+    // depths. Every vertex appears once in the merged list, so the writes
+    // need no atomics.
+    run_phase(ex, static_cast<std::int64_t>(frontier.size()), nullptr,
+              opt.partition,
+              [&](std::int64_t b, std::int64_t e, int) {
+                for (std::int64_t i = b; i < e; ++i) {
+                  const VId u = frontier[static_cast<std::size_t>(i)];
+                  std::uint64_t t = nxt[static_cast<std::size_t>(u)].load(
+                      std::memory_order_relaxed);
+                  nxt[static_cast<std::size_t>(u)].store(
+                      0, std::memory_order_relaxed);
+                  seen[static_cast<std::size_t>(u)] |= t;
+                  cur[static_cast<std::size_t>(u)] = t;
+                  while (t != 0) {
+                    const int lane = std::countr_zero(t);
+                    t &= t - 1;
+                    r.level[static_cast<std::size_t>(lane) *
+                                static_cast<std::size_t>(n64) +
+                            static_cast<std::size_t>(u)] = depth;
+                  }
+                }
+              });
+    ++depth;
+  }
+
+  // Per-lane shape statistics from the level matrix.
+  run_phase(ex, lanes, nullptr, opt.partition,
+            [&](std::int64_t b, std::int64_t e, int) {
+              for (std::int64_t lane = b; lane < e; ++lane) {
+                const int* lv = r.level.data() +
+                                static_cast<std::size_t>(lane) *
+                                    static_cast<std::size_t>(n64);
+                int max_level = -1;
+                std::size_t reached = 0;
+                for (std::int64_t v = 0; v < n64; ++v) {
+                  if (lv[v] >= 0) {
+                    ++reached;
+                    if (lv[v] > max_level) max_level = lv[v];
+                  }
+                }
+                r.num_levels[static_cast<std::size_t>(lane)] = max_level + 1;
+                r.reached[static_cast<std::size_t>(lane)] = reached;
+              }
+            });
+
+  if (obs::recorder* rec = opt.ex.sink(); rec != nullptr) {
+    std::size_t reached_total = 0;
+    std::size_t peak = 0;
+    for (std::size_t lane = 0; lane < r.reached.size(); ++lane) {
+      reached_total += r.reached[lane];
+    }
+    for (std::size_t f : r.frontier_sizes) peak = f > peak ? f : peak;
+    rec->set_meta("kernel", "msbfs");
+    rec->set_meta("partition", rt::partition_mode_name(opt.partition));
+    rec->set_value("msbfs.lanes", static_cast<double>(lanes));
+    rec->get_counter("msbfs.batches").add(0, 1);
+    rec->get_counter("msbfs.levels")
+        .add(0, static_cast<std::uint64_t>(r.frontier_sizes.size()));
+    rec->get_counter("msbfs.reached")
+        .add(0, static_cast<std::uint64_t>(reached_total));
+    rec->get_counter("msbfs.frontier_peak")
+        .add(0, static_cast<std::uint64_t>(peak));
+  }
+  return r;
+}
+
+msbfs_pool::msbfs_pool(options opt) : opt_(std::move(opt)) {
+  MICG_CHECK(opt_.lanes >= 1 && opt_.lanes <= msbfs_max_lanes,
+             "msbfs_pool lanes must be in [1, 64]");
+  MICG_CHECK(opt_.ex.threads >= 1, "need at least one thread");
+}
+
+template <micg::graph::CsrGraph G>
+void msbfs_pool::for_each_batch(
+    const G& g, std::span<const typename G::vertex_type> sources,
+    const std::function<void(const msbfs_batch&, const msbfs_result&)>& fn)
+    const {
+  const auto total = static_cast<std::int64_t>(sources.size());
+  if (total == 0) return;
+  const std::int64_t lanes = opt_.lanes;
+  const std::int64_t nbatches = (total + lanes - 1) / lanes;
+
+  if (obs::recorder* rec = opt_.ex.sink(); rec != nullptr) {
+    rec->set_meta("batch_size", std::to_string(lanes));
+    rec->get_counter("msbfs.sources")
+        .add(0, static_cast<std::uint64_t>(total));
+  }
+
+  auto run_batch = [&](std::int64_t b, const msbfs_options& mo, int worker) {
+    const std::int64_t first = b * lanes;
+    const auto batch_lanes =
+        static_cast<int>(std::min<std::int64_t>(lanes, total - first));
+    const auto res = msbfs(
+        g,
+        sources.subspan(static_cast<std::size_t>(first),
+                        static_cast<std::size_t>(batch_lanes)),
+        mo);
+    msbfs_batch info;
+    info.index = static_cast<int>(b);
+    info.first_source = first;
+    info.lanes = batch_lanes;
+    info.worker = worker;
+    fn(info, res);
+  };
+
+  if (opt_.ex.threads > 1 && nbatches >= opt_.ex.threads) {
+    // Enough batches to feed every worker: distribute whole batches, each
+    // traversed sequentially (msbfs with threads == 1 never re-enters the
+    // pool, so nesting inside this region is safe).
+    rt::exec outer = opt_.ex;
+    outer.kind = rt::backend::omp_dynamic;
+    outer.chunk = 1;
+    msbfs_options inner;
+    inner.ex = opt_.ex;
+    inner.ex.threads = 1;
+    inner.partition = opt_.partition;
+    rt::for_range(outer, nbatches,
+                  [&](std::int64_t bb, std::int64_t be, int worker) {
+                    for (std::int64_t b = bb; b < be; ++b) {
+                      run_batch(b, inner, worker);
+                    }
+                  });
+  } else {
+    msbfs_options mo;
+    mo.ex = opt_.ex;
+    mo.partition = opt_.partition;
+    for (std::int64_t b = 0; b < nbatches; ++b) run_batch(b, mo, 0);
+  }
+}
+
+template <micg::graph::CsrGraph G>
+std::vector<std::vector<int>> msbfs_pool::run_levels(
+    const G& g, std::span<const typename G::vertex_type> sources) const {
+  std::vector<std::vector<int>> out(sources.size());
+  for_each_batch(g, sources,
+                 [&](const msbfs_batch& b, const msbfs_result& res) {
+                   for (int lane = 0; lane < b.lanes; ++lane) {
+                     const auto lv = res.lane_levels(lane);
+                     out[static_cast<std::size_t>(b.first_source) +
+                         static_cast<std::size_t>(lane)]
+                         .assign(lv.begin(), lv.end());
+                   }
+                 });
+  return out;
+}
+
+#define MICG_INSTANTIATE(G)                                               \
+  template msbfs_result msbfs<G>(                                         \
+      const G&, std::span<const typename G::vertex_type>,                 \
+      const msbfs_options&);                                              \
+  template void msbfs_pool::for_each_batch<G>(                            \
+      const G&, std::span<const typename G::vertex_type>,                 \
+      const std::function<void(const msbfs_batch&, const msbfs_result&)>&) \
+      const;                                                              \
+  template std::vector<std::vector<int>> msbfs_pool::run_levels<G>(       \
+      const G&, std::span<const typename G::vertex_type>) const;
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
+
+}  // namespace micg::bfs

@@ -1,0 +1,128 @@
+// Batched multi-source BFS (MS-BFS, after Then et al., VLDB 2015).
+//
+// The paper's layered BFS (Algorithm 7) and its analytical model treat one
+// traversal at a time, but a query-serving deployment runs many sources
+// over the same graph. Batching up to 64 sources into one traversal packs
+// each source into a bit lane of a per-vertex `uint64_t` word
+// (seen/frontier/next masks), so one shared edge sweep per level advances
+// all lanes at once: a vertex enters the shared frontier once per
+// *distinct* discovery depth among its lanes (usually 1-3 times) instead
+// of once per source, turning O(sources x edges) memory traffic into a few
+// edge sweeps total.
+//
+// The sweep is level-synchronous like Algorithm 7: expand pushes frontier
+// masks to neighbors with one relaxed fetch_or per edge (the first setter
+// enqueues the vertex, so the next list is duplicate-free), and a settle
+// pass claims the new bits against `seen` and records per-lane depths.
+// BFS levels are unique, so every lane's levels are bit-identical to
+// bfs::seq_bfs regardless of scheduling (the property suite sweeps this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/rt/edge_partition.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::bfs {
+
+/// Lanes per batch word (sources packed into one uint64_t).
+inline constexpr int msbfs_max_lanes = 64;
+
+struct msbfs_options {
+  /// Threads, chunk, pool and metrics sink (the backend kind is fixed to
+  /// the OpenMP-dynamic substrate, like direction-optimizing BFS).
+  rt::exec ex;
+  /// How the frontier's edge work is split across workers. Edge balancing
+  /// binary-searches a degree prefix of the frontier so an RMAT hub in the
+  /// frontier cannot serialize a level.
+  rt::partition_mode partition = rt::partition_mode::edge;
+};
+
+/// Result of one batch of up to 64 traversals over a graph of n vertices.
+struct msbfs_result {
+  /// Number of lanes (== sources.size() of the call).
+  int lanes = 0;
+  /// Vertices of the graph (the stride of `level`).
+  std::int64_t n = 0;
+  /// Per-lane levels, lane-major: level[lane * n + v] is lane's BFS level
+  /// of v (source = 0, unreachable = -1) — bit-identical to seq_bfs.
+  std::vector<int> level;
+  /// Per-lane number of levels (max level + 1).
+  std::vector<int> num_levels;
+  /// Per-lane vertices reached.
+  std::vector<std::size_t> reached;
+  /// Union frontier per depth: distinct vertices discovered by *some* lane
+  /// at that depth (frontier_sizes[0] counts the distinct sources). This
+  /// is the x_l the batched cost model charges (model/bfs_model.hpp).
+  std::vector<std::size_t> frontier_sizes;
+
+  /// Lane's levels as a span (valid while the result lives).
+  [[nodiscard]] std::span<const int> lane_levels(int lane) const {
+    return {level.data() + static_cast<std::size_t>(lane) *
+                               static_cast<std::size_t>(n),
+            static_cast<std::size_t>(n)};
+  }
+};
+
+/// Run one batch of up to 64 sources (duplicates allowed; each lane is an
+/// independent traversal). Sequential when ex.threads == 1 — that path
+/// never touches the thread pool, so batches can themselves be distributed
+/// across pool workers (see msbfs_pool). Defined for every shipped layout.
+template <micg::graph::CsrGraph G>
+msbfs_result msbfs(const G& g,
+                   std::span<const typename G::vertex_type> sources,
+                   const msbfs_options& opt);
+
+/// One batch's slice of an msbfs_pool run, handed to the batch callback.
+struct msbfs_batch {
+  int index = 0;                 ///< batch number, 0-based
+  std::int64_t first_source = 0; ///< offset of the batch in the source list
+  int lanes = 0;                 ///< sources in this batch (<= 64)
+  int worker = 0;                ///< pool worker running the callback
+};
+
+/// Batch scheduler: tiles an arbitrary source list into lane batches and
+/// runs them on the thread pool. When there are at least as many batches
+/// as threads, whole batches are distributed across workers (each batch
+/// traversed sequentially — the work units are large and independent, so
+/// this is the high-throughput regime the concurrent-query workload
+/// wants); otherwise batches run one at a time, each internally parallel.
+class msbfs_pool {
+ public:
+  struct options {
+    rt::exec ex;
+    /// Lanes per batch, 1..64. Narrower batches trade edge-sweep sharing
+    /// for lower per-query latency.
+    int lanes = msbfs_max_lanes;
+    rt::partition_mode partition = rt::partition_mode::edge;
+  };
+
+  explicit msbfs_pool(options opt);
+
+  /// Traverse every source, invoking `fn(batch, result)` once per batch.
+  /// The callback may run concurrently from different pool workers (keyed
+  /// by batch.worker < ex.threads); results are not retained. Defined for
+  /// every shipped layout.
+  template <micg::graph::CsrGraph G>
+  void for_each_batch(
+      const G& g, std::span<const typename G::vertex_type> sources,
+      const std::function<void(const msbfs_batch&, const msbfs_result&)>& fn)
+      const;
+
+  /// Convenience: per-source level vectors, in source order (each
+  /// bit-identical to seq_bfs(g, source).level).
+  template <micg::graph::CsrGraph G>
+  std::vector<std::vector<int>> run_levels(
+      const G& g, std::span<const typename G::vertex_type> sources) const;
+
+  [[nodiscard]] const options& opts() const { return opt_; }
+
+ private:
+  options opt_;
+};
+
+}  // namespace micg::bfs

@@ -41,4 +41,26 @@ std::vector<double> bfs_model_curve(
   return curve;
 }
 
+double msbfs_model_speedup(std::span<const std::size_t> union_frontier_sizes,
+                           double source_work, int threads, int block) {
+  MICG_CHECK(source_work >= 0.0, "source_work must be non-negative");
+  double cost = 0.0;
+  for (std::size_t x : union_frontier_sizes) {
+    cost += bfs_level_cost(x, threads, block);
+  }
+  return cost > 0.0 ? source_work / cost : 0.0;
+}
+
+std::vector<double> msbfs_model_curve(
+    std::span<const std::size_t> union_frontier_sizes, double source_work,
+    std::span<const int> thread_counts, int block) {
+  std::vector<double> curve;
+  curve.reserve(thread_counts.size());
+  for (int t : thread_counts) {
+    curve.push_back(
+        msbfs_model_speedup(union_frontier_sizes, source_work, t, block));
+  }
+  return curve;
+}
+
 }  // namespace micg::model

@@ -28,4 +28,19 @@ std::vector<double> bfs_model_curve(
     std::span<const std::size_t> frontier_sizes,
     std::span<const int> thread_counts, int block);
 
+/// Batched (multi-source) variant. A lane batch charges each level once on
+/// the *union* frontier x_l (the distinct vertices some lane discovers at
+/// depth l), in the same t*b-block rounds as the single-source model, while
+/// the useful work is the sum of the per-source traversals the batch
+/// replaces (`source_work`, i.e. total vertices settled across all lanes).
+/// The ratio is the model's throughput speedup of one batched traversal
+/// over `lanes` repeated single-source traversals on the same machine.
+double msbfs_model_speedup(std::span<const std::size_t> union_frontier_sizes,
+                           double source_work, int threads, int block);
+
+/// Convenience: the batched model curve over a thread grid.
+std::vector<double> msbfs_model_curve(
+    std::span<const std::size_t> union_frontier_sizes, double source_work,
+    std::span<const int> thread_counts, int block);
+
 }  // namespace micg::model

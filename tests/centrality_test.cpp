@@ -1,0 +1,168 @@
+// Betweenness-centrality coverage: the batched (msbfs-backed) and
+// repeated single-source paths must agree — bit-identically at one thread
+// (both walk the same canonical (distance, id) accumulation order), within
+// floating-point merge tolerance otherwise — on awkward inputs: directed
+// (asymmetric) adjacency, disconnected graphs, self-loops, sampling. Plus
+// exact hand-computed fixtures.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "micg/bfs/centrality.hpp"
+#include "micg/graph/csr.hpp"
+#include "micg/graph/generators.hpp"
+
+namespace {
+
+using micg::graph::csr_graph;
+
+csr_graph from_edges(std::int32_t n,
+                     const std::vector<std::pair<std::int32_t,
+                                                 std::int32_t>>& arcs) {
+  std::vector<std::int64_t> xadj(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : arcs) {
+    (void)v;
+    ++xadj[static_cast<std::size_t>(u) + 1];
+  }
+  for (std::size_t i = 1; i < xadj.size(); ++i) xadj[i] += xadj[i - 1];
+  std::vector<std::int32_t> adj(arcs.size());
+  std::vector<std::int64_t> cursor(xadj.begin(), xadj.end() - 1);
+  for (const auto& [u, v] : arcs) {
+    adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+  }
+  return {std::move(xadj), std::move(adj)};
+}
+
+/// Undirected graph: both arc directions for each edge.
+csr_graph undirected(std::int32_t n,
+                     const std::vector<std::pair<std::int32_t,
+                                                 std::int32_t>>& edges) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> arcs;
+  for (const auto& [u, v] : edges) {
+    arcs.emplace_back(u, v);
+    arcs.emplace_back(v, u);
+  }
+  return from_edges(n, arcs);
+}
+
+std::vector<double> run_bc(const csr_graph& g, bool batched, int threads,
+                           int lanes = 64, std::int64_t samples = 0) {
+  micg::bfs::centrality_options opt;
+  opt.ex.threads = threads;
+  opt.batched = batched;
+  opt.batch_lanes = lanes;
+  opt.sample_sources = samples;
+  return micg::bfs::betweenness_centrality(g, opt);
+}
+
+/// The awkward-input fixtures both paths must agree on.
+std::vector<std::pair<std::string, csr_graph>> agreement_fixtures() {
+  std::vector<std::pair<std::string, csr_graph>> out;
+  // Two components: a path and a triangle, plus an isolated vertex.
+  out.emplace_back("disconnected",
+                   undirected(8, {{0, 1}, {1, 2}, {2, 3},
+                                  {4, 5}, {5, 6}, {6, 4}}));
+  // Self-loops on a path (a self-loop is its endpoint's neighbor; BFS
+  // ignores it, sigma/delta must not double-count it).
+  out.emplace_back(
+      "self_loops",
+      from_edges(5, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2},
+                     {3, 4}, {4, 3}, {1, 1}, {3, 3}}));
+  // Directed (asymmetric) adjacency: a cycle with a chord that exists in
+  // one direction only. The equality contract is path-vs-path, not a
+  // particular centrality semantic.
+  out.emplace_back("directed",
+                   from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                                  {5, 0}, {1, 4}}));
+  out.emplace_back("rmat",
+                   micg::graph::make_rmat(8, 8, 0.57, 0.19, 0.19, 11));
+  return out;
+}
+
+TEST(Centrality, BatchedEqualsRepeatedBitwiseAtOneThread) {
+  for (const auto& [name, g] : agreement_fixtures()) {
+    SCOPED_TRACE(name);
+    const auto repeated = run_bc(g, /*batched=*/false, /*threads=*/1);
+    for (const int lanes : {1, 5, 64}) {
+      SCOPED_TRACE("lanes=" + std::to_string(lanes));
+      const auto batched =
+          run_bc(g, /*batched=*/true, /*threads=*/1, lanes);
+      ASSERT_EQ(batched.size(), repeated.size());
+      for (std::size_t v = 0; v < repeated.size(); ++v) {
+        EXPECT_EQ(batched[v], repeated[v]) << "vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(Centrality, BatchedMatchesRepeatedMultithreaded) {
+  for (const auto& [name, g] : agreement_fixtures()) {
+    SCOPED_TRACE(name);
+    const auto repeated = run_bc(g, /*batched=*/false, /*threads=*/1);
+    const auto batched = run_bc(g, /*batched=*/true, /*threads=*/4);
+    ASSERT_EQ(batched.size(), repeated.size());
+    for (std::size_t v = 0; v < repeated.size(); ++v) {
+      EXPECT_NEAR(batched[v], repeated[v], 1e-9) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Centrality, SampledBatchedEqualsSampledRepeated) {
+  const auto g = micg::graph::make_rmat(9, 8, 0.57, 0.19, 0.19, 3);
+  for (const std::int64_t samples : {1, 7, 64, 100}) {
+    SCOPED_TRACE("samples=" + std::to_string(samples));
+    const auto repeated = run_bc(g, false, 1, 64, samples);
+    const auto batched = run_bc(g, true, 1, 64, samples);
+    for (std::size_t v = 0; v < repeated.size(); ++v) {
+      EXPECT_EQ(batched[v], repeated[v]) << "vertex " << v;
+    }
+  }
+}
+
+// ------------------------------------------------- hand-computed fixtures
+
+TEST(Centrality, PathFixtureExact) {
+  // P5: bc(i) = i * (n-1-i) pairs route through vertex i.
+  const auto g = undirected(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  for (const bool batched : {false, true}) {
+    SCOPED_TRACE(batched ? "batched" : "repeated");
+    const auto bc = run_bc(g, batched, 1);
+    const std::vector<double> expect{0.0, 3.0, 4.0, 3.0, 0.0};
+    ASSERT_EQ(bc.size(), expect.size());
+    for (std::size_t v = 0; v < expect.size(); ++v) {
+      EXPECT_DOUBLE_EQ(bc[v], expect[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Centrality, DiamondFixtureExact) {
+  // 4-cycle 0-1-3-2-0: each opposite pair has two 2-hop shortest paths,
+  // giving every vertex dependency 1/2 * 1 = 0.5.
+  const auto g = undirected(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  for (const bool batched : {false, true}) {
+    SCOPED_TRACE(batched ? "batched" : "repeated");
+    const auto bc = run_bc(g, batched, 1);
+    for (std::size_t v = 0; v < 4; ++v) {
+      EXPECT_DOUBLE_EQ(bc[v], 0.5) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Centrality, StarFixtureExact) {
+  // Star S6 (center 0): every leaf pair routes through the center,
+  // C(5, 2) = 10; leaves carry nothing.
+  const auto g = undirected(
+      6, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}});
+  for (const bool batched : {false, true}) {
+    SCOPED_TRACE(batched ? "batched" : "repeated");
+    const auto bc = run_bc(g, batched, 1);
+    EXPECT_DOUBLE_EQ(bc[0], 10.0);
+    for (std::size_t v = 1; v < 6; ++v) {
+      EXPECT_DOUBLE_EQ(bc[v], 0.0) << "vertex " << v;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Golden-file regression tests for the CLI (docs/testing.md).
+//
+// Each case runs the installed `micg` binary on the committed fixture
+// graph and compares its stdout — and, for the metrics cases, its
+// micg.metrics.v1 JSON — against files under tests/golden/. Timing is the
+// only intended nondeterminism, so comparison is modulo timing: elapsed
+// "N ms" substrings are masked in stdout, and metrics documents are
+// canonicalized by parsing them with obs::from_json, zeroing every timer
+// and span duration, and re-serializing.
+//
+// To update the goldens after an intended output change:
+//   MICG_UPDATE_GOLDENS=1 ./tests/golden_test    (or tools/update_goldens.sh)
+// then review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "micg/obs/emit.hpp"
+
+namespace {
+
+std::string golden_dir() { return MICG_GOLDEN_DIR; }
+std::string cli_path() { return MICG_CLI_PATH; }
+
+bool update_mode() {
+  const char* v = std::getenv("MICG_UPDATE_GOLDENS");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Run a shell command (from inside the golden directory, so fixture paths
+/// in the output are relative) and capture its stdout.
+std::string run_cli(const std::string& args) {
+  const std::string cmd =
+      "cd '" + golden_dir() + "' && '" + cli_path() + "' " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  std::string out;
+  char buf[4096];
+  while (pipe != nullptr && fgets(buf, sizeof buf, pipe) != nullptr) {
+    out += buf;
+  }
+  if (pipe != nullptr) {
+    const int rc = pclose(pipe);
+    EXPECT_EQ(rc, 0) << cmd << "\n" << out;
+  }
+  return out;
+}
+
+/// Mask elapsed-time substrings and drop the metrics-path line (it names a
+/// temp file).
+std::string normalize_stdout(std::string out) {
+  static const std::regex ms_re(R"(\b[0-9]+(\.[0-9]+)? ms\b)");
+  out = std::regex_replace(out, ms_re, "<ms> ms");
+  std::istringstream in(out);
+  std::ostringstream kept;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("wrote metrics to ", 0) == 0) continue;
+    kept << line << "\n";
+  }
+  return kept.str();
+}
+
+/// Parse a metrics file and zero the fields whose values depend on the
+/// clock: every timer and every span duration. Everything else (meta,
+/// counters, gauges, span structure) must be deterministic at one thread.
+std::string canonicalize_metrics(const std::string& json) {
+  auto records = micg::obs::records_from_json(json);
+  for (auto& rec : records) {
+    for (auto& [name, seconds] : rec.timers) seconds = 0.0;
+    for (auto& span : rec.spans) span.seconds = 0.0;
+  }
+  return micg::obs::to_json(records);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path
+                         << " (run MICG_UPDATE_GOLDENS=1 to create it)";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out << content;
+}
+
+/// Compare `actual` against the golden file, or rewrite it in update mode.
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_dir() + "/" + name;
+  if (update_mode()) {
+    write_file(path, actual);
+    SUCCEED() << "updated " << path;
+    return;
+  }
+  EXPECT_EQ(actual, read_file(path))
+      << "golden mismatch for " << name
+      << " — if the change is intended, run MICG_UPDATE_GOLDENS=1 "
+         "./tests/golden_test and review the diff";
+}
+
+TEST(Golden, InfoStdout) {
+  check_golden("info_tiny.golden",
+               normalize_stdout(run_cli("info tiny.mtx")));
+}
+
+TEST(Golden, BfsStdout) {
+  check_golden(
+      "bfs_tiny.golden",
+      normalize_stdout(run_cli("bfs tiny.mtx --source 0 --threads 1")));
+}
+
+TEST(Golden, MsbfsStdout) {
+  check_golden("msbfs_tiny.golden",
+               normalize_stdout(run_cli(
+                   "msbfs tiny.mtx --sources 8 --lanes 4 --threads 1")));
+}
+
+TEST(Golden, BcStdout) {
+  check_golden(
+      "bc_tiny.golden",
+      normalize_stdout(run_cli("bc tiny.mtx --threads 1 --top 3")));
+}
+
+TEST(Golden, ColorStdout) {
+  check_golden(
+      "color_tiny.golden",
+      normalize_stdout(run_cli("color tiny.mtx --threads 1")));
+}
+
+struct metrics_case {
+  const char* golden;
+  const char* args;  ///< CLI invocation without the --metrics-json flag
+};
+
+class GoldenMetrics : public ::testing::TestWithParam<metrics_case> {};
+
+TEST_P(GoldenMetrics, CanonicalJson) {
+  const auto& [golden, args] = GetParam();
+  const std::string tmp =
+      ::testing::TempDir() + "/micg_golden_metrics.json";
+  run_cli(std::string(args) + " --metrics-json '" + tmp + "'");
+  check_golden(golden, canonicalize_metrics(read_file(tmp)));
+  std::remove(tmp.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cli, GoldenMetrics,
+    ::testing::Values(
+        metrics_case{"bfs_tiny.metrics.golden",
+                     "bfs tiny.mtx --source 0 --threads 1"},
+        metrics_case{"msbfs_tiny.metrics.golden",
+                     "msbfs tiny.mtx --sources 8 --lanes 4 --threads 1"},
+        metrics_case{"bc_tiny.metrics.golden",
+                     "bc tiny.mtx --threads 1 --samples 6"}),
+    [](const auto& info) {
+      std::string n = info.param.golden;
+      return n.substr(0, n.find('_'));
+    });
+
+}  // namespace

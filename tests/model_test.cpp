@@ -86,6 +86,65 @@ TEST(BfsModel, RejectsBadArgs) {
   EXPECT_THROW(micg::model::bfs_level_cost(1, 1, 0), micg::check_error);
 }
 
+// ---------------------------------------------------- batched (msbfs) model
+
+TEST(MsbfsModel, SingleSourceDegeneratesToBfsModel) {
+  // One lane: the union frontier IS the source's frontier and the source
+  // work is its total, so the batched model reproduces the paper's model.
+  std::vector<std::size_t> frontier{1, 4, 16, 64, 16, 4, 1};
+  double work = 0.0;
+  for (std::size_t x : frontier) work += static_cast<double>(x);
+  for (int t : {1, 4, 31, 121}) {
+    EXPECT_DOUBLE_EQ(
+        micg::model::msbfs_model_speedup(frontier, work, t, 32),
+        micg::model::bfs_model_speedup(frontier, t, 32))
+        << t;
+  }
+}
+
+TEST(MsbfsModel, SharedSweepMultipliesChainThroughput) {
+  // 64 sources on a chain that all discover the same union frontier: the
+  // layered model is stuck at 1, but the batch does 64 traversals' work in
+  // one sweep, so throughput is 64x even with one thread.
+  std::vector<std::size_t> union_frontier(1000, 1);
+  const double work = 64.0 * 1000.0;
+  EXPECT_DOUBLE_EQ(
+      micg::model::msbfs_model_speedup(union_frontier, work, 1, 32), 64.0);
+  EXPECT_DOUBLE_EQ(micg::model::bfs_model_speedup(union_frontier, 1, 32),
+                   1.0);
+}
+
+TEST(MsbfsModel, ThroughputMonotoneInThreadsAndLanes) {
+  auto g = micg::graph::make_suite_graph(
+      micg::graph::suite_entry_by_name("inline_1"), 0.02);
+  const auto ref = micg::bfs::seq_bfs(g, g.num_vertices() / 2);
+  double ref_work = 0.0;
+  for (std::size_t x : ref.frontier_sizes) {
+    ref_work += static_cast<double>(x);
+  }
+  // Lanes overlap heavily on a small-world-ish graph: the union frontier
+  // stays close to one source's, while the work scales with lanes.
+  double prev = 0.0;
+  for (int lanes : {1, 8, 64}) {
+    const double s = micg::model::msbfs_model_speedup(
+        ref.frontier_sizes, lanes * ref_work, 8, 32);
+    EXPECT_GT(s, prev) << lanes;
+    prev = s;
+  }
+  const auto grid = micg::model::paper_thread_grid(121);
+  const auto curve = micg::model::msbfs_model_curve(
+      ref.frontier_sizes, 64 * ref_work, grid, 32);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1] - 1e-9) << grid[i];
+  }
+}
+
+TEST(MsbfsModel, RejectsNegativeWork) {
+  std::vector<std::size_t> f{1, 2};
+  EXPECT_THROW(micg::model::msbfs_model_speedup(f, -1.0, 1, 32),
+               micg::check_error);
+}
+
 // ----------------------------------------------------------------- machine
 
 TEST(Machine, KncProjectionScalesColoringFurther) {

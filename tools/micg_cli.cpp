@@ -5,25 +5,29 @@
 //   micg info FILE                          structural statistics
 //   micg color FILE [--threads N] [--backend NAME] [--chunk C] [--d2]
 //   micg bfs FILE [--source V] [--variant NAME] [--threads N] [--block B]
-//   micg bc FILE [--samples K] [--threads N] [--top M]
+//   micg msbfs FILE [--sources K] [--lanes L] [--threads N]
+//   micg bc FILE [--samples K] [--threads N] [--top M] [--mode M] [--lanes L]
 //
-// color/bfs/bc accept --metrics-json PATH (or MICG_METRICS_JSON in the
-// environment) to write a micg.metrics.v1 record of the run.
+// color/bfs/msbfs/bc accept --metrics-json PATH (or MICG_METRICS_JSON in
+// the environment) to write a micg.metrics.v1 record of the run.
 //
 // Families for gen: chain N | cycle N | star N | complete N | tree K L |
 // grid2d NX NY | er N AVGDEG SEED | rmat SCALE EDGEFACTOR SEED |
 // suite NAME SCALE. File format chosen by extension: .mtx (MatrixMarket)
 // or .micg (binary CSR).
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <iostream>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "micg/bfs/centrality.hpp"
 #include "micg/bfs/layered.hpp"
+#include "micg/bfs/msbfs.hpp"
 #include "micg/bfs/seq.hpp"
 #include "micg/color/distance2.hpp"
 #include "micg/color/greedy.hpp"
@@ -58,9 +62,11 @@ using micg::graph::csr_graph;
       "  micg info FILE\n"
       "  micg color FILE [--threads N] [--backend NAME] [--chunk C] [--d2]\n"
       "  micg bfs FILE [--source V] [--variant NAME] [--threads N] [--block B]\n"
+      "  micg msbfs FILE [--sources K] [--lanes L] [--threads N]\n"
       "  micg bc FILE [--samples K] [--threads N] [--top M]\n"
-      "color/bfs/bc: --metrics-json PATH (or MICG_METRICS_JSON) writes a\n"
-      "  micg.metrics.v1 record of the run\n"
+      "          [--mode batched|repeated] [--lanes L]\n"
+      "color/bfs/msbfs/bc: --metrics-json PATH (or MICG_METRICS_JSON) writes\n"
+      "  a micg.metrics.v1 record of the run\n"
       "file formats by extension: .mtx (MatrixMarket), .micg (binary)\n";
   std::exit(2);
 }
@@ -304,12 +310,72 @@ int cmd_bfs(const arg_parser& args) {
   return 0;
 }
 
+int cmd_msbfs(const arg_parser& args) {
+  if (args.positional.empty()) usage("msbfs needs FILE");
+  const auto ag = load_graph(args.positional[0]);
+  micg::bfs::msbfs_pool::options opt;
+  opt.ex.threads = static_cast<int>(args.flag_int("threads", 4));
+  opt.lanes = static_cast<int>(args.flag_int("lanes", 64));
+  const auto nsources = static_cast<std::int64_t>(
+      args.flag_int("sources", 64));
+  micg::stopwatch sw;
+  run_with_metrics(
+      metrics_path(args),
+      {{"tool", "micg msbfs"},
+       {"graph", args.positional[0]},
+       {"layout", std::string(micg::graph::layout_name(ag.layout()))}},
+      [&] {
+        ag.visit([&](const auto& g) {
+          using VId = typename std::decay_t<decltype(g)>::vertex_type;
+          const auto n = static_cast<std::int64_t>(g.num_vertices());
+          const std::int64_t k = std::min(nsources, n);
+          std::vector<VId> sources(static_cast<std::size_t>(k));
+          for (std::int64_t i = 0; i < k; ++i) {
+            sources[static_cast<std::size_t>(i)] =
+                static_cast<VId>(i * n / std::max<std::int64_t>(k, 1));
+          }
+          const micg::bfs::msbfs_pool pool(opt);
+          std::atomic<long long> batches{0};
+          std::atomic<long long> reached{0};
+          std::atomic<long long> levels{0};
+          pool.for_each_batch(
+              g, std::span<const VId>(sources),
+              [&](const micg::bfs::msbfs_batch& batch,
+                  const micg::bfs::msbfs_result& res) {
+                batches.fetch_add(1, std::memory_order_relaxed);
+                long long r = 0, l = 0;
+                for (int lane = 0; lane < batch.lanes; ++lane) {
+                  r += static_cast<long long>(
+                      res.reached[static_cast<std::size_t>(lane)]);
+                  l += res.num_levels[static_cast<std::size_t>(lane)];
+                }
+                reached.fetch_add(r, std::memory_order_relaxed);
+                levels.fetch_add(l, std::memory_order_relaxed);
+              });
+          std::cout << "msbfs: " << k << " sources in " << batches.load()
+                    << " batches of <=" << opt.lanes << " lanes, avg "
+                    << micg::table_printer::fmt(
+                           static_cast<double>(levels.load()) /
+                           static_cast<double>(std::max<std::int64_t>(k, 1)))
+                    << " levels, avg reached "
+                    << micg::table_printer::fmt(
+                           static_cast<double>(reached.load()) /
+                           static_cast<double>(std::max<std::int64_t>(k, 1)))
+                    << "/" << g.num_vertices() << " in "
+                    << micg::table_printer::fmt(sw.millis()) << " ms\n";
+        });
+      });
+  return 0;
+}
+
 int cmd_bc(const arg_parser& args) {
   if (args.positional.empty()) usage("bc needs FILE");
   const auto ag = load_graph(args.positional[0]);
   micg::bfs::centrality_options opt;
   opt.ex.threads = static_cast<int>(args.flag_int("threads", 4));
   opt.sample_sources = args.flag_int("samples", 0);
+  opt.batched = args.flag("mode", "batched") != "repeated";
+  opt.batch_lanes = static_cast<int>(args.flag_int("lanes", 64));
   micg::stopwatch sw;
   std::vector<double> bc;
   run_with_metrics(
@@ -352,6 +418,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "color") return cmd_color(args);
     if (cmd == "bfs") return cmd_bfs(args);
+    if (cmd == "msbfs") return cmd_msbfs(args);
     if (cmd == "bc") return cmd_bc(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -49,11 +49,13 @@ echo "== run_bench: scale=$MICG_SCALE measured_scale=$MICG_MEASURED_SCALE" \
 
 "$BUILD_DIR/bench/fig3_irregular" --metrics-json "$tmp/fig3.json"
 "$BUILD_DIR/bench/fig4_bfs" --metrics-json "$tmp/fig4.json"
+"$BUILD_DIR/bench/fig5_msbfs" --metrics-json "$tmp/fig5.json"
 MICG_MEASURED_SCALE="$MICG_MEMLAT_SCALE" \
 MICG_MEASURED_THREADS="$MICG_MEMLAT_THREADS" \
   "$BUILD_DIR/bench/ablate_memlat" --metrics-json "$tmp/memlat.json"
 
-python3 - "$OUT" "$tmp"/fig3.json "$tmp"/fig4.json "$tmp"/memlat.json <<'EOF'
+python3 - "$OUT" "$tmp"/fig3.json "$tmp"/fig4.json "$tmp"/fig5.json \
+    "$tmp"/memlat.json <<'EOF'
 import json
 import sys
 
@@ -72,6 +74,10 @@ with open(out, "w") as f:
 memlat = [r for r in records if r["meta"].get("bench") == "ablate_memlat"]
 assert memlat, "ablate_memlat emitted no records"
 best = max(r["values"]["speedup_vs_baseline"] for r in memlat)
+msbfs = [r for r in records if r["meta"].get("bench") == "fig5_msbfs"]
+assert msbfs, "fig5_msbfs emitted no records"
+best_ms = max(r["values"]["msbfs.throughput_speedup"] for r in msbfs)
 print(f"wrote {out}: {len(records)} records "
-      f"({len(memlat)} memlat, best fast-path speedup {best:.2f}x)")
+      f"({len(memlat)} memlat, best fast-path speedup {best:.2f}x, "
+      f"best msbfs throughput {best_ms:.2f}x)")
 EOF

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the golden files under tests/golden/ after an intended CLI
+# output change (docs/testing.md). Review the resulting diff like any
+# other code change.
+#
+# Usage: tools/update_goldens.sh
+#   BUILD_DIR   build tree holding tests/golden_test (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+
+if [ ! -x "$BUILD_DIR/tests/golden_test" ]; then
+  echo "error: $BUILD_DIR/tests/golden_test not found — build with" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+MICG_UPDATE_GOLDENS=1 "$BUILD_DIR/tests/golden_test"
+echo
+git --no-pager diff --stat -- tests/golden/ || true
+echo "goldens rewritten; review with: git diff tests/golden/"
