@@ -1,0 +1,203 @@
+// Serving-path latency: end-to-end round trips against a resident
+// `micg serve` process over a unix socket, at several open-loop arrival
+// rates, with and without a concurrent writer mutating + compacting the
+// served graph. Reports p50/p99/max per rate; --metrics-json emits one
+// micg.metrics.v1 record per (rate, writer) cell — the source of the
+// committed BENCH_serve.json (tools/run_bench.sh).
+//
+//   MICG_SERVE_RATES     comma list of arrival rates, req/s (default
+//                        "200,800,3200" — past the knee of a 4-slot gate)
+//   MICG_SERVE_REQUESTS  requests per rate (default 240)
+//   MICG_SERVE_CLIENTS   concurrent client connections (default 8)
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "micg/api/json.hpp"
+#include "micg/benchkit/benchkit.hpp"
+#include "micg/graph/generators.hpp"
+#include "micg/obs/obs.hpp"
+#include "micg/serve/client.hpp"
+#include "micg/serve/server.hpp"
+#include "micg/serve/store.hpp"
+#include "micg/support/table.hpp"
+#include "micg/support/timer.hpp"
+
+namespace {
+
+using micg::table_printer;
+using micg::api::json;
+using micg::api::json_object;
+
+std::vector<double> rates_from_env() {
+  const char* env = std::getenv("MICG_SERVE_RATES");
+  std::string spec = env != nullptr ? env : "200,800,3200";
+  std::vector<double> rates;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) rates.push_back(std::stod(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return rates;
+}
+
+int int_from_env(const char* name, int dflt) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atoi(env) : dflt;
+}
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct rate_result {
+  double rate = 0;
+  int requests = 0;
+  int ok = 0;
+  double p50_ms = 0, p99_ms = 0, max_ms = 0;
+};
+
+/// Drive `num_requests` bfs queries at `rate` req/s, spread round-robin
+/// over `num_clients` connections; each request is scheduled open-loop at
+/// i/rate from the series start.
+rate_result drive_rate(const std::string& address, double rate,
+                       int num_requests, int num_clients) {
+  std::vector<std::vector<double>> lat(
+      static_cast<std::size_t>(num_clients));
+  std::atomic<int> ok{0};
+  const auto start = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(20);  // connect margin
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      micg::serve::client cli(address);
+      for (int i = c; i < num_requests; i += num_clients) {
+        const auto due =
+            start + std::chrono::microseconds(
+                        static_cast<std::int64_t>(1e6 * i / rate));
+        std::this_thread::sleep_until(due);
+        micg::stopwatch sw;
+        const json resp = cli.call(
+            "bfs", "g",
+            json(json_object{{"threads", json(1)},
+                             {"source", json(i % 4096)}}));
+        lat[static_cast<std::size_t>(c)].push_back(1e3 * sw.seconds());
+        if (resp.at("status").as_string() == "ok") ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  rate_result r;
+  r.rate = rate;
+  r.requests = num_requests;
+  r.ok = ok.load();
+  r.p50_ms = percentile(all, 0.50);
+  r.p99_ms = percentile(all, 0.99);
+  r.max_ms = all.empty() ? 0.0 : all.back();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
+
+  const std::vector<double> rates = rates_from_env();
+  const int num_requests = int_from_env("MICG_SERVE_REQUESTS", 240);
+  const int num_clients = int_from_env("MICG_SERVE_CLIENTS", 8);
+
+  micg::serve::graph_store store;
+  store.add("g", micg::graph::to_narrowest(
+                     micg::graph::make_grid_2d(64, 64)));  // 4096 vertices
+
+  micg::serve::server_options opt;
+  opt.listen =
+      "unix:/tmp/micg_serve_bench_" + std::to_string(::getpid()) + ".sock";
+  opt.svc = {.max_inflight = 4, .max_waiting = 256, .threads_per_query = 1,
+             .compact_every = 8};
+  micg::serve::server srv(store, opt);
+  srv.bind_and_listen();
+  std::thread server_thread([&] { srv.run(); });
+
+  for (const bool with_writer : {false, true}) {
+    std::atomic<bool> stop_writer{false};
+    std::thread writer;
+    if (with_writer) {
+      writer = std::thread([&] {
+        micg::serve::client cli(opt.listen);
+        // Toggle edges off the served grid; every 8th mutation triggers
+        // a full compaction rebuild under the query load.
+        for (int k = 0; !stop_writer.load(); ++k) {
+          const std::string op = k % 2 == 0 ? "insert" : "erase";
+          json edges(micg::api::json_array{json(micg::api::json_array{
+              json(k % 4096), json((k + 4097) % 4096 + 1)})});
+          (void)cli.call(op, "g",
+                         json(json_object{{"edges", std::move(edges)}}));
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    }
+
+    table_printer t(std::string("serve latency: bfs round trips") +
+                    (with_writer ? " (writer mutating + compacting)"
+                                 : " (steady graph)"));
+    t.header({"rate req/s", "requests", "ok", "p50 ms", "p99 ms", "max ms"});
+    for (const double rate : rates) {
+      const rate_result r =
+          drive_rate(opt.listen, rate, num_requests, num_clients);
+      t.row({table_printer::fmt(rate), std::to_string(r.requests),
+             std::to_string(r.ok), table_printer::fmt(r.p50_ms),
+             table_printer::fmt(r.p99_ms), table_printer::fmt(r.max_ms)});
+      if (sink.enabled()) {
+        micg::obs::recorder rec;
+        rec.set_meta("bench", "serve_latency");
+        rec.set_meta("config",
+                     (with_writer ? "mutating/" : "steady/") +
+                         table_printer::fmt(rate));
+        rec.set_meta("writer", with_writer ? "yes" : "no");
+        rec.set_value("rate_rps", rate);
+        rec.set_value("requests", r.requests);
+        rec.set_value("ok", r.ok);
+        rec.set_value("p50_ms", r.p50_ms);
+        rec.set_value("p99_ms", r.p99_ms);
+        rec.set_value("max_ms", r.max_ms);
+        sink.record(rec.take());
+      }
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+
+    if (with_writer) {
+      stop_writer.store(true);
+      writer.join();
+    }
+  }
+
+  {
+    micg::serve::client cli(opt.listen);
+    (void)cli.call("shutdown", "");
+  }
+  server_thread.join();
+  return 0;
+}

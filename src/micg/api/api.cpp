@@ -1,0 +1,549 @@
+#include "micg/api/api.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <span>
+#include <utility>
+
+#include "micg/bfs/centrality.hpp"
+#include "micg/bfs/layered.hpp"
+#include "micg/bfs/msbfs.hpp"
+#include "micg/color/distance2.hpp"
+#include "micg/color/iterative.hpp"
+#include "micg/color/ordering.hpp"
+#include "micg/color/verify.hpp"
+#include "micg/graph/props.hpp"
+#include "micg/irregular/pagerank.hpp"
+
+namespace micg::api {
+
+namespace {
+
+/// Optional-field readers shared by every *_request_from_json. `v` is the
+/// params value (object or null); unknown fields are ignored for forward
+/// compatibility, wrong-typed fields raise check_error.
+void check_params_shape(const json& v) {
+  MICG_CHECK(v.is_object() || v.is_null(),
+             "request params must be a JSON object");
+}
+
+std::int64_t get_int(const json& v, std::string_view key, std::int64_t dflt) {
+  const json* f = v.find(key);
+  return f != nullptr ? f->as_int() : dflt;
+}
+
+double get_double(const json& v, std::string_view key, double dflt) {
+  const json* f = v.find(key);
+  return f != nullptr ? f->as_double() : dflt;
+}
+
+bool get_bool(const json& v, std::string_view key, bool dflt) {
+  const json* f = v.find(key);
+  return f != nullptr ? f->as_bool() : dflt;
+}
+
+std::string get_string(const json& v, std::string_view key,
+                       const std::string& dflt) {
+  const json* f = v.find(key);
+  return f != nullptr ? f->as_string() : dflt;
+}
+
+std::vector<std::int64_t> get_int_array(const json& v, std::string_view key) {
+  const json* f = v.find(key);
+  if (f == nullptr) return {};
+  std::vector<std::int64_t> out;
+  out.reserve(f->as_array().size());
+  for (const auto& e : f->as_array()) out.push_back(e.as_int());
+  return out;
+}
+
+json int_array_json(const std::vector<std::int64_t>& xs) {
+  json_array arr;
+  arr.reserve(xs.size());
+  for (auto x : xs) arr.emplace_back(x);
+  return json(std::move(arr));
+}
+
+/// Top-k selection by descending score, ties broken exactly like the
+/// historical CLI code (std::partial_sort over the index array with a
+/// score-only comparator) so the committed goldens are reproduced
+/// bit-for-bit.
+std::vector<bc_entry> top_entries(const std::vector<double>& score,
+                                  std::int64_t top) {
+  const auto k = static_cast<std::size_t>(std::max<std::int64_t>(top, 0));
+  std::vector<std::size_t> idx(score.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::partial_sort(
+      idx.begin(),
+      idx.begin() + static_cast<std::ptrdiff_t>(std::min(k, idx.size())),
+      idx.end(),
+      [&](std::size_t a, std::size_t b) { return score[a] > score[b]; });
+  std::vector<bc_entry> out;
+  out.reserve(std::min(k, idx.size()));
+  for (std::size_t i = 0; i < std::min(k, idx.size()); ++i) {
+    out.push_back({static_cast<std::int64_t>(idx[i]), score[idx[i]]});
+  }
+  return out;
+}
+
+json entries_json(const std::vector<bc_entry>& entries) {
+  json_array arr;
+  arr.reserve(entries.size());
+  for (const auto& e : entries) {
+    arr.emplace_back(json_object{{"vertex", json(e.vertex)},
+                                 {"score", json(e.score)}});
+  }
+  return json(std::move(arr));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// status
+
+const char* status_name(status s) {
+  switch (s) {
+    case status::ok: return "ok";
+    case status::bad_request: return "bad_request";
+    case status::not_found: return "not_found";
+    case status::too_large: return "too_large";
+    case status::overloaded: return "overloaded";
+    case status::deadline_exceeded: return "deadline_exceeded";
+    case status::shutting_down: return "shutting_down";
+    case status::internal: return "internal";
+  }
+  return "internal";
+}
+
+status status_from_name(const std::string& name) {
+  for (status s : {status::ok, status::bad_request, status::not_found,
+                   status::too_large, status::overloaded,
+                   status::deadline_exceeded, status::shutting_down,
+                   status::internal}) {
+    if (name == status_name(s)) return s;
+  }
+  MICG_CHECK(false, "unknown status name: " + name);
+  return status::internal;  // unreachable
+}
+
+// ---------------------------------------------------------------------------
+// exec_params
+
+rt::exec exec_params::to_exec() const { return resolve_exec(*this, {}); }
+
+rt::exec resolve_exec(const exec_params& p, const run_context& ctx) {
+  MICG_CHECK(p.threads >= 1 && p.threads <= 4096,
+             "threads must be in [1, 4096]");
+  MICG_CHECK(p.chunk >= 1, "chunk must be >= 1");
+  rt::exec e;
+  e.kind = rt::backend_from_name(p.backend);
+  e.threads = p.threads;
+  if (ctx.max_threads > 0 && e.threads > ctx.max_threads) {
+    e.threads = ctx.max_threads;
+  }
+  e.chunk = p.chunk;
+  e.pool = ctx.pool;
+  e.rec = ctx.rec;
+  return e;
+}
+
+json to_json(const exec_params& p) {
+  return json(json_object{{"backend", json(p.backend)},
+                          {"threads", json(p.threads)},
+                          {"chunk", json(p.chunk)}});
+}
+
+exec_params exec_params_from_json(const json& v, const exec_params& dflt) {
+  exec_params p = dflt;
+  p.backend = get_string(v, "backend", dflt.backend);
+  p.threads = static_cast<int>(get_int(v, "threads", dflt.threads));
+  p.chunk = get_int(v, "chunk", dflt.chunk);
+  return p;
+}
+
+exec_params exec_params_from_args(const arg_parser& args,
+                                  const exec_params& dflt) {
+  exec_params p = dflt;
+  p.backend = args.flag("backend", dflt.backend);
+  p.threads = static_cast<int>(args.flag_int("threads", dflt.threads));
+  p.chunk = args.flag_int("chunk", dflt.chunk);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// info
+
+info_response run(const graph::any_csr& g, const info_request&,
+                  const run_context&) {
+  info_response r;
+  r.layout = graph::layout_name(g.layout());
+  g.visit([&](const auto& cg) {
+    const auto stats = graph::compute_degree_stats(cg);
+    r.num_vertices = static_cast<std::int64_t>(cg.num_vertices());
+    r.num_edges = static_cast<std::int64_t>(cg.num_edges());
+    r.min_degree = stats.min;
+    r.max_degree = stats.max;
+    r.avg_degree = stats.mean;
+    r.components =
+        static_cast<std::int64_t>(graph::count_components(cg));
+    r.degeneracy = static_cast<std::int64_t>(color::degeneracy(cg));
+    r.bfs_levels_from_mid = graph::count_bfs_levels(
+        cg, cg.num_vertices() / 2);
+  });
+  return r;
+}
+
+json to_json(const info_response& r) {
+  return json(json_object{
+      {"layout", json(r.layout)},
+      {"num_vertices", json(r.num_vertices)},
+      {"num_edges", json(r.num_edges)},
+      {"min_degree", json(r.min_degree)},
+      {"max_degree", json(r.max_degree)},
+      {"avg_degree", json(r.avg_degree)},
+      {"components", json(r.components)},
+      {"degeneracy", json(r.degeneracy)},
+      {"bfs_levels_from_mid", json(r.bfs_levels_from_mid)}});
+}
+
+info_request info_request_from_json(const json& v) {
+  check_params_shape(v);
+  return {};
+}
+
+info_request info_request_from_args(const arg_parser&) { return {}; }
+
+// ---------------------------------------------------------------------------
+// bfs
+
+bfs_response run(const graph::any_csr& g, const bfs_request& req,
+                 const run_context& ctx) {
+  bfs_response r;
+  micg::bfs::parallel_bfs_options opt;
+  opt.ex = resolve_exec(req.ex, ctx);
+  MICG_CHECK(req.block >= 1 && req.block <= (1 << 20),
+             "block must be in [1, 2^20]");
+  opt.block = static_cast<int>(req.block);
+  opt.variant = micg::bfs::bfs_variant_from_name(req.variant);
+  const std::int64_t n = g.num_vertices();
+  const std::int64_t source = req.source < 0 ? n / 2 : req.source;
+  MICG_CHECK(n > 0, "bfs on an empty graph");
+  MICG_CHECK(source < n, "source vertex out of range");
+  for (const auto t : req.targets) {
+    MICG_CHECK(t >= 0 && t < n, "target vertex out of range");
+  }
+  g.visit([&](const auto& cg) {
+    using VId = typename std::decay_t<decltype(cg)>::vertex_type;
+    const auto res =
+        micg::bfs::parallel_bfs(cg, static_cast<VId>(source), opt);
+    r.num_levels = res.num_levels;
+    r.reached = static_cast<std::int64_t>(res.reached);
+    for (const auto t : req.targets) {
+      r.target_levels.push_back(res.level[static_cast<std::size_t>(t)]);
+    }
+  });
+  r.variant = micg::bfs::bfs_variant_name(opt.variant);
+  r.source = source;
+  r.num_vertices = n;
+  return r;
+}
+
+json to_json(const bfs_response& r) {
+  json out(json_object{{"variant", json(r.variant)},
+                       {"source", json(r.source)},
+                       {"num_levels", json(r.num_levels)},
+                       {"reached", json(r.reached)},
+                       {"num_vertices", json(r.num_vertices)}});
+  if (!r.target_levels.empty()) {
+    out.set("target_levels", int_array_json(r.target_levels));
+  }
+  return out;
+}
+
+bfs_request bfs_request_from_json(const json& v) {
+  check_params_shape(v);
+  bfs_request req;
+  req.ex = exec_params_from_json(v, req.ex);
+  req.variant = get_string(v, "variant", req.variant);
+  req.source = get_int(v, "source", req.source);
+  req.block = get_int(v, "block", req.block);
+  req.targets = get_int_array(v, "targets");
+  return req;
+}
+
+bfs_request bfs_request_from_args(const arg_parser& args) {
+  bfs_request req;
+  req.ex = exec_params_from_args(args, req.ex);
+  req.variant = args.flag("variant", req.variant);
+  req.source = args.flag_int("source", req.source);
+  req.block = args.flag_int("block", req.block);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// msbfs
+
+msbfs_response run(const graph::any_csr& g, const msbfs_request& req,
+                   const run_context& ctx) {
+  msbfs_response r;
+  micg::bfs::msbfs_pool::options opt;
+  opt.ex = resolve_exec(req.ex, ctx);
+  MICG_CHECK(req.lanes >= 1 && req.lanes <= micg::bfs::msbfs_max_lanes,
+             "lanes must be in [1, 64]");
+  opt.lanes = static_cast<int>(req.lanes);
+  const std::int64_t n = g.num_vertices();
+  MICG_CHECK(n > 0, "msbfs on an empty graph");
+  g.visit([&](const auto& cg) {
+    using VId = typename std::decay_t<decltype(cg)>::vertex_type;
+    std::vector<VId> sources;
+    if (!req.source_list.empty()) {
+      sources.reserve(req.source_list.size());
+      for (const auto s : req.source_list) {
+        MICG_CHECK(s >= 0 && s < n, "source vertex out of range");
+        sources.push_back(static_cast<VId>(s));
+      }
+    } else {
+      // Evenly spaced sources — the spacing rule the CLI has always used.
+      const std::int64_t k = std::min(std::max<std::int64_t>(req.sources, 0),
+                                      n);
+      sources.resize(static_cast<std::size_t>(k));
+      for (std::int64_t i = 0; i < k; ++i) {
+        sources[static_cast<std::size_t>(i)] =
+            static_cast<VId>(i * n / std::max<std::int64_t>(k, 1));
+      }
+    }
+    const micg::bfs::msbfs_pool pool(opt);
+    std::atomic<long long> batches{0};
+    std::atomic<long long> reached{0};
+    std::atomic<long long> levels{0};
+    pool.for_each_batch(
+        cg, std::span<const VId>(sources),
+        [&](const micg::bfs::msbfs_batch& batch,
+            const micg::bfs::msbfs_result& res) {
+          batches.fetch_add(1, std::memory_order_relaxed);
+          long long rr = 0, ll = 0;
+          for (int lane = 0; lane < batch.lanes; ++lane) {
+            rr += static_cast<long long>(
+                res.reached[static_cast<std::size_t>(lane)]);
+            ll += res.num_levels[static_cast<std::size_t>(lane)];
+          }
+          reached.fetch_add(rr, std::memory_order_relaxed);
+          levels.fetch_add(ll, std::memory_order_relaxed);
+        });
+    r.sources = static_cast<std::int64_t>(sources.size());
+    r.batches = batches.load();
+    r.reached_total = reached.load();
+    r.levels_total = levels.load();
+  });
+  r.lanes = opt.lanes;
+  r.num_vertices = n;
+  return r;
+}
+
+json to_json(const msbfs_response& r) {
+  return json(json_object{{"sources", json(r.sources)},
+                          {"batches", json(r.batches)},
+                          {"lanes", json(r.lanes)},
+                          {"reached_total", json(r.reached_total)},
+                          {"levels_total", json(r.levels_total)},
+                          {"num_vertices", json(r.num_vertices)}});
+}
+
+msbfs_request msbfs_request_from_json(const json& v) {
+  check_params_shape(v);
+  msbfs_request req;
+  req.ex = exec_params_from_json(v, req.ex);
+  req.sources = get_int(v, "sources", req.sources);
+  req.lanes = get_int(v, "lanes", req.lanes);
+  req.source_list = get_int_array(v, "source_list");
+  return req;
+}
+
+msbfs_request msbfs_request_from_args(const arg_parser& args) {
+  msbfs_request req;
+  req.ex = exec_params_from_args(args, req.ex);
+  req.sources = args.flag_int("sources", req.sources);
+  req.lanes = args.flag_int("lanes", req.lanes);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// bc
+
+bc_response run(const graph::any_csr& g, const bc_request& req,
+                const run_context& ctx) {
+  bc_response r;
+  micg::bfs::centrality_options opt;
+  opt.ex = resolve_exec(req.ex, ctx);
+  opt.sample_sources = req.samples;
+  opt.batched = req.batched;
+  MICG_CHECK(req.lanes >= 1 && req.lanes <= micg::bfs::msbfs_max_lanes,
+             "lanes must be in [1, 64]");
+  opt.batch_lanes = static_cast<int>(req.lanes);
+  std::vector<double> bc;
+  g.visit([&](const auto& cg) {
+    bc = micg::bfs::betweenness_centrality(cg, opt);
+  });
+  r.top = top_entries(bc, req.top);
+  r.num_vertices = g.num_vertices();
+  return r;
+}
+
+json to_json(const bc_response& r) {
+  return json(json_object{{"top", entries_json(r.top)},
+                          {"num_vertices", json(r.num_vertices)}});
+}
+
+bc_request bc_request_from_json(const json& v) {
+  check_params_shape(v);
+  bc_request req;
+  req.ex = exec_params_from_json(v, req.ex);
+  req.samples = get_int(v, "samples", req.samples);
+  req.batched = get_string(v, "mode", req.batched ? "batched" : "repeated") !=
+                "repeated";
+  req.lanes = get_int(v, "lanes", req.lanes);
+  req.top = get_int(v, "top", req.top);
+  return req;
+}
+
+bc_request bc_request_from_args(const arg_parser& args) {
+  bc_request req;
+  req.ex = exec_params_from_args(args, req.ex);
+  req.samples = args.flag_int("samples", req.samples);
+  req.batched = args.flag("mode", "batched") != "repeated";
+  req.lanes = args.flag_int("lanes", req.lanes);
+  req.top = args.flag_int("top", req.top);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// color
+
+color_response run(const graph::any_csr& g, const color_request& req,
+                   const run_context& ctx) {
+  color_response r;
+  micg::color::iterative_options opt;
+  opt.ex = resolve_exec(req.ex, ctx);
+  g.visit([&](const auto& cg) {
+    if (req.distance2) {
+      const auto res = micg::color::iterative_color_distance2(cg, opt);
+      r.num_colors = res.num_colors;
+      r.rounds = res.rounds;
+      r.valid = micg::color::is_valid_distance2_coloring(cg, res.color);
+    } else {
+      const auto res = micg::color::iterative_color(cg, opt);
+      r.num_colors = res.num_colors;
+      r.rounds = res.rounds;
+      r.valid = micg::color::is_valid_coloring(cg, res.color);
+    }
+  });
+  r.distance2 = req.distance2;
+  return r;
+}
+
+json to_json(const color_response& r) {
+  return json(json_object{{"num_colors", json(r.num_colors)},
+                          {"rounds", json(r.rounds)},
+                          {"valid", json(r.valid)},
+                          {"distance2", json(r.distance2)}});
+}
+
+color_request color_request_from_json(const json& v) {
+  check_params_shape(v);
+  color_request req;
+  req.ex = exec_params_from_json(v, req.ex);
+  req.distance2 = get_bool(v, "distance2", req.distance2);
+  return req;
+}
+
+color_request color_request_from_args(const arg_parser& args) {
+  color_request req;
+  req.ex = exec_params_from_args(args, req.ex);
+  // Historical flag shape: `--d2 yes` (any value but "no" enables).
+  req.distance2 = args.flag("d2", "no") != "no";
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// pagerank
+
+pagerank_response run(const graph::any_csr& g, const pagerank_request& req,
+                      const run_context& ctx) {
+  pagerank_response r;
+  micg::irregular::pagerank_options opt;
+  opt.ex = resolve_exec(req.ex, ctx);
+  MICG_CHECK(req.damping > 0.0 && req.damping < 1.0,
+             "damping must be in (0, 1)");
+  MICG_CHECK(req.tolerance > 0.0, "tolerance must be > 0");
+  MICG_CHECK(req.max_iterations >= 1 && req.max_iterations <= 1000000,
+             "max_iterations must be in [1, 10^6]");
+  opt.damping = req.damping;
+  opt.tolerance = req.tolerance;
+  opt.max_iterations = static_cast<int>(req.max_iterations);
+  g.visit([&](const auto& cg) {
+    const auto res = micg::irregular::pagerank(cg, opt);
+    r.iterations = res.iterations;
+    r.converged = res.converged;
+    r.final_delta = res.final_delta;
+    r.top = top_entries(res.rank, req.top);
+  });
+  return r;
+}
+
+json to_json(const pagerank_response& r) {
+  return json(json_object{{"iterations", json(r.iterations)},
+                          {"converged", json(r.converged)},
+                          {"final_delta", json(r.final_delta)},
+                          {"top", entries_json(r.top)}});
+}
+
+pagerank_request pagerank_request_from_json(const json& v) {
+  check_params_shape(v);
+  pagerank_request req;
+  req.ex = exec_params_from_json(v, req.ex);
+  req.damping = get_double(v, "damping", req.damping);
+  req.tolerance = get_double(v, "tolerance", req.tolerance);
+  req.max_iterations = get_int(v, "max_iterations", req.max_iterations);
+  req.top = get_int(v, "top", req.top);
+  return req;
+}
+
+pagerank_request pagerank_request_from_args(const arg_parser& args) {
+  pagerank_request req;
+  req.ex = exec_params_from_args(args, req.ex);
+  req.damping = args.flag_double("damping", req.damping);
+  req.tolerance = args.flag_double("tolerance", req.tolerance);
+  req.max_iterations = args.flag_int("iterations", req.max_iterations);
+  req.top = args.flag_int("top", req.top);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// dispatch
+
+bool is_query_op(const std::string& op) {
+  return op == "info" || op == "bfs" || op == "msbfs" || op == "bc" ||
+         op == "color" || op == "pagerank";
+}
+
+json dispatch_query(const graph::any_csr& g, const std::string& op,
+                    const json& params, const run_context& ctx) {
+  if (op == "info") {
+    return to_json(run(g, info_request_from_json(params), ctx));
+  }
+  if (op == "bfs") return to_json(run(g, bfs_request_from_json(params), ctx));
+  if (op == "msbfs") {
+    return to_json(run(g, msbfs_request_from_json(params), ctx));
+  }
+  if (op == "bc") return to_json(run(g, bc_request_from_json(params), ctx));
+  if (op == "color") {
+    return to_json(run(g, color_request_from_json(params), ctx));
+  }
+  if (op == "pagerank") {
+    return to_json(run(g, pagerank_request_from_json(params), ctx));
+  }
+  MICG_CHECK(false, "unknown query op: " + op);
+  return json();  // unreachable
+}
+
+}  // namespace micg::api

@@ -1,0 +1,261 @@
+// micg::api — the stable programmatic surface of the library's kernels.
+//
+// Every operation is a plain request struct (kernel options + an embedded
+// execution configuration) paired with a plain response struct. Three
+// front ends drive the same structs through the same run() overloads:
+//
+//   * tools/micg_cli.cpp parses flags into a request (the *_request_from_args
+//     helpers below) and formats the response for stdout;
+//   * micg::serve deserializes the identical request from a wire JSON
+//     object (*_request_from_json) and serializes the response back;
+//   * library users fill the struct directly.
+//
+// One code path: a CLI `micg bfs` and a served {"op":"bfs"} execute the
+// same run(graph, bfs_request) — the CLI goldens pin that the refactor
+// changed no output.
+//
+// Error envelope: run() overloads throw micg::check_error on invalid
+// parameters; the serve layer maps exceptions to the uniform status codes
+// below, and every wire response carries {"status": <name>, ...}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "micg/api/json.hpp"
+#include "micg/api/parse.hpp"
+#include "micg/graph/any_csr.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::api {
+
+// ---------------------------------------------------------------------------
+// Status envelope
+
+/// Uniform result status shared by every response (wire and in-process).
+enum class status {
+  ok,
+  bad_request,        ///< malformed frame/JSON/parameters
+  not_found,          ///< unknown graph or operation
+  too_large,          ///< request frame exceeds the size limit
+  overloaded,         ///< admission queue full — graceful shedding
+  deadline_exceeded,  ///< request waited past its deadline
+  shutting_down,      ///< server is draining; no new work admitted
+  internal,           ///< unexpected server-side failure
+};
+
+/// Wire name ("ok", "bad_request", ...).
+const char* status_name(status s);
+
+/// Inverse of status_name; throws micg::check_error on unknown names.
+status status_from_name(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Execution parameters
+
+/// The rt::exec subset that crosses API boundaries (backend by wire name;
+/// pool/scheduler/recorder stay process-local and are bound by run()).
+struct exec_params {
+  std::string backend = "OpenMP-dynamic";
+  int threads = 4;
+  std::int64_t chunk = 64;
+
+  /// Resolve to an rt::exec (validates the backend name and ranges).
+  [[nodiscard]] rt::exec to_exec() const;
+};
+
+/// Process-local execution bindings a front end applies on top of a
+/// request's exec_params. The CLI uses the defaults (global pool, global
+/// recorder fallback); the server pins each in-flight request to its own
+/// pool (the global pool rejects concurrent multi-thread regions) and
+/// caps per-query parallelism.
+struct run_context {
+  rt::thread_pool* pool = nullptr;  ///< nullptr = thread_pool::global()
+  int max_threads = 0;              ///< clamp request threads; 0 = no cap
+  obs::recorder* rec = nullptr;     ///< explicit metrics sink
+};
+
+/// exec_params + run_context -> the rt::exec the kernels receive.
+rt::exec resolve_exec(const exec_params& p, const run_context& ctx);
+
+json to_json(const exec_params& p);
+/// Reads the optional "backend"/"threads"/"chunk" fields of `v` (an
+/// object; unknown fields are ignored for forward compatibility).
+exec_params exec_params_from_json(const json& v, const exec_params& dflt);
+/// Reads --backend/--threads/--chunk flags.
+exec_params exec_params_from_args(const arg_parser& args,
+                                  const exec_params& dflt);
+
+// ---------------------------------------------------------------------------
+// info
+
+struct info_request {};
+
+struct info_response {
+  std::string layout;
+  std::int64_t num_vertices = 0;
+  std::int64_t num_edges = 0;
+  std::int64_t min_degree = 0;
+  std::int64_t max_degree = 0;
+  double avg_degree = 0.0;
+  std::int64_t components = 0;
+  std::int64_t degeneracy = 0;
+  /// BFS levels of a traversal from vertex |V|/2 (Table I convention).
+  std::int64_t bfs_levels_from_mid = 0;
+};
+
+info_response run(const graph::any_csr& g, const info_request& req,
+                  const run_context& ctx = {});
+json to_json(const info_response& r);
+info_request info_request_from_json(const json& v);
+info_request info_request_from_args(const arg_parser& args);
+
+// ---------------------------------------------------------------------------
+// bfs
+
+struct bfs_request {
+  exec_params ex;
+  std::string variant = "OpenMP-Block-relaxed";
+  /// Source vertex; negative selects the |V|/2 default the CLI has always
+  /// used.
+  std::int64_t source = -1;
+  /// Block size of the block-accessed queue.
+  std::int64_t block = 32;
+  /// Vertices whose BFS level the response reports (distance queries);
+  /// empty reports none. Out-of-range ids are a bad request.
+  std::vector<std::int64_t> targets;
+};
+
+struct bfs_response {
+  std::string variant;
+  std::int64_t source = 0;
+  std::int64_t num_levels = 0;
+  std::int64_t reached = 0;
+  std::int64_t num_vertices = 0;
+  /// Level per requested target (-1 = unreachable), aligned with
+  /// bfs_request::targets.
+  std::vector<std::int64_t> target_levels;
+};
+
+bfs_response run(const graph::any_csr& g, const bfs_request& req,
+                 const run_context& ctx = {});
+json to_json(const bfs_response& r);
+bfs_request bfs_request_from_json(const json& v);
+bfs_request bfs_request_from_args(const arg_parser& args);
+
+// ---------------------------------------------------------------------------
+// msbfs
+
+struct msbfs_request {
+  exec_params ex;
+  /// Number of evenly spaced sources when `source_list` is empty.
+  std::int64_t sources = 64;
+  std::int64_t lanes = 64;
+  /// Explicit sources (wire clients batching real queries); overrides
+  /// `sources` when non-empty.
+  std::vector<std::int64_t> source_list;
+};
+
+struct msbfs_response {
+  std::int64_t sources = 0;
+  std::int64_t batches = 0;
+  std::int64_t lanes = 0;
+  std::int64_t reached_total = 0;
+  std::int64_t levels_total = 0;
+  std::int64_t num_vertices = 0;
+};
+
+msbfs_response run(const graph::any_csr& g, const msbfs_request& req,
+                   const run_context& ctx = {});
+json to_json(const msbfs_response& r);
+msbfs_request msbfs_request_from_json(const json& v);
+msbfs_request msbfs_request_from_args(const arg_parser& args);
+
+// ---------------------------------------------------------------------------
+// bc (betweenness centrality)
+
+struct bc_request {
+  exec_params ex;
+  std::int64_t samples = 0;  ///< 0 = exact (all sources)
+  bool batched = true;
+  std::int64_t lanes = 64;
+  std::int64_t top = 5;  ///< entries reported in the response
+};
+
+struct bc_entry {
+  std::int64_t vertex = 0;
+  double score = 0.0;
+};
+
+struct bc_response {
+  std::vector<bc_entry> top;
+  std::int64_t num_vertices = 0;
+};
+
+bc_response run(const graph::any_csr& g, const bc_request& req,
+                const run_context& ctx = {});
+json to_json(const bc_response& r);
+bc_request bc_request_from_json(const json& v);
+bc_request bc_request_from_args(const arg_parser& args);
+
+// ---------------------------------------------------------------------------
+// color
+
+struct color_request {
+  exec_params ex{.backend = "OpenMP-dynamic", .threads = 4, .chunk = 100};
+  bool distance2 = false;
+};
+
+struct color_response {
+  std::int64_t num_colors = 0;
+  std::int64_t rounds = 0;
+  bool valid = false;
+  bool distance2 = false;
+};
+
+color_response run(const graph::any_csr& g, const color_request& req,
+                   const run_context& ctx = {});
+json to_json(const color_response& r);
+color_request color_request_from_json(const json& v);
+color_request color_request_from_args(const arg_parser& args);
+
+// ---------------------------------------------------------------------------
+// pagerank
+
+struct pagerank_request {
+  exec_params ex;
+  double damping = 0.85;
+  double tolerance = 1e-8;
+  std::int64_t max_iterations = 200;
+  std::int64_t top = 5;
+};
+
+struct pagerank_response {
+  std::int64_t iterations = 0;
+  bool converged = false;
+  double final_delta = 0.0;
+  std::vector<bc_entry> top;  ///< highest-ranked vertices
+};
+
+pagerank_response run(const graph::any_csr& g, const pagerank_request& req,
+                      const run_context& ctx = {});
+json to_json(const pagerank_response& r);
+pagerank_request pagerank_request_from_json(const json& v);
+pagerank_request pagerank_request_from_args(const arg_parser& args);
+
+// ---------------------------------------------------------------------------
+// Generic dispatch (the server's single entry point)
+
+/// Query operations dispatchable by name over a loaded graph.
+bool is_query_op(const std::string& op);
+
+/// Parse `params` as `op`'s request type, run it against `g`, and return
+/// the response as JSON. Throws micg::check_error for bad parameters and
+/// unknown ops (the serve layer maps those to bad_request / not_found).
+/// This is the exact code path the CLI subcommands use — the structs in
+/// between are identical.
+json dispatch_query(const graph::any_csr& g, const std::string& op,
+                    const json& params, const run_context& ctx = {});
+
+}  // namespace micg::api

@@ -1,0 +1,149 @@
+#include "micg/api/parse.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+#include "micg/graph/io_binary.hpp"
+#include "micg/graph/io_mm.hpp"
+
+namespace micg::api {
+
+std::int64_t parse_int(const std::string& s) {
+  std::int64_t value = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || s.empty()) {
+    throw usage_error("not an integer: '" + s + "'");
+  }
+  return value;
+}
+
+std::int64_t parse_int_in(const std::string& s, std::int64_t min,
+                          std::int64_t max, const std::string& what) {
+  const std::int64_t v = parse_int(s);
+  if (v < min || v > max) {
+    throw usage_error(what + " must be in [" + std::to_string(min) + ", " +
+                      std::to_string(max) + "], got " + s);
+  }
+  return v;
+}
+
+double parse_double(const std::string& s) {
+  if (s.empty()) throw usage_error("not a number: ''");
+  errno = 0;
+  char* end = nullptr;
+  const double d = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno != 0 || !std::isfinite(d)) {
+    throw usage_error("not a number: '" + s + "'");
+  }
+  return d;
+}
+
+arg_parser::arg_parser(int argc, char** argv, int start) {
+  std::vector<std::string> args;
+  for (int i = start; i < argc; ++i) args.emplace_back(argv[i]);
+  *this = arg_parser(args);
+}
+
+arg_parser::arg_parser(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) == 0) {
+      if (i + 1 >= args.size()) {
+        throw usage_error("flag " + a + " needs a value");
+      }
+      flags.emplace_back(a.substr(2), args[++i]);
+    } else if (a == "-o") {
+      if (i + 1 >= args.size()) throw usage_error("-o needs a value");
+      flags.emplace_back("out", args[++i]);
+    } else {
+      positional.push_back(a);
+    }
+  }
+}
+
+bool arg_parser::has_flag(const std::string& name) const {
+  for (const auto& [k, v] : flags) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+std::string arg_parser::flag(const std::string& name,
+                             const std::string& dflt) const {
+  std::string result = dflt;
+  for (const auto& [k, v] : flags) {
+    if (k == name) result = v;
+  }
+  return result;
+}
+
+std::vector<std::string> arg_parser::flag_all(const std::string& name) const {
+  std::vector<std::string> result;
+  for (const auto& [k, v] : flags) {
+    if (k == name) result.push_back(v);
+  }
+  return result;
+}
+
+std::int64_t arg_parser::flag_int(const std::string& name,
+                                  std::int64_t dflt) const {
+  const auto v = flag(name, "");
+  if (v.empty() && !has_flag(name)) return dflt;
+  try {
+    return parse_int(v);
+  } catch (const usage_error&) {
+    throw usage_error("flag --" + name + ": not an integer: '" + v + "'");
+  }
+}
+
+double arg_parser::flag_double(const std::string& name, double dflt) const {
+  const auto v = flag(name, "");
+  if (v.empty() && !has_flag(name)) return dflt;
+  try {
+    return parse_double(v);
+  } catch (const usage_error&) {
+    throw usage_error("flag --" + name + ": not a number: '" + v + "'");
+  }
+}
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+graph_format graph_format_from_path(const std::string& path) {
+  if (ends_with(path, ".mtx")) return graph_format::matrix_market;
+  if (ends_with(path, ".micg")) return graph_format::binary;
+  throw usage_error("unknown graph file extension: " + path);
+}
+
+graph::any_csr load_graph(const std::string& path) {
+  switch (graph_format_from_path(path)) {
+    case graph_format::matrix_market:
+      return graph::load_matrix_market_any(path);
+    case graph_format::binary:
+      return graph::load_binary_any(path);
+  }
+  throw usage_error("unknown graph file extension: " + path);  // unreachable
+}
+
+void save_graph(const std::string& path, const graph::any_csr& g) {
+  switch (graph_format_from_path(path)) {
+    case graph_format::matrix_market:
+      graph::save_matrix_market(path, g);
+      return;
+    case graph_format::binary:
+      graph::save_binary(path, g);
+      return;
+  }
+}
+
+}  // namespace micg::api

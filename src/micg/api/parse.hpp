@@ -1,0 +1,84 @@
+// Shared command-line parsing helpers for the micg front ends.
+//
+// Before the api layer existed, tools/micg_cli.cpp carried its own flag
+// splitter, repeated "--flag needs a value" handling, atol-based number
+// parsing (which silently accepted "12abc") and extension sniffing. Those
+// live here now, unit-tested, and are used by every cmd_* plus the `query`
+// client — the flags parse into the same api request structs the server
+// dispatches (api.hpp).
+//
+// Errors raise usage_error (a check_error subclass); CLI front ends catch
+// it and print usage, while programmatic callers see a normal exception.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "micg/graph/any_csr.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::api {
+
+/// User-input error (malformed flag, unknown extension, bad number). The
+/// CLI maps it to its usage message + exit 2.
+class usage_error : public micg::check_error {
+ public:
+  using micg::check_error::check_error;
+};
+
+/// Strict integer parse: the whole string must be one base-10 integer that
+/// fits std::int64_t. Throws usage_error otherwise ("12abc" is an error,
+/// unlike std::atol).
+std::int64_t parse_int(const std::string& s);
+
+/// parse_int with an inclusive range check.
+std::int64_t parse_int_in(const std::string& s, std::int64_t min,
+                          std::int64_t max, const std::string& what);
+
+/// Strict double parse (whole string, finite). Throws usage_error.
+double parse_double(const std::string& s);
+
+/// Splits argv into positional arguments and --flag VALUE pairs ("-o F" is
+/// kept as the flag "out" for compatibility). A flag at the end of the
+/// line with no value raises usage_error("flag --x needs a value") — the
+/// check that used to be duplicated at every site.
+struct arg_parser {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  arg_parser() = default;
+  arg_parser(int argc, char** argv, int start);
+  explicit arg_parser(const std::vector<std::string>& args);
+
+  [[nodiscard]] bool has_flag(const std::string& name) const;
+  /// Last occurrence wins (matches typical CLI override behavior).
+  [[nodiscard]] std::string flag(const std::string& name,
+                                 const std::string& dflt) const;
+  /// Every occurrence, in order (for repeatable flags like --graph).
+  [[nodiscard]] std::vector<std::string> flag_all(
+      const std::string& name) const;
+  [[nodiscard]] std::int64_t flag_int(const std::string& name,
+                                      std::int64_t dflt) const;
+  [[nodiscard]] double flag_double(const std::string& name,
+                                   double dflt) const;
+};
+
+/// Graph file formats the tools read and write, chosen by extension.
+enum class graph_format {
+  matrix_market,  ///< .mtx
+  binary,         ///< .micg (self-describing binary CSR, format v2)
+};
+
+/// Extension sniffing (".mtx" / ".micg"); throws usage_error on anything
+/// else, naming the offending path.
+graph_format graph_format_from_path(const std::string& path);
+
+/// Load into whichever layout the file needs (narrowest safe one).
+graph::any_csr load_graph(const std::string& path);
+
+/// Save in the format the extension selects.
+void save_graph(const std::string& path, const graph::any_csr& g);
+
+}  // namespace micg::api

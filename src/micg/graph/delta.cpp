@@ -1,0 +1,73 @@
+#include "micg/graph/delta.hpp"
+
+#include <algorithm>
+
+#include "micg/graph/builder.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::graph {
+
+edge_delta::edge edge_delta::normalized(std::int64_t u, std::int64_t v) {
+  MICG_CHECK(u >= 0 && v >= 0, "edge mutation with negative vertex id");
+  MICG_CHECK(u != v, "edge mutation would create a self loop");
+  return u < v ? edge{u, v} : edge{v, u};
+}
+
+void edge_delta::insert(std::int64_t u, std::int64_t v) {
+  const edge e = normalized(u, v);
+  ops_[e] = true;
+  max_id_ = std::max(max_id_, e.second);
+}
+
+void edge_delta::erase(std::int64_t u, std::int64_t v) {
+  const edge e = normalized(u, v);
+  ops_[e] = false;
+  max_id_ = std::max(max_id_, e.second);
+}
+
+void edge_delta::clear() {
+  ops_.clear();
+  max_id_ = -1;
+}
+
+std::vector<std::pair<edge_delta::edge, bool>> edge_delta::net_ops() const {
+  return {ops_.begin(), ops_.end()};
+}
+
+const bool* edge_delta::decision(std::int64_t u, std::int64_t v) const {
+  const auto it = ops_.find(normalized(u, v));
+  return it != ops_.end() ? &it->second : nullptr;
+}
+
+any_csr apply_delta(const any_csr& base, const edge_delta& delta) {
+  const std::int64_t n = std::max(base.num_vertices(), delta.min_vertices());
+  // Materialize at 64-bit widths (any base layout and any growth fits),
+  // then repack into the narrowest layout that represents the result —
+  // the same convert_csr/select_layout path every loader uses, so a graph
+  // can migrate layouts in either direction across compactions.
+  basic_builder<std::int64_t, std::int64_t> b(n);
+  b.reserve(static_cast<std::size_t>(base.num_edges()) + delta.size());
+
+  // Base edges carry over unless the delta decided the pair; pairs the
+  // delta touched are governed by the net op alone (so base edges it
+  // deletes are skipped, and its inserts below cannot duplicate — the
+  // builder would dedup anyway, but skipping keeps the buffer tight).
+  base.visit([&](const auto& g) {
+    using VId = typename std::decay_t<decltype(g)>::vertex_type;
+    const VId nv = g.num_vertices();
+    for (VId u = 0; u < nv; ++u) {
+      for (const VId w : g.neighbors(u)) {
+        if (w <= u) continue;  // each undirected edge once, as u < w
+        if (delta.decision(u, w) != nullptr) continue;
+        b.add_edge(static_cast<std::int64_t>(u),
+                   static_cast<std::int64_t>(w));
+      }
+    }
+  });
+  for (const auto& [e, present] : delta.net_ops()) {
+    if (present) b.add_edge(e.first, e.second);
+  }
+  return build_auto(std::move(b));
+}
+
+}  // namespace micg::graph

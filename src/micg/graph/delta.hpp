@@ -1,0 +1,78 @@
+// Incremental mutation of immutable CSR snapshots: the delta buffer half
+// of the serving layer's epoch/snapshot scheme (docs/serving.md).
+//
+// A basic_csr is deliberately immutable — every kernel's memory layout
+// argument depends on it — so mutation is modeled as a log of undirected
+// edge operations applied *beside* a base snapshot:
+//
+//   snapshot(epoch N) + edge_delta  --compact-->  snapshot(epoch N+1)
+//
+// edge_delta keeps the *net* operation per edge (last-op-wins on the
+// normalized {min,max} pair), so a delete that cancels an earlier insert
+// costs nothing at compaction. apply_delta() materializes the new graph
+// through the canonical builder and repacks into the narrowest shipped
+// layout via the existing to_narrowest (convert_csr / select_layout)
+// machinery — compaction is also when a graph that grew past a width
+// boundary migrates layouts, hard-erroring rather than truncating.
+//
+// Concurrency: edge_delta is a plain value type with no internal locking;
+// serve::versioned_graph owns the locking discipline (writers serialized,
+// readers pinned to immutable snapshots).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "micg/graph/any_csr.hpp"
+
+namespace micg::graph {
+
+/// An ordered set of net edge mutations against some base graph.
+class edge_delta {
+ public:
+  using edge = std::pair<std::int64_t, std::int64_t>;
+
+  /// Record "edge {u,v} present after compaction". Ids must be >= 0 and
+  /// u != v (self loops are never representable); throws micg::check_error
+  /// otherwise. Inserting an edge the base already has is a no-op at
+  /// compaction (the builder deduplicates).
+  void insert(std::int64_t u, std::int64_t v);
+
+  /// Record "edge {u,v} absent after compaction". Deleting an edge the
+  /// base never had is a no-op at compaction.
+  void erase(std::int64_t u, std::int64_t v);
+
+  /// Number of net operations currently buffered.
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+  void clear();
+
+  /// Net operations in deterministic (sorted-pair) order; second = true
+  /// for insert, false for delete.
+  [[nodiscard]] std::vector<std::pair<edge, bool>> net_ops() const;
+
+  /// 1 + the largest vertex id any buffered op touches (0 when empty):
+  /// the vertex count the compacted graph must be able to index.
+  [[nodiscard]] std::int64_t min_vertices() const { return max_id_ + 1; }
+
+  /// The delta's verdict on edge {u,v}: nullptr when untouched, otherwise
+  /// a pointer to the present-after-compaction decision.
+  [[nodiscard]] const bool* decision(std::int64_t u, std::int64_t v) const;
+
+ private:
+  static edge normalized(std::int64_t u, std::int64_t v);
+
+  std::map<edge, bool> ops_;  ///< normalized pair -> present-after
+  std::int64_t max_id_ = -1;
+};
+
+/// Compaction: build the graph `base` would become with `delta` applied,
+/// in the narrowest layout that fits the result. The base is untouched
+/// (callers keep serving it until they swap). Vertices only grow — an
+/// insert touching id >= |V| extends the vertex set; deletes never shrink
+/// it, so pinned vertex ids stay valid across epochs.
+any_csr apply_delta(const any_csr& base, const edge_delta& delta);
+
+}  // namespace micg::graph

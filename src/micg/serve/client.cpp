@@ -1,0 +1,47 @@
+#include "micg/serve/client.hpp"
+
+#include <utility>
+
+#include "micg/serve/protocol.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::serve {
+
+api::json make_request(const std::string& op, const std::string& graph,
+                       api::json params, std::int64_t deadline_ms,
+                       const std::string& id) {
+  api::json_object obj;
+  if (!id.empty()) obj.emplace_back("id", api::json(id));
+  obj.emplace_back("op", api::json(op));
+  if (!graph.empty()) obj.emplace_back("graph", api::json(graph));
+  if (deadline_ms > 0) obj.emplace_back("deadline_ms", api::json(deadline_ms));
+  if (!params.is_null()) obj.emplace_back("params", std::move(params));
+  return api::json(std::move(obj));
+}
+
+client::client(const std::string& address)
+    : stream_(std::make_unique<socket_stream>(dial(parse_endpoint(address)))) {
+}
+
+std::string client::call_line(const std::string& line) {
+  *stream_ << line << "\n";
+  stream_->flush();
+  MICG_CHECK(stream_->good(), "connection lost while sending request");
+  std::string response;
+  const frame_status fs = read_frame(*stream_, response);
+  MICG_CHECK(fs == frame_status::ok,
+             "connection closed before a response arrived");
+  return response;
+}
+
+api::json client::call(const api::json& request) {
+  return api::json::parse(call_line(request.dump()));
+}
+
+api::json client::call(const std::string& op, const std::string& graph,
+                       api::json params, std::int64_t deadline_ms,
+                       const std::string& id) {
+  return call(make_request(op, graph, std::move(params), deadline_ms, id));
+}
+
+}  // namespace micg::serve

@@ -1,0 +1,44 @@
+// Blocking NDJSON client for a micg serve endpoint — the engine behind
+// `micg query`, the serving benchmark and the end-to-end tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "micg/api/json.hpp"
+#include "micg/serve/net.hpp"
+
+namespace micg::serve {
+
+class client {
+ public:
+  /// Dial `address` (net.hpp grammar); throws micg::check_error if the
+  /// endpoint is unreachable.
+  explicit client(const std::string& address);
+
+  /// One raw round trip: send `line` as a frame, return the response
+  /// frame. Throws micg::check_error if the server hangs up.
+  std::string call_line(const std::string& line);
+
+  /// One request/response round trip with a parsed result.
+  api::json call(const api::json& request);
+
+  /// Assemble-and-call convenience. `params` may be null; `deadline_ms`
+  /// 0 omits the field; `id` empty omits the field.
+  api::json call(const std::string& op, const std::string& graph,
+                 api::json params = api::json(),
+                 std::int64_t deadline_ms = 0, const std::string& id = "");
+
+ private:
+  std::unique_ptr<socket_stream> stream_;
+};
+
+/// Build a request object in canonical field order (used by the client,
+/// the CLI's --script mode and the tests).
+api::json make_request(const std::string& op, const std::string& graph,
+                       api::json params = api::json(),
+                       std::int64_t deadline_ms = 0,
+                       const std::string& id = "");
+
+}  // namespace micg::serve

@@ -1,0 +1,190 @@
+#include "micg/serve/net.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "micg/api/parse.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::serve {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  MICG_CHECK(false, what + ": " + std::strerror(errno));
+  std::abort();  // unreachable; MICG_CHECK threw
+}
+
+}  // namespace
+
+std::string endpoint::display() const {
+  if (is_unix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+endpoint parse_endpoint(const std::string& spec) {
+  MICG_CHECK(!spec.empty(), "empty listen/connect address");
+  endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.is_unix = true;
+    ep.path = spec.substr(5);
+  } else if (spec.find('/') != std::string::npos) {
+    ep.is_unix = true;
+    ep.path = spec;
+  } else {
+    const auto colon = spec.rfind(':');
+    MICG_CHECK(colon != std::string::npos,
+               "address must be unix:PATH, a path, or HOST:PORT: " + spec);
+    ep.host = spec.substr(0, colon);
+    if (ep.host.empty()) ep.host = "127.0.0.1";
+    ep.port = static_cast<int>(
+        api::parse_int_in(spec.substr(colon + 1), 1, 65535, "port"));
+  }
+  if (ep.is_unix) {
+    MICG_CHECK(!ep.path.empty(), "empty unix socket path");
+    MICG_CHECK(ep.path.size() < sizeof(sockaddr_un{}.sun_path),
+               "unix socket path too long: " + ep.path);
+  }
+  return ep;
+}
+
+int listen_on(const endpoint& ep, int backlog) {
+  if (ep.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail_errno("socket(AF_UNIX)");
+    ::unlink(ep.path.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd);
+      fail_errno("bind(" + ep.path + ")");
+    }
+    if (::listen(fd, backlog) < 0) {
+      ::close(fd);
+      fail_errno("listen(" + ep.path + ")");
+    }
+    return fd;
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(ep.host.c_str(),
+                               std::to_string(ep.port).c_str(), &hints, &res);
+  MICG_CHECK(rc == 0, "cannot resolve " + ep.display() + ": " +
+                          ::gai_strerror(rc));
+  int fd = -1;
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, backlog) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) fail_errno("bind/listen on " + ep.display());
+  return fd;
+}
+
+int dial(const endpoint& ep) {
+  if (ep.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail_errno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      ::close(fd);
+      fail_errno("connect(" + ep.path + ")");
+    }
+    return fd;
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(ep.host.c_str(),
+                               std::to_string(ep.port).c_str(), &hints, &res);
+  MICG_CHECK(rc == 0, "cannot resolve " + ep.display() + ": " +
+                          ::gai_strerror(rc));
+  int fd = -1;
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) fail_errno("connect to " + ep.display());
+  return fd;
+}
+
+socket_streambuf::socket_streambuf(int fd) : fd_(fd) {
+  setg(in_, in_, in_);
+  setp(out_, out_ + buf_size);
+}
+
+socket_streambuf::int_type socket_streambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t n;
+  do {
+    n = ::read(fd_, in_, buf_size);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return traits_type::eof();
+  setg(in_, in_, in_ + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+bool socket_streambuf::flush_out() {
+  const char* p = pbase();
+  while (p < pptr()) {
+    ssize_t n;
+    do {
+      n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    p += n;
+  }
+  setp(out_, out_ + buf_size);
+  return true;
+}
+
+socket_streambuf::int_type socket_streambuf::overflow(int_type ch) {
+  if (!flush_out()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int socket_streambuf::sync() { return flush_out() ? 0 : -1; }
+
+socket_stream::socket_stream(int fd)
+    : std::iostream(nullptr), fd_(fd), buf_(fd) {
+  rdbuf(&buf_);
+}
+
+socket_stream::~socket_stream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+}  // namespace micg::serve

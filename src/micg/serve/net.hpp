@@ -1,0 +1,82 @@
+// POSIX socket plumbing for micg::serve: address parsing, a streambuf
+// over a connected socket, and listen/dial helpers.
+//
+// The protocol and service layers speak std::iostream; this file is the
+// only place that touches file descriptors, so the whole engine is
+// testable against string streams and qa::faulty_stream.
+//
+// Address grammar (shared by `micg serve --listen` and `micg query
+// --connect`):
+//
+//   unix:PATH        explicit unix-domain socket
+//   PATH             any spec containing '/' is a unix socket path
+//   HOST:PORT        TCP (numeric or resolvable host)
+//   :PORT            TCP on loopback
+#pragma once
+
+#include <iostream>
+#include <streambuf>
+#include <string>
+
+namespace micg::serve {
+
+/// A parsed --listen/--connect spec.
+struct endpoint {
+  bool is_unix = false;
+  std::string path;  ///< unix socket path
+  std::string host;  ///< TCP host ("127.0.0.1" when omitted)
+  int port = 0;
+
+  /// Canonical display form ("unix:/tmp/x.sock", "127.0.0.1:7777").
+  [[nodiscard]] std::string display() const;
+};
+
+/// Parse the grammar above; throws micg::check_error on malformed specs
+/// (bad port, empty path, ...).
+endpoint parse_endpoint(const std::string& spec);
+
+/// Bind + listen; returns the listening fd. Unix paths are unlinked
+/// first (a previous unclean shutdown leaves the inode behind). Throws
+/// micg::check_error with errno context on failure.
+int listen_on(const endpoint& ep, int backlog = 64);
+
+/// Connect to a listening endpoint; returns the connected fd.
+int dial(const endpoint& ep);
+
+/// Buffered streambuf over a connected socket fd. Writes flush on sync()
+/// (the session layer flushes after each response line); reads are
+/// blocking. Does not own the fd.
+class socket_streambuf : public std::streambuf {
+ public:
+  explicit socket_streambuf(int fd);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  bool flush_out();
+
+  static constexpr std::size_t buf_size = 8192;
+  int fd_;
+  char in_[buf_size];
+  char out_[buf_size];
+};
+
+/// iostream over a socket fd it owns (closes on destruction).
+class socket_stream : public std::iostream {
+ public:
+  explicit socket_stream(int fd);
+  ~socket_stream() override;
+  socket_stream(const socket_stream&) = delete;
+  socket_stream& operator=(const socket_stream&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  socket_streambuf buf_;
+};
+
+}  // namespace micg::serve

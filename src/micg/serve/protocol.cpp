@@ -1,0 +1,83 @@
+#include "micg/serve/protocol.hpp"
+
+#include <istream>
+#include <utility>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::serve {
+
+frame_status read_frame(std::istream& in, std::string& line,
+                        std::size_t max_bytes) {
+  line.clear();
+  while (true) {
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof()) {
+      if (in.bad()) return frame_status::io_error;
+      return line.empty() ? frame_status::eof : frame_status::ok;
+    }
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return frame_status::ok;
+    }
+    if (line.size() >= max_bytes) return frame_status::too_large;
+    line.push_back(static_cast<char>(c));
+  }
+}
+
+request_envelope parse_request(const std::string& line) {
+  const api::json doc = api::json::parse(line);
+  MICG_CHECK(doc.is_object(), "request must be a JSON object");
+  request_envelope req;
+  if (const api::json* f = doc.find("id")) {
+    req.id = f->as_string();
+    MICG_CHECK(!req.id.empty(), "request id must be a non-empty string");
+  }
+  req.op = doc.at("op").as_string();
+  MICG_CHECK(!req.op.empty(), "request op must be a non-empty string");
+  if (const api::json* f = doc.find("graph")) req.graph = f->as_string();
+  if (const api::json* f = doc.find("deadline_ms")) {
+    req.deadline_ms = f->as_int();
+    MICG_CHECK(req.deadline_ms >= 0, "deadline_ms must be >= 0");
+  }
+  if (const api::json* f = doc.find("params")) req.params = *f;
+  MICG_CHECK(req.params.is_object() || req.params.is_null(),
+             "request params must be a JSON object");
+  return req;
+}
+
+std::string make_response(const std::string& id, api::status st,
+                          api::json result, const std::string& error_message,
+                          std::int64_t epoch) {
+  api::json doc{api::json_object{}};
+  if (!id.empty()) doc.set("id", api::json(id));
+  doc.set("status", api::json(api::status_name(st)));
+  if (epoch >= 0) doc.set("epoch", api::json(epoch));
+  if (st == api::status::ok) {
+    doc.set("result", std::move(result));
+  } else {
+    doc.set("error", api::json(error_message));
+  }
+  return doc.dump();
+}
+
+std::string ok_response(const std::string& id, api::json result,
+                        std::int64_t epoch) {
+  return make_response(id, api::status::ok, std::move(result), "", epoch);
+}
+
+std::string error_response(const std::string& id, api::status st,
+                           const std::string& message) {
+  // MICG_CHECK prefixes its messages with the failing expression and the
+  // server-side source path ("MICG_CHECK failed: (...) at file:line -- ").
+  // That context belongs in server logs, not on the wire: keep only the
+  // human-written message after the separator.
+  std::string text = message;
+  if (text.rfind("MICG_CHECK failed: ", 0) == 0) {
+    const auto sep = text.find(" -- ");
+    if (sep != std::string::npos) text = text.substr(sep + 4);
+  }
+  return make_response(id, st, api::json(), text);
+}
+
+}  // namespace micg::serve

@@ -1,0 +1,78 @@
+// micg.serve.v1 wire protocol: newline-delimited JSON over a byte stream.
+//
+// Each request is one line (one JSON object, terminated by '\n'); each
+// response is one line. The full grammar, op catalog and error semantics
+// are documented in docs/serving.md; this header is the single
+// implementation of framing and envelope (de)serialization, shared by the
+// server, the `micg query` client and the fault-injection tests.
+//
+// Robustness contract (satellite of PR 3's untrusted-input discipline):
+// any byte sequence a client sends produces either a structured error
+// response or a closed connection — never a crash, hang, or torn frame.
+// Framing faults that poison the stream (oversized line, I/O error) close
+// the connection; faults confined to one line (malformed JSON, wrong
+// types) produce a `bad_request` response and the session continues.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "micg/api/api.hpp"
+#include "micg/api/json.hpp"
+
+namespace micg::serve {
+
+/// Default per-line size cap. A request is a handful of scalars and maybe
+/// a source list; 1 MiB is generous and bounds per-connection memory.
+inline constexpr std::size_t default_max_frame = std::size_t{1} << 20;
+
+/// Outcome of reading one frame.
+enum class frame_status {
+  ok,         ///< `line` holds one complete frame (newline stripped)
+  eof,        ///< clean end of stream, no partial data
+  too_large,  ///< line exceeded the cap — the stream is poisoned, close it
+  io_error,   ///< underlying read failed (badbit) — close it
+};
+
+/// Read one '\n'-terminated frame into `line`. A final unterminated line
+/// at EOF counts as a frame (interactive `echo -n` clients). CR before
+/// the newline is stripped so `nc -C` style clients work.
+frame_status read_frame(std::istream& in, std::string& line,
+                        std::size_t max_bytes = default_max_frame);
+
+/// The parsed request envelope. `params` keeps whatever JSON value the
+/// client sent (object or null); per-op parsing happens in micg::api.
+struct request_envelope {
+  std::string id;      ///< client echo tag; empty = none sent
+  std::string op;      ///< required
+  std::string graph;   ///< graph name; required for graph-addressed ops
+  std::int64_t deadline_ms = 0;  ///< admission-wait budget; 0 = server default
+  api::json params;    ///< op parameters (object) or null
+};
+
+/// Parse one frame into an envelope. Throws micg::check_error (mapped to
+/// bad_request by the caller) on malformed JSON, a non-object document,
+/// a missing/non-string "op", or wrong-typed envelope fields. Unknown
+/// envelope fields are ignored for forward compatibility.
+request_envelope parse_request(const std::string& line);
+
+/// Assemble a response line (no trailing newline). Shape:
+///   {"id":..., "status":"ok", "epoch":..., "result":{...}}
+///   {"id":..., "status":"bad_request", "error":"..."}
+/// `id` is echoed only when the request carried one; `epoch` only when
+/// `epoch >= 0` (graph-addressed ops report the snapshot they answered
+/// from).
+std::string make_response(const std::string& id, api::status st,
+                          api::json result, const std::string& error_message,
+                          std::int64_t epoch = -1);
+
+/// Convenience: success with a result payload.
+std::string ok_response(const std::string& id, api::json result,
+                        std::int64_t epoch = -1);
+
+/// Convenience: failure with a message.
+std::string error_response(const std::string& id, api::status st,
+                           const std::string& message);
+
+}  // namespace micg::serve

@@ -1,0 +1,84 @@
+#include "micg/serve/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::serve {
+
+server::server(graph_store& store, server_options opt, obs::recorder* rec)
+    : store_(store),
+      opt_(std::move(opt)),
+      ep_(parse_endpoint(opt_.listen)),
+      svc_(store_, opt_.svc, rec) {}
+
+server::~server() {
+  request_shutdown();
+  // run() owns the joins; if it never ran (bind failed, or the caller
+  // tore down early), close what we hold.
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+void server::bind_and_listen() {
+  MICG_CHECK(listen_fd_.load() < 0, "server is already listening");
+  listen_fd_.store(listen_on(ep_, opt_.backlog));
+}
+
+void server::request_shutdown() {
+  const int fd = listen_fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void server::session_main(int fd) {
+  socket_stream stream(fd);
+  svc_.serve_session(stream, stream);
+  {
+    const std::lock_guard<std::mutex> lock(smu_);
+    session_fds_.erase(fd);
+  }
+  // A session that carried the `shutdown` op pops the accept loop.
+  if (svc_.shutdown_requested()) request_shutdown();
+}
+
+void server::run() {
+  const int lfd = listen_fd_.load();
+  MICG_CHECK(lfd >= 0, "run() before bind_and_listen()");
+  while (true) {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR && !svc_.shutdown_requested()) continue;
+      break;  // listener was shut down (or died) — begin teardown
+    }
+    if (svc_.shutting_down()) {
+      ::close(cfd);
+      continue;
+    }
+    {
+      // Register the fd before the thread exists so a concurrent
+      // teardown can always unblock this session's reads.
+      const std::lock_guard<std::mutex> lock(smu_);
+      session_fds_.insert(cfd);
+    }
+    threads_.emplace_back([this, cfd] { session_main(cfd); });
+  }
+
+  svc_.begin_shutdown();
+  {
+    const std::lock_guard<std::mutex> lock(smu_);
+    for (const int fd : session_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  for (auto& th : threads_) th.join();
+  threads_.clear();
+  svc_.drain();
+
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+  if (ep_.is_unix) ::unlink(ep_.path.c_str());
+}
+
+}  // namespace micg::serve

@@ -1,0 +1,316 @@
+#include "micg/serve/service.hpp"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "micg/support/assert.hpp"
+#include "micg/support/timer.hpp"
+
+namespace micg::serve {
+
+namespace {
+
+/// Parse the {"edges": [[u,v], ...]} payload of insert/erase.
+std::vector<std::pair<std::int64_t, std::int64_t>> parse_edges(
+    const api::json& params) {
+  MICG_CHECK(params.is_object(), "insert/erase need an {\"edges\": ...} param");
+  const api::json& edges = params.at("edges");
+  std::vector<std::pair<std::int64_t, std::int64_t>> out;
+  out.reserve(edges.as_array().size());
+  for (const api::json& e : edges.as_array()) {
+    MICG_CHECK(e.is_array() && e.as_array().size() == 2,
+               "each edge must be a [u, v] pair");
+    out.emplace_back(e.as_array()[0].as_int(), e.as_array()[1].as_int());
+  }
+  MICG_CHECK(!out.empty(), "edges must be non-empty");
+  return out;
+}
+
+}  // namespace
+
+service::service(graph_store& store, service_options opt, obs::recorder* rec)
+    : store_(store), opt_(opt), rec_(rec) {
+  MICG_CHECK(opt_.max_inflight >= 1, "max_inflight must be >= 1");
+  MICG_CHECK(opt_.max_waiting >= 0, "max_waiting must be >= 0");
+  MICG_CHECK(opt_.threads_per_query >= 1, "threads_per_query must be >= 1");
+  MICG_CHECK(opt_.max_frame_bytes >= 64, "max_frame_bytes must be >= 64");
+  pools_.resize(static_cast<std::size_t>(opt_.max_inflight));
+  free_slots_.reserve(static_cast<std::size_t>(opt_.max_inflight));
+  for (int i = opt_.max_inflight - 1; i >= 0; --i) free_slots_.push_back(i);
+}
+
+service::~service() {
+  begin_shutdown();
+  drain();
+}
+
+service::admit_result service::admit(std::int64_t deadline_ms) {
+  micg::stopwatch sw;
+  std::unique_lock<std::mutex> lock(amu_);
+  if (shutting_down_) return {api::status::shutting_down, -1, 0.0};
+  const auto can_run = [&] { return inflight_ < opt_.max_inflight; };
+  if (!can_run()) {
+    if (waiting_ >= opt_.max_waiting) {
+      return {api::status::overloaded, -1, 0.0};
+    }
+    ++waiting_;
+    const std::int64_t budget =
+        deadline_ms > 0 ? deadline_ms : opt_.default_deadline_ms;
+    bool ready = true;
+    if (budget > 0) {
+      ready = acv_.wait_for(lock, std::chrono::milliseconds(budget),
+                            [&] { return shutting_down_ || can_run(); });
+    } else {
+      acv_.wait(lock, [&] { return shutting_down_ || can_run(); });
+    }
+    --waiting_;
+    acv_.notify_all();  // a drain() may be waiting on `waiting_` to drop
+    if (shutting_down_) {
+      return {api::status::shutting_down, -1, sw.seconds()};
+    }
+    if (!ready || !can_run()) {
+      return {api::status::deadline_exceeded, -1, sw.seconds()};
+    }
+  }
+  ++inflight_;
+  const int slot = free_slots_.back();
+  free_slots_.pop_back();
+  auto& pool = pools_[static_cast<std::size_t>(slot)];
+  if (pool == nullptr && opt_.threads_per_query > 1) {
+    pool = std::make_unique<rt::thread_pool>(opt_.threads_per_query);
+  }
+  return {api::status::ok, slot, sw.seconds()};
+}
+
+void service::release(int slot) {
+  const std::lock_guard<std::mutex> lock(amu_);
+  free_slots_.push_back(slot);
+  --inflight_;
+  acv_.notify_all();
+}
+
+void service::begin_shutdown() {
+  const std::lock_guard<std::mutex> lock(amu_);
+  shutting_down_ = true;
+  acv_.notify_all();
+}
+
+bool service::shutting_down() const {
+  const std::lock_guard<std::mutex> lock(amu_);
+  return shutting_down_;
+}
+
+bool service::shutdown_requested() const {
+  const std::lock_guard<std::mutex> lock(amu_);
+  return shutdown_requested_;
+}
+
+void service::drain() {
+  std::unique_lock<std::mutex> lock(amu_);
+  acv_.wait(lock, [&] { return inflight_ == 0 && waiting_ == 0; });
+}
+
+api::json service::execute(const request_envelope& req,
+                           rt::thread_pool* pool) {
+  if (req.op == "sleep") {
+    // Diagnostic: occupy an admission slot for a bounded time. This is
+    // how the admission tests (and operators probing shedding behavior)
+    // create load with a known shape.
+    std::int64_t ms = 0;
+    if (const api::json* f = req.params.find("ms")) ms = f->as_int();
+    MICG_CHECK(ms >= 0 && ms <= 60000, "sleep ms must be in [0, 60000]");
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return api::json(api::json_object{{"slept_ms", api::json(ms)}});
+  }
+
+  MICG_CHECK(!req.graph.empty(), "op '" + req.op + "' needs a graph name");
+  const std::shared_ptr<versioned_graph> vg = store_.find(req.graph);
+  if (vg == nullptr) {
+    throw not_found_error("unknown graph: " + req.graph);
+  }
+
+  if (api::is_query_op(req.op)) {
+    const versioned_graph::pin pin = vg->snapshot();
+    api::run_context ctx;
+    ctx.pool = pool;
+    ctx.max_threads = opt_.threads_per_query;
+    ctx.rec = rec_;
+    api::json result = api::dispatch_query(*pin.graph, req.op, req.params, ctx);
+    return api::json(api::json_object{{"epoch", api::json(pin.epoch)},
+                                      {"result", std::move(result)}});
+  }
+
+  if (req.op == "insert" || req.op == "erase") {
+    const auto edges = parse_edges(req.params);
+    for (const auto& [u, v] : edges) {
+      if (req.op == "insert") {
+        vg->insert(u, v);
+      } else {
+        vg->erase(u, v);
+      }
+    }
+    bool compacted = false;
+    if (opt_.compact_every > 0 &&
+        vg->pending_ops() >= static_cast<std::size_t>(opt_.compact_every)) {
+      vg->compact();
+      compacted = true;
+    }
+    return api::json(api::json_object{
+        {"epoch", api::json(vg->epoch())},
+        {"result",
+         api::json(api::json_object{
+             {"buffered", api::json(static_cast<std::int64_t>(edges.size()))},
+             {"pending",
+              api::json(static_cast<std::int64_t>(vg->pending_ops()))},
+             {"compacted", api::json(compacted)}})}});
+  }
+
+  if (req.op == "compact") {
+    const std::int64_t epoch = vg->compact();
+    const versioned_graph::pin pin = vg->snapshot();
+    return api::json(api::json_object{
+        {"epoch", api::json(epoch)},
+        {"result",
+         api::json(api::json_object{
+             {"layout",
+              api::json(graph::layout_name(pin.graph->layout()))},
+             {"num_vertices", api::json(pin.graph->num_vertices())},
+             {"num_edges", api::json(pin.graph->num_edges())},
+             {"pending",
+              api::json(static_cast<std::int64_t>(vg->pending_ops()))}})}});
+  }
+
+  throw not_found_error("unknown op: " + req.op);
+}
+
+std::string service::handle(const request_envelope& req) {
+  if (req.op == "ping") {
+    return ok_response(req.id, api::json(api::json_object{}));
+  }
+  if (req.op == "list") {
+    api::json_array graphs;
+    for (const auto& name : store_.names()) {
+      const auto vg = store_.find(name);
+      if (vg == nullptr) continue;
+      const versioned_graph::pin pin = vg->snapshot();
+      graphs.emplace_back(api::json_object{
+          {"name", api::json(name)},
+          {"epoch", api::json(pin.epoch)},
+          {"layout", api::json(graph::layout_name(pin.graph->layout()))},
+          {"num_vertices", api::json(pin.graph->num_vertices())},
+          {"num_edges", api::json(pin.graph->num_edges())},
+          {"pending",
+           api::json(static_cast<std::int64_t>(vg->pending_ops()))}});
+    }
+    return ok_response(
+        req.id,
+        api::json(api::json_object{{"graphs", api::json(std::move(graphs))}}));
+  }
+  if (req.op == "shutdown") {
+    {
+      const std::lock_guard<std::mutex> lock(amu_);
+      shutdown_requested_ = true;
+      shutting_down_ = true;
+      acv_.notify_all();
+    }
+    return ok_response(req.id, api::json(api::json_object{}));
+  }
+
+  const admit_result adm = admit(req.deadline_ms);
+  if (rec_ != nullptr) {
+    rec_->get_counter("serve.requests").add(0);
+    if (adm.st == api::status::overloaded) rec_->get_counter("serve.shed").add(0);
+    if (adm.st == api::status::deadline_exceeded) {
+      rec_->get_counter("serve.deadline_expired").add(0);
+    }
+  }
+  if (adm.st != api::status::ok) {
+    return error_response(req.id, adm.st,
+                          adm.st == api::status::overloaded
+                              ? "admission queue full, retry later"
+                              : adm.st == api::status::deadline_exceeded
+                                    ? "request waited past its deadline"
+                                    : "server is shutting down");
+  }
+
+  rt::thread_pool* pool =
+      pools_[static_cast<std::size_t>(adm.slot)].get();
+  std::string response;
+  {
+    // Per-request span: name carries kernel + graph, values carry the
+    // epoch served and the admission wait — the shape docs/serving.md
+    // documents for the micg.metrics.v1 stream of a serving process.
+    obs::span span;
+    if (rec_ != nullptr) {
+      span = rec_->start_span(
+          "serve." + req.op + (req.graph.empty() ? "" : "/" + req.graph));
+      span.value("wait_ms", adm.wait_seconds * 1e3);
+    }
+    try {
+      api::json wrapped = execute(req, pool);
+      // execute() returns {"epoch": ..., "result": ...} for graph ops and
+      // a bare result object for graph-free ops (sleep).
+      std::int64_t epoch = -1;
+      api::json result;
+      if (const api::json* e = wrapped.find("epoch")) {
+        epoch = e->as_int();
+        result = wrapped.at("result");
+      } else {
+        result = std::move(wrapped);
+      }
+      if (rec_ != nullptr && epoch >= 0) {
+        span.value("epoch", static_cast<double>(epoch));
+      }
+      response = ok_response(req.id, std::move(result), epoch);
+    } catch (const not_found_error& e) {
+      span.value("error", 1.0);
+      response = error_response(req.id, api::status::not_found, e.what());
+    } catch (const micg::check_error& e) {
+      span.value("error", 1.0);
+      response = error_response(req.id, api::status::bad_request, e.what());
+    } catch (const std::exception& e) {
+      span.value("error", 1.0);
+      response = error_response(req.id, api::status::internal, e.what());
+    }
+  }
+  release(adm.slot);
+  return response;
+}
+
+std::string service::handle_line(const std::string& line) {
+  request_envelope req;
+  try {
+    req = parse_request(line);
+  } catch (const micg::check_error& e) {
+    return error_response("", api::status::bad_request, e.what());
+  } catch (const std::exception& e) {
+    return error_response("", api::status::internal, e.what());
+  }
+  return handle(req);
+}
+
+void service::serve_session(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (true) {
+    const frame_status fs = read_frame(in, line, opt_.max_frame_bytes);
+    if (fs == frame_status::eof || fs == frame_status::io_error) return;
+    if (fs == frame_status::too_large) {
+      // The stream is mid-line; framing is lost, so answer once and close.
+      out << error_response("", api::status::too_large,
+                            "request line exceeds the frame size limit")
+          << "\n";
+      out.flush();
+      return;
+    }
+    if (line.empty()) continue;  // blank lines are interactive noise
+    out << handle_line(line) << "\n";
+    out.flush();
+    if (!out.good()) return;  // peer went away mid-response
+    if (shutdown_requested()) return;  // let the transport tear down
+  }
+}
+
+}  // namespace micg::serve

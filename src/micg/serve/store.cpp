@@ -1,0 +1,91 @@
+#include "micg/serve/store.hpp"
+
+#include <utility>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::serve {
+
+versioned_graph::versioned_graph(graph::any_csr g)
+    : snapshot_(std::make_shared<const graph::any_csr>(std::move(g))) {}
+
+versioned_graph::pin versioned_graph::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {snapshot_, epoch_};
+}
+
+std::int64_t versioned_graph::epoch() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+std::size_t versioned_graph::pending_ops() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return delta_.size();
+}
+
+void versioned_graph::insert(std::int64_t u, std::int64_t v) {
+  const std::lock_guard<std::mutex> wlock(wmu_);
+  const std::lock_guard<std::mutex> lock(mu_);
+  delta_.insert(u, v);
+}
+
+void versioned_graph::erase(std::int64_t u, std::int64_t v) {
+  const std::lock_guard<std::mutex> wlock(wmu_);
+  const std::lock_guard<std::mutex> lock(mu_);
+  delta_.erase(u, v);
+}
+
+std::int64_t versioned_graph::compact() {
+  // Writers (and other compactions) wait here; readers do not — they
+  // keep pinning the old snapshot through mu_ until the swap below.
+  const std::lock_guard<std::mutex> wlock(wmu_);
+  std::shared_ptr<const graph::any_csr> base;
+  graph::edge_delta delta;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (delta_.empty()) return epoch_;
+    base = snapshot_;
+    delta = delta_;
+  }
+  // The expensive rebuild runs outside mu_. Holding wmu_ guarantees the
+  // delta cannot grow underneath us, so clearing it at the swap is exact.
+  auto next =
+      std::make_shared<const graph::any_csr>(graph::apply_delta(*base, delta));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snapshot_ = std::move(next);
+    delta_.clear();
+    return ++epoch_;
+  }
+}
+
+void graph_store::add(const std::string& name, graph::any_csr g) {
+  MICG_CHECK(!name.empty(), "graph name must not be empty");
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = graphs_.emplace(
+      name, std::make_shared<versioned_graph>(std::move(g)));
+  MICG_CHECK(inserted, "graph name already registered: " + name);
+}
+
+std::shared_ptr<versioned_graph> graph_store::find(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = graphs_.find(name);
+  return it != graphs_.end() ? it->second : nullptr;
+}
+
+std::vector<std::string> graph_store::names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(graphs_.size());
+  for (const auto& [name, vg] : graphs_) out.push_back(name);
+  return out;
+}
+
+std::size_t graph_store::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.size();
+}
+
+}  // namespace micg::serve

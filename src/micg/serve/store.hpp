@@ -1,0 +1,96 @@
+// Named, versioned graph state for the resident query service.
+//
+// The serving model (docs/serving.md) is snapshot isolation:
+//
+//  * the current graph of each name is an immutable CSR snapshot tagged
+//    with a monotonically increasing epoch;
+//  * a query *pins* the snapshot (a shared_ptr copy) once, at admission,
+//    and computes against it for its whole lifetime — a concurrent
+//    compaction swaps the current snapshot but never mutates or frees a
+//    pinned one;
+//  * mutations (edge insert/delete) buffer into a graph::edge_delta and
+//    are invisible to queries until compact() folds them into the next
+//    snapshot (built in the narrowest layout via the existing
+//    convert_csr/select_layout machinery) and bumps the epoch.
+//
+// Locking discipline: versioned_graph carries two mutexes. `wmu_`
+// serializes writers (insert/erase/compact) against each other for the
+// whole — possibly long — compaction rebuild. `mu_` guards the
+// {snapshot, epoch, delta} triple for the short read/swap critical
+// sections, so readers never wait on a rebuild: snapshot() is a pointer
+// copy under `mu_` regardless of writer activity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "micg/graph/any_csr.hpp"
+#include "micg/graph/delta.hpp"
+
+namespace micg::serve {
+
+/// One named graph: an immutable snapshot lineage plus a buffered delta.
+class versioned_graph {
+ public:
+  explicit versioned_graph(graph::any_csr g);
+
+  /// A query's pinned view: the snapshot pointer keeps the graph alive
+  /// across any number of concurrent compactions.
+  struct pin {
+    std::shared_ptr<const graph::any_csr> graph;
+    std::int64_t epoch = 0;
+  };
+
+  /// Pin the current snapshot (cheap: one lock, one shared_ptr copy).
+  [[nodiscard]] pin snapshot() const;
+
+  [[nodiscard]] std::int64_t epoch() const;
+  /// Net buffered mutations not yet visible to queries.
+  [[nodiscard]] std::size_t pending_ops() const;
+
+  /// Buffer "edge {u,v} present after the next compaction". Throws
+  /// micg::check_error on negative ids or self loops.
+  void insert(std::int64_t u, std::int64_t v);
+  /// Buffer "edge {u,v} absent after the next compaction".
+  void erase(std::int64_t u, std::int64_t v);
+
+  /// Fold the buffered delta into a new snapshot (narrowest layout) and
+  /// bump the epoch. Serializes against other writers; readers continue
+  /// to pin the old snapshot until the final swap. Returns the new epoch
+  /// (a no-op returns the current epoch without bumping when the delta
+  /// is empty).
+  std::int64_t compact();
+
+ private:
+  mutable std::mutex mu_;  ///< guards snapshot_/epoch_/delta_
+  std::mutex wmu_;         ///< serializes insert/erase/compact
+  std::shared_ptr<const graph::any_csr> snapshot_;
+  graph::edge_delta delta_;
+  std::int64_t epoch_ = 0;
+};
+
+/// The server's name -> versioned_graph directory. Thread-safe.
+class graph_store {
+ public:
+  /// Register a graph under `name` at epoch 0; throws micg::check_error
+  /// if the name is taken or empty.
+  void add(const std::string& name, graph::any_csr g);
+
+  /// Lookup; nullptr when absent. The returned pointer stays valid for
+  /// the store's lifetime (graphs are never removed while serving).
+  [[nodiscard]] std::shared_ptr<versioned_graph> find(
+      const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<versioned_graph>> graphs_;
+};
+
+}  // namespace micg::serve

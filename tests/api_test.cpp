@@ -1,0 +1,296 @@
+// Unit tests for the micg::api layer: the JSON document type, the shared
+// CLI parsing helpers, and the request/response structs every front end
+// (CLI flags, wire JSON, direct struct use) funnels through.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "micg/api/api.hpp"
+#include "micg/api/json.hpp"
+#include "micg/api/parse.hpp"
+#include "micg/graph/generators.hpp"
+#include "micg/support/assert.hpp"
+
+namespace {
+
+using micg::api::arg_parser;
+using micg::api::json;
+using micg::api::json_array;
+using micg::api::json_object;
+
+micg::graph::any_csr grid() {
+  return micg::graph::to_narrowest(micg::graph::make_grid_2d(8, 8));
+}
+
+// ---------------------------------------------------------------------------
+// json
+
+TEST(ApiJson, ParseScalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_EQ(json::parse("true").as_bool(), true);
+  EXPECT_EQ(json::parse("-42").as_int(), -42);
+  EXPECT_DOUBLE_EQ(json::parse("2.5").as_double(), 2.5);
+  EXPECT_EQ(json::parse("\"hi\\n\"").as_string(), "hi\n");
+}
+
+TEST(ApiJson, Int64RoundTripExact) {
+  const std::int64_t big = 9007199254740993;  // not representable in double
+  EXPECT_EQ(json::parse(std::to_string(big)).as_int(), big);
+  EXPECT_EQ(json(big).dump(), std::to_string(big));
+}
+
+TEST(ApiJson, ObjectPreservesInsertionOrder) {
+  json v(json_object{{"b", json(1)}, {"a", json(2)}});
+  EXPECT_EQ(v.dump(), "{\"b\":1,\"a\":2}");
+  // parse/dump round trip is byte-stable
+  EXPECT_EQ(json::parse(v.dump()).dump(), v.dump());
+}
+
+TEST(ApiJson, MalformedInputsThrow) {
+  const char* bad[] = {
+      "",      "{",        "[1,",      "tru",        "\"unterminated",
+      "01",    "1e",       "{\"a\"}",  "{\"a\":1,}", "[1 2]",
+      "nul",   "\"\\x\"",  "{1:2}",    "1 2",        "{\"a\":}",
+  };
+  for (const char* s : bad) {
+    EXPECT_THROW((void)json::parse(s), micg::check_error) << s;
+  }
+}
+
+TEST(ApiJson, RejectsTrailingGarbageAndDeepNesting) {
+  EXPECT_THROW((void)json::parse("{} x"), micg::check_error);
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW((void)json::parse(deep), micg::check_error);
+  EXPECT_NO_THROW((void)json::parse(deep, 128));
+}
+
+TEST(ApiJson, CheckedAccessorsThrowOnMismatch) {
+  const json v = json::parse("{\"a\": [1, 2]}");
+  EXPECT_THROW((void)v.as_int(), micg::check_error);
+  EXPECT_THROW((void)v.at("missing"), micg::check_error);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+  EXPECT_THROW((void)v.at("a").as_object(), micg::check_error);
+}
+
+TEST(ApiJson, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+// ---------------------------------------------------------------------------
+// parse helpers
+
+TEST(ApiParse, StrictInt) {
+  EXPECT_EQ(micg::api::parse_int("123"), 123);
+  EXPECT_EQ(micg::api::parse_int("-7"), -7);
+  EXPECT_THROW((void)micg::api::parse_int("12abc"), micg::api::usage_error);
+  EXPECT_THROW((void)micg::api::parse_int(""), micg::api::usage_error);
+  EXPECT_THROW((void)micg::api::parse_int("1.5"), micg::api::usage_error);
+  EXPECT_THROW((void)micg::api::parse_int_in("9", 1, 8, "x"),
+               micg::api::usage_error);
+}
+
+TEST(ApiParse, StrictDouble) {
+  EXPECT_DOUBLE_EQ(micg::api::parse_double("2.5"), 2.5);
+  EXPECT_THROW((void)micg::api::parse_double("2.5x"),
+               micg::api::usage_error);
+  EXPECT_THROW((void)micg::api::parse_double("inf"), micg::api::usage_error);
+}
+
+TEST(ApiParse, ArgParserSplitsFlagsAndPositionals) {
+  const arg_parser args(
+      std::vector<std::string>{"file.mtx", "--threads", "4", "-o", "out.micg",
+                               "--graph", "a", "--graph", "b"});
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "file.mtx");
+  EXPECT_EQ(args.flag_int("threads", 1), 4);
+  EXPECT_EQ(args.flag("out", ""), "out.micg");
+  EXPECT_EQ(args.flag_all("graph"),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_FALSE(args.has_flag("missing"));
+}
+
+TEST(ApiParse, FlagNeedsValueIsAUsageError) {
+  EXPECT_THROW(arg_parser(std::vector<std::string>{"--threads"}),
+               micg::api::usage_error);
+  EXPECT_THROW(arg_parser(std::vector<std::string>{"x", "-o"}),
+               micg::api::usage_error);
+}
+
+TEST(ApiParse, LastFlagOccurrenceWins) {
+  const arg_parser args(
+      std::vector<std::string>{"--threads", "2", "--threads", "8"});
+  EXPECT_EQ(args.flag_int("threads", 1), 8);
+}
+
+TEST(ApiParse, BadFlagNumberNamesTheFlag) {
+  const arg_parser args(std::vector<std::string>{"--threads", "4x"});
+  try {
+    (void)args.flag_int("threads", 1);
+    FAIL() << "expected usage_error";
+  } catch (const micg::api::usage_error& e) {
+    EXPECT_NE(std::string(e.what()).find("threads"), std::string::npos);
+  }
+}
+
+TEST(ApiParse, GraphFormatFromPath) {
+  EXPECT_EQ(micg::api::graph_format_from_path("a/b.mtx"),
+            micg::api::graph_format::matrix_market);
+  EXPECT_EQ(micg::api::graph_format_from_path("g.micg"),
+            micg::api::graph_format::binary);
+  EXPECT_THROW((void)micg::api::graph_format_from_path("g.txt"),
+               micg::api::usage_error);
+}
+
+// ---------------------------------------------------------------------------
+// status envelope
+
+TEST(ApiStatus, NamesRoundTrip) {
+  using micg::api::status;
+  for (status s : {status::ok, status::bad_request, status::not_found,
+                   status::too_large, status::overloaded,
+                   status::deadline_exceeded, status::shutting_down,
+                   status::internal}) {
+    EXPECT_EQ(micg::api::status_from_name(micg::api::status_name(s)), s);
+  }
+  EXPECT_THROW((void)micg::api::status_from_name("nope"), micg::check_error);
+}
+
+// ---------------------------------------------------------------------------
+// requests: flags and wire JSON parse into identical structs
+
+TEST(ApiRequest, BfsFlagAndJsonPathsAgree) {
+  const arg_parser args(std::vector<std::string>{
+      "g.mtx", "--source", "3", "--threads", "2", "--variant",
+      "OpenMP-Queue", "--block", "16"});
+  const auto from_args = micg::api::bfs_request_from_args(args);
+  const auto from_json = micg::api::bfs_request_from_json(json::parse(
+      R"({"source":3,"threads":2,"variant":"OpenMP-Queue","block":16})"));
+  EXPECT_EQ(from_args.source, from_json.source);
+  EXPECT_EQ(from_args.ex.threads, from_json.ex.threads);
+  EXPECT_EQ(from_args.variant, from_json.variant);
+  EXPECT_EQ(from_args.block, from_json.block);
+}
+
+TEST(ApiRequest, DefaultsMatchHistoricalCli) {
+  const arg_parser empty(std::vector<std::string>{});
+  const auto bfs = micg::api::bfs_request_from_args(empty);
+  EXPECT_EQ(bfs.ex.threads, 4);
+  EXPECT_EQ(bfs.variant, "OpenMP-Block-relaxed");
+  EXPECT_EQ(bfs.block, 32);
+  EXPECT_EQ(bfs.source, -1);  // resolves to |V|/2 at run()
+  const auto color = micg::api::color_request_from_args(empty);
+  EXPECT_EQ(color.ex.chunk, 100);
+  EXPECT_EQ(color.ex.backend, "OpenMP-dynamic");
+  const auto msbfs = micg::api::msbfs_request_from_args(empty);
+  EXPECT_EQ(msbfs.sources, 64);
+  EXPECT_EQ(msbfs.lanes, 64);
+  const auto bc = micg::api::bc_request_from_args(empty);
+  EXPECT_TRUE(bc.batched);
+  EXPECT_EQ(bc.top, 5);
+}
+
+TEST(ApiRequest, UnknownJsonFieldsAreIgnored) {
+  EXPECT_NO_THROW((void)micg::api::bfs_request_from_json(
+      json::parse(R"({"source":1,"future_field":true})")));
+}
+
+TEST(ApiRequest, WrongTypedJsonFieldThrows) {
+  EXPECT_THROW((void)micg::api::bfs_request_from_json(
+                   json::parse(R"({"source":"zero"})")),
+               micg::check_error);
+  EXPECT_THROW((void)micg::api::bfs_request_from_json(json::parse("[1]")),
+               micg::check_error);
+}
+
+// ---------------------------------------------------------------------------
+// run(): validation and correctness on a known graph
+
+TEST(ApiRun, InfoMatchesGraph) {
+  const auto g = grid();
+  const auto r = micg::api::run(g, micg::api::info_request{});
+  EXPECT_EQ(r.num_vertices, 64);
+  EXPECT_EQ(r.num_edges, 112);
+  EXPECT_EQ(r.components, 1);
+  EXPECT_EQ(r.min_degree, 2);
+  EXPECT_EQ(r.max_degree, 4);
+  EXPECT_EQ(r.layout, "csr32");
+}
+
+TEST(ApiRun, BfsDefaultsAndTargets) {
+  const auto g = grid();
+  micg::api::bfs_request req;
+  req.ex.threads = 1;
+  req.targets = {0, 63};
+  const auto r = micg::api::run(g, req);
+  EXPECT_EQ(r.source, 32);  // |V|/2 default
+  EXPECT_EQ(r.reached, 64);
+  ASSERT_EQ(r.target_levels.size(), 2u);
+  EXPECT_GE(r.target_levels[0], 0);
+}
+
+TEST(ApiRun, BfsValidatesInput) {
+  const auto g = grid();
+  micg::api::bfs_request req;
+  req.source = 64;
+  EXPECT_THROW((void)micg::api::run(g, req), micg::check_error);
+  req.source = 0;
+  req.targets = {-1};
+  EXPECT_THROW((void)micg::api::run(g, req), micg::check_error);
+  req.targets.clear();
+  req.ex.threads = 0;
+  EXPECT_THROW((void)micg::api::run(g, req), micg::check_error);
+  req.ex.threads = 1;
+  req.variant = "not-a-variant";
+  EXPECT_THROW((void)micg::api::run(g, req), micg::check_error);
+}
+
+TEST(ApiRun, MsbfsExplicitSourceListOverridesCount) {
+  const auto g = grid();
+  micg::api::msbfs_request req;
+  req.ex.threads = 1;
+  req.lanes = 4;
+  req.sources = 64;
+  req.source_list = {0, 1, 2};
+  const auto r = micg::api::run(g, req);
+  EXPECT_EQ(r.sources, 3);
+  EXPECT_EQ(r.batches, 1);
+  EXPECT_EQ(r.reached_total, 3 * 64);
+}
+
+TEST(ApiRun, PagerankValidatesAndRanks) {
+  const auto g = micg::graph::to_narrowest(micg::graph::make_star(16));
+  micg::api::pagerank_request req;
+  req.ex.threads = 1;
+  req.top = 1;
+  const auto r = micg::api::run(g, req);
+  ASSERT_EQ(r.top.size(), 1u);
+  EXPECT_EQ(r.top[0].vertex, 0);  // the hub dominates a star
+  req.damping = 1.5;
+  EXPECT_THROW((void)micg::api::run(g, req), micg::check_error);
+}
+
+// ---------------------------------------------------------------------------
+// dispatch_query: the server's single entry point equals the direct path
+
+TEST(ApiDispatch, MatchesDirectRun) {
+  const auto g = grid();
+  const json params = json::parse(R"({"threads":1,"source":0})");
+  const json via_dispatch = micg::api::dispatch_query(g, "bfs", params);
+  micg::api::bfs_request req = micg::api::bfs_request_from_json(params);
+  const json direct = micg::api::to_json(micg::api::run(g, req));
+  EXPECT_EQ(via_dispatch.dump(), direct.dump());
+}
+
+TEST(ApiDispatch, UnknownOpThrows) {
+  EXPECT_FALSE(micg::api::is_query_op("frobnicate"));
+  EXPECT_THROW(
+      (void)micg::api::dispatch_query(grid(), "frobnicate", json()),
+      micg::check_error);
+}
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Property tests for the delta/compaction half of the serving layer:
+// interleaved inserts and deletes folded by apply_delta() must equal a
+// from-scratch rebuild of the surviving edge set, whatever the base
+// layout, and compaction mid-sequence must not change the final graph.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "micg/graph/any_csr.hpp"
+#include "micg/graph/builder.hpp"
+#include "micg/graph/delta.hpp"
+#include "micg/graph/generators.hpp"
+#include "micg/support/assert.hpp"
+
+namespace {
+
+using micg::graph::any_csr;
+using micg::graph::apply_delta;
+using micg::graph::csr_layout;
+using micg::graph::edge_delta;
+
+using edge_set = std::set<std::pair<std::int64_t, std::int64_t>>;
+
+std::pair<std::int64_t, std::int64_t> norm(std::int64_t u, std::int64_t v) {
+  return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+}
+
+/// The undirected edge set of a graph, each edge once as (min, max).
+edge_set edges_of(const any_csr& g) {
+  edge_set out;
+  g.visit([&](const auto& csr) {
+    using VId = typename std::decay_t<decltype(csr)>::vertex_type;
+    for (VId u = 0; u < csr.num_vertices(); ++u) {
+      for (const VId w : csr.neighbors(u)) {
+        if (w > u) out.emplace(u, w);
+      }
+    }
+  });
+  return out;
+}
+
+/// From-scratch oracle: build a graph holding exactly `edges` on
+/// `num_vertices` vertices through the canonical builder.
+any_csr rebuild(std::int64_t num_vertices, const edge_set& edges) {
+  micg::graph::graph_builder64 b(num_vertices);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return micg::graph::build_auto(std::move(b));
+}
+
+TEST(EdgeDelta, NormalizesAndValidates) {
+  edge_delta d;
+  d.insert(5, 2);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_NE(d.decision(2, 5), nullptr);
+  EXPECT_NE(d.decision(5, 2), nullptr);  // orientation-independent
+  EXPECT_TRUE(*d.decision(2, 5));
+  EXPECT_EQ(d.min_vertices(), 6);
+  EXPECT_THROW(d.insert(3, 3), micg::check_error);
+  EXPECT_THROW(d.erase(-1, 0), micg::check_error);
+}
+
+TEST(EdgeDelta, LastOpWinsPerEdge) {
+  edge_delta d;
+  d.insert(0, 1);
+  d.erase(1, 0);  // cancels the insert
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_FALSE(*d.decision(0, 1));
+  d.insert(0, 1);
+  EXPECT_TRUE(*d.decision(0, 1));
+  EXPECT_EQ(d.size(), 1u);  // still one net op
+  d.clear();
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.decision(0, 1), nullptr);
+  EXPECT_EQ(d.min_vertices(), 0);
+}
+
+TEST(ApplyDelta, EmptyDeltaPreservesGraph) {
+  const any_csr base =
+      micg::graph::to_narrowest(micg::graph::make_grid_2d(6, 6));
+  const any_csr out = apply_delta(base, edge_delta{});
+  EXPECT_EQ(out.num_vertices(), base.num_vertices());
+  EXPECT_EQ(edges_of(out), edges_of(base));
+}
+
+TEST(ApplyDelta, InsertGrowsVertexSetDeleteNeverShrinks) {
+  const any_csr base =
+      micg::graph::to_narrowest(micg::graph::make_chain(4));  // ids 0..3
+  edge_delta d;
+  d.insert(3, 9);  // touches an id past |V|
+  any_csr grown = apply_delta(base, d);
+  EXPECT_EQ(grown.num_vertices(), 10);
+  EXPECT_TRUE(edges_of(grown).count(norm(3, 9)) == 1);
+
+  edge_delta erase_tail;
+  erase_tail.erase(3, 9);
+  const any_csr shrunk = apply_delta(grown, erase_tail);
+  // The edge goes; vertex 9 stays (pinned ids remain valid across epochs).
+  EXPECT_EQ(shrunk.num_vertices(), 10);
+  EXPECT_EQ(edges_of(shrunk).count(norm(3, 9)), 0u);
+}
+
+TEST(ApplyDelta, RedundantOpsAreNoOps) {
+  const any_csr base =
+      micg::graph::to_narrowest(micg::graph::make_chain(5));
+  edge_delta d;
+  d.insert(0, 1);  // base already has it
+  d.erase(0, 4);   // base never had it
+  const any_csr out = apply_delta(base, d);
+  EXPECT_EQ(edges_of(out), edges_of(base));
+}
+
+/// One randomized scenario: run `num_ops` random insert/erase ops against
+/// `base`, compacting at every `compact_every`-th op, and check the result
+/// equals the from-scratch rebuild of the tracked surviving edge set.
+void run_differential(const any_csr& base, std::uint64_t seed, int num_ops,
+                      int compact_every) {
+  std::mt19937_64 rng(seed);
+  const std::int64_t n = base.num_vertices();
+  std::uniform_int_distribution<std::int64_t> pick_v(0, n + 3);  // can grow
+  std::uniform_int_distribution<int> coin(0, 99);
+
+  edge_set oracle = edges_of(base);
+  std::int64_t oracle_n = n;
+  any_csr current = base;
+  edge_delta delta;
+
+  const auto compact = [&] {
+    current = apply_delta(current, delta);
+    delta.clear();
+  };
+
+  for (int i = 0; i < num_ops; ++i) {
+    std::int64_t u = pick_v(rng);
+    std::int64_t v = pick_v(rng);
+    if (u == v) v = (v + 1) % (n + 4);
+    const bool insert = coin(rng) < 60;  // biased toward growth
+    if (insert) {
+      delta.insert(u, v);
+      oracle.insert(norm(u, v));
+    } else {
+      delta.erase(u, v);
+      oracle.erase(norm(u, v));
+    }
+    oracle_n = std::max({oracle_n, u + 1, v + 1});
+    if (compact_every > 0 && (i + 1) % compact_every == 0) compact();
+  }
+  compact();
+
+  const any_csr expect = rebuild(oracle_n, oracle);
+  EXPECT_EQ(current.num_vertices(), expect.num_vertices())
+      << "seed=" << seed << " compact_every=" << compact_every;
+  EXPECT_EQ(edges_of(current), edges_of(expect))
+      << "seed=" << seed << " compact_every=" << compact_every;
+  // Both went through build_auto, so layouts agree too.
+  EXPECT_EQ(current.layout(), expect.layout());
+}
+
+TEST(ApplyDelta, DifferentialOracleAcrossAllLayouts) {
+  const any_csr seed_graph =
+      micg::graph::to_narrowest(micg::graph::make_grid_2d(8, 8));
+  for (const csr_layout layout :
+       {csr_layout::v32e32, csr_layout::v32e64, csr_layout::v64e64}) {
+    const any_csr base = micg::graph::to_layout(seed_graph, layout);
+    ASSERT_EQ(base.layout(), layout);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      run_differential(base, seed, 120, /*compact_every=*/0);
+      run_differential(base, seed, 120, /*compact_every=*/7);
+    }
+  }
+}
+
+TEST(ApplyDelta, InterleavedCompactionEqualsSingleCompaction) {
+  const any_csr base =
+      micg::graph::to_narrowest(micg::graph::make_rmat(6, 8, 0.45, 0.15,
+                                                       0.15, 1));
+  for (const int every : {1, 3, 10}) {
+    run_differential(base, 42, 90, every);
+  }
+}
+
+TEST(ApplyDelta, CompactionRepacksToNarrowestLayout) {
+  // A graph held wide repacks down once compaction rebuilds it.
+  const any_csr wide = micg::graph::to_layout(
+      micg::graph::to_narrowest(micg::graph::make_chain(16)),
+      csr_layout::v64e64);
+  edge_delta d;
+  d.insert(0, 15);
+  const any_csr out = apply_delta(wide, d);
+  EXPECT_EQ(out.layout(), csr_layout::v32e32);
+}
+
+}  // namespace

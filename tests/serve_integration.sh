@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# End-to-end serving integration (ctest target serve_integration):
+#
+#  1. generate a graph and launch `micg serve` on a unix socket;
+#  2. wait for the readiness line, then drive a scripted NDJSON mix —
+#     queries, mutations, a compaction, error paths — through
+#     `micg query --script` on one connection;
+#  3. compare the response transcript byte-for-byte against
+#     tests/golden/serve_session.golden (responses are deterministic:
+#     no timing fields, canonical field order, sequential epochs);
+#  4. shut the server down over the wire and validate the metrics file
+#     it writes against the micg.metrics.v1 schema: per-request spans
+#     named serve.<op>/<graph> carrying wait_ms/epoch values, and the
+#     admission counters.
+#
+# Usage: serve_integration.sh MICG_BINARY GOLDEN_DIR
+set -euo pipefail
+
+MICG=$1
+GOLDEN_DIR=$2
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+"$MICG" gen grid2d 8 8 -o "$work/g.micg"
+
+sock="$work/serve.sock"
+"$MICG" serve --listen "unix:$sock" --graph "g=$work/g.micg" \
+  --compact-every 4 --threads-per-query 1 \
+  --metrics-json "$work/metrics.json" >"$work/serve.log" 2>&1 &
+server_pid=$!
+
+ready=0
+for _ in $(seq 1 200); do
+  if grep -q "^serving 1 graph(s) on " "$work/serve.log" 2>/dev/null; then
+    ready=1
+    break
+  fi
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "FAIL: server exited before becoming ready" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+if [ "$ready" != 1 ]; then
+  echo "FAIL: server never printed the readiness line" >&2
+  cat "$work/serve.log" >&2
+  exit 1
+fi
+
+# The scripted mix: happy-path queries, buffered mutation + explicit
+# compaction, auto-compaction (compact-every 4), and the error paths
+# (unknown graph, unknown op, malformed frame) — all on one connection.
+cat >"$work/script.ndjson" <<'EOF'
+{"id":"q01","op":"ping"}
+{"id":"q02","op":"list"}
+{"id":"q03","op":"bfs","graph":"g","params":{"threads":1,"source":0,"targets":[63]}}
+{"id":"q04","op":"insert","graph":"g","params":{"edges":[[0,63]]}}
+{"id":"q05","op":"bfs","graph":"g","params":{"threads":1,"source":0,"targets":[63]}}
+{"id":"q06","op":"compact","graph":"g"}
+{"id":"q07","op":"bfs","graph":"g","params":{"threads":1,"source":0,"targets":[63]}}
+{"id":"q08","op":"color","graph":"g","params":{"threads":1}}
+{"id":"q09","op":"info","graph":"g"}
+{"id":"q10","op":"bfs","graph":"missing"}
+{"id":"q11","op":"frobnicate","graph":"g"}
+not json
+{"id":"q12","op":"bfs","graph":"g","params":{"source":9000}}
+{"id":"q13","op":"erase","graph":"g","params":{"edges":[[0,63],[0,1],[1,8],[9,10]]}}
+{"id":"q14","op":"list"}
+{"id":"q15","op":"bfs","graph":"g","params":{"threads":1,"source":0,"targets":[63]}}
+EOF
+
+"$MICG" query --connect "unix:$sock" --script "$work/script.ndjson" \
+  >"$work/session.out"
+
+if ! diff -u "$GOLDEN_DIR/serve_session.golden" "$work/session.out"; then
+  echo "FAIL: session transcript diverged from golden" >&2
+  echo "(MICG_UPDATE_GOLDENS: cp $work/session.out" \
+       "tests/golden/serve_session.golden)" >&2
+  exit 1
+fi
+
+"$MICG" query --connect "unix:$sock" shutdown >/dev/null
+wait "$server_pid"
+server_pid=""
+
+grep -q "^shutdown complete$" "$work/serve.log"
+
+python3 - "$work/metrics.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "micg.metrics.v1", doc.get("schema")
+records = doc["records"]
+assert len(records) == 1, f"one serving record expected, got {len(records)}"
+r = records[0]
+assert r["schema"] == "micg.metrics.v1"
+assert r["meta"]["tool"] == "micg serve", r["meta"]
+assert r["meta"]["listen"].startswith("unix:"), r["meta"]
+assert all(isinstance(v, str) for v in r["meta"].values())
+assert all(isinstance(v, int) and v >= 0 for v in r["counters"].values())
+
+# Gated requests: q03..q13 and q15 (12); ping/list/shutdown bypass the
+# gate and the malformed frame is rejected before admission.
+assert r["counters"]["serve.requests"] == 12, r["counters"]
+assert r["counters"].get("serve.shed", 0) == 0, r["counters"]
+
+# The record interleaves per-request serve spans with the spans the
+# kernels themselves emit (color.round etc.); the serving shape lives in
+# the serve.* subset.
+spans = [s for s in r["spans"] if s["name"].startswith("serve.")]
+assert len(spans) == 12, f"one span per gated request, got {len(spans)}"
+names = [s["name"] for s in spans]
+assert names.count("serve.bfs/g") == 5, names
+assert "serve.insert/g" in names and "serve.compact/g" in names, names
+assert "serve.bfs/missing" in names, names
+for s in spans:
+    assert s["seconds"] >= 0
+    assert "wait_ms" in s["values"], s
+errors = [s for s in spans if s["values"].get("error") == 1.0]
+assert len(errors) == 3, [s["name"] for s in errors]  # q10, q11, q12
+epochs = [s["values"]["epoch"] for s in spans if "epoch" in s["values"]]
+assert epochs and max(epochs) == 2.0, epochs  # compact + auto-compact
+print(f"validated serving metrics: {len(spans)} spans, "
+      f"{r['counters']['serve.requests']} requests, max epoch {max(epochs):.0f}")
+EOF
+
+echo "serve_integration OK"

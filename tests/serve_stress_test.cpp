@@ -1,0 +1,194 @@
+// Race-hunting stress for the serving layer; the TSan CI job builds and
+// runs this binary with -fsanitize=thread (alongside tsan_stress_test).
+//
+// The invariants under attack:
+//  * a pinned snapshot is immutable and stays alive while any number of
+//    compactions swap the current snapshot under it;
+//  * the admission gate keeps its slot accounting straight with ≥32
+//    requests in flight while a writer mutates and compacts;
+//  * per-slot thread pools may run multi-threaded kernels concurrently.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "micg/api/json.hpp"
+#include "micg/graph/generators.hpp"
+#include "micg/serve/service.hpp"
+#include "micg/serve/store.hpp"
+
+namespace {
+
+using micg::api::json;
+using micg::serve::graph_store;
+using micg::serve::service;
+using micg::serve::service_options;
+using micg::serve::versioned_graph;
+
+micg::graph::any_csr grid16() {
+  return micg::graph::to_narrowest(micg::graph::make_grid_2d(16, 16));
+}
+
+/// Order-independent fingerprint of the adjacency of a snapshot.
+std::uint64_t fingerprint(const micg::graph::any_csr& g) {
+  std::uint64_t h = 0;
+  g.visit([&](const auto& csr) {
+    using VId = typename std::decay_t<decltype(csr)>::vertex_type;
+    for (VId u = 0; u < csr.num_vertices(); ++u) {
+      for (const VId w : csr.neighbors(u)) {
+        h += static_cast<std::uint64_t>(u) * 1000003u +
+             static_cast<std::uint64_t>(w);
+      }
+    }
+  });
+  return h;
+}
+
+TEST(ServeStress, ReadersStayPinnedAcrossEpochFlips) {
+  versioned_graph vg(grid16());
+  std::atomic<bool> stop{false};
+  std::atomic<bool> corrupted{false};
+  std::atomic<int> started{0};
+  std::atomic<std::int64_t> flips_seen{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(6);
+  for (int i = 0; i < 6; ++i) {
+    readers.emplace_back([&] {
+      started.fetch_add(1);
+      std::int64_t last_epoch = -1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const versioned_graph::pin pin = vg.snapshot();
+        // A pinned snapshot must read identically no matter how many
+        // compactions retire it while we hold it.
+        const std::uint64_t before = fingerprint(*pin.graph);
+        std::this_thread::yield();
+        if (fingerprint(*pin.graph) != before ||
+            pin.epoch < last_epoch) {
+          corrupted.store(true);
+        }
+        if (pin.epoch != last_epoch) flips_seen.fetch_add(1);
+        last_epoch = pin.epoch;
+      }
+    });
+  }
+
+  // Mutate only while every reader is live, and pace the flips so the
+  // readers observe many distinct epochs instead of one final state.
+  while (started.load() < 6) std::this_thread::yield();
+  for (int k = 0; k < 60; ++k) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Toggle a clique among the first 8 vertices plus a growing tail.
+    for (int u = 0; u < 8; ++u) {
+      for (int v = u + 1; v < 8; ++v) {
+        if ((k + u + v) % 2 == 0) {
+          vg.insert(u, v);
+        } else {
+          vg.erase(u, v);
+        }
+      }
+    }
+    vg.insert(255, 256 + k);  // vertex growth every round
+    vg.compact();
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_FALSE(corrupted.load());
+  EXPECT_EQ(vg.epoch(), 60);
+  EXPECT_GE(flips_seen.load(), 6);  // every reader observed at least one
+  EXPECT_EQ(vg.snapshot().graph->num_vertices(), 256 + 60);
+}
+
+TEST(ServeStress, ThirtyTwoInFlightQueriesDuringMutationAndCompaction) {
+  graph_store store;
+  store.add("g", grid16());
+  service svc(store, {.max_inflight = 32, .max_waiting = 64,
+                      .threads_per_query = 1, .compact_every = 6});
+
+  constexpr int kReaders = 32;
+  constexpr int kQueriesEach = 8;
+  std::atomic<int> ready{0};
+  std::atomic<int> bad{0};
+  std::atomic<bool> writer_done{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (ready.load() < kReaders + 1) std::this_thread::yield();
+      for (int k = 0; k < kQueriesEach; ++k) {
+        const char* line =
+            (i + k) % 3 == 0
+                ? R"({"op":"bfs","graph":"g","params":{"threads":1}})"
+                : (i + k) % 3 == 1
+                      ? R"({"op":"color","graph":"g","params":{"threads":1}})"
+                      : R"({"op":"list"})";
+        const json resp = json::parse(svc.handle_line(line));
+        if (resp.at("status").as_string() != "ok") bad.fetch_add(1);
+      }
+    });
+  }
+  std::thread writer([&] {
+    ready.fetch_add(1);
+    while (ready.load() < kReaders + 1) std::this_thread::yield();
+    for (int k = 0; k < 48; ++k) {
+      const std::string op = k % 2 == 0 ? "insert" : "erase";
+      const std::string line = R"({"op":")" + op +
+                               R"(","graph":"g","params":{"edges":[[)" +
+                               std::to_string(k % 16) + "," +
+                               std::to_string(16 + k % 16) + "]]}}";
+      const json resp = json::parse(svc.handle_line(line));
+      if (resp.at("status").as_string() != "ok") bad.fetch_add(1);
+    }
+    writer_done.store(true);
+  });
+
+  for (auto& t : readers) t.join();
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_EQ(bad.load(), 0);
+
+  // Settled state is consistent: compact folds any tail, queries serve it.
+  const json comp =
+      json::parse(svc.handle_line(R"({"op":"compact","graph":"g"})"));
+  EXPECT_EQ(comp.at("status").as_string(), "ok");
+  EXPECT_EQ(comp.at("result").at("pending").as_int(), 0);
+  const json bfs = json::parse(svc.handle_line(
+      R"({"op":"bfs","graph":"g","params":{"threads":1}})"));
+  EXPECT_EQ(bfs.at("status").as_string(), "ok");
+}
+
+TEST(ServeStress, ConcurrentMultiThreadedKernelsOnPrivatePools) {
+  graph_store store;
+  store.add("g", grid16());
+  // threads_per_query = 2: every admitted request runs its kernel on its
+  // slot's private pool, so this drives concurrent *multi-threaded* OpenMP
+  // regions — the shape the global pool forbids by design.
+  service svc(store, {.max_inflight = 8, .max_waiting = 32,
+                      .threads_per_query = 2});
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  clients.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&, i] {
+      for (int k = 0; k < 10; ++k) {
+        const char* line =
+            (i + k) % 2 == 0
+                ? R"({"op":"bfs","graph":"g","params":{"threads":2}})"
+                : R"({"op":"msbfs","graph":"g","params":{"threads":2,"sources":8,"lanes":8}})";
+        const json resp = json::parse(svc.handle_line(line));
+        if (resp.at("status").as_string() != "ok") bad.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace

@@ -7,46 +7,50 @@
 //   micg bfs FILE [--source V] [--variant NAME] [--threads N] [--block B]
 //   micg msbfs FILE [--sources K] [--lanes L] [--threads N]
 //   micg bc FILE [--samples K] [--threads N] [--top M] [--mode M] [--lanes L]
+//   micg pagerank FILE [--damping D] [--tolerance T] [--iterations N]
+//   micg serve --listen ADDR --graph NAME=PATH [...]
+//   micg query --connect ADDR OP [--graph NAME] [--params JSON]
 //
-// color/bfs/msbfs/bc accept --metrics-json PATH (or MICG_METRICS_JSON in
-// the environment) to write a micg.metrics.v1 record of the run.
+// Every kernel subcommand parses its flags into the same micg::api request
+// struct the server deserializes from the wire, and runs it through the
+// same api::run() overload — one code path whether a query arrives via
+// argv or via a socket (docs/serving.md). The CLI owns only formatting.
+//
+// color/bfs/msbfs/bc/pagerank accept --metrics-json PATH (or
+// MICG_METRICS_JSON in the environment) to write a micg.metrics.v1 record
+// of the run; serve accepts the same flag and writes the serving-side
+// record (per-request spans) at shutdown.
 //
 // Families for gen: chain N | cycle N | star N | complete N | tree K L |
 // grid2d NX NY | er N AVGDEG SEED | rmat SCALE EDGEFACTOR SEED |
 // suite NAME SCALE. File format chosen by extension: .mtx (MatrixMarket)
 // or .micg (binary CSR).
-#include <atomic>
+#include <csignal>
 #include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
-#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "micg/bfs/centrality.hpp"
-#include "micg/bfs/layered.hpp"
-#include "micg/bfs/msbfs.hpp"
-#include "micg/bfs/seq.hpp"
-#include "micg/color/distance2.hpp"
-#include "micg/color/greedy.hpp"
-#include "micg/color/iterative.hpp"
-#include "micg/color/ordering.hpp"
-#include "micg/color/verify.hpp"
+#include "micg/api/api.hpp"
+#include "micg/api/json.hpp"
+#include "micg/api/parse.hpp"
 #include "micg/graph/any_csr.hpp"
 #include "micg/graph/generators.hpp"
-#include "micg/graph/io_binary.hpp"
-#include "micg/graph/io_mm.hpp"
-#include "micg/graph/props.hpp"
 #include "micg/graph/suite.hpp"
 #include "micg/obs/emit.hpp"
 #include "micg/obs/obs.hpp"
+#include "micg/serve/client.hpp"
+#include "micg/serve/server.hpp"
+#include "micg/support/assert.hpp"
 #include "micg/support/table.hpp"
 #include "micg/support/timer.hpp"
 
 namespace {
 
+using micg::api::arg_parser;
 using micg::graph::any_csr;
 using micg::graph::csr_graph;
 
@@ -65,67 +69,20 @@ using micg::graph::csr_graph;
       "  micg msbfs FILE [--sources K] [--lanes L] [--threads N]\n"
       "  micg bc FILE [--samples K] [--threads N] [--top M]\n"
       "          [--mode batched|repeated] [--lanes L]\n"
-      "color/bfs/msbfs/bc: --metrics-json PATH (or MICG_METRICS_JSON) writes\n"
-      "  a micg.metrics.v1 record of the run\n"
+      "  micg pagerank FILE [--damping D] [--tolerance T] [--iterations N]\n"
+      "          [--top M] [--threads N]\n"
+      "  micg serve --listen ADDR --graph NAME=PATH [--graph NAME=PATH ...]\n"
+      "          [--max-inflight N] [--max-waiting N] [--threads-per-query N]\n"
+      "          [--deadline-ms D] [--compact-every N] [--max-frame-bytes B]\n"
+      "  micg query --connect ADDR OP [--graph NAME] [--params JSON]\n"
+      "          [--deadline-ms D] [--id TAG]\n"
+      "  micg query --connect ADDR --script FILE|-\n"
+      "color/bfs/msbfs/bc/pagerank/serve: --metrics-json PATH (or\n"
+      "  MICG_METRICS_JSON) writes a micg.metrics.v1 record of the run\n"
+      "ADDR: unix:PATH | PATH | HOST:PORT | :PORT (see docs/serving.md)\n"
       "file formats by extension: .mtx (MatrixMarket), .micg (binary)\n";
   std::exit(2);
 }
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// Load into whichever layout the file needs (narrowest safe one); the
-/// kernels below dispatch on it at runtime via visit().
-any_csr load_graph(const std::string& path) {
-  if (ends_with(path, ".micg")) return micg::graph::load_binary_any(path);
-  if (ends_with(path, ".mtx")) {
-    return micg::graph::load_matrix_market_any(path);
-  }
-  usage("unknown graph file extension: " + path);
-}
-
-void save_graph(const std::string& path, const any_csr& g) {
-  if (ends_with(path, ".micg")) {
-    micg::graph::save_binary(path, g);
-  } else if (ends_with(path, ".mtx")) {
-    micg::graph::save_matrix_market(path, g);
-  } else {
-    usage("unknown graph file extension: " + path);
-  }
-}
-
-struct arg_parser {
-  std::vector<std::string> positional;
-  std::vector<std::pair<std::string, std::string>> flags;
-
-  arg_parser(int argc, char** argv, int start) {
-    for (int i = start; i < argc; ++i) {
-      std::string a = argv[i];
-      if (a.rfind("--", 0) == 0) {
-        if (i + 1 >= argc) usage("flag " + a + " needs a value");
-        flags.emplace_back(a.substr(2), argv[++i]);
-      } else if (a == "-o") {
-        if (i + 1 >= argc) usage("-o needs a value");
-        flags.emplace_back("out", argv[++i]);
-      } else {
-        positional.push_back(std::move(a));
-      }
-    }
-  }
-
-  std::string flag(const std::string& name, const std::string& dflt) const {
-    for (const auto& [k, v] : flags) {
-      if (k == name) return v;
-    }
-    return dflt;
-  }
-  long flag_int(const std::string& name, long dflt) const {
-    const auto v = flag(name, "");
-    return v.empty() ? dflt : std::atol(v.c_str());
-  }
-};
 
 /// Resolve the metrics output path: --metrics-json beats MICG_METRICS_JSON;
 /// empty means metrics are off.
@@ -154,12 +111,24 @@ void run_with_metrics(
   std::cout << "wrote metrics to " << path << "\n";
 }
 
+std::vector<std::pair<std::string, std::string>> kernel_meta(
+    const std::string& tool, const std::string& graph_path,
+    const any_csr& g) {
+  return {{"tool", tool},
+          {"graph", graph_path},
+          {"layout", std::string(micg::graph::layout_name(g.layout()))}};
+}
+
 int cmd_gen(const arg_parser& args) {
   if (args.positional.empty()) usage("gen needs a family");
   const auto& fam = args.positional[0];
   auto pos_int = [&](std::size_t i) -> long {
     if (i >= args.positional.size()) usage("missing parameter for " + fam);
-    return std::atol(args.positional[i].c_str());
+    return static_cast<long>(micg::api::parse_int(args.positional[i]));
+  };
+  auto pos_double = [&](std::size_t i) -> double {
+    if (i >= args.positional.size()) usage("missing parameter for " + fam);
+    return micg::api::parse_double(args.positional[i]);
   };
   csr_graph g;
   if (fam == "chain") {
@@ -179,8 +148,7 @@ int cmd_gen(const arg_parser& args) {
   } else if (fam == "er") {
     if (args.positional.size() < 4) usage("er needs N AVGDEG SEED");
     g = micg::graph::make_erdos_renyi(
-        static_cast<int>(pos_int(1)),
-        std::atof(args.positional[2].c_str()),
+        static_cast<int>(pos_int(1)), pos_double(2),
         static_cast<std::uint64_t>(pos_int(3)));
   } else if (fam == "rmat") {
     g = micg::graph::make_rmat(static_cast<int>(pos_int(1)),
@@ -189,15 +157,14 @@ int cmd_gen(const arg_parser& args) {
   } else if (fam == "suite") {
     if (args.positional.size() < 3) usage("suite needs NAME SCALE");
     g = micg::graph::make_suite_graph(
-        micg::graph::suite_entry_by_name(args.positional[1]),
-        std::atof(args.positional[2].c_str()));
+        micg::graph::suite_entry_by_name(args.positional[1]), pos_double(2));
   } else {
     usage("unknown family: " + fam);
   }
   const auto out = args.flag("out", "");
   if (out.empty()) usage("gen needs -o FILE");
   const any_csr ag = micg::graph::to_narrowest(std::move(g));
-  save_graph(out, ag);
+  micg::api::save_graph(out, ag);
   std::cout << "wrote " << out << " [" << micg::graph::layout_name(ag.layout())
             << "]  |V|=" << ag.num_vertices() << " |E|=" << ag.num_edges()
             << "\n";
@@ -206,8 +173,8 @@ int cmd_gen(const arg_parser& args) {
 
 int cmd_convert(const arg_parser& args) {
   if (args.positional.size() != 2) usage("convert needs IN OUT");
-  const auto g = load_graph(args.positional[0]);
-  save_graph(args.positional[1], g);
+  const auto g = micg::api::load_graph(args.positional[0]);
+  micg::api::save_graph(args.positional[1], g);
   std::cout << "converted " << args.positional[0] << " -> "
             << args.positional[1] << "\n";
   return 0;
@@ -215,195 +182,228 @@ int cmd_convert(const arg_parser& args) {
 
 int cmd_info(const arg_parser& args) {
   if (args.positional.empty()) usage("info needs FILE");
-  const auto ag = load_graph(args.positional[0]);
+  const auto ag = micg::api::load_graph(args.positional[0]);
+  const auto r =
+      micg::api::run(ag, micg::api::info_request_from_args(args));
   micg::table_printer t("graph info: " + args.positional[0]);
   t.header({"property", "value"});
-  t.row({"layout", std::string(micg::graph::layout_name(ag.layout()))});
-  ag.visit([&](const auto& g) {
-    const auto stats = micg::graph::compute_degree_stats(g);
-    t.row({"|V|", micg::table_printer::fmt(
-                      static_cast<long long>(g.num_vertices()))});
-    t.row({"|E|", micg::table_printer::fmt(
-                      static_cast<long long>(g.num_edges()))});
-    t.row({"min degree", micg::table_printer::fmt(
-                             static_cast<long long>(stats.min))});
-    t.row({"max degree (Delta)",
-           micg::table_printer::fmt(static_cast<long long>(stats.max))});
-    t.row({"avg degree", micg::table_printer::fmt(stats.mean)});
-    t.row({"components",
-           micg::table_printer::fmt(static_cast<long long>(
-               micg::graph::count_components(g)))});
-    t.row({"degeneracy", micg::table_printer::fmt(static_cast<long long>(
-                             micg::color::degeneracy(g)))});
-    t.row({"BFS levels from |V|/2",
-           micg::table_printer::fmt(static_cast<long long>(
-               micg::graph::count_bfs_levels(
-                   g, g.num_vertices() / 2)))});
-  });
+  t.row({"layout", r.layout});
+  t.row({"|V|", micg::table_printer::fmt(
+                    static_cast<long long>(r.num_vertices))});
+  t.row({"|E|", micg::table_printer::fmt(
+                    static_cast<long long>(r.num_edges))});
+  t.row({"min degree", micg::table_printer::fmt(
+                           static_cast<long long>(r.min_degree))});
+  t.row({"max degree (Delta)",
+         micg::table_printer::fmt(static_cast<long long>(r.max_degree))});
+  t.row({"avg degree", micg::table_printer::fmt(r.avg_degree)});
+  t.row({"components", micg::table_printer::fmt(
+                           static_cast<long long>(r.components))});
+  t.row({"degeneracy", micg::table_printer::fmt(
+                           static_cast<long long>(r.degeneracy))});
+  t.row({"BFS levels from |V|/2",
+         micg::table_printer::fmt(
+             static_cast<long long>(r.bfs_levels_from_mid))});
   t.print(std::cout);
   return 0;
 }
 
 int cmd_color(const arg_parser& args) {
   if (args.positional.empty()) usage("color needs FILE");
-  const auto ag = load_graph(args.positional[0]);
-  micg::color::iterative_options opt;
-  opt.ex.kind = micg::rt::backend_from_name(
-      args.flag("backend", "OpenMP-dynamic"));
-  opt.ex.threads = static_cast<int>(args.flag_int("threads", 4));
-  opt.ex.chunk = args.flag_int("chunk", 100);
+  const auto ag = micg::api::load_graph(args.positional[0]);
+  const auto req = micg::api::color_request_from_args(args);
   micg::stopwatch sw;
   run_with_metrics(
-      metrics_path(args),
-      {{"tool", "micg color"},
-       {"graph", args.positional[0]},
-       {"layout", std::string(micg::graph::layout_name(ag.layout()))}},
+      metrics_path(args), kernel_meta("micg color", args.positional[0], ag),
       [&] {
-        ag.visit([&](const auto& g) {
-          if (args.flag("d2", "no") != "no") {  // pass --d2 yes for distance-2
-            const auto r = micg::color::iterative_color_distance2(g, opt);
-            std::cout << "distance-2 colors: " << r.num_colors << " in "
-                      << r.rounds << " rounds, "
-                      << micg::table_printer::fmt(sw.millis())
-                      << " ms, valid="
-                      << micg::color::is_valid_distance2_coloring(g, r.color)
-                      << "\n";
-          } else {
-            const auto r = micg::color::iterative_color(g, opt);
-            std::cout << "colors: " << r.num_colors << " in " << r.rounds
-                      << " rounds, " << micg::table_printer::fmt(sw.millis())
-                      << " ms, valid="
-                      << micg::color::is_valid_coloring(g, r.color) << "\n";
-          }
-        });
+        const auto r = micg::api::run(ag, req);
+        std::cout << (r.distance2 ? "distance-2 colors: " : "colors: ")
+                  << r.num_colors << " in " << r.rounds << " rounds, "
+                  << micg::table_printer::fmt(sw.millis())
+                  << " ms, valid=" << (r.valid ? 1 : 0) << "\n";
       });
   return 0;
 }
 
 int cmd_bfs(const arg_parser& args) {
   if (args.positional.empty()) usage("bfs needs FILE");
-  const auto ag = load_graph(args.positional[0]);
-  micg::bfs::parallel_bfs_options opt;
-  opt.ex.threads = static_cast<int>(args.flag_int("threads", 4));
-  opt.block = static_cast<int>(args.flag_int("block", 32));
-  const auto vname = args.flag("variant", "OpenMP-Block-relaxed");
-  opt.variant = micg::bfs::bfs_variant_from_name(vname);
-  const std::int64_t source =
-      args.flag_int("source", static_cast<long>(ag.num_vertices() / 2));
+  const auto ag = micg::api::load_graph(args.positional[0]);
+  const auto req = micg::api::bfs_request_from_args(args);
   micg::stopwatch sw;
   run_with_metrics(
-      metrics_path(args),
-      {{"tool", "micg bfs"},
-       {"graph", args.positional[0]},
-       {"layout", std::string(micg::graph::layout_name(ag.layout()))}},
+      metrics_path(args), kernel_meta("micg bfs", args.positional[0], ag),
       [&] {
-        ag.visit([&](const auto& g) {
-          using VId = typename std::decay_t<decltype(g)>::vertex_type;
-          const auto r =
-              micg::bfs::parallel_bfs(g, static_cast<VId>(source), opt);
-          std::cout << micg::bfs::bfs_variant_name(opt.variant) << ": "
-                    << r.num_levels << " levels, reached " << r.reached
-                    << "/" << g.num_vertices() << " in "
-                    << micg::table_printer::fmt(sw.millis()) << " ms\n";
-        });
+        const auto r = micg::api::run(ag, req);
+        std::cout << r.variant << ": " << r.num_levels << " levels, reached "
+                  << r.reached << "/" << r.num_vertices << " in "
+                  << micg::table_printer::fmt(sw.millis()) << " ms\n";
       });
   return 0;
 }
 
 int cmd_msbfs(const arg_parser& args) {
   if (args.positional.empty()) usage("msbfs needs FILE");
-  const auto ag = load_graph(args.positional[0]);
-  micg::bfs::msbfs_pool::options opt;
-  opt.ex.threads = static_cast<int>(args.flag_int("threads", 4));
-  opt.lanes = static_cast<int>(args.flag_int("lanes", 64));
-  const auto nsources = static_cast<std::int64_t>(
-      args.flag_int("sources", 64));
+  const auto ag = micg::api::load_graph(args.positional[0]);
+  const auto req = micg::api::msbfs_request_from_args(args);
   micg::stopwatch sw;
   run_with_metrics(
-      metrics_path(args),
-      {{"tool", "micg msbfs"},
-       {"graph", args.positional[0]},
-       {"layout", std::string(micg::graph::layout_name(ag.layout()))}},
+      metrics_path(args), kernel_meta("micg msbfs", args.positional[0], ag),
       [&] {
-        ag.visit([&](const auto& g) {
-          using VId = typename std::decay_t<decltype(g)>::vertex_type;
-          const auto n = static_cast<std::int64_t>(g.num_vertices());
-          const std::int64_t k = std::min(nsources, n);
-          std::vector<VId> sources(static_cast<std::size_t>(k));
-          for (std::int64_t i = 0; i < k; ++i) {
-            sources[static_cast<std::size_t>(i)] =
-                static_cast<VId>(i * n / std::max<std::int64_t>(k, 1));
-          }
-          const micg::bfs::msbfs_pool pool(opt);
-          std::atomic<long long> batches{0};
-          std::atomic<long long> reached{0};
-          std::atomic<long long> levels{0};
-          pool.for_each_batch(
-              g, std::span<const VId>(sources),
-              [&](const micg::bfs::msbfs_batch& batch,
-                  const micg::bfs::msbfs_result& res) {
-                batches.fetch_add(1, std::memory_order_relaxed);
-                long long r = 0, l = 0;
-                for (int lane = 0; lane < batch.lanes; ++lane) {
-                  r += static_cast<long long>(
-                      res.reached[static_cast<std::size_t>(lane)]);
-                  l += res.num_levels[static_cast<std::size_t>(lane)];
-                }
-                reached.fetch_add(r, std::memory_order_relaxed);
-                levels.fetch_add(l, std::memory_order_relaxed);
-              });
-          std::cout << "msbfs: " << k << " sources in " << batches.load()
-                    << " batches of <=" << opt.lanes << " lanes, avg "
-                    << micg::table_printer::fmt(
-                           static_cast<double>(levels.load()) /
-                           static_cast<double>(std::max<std::int64_t>(k, 1)))
-                    << " levels, avg reached "
-                    << micg::table_printer::fmt(
-                           static_cast<double>(reached.load()) /
-                           static_cast<double>(std::max<std::int64_t>(k, 1)))
-                    << "/" << g.num_vertices() << " in "
-                    << micg::table_printer::fmt(sw.millis()) << " ms\n";
-        });
+        const auto r = micg::api::run(ag, req);
+        const auto k = std::max<std::int64_t>(r.sources, 1);
+        std::cout << "msbfs: " << r.sources << " sources in " << r.batches
+                  << " batches of <=" << r.lanes << " lanes, avg "
+                  << micg::table_printer::fmt(
+                         static_cast<double>(r.levels_total) /
+                         static_cast<double>(k))
+                  << " levels, avg reached "
+                  << micg::table_printer::fmt(
+                         static_cast<double>(r.reached_total) /
+                         static_cast<double>(k))
+                  << "/" << r.num_vertices << " in "
+                  << micg::table_printer::fmt(sw.millis()) << " ms\n";
       });
   return 0;
 }
 
 int cmd_bc(const arg_parser& args) {
   if (args.positional.empty()) usage("bc needs FILE");
-  const auto ag = load_graph(args.positional[0]);
-  micg::bfs::centrality_options opt;
-  opt.ex.threads = static_cast<int>(args.flag_int("threads", 4));
-  opt.sample_sources = args.flag_int("samples", 0);
-  opt.batched = args.flag("mode", "batched") != "repeated";
-  opt.batch_lanes = static_cast<int>(args.flag_int("lanes", 64));
+  const auto ag = micg::api::load_graph(args.positional[0]);
+  const auto req = micg::api::bc_request_from_args(args);
   micg::stopwatch sw;
-  std::vector<double> bc;
+  micg::api::bc_response r;
   run_with_metrics(
-      metrics_path(args),
-      {{"tool", "micg bc"},
-       {"graph", args.positional[0]},
-       {"layout", std::string(micg::graph::layout_name(ag.layout()))}},
-      [&] {
-        ag.visit([&](const auto& g) {
-          bc = micg::bfs::betweenness_centrality(g, opt);
-        });
-      });
-  const auto top = static_cast<std::size_t>(args.flag_int("top", 5));
-  std::vector<std::size_t> idx(bc.size());
-  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  std::partial_sort(idx.begin(),
-                    idx.begin() + static_cast<std::ptrdiff_t>(
-                                      std::min(top, idx.size())),
-                    idx.end(), [&](std::size_t a, std::size_t b) {
-                      return bc[a] > bc[b];
-                    });
+      metrics_path(args), kernel_meta("micg bc", args.positional[0], ag),
+      [&] { r = micg::api::run(ag, req); });
   std::cout << "betweenness centrality ("
             << micg::table_printer::fmt(sw.millis()) << " ms):\n";
-  for (std::size_t i = 0; i < std::min(top, idx.size()); ++i) {
-    std::cout << "  #" << i + 1 << "  vertex " << idx[i] << "  bc="
-              << micg::table_printer::fmt(bc[idx[i]]) << "\n";
+  for (std::size_t i = 0; i < r.top.size(); ++i) {
+    std::cout << "  #" << i + 1 << "  vertex " << r.top[i].vertex << "  bc="
+              << micg::table_printer::fmt(r.top[i].score) << "\n";
   }
   return 0;
+}
+
+int cmd_pagerank(const arg_parser& args) {
+  if (args.positional.empty()) usage("pagerank needs FILE");
+  const auto ag = micg::api::load_graph(args.positional[0]);
+  const auto req = micg::api::pagerank_request_from_args(args);
+  micg::stopwatch sw;
+  micg::api::pagerank_response r;
+  run_with_metrics(
+      metrics_path(args),
+      kernel_meta("micg pagerank", args.positional[0], ag),
+      [&] { r = micg::api::run(ag, req); });
+  std::cout << "pagerank: " << r.iterations << " iterations, converged="
+            << (r.converged ? 1 : 0) << ", delta="
+            << micg::table_printer::fmt(r.final_delta) << " in "
+            << micg::table_printer::fmt(sw.millis()) << " ms\n";
+  for (std::size_t i = 0; i < r.top.size(); ++i) {
+    std::cout << "  #" << i + 1 << "  vertex " << r.top[i].vertex << "  pr="
+              << micg::table_printer::fmt(r.top[i].score) << "\n";
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// serve / query
+
+/// The running server, for the signal handlers. request_shutdown() is one
+/// shutdown(2) call, so it is safe from signal context.
+std::atomic<micg::serve::server*> g_server{nullptr};
+
+extern "C" void handle_stop_signal(int) {
+  micg::serve::server* srv = g_server.load();
+  if (srv != nullptr) srv->request_shutdown();
+}
+
+int cmd_serve(const arg_parser& args) {
+  micg::serve::server_options opt;
+  opt.listen = args.flag("listen", "");
+  if (opt.listen.empty()) usage("serve needs --listen ADDR");
+  opt.svc.max_inflight =
+      static_cast<int>(args.flag_int("max-inflight", opt.svc.max_inflight));
+  opt.svc.max_waiting =
+      static_cast<int>(args.flag_int("max-waiting", opt.svc.max_waiting));
+  opt.svc.threads_per_query = static_cast<int>(
+      args.flag_int("threads-per-query", opt.svc.threads_per_query));
+  opt.svc.default_deadline_ms =
+      args.flag_int("deadline-ms", opt.svc.default_deadline_ms);
+  opt.svc.compact_every =
+      args.flag_int("compact-every", opt.svc.compact_every);
+  opt.svc.max_frame_bytes = static_cast<std::size_t>(args.flag_int(
+      "max-frame-bytes",
+      static_cast<std::int64_t>(opt.svc.max_frame_bytes)));
+
+  micg::serve::graph_store store;
+  for (const auto& spec : args.flag_all("graph")) {
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos) usage("--graph needs NAME=PATH: " + spec);
+    store.add(spec.substr(0, eq), micg::api::load_graph(spec.substr(eq + 1)));
+  }
+  if (store.size() == 0) usage("serve needs at least one --graph NAME=PATH");
+
+  const std::string mpath = metrics_path(args);
+  micg::obs::recorder rec;
+  micg::obs::recorder* recp = mpath.empty() ? nullptr : &rec;
+
+  micg::serve::server srv(store, opt, recp);
+  srv.bind_and_listen();
+  g_server.store(&srv);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // a hung-up client must not kill the server
+
+  // The readiness line scripts wait for before dialing.
+  std::cout << "serving " << store.size() << " graph(s) on "
+            << srv.where().display() << std::endl;
+  srv.run();
+  g_server.store(nullptr);
+  std::cout << "shutdown complete\n";
+  if (recp != nullptr) {
+    rec.set_meta("tool", "micg serve");
+    rec.set_meta("listen", srv.where().display());
+    micg::obs::write_json_file(mpath, {rec.take()});
+    std::cout << "wrote metrics to " << mpath << "\n";
+  }
+  return 0;
+}
+
+int cmd_query(const arg_parser& args) {
+  const auto addr = args.flag("connect", "");
+  if (addr.empty()) usage("query needs --connect ADDR");
+  std::signal(SIGPIPE, SIG_IGN);
+  micg::serve::client cli(addr);
+
+  const auto script = args.flag("script", "");
+  if (!script.empty()) {
+    // Raw NDJSON pass-through: one request per input line, one response
+    // per output line — the integration tests' transport.
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (script != "-") {
+      file.open(script);
+      if (!file.good()) usage("cannot read script file: " + script);
+      in = &file;
+    }
+    std::string line;
+    while (std::getline(*in, line)) {
+      if (line.empty()) continue;
+      std::cout << cli.call_line(line) << "\n";
+    }
+    return 0;
+  }
+
+  if (args.positional.empty()) usage("query needs OP or --script FILE");
+  micg::api::json params;
+  const auto pstr = args.flag("params", "");
+  if (!pstr.empty()) params = micg::api::json::parse(pstr);
+  const auto resp =
+      cli.call(args.positional[0], args.flag("graph", ""), std::move(params),
+               args.flag_int("deadline-ms", 0), args.flag("id", ""));
+  std::cout << resp.dump() << "\n";
+  const micg::api::json* st = resp.find("status");
+  return st != nullptr && st->is_string() && st->as_string() == "ok" ? 0 : 1;
 }
 
 }  // namespace
@@ -411,8 +411,8 @@ int cmd_bc(const arg_parser& args) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
-  const arg_parser args(argc, argv, 2);
   try {
+    const arg_parser args(argc, argv, 2);
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "info") return cmd_info(args);
@@ -420,6 +420,11 @@ int main(int argc, char** argv) {
     if (cmd == "bfs") return cmd_bfs(args);
     if (cmd == "msbfs") return cmd_msbfs(args);
     if (cmd == "bc") return cmd_bc(args);
+    if (cmd == "pagerank") return cmd_pagerank(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "query") return cmd_query(args);
+  } catch (const micg::api::usage_error& e) {
+    usage(e.what());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

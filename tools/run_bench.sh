@@ -3,7 +3,11 @@
 # smoke-sized configuration with structured metrics enabled, then merge
 # the per-bench micg.metrics.v1 files into one baseline document.
 #
-# Usage: tools/run_bench.sh [output.json]
+# Also reproduces BENCH_serve.json: the serving-path latency series
+# (bench/serve_latency, p50/p99 per arrival rate with and without a
+# mutating writer) lands in a second document next to the baseline.
+#
+# Usage: tools/run_bench.sh [output.json] [serve_output.json]
 #   BUILD_DIR              build tree holding bench/ (default: build)
 #   MICG_SCALE             model-series graph scale       (default: 0.05)
 #   MICG_MEASURED_SCALE    measured-series graph scale    (default: 0.05)
@@ -26,6 +30,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_baseline.json}
+SERVE_OUT=${2:-BENCH_serve.json}
 
 if [ ! -x "$BUILD_DIR/bench/ablate_memlat" ]; then
   echo "error: $BUILD_DIR/bench/ablate_memlat not found — build with" >&2
@@ -80,4 +85,29 @@ best_ms = max(r["values"]["msbfs.throughput_speedup"] for r in msbfs)
 print(f"wrote {out}: {len(records)} records "
       f"({len(memlat)} memlat, best fast-path speedup {best:.2f}x, "
       f"best msbfs throughput {best_ms:.2f}x)")
+EOF
+
+"$BUILD_DIR/bench/serve_latency" --metrics-json "$SERVE_OUT"
+
+python3 - "$SERVE_OUT" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+assert doc["schema"] == "micg.metrics.v1", doc.get("schema")
+records = doc["records"]
+rates = {r["meta"]["config"] for r in records}
+steady = {c for c in rates if c.startswith("steady/")}
+mutating = {c for c in rates if c.startswith("mutating/")}
+assert len(steady) >= 3, f"need >=3 arrival rates, got {sorted(steady)}"
+assert len(mutating) >= 3, sorted(mutating)
+for r in records:
+    v = r["values"]
+    assert v["ok"] == v["requests"], (r["meta"], v)
+    assert 0 < v["p50_ms"] <= v["p99_ms"] <= v["max_ms"], v
+worst = max(r["values"]["p99_ms"] for r in records)
+print(f"wrote {path}: {len(records)} serve records over "
+      f"{len(steady)} rates (worst p99 {worst:.2f} ms)")
 EOF
