@@ -1,0 +1,197 @@
+// Shard-scaling series (extension): the bulk-synchronous sharded drivers
+// against their single-shard counterparts, swept over 1/2/4/8 shards.
+//
+// The paper scales one kernel across the cores of one chip; the natural
+// next axis is scaling across memory domains, where each shard streams
+// its own CSR from its own controller and pays messages for cut edges.
+// This harness measures that trade on one host — the per-shard pools all
+// share the same silicon here, so the measured series isolates the
+// *overhead* side (partition quality, exchange volume, barrier latency)
+// while the multi-socket machine model projects the *bandwidth* side a
+// real 4-socket box would add (docs/sharding.md).
+//
+// Hardware is held constant across the sweep: a run at S shards gives
+// each shard max(1, T/S) workers, so every configuration uses ~T threads
+// and the 1-shard row is the plain kernel at full parallelism.
+//
+// Reported per graph and shard count:
+//   * measured — wall-clock speedup vs the 1-shard run of the same
+//     kernel (BFS from |V|/2; pagerank at a fixed iteration count);
+//   * model:MultiSocket — shard_model_speedup() for the same workload
+//     (edges, measured cut fraction, measured round count) on the
+//     4-socket preset.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "micg/benchkit/benchkit.hpp"
+#include "micg/bfs/sharded.hpp"
+#include "micg/graph/any_csr.hpp"
+#include "micg/graph/generators.hpp"
+#include "micg/graph/shard.hpp"
+#include "micg/irregular/pagerank.hpp"
+#include "micg/irregular/sharded_pagerank.hpp"
+#include "micg/model/machine.hpp"
+#include "micg/model/shard_model.hpp"
+#include "micg/support/table.hpp"
+#include "micg/support/timer.hpp"
+
+namespace {
+
+using micg::benchkit::series;
+using micg::graph::any_csr;
+using micg::graph::csr_graph;
+
+constexpr int kPagerankIters = 20;
+
+/// Pagerank options pinned to a fixed iteration count so every
+/// configuration does identical numerical work.
+micg::irregular::pagerank_options pagerank_opts(int threads) {
+  micg::irregular::pagerank_options opt;
+  opt.ex.threads = threads;
+  opt.tolerance = 0.0;  // never converges early
+  opt.max_iterations = kPagerankIters;
+  return opt;
+}
+
+struct shard_timing {
+  double bfs_secs = 0.0;
+  double pagerank_secs = 0.0;
+  double bfs_rounds = 0.0;  ///< BSP rounds == BFS levels of the traversal
+};
+
+shard_timing run_sharded(const micg::graph::sharded_csr& sg,
+                         std::int64_t source, int threads_per_shard,
+                         int runs) {
+  shard_timing t;
+  micg::bfs::sharded_bfs_options bopt;
+  bopt.ex.threads = threads_per_shard;
+  t.bfs_rounds = static_cast<double>(
+      micg::bfs::sharded_bfs(sg, source, bopt).num_levels);
+  t.bfs_secs = micg::benchkit::time_stable(
+      [&] { (void)micg::bfs::sharded_bfs(sg, source, bopt); }, runs);
+  const auto popt = pagerank_opts(threads_per_shard);
+  t.pagerank_secs = micg::benchkit::time_stable(
+      [&] { (void)micg::irregular::sharded_pagerank(sg, popt); }, runs);
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  micg::stopwatch total;
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  const int threads_total = cfg.measured_threads.back();
+  const int runs = cfg.measured_runs;
+  const std::vector<int> shard_counts{1, 2, 4, 8};
+
+  // FEM suite plus an RMAT graph sized to the measured scale (the same
+  // graph slate as the other figure benches).
+  std::vector<std::pair<std::string, const csr_graph*>> graphs;
+  for (const auto& entry : micg::graph::table1_suite()) {
+    graphs.emplace_back(
+        entry.name,
+        &micg::benchkit::suite_graph(entry.name, cfg.measured_scale));
+  }
+  const int rmat_scale = std::max(
+      10, static_cast<int>(
+              std::lround(std::log2(cfg.measured_scale * 1048576.0))));
+  const csr_graph rmat = micg::graph::make_rmat(rmat_scale, 8, 0.57, 0.19,
+                                                0.19, 42);
+  graphs.emplace_back("rmat" + std::to_string(rmat_scale), &rmat);
+
+  std::cout << "Shard scaling: BSP sharded drivers vs single shard\n"
+               "(total threads=" << threads_total
+            << ", pagerank iterations=" << kPagerankIters
+            << ", scale=" << cfg.measured_scale << ")\n\n";
+
+  const auto model_machine = micg::model::machine_config::multi_socket();
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
+
+  std::vector<series> bfs_measured, pr_measured;
+  std::vector<series> bfs_model, pr_model;
+  std::vector<series> cut_series;
+  for (const auto& [name, gp] : graphs) {
+    const any_csr g(*gp);
+    const std::int64_t source = g.num_vertices() / 2;
+    std::vector<double> bfs_s, pr_s, bfs_m, pr_m, cuts;
+    shard_timing base;
+    for (const int shards : shard_counts) {
+      const auto sg = micg::graph::make_sharded(g, shards);
+      const int tps = std::max(1, threads_total / shards);
+      const shard_timing t = run_sharded(sg, source, tps, runs);
+      if (shards == 1) base = t;
+      const double bfs_speedup =
+          t.bfs_secs > 0.0 ? base.bfs_secs / t.bfs_secs : 0.0;
+      const double pr_speedup =
+          t.pagerank_secs > 0.0 ? base.pagerank_secs / t.pagerank_secs
+                                : 0.0;
+      bfs_s.push_back(bfs_speedup);
+      pr_s.push_back(pr_speedup);
+      cuts.push_back(sg.cut_fraction());
+
+      micg::model::shard_workload w;
+      w.directed_edges = static_cast<double>(g.num_directed_edges());
+      w.cut_fraction = sg.cut_fraction();
+      w.rounds = t.bfs_rounds;
+      bfs_m.push_back(
+          micg::model::shard_model_speedup(model_machine, w, shards));
+      w.rounds = kPagerankIters;
+      pr_m.push_back(
+          micg::model::shard_model_speedup(model_machine, w, shards));
+
+      if (sink.enabled()) {
+        micg::benchkit::record_run(
+            sink,
+            {{"bench", "fig_shard"},
+             {"graph", name},
+             {"shards", std::to_string(shards)},
+             {"threads_per_shard", std::to_string(tps)}},
+            [&] {
+              micg::bfs::sharded_bfs_options opt;
+              opt.ex.threads = tps;
+              (void)micg::bfs::sharded_bfs(sg, source, opt);
+              if (auto* rec = micg::obs::recorder::global()) {
+                rec->set_value("shard.cut_fraction", sg.cut_fraction());
+                rec->set_value("shard.bfs_secs", t.bfs_secs);
+                rec->set_value("shard.pagerank_secs", t.pagerank_secs);
+                rec->set_value("shard.bfs_speedup_vs_1shard", bfs_speedup);
+                rec->set_value("shard.pagerank_speedup_vs_1shard",
+                               pr_speedup);
+                rec->set_value("shard.model_bfs_speedup", bfs_m.back());
+                rec->set_value("shard.model_pagerank_speedup",
+                               pr_m.back());
+              }
+            });
+      }
+    }
+    bfs_measured.push_back({name, std::move(bfs_s)});
+    pr_measured.push_back({name, std::move(pr_s)});
+    bfs_model.push_back({name, std::move(bfs_m)});
+    pr_model.push_back({name, std::move(pr_m)});
+    cut_series.push_back({name, std::move(cuts)});
+  }
+
+  micg::benchkit::print_figure(
+      "Shard scaling measured: BFS speedup vs 1 shard (rows = shards)",
+      shard_counts, bfs_measured);
+  micg::benchkit::print_figure(
+      "Shard scaling measured: pagerank speedup vs 1 shard (rows = shards)",
+      shard_counts, pr_measured);
+  micg::benchkit::print_figure(
+      "Shard scaling model:MultiSocket: projected BFS speedup",
+      shard_counts, bfs_model);
+  micg::benchkit::print_figure(
+      "Shard scaling model:MultiSocket: projected pagerank speedup",
+      shard_counts, pr_model);
+  micg::benchkit::print_figure(
+      "Partition quality: cut fraction (rows = shards)", shard_counts,
+      cut_series);
+
+  std::cout << "[fig_shard] done in "
+            << micg::table_printer::fmt(total.seconds(), 1) << "s\n";
+  return 0;
+}

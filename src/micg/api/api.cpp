@@ -8,12 +8,15 @@
 #include "micg/bfs/centrality.hpp"
 #include "micg/bfs/layered.hpp"
 #include "micg/bfs/msbfs.hpp"
+#include "micg/bfs/sharded.hpp"
 #include "micg/color/distance2.hpp"
 #include "micg/color/iterative.hpp"
 #include "micg/color/ordering.hpp"
 #include "micg/color/verify.hpp"
 #include "micg/graph/props.hpp"
+#include "micg/graph/shard.hpp"
 #include "micg/irregular/pagerank.hpp"
+#include "micg/irregular/sharded_pagerank.hpp"
 
 namespace micg::api {
 
@@ -135,6 +138,8 @@ rt::exec resolve_exec(const exec_params& p, const run_context& ctx) {
   MICG_CHECK(p.threads >= 1 && p.threads <= 4096,
              "threads must be in [1, 4096]");
   MICG_CHECK(p.chunk >= 1, "chunk must be >= 1");
+  MICG_CHECK(p.shards >= 1 && p.shards <= graph::max_shards,
+             "shards must be in [1, 256]");
   rt::exec e;
   e.kind = rt::backend_from_name(p.backend);
   e.threads = p.threads;
@@ -142,6 +147,7 @@ rt::exec resolve_exec(const exec_params& p, const run_context& ctx) {
     e.threads = ctx.max_threads;
   }
   e.chunk = p.chunk;
+  e.shards = p.shards;
   e.pool = ctx.pool;
   e.rec = ctx.rec;
   return e;
@@ -150,7 +156,8 @@ rt::exec resolve_exec(const exec_params& p, const run_context& ctx) {
 json to_json(const exec_params& p) {
   return json(json_object{{"backend", json(p.backend)},
                           {"threads", json(p.threads)},
-                          {"chunk", json(p.chunk)}});
+                          {"chunk", json(p.chunk)},
+                          {"shards", json(p.shards)}});
 }
 
 exec_params exec_params_from_json(const json& v, const exec_params& dflt) {
@@ -158,6 +165,7 @@ exec_params exec_params_from_json(const json& v, const exec_params& dflt) {
   p.backend = get_string(v, "backend", dflt.backend);
   p.threads = static_cast<int>(get_int(v, "threads", dflt.threads));
   p.chunk = get_int(v, "chunk", dflt.chunk);
+  p.shards = static_cast<int>(get_int(v, "shards", dflt.shards));
   return p;
 }
 
@@ -167,14 +175,17 @@ exec_params exec_params_from_args(const arg_parser& args,
   p.backend = args.flag("backend", dflt.backend);
   p.threads = static_cast<int>(args.flag_int("threads", dflt.threads));
   p.chunk = args.flag_int("chunk", dflt.chunk);
+  p.shards = static_cast<int>(args.flag_int("shards", dflt.shards));
   return p;
 }
 
 // ---------------------------------------------------------------------------
 // info
 
-info_response run(const graph::any_csr& g, const info_request&,
-                  const run_context&) {
+info_response run(const graph::any_csr& g, const info_request& req,
+                  const run_context& ctx) {
+  MICG_CHECK(req.shards >= 1 && req.shards <= graph::max_shards,
+             "shards must be in [1, 256]");
   info_response r;
   r.layout = graph::layout_name(g.layout());
   g.visit([&](const auto& cg) {
@@ -190,11 +201,25 @@ info_response run(const graph::any_csr& g, const info_request&,
     r.bfs_levels_from_mid = graph::count_bfs_levels(
         cg, cg.num_vertices() / 2);
   });
+  r.shards = req.shards;
+  r.epoch = ctx.snapshot_epoch;
+  if (req.shards > 1) {
+    const auto sg = graph::make_sharded(g, static_cast<int>(req.shards));
+    for (int s = 0; s < sg.shards(); ++s) {
+      r.shard_vertices.push_back(sg.part(s).num_owned());
+      r.shard_edges.push_back(sg.part(s).owned_directed_edges);
+    }
+    r.cut_edges = sg.cut_edges();
+    r.cut_fraction = sg.cut_fraction();
+  } else {
+    r.shard_vertices.push_back(r.num_vertices);
+    r.shard_edges.push_back(g.num_directed_edges());
+  }
   return r;
 }
 
 json to_json(const info_response& r) {
-  return json(json_object{
+  json out(json_object{
       {"layout", json(r.layout)},
       {"num_vertices", json(r.num_vertices)},
       {"num_edges", json(r.num_edges)},
@@ -203,15 +228,28 @@ json to_json(const info_response& r) {
       {"avg_degree", json(r.avg_degree)},
       {"components", json(r.components)},
       {"degeneracy", json(r.degeneracy)},
-      {"bfs_levels_from_mid", json(r.bfs_levels_from_mid)}});
+      {"bfs_levels_from_mid", json(r.bfs_levels_from_mid)},
+      {"shards", json(r.shards)},
+      {"shard_vertices", int_array_json(r.shard_vertices)},
+      {"shard_edges", int_array_json(r.shard_edges)},
+      {"cut_edges", json(r.cut_edges)},
+      {"cut_fraction", json(r.cut_fraction)}});
+  if (r.epoch >= 0) out.set("epoch", json(r.epoch));
+  return out;
 }
 
 info_request info_request_from_json(const json& v) {
   check_params_shape(v);
-  return {};
+  info_request req;
+  req.shards = get_int(v, "shards", req.shards);
+  return req;
 }
 
-info_request info_request_from_args(const arg_parser&) { return {}; }
+info_request info_request_from_args(const arg_parser& args) {
+  info_request req;
+  req.shards = args.flag_int("shards", req.shards);
+  return req;
+}
 
 // ---------------------------------------------------------------------------
 // bfs
@@ -231,6 +269,24 @@ bfs_response run(const graph::any_csr& g, const bfs_request& req,
   MICG_CHECK(source < n, "source vertex out of range");
   for (const auto t : req.targets) {
     MICG_CHECK(t >= 0 && t < n, "target vertex out of range");
+  }
+  if (opt.ex.shards > 1) {
+    // Sharded BSP path: partition, run the bulk-synchronous driver (one
+    // thread pool per shard; the variant's queue flavor does not apply),
+    // same levels as every other variant.
+    const auto sg = graph::make_sharded(g, opt.ex.shards);
+    micg::bfs::sharded_bfs_options sopt;
+    sopt.ex = opt.ex;
+    const auto res = micg::bfs::sharded_bfs(sg, source, sopt);
+    r.num_levels = res.num_levels;
+    r.reached = static_cast<std::int64_t>(res.reached);
+    for (const auto t : req.targets) {
+      r.target_levels.push_back(res.level[static_cast<std::size_t>(t)]);
+    }
+    r.variant = "BSP-sharded";
+    r.source = source;
+    r.num_vertices = n;
+    return r;
   }
   g.visit([&](const auto& cg) {
     using VId = typename std::decay_t<decltype(cg)>::vertex_type;
@@ -480,6 +536,15 @@ pagerank_response run(const graph::any_csr& g, const pagerank_request& req,
   opt.damping = req.damping;
   opt.tolerance = req.tolerance;
   opt.max_iterations = static_cast<int>(req.max_iterations);
+  if (opt.ex.shards > 1) {
+    const auto sg = graph::make_sharded(g, opt.ex.shards);
+    const auto res = micg::irregular::sharded_pagerank(sg, opt);
+    r.iterations = res.iterations;
+    r.converged = res.converged;
+    r.final_delta = res.final_delta;
+    r.top = top_entries(res.rank, req.top);
+    return r;
+  }
   g.visit([&](const auto& cg) {
     const auto res = micg::irregular::pagerank(cg, opt);
     r.iterations = res.iterations;

@@ -60,6 +60,11 @@ struct exec_params {
   std::string backend = "OpenMP-dynamic";
   int threads = 4;
   std::int64_t chunk = 64;
+  /// Shards for the bulk-synchronous drivers (graph/shard.hpp): 1 runs
+  /// the plain kernels; N > 1 partitions the graph and runs the sharded
+  /// BFS/pagerank drivers with `threads` workers per shard. Wire field
+  /// "shards", CLI flag --shards.
+  int shards = 1;
 
   /// Resolve to an rt::exec (validates the backend name and ranges).
   [[nodiscard]] rt::exec to_exec() const;
@@ -74,6 +79,10 @@ struct run_context {
   rt::thread_pool* pool = nullptr;  ///< nullptr = thread_pool::global()
   int max_threads = 0;              ///< clamp request threads; 0 = no cap
   obs::recorder* rec = nullptr;     ///< explicit metrics sink
+  /// Snapshot epoch of the graph being queried; the serve layer sets it
+  /// from the pinned snapshot so responses (info) can report which
+  /// version answered. Negative = unversioned (CLI, direct library use).
+  std::int64_t snapshot_epoch = -1;
 };
 
 /// exec_params + run_context -> the rt::exec the kernels receive.
@@ -90,7 +99,11 @@ exec_params exec_params_from_args(const arg_parser& args,
 // ---------------------------------------------------------------------------
 // info
 
-struct info_request {};
+struct info_request {
+  /// Report the edge-balanced shard partition at this count (per-shard
+  /// sizes, cut edges). 1 = the trivial single-shard view.
+  std::int64_t shards = 1;
+};
 
 struct info_response {
   std::string layout;
@@ -103,6 +116,15 @@ struct info_response {
   std::int64_t degeneracy = 0;
   /// BFS levels of a traversal from vertex |V|/2 (Table I convention).
   std::int64_t bfs_levels_from_mid = 0;
+  /// Shard partition report at the requested count.
+  std::int64_t shards = 1;
+  std::vector<std::int64_t> shard_vertices;  ///< owned vertices per shard
+  std::vector<std::int64_t> shard_edges;     ///< owned adjacency entries
+  std::int64_t cut_edges = 0;  ///< undirected edges crossing shards
+  double cut_fraction = 0.0;
+  /// Snapshot epoch of the graph answered from (run_context); -1 when the
+  /// graph is not versioned (CLI, direct library use).
+  std::int64_t epoch = -1;
 };
 
 info_response run(const graph::any_csr& g, const info_request& req,

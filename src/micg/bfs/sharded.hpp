@@ -1,0 +1,33 @@
+// Bulk-synchronous sharded BFS.
+//
+// Level-synchronous BFS over a graph::sharded_csr: each shard expands its
+// owned slice of the frontier on its own thread pool; discoveries of
+// remote vertices travel as global-id messages through a
+// rt::mailbox_grid, swapped at the round barrier. Because expansion is
+// level-synchronous — a message sent in round d can only label a vertex
+// with level d — the computed levels are *exactly* those of seq_bfs for
+// every shard count (the property tests pin this across layouts, shard
+// counts, and generator families).
+#pragma once
+
+#include <cstdint>
+
+#include "micg/bfs/seq.hpp"
+#include "micg/graph/shard.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::bfs {
+
+struct sharded_bfs_options {
+  /// Per-shard execution: `ex.threads` workers per shard on a private
+  /// pool; kind/chunk apply to each shard's frontier loop. ex.shards is
+  /// ignored here — the shard count comes from the partitioned graph.
+  rt::exec ex;
+};
+
+/// Run BSP BFS from global vertex `source` over a partitioned graph.
+/// Levels are identical to seq_bfs on the unpartitioned graph.
+bfs_result sharded_bfs(const graph::sharded_csr& sg, std::int64_t source,
+                       const sharded_bfs_options& opt);
+
+}  // namespace micg::bfs

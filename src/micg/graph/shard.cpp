@@ -1,0 +1,231 @@
+#include "micg/graph/shard.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "micg/graph/builder.hpp"
+
+namespace micg::graph {
+
+int shard_plan::owner(std::int64_t gv) const {
+  MICG_ASSERT(gv >= 0 && gv < starts.back());
+  const auto it = std::upper_bound(starts.begin(), starts.end(), gv);
+  return static_cast<int>(it - starts.begin()) - 1;
+}
+
+std::int64_t shard_part::local_of_global(std::int64_t gv) const {
+  if (owns_global(gv)) {
+    return owned_local_begin + (gv - owned_begin);
+  }
+  const auto it = std::lower_bound(l2g.begin(), l2g.end(), gv);
+  MICG_CHECK(it != l2g.end() && *it == gv,
+             "global vertex not present in this shard");
+  return static_cast<std::int64_t>(it - l2g.begin());
+}
+
+namespace {
+
+/// The edge-balanced boundary rule of rt::for_range_edges, applied once to
+/// place shard boundaries: shard c covers adjacency entries
+/// ~[c*total/shards, (c+1)*total/shards), rows never split.
+template <class EId>
+std::vector<std::int64_t> balanced_starts(const std::vector<EId>& xadj,
+                                          std::int64_t n, int shards) {
+  std::vector<std::int64_t> starts(static_cast<std::size_t>(shards) + 1);
+  starts.front() = 0;
+  starts.back() = n;
+  const auto total = static_cast<std::int64_t>(xadj[static_cast<std::size_t>(n)]);
+  for (int c = 1; c < shards; ++c) {
+    if (total <= 0) {
+      // Edgeless graph: fall back to an even vertex split.
+      starts[static_cast<std::size_t>(c)] =
+          n * c / shards;
+      continue;
+    }
+    const auto target = static_cast<EId>(static_cast<std::int64_t>(
+        static_cast<__int128>(total) * c / shards));
+    const auto it = std::upper_bound(xadj.begin(), xadj.end(), target);
+    auto v = static_cast<std::int64_t>(it - xadj.begin()) - 1;
+    v = std::clamp(v, starts[static_cast<std::size_t>(c) - 1], n);
+    starts[static_cast<std::size_t>(c)] = v;
+  }
+  return starts;
+}
+
+}  // namespace
+
+shard_plan make_shard_plan(const any_csr& g, int shards) {
+  MICG_CHECK(shards >= 1 && shards <= max_shards,
+             "shard count must be in [1, 256]");
+  shard_plan plan;
+  const std::int64_t n = g.num_vertices();
+  g.visit([&](const auto& cg) {
+    plan.starts = balanced_starts(cg.xadj(), n, shards);
+  });
+  return plan;
+}
+
+sharded_csr make_sharded(const any_csr& g, int shards) {
+  const shard_plan plan = make_shard_plan(g, shards);
+  const std::int64_t n = g.num_vertices();
+  std::vector<shard_part> parts(static_cast<std::size_t>(shards));
+  std::int64_t cut_directed_total = 0;
+
+  g.visit([&](const auto& cg) {
+    for (int s = 0; s < shards; ++s) {
+      shard_part& part = parts[static_cast<std::size_t>(s)];
+      part.owned_begin = plan.starts[static_cast<std::size_t>(s)];
+      part.owned_end = plan.starts[static_cast<std::size_t>(s) + 1];
+
+      // Ghosts: every off-shard neighbor of an owned row, deduplicated.
+      std::vector<std::int64_t> ghosts;
+      for (std::int64_t v = part.owned_begin; v < part.owned_end; ++v) {
+        for (const auto w : cg.neighbors(
+                 static_cast<typename std::decay_t<decltype(cg)>::vertex_type>(
+                     v))) {
+          const auto gw = static_cast<std::int64_t>(w);
+          part.owned_directed_edges += 1;
+          if (gw < part.owned_begin || gw >= part.owned_end) {
+            part.cut_directed_edges += 1;
+            ghosts.push_back(gw);
+          }
+        }
+      }
+      std::sort(ghosts.begin(), ghosts.end());
+      ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+
+      // Local id space in ascending global order: ghosts below the owned
+      // range, then the owned block, then ghosts above it. The monotone
+      // map keeps every local adjacency sorted like its global adjacency.
+      const auto below = static_cast<std::int64_t>(
+          std::lower_bound(ghosts.begin(), ghosts.end(), part.owned_begin) -
+          ghosts.begin());
+      part.owned_local_begin = below;
+      part.l2g.clear();
+      part.l2g.reserve(ghosts.size() +
+                       static_cast<std::size_t>(part.num_owned()));
+      for (std::int64_t i = 0; i < below; ++i) {
+        part.l2g.push_back(ghosts[static_cast<std::size_t>(i)]);
+      }
+      for (std::int64_t v = part.owned_begin; v < part.owned_end; ++v) {
+        part.l2g.push_back(v);
+      }
+      for (std::size_t i = static_cast<std::size_t>(below); i < ghosts.size();
+           ++i) {
+        part.l2g.push_back(ghosts[i]);
+      }
+
+      // Pack the shard subgraph at its own narrowest layout. Owned-owned
+      // edges are added once (u < w); owned-ghost edges once — the
+      // builder's symmetrization materializes the ghost rows.
+      basic_builder<std::int64_t, std::int64_t> b(part.num_local());
+      b.reserve(static_cast<std::size_t>(part.owned_directed_edges));
+      for (std::int64_t v = part.owned_begin; v < part.owned_end; ++v) {
+        const std::int64_t lv = part.local_of_global(v);
+        for (const auto w : cg.neighbors(
+                 static_cast<typename std::decay_t<decltype(cg)>::vertex_type>(
+                     v))) {
+          const auto gw = static_cast<std::int64_t>(w);
+          if (part.owns_global(gw)) {
+            if (v < gw) b.add_edge(lv, part.local_of_global(gw));
+          } else {
+            b.add_edge(lv, part.local_of_global(gw));
+          }
+        }
+      }
+      part.csr = build_auto(std::move(b));
+      cut_directed_total += part.cut_directed_edges;
+    }
+  });
+
+  // Halo lists: shard t's ghost list, grouped by owner, is exactly what
+  // each owner must send it — enumerate ghosts once and record both sides
+  // in the same (ascending global) order.
+  for (int t = 0; t < shards; ++t) {
+    shard_part& pt = parts[static_cast<std::size_t>(t)];
+    pt.send_local.assign(static_cast<std::size_t>(shards), {});
+    pt.recv_local.assign(static_cast<std::size_t>(shards), {});
+  }
+  for (int t = 0; t < shards; ++t) {
+    shard_part& pt = parts[static_cast<std::size_t>(t)];
+    for (std::int64_t lv = 0; lv < pt.num_local(); ++lv) {
+      const std::int64_t gv = pt.global_of_local(lv);
+      if (pt.owns_global(gv)) continue;
+      const int s = plan.owner(gv);
+      shard_part& ps = parts[static_cast<std::size_t>(s)];
+      ps.send_local[static_cast<std::size_t>(t)].push_back(
+          ps.local_of_global(gv));
+      pt.recv_local[static_cast<std::size_t>(s)].push_back(lv);
+    }
+  }
+
+  return sharded_csr(plan, std::move(parts), n, g.num_edges(),
+                     cut_directed_total / 2);
+}
+
+void sharded_csr::validate(const any_csr& original) const {
+  MICG_CHECK(plan_.starts.front() == 0 &&
+                 plan_.starts.back() == num_vertices_,
+             "shard plan must cover [0, |V|)");
+  std::int64_t owned_total = 0;
+  std::int64_t owned_directed_total = 0;
+  std::int64_t cut_directed_total = 0;
+  for (int s = 0; s < shards(); ++s) {
+    const shard_part& p = part(s);
+    MICG_CHECK(p.owned_begin == plan_.starts[static_cast<std::size_t>(s)] &&
+                   p.owned_end ==
+                       plan_.starts[static_cast<std::size_t>(s) + 1],
+               "shard range disagrees with the plan");
+    MICG_CHECK(std::is_sorted(p.l2g.begin(), p.l2g.end()) &&
+                   std::adjacent_find(p.l2g.begin(), p.l2g.end()) ==
+                       p.l2g.end(),
+               "local->global map must be strictly increasing");
+    MICG_CHECK(p.csr.num_vertices() == p.num_local(),
+               "shard CSR size disagrees with the remap table");
+    owned_total += p.num_owned();
+    owned_directed_total += p.owned_directed_edges;
+    cut_directed_total += p.cut_directed_edges;
+    // Owned rows must keep their global degree; the round-trip remap must
+    // be the identity.
+    original.visit([&](const auto& cg) {
+      p.csr.visit([&](const auto& sc) {
+        for (std::int64_t v = p.owned_begin; v < p.owned_end; ++v) {
+          const std::int64_t lv = p.local_of_global(v);
+          MICG_CHECK(p.global_of_local(lv) == v, "remap round trip broken");
+          using GV = typename std::decay_t<decltype(cg)>::vertex_type;
+          using LV = typename std::decay_t<decltype(sc)>::vertex_type;
+          const auto gn = cg.neighbors(static_cast<GV>(v));
+          const auto ln = sc.neighbors(static_cast<LV>(lv));
+          MICG_CHECK(gn.size() == ln.size(),
+                     "owned row lost edges in the shard packing");
+          for (std::size_t i = 0; i < gn.size(); ++i) {
+            MICG_CHECK(p.global_of_local(static_cast<std::int64_t>(ln[i])) ==
+                           static_cast<std::int64_t>(gn[i]),
+                       "owned row adjacency order changed");
+          }
+        }
+      });
+    });
+    // Halo symmetry: what s sends to t is what t receives from s, same
+    // vertices, same order.
+    for (int t = 0; t < shards(); ++t) {
+      const auto& send = p.send_local[static_cast<std::size_t>(t)];
+      const auto& recv =
+          part(t).recv_local[static_cast<std::size_t>(s)];
+      MICG_CHECK(send.size() == recv.size(), "halo lists disagree in size");
+      for (std::size_t i = 0; i < send.size(); ++i) {
+        MICG_CHECK(p.global_of_local(send[i]) ==
+                       part(t).global_of_local(recv[i]),
+                   "halo lists disagree in order");
+      }
+    }
+  }
+  MICG_CHECK(owned_total == num_vertices_, "shards must cover every vertex");
+  MICG_CHECK(owned_directed_total == original.num_directed_edges(),
+             "shards must cover every directed edge exactly once");
+  MICG_CHECK(cut_directed_total == 2 * cut_edges_,
+             "cut accounting out of sync");
+}
+
+}  // namespace micg::graph

@@ -1,0 +1,150 @@
+// Graph sharding: partition the vertex set across N per-shard CSRs so the
+// bulk-synchronous kernels in bfs/sharded.hpp and
+// irregular/sharded_pagerank.hpp can run each shard on its own thread pool
+// and exchange only boundary traffic between rounds.
+//
+// Partition rule — the edge-balanced cut from rt/edge_partition.hpp lifted
+// from loop chunks to shard ownership: shard s owns the contiguous global
+// id range [starts[s], starts[s+1]) placed by binary-searching the offset
+// array so every shard holds ~equal adjacency entries (rows are never
+// split; a hub row heavier than a whole shard gets a shard of its own).
+//
+// Per-shard packing: each shard's subgraph is rebuilt through
+// basic_builder/build_auto at the narrowest layout that fits it, over a
+// *local* id space covering the owned range plus every remote neighbor
+// (ghost). Local ids are assigned in ascending global order, so the
+// global→local map is monotone: a row's local adjacency is sorted exactly
+// like its global adjacency, and the floating-point kernels accumulate in
+// the same order as their single-shard counterparts.
+//
+// Ghost rows carry only their edges back into the shard (the symmetrized
+// half of each cut edge); they are never iterated as sources. The halo
+// lists (send_local/recv_local) are the static counterpart for
+// value-exchange kernels: send_local[t] in shard s and recv_local[s] in
+// shard t enumerate the same vertices in the same (ascending global)
+// order, so a contribution exchange is one linear gather + one linear
+// scatter per shard pair and round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "micg/graph/any_csr.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::graph {
+
+/// Hard cap on the shard count accepted by make_sharded (and the
+/// --shards option): enough for any plausible socket topology while
+/// keeping the N^2 mailbox/halo grids trivially small.
+inline constexpr int max_shards = 256;
+
+/// The ownership map: shard s owns global ids [starts[s], starts[s+1]).
+struct shard_plan {
+  std::vector<std::int64_t> starts;  ///< size shards()+1; starts[0] == 0
+
+  [[nodiscard]] int shards() const {
+    return static_cast<int>(starts.size()) - 1;
+  }
+
+  /// Owning shard of global vertex `gv` (binary search over starts).
+  [[nodiscard]] int owner(std::int64_t gv) const;
+};
+
+/// Edge-balanced contiguous partition of `g` into `shards` ranges (some
+/// may be empty on tiny or extremely skewed graphs).
+shard_plan make_shard_plan(const any_csr& g, int shards);
+
+/// One shard: its packed subgraph plus the remap and halo tables.
+struct shard_part {
+  /// Local subgraph at the narrowest layout that fits it. Rows of owned
+  /// vertices are complete (local degree == global degree); ghost rows
+  /// hold only their cut edges back into this shard.
+  any_csr csr;
+  /// local id -> global id, ascending (the map is monotone).
+  std::vector<std::int64_t> l2g;
+  /// Owned global id range [owned_begin, owned_end).
+  std::int64_t owned_begin = 0;
+  std::int64_t owned_end = 0;
+  /// Owned vertices occupy the contiguous local range
+  /// [owned_local_begin, owned_local_begin + num_owned()): ghosts with
+  /// smaller global ids sort below the owned block, larger ones above.
+  std::int64_t owned_local_begin = 0;
+  /// Adjacency entries of owned rows (sum of owned global degrees).
+  std::int64_t owned_directed_edges = 0;
+  /// Owned-row adjacency entries whose neighbor lives on another shard.
+  std::int64_t cut_directed_edges = 0;
+  /// send_local[t]: local ids (here) of owned vertices shard t reads each
+  /// round, ascending global order; empty for t == self.
+  std::vector<std::vector<std::int64_t>> send_local;
+  /// recv_local[s]: local ids (here) of ghosts owned by shard s, in
+  /// exactly the order shard s enumerates them in its send_local[self].
+  std::vector<std::vector<std::int64_t>> recv_local;
+
+  [[nodiscard]] std::int64_t num_owned() const {
+    return owned_end - owned_begin;
+  }
+  [[nodiscard]] std::int64_t num_local() const {
+    return static_cast<std::int64_t>(l2g.size());
+  }
+  [[nodiscard]] bool owns_global(std::int64_t gv) const {
+    return gv >= owned_begin && gv < owned_end;
+  }
+  /// Global id of local vertex `lv`.
+  [[nodiscard]] std::int64_t global_of_local(std::int64_t lv) const {
+    return l2g[static_cast<std::size_t>(lv)];
+  }
+  /// Local id of global vertex `gv`: O(1) for owned ids, binary search
+  /// over l2g for ghosts. `gv` must be present in this shard.
+  [[nodiscard]] std::int64_t local_of_global(std::int64_t gv) const;
+};
+
+/// A graph partitioned for bulk-synchronous execution.
+class sharded_csr {
+ public:
+  sharded_csr() = default;
+  sharded_csr(shard_plan plan, std::vector<shard_part> parts,
+              std::int64_t num_vertices, std::int64_t num_edges,
+              std::int64_t cut_edges)
+      : plan_(std::move(plan)),
+        parts_(std::move(parts)),
+        num_vertices_(num_vertices),
+        num_edges_(num_edges),
+        cut_edges_(cut_edges) {}
+
+  [[nodiscard]] int shards() const { return plan_.shards(); }
+  [[nodiscard]] const shard_plan& plan() const { return plan_; }
+  [[nodiscard]] const shard_part& part(int s) const {
+    return parts_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] int owner(std::int64_t gv) const { return plan_.owner(gv); }
+
+  [[nodiscard]] std::int64_t num_vertices() const { return num_vertices_; }
+  /// Undirected edge count of the whole graph.
+  [[nodiscard]] std::int64_t num_edges() const { return num_edges_; }
+  /// Undirected edges whose endpoints live on different shards.
+  [[nodiscard]] std::int64_t cut_edges() const { return cut_edges_; }
+  [[nodiscard]] double cut_fraction() const {
+    return num_edges_ > 0
+               ? static_cast<double>(cut_edges_) /
+                     static_cast<double>(num_edges_)
+               : 0.0;
+  }
+
+  /// Re-checks the cross-shard invariants (remap monotonicity, halo list
+  /// symmetry, degree preservation); throws micg::check_error on
+  /// violation. O(|V| + |E|).
+  void validate(const any_csr& original) const;
+
+ private:
+  shard_plan plan_;
+  std::vector<shard_part> parts_;
+  std::int64_t num_vertices_ = 0;
+  std::int64_t num_edges_ = 0;
+  std::int64_t cut_edges_ = 0;
+};
+
+/// Partition `g` into `shards` per-shard CSRs (1 <= shards <= max_shards).
+sharded_csr make_sharded(const any_csr& g, int shards);
+
+}  // namespace micg::graph

@@ -1,0 +1,214 @@
+#include "micg/irregular/sharded_pagerank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "micg/obs/obs.hpp"
+#include "micg/rt/shard_exec.hpp"
+#include "micg/rt/tls.hpp"
+#include "micg/support/assert.hpp"
+#include "micg/support/prefetch.hpp"
+#include "micg/support/simd.hpp"
+
+namespace micg::irregular {
+
+pagerank_result sharded_pagerank(const graph::sharded_csr& sg,
+                                 const pagerank_options& opt) {
+  const std::int64_t n = sg.num_vertices();
+  MICG_CHECK(n > 0, "pagerank needs a non-empty graph");
+  MICG_CHECK(opt.damping > 0.0 && opt.damping < 1.0,
+             "damping must be in (0, 1)");
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
+  MICG_CHECK(opt.mem.prefetch_distance >= 0,
+             "prefetch distance must be non-negative");
+  const int shards = sg.shards();
+
+  rt::shard_group group(shards, opt.ex);
+  // One staging lane per shard pair: the halo gather is a serial linear
+  // copy per pair, so per-worker lanes would only fragment it.
+  rt::mailbox_grid<double> mail(shards, 1);
+
+  const double init = 1.0 / static_cast<double>(n);
+  // Shard-local arrays over local ids. rank/next are maintained on the
+  // owned range only; contrib covers the whole local space — the owned
+  // part computed here, the ghost part scattered in from the mailboxes.
+  std::vector<std::vector<double>> rank(static_cast<std::size_t>(shards));
+  std::vector<std::vector<double>> next(static_cast<std::size_t>(shards));
+  std::vector<std::vector<double>> contrib(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    const auto nl = static_cast<std::size_t>(sg.part(s).num_local());
+    rank[static_cast<std::size_t>(s)].assign(nl, init);
+    next[static_cast<std::size_t>(s)].assign(nl, 0.0);
+    contrib[static_cast<std::size_t>(s)].assign(nl, 0.0);
+  }
+
+  // Per-shard partials, published before / read after a barrier. Every
+  // shard folds them in the same (shard-index) order, so all shards see
+  // the same dangling mass, the same delta, and make the same
+  // continue/stop decision each iteration.
+  std::vector<double> dangling_parts(static_cast<std::size_t>(shards), 0.0);
+  std::vector<double> delta_parts(static_cast<std::size_t>(shards), 0.0);
+  std::uint64_t exchanged_total = 0;
+  pagerank_result r;
+
+  group.run([&](int s) {
+    const graph::shard_part& p = sg.part(s);
+    rt::exec ex = group.shard_exec(s);
+    auto& rk = rank[static_cast<std::size_t>(s)];
+    auto& nx = next[static_cast<std::size_t>(s)];
+    auto& ct = contrib[static_cast<std::size_t>(s)];
+    const std::int64_t owned_lo = p.owned_local_begin;
+    const std::int64_t owned_hi = owned_lo + p.num_owned();
+    rt::combinable<double> dangling_acc(ex.threads);
+    rt::combinable<double> delta_acc(ex.threads);
+
+    p.csr.visit([&](const auto& sc) {
+      using EId = typename std::decay_t<decltype(sc)>::edge_type;
+      const EId* xadj = sc.xadj().data();
+      const auto* adj = sc.adj().data();
+      const auto dist = static_cast<EId>(opt.mem.prefetch_distance);
+      const bool vec = opt.mem.simd;
+
+      int iterations = 0;
+      bool converged = false;
+      double final_delta = 0.0;
+      for (iterations = 0; iterations < opt.max_iterations; ++iterations) {
+        // Contribution pass over the owned rows. Local degree equals
+        // global degree there (the packing keeps owned rows complete),
+        // so contrib values are bitwise those of the unsharded kernel.
+        dangling_acc.clear();
+        rt::for_range(
+            ex, p.num_owned(), [&](std::int64_t b, std::int64_t e, int) {
+              double local = 0.0;
+              for (std::int64_t i = b; i < e; ++i) {
+                const std::int64_t lv = owned_lo + i;
+                const EId deg = xadj[lv + 1] - xadj[lv];
+                const double rank_v = rk[static_cast<std::size_t>(lv)];
+                if (deg == 0) {
+                  local += rank_v;
+                  ct[static_cast<std::size_t>(lv)] = 0.0;
+                } else {
+                  ct[static_cast<std::size_t>(lv)] =
+                      rank_v / static_cast<double>(deg);
+                }
+              }
+              dangling_acc.local() += local;
+            });
+        dangling_parts[static_cast<std::size_t>(s)] = dangling_acc.combine(
+            0.0, [](double a, double b) { return a + b; });
+
+        // Stage the halo: the contribution of every owned boundary vertex
+        // shard t reads, in the shared (ascending global) halo order.
+        for (int t = 0; t < shards; ++t) {
+          auto& out = mail.outbox(s, t, 0);
+          for (const std::int64_t lv :
+               p.send_local[static_cast<std::size_t>(t)]) {
+            out.push_back(ct[static_cast<std::size_t>(lv)]);
+          }
+        }
+
+        // Barrier 1: publish the staged halos.
+        group.barrier().arrive_and_wait(
+            s == 0 ? std::function<void()>([&] {
+              mail.swap();
+              exchanged_total += mail.last_swap_messages();
+            })
+                   : std::function<void()>());
+
+        // Scatter the received halos into the ghost contrib slots; the
+        // recv list mirrors the sender's order element for element.
+        for (int t = 0; t < shards; ++t) {
+          auto& in = mail.inbox(t, s, 0);
+          const auto& recv = p.recv_local[static_cast<std::size_t>(t)];
+          MICG_ASSERT(in.size() == recv.size());
+          for (std::size_t i = 0; i < in.size(); ++i) {
+            ct[static_cast<std::size_t>(recv[i])] = in[i];
+          }
+          in.clear();
+        }
+        double dangling = 0.0;
+        for (double d : dangling_parts) dangling += d;
+        const double base =
+            (1.0 - opt.damping) / static_cast<double>(n) +
+            opt.damping * dangling / static_cast<double>(n);
+
+        // Gather pass: same loop body as the single-shard kernel, over
+        // the local rows, skipping ghost rows (their partial adjacency
+        // is only there to close the packing; they are never sources).
+        delta_acc.clear();
+        const double* src = ct.data();
+        rt::for_range_graph(
+            ex, p.num_local(), xadj, opt.mem.partition,
+            [&](std::int64_t b, std::int64_t e, int) {
+              double local_delta = 0.0;
+              EId pf = xadj[b];
+              const EId chunk_end = xadj[e];
+              for (std::int64_t i = b; i < e; ++i) {
+                if (i < owned_lo || i >= owned_hi) continue;
+                const EId rb = xadj[i];
+                const EId re = xadj[i + 1];
+                if (dist > 0) {
+                  const EId ahead = std::min<EId>(re + dist, chunk_end);
+                  for (pf = std::max<EId>(pf, rb); pf < ahead; ++pf) {
+                    prefetch_read(src + static_cast<std::size_t>(adj[pf]));
+                  }
+                }
+                const double sum = simd::gather_sum(
+                    src, adj + rb, static_cast<std::size_t>(re - rb), vec);
+                const double nv = base + opt.damping * sum;
+                local_delta += std::abs(nv - rk[static_cast<std::size_t>(i)]);
+                nx[static_cast<std::size_t>(i)] = nv;
+              }
+              delta_acc.local() += local_delta;
+            });
+        delta_parts[static_cast<std::size_t>(s)] = delta_acc.combine(
+            0.0, [](double a, double b) { return a + b; });
+
+        // Barrier 2: publish the deltas; it also fences the drained
+        // mailbox buffers before the next iteration restages them.
+        group.barrier().arrive_and_wait();
+
+        final_delta = 0.0;
+        for (double d : delta_parts) final_delta += d;
+        rk.swap(nx);
+        if (final_delta < opt.tolerance) {
+          converged = true;
+          ++iterations;
+          break;
+        }
+      }
+      if (s == 0) {
+        r.iterations = iterations;
+        r.converged = converged;
+        r.final_delta = final_delta;
+      }
+    });
+  });
+
+  // Assemble the global rank vector from the owned slices.
+  r.rank.assign(static_cast<std::size_t>(n), 0.0);
+  for (int s = 0; s < shards; ++s) {
+    const graph::shard_part& p = sg.part(s);
+    const auto& rk = rank[static_cast<std::size_t>(s)];
+    for (std::int64_t v = p.owned_begin; v < p.owned_end; ++v) {
+      r.rank[static_cast<std::size_t>(v)] = rk[static_cast<std::size_t>(
+          p.owned_local_begin + (v - p.owned_begin))];
+    }
+  }
+
+  if (obs::recorder* rec = opt.ex.sink(); rec != nullptr) {
+    rec->set_meta("kernel", "sharded_pagerank");
+    rec->set_meta("converged", r.converged ? "true" : "false");
+    rec->set_value("shard.count", static_cast<double>(shards));
+    rec->set_value("shard.cut_edges", static_cast<double>(sg.cut_edges()));
+    rec->get_counter("shard.exchange.messages").add(0, exchanged_total);
+    rec->get_counter("pagerank.iterations")
+        .add(0, static_cast<std::uint64_t>(r.iterations));
+    rec->set_value("pagerank.final_delta", r.final_delta);
+  }
+  return r;
+}
+
+}  // namespace micg::irregular

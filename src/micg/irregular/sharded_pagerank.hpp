@@ -1,0 +1,29 @@
+// Bulk-synchronous sharded PageRank.
+//
+// Power iteration over a graph::sharded_csr: each shard updates its owned
+// rows on its own thread pool and the rounds exchange *contributions*
+// (rank/degree of every boundary vertex) through the static halo lists —
+// one linear gather into a mailbox per shard pair, one linear scatter out.
+//
+// Reproducibility: the shard remap is monotone (graph/shard.hpp), so an
+// owned row's local adjacency enumerates the same neighbors in the same
+// order as the global CSR, and the per-row gather sums are bit-identical
+// to the single-shard kernel. The only reassociated sums are the global
+// dangling mass and the convergence delta (per-shard partials combined in
+// shard order instead of worker order), which is why the parity guarantee
+// is <= 1e-12 rather than bitwise (the property tests pin it).
+#pragma once
+
+#include "micg/graph/shard.hpp"
+#include "micg/irregular/pagerank.hpp"
+
+namespace micg::irregular {
+
+/// Run BSP PageRank over a partitioned graph. `opt.ex.threads` workers
+/// per shard; all other options mean what they mean for pagerank().
+/// Ranks match the single-shard kernel to <= 1e-12 at equal iteration
+/// counts, and the iteration/convergence trajectory is identical.
+pagerank_result sharded_pagerank(const graph::sharded_csr& sg,
+                                 const pagerank_options& opt);
+
+}  // namespace micg::irregular

@@ -1,0 +1,43 @@
+#include "micg/model/shard_model.hpp"
+
+#include <algorithm>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::model {
+
+double shard_time(const machine_config& m, const shard_workload& w,
+                  int shards) {
+  MICG_CHECK(shards >= 1, "shard count must be positive");
+  MICG_CHECK(w.directed_edges >= 0.0 && w.rounds >= 0.0 &&
+                 w.cut_fraction >= 0.0 && w.cut_fraction <= 1.0,
+             "malformed shard workload");
+  const double s = static_cast<double>(shards);
+
+  // Compute: every socket streams its shard's slice; sockets beyond the
+  // shard count idle, shards beyond the socket count share controllers.
+  const double streaming =
+      static_cast<double>(std::min(shards, m.sockets));
+  const double bw = m.socket_mem_ops_per_unit * streaming;
+  const double compute = w.directed_edges * m.cpu_per_op / bw;
+
+  // Exchange: one message per cut edge per sweep; a single shard sends
+  // nothing. All shard-pair lanes move concurrently.
+  const double msgs = shards > 1 ? w.directed_edges * w.cut_fraction : 0.0;
+  const double exchange = msgs * m.cross_msg_cost / s;
+
+  // Rendezvous: centralized, linear in the shard count, paid per barrier.
+  const double barriers =
+      w.rounds * w.barriers_per_round * s * m.shard_barrier_cost;
+
+  return compute + exchange + barriers;
+}
+
+double shard_model_speedup(const machine_config& m, const shard_workload& w,
+                           int shards) {
+  const double base = shard_time(m, w, 1);
+  const double t = shard_time(m, w, shards);
+  return t > 0.0 ? base / t : 1.0;
+}
+
+}  // namespace micg::model

@@ -1,0 +1,56 @@
+// Analytical model of sharded BSP execution on a multi-socket machine.
+//
+// A run of R rounds over S shards, in the spirit of the paper's layered
+// BFS model (§III-C) extended with the three costs sharding introduces:
+//
+//   T = sum_r [  max_s(edges_{r,s}) / socket_bw          (compute, bound by
+//                                                          the fullest shard
+//                                                          streaming from its
+//                                                          own socket)
+//              + msgs_r * cross_msg_cost / S             (exchange, all S
+//                                                          interconnect lanes
+//                                                          moving in parallel)
+//              + S * shard_barrier_cost ]                (rendezvous, linear
+//                                                          in the shard count)
+//
+// With an aggregated workload (total edges, a cut fraction, a round count)
+// the per-round maxima collapse to the imbalance-free averages; the
+// edge-balanced partition makes that a good approximation (its per-shard
+// spread is bounded by one row). Shards beyond the socket count stop
+// adding bandwidth (min(S, sockets) sockets are streaming) but keep
+// adding barrier and message cost — the model's sweet spot sits at
+// S == sockets, which is what bench/fig_shard.cpp plots against the
+// measured series.
+#pragma once
+
+#include <cstdint>
+
+#include "micg/model/machine.hpp"
+
+namespace micg::model {
+
+/// One sharded workload, aggregated.
+struct shard_workload {
+  /// Directed adjacency entries the kernel touches per sweep over the
+  /// graph (2|E| for BFS expanding every vertex once, per-iteration for
+  /// pagerank).
+  double directed_edges = 0.0;
+  /// Fraction of directed edges whose endpoints live on different shards
+  /// (each becomes one message per sweep).
+  double cut_fraction = 0.0;
+  /// BSP rounds (BFS levels, pagerank iterations).
+  double rounds = 1.0;
+  /// Barriers per round (the kernels use two: publish and counts).
+  double barriers_per_round = 2.0;
+};
+
+/// Predicted time (abstract units) of the workload on `m` with S shards.
+double shard_time(const machine_config& m, const shard_workload& w,
+                  int shards);
+
+/// Predicted speedup of S shards over the 1-shard prediction of the same
+/// workload (the model curve fig_shard.cpp draws).
+double shard_model_speedup(const machine_config& m, const shard_workload& w,
+                           int shards);
+
+}  // namespace micg::model

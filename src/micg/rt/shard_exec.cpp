@@ -1,0 +1,61 @@
+#include "micg/rt/shard_exec.hpp"
+
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace micg::rt {
+
+void bsp_barrier::arrive_and_wait(std::function<void()> at_barrier) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (at_barrier) hooks_.push_back(std::move(at_barrier));
+  const std::uint64_t gen = generation_;
+  if (++arrived_ == parties_) {
+    // Last arriver: run this generation's hooks while everyone else is
+    // parked — the single-threaded window the mailbox swap relies on.
+    for (auto& hook : hooks_) hook();
+    hooks_.clear();
+    arrived_ = 0;
+    ++generation_;
+    lock.unlock();
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+}
+
+shard_group::shard_group(int shards, const exec& proto)
+    : proto_(proto), barrier_(shards) {
+  MICG_CHECK(shards >= 1, "shard group needs at least one shard");
+  proto_.pool = nullptr;
+  proto_.sched = nullptr;
+  proto_.affinity = nullptr;
+  pools_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    pools_.push_back(std::make_unique<thread_pool>(proto_.threads));
+  }
+}
+
+void shard_group::run(const std::function<void(int)>& driver) {
+  const int n = shards();
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto drive = [&](int s) {
+    try {
+      driver(s);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> helpers;
+  helpers.reserve(static_cast<std::size_t>(n) - 1);
+  for (int s = 1; s < n; ++s) {
+    helpers.emplace_back(drive, s);
+  }
+  drive(0);
+  for (auto& t : helpers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace micg::rt

@@ -1,0 +1,184 @@
+// Shard-aware execution: per-shard thread pools, the BSP round barrier,
+// and the lock-free message-exchange grid the sharded kernels use.
+//
+// Execution model (docs/sharding.md): one driver OS thread per shard, each
+// running parallel regions on its own private thread_pool. A round is
+//
+//   compute  — workers of shard s append messages to outbox(s, t, worker);
+//              each (from, to, worker) staging buffer has exactly one
+//              writer, so the hot path is a plain vector push_back — no
+//              locks, no atomics (the sliding replicated-queue idiom:
+//              produce into your own replica, publish by sliding the
+//              window at the synchronization point);
+//   barrier  — the last arriver runs the registered hooks (mailbox swap,
+//              round accounting) while every other shard is parked, then
+//              releases them: the swap itself is single-threaded and
+//              lock-free by construction;
+//   exchange — shard t drains every buffer addressed to it from the
+//              now-published generation while writers stage the next one.
+//
+// All cross-shard visibility is ordered by the barrier's mutex, so the
+// kernels built on this primitive are TSan-clean by construction
+// (tests/shard_stress_test.cpp pins that).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "micg/rt/exec.hpp"
+#include "micg/rt/thread_pool.hpp"
+#include "micg/support/assert.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace micg::rt {
+
+/// Reusable cyclic barrier for BSP rounds. Parties may register a hook
+/// with their arrival; the last arriver runs every registered hook (in
+/// arrival order) before releasing the generation — the "swap at barrier"
+/// point where single-threaded cross-shard work is safe. Hooks must not
+/// throw.
+class bsp_barrier {
+ public:
+  explicit bsp_barrier(int parties) : parties_(parties) {
+    MICG_CHECK(parties >= 1, "barrier needs at least one party");
+  }
+  bsp_barrier(const bsp_barrier&) = delete;
+  bsp_barrier& operator=(const bsp_barrier&) = delete;
+
+  /// Block until all parties of this generation have arrived.
+  void arrive_and_wait(std::function<void()> at_barrier = {});
+
+  [[nodiscard]] int parties() const { return parties_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::function<void()>> hooks_;
+};
+
+/// N x N x workers staging/ready double buffer of message vectors.
+/// outbox(from, to, worker) is exclusively owned by (from, worker) during
+/// a compute phase; swap() publishes every staged buffer at once and must
+/// run at the barrier (register it as the arrival hook of one shard).
+/// drain(to, f) consumes and clears everything addressed to `to` from the
+/// published generation.
+template <class T>
+class mailbox_grid {
+ public:
+  mailbox_grid(int shards, int workers_per_shard)
+      : shards_(shards), workers_(workers_per_shard) {
+    MICG_CHECK(shards >= 1 && workers_per_shard >= 1,
+               "mailbox grid needs at least one shard and worker");
+    const auto cells = static_cast<std::size_t>(shards) *
+                       static_cast<std::size_t>(shards) *
+                       static_cast<std::size_t>(workers_per_shard);
+    staged_.resize(cells);
+    ready_.resize(cells);
+  }
+
+  [[nodiscard]] int shards() const { return shards_; }
+  [[nodiscard]] int workers() const { return workers_; }
+
+  /// The staging buffer of (from, worker) addressed to `to`.
+  std::vector<T>& outbox(int from, int to, int worker) {
+    return staged_[cell(from, to, worker)];
+  }
+
+  /// Publish the staged generation. Call from a barrier hook (exactly one
+  /// per round): every consumer must have drained its previous inboxes,
+  /// so the buffers swapped back into staging are empty.
+  void swap() {
+    staged_.swap(ready_);
+    std::uint64_t moved = 0;
+    for (const auto& buf : ready_) moved += buf.size();
+    last_swap_messages_ = moved;
+  }
+
+  /// Messages published by the most recent swap() (the per-round exchange
+  /// volume the obs layer reports).
+  [[nodiscard]] std::uint64_t last_swap_messages() const {
+    return last_swap_messages_;
+  }
+
+  /// The published buffer of (from, worker) addressed to `to` — for
+  /// consumers that need per-sender order (the halo scatter). The
+  /// consumer must clear() it before the next swap, or stale messages
+  /// leak into the sender's next staging generation.
+  std::vector<T>& inbox(int from, int to, int worker) {
+    return ready_[cell(from, to, worker)];
+  }
+
+  /// Consume every published message addressed to shard `to`, in (from,
+  /// worker) order, clearing the buffers for reuse.
+  template <class F>
+  void drain(int to, F&& f) {
+    for (int from = 0; from < shards_; ++from) {
+      for (int w = 0; w < workers_; ++w) {
+        auto& buf = ready_[cell(from, to, w)];
+        for (const T& msg : buf) f(msg);
+        buf.clear();
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell(int from, int to, int worker) const {
+    MICG_ASSERT(from >= 0 && from < shards_ && to >= 0 && to < shards_ &&
+                worker >= 0 && worker < workers_);
+    return (static_cast<std::size_t>(from) *
+                static_cast<std::size_t>(shards_) +
+            static_cast<std::size_t>(to)) *
+               static_cast<std::size_t>(workers_) +
+           static_cast<std::size_t>(worker);
+  }
+
+  const int shards_;
+  const int workers_;
+  std::vector<std::vector<T>> staged_;  ///< being written this phase
+  std::vector<std::vector<T>> ready_;   ///< published by the last swap
+  std::uint64_t last_swap_messages_ = 0;
+};
+
+/// Per-shard execution contexts: one private thread_pool per shard (so
+/// shards' parallel regions run concurrently — the global pool rejects
+/// that) and the round barrier sized to the shard count.
+class shard_group {
+ public:
+  /// `proto` is the per-shard execution configuration; its pool/sched
+  /// fields are ignored and rebound per shard.
+  shard_group(int shards, const exec& proto);
+
+  [[nodiscard]] int shards() const { return static_cast<int>(pools_.size()); }
+  [[nodiscard]] const exec& proto() const { return proto_; }
+  [[nodiscard]] bsp_barrier& barrier() { return barrier_; }
+
+  /// `proto` bound to shard s's private pool.
+  [[nodiscard]] exec shard_exec(int s) const {
+    exec e = proto_;
+    e.pool = pools_[static_cast<std::size_t>(s)].get();
+    e.sched = nullptr;
+    e.affinity = nullptr;
+    return e;
+  }
+
+  /// Run `driver(shard)` for every shard concurrently, one OS thread per
+  /// shard (the caller drives shard 0). Rethrows the first driver
+  /// exception after all drivers return; drivers that use the barrier
+  /// must not throw between arrive_and_wait calls that other shards will
+  /// reach, or the group deadlocks — validate before entering the rounds.
+  void run(const std::function<void(int)>& driver);
+
+ private:
+  exec proto_;
+  std::vector<std::unique_ptr<thread_pool>> pools_;
+  bsp_barrier barrier_;
+};
+
+}  // namespace micg::rt

@@ -138,6 +138,7 @@ api::json service::execute(const request_envelope& req,
     ctx.pool = pool;
     ctx.max_threads = opt_.threads_per_query;
     ctx.rec = rec_;
+    ctx.snapshot_epoch = pin.epoch;
     api::json result = api::dispatch_query(*pin.graph, req.op, req.params, ctx);
     return api::json(api::json_object{{"epoch", api::json(pin.epoch)},
                                       {"result", std::move(result)}});

@@ -1,0 +1,275 @@
+// Unit tests for the sharding layers: the partition/remap machinery
+// (graph/shard.hpp), the BSP execution primitives (rt/shard_exec.hpp),
+// and small end-to-end runs of the sharded kernels. The broad
+// differential-oracle coverage (all layouts x shard counts x generator
+// families) lives in property_test.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "micg/bfs/seq.hpp"
+#include "micg/bfs/sharded.hpp"
+#include "micg/graph/any_csr.hpp"
+#include "micg/graph/builder.hpp"
+#include "micg/graph/generators.hpp"
+#include "micg/graph/shard.hpp"
+#include "micg/irregular/pagerank.hpp"
+#include "micg/irregular/sharded_pagerank.hpp"
+#include "micg/model/machine.hpp"
+#include "micg/model/shard_model.hpp"
+#include "micg/rt/shard_exec.hpp"
+#include "micg/support/assert.hpp"
+
+namespace {
+
+using micg::graph::any_csr;
+using micg::graph::make_sharded;
+using micg::graph::make_shard_plan;
+using micg::graph::sharded_csr;
+
+any_csr rmat_graph() {
+  return any_csr(micg::graph::make_rmat(9, 8, 0.57, 0.19, 0.19, 7));
+}
+
+// ------------------------------------------------------------ shard_plan
+
+TEST(ShardPlan, CoversVerticesAndBalancesEdges) {
+  const any_csr g = rmat_graph();
+  for (const int shards : {1, 2, 3, 4, 7, 16}) {
+    const auto plan = make_shard_plan(g, shards);
+    ASSERT_EQ(plan.shards(), shards);
+    EXPECT_EQ(plan.starts.front(), 0);
+    EXPECT_EQ(plan.starts.back(), g.num_vertices());
+    for (int s = 0; s < shards; ++s) {
+      EXPECT_LE(plan.starts[static_cast<std::size_t>(s)],
+                plan.starts[static_cast<std::size_t>(s) + 1]);
+    }
+    // owner() agrees with the ranges.
+    for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+      const int s = plan.owner(v);
+      EXPECT_GE(v, plan.starts[static_cast<std::size_t>(s)]);
+      EXPECT_LT(v, plan.starts[static_cast<std::size_t>(s) + 1]);
+    }
+  }
+}
+
+TEST(ShardPlan, EdgeBalanceWithinOneRow) {
+  const any_csr g = rmat_graph();
+  const int shards = 4;
+  const auto sg = make_sharded(g, shards);
+  // Each shard's owned adjacency entries are within max_degree of the
+  // ideal share (rows are never split, so that is the tight bound).
+  const std::int64_t ideal = g.num_directed_edges() / shards;
+  for (int s = 0; s < shards; ++s) {
+    EXPECT_NEAR(static_cast<double>(sg.part(s).owned_directed_edges),
+                static_cast<double>(ideal),
+                static_cast<double>(g.max_degree()) + 1.0);
+  }
+}
+
+TEST(ShardPlan, RejectsBadCounts) {
+  const any_csr g = rmat_graph();
+  EXPECT_THROW(make_shard_plan(g, 0), micg::check_error);
+  EXPECT_THROW(make_shard_plan(g, micg::graph::max_shards + 1),
+               micg::check_error);
+}
+
+// ----------------------------------------------------------- sharded_csr
+
+TEST(ShardedCsr, ValidatesAcrossFamiliesAndCounts) {
+  using namespace micg::graph;
+  const std::vector<any_csr> graphs = {
+      any_csr(make_chain(100)),      any_csr(make_star(64)),
+      any_csr(make_grid_2d(12, 9)),  rmat_graph(),
+      any_csr(make_complete(17)),
+  };
+  for (const auto& g : graphs) {
+    for (const int shards : {1, 2, 4, 7}) {
+      const auto sg = make_sharded(g, shards);
+      EXPECT_EQ(sg.num_vertices(), g.num_vertices());
+      EXPECT_EQ(sg.num_edges(), g.num_edges());
+      EXPECT_NO_THROW(sg.validate(g));
+    }
+  }
+}
+
+TEST(ShardedCsr, SingleShardHasNoCut) {
+  const any_csr g = rmat_graph();
+  const auto sg = make_sharded(g, 1);
+  EXPECT_EQ(sg.cut_edges(), 0);
+  EXPECT_EQ(sg.cut_fraction(), 0.0);
+  EXPECT_EQ(sg.part(0).num_owned(), g.num_vertices());
+  EXPECT_EQ(sg.part(0).num_local(), g.num_vertices());
+}
+
+TEST(ShardedCsr, EdgelessGraphSplitsEvenly) {
+  // 10 isolated vertices: the edge balance falls back to a vertex split.
+  micg::graph::basic_builder<std::int32_t, std::int32_t> b(10);
+  const any_csr g = micg::graph::build_auto(std::move(b));
+  const auto sg = make_sharded(g, 4);
+  EXPECT_NO_THROW(sg.validate(g));
+  std::int64_t covered = 0;
+  for (int s = 0; s < 4; ++s) covered += sg.part(s).num_owned();
+  EXPECT_EQ(covered, 10);
+  EXPECT_EQ(sg.cut_edges(), 0);
+}
+
+TEST(ShardedCsr, RemapRoundTripsAndStaysMonotone) {
+  const any_csr g = rmat_graph();
+  const auto sg = make_sharded(g, 5);
+  for (int s = 0; s < sg.shards(); ++s) {
+    const auto& p = sg.part(s);
+    std::int64_t prev = -1;
+    for (std::int64_t lv = 0; lv < p.num_local(); ++lv) {
+      const std::int64_t gv = p.global_of_local(lv);
+      EXPECT_GT(gv, prev);
+      prev = gv;
+      EXPECT_EQ(p.local_of_global(gv), lv);
+    }
+  }
+}
+
+// --------------------------------------------------------- rt primitives
+
+TEST(BspBarrier, HooksRunOncePerGeneration) {
+  micg::rt::bsp_barrier barrier(4);
+  std::atomic<int> hook_runs{0};
+  std::atomic<int> sum{0};
+  micg::rt::shard_group group(4, micg::rt::exec{});
+  group.run([&](int s) {
+    for (int round = 0; round < 50; ++round) {
+      sum.fetch_add(1, std::memory_order_relaxed);
+      barrier.arrive_and_wait(
+          s == 0 ? std::function<void()>([&] {
+            // Inside the hook every party is parked: all four increments
+            // of this generation are visible and none of the next.
+            EXPECT_EQ(sum.load(std::memory_order_relaxed) % 4, 0);
+            hook_runs.fetch_add(1);
+          })
+                 : std::function<void()>());
+    }
+  });
+  EXPECT_EQ(hook_runs.load(), 50);
+}
+
+TEST(MailboxGrid, SwapPublishesAndDrainClears) {
+  micg::rt::mailbox_grid<int> mail(3, 2);
+  mail.outbox(0, 2, 0).push_back(10);
+  mail.outbox(0, 2, 1).push_back(11);
+  mail.outbox(1, 2, 0).push_back(12);
+  mail.outbox(1, 0, 0).push_back(99);
+  mail.swap();
+  EXPECT_EQ(mail.last_swap_messages(), 4u);
+
+  std::vector<int> got;
+  mail.drain(2, [&](int v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<int>{10, 11, 12}));
+  // Drained buffers are empty; undrained ones still hold their message.
+  mail.drain(2, [&](int) { FAIL() << "buffers must be cleared"; });
+  EXPECT_EQ(mail.inbox(1, 0, 0).size(), 1u);
+
+  // Next generation: previously drained staging buffers come back empty.
+  mail.outbox(2, 2, 1).push_back(7);
+  mail.inbox(1, 0, 0).clear();
+  mail.swap();
+  EXPECT_EQ(mail.last_swap_messages(), 1u);
+  got.clear();
+  mail.drain(2, [&](int v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<int>{7}));
+}
+
+TEST(ShardGroup, RunsEveryShardAndPropagatesExceptions) {
+  micg::rt::exec proto;
+  proto.threads = 2;
+  micg::rt::shard_group group(3, proto);
+  std::vector<int> seen(3, 0);
+  group.run([&](int s) { seen[static_cast<std::size_t>(s)] = s + 1; });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  EXPECT_THROW(group.run([&](int s) {
+    MICG_CHECK(s != 2, "boom from shard 2");
+  }),
+               micg::check_error);
+}
+
+// -------------------------------------------------------- sharded kernels
+
+TEST(ShardedKernels, BfsMatchesSeqOnDisconnectedGraph) {
+  // erdos_renyi at low degree has many components; unreachable vertices
+  // must stay -1 across shards.
+  const any_csr g(micg::graph::make_erdos_renyi(400, 1.5, 11));
+  const auto sg = make_sharded(g, 3);
+  micg::bfs::sharded_bfs_options opt;
+  opt.ex.threads = 2;
+  const auto r = micg::bfs::sharded_bfs(sg, 0, opt);
+  g.visit([&](const auto& cg) {
+    const auto ref = micg::bfs::seq_bfs(cg, 0);
+    ASSERT_EQ(r.level.size(), ref.level.size());
+    for (std::size_t v = 0; v < ref.level.size(); ++v) {
+      EXPECT_EQ(r.level[v], ref.level[v]) << "vertex " << v;
+    }
+    EXPECT_EQ(r.num_levels, ref.num_levels);
+    EXPECT_EQ(r.reached, ref.reached);
+    EXPECT_EQ(r.frontier_sizes, ref.frontier_sizes);
+  });
+}
+
+TEST(ShardedKernels, PagerankTracksSingleShardTrajectory) {
+  const any_csr g = rmat_graph();
+  micg::irregular::pagerank_options opt;
+  opt.ex.threads = 2;
+  opt.tolerance = 1e-10;
+  std::vector<double> ref;
+  int ref_iters = 0;
+  g.visit([&](const auto& cg) {
+    const auto res = micg::irregular::pagerank(cg, opt);
+    ref = res.rank;
+    ref_iters = res.iterations;
+  });
+  for (const int shards : {2, 4, 7}) {
+    const auto sg = make_sharded(g, shards);
+    const auto res = micg::irregular::sharded_pagerank(sg, opt);
+    EXPECT_EQ(res.iterations, ref_iters) << shards << " shards";
+    ASSERT_EQ(res.rank.size(), ref.size());
+    for (std::size_t v = 0; v < ref.size(); ++v) {
+      EXPECT_NEAR(res.rank[v], ref[v], 1e-12)
+          << shards << " shards, vertex " << v;
+    }
+  }
+}
+
+// ------------------------------------------------------------ shard model
+
+TEST(ShardModel, SpeedupPeaksAtSocketCountAndBarriersCapScaling) {
+  const auto m = micg::model::machine_config::multi_socket();
+  ASSERT_EQ(m.sockets, 4);
+  // A round-heavy traversal: enough rounds that the linear barrier term
+  // outweighs the shrinking exchange term past the socket count.
+  micg::model::shard_workload w;
+  w.directed_edges = 16.0 * 1024 * 1024;
+  w.cut_fraction = 0.03;
+  w.rounds = 50;
+  const double s1 = micg::model::shard_model_speedup(m, w, 1);
+  const double s4 = micg::model::shard_model_speedup(m, w, 4);
+  const double s8 = micg::model::shard_model_speedup(m, w, 8);
+  EXPECT_DOUBLE_EQ(s1, 1.0);
+  EXPECT_GT(s4, 1.5);  // sockets add bandwidth
+  EXPECT_LT(s8, s4);   // past the socket count only costs grow
+  // A cut-free workload scales better than a heavily cut one.
+  micg::model::shard_workload heavy = w;
+  heavy.cut_fraction = 0.9;
+  EXPECT_GT(micg::model::shard_model_speedup(m, w, 4),
+            micg::model::shard_model_speedup(m, heavy, 4));
+}
+
+TEST(ShardModel, RejectsMalformedWorkloads) {
+  const auto m = micg::model::machine_config::multi_socket();
+  micg::model::shard_workload w;
+  EXPECT_THROW(micg::model::shard_time(m, w, 0), micg::check_error);
+  w.cut_fraction = 2.0;
+  EXPECT_THROW(micg::model::shard_time(m, w, 2), micg::check_error);
+}
+
+}  // namespace

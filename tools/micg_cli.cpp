@@ -63,14 +63,17 @@ using micg::graph::csr_graph;
       "                | grid2d NX NY | er N AVGDEG SEED\n"
       "                | rmat SCALE EDGEFACTOR SEED | suite NAME SCALE\n"
       "  micg convert IN OUT\n"
-      "  micg info FILE\n"
+      "  micg info FILE [--shards N]\n"
       "  micg color FILE [--threads N] [--backend NAME] [--chunk C] [--d2]\n"
       "  micg bfs FILE [--source V] [--variant NAME] [--threads N] [--block B]\n"
+      "          [--shards N]\n"
       "  micg msbfs FILE [--sources K] [--lanes L] [--threads N]\n"
       "  micg bc FILE [--samples K] [--threads N] [--top M]\n"
       "          [--mode batched|repeated] [--lanes L]\n"
       "  micg pagerank FILE [--damping D] [--tolerance T] [--iterations N]\n"
-      "          [--top M] [--threads N]\n"
+      "          [--top M] [--threads N] [--shards N]\n"
+      "bfs/pagerank: --shards N > 1 partitions the graph and runs the\n"
+      "  bulk-synchronous sharded driver, N thread pools of --threads each\n"
       "  micg serve --listen ADDR --graph NAME=PATH [--graph NAME=PATH ...]\n"
       "          [--max-inflight N] [--max-waiting N] [--threads-per-query N]\n"
       "          [--deadline-ms D] [--compact-every N] [--max-frame-bytes B]\n"
@@ -204,6 +207,23 @@ int cmd_info(const arg_parser& args) {
   t.row({"BFS levels from |V|/2",
          micg::table_printer::fmt(
              static_cast<long long>(r.bfs_levels_from_mid))});
+  // Shard partition report, only when a partition was requested (the
+  // default single-shard run keeps the historical table shape).
+  if (r.shards > 1) {
+    t.row({"shards", micg::table_printer::fmt(
+                         static_cast<long long>(r.shards))});
+    for (std::size_t s = 0; s < r.shard_vertices.size(); ++s) {
+      t.row({"shard " + std::to_string(s) + " |V| / adj",
+             micg::table_printer::fmt(
+                 static_cast<long long>(r.shard_vertices[s])) +
+                 " / " +
+                 micg::table_printer::fmt(
+                     static_cast<long long>(r.shard_edges[s]))});
+    }
+    t.row({"cut edges", micg::table_printer::fmt(
+                            static_cast<long long>(r.cut_edges))});
+    t.row({"cut fraction", micg::table_printer::fmt(r.cut_fraction)});
+  }
   t.print(std::cout);
   return 0;
 }
