@@ -1,0 +1,228 @@
+// Serving-path throughput under query coalescing: open-loop bfs arrivals
+// against a resident server, with the coalescing window off vs on, over a
+// clustered mix (every request hits one graph, so concurrent arrivals
+// share one MSBFS batch) and an adversarial mix (arrivals spread
+// round-robin over eight graphs, so batches rarely exceed one lane and
+// the window is pure added latency). Reports p50/p99/achieved-qps per
+// (mix, window, rate) cell; --metrics-json emits one micg.metrics.v1
+// record per cell — the source of the committed BENCH_coalesce.json
+// (tools/run_bench.sh).
+//
+// The served graphs are RMAT (the paper's skewed, low-diameter family):
+// MS-BFS shares one frontier sweep across lanes, so its win is largest
+// when traversals are a few wide levels — and a high-diameter input
+// (e.g. a large grid) pays the per-level overhead hundreds of times and
+// loses, which is what the window knob is for.
+//
+//   MICG_QPS_RATES     comma list of arrival rates, req/s (default
+//                      "2400,4800" — both past the knee of a 1-slot
+//                      gate on the default graph, where batch sizes are
+//                      large enough for the shared sweep to pay off)
+//   MICG_QPS_REQUESTS  requests per cell (default 300)
+//   MICG_QPS_CLIENTS   concurrent client connections (default 32)
+//   MICG_QPS_SCALE     RMAT scale of each served graph (default 16 ->
+//                      65536 vertices, ~1 ms per uncoalesced traversal)
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "micg/api/json.hpp"
+#include "micg/benchkit/benchkit.hpp"
+#include "micg/graph/generators.hpp"
+#include "micg/obs/obs.hpp"
+#include "micg/serve/client.hpp"
+#include "micg/serve/server.hpp"
+#include "micg/serve/store.hpp"
+#include "micg/support/table.hpp"
+#include "micg/support/timer.hpp"
+
+namespace {
+
+using micg::table_printer;
+using micg::api::json;
+using micg::api::json_object;
+
+constexpr int kGraphs = 8;  // adversarial mix spreads over this many
+
+std::vector<double> rates_from_env() {
+  const char* env = std::getenv("MICG_QPS_RATES");
+  std::string spec = env != nullptr ? env : "2400,4800";
+  std::vector<double> rates;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) rates.push_back(std::stod(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return rates;
+}
+
+int int_from_env(const char* name, int dflt) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atoi(env) : dflt;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct cell_result {
+  int requests = 0;
+  int ok = 0;
+  double p50_ms = 0, p99_ms = 0, max_ms = 0;
+  double wall_s = 0;
+};
+
+/// Drive `num_requests` bfs queries at `rate` req/s, spread round-robin
+/// over `num_clients` connections; request i is scheduled open-loop at
+/// i/rate from the series start and targets graph i % mix_graphs.
+cell_result drive_cell(const std::string& address, double rate,
+                       int num_requests, int num_clients, int mix_graphs,
+                       std::int64_t num_vertices) {
+  std::vector<std::vector<double>> lat(
+      static_cast<std::size_t>(num_clients));
+  std::atomic<int> ok{0};
+  const auto start = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(20);  // connect margin
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      micg::serve::client cli(address);
+      for (int i = c; i < num_requests; i += num_clients) {
+        const auto due =
+            start + std::chrono::microseconds(
+                        static_cast<std::int64_t>(1e6 * i / rate));
+        std::this_thread::sleep_until(due);
+        micg::stopwatch sw;
+        const json resp = cli.call(
+            "bfs", "g" + std::to_string(i % mix_graphs),
+            json(json_object{
+                {"source",
+                 json(static_cast<std::int64_t>(i * 37) % num_vertices)}}));
+        lat[static_cast<std::size_t>(c)].push_back(1e3 * sw.seconds());
+        if (resp.at("status").as_string() == "ok") ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall =
+      1e-9 *
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  cell_result r;
+  r.requests = num_requests;
+  r.ok = ok.load();
+  r.p50_ms = percentile(all, 0.50);
+  r.p99_ms = percentile(all, 0.99);
+  r.max_ms = all.empty() ? 0.0 : all.back();
+  r.wall_s = wall;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
+
+  const std::vector<double> rates = rates_from_env();
+  const int num_requests = int_from_env("MICG_QPS_REQUESTS", 300);
+  const int num_clients = int_from_env("MICG_QPS_CLIENTS", 32);
+  const int scale = int_from_env("MICG_QPS_SCALE", 16);
+  const std::int64_t num_vertices = std::int64_t{1} << scale;
+
+  struct mix_spec {
+    const char* name;
+    int graphs;
+  };
+  const mix_spec mixes[] = {{"clustered", 1}, {"adversarial", kGraphs}};
+  const std::int64_t windows[] = {0, 3};  // ms; 0 = coalescing off
+
+  for (const mix_spec& mix : mixes) {
+    table_printer t(std::string("serve qps: ") + mix.name + " bfs mix (" +
+                    std::to_string(mix.graphs) + " graph(s), " +
+                    std::to_string(num_vertices) + " vertices each)");
+    t.header({"window ms", "rate req/s", "requests", "ok", "p50 ms",
+              "p99 ms", "achieved req/s"});
+    for (const std::int64_t window : windows) {
+      // Fresh store + server per cell row: the window is a service-level
+      // option, and a cold store keeps cells independent.
+      micg::serve::graph_store store;
+      for (int g = 0; g < mix.graphs; ++g) {
+        store.add("g" + std::to_string(g),
+                  micg::graph::to_narrowest(micg::graph::make_rmat(
+                      scale, 8, 0.57, 0.19, 0.19,
+                      17 + static_cast<std::uint64_t>(g))));
+      }
+      micg::serve::server_options opt;
+      opt.listen = "unix:/tmp/micg_serve_qps_" +
+                   std::to_string(::getpid()) + ".sock";
+      // One execution slot: the gate saturates at roughly one traversal
+      // time per request, so coalescing has something to win.
+      opt.svc = {.max_inflight = 1, .max_waiting = 4096,
+                 .threads_per_query = 1, .coalesce_window_ms = window};
+      micg::serve::server srv(store, opt);
+      srv.bind_and_listen();
+      std::thread server_thread([&] { srv.run(); });
+
+      for (const double rate : rates) {
+        const cell_result r = drive_cell(opt.listen, rate, num_requests,
+                                         num_clients, mix.graphs,
+                                         num_vertices);
+        const double achieved =
+            r.wall_s > 0 ? static_cast<double>(r.requests) / r.wall_s : 0;
+        t.row({std::to_string(window), table_printer::fmt(rate),
+               std::to_string(r.requests), std::to_string(r.ok),
+               table_printer::fmt(r.p50_ms), table_printer::fmt(r.p99_ms),
+               table_printer::fmt(achieved)});
+        if (sink.enabled()) {
+          micg::obs::recorder rec;
+          rec.set_meta("bench", "serve_qps");
+          rec.set_meta("config", std::string(mix.name) + "/w" +
+                                     std::to_string(window) + "/" +
+                                     table_printer::fmt(rate));
+          rec.set_meta("mix", mix.name);
+          rec.set_meta("window_ms", std::to_string(window));
+          rec.set_value("rate_rps", rate);
+          rec.set_value("window_ms", static_cast<double>(window));
+          rec.set_value("requests", r.requests);
+          rec.set_value("ok", r.ok);
+          rec.set_value("p50_ms", r.p50_ms);
+          rec.set_value("p99_ms", r.p99_ms);
+          rec.set_value("max_ms", r.max_ms);
+          rec.set_value("wall_s", r.wall_s);
+          rec.set_value("achieved_rps", achieved);
+          sink.record(rec.take());
+        }
+      }
+
+      micg::serve::client cli(opt.listen);
+      (void)cli.call("shutdown", "");
+      server_thread.join();
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

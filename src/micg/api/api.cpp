@@ -337,6 +337,31 @@ bfs_request bfs_request_from_args(const arg_parser& args) {
 }
 
 // ---------------------------------------------------------------------------
+// approx_dist
+
+json to_json(const dist_response& r) {
+  json out(json_object{{"source", json(r.source)},
+                       {"target", json(r.target)},
+                       {"distance", json(r.distance)},
+                       {"approximate", json(r.approximate)},
+                       {"landmarks", json(r.landmarks)}});
+  if (r.approximate) {
+    out.set("lower", json(r.lower));
+    out.set("upper", json(r.upper));
+  }
+  return out;
+}
+
+dist_request dist_request_from_json(const json& v) {
+  check_params_shape(v);
+  dist_request req;
+  req.source = get_int(v, "source", req.source);
+  req.target = get_int(v, "target", req.target);
+  req.exact = get_bool(v, "exact", req.exact);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
 // msbfs
 
 msbfs_response run(const graph::any_csr& g, const msbfs_request& req,

@@ -167,6 +167,42 @@ bfs_request bfs_request_from_json(const json& v);
 bfs_request bfs_request_from_args(const arg_parser& args);
 
 // ---------------------------------------------------------------------------
+// approx_dist
+//
+// Point-to-point distance answered from a serving-side landmark index
+// (bfs/landmark.hpp) in O(k), with an exact-traversal fallback. There is
+// no run(graph, dist_request) overload: the answer depends on the
+// epoch-keyed cache the serve layer owns, so micg::serve::service
+// implements the op and only the (de)serialization lives here.
+
+struct dist_request {
+  /// Negative selects the |V|/2 default, like bfs.
+  std::int64_t source = -1;
+  std::int64_t target = 0;
+  /// Force the exact traversal even when the landmark bounds would do.
+  bool exact = false;
+};
+
+struct dist_response {
+  std::int64_t source = 0;
+  std::int64_t target = 0;
+  /// The exact distance — or, when `approximate`, the landmark upper
+  /// bound (the best O(k) estimate). -1 = provably unreachable.
+  std::int64_t distance = -1;
+  /// True when answered from landmark bounds without a traversal; the
+  /// exact distance then lies in [lower, upper] and distance == upper.
+  bool approximate = false;
+  std::int64_t lower = -1;
+  std::int64_t upper = -1;
+  /// Pivots consulted; 0 when the answer came from an exact traversal
+  /// on a graph with no landmark index yet.
+  std::int64_t landmarks = 0;
+};
+
+json to_json(const dist_response& r);
+dist_request dist_request_from_json(const json& v);
+
+// ---------------------------------------------------------------------------
 // msbfs
 
 struct msbfs_request {

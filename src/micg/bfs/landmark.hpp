@@ -1,0 +1,103 @@
+// Landmark (pivot) distance sketches over one graph snapshot.
+//
+// A landmark index precomputes BFS levels from k pivot vertices — one
+// msbfs batch, so the whole precompute costs roughly one edge sweep — and
+// then answers distance queries in O(k) by the triangle inequality:
+//
+//   max_L |d(L,u) - d(L,v)|  <=  d(u,v)  <=  min_L d(L,u) + d(L,v)
+//
+// over the pivots L that reach both endpoints. Two special cases are
+// *exact*: u == v is 0, and a pivot that reaches exactly one endpoint
+// proves the endpoints sit in different components (d = unreachable).
+// When no pivot reaches either endpoint the index knows nothing and the
+// caller must fall back to an exact traversal.
+//
+// Pivots are the k highest-degree vertices (ties to the lower id) — hub
+// landmarks give the tightest sums on the skewed-degree inputs the paper
+// studies, and the deterministic rule keeps every answer reproducible.
+// The serving layer (serve/service.hpp) keys one index per graph epoch;
+// an index is immutable once built, so concurrent readers share it
+// freely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "micg/bfs/msbfs.hpp"
+#include "micg/graph/any_csr.hpp"
+#include "micg/graph/csr.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::bfs {
+
+/// Pivots per index; one msbfs lane word covers the whole precompute.
+inline constexpr int landmark_max_count = msbfs_max_lanes;
+
+struct landmark_options {
+  /// Pivot count; clamped to the vertex count. [1, landmark_max_count].
+  int count = 16;
+  /// Execution of the msbfs precompute (threads, chunk, pool, sink).
+  rt::exec ex;
+};
+
+/// What the index can say about one (u, v) pair in O(k).
+struct landmark_estimate {
+  /// Smallest upper bound min_L d(L,u)+d(L,v); -1 when no pivot reaches
+  /// both endpoints.
+  std::int64_t upper = -1;
+  /// Largest lower bound max_L |d(L,u)-d(L,v)| (0 when no pivot applies).
+  std::int64_t lower = 0;
+  /// Some pivot reaches exactly one endpoint: the endpoints are in
+  /// different components, so the exact distance is "unreachable".
+  bool disjoint = false;
+  /// The estimate is exact: u == v, disjoint components, or the bounds
+  /// met. When neither `exact` nor `upper >= 0` nor `disjoint`, the
+  /// index knows nothing about the pair.
+  bool exact = false;
+};
+
+/// Immutable distance sketch of one snapshot.
+class landmark_index {
+ public:
+  landmark_index() = default;
+
+  [[nodiscard]] std::int64_t num_vertices() const { return n_; }
+  [[nodiscard]] int count() const {
+    return static_cast<int>(pivots_.size());
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& pivots() const {
+    return pivots_;
+  }
+
+  /// Pivot p's BFS level of v (-1 unreachable). Bit-identical to
+  /// seq_bfs(g, pivots()[p]).level[v].
+  [[nodiscard]] int pivot_level(int p, std::int64_t v) const {
+    return dist_[static_cast<std::size_t>(p) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(v)];
+  }
+
+  /// O(count()) bounds for d(u, v). Throws micg::check_error when an
+  /// endpoint is out of range.
+  [[nodiscard]] landmark_estimate estimate(std::int64_t u,
+                                           std::int64_t v) const;
+
+ private:
+  template <micg::graph::CsrGraph G>
+  friend landmark_index build_landmarks(const G& g,
+                                        const landmark_options& opt);
+
+  std::int64_t n_ = 0;
+  std::vector<std::int64_t> pivots_;
+  std::vector<int> dist_;  ///< pivot-major, count() x n_
+};
+
+/// Build an index over `g` (one msbfs batch from the chosen pivots).
+/// Defined for every shipped layout.
+template <micg::graph::CsrGraph G>
+landmark_index build_landmarks(const G& g, const landmark_options& opt);
+
+/// Layout-dispatching convenience for any_csr holders.
+landmark_index build_landmarks(const graph::any_csr& g,
+                               const landmark_options& opt);
+
+}  // namespace micg::bfs

@@ -37,7 +37,9 @@ msbfs_result msbfs(const G& g,
                    const msbfs_options& opt) {
   using VId = typename G::vertex_type;
   const VId n = g.num_vertices();
-  const auto n64 = static_cast<std::int64_t>(n);
+  // |V| widened to int64 once: every size/stride computation below works
+  // at full width so a narrow-layout VId can never overflow mid-product.
+  const auto nvert = static_cast<std::int64_t>(n);
   const int lanes = static_cast<int>(sources.size());
   MICG_CHECK(lanes <= msbfs_max_lanes,
              "msbfs batch exceeds 64 lanes; tile through msbfs_pool");
@@ -45,7 +47,7 @@ msbfs_result msbfs(const G& g,
 
   msbfs_result r;
   r.lanes = lanes;
-  r.n = n64;
+  r.n = nvert;
   r.num_levels.assign(static_cast<std::size_t>(lanes), 0);
   r.reached.assign(static_cast<std::size_t>(lanes), 0);
   if (lanes == 0 || n == 0) return r;
@@ -59,16 +61,16 @@ msbfs_result msbfs(const G& g,
   const int nworkers = parallel ? ex.threads : 1;
 
   r.level.assign(static_cast<std::size_t>(lanes) *
-                     static_cast<std::size_t>(n64),
+                     static_cast<std::size_t>(nvert),
                  -1);
-  std::vector<std::uint64_t> seen(static_cast<std::size_t>(n64), 0);
-  std::vector<std::uint64_t> cur(static_cast<std::size_t>(n64), 0);
-  std::vector<std::atomic<std::uint64_t>> nxt(static_cast<std::size_t>(n64));
+  std::vector<std::uint64_t> seen(static_cast<std::size_t>(nvert), 0);
+  std::vector<std::uint64_t> cur(static_cast<std::size_t>(nvert), 0);
+  std::vector<std::atomic<std::uint64_t>> nxt(static_cast<std::size_t>(nvert));
   for (auto& w : nxt) w.store(0, std::memory_order_relaxed);
 
   // Shared frontier: the distinct vertices any lane discovered last level.
   std::vector<VId> frontier;
-  frontier.reserve(static_cast<std::size_t>(n64));
+  frontier.reserve(static_cast<std::size_t>(nvert));
   for (int lane = 0; lane < lanes; ++lane) {
     const auto s = static_cast<std::size_t>(sources[static_cast<std::size_t>(
         lane)]);
@@ -76,7 +78,7 @@ msbfs_result msbfs(const G& g,
     const std::uint64_t bit = 1ull << lane;
     cur[s] |= bit;
     seen[s] |= bit;
-    r.level[static_cast<std::size_t>(lane) * static_cast<std::size_t>(n64) +
+    r.level[static_cast<std::size_t>(lane) * static_cast<std::size_t>(nvert) +
             s] = 0;
   }
   r.frontier_sizes.push_back(frontier.size());
@@ -153,7 +155,7 @@ msbfs_result msbfs(const G& g,
                     const int lane = std::countr_zero(t);
                     t &= t - 1;
                     r.level[static_cast<std::size_t>(lane) *
-                                static_cast<std::size_t>(n64) +
+                                static_cast<std::size_t>(nvert) +
                             static_cast<std::size_t>(u)] = depth;
                   }
                 }
@@ -167,10 +169,10 @@ msbfs_result msbfs(const G& g,
               for (std::int64_t lane = b; lane < e; ++lane) {
                 const int* lv = r.level.data() +
                                 static_cast<std::size_t>(lane) *
-                                    static_cast<std::size_t>(n64);
+                                    static_cast<std::size_t>(nvert);
                 int max_level = -1;
                 std::size_t reached = 0;
-                for (std::int64_t v = 0; v < n64; ++v) {
+                for (std::int64_t v = 0; v < nvert; ++v) {
                   if (lv[v] >= 0) {
                     ++reached;
                     if (lv[v] > max_level) max_level = lv[v];
@@ -191,7 +193,7 @@ msbfs_result msbfs(const G& g,
     rec->set_meta("kernel", "msbfs");
     rec->set_meta("partition", rt::partition_mode_name(opt.partition));
     rec->set_value("msbfs.lanes", static_cast<double>(lanes));
-    rec->get_counter("msbfs.batches").add(0, 1);
+    rec->get_counter("msbfs.batches").inc(0);
     rec->get_counter("msbfs.levels")
         .add(0, static_cast<std::uint64_t>(r.frontier_sizes.size()));
     rec->get_counter("msbfs.reached")

@@ -49,10 +49,16 @@ class counter {
  public:
   explicit counter(std::string name) : name_(std::move(name)) {}
 
-  void add(int worker, std::uint64_t v = 1) noexcept {
+  /// Add `v` events. No default for `v`: a bare `add(w)` used to read as
+  /// "add w" or "add zero" depending on the reader — count-one call sites
+  /// say inc(worker) instead.
+  void add(int worker, std::uint64_t v) noexcept {
     slots_[detail::slot_index(worker)].value.fetch_add(
         v, std::memory_order_relaxed);
   }
+
+  /// Count one event (the common case; `add(w, 1)` spelled unambiguously).
+  void inc(int worker) noexcept { add(worker, 1); }
 
   [[nodiscard]] std::uint64_t total() const noexcept {
     std::uint64_t sum = 0;

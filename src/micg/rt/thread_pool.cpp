@@ -81,7 +81,7 @@ void thread_pool::run(int nthreads, const std::function<void(int)>& fn) {
   // off). Wall time for multi-thread regions spans fork to last join.
   obs::recorder* region_rec = obs::recorder::global();
   if (region_rec != nullptr) {
-    region_rec->get_counter("rt.regions").add(0);
+    region_rec->get_counter("rt.regions").inc(0);
     region_rec->get_counter("rt.region_workers")
         .add(0, static_cast<std::uint64_t>(nthreads));
   }

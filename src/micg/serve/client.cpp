@@ -10,6 +10,9 @@ namespace micg::serve {
 api::json make_request(const std::string& op, const std::string& graph,
                        api::json params, std::int64_t deadline_ms,
                        const std::string& id) {
+  // Reject rather than drop: silently omitting a negative deadline would
+  // turn a caller's typo (`--deadline-ms -5`) into "wait forever".
+  MICG_CHECK(deadline_ms >= 0, "deadline_ms must be >= 0");
   api::json_object obj;
   if (!id.empty()) obj.emplace_back("id", api::json(id));
   obj.emplace_back("op", api::json(op));

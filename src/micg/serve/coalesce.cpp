@@ -1,0 +1,91 @@
+#include "micg/serve/coalesce.hpp"
+
+#include <utility>
+
+#include "micg/serve/protocol.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::serve {
+
+coalescer::coalescer(coalesce_options opt, batch_runner run)
+    : opt_(opt), run_(std::move(run)) {
+  MICG_CHECK(opt_.window_ms >= 0, "coalesce window_ms must be >= 0");
+  MICG_CHECK(opt_.max_lanes >= 1 && opt_.max_lanes <= bfs::msbfs_max_lanes,
+             "coalesce max_lanes must be in [1, 64]");
+  MICG_CHECK(run_ != nullptr, "coalescer needs a batch runner");
+}
+
+std::string coalescer::submit(const std::string& graph, api::bfs_request req,
+                              std::string id, std::int64_t deadline_ms) {
+  std::shared_ptr<batch> b;
+  std::size_t index = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = forming_.find(graph);
+    // A full batch whose leader has not woken to seal it yet cannot take
+    // another lane — the arrival opens a replacement batch and leads it.
+    const bool leader =
+        it == forming_.end() ||
+        it->second->members.size() >=
+            static_cast<std::size_t>(opt_.max_lanes);
+    if (leader) {
+      b = std::make_shared<batch>();
+      b->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(opt_.window_ms);
+      b->members.reserve(static_cast<std::size_t>(opt_.max_lanes));
+      forming_[graph] = b;
+    } else {
+      b = it->second;
+    }
+    index = b->members.size();
+    b->members.push_back(
+        {std::move(req), std::move(id), deadline_ms, std::string()});
+
+    if (!leader) {
+      if (b->members.size() >=
+          static_cast<std::size_t>(opt_.max_lanes)) {
+        b->cv.notify_all();  // full house: wake the leader to seal now
+      }
+      b->cv.wait(lock, [&] { return b->done; });
+      return std::move(b->members[index].response);
+    }
+
+    // Leader: wait out the window (or a full batch), then seal by
+    // removing the forming entry — no later arrival can join once the
+    // map no longer points at this batch.
+    b->cv.wait_until(lock, b->deadline, [&] {
+      return b->members.size() >= static_cast<std::size_t>(opt_.max_lanes);
+    });
+    // Seal only our own entry — a replacement batch may own the slot if
+    // we filled up before waking.
+    const auto self = forming_.find(graph);
+    if (self != forming_.end() && self->second == b) forming_.erase(self);
+  }
+
+  // Run outside the lock: admission may block and the traversal is long.
+  try {
+    run_(graph, b->members);
+  } catch (const std::exception& e) {
+    for (auto& m : b->members) {
+      if (m.response.empty()) {
+        m.response = error_response(m.id, api::status::internal, e.what());
+      }
+    }
+  } catch (...) {
+    for (auto& m : b->members) {
+      if (m.response.empty()) {
+        m.response = error_response(m.id, api::status::internal,
+                                    "coalesced batch failed");
+      }
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    b->done = true;
+  }
+  b->cv.notify_all();
+  return std::move(b->members[0].response);
+}
+
+}  // namespace micg::serve

@@ -1,0 +1,86 @@
+// Query coalescing: batch concurrent single-source `bfs` requests into
+// one MSBFS traversal.
+//
+// MSBFS (bfs/msbfs.hpp) answers up to 64 sources for roughly one edge
+// sweep, but only if someone collects 64 concurrent questions. That is
+// this class: the first `bfs` arrival for a graph opens a *forming
+// batch* and becomes its leader; later arrivals for the same graph join
+// as followers. The batch seals when the formation window expires or
+// `max_lanes` requests have joined, whichever is first; the leader then
+// runs the whole batch (one admission slot, one pinned snapshot, one
+// msbfs call — see service::run_coalesced_batch) and publishes each
+// member's response. Followers block on the batch, never on admission,
+// so a small `max_inflight` cannot starve batch formation.
+//
+// The trade is explicit: every coalesced request waits up to `window_ms`
+// of formation latency to share the traversal. Lane levels are
+// bit-identical to a per-request seq_bfs (the MSBFS invariant), so
+// coalescing changes *when* a response arrives, never *what* it says.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "micg/api/api.hpp"
+#include "micg/bfs/msbfs.hpp"
+
+namespace micg::serve {
+
+struct coalesce_options {
+  /// Formation window: how long the first request of a batch waits for
+  /// company before sealing, in milliseconds. 0 disables coalescing.
+  std::int64_t window_ms = 0;
+  /// Seal early once this many requests joined. [1, 64] — one msbfs
+  /// lane word.
+  int max_lanes = bfs::msbfs_max_lanes;
+};
+
+/// One request's slot in a batch.
+struct coalesce_member {
+  api::bfs_request req;
+  std::string id;                ///< envelope id, echoed in the response
+  std::int64_t deadline_ms = 0;  ///< admission budget (leader's is used)
+  std::string response;          ///< response line, filled by the runner
+};
+
+class coalescer {
+ public:
+  /// Runs one sealed batch: admission, snapshot pin, one msbfs, demux.
+  /// Must fill every member's `response` and must not throw (a throw is
+  /// caught and turned into per-member `internal` responses).
+  using batch_runner = std::function<void(const std::string& graph,
+                                          std::vector<coalesce_member>&)>;
+
+  coalescer(coalesce_options opt, batch_runner run);
+
+  [[nodiscard]] const coalesce_options& opts() const { return opt_; }
+
+  /// Join (or open) the forming batch for `graph`; blocks until the
+  /// batch ran and returns this request's response line.
+  std::string submit(const std::string& graph, api::bfs_request req,
+                     std::string id, std::int64_t deadline_ms);
+
+ private:
+  struct batch {
+    std::vector<coalesce_member> members;
+    std::condition_variable cv;
+    std::chrono::steady_clock::time_point deadline;
+    bool done = false;
+  };
+
+  const coalesce_options opt_;
+  const batch_runner run_;
+  std::mutex mu_;
+  /// Graph name -> its currently forming batch. The leader erases its
+  /// entry when the batch seals, so later arrivals open a fresh batch.
+  std::map<std::string, std::shared_ptr<batch>> forming_;
+};
+
+}  // namespace micg::serve

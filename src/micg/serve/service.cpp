@@ -37,9 +37,30 @@ service::service(graph_store& store, service_options opt, obs::recorder* rec)
   MICG_CHECK(opt_.max_waiting >= 0, "max_waiting must be >= 0");
   MICG_CHECK(opt_.threads_per_query >= 1, "threads_per_query must be >= 1");
   MICG_CHECK(opt_.max_frame_bytes >= 64, "max_frame_bytes must be >= 64");
+  MICG_CHECK(opt_.default_deadline_ms >= 0,
+             "default_deadline_ms must be >= 0");
+  MICG_CHECK(opt_.compact_every >= 0, "compact_every must be >= 0");
+  MICG_CHECK(opt_.coalesce_window_ms >= 0,
+             "coalesce_window_ms must be >= 0");
+  MICG_CHECK(opt_.coalesce_lanes >= 1 &&
+                 opt_.coalesce_lanes <= bfs::msbfs_max_lanes,
+             "coalesce_lanes must be in [1, 64]");
+  MICG_CHECK(opt_.landmark_count >= 1 &&
+                 opt_.landmark_count <= bfs::landmark_max_count,
+             "landmark_count must be in [1, 64]");
   pools_.resize(static_cast<std::size_t>(opt_.max_inflight));
   free_slots_.reserve(static_cast<std::size_t>(opt_.max_inflight));
   for (int i = opt_.max_inflight - 1; i >= 0; --i) free_slots_.push_back(i);
+  if (opt_.coalesce_window_ms > 0) {
+    coalesce_options co;
+    co.window_ms = opt_.coalesce_window_ms;
+    co.max_lanes = opt_.coalesce_lanes;
+    coalescer_ = std::make_unique<coalescer>(
+        co, [this](const std::string& graph,
+                   std::vector<coalesce_member>& members) {
+          run_coalesced_batch(graph, members);
+        });
+  }
 }
 
 service::~service() {
@@ -48,6 +69,10 @@ service::~service() {
 }
 
 service::admit_result service::admit(std::int64_t deadline_ms) {
+  // Negative deadlines are rejected at parse time (protocol.cpp) and
+  // again by handle(); admit() must never quietly fold them into the
+  // default budget, so in-process misuse fails loudly here instead.
+  MICG_CHECK(deadline_ms >= 0, "deadline_ms must be >= 0");
   micg::stopwatch sw;
   std::unique_lock<std::mutex> lock(amu_);
   if (shutting_down_) return {api::status::shutting_down, -1, 0.0};
@@ -132,6 +157,53 @@ api::json service::execute(const request_envelope& req,
     throw not_found_error("unknown graph: " + req.graph);
   }
 
+  if (req.op == "approx_dist") {
+    const api::dist_request dreq = api::dist_request_from_json(req.params);
+    const versioned_graph::pin pin = vg->snapshot();
+    const std::int64_t n = pin.graph->num_vertices();
+    MICG_CHECK(n > 0, "approx_dist on an empty graph");
+    const std::int64_t source = dreq.source < 0 ? n / 2 : dreq.source;
+    MICG_CHECK(source < n, "source vertex out of range");
+    MICG_CHECK(dreq.target >= 0 && dreq.target < n,
+               "target vertex out of range");
+
+    api::dist_response r;
+    r.source = source;
+    r.target = dreq.target;
+    const auto idx = landmark_for(req.graph, pin, pool);
+    r.landmarks = idx->count();
+    const bfs::landmark_estimate est = idx->estimate(source, dreq.target);
+    if (est.exact) {
+      // The index is definitive: same vertex, provably disjoint
+      // components, or bounds that met. Exact even when exact=true.
+      r.distance = est.disjoint ? -1 : est.upper;
+      if (rec_ != nullptr) rec_->get_counter("serve.landmark.hits").inc(0);
+    } else if (!dreq.exact && est.upper >= 0) {
+      r.distance = est.upper;
+      r.approximate = true;
+      r.lower = est.lower;
+      r.upper = est.upper;
+      if (rec_ != nullptr) rec_->get_counter("serve.landmark.hits").inc(0);
+    } else {
+      // Exact demanded, or no pivot reaches both endpoints: one real
+      // traversal on the same pinned snapshot.
+      api::bfs_request breq;
+      breq.source = source;
+      breq.targets = {dreq.target};
+      api::run_context ctx;
+      ctx.pool = pool;
+      ctx.max_threads = opt_.threads_per_query;
+      ctx.rec = rec_;
+      ctx.snapshot_epoch = pin.epoch;
+      r.distance = api::run(*pin.graph, breq, ctx).target_levels.front();
+      if (rec_ != nullptr) {
+        rec_->get_counter("serve.landmark.fallbacks").inc(0);
+      }
+    }
+    return api::json(api::json_object{{"epoch", api::json(pin.epoch)},
+                                      {"result", api::to_json(r)}});
+  }
+
   if (api::is_query_op(req.op)) {
     const versioned_graph::pin pin = vg->snapshot();
     api::run_context ctx;
@@ -157,6 +229,7 @@ api::json service::execute(const request_envelope& req,
     if (opt_.compact_every > 0 &&
         vg->pending_ops() >= static_cast<std::size_t>(opt_.compact_every)) {
       vg->compact();
+      refresh_landmarks(req.graph, *vg, pool);
       compacted = true;
     }
     return api::json(api::json_object{
@@ -171,6 +244,7 @@ api::json service::execute(const request_envelope& req,
 
   if (req.op == "compact") {
     const std::int64_t epoch = vg->compact();
+    refresh_landmarks(req.graph, *vg, pool);
     const versioned_graph::pin pin = vg->snapshot();
     return api::json(api::json_object{
         {"epoch", api::json(epoch)},
@@ -185,6 +259,199 @@ api::json service::execute(const request_envelope& req,
   }
 
   throw not_found_error("unknown op: " + req.op);
+}
+
+std::shared_ptr<const bfs::landmark_index> service::landmark_for(
+    const std::string& name, const versioned_graph::pin& pin,
+    rt::thread_pool* pool) {
+  {
+    const std::lock_guard<std::mutex> lock(lmu_);
+    const auto it = landmarks_.find(name);
+    if (it != landmarks_.end() && it->second.epoch == pin.epoch) {
+      return it->second.idx;
+    }
+  }
+  // Build outside the lock: the precompute is an msbfs-sized edge sweep
+  // and must not block other graphs' cache lookups. Racing builders do
+  // redundant work but produce identical indexes (the pivot rule is
+  // deterministic), and every lookup re-checks the epoch key, so a
+  // last-writer-wins insert can never serve a stale answer.
+  bfs::landmark_options lo;
+  lo.count = opt_.landmark_count;
+  lo.ex.threads = opt_.threads_per_query;
+  lo.ex.pool = pool;
+  lo.ex.rec = rec_;
+  auto idx = std::make_shared<const bfs::landmark_index>(
+      bfs::build_landmarks(*pin.graph, lo));
+  {
+    const std::lock_guard<std::mutex> lock(lmu_);
+    landmarks_[name] = {pin.epoch, idx};
+  }
+  if (rec_ != nullptr) rec_->get_counter("serve.landmark.builds").inc(0);
+  return idx;
+}
+
+void service::refresh_landmarks(const std::string& name, versioned_graph& vg,
+                                rt::thread_pool* pool) {
+  {
+    const std::lock_guard<std::mutex> lock(lmu_);
+    if (landmarks_.find(name) == landmarks_.end()) return;  // stay lazy
+  }
+  // An index exists, so someone is querying this graph: rebuild against
+  // the post-compaction snapshot now (the mutating request pays, like
+  // the compaction itself) instead of on the next approx_dist.
+  landmark_for(name, vg.snapshot(), pool);
+}
+
+void service::run_coalesced_batch(const std::string& graph,
+                                  std::vector<coalesce_member>& members) {
+  if (rec_ != nullptr) {
+    rec_->get_counter("serve.requests")
+        .add(0, static_cast<std::uint64_t>(members.size()));
+    rec_->get_counter("serve.coalesce.batches").inc(0);
+    rec_->get_counter("serve.coalesce.requests")
+        .add(0, static_cast<std::uint64_t>(members.size()));
+  }
+
+  // One admission slot for the whole batch (the leader's deadline is the
+  // batch's); a leader-side admission failure is every member's failure.
+  const admit_result adm = admit(members.front().deadline_ms);
+  if (adm.st != api::status::ok) {
+    if (rec_ != nullptr) {
+      if (adm.st == api::status::overloaded) {
+        rec_->get_counter("serve.shed")
+            .add(0, static_cast<std::uint64_t>(members.size()));
+      }
+      if (adm.st == api::status::deadline_exceeded) {
+        rec_->get_counter("serve.deadline_expired")
+            .add(0, static_cast<std::uint64_t>(members.size()));
+      }
+    }
+    const char* msg = adm.st == api::status::overloaded
+                          ? "admission queue full, retry later"
+                          : adm.st == api::status::deadline_exceeded
+                                ? "request waited past its deadline"
+                                : "server is shutting down";
+    for (auto& m : members) m.response = error_response(m.id, adm.st, msg);
+    return;
+  }
+
+  rt::thread_pool* pool = pools_[static_cast<std::size_t>(adm.slot)].get();
+  {
+    // One span per batch (not per member): the unit of serving work here
+    // is the shared traversal.
+    obs::span span;
+    if (rec_ != nullptr) {
+      span = rec_->start_span("serve.coalesce/" + graph);
+      span.value("members", static_cast<double>(members.size()));
+      span.value("wait_ms", adm.wait_seconds * 1e3);
+    }
+    try {
+      const std::shared_ptr<versioned_graph> vg = store_.find(graph);
+      if (vg == nullptr) {
+        throw not_found_error("unknown graph: " + graph);
+      }
+      const versioned_graph::pin pin = vg->snapshot();
+      const std::int64_t n = pin.graph->num_vertices();
+      MICG_CHECK(n > 0, "bfs on an empty graph");
+
+      // Resolve sources against the pinned snapshot; duplicates share a
+      // lane. A member with a bad source gets its own bad_request and is
+      // excluded instead of poisoning the whole batch.
+      std::vector<std::int64_t> lane_sources;
+      std::map<std::int64_t, int> lane_of;
+      std::vector<int> member_lane(members.size(), -1);
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        const std::int64_t raw = members[i].req.source;
+        const std::int64_t s = raw < 0 ? n / 2 : raw;
+        if (s >= n) {
+          members[i].response =
+              error_response(members[i].id, api::status::bad_request,
+                             "source vertex out of range");
+          continue;
+        }
+        const auto [it, fresh] =
+            lane_of.try_emplace(s, static_cast<int>(lane_sources.size()));
+        if (fresh) lane_sources.push_back(s);
+        member_lane[i] = it->second;
+      }
+
+      bfs::msbfs_result res;
+      if (!lane_sources.empty()) {
+        bfs::msbfs_options mo;
+        mo.ex.threads = opt_.threads_per_query;
+        mo.ex.pool = pool;
+        mo.ex.rec = rec_;
+        res = pin.graph->visit([&](const auto& cg) {
+          using VId = typename std::decay_t<decltype(cg)>::vertex_type;
+          std::vector<VId> srcs;
+          srcs.reserve(lane_sources.size());
+          for (const std::int64_t s : lane_sources) {
+            srcs.push_back(static_cast<VId>(s));
+          }
+          return bfs::msbfs(cg, std::span<const VId>(srcs), mo);
+        });
+      }
+      span.value("lanes", static_cast<double>(lane_sources.size()));
+      span.value("epoch", static_cast<double>(pin.epoch));
+
+      // Demux: each member reads its lane. Levels are bit-identical to a
+      // per-request seq_bfs (the MSBFS invariant), so the response only
+      // differs from the uncoalesced path in its variant string.
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (member_lane[i] < 0) continue;  // already answered above
+        const int lane = member_lane[i];
+        api::bfs_response r;
+        r.variant = "MSBFS-coalesced";
+        r.source = lane_sources[static_cast<std::size_t>(lane)];
+        r.num_levels = res.num_levels[static_cast<std::size_t>(lane)];
+        r.reached =
+            static_cast<std::int64_t>(res.reached[static_cast<std::size_t>(
+                lane)]);
+        r.num_vertices = n;
+        const auto lv = res.lane_levels(lane);
+        bool bad_target = false;
+        for (const std::int64_t t : members[i].req.targets) {
+          if (t < 0 || t >= n) {
+            bad_target = true;
+            break;
+          }
+          r.target_levels.push_back(lv[static_cast<std::size_t>(t)]);
+        }
+        if (bad_target) {
+          members[i].response =
+              error_response(members[i].id, api::status::bad_request,
+                             "target vertex out of range");
+          continue;
+        }
+        members[i].response =
+            ok_response(members[i].id, api::to_json(r), pin.epoch);
+      }
+    } catch (const not_found_error& e) {
+      span.value("error", 1.0);
+      for (auto& m : members) {
+        if (m.response.empty()) {
+          m.response = error_response(m.id, api::status::not_found, e.what());
+        }
+      }
+    } catch (const micg::check_error& e) {
+      span.value("error", 1.0);
+      for (auto& m : members) {
+        if (m.response.empty()) {
+          m.response =
+              error_response(m.id, api::status::bad_request, e.what());
+        }
+      }
+    } catch (const std::exception& e) {
+      span.value("error", 1.0);
+      for (auto& m : members) {
+        if (m.response.empty()) {
+          m.response = error_response(m.id, api::status::internal, e.what());
+        }
+      }
+    }
+  }
+  release(adm.slot);
 }
 
 std::string service::handle(const request_envelope& req) {
@@ -220,12 +487,40 @@ std::string service::handle(const request_envelope& req) {
     return ok_response(req.id, api::json(api::json_object{}));
   }
 
+  // Belt-and-suspenders for the parse-time rejection: an envelope built
+  // in-process could still carry a negative deadline, and admit() would
+  // refuse it with a throw this path cannot turn into a response.
+  if (req.deadline_ms < 0) {
+    return error_response(req.id, api::status::bad_request,
+                          "deadline_ms must be >= 0");
+  }
+
+  if (coalescer_ != nullptr && req.op == "bfs") {
+    // Coalesced path: parse before joining a batch so a malformed
+    // request fails fast without holding a lane, then hand the request
+    // to the batch former (admission happens once per batch, inside
+    // run_coalesced_batch).
+    if (req.graph.empty()) {
+      return error_response(req.id, api::status::bad_request,
+                            "op 'bfs' needs a graph name");
+    }
+    try {
+      api::bfs_request breq = api::bfs_request_from_json(req.params);
+      return coalescer_->submit(req.graph, std::move(breq), req.id,
+                                req.deadline_ms);
+    } catch (const micg::check_error& e) {
+      return error_response(req.id, api::status::bad_request, e.what());
+    } catch (const std::exception& e) {
+      return error_response(req.id, api::status::internal, e.what());
+    }
+  }
+
   const admit_result adm = admit(req.deadline_ms);
   if (rec_ != nullptr) {
-    rec_->get_counter("serve.requests").add(0);
-    if (adm.st == api::status::overloaded) rec_->get_counter("serve.shed").add(0);
+    rec_->get_counter("serve.requests").inc(0);
+    if (adm.st == api::status::overloaded) rec_->get_counter("serve.shed").inc(0);
     if (adm.st == api::status::deadline_exceeded) {
-      rec_->get_counter("serve.deadline_expired").add(0);
+      rec_->get_counter("serve.deadline_expired").inc(0);
     }
   }
   if (adm.st != api::status::ok) {

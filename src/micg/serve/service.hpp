@@ -23,14 +23,17 @@
 #include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "micg/api/api.hpp"
+#include "micg/bfs/landmark.hpp"
 #include "micg/obs/obs.hpp"
 #include "micg/rt/thread_pool.hpp"
+#include "micg/serve/coalesce.hpp"
 #include "micg/serve/protocol.hpp"
 #include "micg/serve/store.hpp"
 #include "micg/support/assert.hpp"
@@ -55,6 +58,16 @@ struct service_options {
   /// (the mutating request pays for the rebuild); 0 = manual compaction
   /// via the `compact` op only.
   std::int64_t compact_every = 0;
+  /// Formation window for coalescing concurrent `bfs` requests into one
+  /// MSBFS batch (serve/coalesce.hpp); 0 = coalescing off, every bfs
+  /// request runs its own traversal.
+  std::int64_t coalesce_window_ms = 0;
+  /// Lanes per coalesced batch, [1, 64].
+  int coalesce_lanes = 64;
+  /// Pivots of the per-graph landmark index answering `approx_dist`,
+  /// [1, 64]. Indexes are built lazily on first use, keyed by snapshot
+  /// epoch, and refreshed when a compaction bumps the epoch.
+  int landmark_count = 16;
 };
 
 class service {
@@ -104,9 +117,33 @@ class service {
   api::json execute(const request_envelope& req, rt::thread_pool* pool);
   std::string handle(const request_envelope& req);
 
+  /// Leader-side body of one sealed coalesced batch: one admission slot,
+  /// one pinned snapshot, one msbfs, per-member demux.
+  void run_coalesced_batch(const std::string& graph,
+                           std::vector<coalesce_member>& members);
+
+  /// The landmark index of `name` at the pin's epoch (build or rebuild
+  /// when missing/stale). `refresh_landmarks` rebuilds after a compaction
+  /// but only if an index already exists (no spontaneous builds).
+  std::shared_ptr<const bfs::landmark_index> landmark_for(
+      const std::string& name, const versioned_graph::pin& pin,
+      rt::thread_pool* pool);
+  void refresh_landmarks(const std::string& name, versioned_graph& vg,
+                         rt::thread_pool* pool);
+
   graph_store& store_;
   const service_options opt_;
   obs::recorder* rec_;
+  std::unique_ptr<coalescer> coalescer_;  ///< null when coalescing is off
+
+  /// Epoch-keyed landmark cache: one immutable index per graph, valid
+  /// for exactly the epoch it was built against.
+  struct landmark_entry {
+    std::int64_t epoch = -1;
+    std::shared_ptr<const bfs::landmark_index> idx;
+  };
+  std::mutex lmu_;
+  std::map<std::string, landmark_entry> landmarks_;
 
   mutable std::mutex amu_;
   std::condition_variable acv_;

@@ -199,6 +199,44 @@ TEST(ApiRequest, UnknownJsonFieldsAreIgnored) {
       json::parse(R"({"source":1,"future_field":true})")));
 }
 
+TEST(ApiRequest, DistRequestParsesAndDefaults) {
+  const auto full = micg::api::dist_request_from_json(
+      json::parse(R"({"source":3,"target":9,"exact":true})"));
+  EXPECT_EQ(full.source, 3);
+  EXPECT_EQ(full.target, 9);
+  EXPECT_TRUE(full.exact);
+  const auto defaults = micg::api::dist_request_from_json(json::parse("{}"));
+  EXPECT_EQ(defaults.source, -1);  // resolves to |V|/2 serving-side
+  EXPECT_EQ(defaults.target, 0);
+  EXPECT_FALSE(defaults.exact);
+  EXPECT_THROW((void)micg::api::dist_request_from_json(
+                   json::parse(R"({"target":"nine"})")),
+               micg::check_error);
+}
+
+TEST(ApiRequest, DistResponseSerializesBoundsOnlyWhenApproximate) {
+  micg::api::dist_response exact;
+  exact.source = 0;
+  exact.target = 5;
+  exact.distance = 5;
+  const json je = micg::api::to_json(exact);
+  EXPECT_EQ(je.at("distance").as_int(), 5);
+  EXPECT_FALSE(je.at("approximate").as_bool());
+  EXPECT_EQ(je.find("lower"), nullptr);
+  EXPECT_EQ(je.find("upper"), nullptr);
+
+  micg::api::dist_response approx = exact;
+  approx.approximate = true;
+  approx.lower = 3;
+  approx.upper = 5;
+  approx.landmarks = 16;
+  const json ja = micg::api::to_json(approx);
+  EXPECT_TRUE(ja.at("approximate").as_bool());
+  EXPECT_EQ(ja.at("lower").as_int(), 3);
+  EXPECT_EQ(ja.at("upper").as_int(), 5);
+  EXPECT_EQ(ja.at("landmarks").as_int(), 16);
+}
+
 TEST(ApiRequest, WrongTypedJsonFieldThrows) {
   EXPECT_THROW((void)micg::api::bfs_request_from_json(
                    json::parse(R"({"source":"zero"})")),

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "micg/bfs/landmark.hpp"
 #include "micg/graph/any_csr.hpp"
 #include "micg/graph/builder.hpp"
 #include "micg/graph/delta.hpp"
@@ -179,6 +180,54 @@ TEST(ApplyDelta, InterleavedCompactionEqualsSingleCompaction) {
                                                        0.15, 1));
   for (const int every : {1, 3, 10}) {
     run_differential(base, 42, 90, every);
+  }
+}
+
+TEST(ApplyDelta, LandmarksOnCompactedGraphMatchFromScratchRebuild) {
+  // The serving layer rebuilds its landmark cache after every compaction;
+  // that is only sound if an index built on the compacted graph is
+  // indistinguishable from one built on a from-scratch rebuild of the
+  // same edge set — same pivots, same distance table, same estimates.
+  const any_csr base =
+      micg::graph::to_narrowest(micg::graph::make_grid_2d(8, 8));
+  edge_set oracle = edges_of(base);
+  edge_delta d;
+  d.insert(0, 63);
+  d.insert(7, 56);
+  d.erase(0, 1);
+  d.insert(10, 70);  // grows the vertex set
+  oracle.insert(norm(0, 63));
+  oracle.insert(norm(7, 56));
+  oracle.erase(norm(0, 1));
+  oracle.insert(norm(10, 70));
+
+  const any_csr compacted = apply_delta(base, d);
+  const any_csr rebuilt = rebuild(71, oracle);
+
+  micg::bfs::landmark_options lo;
+  lo.count = 8;
+  lo.ex.threads = 1;
+  const micg::bfs::landmark_index a = micg::bfs::build_landmarks(compacted, lo);
+  const micg::bfs::landmark_index b = micg::bfs::build_landmarks(rebuilt, lo);
+
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.pivots(), b.pivots());
+  for (int p = 0; p < a.count(); ++p) {
+    for (std::int64_t v = 0; v < a.num_vertices(); ++v) {
+      ASSERT_EQ(a.pivot_level(p, v), b.pivot_level(p, v))
+          << "pivot " << p << " vertex " << v;
+    }
+  }
+  for (std::int64_t u = 0; u < a.num_vertices(); u += 7) {
+    for (std::int64_t v = 0; v < a.num_vertices(); v += 5) {
+      const auto ea = a.estimate(u, v);
+      const auto eb = b.estimate(u, v);
+      EXPECT_EQ(ea.upper, eb.upper) << u << "," << v;
+      EXPECT_EQ(ea.lower, eb.lower) << u << "," << v;
+      EXPECT_EQ(ea.disjoint, eb.disjoint) << u << "," << v;
+      EXPECT_EQ(ea.exact, eb.exact) << u << "," << v;
+    }
   }
 }
 

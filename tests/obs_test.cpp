@@ -31,8 +31,19 @@ TEST(ObsCounter, MergesPerWorkerSlots) {
   std::uint64_t expect = 0;
   for (int w = 0; w < 200; ++w) expect += static_cast<std::uint64_t>(w);
   EXPECT_EQ(c.total(), expect);
-  c.add(-1);  // negative ids fold to slot 0 instead of invoking UB
+  c.inc(-1);  // negative ids fold to slot 0 instead of invoking UB
   EXPECT_EQ(c.total(), expect + 1);
+}
+
+TEST(ObsCounter, IncIsExactlyAddOne) {
+  // add(w, v) used to default v to 1, so `add(w)` — meaning "count one
+  // event" — read as "add w". inc(w) is the unambiguous spelling; add()
+  // now always takes an explicit amount.
+  micg::obs::counter c("test");
+  c.inc(3);
+  EXPECT_EQ(c.total(), 1u);  // one event, regardless of the worker id
+  c.add(3, 41);
+  EXPECT_EQ(c.total(), 42u);
 }
 
 class ObsCounterUnderPool : public ::testing::TestWithParam<int> {};
@@ -46,7 +57,7 @@ TEST_P(ObsCounterUnderPool, ExactTotalAcrossWorkers) {
   micg::obs::counter& c = rec.get_counter("pool.items");
   constexpr std::uint64_t kPerWorker = 10000;
   pool.run(workers, [&](int w) {
-    for (std::uint64_t i = 0; i < kPerWorker; ++i) c.add(w);
+    for (std::uint64_t i = 0; i < kPerWorker; ++i) c.inc(w);
   });
   EXPECT_EQ(c.total(), kPerWorker * static_cast<std::uint64_t>(workers));
   EXPECT_EQ(counter_value(rec.take(), "pool.items"),
@@ -198,7 +209,7 @@ TEST(ObsEmit, CsvListsScalarsAndSpans) {
 
 TEST(ObsRecorder, ResetDropsEverything) {
   micg::obs::recorder rec;
-  rec.get_counter("c").add(0);
+  rec.get_counter("c").inc(0);
   rec.set_meta("k", "v");
   rec.reset();
   const auto snap = rec.take();

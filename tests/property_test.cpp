@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "micg/bfs/direction.hpp"
+#include "micg/bfs/landmark.hpp"
 #include "micg/bfs/layered.hpp"
 #include "micg/bfs/msbfs.hpp"
 #include "micg/bfs/seq.hpp"
@@ -183,6 +184,96 @@ TEST_F(PropertySweep, MsbfsLanesMatchSeqAcrossLaneCountsAndThreads) {
             const auto ref = micg::bfs::seq_bfs(g, sources[s]);
             ASSERT_EQ(levels[s], ref.level)
                 << "source index " << s << " = " << sources[s];
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST_F(PropertySweep, MsbfsPoolTilesOver64SourcesMatchingSeq) {
+  // Regression for the msbfs_pool tiling path: a batch list longer than
+  // one 64-lane word must split into multiple batches whose lanes still
+  // match a per-source seq_bfs exactly (including duplicate sources that
+  // land in different batches).
+  for (const auto& gg : graphs_) {
+    for_each_layout(gg.g, [&](const auto& g, const char* layout) {
+      SCOPED_TRACE(trace(gg, layout));
+      using VId = typename std::decay_t<decltype(g)>::vertex_type;
+      const auto n = g.num_vertices();
+      std::vector<VId> sources;
+      for (int i = 0; i < 70; ++i) {
+        sources.push_back(static_cast<VId>(
+            static_cast<std::int64_t>(i) * n / 70));
+      }
+      sources.push_back(sources[0]);   // duplicate across batch boundary
+      sources.push_back(sources[65]);
+      for (const int threads : {1, 4}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        micg::bfs::msbfs_pool::options opt;
+        opt.ex.threads = threads;
+        opt.lanes = micg::bfs::msbfs_max_lanes;
+        const micg::bfs::msbfs_pool pool(opt);
+        const auto levels =
+            pool.run_levels(g, std::span<const VId>(sources));
+        ASSERT_EQ(levels.size(), sources.size());
+        for (std::size_t s = 0; s < sources.size(); ++s) {
+          const auto ref = micg::bfs::seq_bfs(g, sources[s]);
+          ASSERT_EQ(levels[s], ref.level)
+              << "source index " << s << " = " << sources[s];
+        }
+      }
+    });
+  }
+}
+
+// ---------------------------------------------- landmark distance bounds
+
+TEST_F(PropertySweep, LandmarkBoundsBracketSeqDistances) {
+  for (const auto& gg : graphs_) {
+    for_each_layout(gg.g, [&](const auto& g, const char* layout) {
+      SCOPED_TRACE(trace(gg, layout));
+      using VId = typename std::decay_t<decltype(g)>::vertex_type;
+      const auto n = static_cast<std::int64_t>(g.num_vertices());
+      micg::bfs::landmark_options lo;
+      lo.count = 8;
+      lo.ex.threads = 4;
+      const auto idx = micg::bfs::build_landmarks(g, lo);
+      ASSERT_GE(idx.count(), 1);
+      ASSERT_EQ(idx.num_vertices(), n);
+
+      // Pivot rows are exactly the pivot's seq_bfs levels.
+      const auto p0 = idx.pivots().front();
+      const auto pref = micg::bfs::seq_bfs(g, static_cast<VId>(p0));
+      for (std::int64_t v = 0; v < n; v += std::max<std::int64_t>(n / 7, 1)) {
+        ASSERT_EQ(idx.pivot_level(0, v),
+                  pref.level[static_cast<std::size_t>(v)]);
+      }
+
+      // Sampled pairs: the estimate must bracket the true distance and
+      // its exact/disjoint claims must be right.
+      const std::int64_t stride = std::max<std::int64_t>(n / 5, 1);
+      for (std::int64_t u = 0; u < n; u += stride) {
+        const auto ref = micg::bfs::seq_bfs(g, static_cast<VId>(u));
+        for (std::int64_t v = 0; v < n; v += stride) {
+          SCOPED_TRACE("u=" + std::to_string(u) + " v=" + std::to_string(v));
+          const auto est = idx.estimate(u, v);
+          const int d = ref.level[static_cast<std::size_t>(v)];
+          if (est.disjoint) {
+            EXPECT_EQ(d, -1);
+            EXPECT_TRUE(est.exact);
+          } else if (d >= 0) {
+            if (est.upper >= 0) {
+              EXPECT_LE(est.lower, d);
+              EXPECT_GE(est.upper, d);
+            }
+            if (est.exact) {
+              EXPECT_EQ(est.upper, d);
+            }
+          }
+          if (u == v) {
+            EXPECT_TRUE(est.exact);
+            EXPECT_EQ(est.upper, 0);
           }
         }
       }

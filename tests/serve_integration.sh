@@ -136,4 +136,110 @@ print(f"validated serving metrics: {len(spans)} spans, "
       f"{r['counters']['serve.requests']} requests, max epoch {max(epochs):.0f}")
 EOF
 
+# ---------------------------------------------------------------------------
+# Part 2: the coalesced serving path. A second server runs with the
+# coalescing window and the landmark cache on; the scripted mix is
+# sequential, so every bfs forms a deterministic single-member batch
+# (answered through the MSBFS demux path, variant "MSBFS-coalesced"),
+# and the approx_dist answers exercise hit / exact-fallback / same-vertex
+# / post-compaction-refresh — all byte-compared against a second golden.
+
+sock2="$work/serve2.sock"
+"$MICG" serve --listen "unix:$sock2" --graph "g=$work/g.micg" \
+  --threads-per-query 1 --coalesce-window-ms 40 --coalesce-lanes 8 \
+  --landmarks 16 --metrics-json "$work/metrics2.json" \
+  >"$work/serve2.log" 2>&1 &
+server_pid=$!
+
+ready=0
+for _ in $(seq 1 200); do
+  if grep -q "^serving 1 graph(s) on " "$work/serve2.log" 2>/dev/null; then
+    ready=1
+    break
+  fi
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "FAIL: coalescing server exited before becoming ready" >&2
+    cat "$work/serve2.log" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+if [ "$ready" != 1 ]; then
+  echo "FAIL: coalescing server never printed the readiness line" >&2
+  cat "$work/serve2.log" >&2
+  exit 1
+fi
+
+cat >"$work/script2.ndjson" <<'EOF'
+{"id":"c01","op":"bfs","graph":"g","params":{"source":0,"targets":[63]}}
+{"id":"c02","op":"approx_dist","graph":"g","params":{"source":0,"target":63}}
+{"id":"c03","op":"approx_dist","graph":"g","params":{"source":0,"target":63,"exact":true}}
+{"id":"c04","op":"approx_dist","graph":"g","params":{"source":5,"target":5}}
+{"id":"c05","op":"insert","graph":"g","params":{"edges":[[0,63]]}}
+{"id":"c06","op":"compact","graph":"g"}
+{"id":"c07","op":"bfs","graph":"g","params":{"source":0,"targets":[63]}}
+{"id":"c08","op":"approx_dist","graph":"g","params":{"source":0,"target":63}}
+{"id":"c09","op":"bfs","graph":"g","params":{"source":9000}}
+{"id":"c10","op":"approx_dist","graph":"g","params":{"target":9000}}
+EOF
+
+"$MICG" query --connect "unix:$sock2" --script "$work/script2.ndjson" \
+  >"$work/session2.out"
+
+if ! diff -u "$GOLDEN_DIR/serve_coalesce.golden" "$work/session2.out"; then
+  echo "FAIL: coalesced session transcript diverged from golden" >&2
+  echo "(MICG_UPDATE_GOLDENS: cp $work/session2.out" \
+       "tests/golden/serve_coalesce.golden)" >&2
+  exit 1
+fi
+
+"$MICG" query --connect "unix:$sock2" shutdown >/dev/null
+wait "$server_pid"
+server_pid=""
+
+grep -q "^shutdown complete$" "$work/serve2.log"
+
+python3 - "$work/metrics2.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "micg.metrics.v1", doc.get("schema")
+records = doc["records"]
+assert len(records) == 1, f"one serving record expected, got {len(records)}"
+r = records[0]
+c = r["counters"]
+
+# c01/c07/c09 each form a single-member batch; the other seven gated
+# requests take the ordinary path, and the request counter sees all ten
+# uniformly.
+assert c["serve.coalesce.batches"] == 3, c
+assert c["serve.coalesce.requests"] == 3, c
+assert c["serve.requests"] == 10, c
+
+# approx_dist accounting: c02 (approximate), c04 (same vertex) and c08
+# (post-compaction) answer from the index; c03 demands exact and falls
+# back to one real traversal; c10 is rejected before the index is
+# consulted. The index is built lazily at c02 and refreshed by the c06
+# compaction.
+assert c["serve.landmark.hits"] == 3, c
+assert c["serve.landmark.fallbacks"] == 1, c
+assert c["serve.landmark.builds"] == 2, c
+assert c["landmark.builds"] == 2, c
+
+spans = [s for s in r["spans"] if s["name"].startswith("serve.")]
+names = [s["name"] for s in spans]
+assert names.count("serve.coalesce/g") == 3, names
+assert names.count("serve.approx_dist/g") == 5, names
+batch_spans = [s for s in spans if s["name"] == "serve.coalesce/g"]
+for s in batch_spans:
+    assert s["values"]["members"] == 1.0, s
+epochs = [s["values"]["epoch"] for s in spans if "epoch" in s["values"]]
+assert epochs and max(epochs) == 1.0, epochs
+print(f"validated coalesced metrics: {len(spans)} spans, "
+      f"{c['serve.coalesce.batches']} batches, "
+      f"{c['serve.landmark.builds']} landmark builds")
+EOF
+
 echo "serve_integration OK"

@@ -16,7 +16,10 @@
 #include <vector>
 
 #include "micg/api/json.hpp"
+#include "micg/bfs/seq.hpp"
+#include "micg/graph/builder.hpp"
 #include "micg/graph/generators.hpp"
+#include "micg/obs/obs.hpp"
 #include "micg/qa/faulty_stream.hpp"
 #include "micg/serve/client.hpp"
 #include "micg/serve/protocol.hpp"
@@ -327,6 +330,322 @@ TEST(Admission, ShutdownRejectsNewWorkButAnswersControlOps) {
   EXPECT_FALSE(svc.shutdown_requested());
   EXPECT_EQ(status_of(svc.handle_line(R"({"op":"shutdown"})")), "ok");
   EXPECT_TRUE(svc.shutdown_requested());
+}
+
+TEST(Admission, InvalidOptionsAreRejectedAtConstruction) {
+  graph_store store;
+  // A negative default deadline used to be silently treated as "use the
+  // default" deeper in the stack; now every knob is validated up front.
+  EXPECT_THROW(service(store, {.default_deadline_ms = -1}),
+               micg::check_error);
+  EXPECT_THROW(service(store, {.compact_every = -1}), micg::check_error);
+  EXPECT_THROW(service(store, {.coalesce_window_ms = -1}),
+               micg::check_error);
+  EXPECT_THROW(service(store, {.coalesce_lanes = 0}), micg::check_error);
+  EXPECT_THROW(service(store, {.coalesce_lanes = 65}), micg::check_error);
+  EXPECT_THROW(service(store, {.landmark_count = 0}), micg::check_error);
+  EXPECT_THROW(service(store, {.landmark_count = 65}), micg::check_error);
+}
+
+TEST(Admission, ClientRefusesToSendANegativeDeadline) {
+  // The client used to drop deadline_ms <= 0 from the wire envelope, so a
+  // typo like `--deadline-ms -5` silently meant "wait forever".
+  EXPECT_THROW((void)micg::serve::make_request("ping", "", micg::api::json(),
+                                               -5, ""),
+               micg::check_error);
+}
+
+TEST_F(ServiceTest, NegativeWireDeadlineIsABadRequest) {
+  service svc(store_, opts_);
+  EXPECT_EQ(
+      status_of(svc.handle_line(
+          R"({"op":"bfs","graph":"g","deadline_ms":-1,"params":{"source":0}})")),
+      "bad_request");
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing: concurrent bfs requests share one MSBFS traversal
+
+TEST(Coalesce, WindowBatchesConcurrentRequestsAndDemuxesExactly) {
+  graph_store store;
+  store.add("g", grid());
+  micg::obs::recorder rec;
+  service svc(store,
+              {.max_inflight = 2, .max_waiting = 2, .threads_per_query = 1,
+               .coalesce_window_ms = 400},
+              &rec);
+
+  // The first request opens the batch and leads; the second lands well
+  // inside the 400 ms window and joins. One MSBFS answers both.
+  std::string ra, rb;
+  std::thread a([&] {
+    ra = svc.handle_line(
+        R"({"id":"a","op":"bfs","graph":"g","params":{"source":0,"targets":[63]}})");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  std::thread b([&] {
+    rb = svc.handle_line(
+        R"({"id":"b","op":"bfs","graph":"g","params":{"source":63,"targets":[0]}})");
+  });
+  a.join();
+  b.join();
+
+  const json ja = parse(ra);
+  const json jb = parse(rb);
+  ASSERT_EQ(ja.at("status").as_string(), "ok") << ra;
+  ASSERT_EQ(jb.at("status").as_string(), "ok") << rb;
+  EXPECT_EQ(ja.at("id").as_string(), "a");
+  EXPECT_EQ(jb.at("id").as_string(), "b");
+  EXPECT_EQ(ja.at("result").at("variant").as_string(), "MSBFS-coalesced");
+  EXPECT_EQ(ja.at("result").at("target_levels").as_array()[0].as_int(), 14);
+  EXPECT_EQ(jb.at("result").at("target_levels").as_array()[0].as_int(), 14);
+  EXPECT_EQ(ja.at("result").at("reached").as_int(), 64);
+  // One batch, two member requests, and the uniform request counter saw
+  // both members.
+  EXPECT_EQ(rec.get_counter("serve.coalesce.batches").total(), 1u);
+  EXPECT_EQ(rec.get_counter("serve.coalesce.requests").total(), 2u);
+  EXPECT_EQ(rec.get_counter("serve.requests").total(), 2u);
+}
+
+TEST(Coalesce, BadMemberFailsAloneWithoutPoisoningItsBatch) {
+  graph_store store;
+  store.add("g", grid());
+  service svc(store, {.max_inflight = 2, .max_waiting = 2,
+                      .threads_per_query = 1, .coalesce_window_ms = 400});
+
+  std::string ra, rb;
+  std::thread a([&] {
+    ra = svc.handle_line(
+        R"({"id":"a","op":"bfs","graph":"g","params":{"source":1000}})");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  std::thread b([&] {
+    rb = svc.handle_line(
+        R"({"id":"b","op":"bfs","graph":"g","params":{"source":0,"targets":[63]}})");
+  });
+  a.join();
+  b.join();
+
+  EXPECT_EQ(status_of(ra), "bad_request") << ra;
+  const json jb = parse(rb);
+  ASSERT_EQ(jb.at("status").as_string(), "ok") << rb;
+  EXPECT_EQ(jb.at("result").at("target_levels").as_array()[0].as_int(), 14);
+}
+
+TEST(Coalesce, ShutdownShedsCoalescedRequests) {
+  graph_store store;
+  store.add("g", grid());
+  service svc(store, {.max_inflight = 1, .max_waiting = 1,
+                      .threads_per_query = 1, .coalesce_window_ms = 50});
+  svc.begin_shutdown();
+  // The leader's admission failure is every member's failure.
+  EXPECT_EQ(status_of(svc.handle_line(
+                R"({"op":"bfs","graph":"g","params":{"source":0}})")),
+            "shutting_down");
+}
+
+// The coalesced path must answer exactly what per-request seq_bfs would,
+// for every generator family and storage layout, regardless of how
+// arrivals happen to group into batches.
+TEST(Coalesce, DifferentialOracleAcrossFamiliesAndLayouts) {
+  using micg::graph::csr_graph;
+  using micg::graph::csr_layout;
+  struct family {
+    const char* name;
+    csr_graph g;
+  };
+  std::vector<family> families;
+  families.push_back({"grid", micg::graph::make_grid_2d(9, 7)});
+  families.push_back({"er", micg::graph::make_erdos_renyi(96, 4.0, 7)});
+  families.push_back(
+      {"rmat", micg::graph::make_rmat(6, 6, 0.57, 0.19, 0.19, 11)});
+  constexpr csr_layout kLayouts[] = {csr_layout::v32e32, csr_layout::v32e64,
+                                     csr_layout::v64e64};
+
+  graph_store store;
+  std::vector<std::string> names;
+  for (const auto& fam : families) {
+    const micg::graph::any_csr base = micg::graph::to_narrowest(fam.g);
+    for (const csr_layout lay : kLayouts) {
+      std::string name =
+          std::string(fam.name) + "/" + micg::graph::layout_name(lay);
+      store.add(name, micg::graph::to_layout(base, lay));
+      names.push_back(std::move(name));
+    }
+  }
+  service svc(store, {.max_inflight = 4, .max_waiting = 64,
+                      .threads_per_query = 1, .coalesce_window_ms = 25,
+                      .coalesce_lanes = 8});
+
+  for (std::size_t fi = 0; fi < families.size(); ++fi) {
+    const csr_graph& g = families[fi].g;
+    const std::int64_t n = g.num_vertices();
+    const std::int64_t targets[3] = {0, n / 2, n - 1};
+    for (std::size_t li = 0; li < 3; ++li) {
+      const std::string& name = names[fi * 3 + li];
+      // Four concurrent requests with distinct sources; batching is
+      // timing-dependent, correctness must not be.
+      constexpr int kQueries = 4;
+      std::string responses[kQueries];
+      std::vector<std::thread> threads;
+      for (int q = 0; q < kQueries; ++q) {
+        threads.emplace_back([&, q] {
+          const std::int64_t source = q * n / kQueries;
+          json_object params{
+              {"source", json(source)},
+              {"targets", json(micg::api::json_array{
+                              json(targets[0]), json(targets[1]),
+                              json(targets[2])})}};
+          responses[q] = svc.handle_line(micg::serve::make_request(
+                                             "bfs", name,
+                                             json(std::move(params)))
+                                             .dump());
+        });
+      }
+      for (auto& t : threads) t.join();
+
+      for (int q = 0; q < kQueries; ++q) {
+        const std::int64_t source = q * n / kQueries;
+        const micg::bfs::bfs_result oracle =
+            micg::bfs::seq_bfs(g, static_cast<std::int32_t>(source));
+        const json resp = parse(responses[q]);
+        ASSERT_EQ(resp.at("status").as_string(), "ok")
+            << name << " source " << source << ": " << responses[q];
+        const json& r = resp.at("result");
+        EXPECT_EQ(r.at("variant").as_string(), "MSBFS-coalesced");
+        EXPECT_EQ(r.at("num_levels").as_int(), oracle.num_levels)
+            << name << " source " << source;
+        EXPECT_EQ(r.at("reached").as_int(),
+                  static_cast<std::int64_t>(oracle.reached))
+            << name << " source " << source;
+        const auto& levels = r.at("target_levels").as_array();
+        ASSERT_EQ(levels.size(), 3u);
+        for (int t = 0; t < 3; ++t) {
+          EXPECT_EQ(levels[t].as_int(), oracle.level[targets[t]])
+              << name << " source " << source << " target " << targets[t];
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// approx_dist: landmark estimates, exact fallback, epoch invalidation
+
+namespace approx {
+
+// Two disjoint 32-vertex chains: 0-1-...-31 and 32-33-...-63. All the
+// top-degree pivots (degree 2, ties to the lower id) live in the first
+// chain, so the second chain is invisible to the landmark index.
+micg::graph::any_csr two_chains() {
+  micg::graph::graph_builder64 b(64);
+  for (std::int64_t i = 0; i + 1 < 32; ++i) b.add_edge(i, i + 1);
+  for (std::int64_t i = 32; i + 1 < 64; ++i) b.add_edge(i, i + 1);
+  return micg::graph::build_auto(std::move(b));
+}
+
+}  // namespace approx
+
+TEST(ApproxDist, ChainBoundsBracketTheExactDistance) {
+  graph_store store;
+  store.add("c", micg::graph::to_narrowest(micg::graph::make_chain(32)));
+  micg::obs::recorder rec;
+  service svc(store,
+              {.max_inflight = 2, .max_waiting = 2, .threads_per_query = 1},
+              &rec);
+
+  // Same vertex: trivially exact, never approximate.
+  const json same = parse(svc.handle_line(
+      R"({"op":"approx_dist","graph":"c","params":{"source":5,"target":5}})"));
+  ASSERT_EQ(same.at("status").as_string(), "ok");
+  EXPECT_EQ(same.at("result").at("distance").as_int(), 0);
+  EXPECT_FALSE(same.at("result").at("approximate").as_bool());
+  EXPECT_EQ(same.at("result").at("landmarks").as_int(), 16);
+
+  // End to end on the chain (true distance 31): every pivot sits on the
+  // one path, so the triangle upper bound is tight (31) while the best
+  // lower bound |d(L,0)-d(L,31)| = 29 comes from pivot 1. Bounds do not
+  // meet -> flagged approximate, and the answer upper-bounds the truth.
+  const json est = parse(svc.handle_line(
+      R"({"op":"approx_dist","graph":"c","params":{"source":0,"target":31}})"));
+  ASSERT_EQ(est.at("status").as_string(), "ok");
+  EXPECT_TRUE(est.at("result").at("approximate").as_bool());
+  EXPECT_EQ(est.at("result").at("distance").as_int(), 31);
+  EXPECT_EQ(est.at("result").at("upper").as_int(), 31);
+  EXPECT_EQ(est.at("result").at("lower").as_int(), 29);
+
+  // exact=true demands a real traversal: same number, no approximate
+  // flag, and the fallback counter moves.
+  const json exact = parse(svc.handle_line(
+      R"({"op":"approx_dist","graph":"c","params":{"source":0,"target":31,"exact":true}})"));
+  ASSERT_EQ(exact.at("status").as_string(), "ok");
+  EXPECT_EQ(exact.at("result").at("distance").as_int(), 31);
+  EXPECT_FALSE(exact.at("result").at("approximate").as_bool());
+  EXPECT_EQ(rec.get_counter("serve.landmark.fallbacks").total(), 1u);
+  EXPECT_EQ(rec.get_counter("serve.landmark.hits").total(), 2u);
+  // One graph, one epoch: the index was built exactly once.
+  EXPECT_EQ(rec.get_counter("serve.landmark.builds").total(), 1u);
+}
+
+TEST(ApproxDist, PivotBlindPairsFallBackToAnExactTraversal) {
+  graph_store store;
+  store.add("cc", approx::two_chains());
+  micg::obs::recorder rec;
+  service svc(store,
+              {.max_inflight = 2, .max_waiting = 2, .threads_per_query = 1},
+              &rec);
+
+  // Both endpoints live in the chain no pivot can reach: the index knows
+  // nothing, so the service silently runs the real traversal.
+  const json resp = parse(svc.handle_line(
+      R"({"op":"approx_dist","graph":"cc","params":{"source":40,"target":50}})"));
+  ASSERT_EQ(resp.at("status").as_string(), "ok");
+  EXPECT_EQ(resp.at("result").at("distance").as_int(), 10);
+  EXPECT_FALSE(resp.at("result").at("approximate").as_bool());
+  EXPECT_EQ(rec.get_counter("serve.landmark.fallbacks").total(), 1u);
+  EXPECT_EQ(rec.get_counter("serve.landmark.hits").total(), 0u);
+}
+
+TEST(ApproxDist, CompactionInvalidatesTheLandmarkCache) {
+  graph_store store;
+  store.add("cc", approx::two_chains());
+  micg::obs::recorder rec;
+  service svc(store,
+              {.max_inflight = 2, .max_waiting = 2, .threads_per_query = 1},
+              &rec);
+
+  // Epoch 0: a pivot reaches 0 but not 63, which proves the endpoints
+  // sit in different components — definitive, not approximate.
+  const json before = parse(svc.handle_line(
+      R"({"op":"approx_dist","graph":"cc","params":{"source":0,"target":63}})"));
+  ASSERT_EQ(before.at("status").as_string(), "ok");
+  EXPECT_EQ(before.at("epoch").as_int(), 0);
+  EXPECT_EQ(before.at("result").at("distance").as_int(), -1);
+  EXPECT_FALSE(before.at("result").at("approximate").as_bool());
+
+  // Bridge the chains and compact: epoch bumps, and the compaction
+  // refreshes the cached index. A stale cache would still insist the
+  // pair is unreachable.
+  EXPECT_EQ(status_of(svc.handle_line(
+                R"({"op":"insert","graph":"cc","params":{"edges":[[31,32]]}})")),
+            "ok");
+  const json comp =
+      parse(svc.handle_line(R"({"op":"compact","graph":"cc"})"));
+  ASSERT_EQ(comp.at("status").as_string(), "ok");
+  EXPECT_EQ(comp.at("epoch").as_int(), 1);
+
+  const json after = parse(svc.handle_line(
+      R"({"op":"approx_dist","graph":"cc","params":{"source":0,"target":63}})"));
+  ASSERT_EQ(after.at("status").as_string(), "ok");
+  EXPECT_EQ(after.at("epoch").as_int(), 1);
+  // The 64-chain end-to-end distance; every pivot's sum bound is tight.
+  EXPECT_EQ(after.at("result").at("distance").as_int(), 63);
+  EXPECT_TRUE(after.at("result").at("approximate").as_bool());
+  EXPECT_EQ(after.at("result").at("upper").as_int(), 63);
+
+  // Built once lazily at epoch 0, rebuilt eagerly by the compaction; the
+  // post-compaction query hit the refreshed cache instead of building.
+  EXPECT_EQ(rec.get_counter("serve.landmark.builds").total(), 2u);
 }
 
 // ---------------------------------------------------------------------------

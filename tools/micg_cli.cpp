@@ -77,6 +77,7 @@ using micg::graph::csr_graph;
       "  micg serve --listen ADDR --graph NAME=PATH [--graph NAME=PATH ...]\n"
       "          [--max-inflight N] [--max-waiting N] [--threads-per-query N]\n"
       "          [--deadline-ms D] [--compact-every N] [--max-frame-bytes B]\n"
+      "          [--coalesce-window-ms W] [--coalesce-lanes L] [--landmarks K]\n"
       "  micg query --connect ADDR OP [--graph NAME] [--params JSON]\n"
       "          [--deadline-ms D] [--id TAG]\n"
       "  micg query --connect ADDR --script FILE|-\n"
@@ -354,6 +355,12 @@ int cmd_serve(const arg_parser& args) {
   opt.svc.max_frame_bytes = static_cast<std::size_t>(args.flag_int(
       "max-frame-bytes",
       static_cast<std::int64_t>(opt.svc.max_frame_bytes)));
+  opt.svc.coalesce_window_ms =
+      args.flag_int("coalesce-window-ms", opt.svc.coalesce_window_ms);
+  opt.svc.coalesce_lanes = static_cast<int>(
+      args.flag_int("coalesce-lanes", opt.svc.coalesce_lanes));
+  opt.svc.landmark_count =
+      static_cast<int>(args.flag_int("landmarks", opt.svc.landmark_count));
 
   micg::serve::graph_store store;
   for (const auto& spec : args.flag_all("graph")) {

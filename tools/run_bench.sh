@@ -13,7 +13,13 @@
 # scale (MICG_SHARD_SCALE) because on smoke-sized graphs the barrier term
 # dominates everything the series is meant to show.
 #
-# Usage: tools/run_bench.sh [output.json] [serve_output.json] [shard_output.json]
+# Also reproduces BENCH_coalesce.json: the query-coalescing series
+# (bench/serve_qps, achieved throughput and tail latency with the
+# coalescing window off vs on, clustered vs adversarial request mixes)
+# lands in a fourth document.
+#
+# Usage: tools/run_bench.sh [output.json] [serve_output.json] \
+#                           [shard_output.json] [coalesce_output.json]
 #   BUILD_DIR              build tree holding bench/ (default: build)
 #   MICG_SCALE             model-series graph scale       (default: 0.05)
 #   MICG_MEASURED_SCALE    measured-series graph scale    (default: 0.05)
@@ -38,6 +44,7 @@ BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_baseline.json}
 SERVE_OUT=${2:-BENCH_serve.json}
 SHARD_OUT=${3:-BENCH_shard.json}
+COALESCE_OUT=${4:-BENCH_coalesce.json}
 
 if [ ! -x "$BUILD_DIR/bench/ablate_memlat" ]; then
   echo "error: $BUILD_DIR/bench/ablate_memlat not found — build with" >&2
@@ -151,4 +158,50 @@ for r in records:
 worst = max(r["values"]["p99_ms"] for r in records)
 print(f"wrote {path}: {len(records)} serve records over "
       f"{len(steady)} rates (worst p99 {worst:.2f} ms)")
+EOF
+
+"$BUILD_DIR/bench/serve_qps" --metrics-json "$COALESCE_OUT"
+
+python3 - "$COALESCE_OUT" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+assert doc["schema"] == "micg.metrics.v1", doc.get("schema")
+records = doc["records"]
+assert records, "serve_qps emitted no records"
+for r in records:
+    v = r["values"]
+    assert r["meta"]["bench"] == "serve_qps", r["meta"]
+    assert r["meta"]["mix"] in ("clustered", "adversarial"), r["meta"]
+    assert v["ok"] == v["requests"], (r["meta"], v)
+    assert 0 < v["p50_ms"] <= v["p99_ms"] <= v["max_ms"], v
+    assert v["achieved_rps"] > 0, v
+
+# The coalescing claim the docs make: with a clustered mix past the
+# saturation knee, the batched configuration beats the unbatched one on
+# achieved throughput at every benched arrival rate (>= 2 rates).
+def cell(mix, window, rate):
+    for r in records:
+        if (r["meta"]["mix"] == mix
+                and r["values"]["window_ms"] == window
+                and r["values"]["rate_rps"] == rate):
+            return r["values"]
+    raise AssertionError(f"missing cell {mix}/w{window}/{rate}")
+
+rates = sorted({r["values"]["rate_rps"] for r in records
+                if r["meta"]["mix"] == "clustered"})
+assert len(rates) >= 2, rates
+wins = 0
+for rate in rates:
+    off = cell("clustered", 0, rate)
+    on = cell("clustered", 3, rate)
+    if on["achieved_rps"] > off["achieved_rps"]:
+        wins += 1
+assert wins >= 2, (
+    f"coalescing won at only {wins} of {len(rates)} arrival rates")
+print(f"wrote {path}: {len(records)} qps records; batched beat unbatched "
+      f"at {wins}/{len(rates)} clustered rates")
 EOF
