@@ -46,7 +46,7 @@ std::vector<mem_config> sweep_configs() {
     for (partition_mode part : {partition_mode::vertex, partition_mode::edge}) {
       for (int dist : {0, 8, 32}) {
         mem_config c;
-        c.mem = {part, dist, simd};
+        c.mem = {.partition = part, .prefetch_distance = dist, .simd = simd};
         c.name = std::string(simd ? "simd" : "scalar") + "/" +
                  micg::rt::partition_mode_name(part) + "/pf" +
                  std::to_string(dist);

@@ -13,10 +13,13 @@
 #include "micg/color/iterative.hpp"
 #include "micg/color/ordering.hpp"
 #include "micg/color/verify.hpp"
+#include "micg/bfs/direction.hpp"
 #include "micg/graph/props.hpp"
 #include "micg/graph/shard.hpp"
+#include "micg/graph/stats.hpp"
 #include "micg/irregular/pagerank.hpp"
 #include "micg/irregular/sharded_pagerank.hpp"
+#include "micg/tune/tune.hpp"
 
 namespace micg::api {
 
@@ -89,6 +92,38 @@ std::vector<bc_entry> top_entries(const std::vector<double>& score,
   return out;
 }
 
+/// Per-request view of the auto-tuner: resolves the mode once, reuses
+/// the serve layer's cached plan when the context carries one, probes
+/// the graph and picks inline otherwise. get() is nullptr under "fixed"
+/// — the historical code path, untouched.
+class tuned_plan {
+ public:
+  tuned_plan(const graph::any_csr& g, const exec_params& ex,
+             const run_context& ctx, obs::recorder* rec)
+      : mode_(tune::resolve_tune_mode(ex.tune)) {
+    if (mode_ == tune::tune_mode::fixed) return;
+    if (ctx.plan != nullptr) {
+      shared_ = ctx.plan;
+    } else {
+      local_ = tune::pick_knobs(tune::profile_for_mode(mode_),
+                                graph::compute_graph_stats(g));
+    }
+    tune::tag_plan(rec, mode_, *get());
+  }
+  tuned_plan(const tuned_plan&) = delete;
+  tuned_plan& operator=(const tuned_plan&) = delete;
+
+  [[nodiscard]] const tune::knob_plan* get() const {
+    if (mode_ == tune::tune_mode::fixed) return nullptr;
+    return shared_ != nullptr ? shared_ : &local_;
+  }
+
+ private:
+  tune::tune_mode mode_;
+  const tune::knob_plan* shared_ = nullptr;
+  tune::knob_plan local_;
+};
+
 json entries_json(const std::vector<bc_entry>& entries) {
   json_array arr;
   arr.reserve(entries.size());
@@ -154,10 +189,14 @@ rt::exec resolve_exec(const exec_params& p, const run_context& ctx) {
 }
 
 json to_json(const exec_params& p) {
-  return json(json_object{{"backend", json(p.backend)},
-                          {"threads", json(p.threads)},
-                          {"chunk", json(p.chunk)},
-                          {"shards", json(p.shards)}});
+  json out(json_object{{"backend", json(p.backend)},
+                       {"threads", json(p.threads)},
+                       {"chunk", json(p.chunk)},
+                       {"shards", json(p.shards)}});
+  // Only when set: keeps the serialization byte-identical for clients
+  // that predate the tuner.
+  if (!p.tune.empty()) out.set("tune", json(p.tune));
+  return out;
 }
 
 exec_params exec_params_from_json(const json& v, const exec_params& dflt) {
@@ -166,6 +205,7 @@ exec_params exec_params_from_json(const json& v, const exec_params& dflt) {
   p.threads = static_cast<int>(get_int(v, "threads", dflt.threads));
   p.chunk = get_int(v, "chunk", dflt.chunk);
   p.shards = static_cast<int>(get_int(v, "shards", dflt.shards));
+  p.tune = get_string(v, "tune", dflt.tune);
   return p;
 }
 
@@ -176,6 +216,7 @@ exec_params exec_params_from_args(const arg_parser& args,
   p.threads = static_cast<int>(args.flag_int("threads", dflt.threads));
   p.chunk = args.flag_int("chunk", dflt.chunk);
   p.shards = static_cast<int>(args.flag_int("shards", dflt.shards));
+  p.tune = args.flag("tune", dflt.tune);
   return p;
 }
 
@@ -188,13 +229,16 @@ info_response run(const graph::any_csr& g, const info_request& req,
              "shards must be in [1, 256]");
   info_response r;
   r.layout = graph::layout_name(g.layout());
+  // Degree columns via the memoizable one-sweep probe (graph/stats.hpp)
+  // — same arithmetic as the retired compute_degree_stats call, so the
+  // committed goldens are byte-identical.
+  const auto stats = graph::compute_graph_stats(g);
   g.visit([&](const auto& cg) {
-    const auto stats = graph::compute_degree_stats(cg);
     r.num_vertices = static_cast<std::int64_t>(cg.num_vertices());
     r.num_edges = static_cast<std::int64_t>(cg.num_edges());
-    r.min_degree = stats.min;
-    r.max_degree = stats.max;
-    r.avg_degree = stats.mean;
+    r.min_degree = stats.min_degree;
+    r.max_degree = stats.max_degree;
+    r.avg_degree = stats.avg_degree;
     r.components =
         static_cast<std::int64_t>(graph::count_components(cg));
     r.degeneracy = static_cast<std::int64_t>(color::degeneracy(cg));
@@ -269,6 +313,37 @@ bfs_response run(const graph::any_csr& g, const bfs_request& req,
   MICG_CHECK(source < n, "source vertex out of range");
   for (const auto t : req.targets) {
     MICG_CHECK(t >= 0 && t < n, "target vertex out of range");
+  }
+  const tuned_plan tp(g, req.ex, ctx, opt.ex.sink());
+  if (const tune::knob_plan* plan = tp.get(); plan != nullptr) {
+    if (plan->chunk > 0) opt.ex.chunk = plan->chunk;
+    if (plan->bfs_direction && opt.ex.shards == 1) {
+      // The tuner predicts wide, collapsing frontiers: run the
+      // direction-optimizing bitmap traversal instead of the requested
+      // queue variant. Levels are identical to every variant (tested),
+      // so this swap can never change target_levels/reached.
+      micg::bfs::direction_options dopt;
+      dopt.ex = opt.ex;
+      dopt.block = opt.block;
+      dopt.alpha = plan->bfs_alpha;
+      dopt.beta = plan->bfs_beta;
+      dopt.bitmap = plan->bfs_bitmap;
+      dopt.partition = plan->bfs_partition;
+      g.visit([&](const auto& cg) {
+        using VId = typename std::decay_t<decltype(cg)>::vertex_type;
+        const auto res = micg::bfs::direction_optimizing_bfs(
+            cg, static_cast<VId>(source), dopt);
+        r.num_levels = res.num_levels;
+        r.reached = static_cast<std::int64_t>(res.reached);
+        for (const auto t : req.targets) {
+          r.target_levels.push_back(res.level[static_cast<std::size_t>(t)]);
+        }
+      });
+      r.variant = "Direction-optimizing";
+      r.source = source;
+      r.num_vertices = n;
+      return r;
+    }
   }
   if (opt.ex.shards > 1) {
     // Sharded BSP path: partition, run the bulk-synchronous driver (one
@@ -561,6 +636,17 @@ pagerank_response run(const graph::any_csr& g, const pagerank_request& req,
   opt.damping = req.damping;
   opt.tolerance = req.tolerance;
   opt.max_iterations = static_cast<int>(req.max_iterations);
+  const tuned_plan tp(g, req.ex, ctx, opt.ex.sink());
+  if (const tune::knob_plan* plan = tp.get();
+      plan != nullptr && opt.ex.shards == 1) {
+    // Memory fast-path knobs are bit-identical by construction (the
+    // parity tests pin it) and the reductions use deterministic fixed
+    // blocks (rt/reduce.hpp), so the tuner is free to flip knobs and
+    // chunk per host. The sharded driver still reduces per chunk, so
+    // its schedule stays exactly as requested.
+    opt.mem = plan->mem;
+    if (plan->chunk > 0) opt.ex.chunk = plan->chunk;
+  }
   if (opt.ex.shards > 1) {
     const auto sg = graph::make_sharded(g, opt.ex.shards);
     const auto res = micg::irregular::sharded_pagerank(sg, opt);

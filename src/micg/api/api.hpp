@@ -28,6 +28,10 @@
 #include "micg/graph/any_csr.hpp"
 #include "micg/rt/exec.hpp"
 
+namespace micg::tune {
+struct knob_plan;
+}
+
 namespace micg::api {
 
 // ---------------------------------------------------------------------------
@@ -65,6 +69,13 @@ struct exec_params {
   /// BFS/pagerank drivers with `threads` workers per shard. Wire field
   /// "shards", CLI flag --shards.
   int shards = 1;
+  /// Auto-tuning mode: "fixed", "auto", "calibrate", or "" (defer to
+  /// $MICG_TUNE, then "fixed"). Under auto/calibrate the knob picker
+  /// (micg::tune) may override memory fast-path knobs, the BFS frontier
+  /// representation and the chunk size — never the answer, which is
+  /// bit-identical across modes by construction. Wire field "tune", CLI
+  /// flag --tune.
+  std::string tune;
 
   /// Resolve to an rt::exec (validates the backend name and ranges).
   [[nodiscard]] rt::exec to_exec() const;
@@ -83,6 +94,10 @@ struct run_context {
   /// from the pinned snapshot so responses (info) can report which
   /// version answered. Negative = unversioned (CLI, direct library use).
   std::int64_t snapshot_epoch = -1;
+  /// Pre-computed knob plan for the graph being queried (the serve layer
+  /// caches one per snapshot epoch). nullptr makes non-fixed tune modes
+  /// probe the graph and pick knobs inline; ignored under "fixed".
+  const tune::knob_plan* plan = nullptr;
 };
 
 /// exec_params + run_context -> the rt::exec the kernels receive.
@@ -261,7 +276,11 @@ bc_request bc_request_from_args(const arg_parser& args);
 // color
 
 struct color_request {
-  exec_params ex{.backend = "OpenMP-dynamic", .threads = 4, .chunk = 100};
+  exec_params ex{.backend = "OpenMP-dynamic",
+                 .threads = 4,
+                 .chunk = 100,
+                 .shards = 1,
+                 .tune = {}};
   bool distance2 = false;
 };
 

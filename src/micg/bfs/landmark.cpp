@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <numeric>
 #include <utility>
 
+#include "micg/graph/stats.hpp"
 #include "micg/obs/obs.hpp"
 #include "micg/support/assert.hpp"
 
@@ -60,18 +60,10 @@ landmark_index build_landmarks(const G& g, const landmark_options& opt) {
 
   // Top-k-by-degree pivots, ties to the lower id: hub landmarks give the
   // tightest d(L,u)+d(L,v) sums on skewed-degree graphs, and the
-  // deterministic rule keeps answers reproducible across rebuilds.
-  const auto k = static_cast<VId>(
-      std::min<std::int64_t>(opt.count, static_cast<std::int64_t>(n)));
-  std::vector<VId> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), VId{0});
-  std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                    [&](VId a, VId b) {
-                      const auto da = g.degree(a);
-                      const auto db = g.degree(b);
-                      return da != db ? da > db : a < b;
-                    });
-  std::vector<VId> pivots(order.begin(), order.begin() + k);
+  // deterministic rule keeps answers reproducible across rebuilds. The
+  // selection itself is the shared graph/stats helper, so the rule here
+  // and the tuner's hub table cannot drift apart.
+  const std::vector<VId> pivots = graph::top_degree_vertices(g, opt.count);
 
   msbfs_options mo;
   mo.ex = opt.ex;

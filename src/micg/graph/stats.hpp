@@ -1,0 +1,105 @@
+// One-sweep structural statistics — the per-graph half of the auto-tuner.
+//
+// Several consumers used to run their own ad-hoc degree scans: the
+// landmark builder partial-sorted all vertices for its top-degree pivots,
+// `info` swept degrees for Table-I statistics, and the knob picker
+// (micg::tune) needs the degree distribution to predict which frontier
+// representation and loop partitioning win. graph_stats computes all of
+// it in one pass over xadj (plus an O(n log k) top-k selection) so the
+// probe is cheap enough to run at graph load time, and stats_cache
+// memoizes the result per snapshot epoch so the serving layer computes it
+// once per compaction rather than once per request.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "micg/graph/any_csr.hpp"
+#include "micg/graph/csr.hpp"
+
+namespace micg::graph {
+
+/// Top-degree vertices retained by the probe; 64 == msbfs_max_lanes, so
+/// one stats sweep can seed the largest landmark batch.
+inline constexpr int stats_top_k = 64;
+
+/// Degree buckets: bucket 0 counts isolated vertices, bucket b >= 1
+/// counts degrees in [2^(b-1), 2^b). 34 buckets cover any EId degree.
+inline constexpr int stats_hist_buckets = 34;
+
+struct graph_stats {
+  std::int64_t num_vertices = 0;
+  std::int64_t num_directed_edges = 0;  ///< 2|E|, the xadj back value
+
+  // --- degree distribution (the Table I columns, one sweep) -------------
+  std::int64_t min_degree = 0;
+  std::int64_t max_degree = 0;  ///< Delta in the paper
+  double avg_degree = 0.0;
+  double degree_stddev = 0.0;
+  std::array<std::int64_t, stats_hist_buckets> degree_log2_hist{};
+
+  /// Up to stats_top_k vertex ids by (degree desc, id asc) — the landmark
+  /// pivot rule, precomputed so pivot selection is a table lookup.
+  std::vector<std::int64_t> top_vertices;
+  /// Fraction of directed edges owned by top_vertices (hub mass: ~0 on
+  /// meshes, large on RMAT — the skew signal edge partitioning answers).
+  double hub_edge_fraction = 0.0;
+
+  // --- derived frontier-shape estimates ---------------------------------
+  /// max_degree / avg_degree; 1 on regular graphs, >> 1 on RMAT.
+  [[nodiscard]] double skew() const {
+    return avg_degree > 0.0 ? static_cast<double>(max_degree) / avg_degree
+                            : 1.0;
+  }
+  /// Geometric-expansion estimate of BFS depth (log_b n for branching
+  /// factor b = avg_degree). An *estimate from the degree distribution*,
+  /// not a traversal: high-diameter meshes are deeper than this predicts,
+  /// so consumers treat small values as "plausibly shallow and wide", not
+  /// as a measurement.
+  double est_levels = 0.0;
+  /// Estimated fraction of vertices in the widest BFS level under the
+  /// same expansion model ((b-1)/b for branching factor b).
+  double est_peak_frontier = 0.0;
+};
+
+/// One-sweep probe. Cost: one pass over xadj + one O(n log k) partial
+/// sort for the top-k table.
+template <CsrGraph G>
+graph_stats compute_graph_stats(const G& g);
+
+graph_stats compute_graph_stats(const any_csr& g);
+
+/// Top-`k` vertex ids by (degree desc, id asc) — the shared selection
+/// rule (landmark pivots, hub tables). `k` is clamped to |V|.
+template <CsrGraph G>
+std::vector<typename G::vertex_type> top_degree_vertices(const G& g, int k);
+
+/// Epoch-keyed memo of graph_stats, shared by the serving layer and the
+/// tuner: stats are immutable per snapshot, so one probe per (key, epoch)
+/// suffices. Thread-safe; a changed epoch replaces the cached entry.
+class stats_cache {
+ public:
+  /// The stats of `g` at `epoch` under `key` (typically the served graph
+  /// name). Computes on miss or epoch change; returns the cached result
+  /// otherwise without touching `g`.
+  std::shared_ptr<const graph_stats> get(const std::string& key,
+                                         std::int64_t epoch, const any_csr& g);
+
+  /// Entries currently held (tests / introspection).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct entry {
+    std::int64_t epoch = -1;
+    std::shared_ptr<const graph_stats> stats;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, entry> entries_;
+};
+
+}  // namespace micg::graph

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "micg/obs/obs.hpp"
-#include "micg/rt/tls.hpp"
+#include "micg/rt/reduce.hpp"
 #include "micg/support/assert.hpp"
 #include "micg/support/prefetch.hpp"
 #include "micg/support/simd.hpp"
@@ -37,42 +37,34 @@ pagerank_result pagerank(const G& g, const pagerank_options& opt) {
   const auto dist = static_cast<EId>(opt.mem.prefetch_distance);
   const bool vec = opt.mem.simd;
 
-  // Per-thread accumulators for dangling mass and the convergence delta.
-  rt::combinable<double> dangling_acc(opt.ex.threads);
-  rt::combinable<double> delta_acc(opt.ex.threads);
-
   for (r.iterations = 0; r.iterations < opt.max_iterations;
        ++r.iterations) {
     // Dangling (isolated) vertices spread their rank everywhere; the same
-    // pass fills the per-vertex contribution array.
-    dangling_acc.clear();
-    rt::for_range(opt.ex, n, [&](std::int64_t b, std::int64_t e, int) {
-      double local = 0.0;
-      for (std::int64_t i = b; i < e; ++i) {
-        const EId deg = xadj[i + 1] - xadj[i];
-        const double rank_i = r.rank[static_cast<std::size_t>(i)];
-        if (deg == 0) {
-          local += rank_i;
-          contrib[static_cast<std::size_t>(i)] = 0.0;
-        } else {
+    // sweep fills the per-vertex contribution array. The reduction uses
+    // fixed blocks (rt/reduce.hpp), not per-chunk accumulators, so the
+    // result — and through `base`, every rank value — is bit-identical
+    // across threads, chunk sizes and partitioning: the invariance that
+    // lets `--tune auto` retune the schedule without moving the answer.
+    const double dangling =
+        rt::deterministic_sum(opt.ex, n, [&](std::int64_t i) {
+          const EId deg = xadj[i + 1] - xadj[i];
+          const double rank_i = r.rank[static_cast<std::size_t>(i)];
+          if (deg == 0) {
+            contrib[static_cast<std::size_t>(i)] = 0.0;
+            return rank_i;
+          }
           contrib[static_cast<std::size_t>(i)] =
               rank_i / static_cast<double>(deg);
-        }
-      }
-      dangling_acc.local() += local;
-    });
-    const double dangling = dangling_acc.combine(
-        0.0, [](double a, double b) { return a + b; });
+          return 0.0;
+        });
     const double base =
         (1.0 - opt.damping) / static_cast<double>(n) +
         opt.damping * dangling / static_cast<double>(n);
 
-    delta_acc.clear();
     const double* src = contrib.data();
     rt::for_range_graph(
         opt.ex, n, xadj, opt.mem.partition,
         [&](std::int64_t b, std::int64_t e, int) {
-          double local_delta = 0.0;
           EId pf = xadj[b];
           const EId chunk_end = xadj[e];
           for (std::int64_t i = b; i < e; ++i) {
@@ -86,14 +78,15 @@ pagerank_result pagerank(const G& g, const pagerank_options& opt) {
             }
             const double sum = simd::gather_sum(
                 src, adj + rb, static_cast<std::size_t>(re - rb), vec);
-            const double nv = base + opt.damping * sum;
-            local_delta += std::abs(nv - r.rank[static_cast<std::size_t>(i)]);
-            next[static_cast<std::size_t>(i)] = nv;
+            next[static_cast<std::size_t>(i)] = base + opt.damping * sum;
           }
-          delta_acc.local() += local_delta;
         });
-    r.final_delta =
-        delta_acc.combine(0.0, [](double a, double b) { return a + b; });
+    // Convergence delta in its own deterministic O(|V|) sweep — streaming
+    // reads of two dense arrays, negligible next to the gather pass.
+    r.final_delta = rt::deterministic_sum(opt.ex, n, [&](std::int64_t i) {
+      return std::abs(next[static_cast<std::size_t>(i)] -
+                      r.rank[static_cast<std::size_t>(i)]);
+    });
     r.rank.swap(next);
     if (r.final_delta < opt.tolerance) {
       r.converged = true;

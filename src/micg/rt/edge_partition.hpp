@@ -49,7 +49,9 @@ struct mem_opts {
 /// The pre-optimization configuration: per-vertex chunks, no prefetch,
 /// scalar gathers.
 inline mem_opts scalar_mem_opts() {
-  return {partition_mode::vertex, 0, false};
+  return {.partition = partition_mode::vertex,
+          .prefetch_distance = 0,
+          .simd = false};
 }
 
 /// Run `body(vertex_begin, vertex_end, worker)` over [0, n) with chunk

@@ -1,0 +1,52 @@
+// Deterministic parallel floating-point reduction.
+//
+// combinable<> reductions group additions by whatever chunks the backend
+// hands each worker, so the low bits of the result move with the chunk
+// size, the partitioning mode and the scheduler — exactly the knobs the
+// auto-tuner (micg::tune) is free to change. deterministic_sum() fixes
+// the grouping instead of the schedule: terms are summed sequentially
+// within fixed-size index blocks and the block partials are combined in
+// block order, so the result is bit-identical across threads, backends,
+// chunk sizes and partitioning — tuning can change *when* a block is
+// summed, never what the total rounds to. Cost: one O(n/block) partial
+// array per call; the block loop still runs through the configured
+// backend, so the pass scales like any other for_range.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "micg/rt/exec.hpp"
+
+namespace micg::rt {
+
+/// Terms per deterministic block. Fixed (never derived from exec::chunk)
+/// so the summation tree is a pure function of `n`.
+inline constexpr std::int64_t deterministic_sum_block = 4096;
+
+/// Sum term(i) for i in [0, n) with a schedule-independent grouping.
+/// `term` must be safe to call concurrently for distinct i and is called
+/// exactly once per index (side effects per index are fine — pagerank
+/// fills its contribution array from the same sweep).
+template <typename Term>
+double deterministic_sum(const exec& e, std::int64_t n, const Term& term) {
+  if (n <= 0) return 0.0;
+  const std::int64_t nblocks =
+      (n + deterministic_sum_block - 1) / deterministic_sum_block;
+  std::vector<double> partial(static_cast<std::size_t>(nblocks), 0.0);
+  for_range(e, nblocks, [&](std::int64_t bb, std::int64_t be, int) {
+    for (std::int64_t blk = bb; blk < be; ++blk) {
+      const std::int64_t lo = blk * deterministic_sum_block;
+      const std::int64_t hi = std::min(n, lo + deterministic_sum_block);
+      double s = 0.0;
+      for (std::int64_t i = lo; i < hi; ++i) s += term(i);
+      partial[static_cast<std::size_t>(blk)] = s;
+    }
+  });
+  double total = 0.0;
+  for (const double p : partial) total += p;
+  return total;
+}
+
+}  // namespace micg::rt

@@ -34,10 +34,13 @@ bool update_mode() {
 }
 
 /// Run a shell command (from inside the golden directory, so fixture paths
-/// in the output are relative) and capture its stdout.
+/// in the output are relative) and capture its stdout. MICG_TUNE is
+/// pinned to fixed so the goldens stay meaningful when the ambient
+/// environment opts into auto-tuning (which may legitimately change the
+/// reported BFS variant name, though never any result).
 std::string run_cli(const std::string& args) {
-  const std::string cmd =
-      "cd '" + golden_dir() + "' && '" + cli_path() + "' " + args + " 2>&1";
+  const std::string cmd = "cd '" + golden_dir() + "' && MICG_TUNE=fixed '" +
+                          cli_path() + "' " + args + " 2>&1";
   FILE* pipe = popen(cmd.c_str(), "r");
   EXPECT_NE(pipe, nullptr) << cmd;
   std::string out;
@@ -146,8 +149,10 @@ class GoldenMetrics : public ::testing::TestWithParam<metrics_case> {};
 
 TEST_P(GoldenMetrics, CanonicalJson) {
   const auto& [golden, args] = GetParam();
+  // Name the scratch file after the golden: ctest runs each parameterized
+  // case as its own process, and a shared path races under `ctest -j`.
   const std::string tmp =
-      ::testing::TempDir() + "/micg_golden_metrics.json";
+      ::testing::TempDir() + "/micg_golden_" + golden + ".json";
   run_cli(std::string(args) + " --metrics-json '" + tmp + "'");
   check_golden(golden, canonicalize_metrics(read_file(tmp)));
   std::remove(tmp.c_str());

@@ -47,6 +47,8 @@
 #include "micg/support/assert.hpp"
 #include "micg/support/table.hpp"
 #include "micg/support/timer.hpp"
+#include "micg/tune/calib.hpp"
+#include "micg/tune/tune.hpp"
 
 namespace {
 
@@ -72,12 +74,18 @@ using micg::graph::csr_graph;
       "          [--mode batched|repeated] [--lanes L]\n"
       "  micg pagerank FILE [--damping D] [--tolerance T] [--iterations N]\n"
       "          [--top M] [--threads N] [--shards N]\n"
+      "  micg calibrate [-o FILE] [--threads N] [--runs R] [--quick]\n"
       "bfs/pagerank: --shards N > 1 partitions the graph and runs the\n"
       "  bulk-synchronous sharded driver, N thread pools of --threads each\n"
+      "bfs/msbfs/bc/color/pagerank: --tune fixed|auto|calibrate picks\n"
+      "  memory/frontier/chunk knobs from a host profile ($MICG_CALIB, or\n"
+      "  `micg calibrate -o`) + a graph probe; answers are bit-identical\n"
+      "  across modes (docs/performance.md). Default: $MICG_TUNE, then fixed\n"
       "  micg serve --listen ADDR --graph NAME=PATH [--graph NAME=PATH ...]\n"
       "          [--max-inflight N] [--max-waiting N] [--threads-per-query N]\n"
       "          [--deadline-ms D] [--compact-every N] [--max-frame-bytes B]\n"
       "          [--coalesce-window-ms W] [--coalesce-lanes L] [--landmarks K]\n"
+      "          [--tune MODE]\n"
       "  micg query --connect ADDR OP [--graph NAME] [--params JSON]\n"
       "          [--deadline-ms D] [--id TAG]\n"
       "  micg query --connect ADDR --script FILE|-\n"
@@ -326,6 +334,44 @@ int cmd_pagerank(const arg_parser& args) {
   return 0;
 }
 
+int cmd_calibrate(const arg_parser& args) {
+  micg::tune::calibrate_options copt;
+  copt.threads = static_cast<int>(args.flag_int("threads", copt.threads));
+  copt.repeats = static_cast<int>(args.flag_int("runs", copt.repeats));
+  copt.quick = args.flag("quick", "no") != "no";
+  const auto prof = micg::tune::calibrate(copt);
+
+  micg::table_printer t("host calibration (micg.calib.v1)");
+  t.header({"parameter", "value"});
+  t.row({"isa", prof.isa});
+  t.row({"threads", micg::table_printer::fmt(
+                        static_cast<long long>(prof.threads))});
+  t.row({"alu ns/op", micg::table_printer::fmt(prof.alu_ns)});
+  t.row({"stream GB/s", micg::table_printer::fmt(prof.stream_gbps)});
+  t.row({"gather latency ns", micg::table_printer::fmt(
+                                  prof.gather_latency_ns)});
+  t.row({"chunk claim ns", micg::table_printer::fmt(prof.chunk_claim_ns)});
+  t.row({"task spawn ns", micg::table_printer::fmt(prof.spawn_ns)});
+  for (const auto& pt : prof.gather) {
+    t.row({"gather@" + std::to_string(pt.working_set_bytes >> 10) +
+               "KiB GB/s (plain/simd/pf8/pf32)",
+           micg::table_printer::fmt(pt.plain_gbps) + " / " +
+               micg::table_printer::fmt(pt.simd_gbps) + " / " +
+               micg::table_printer::fmt(pt.prefetch8_gbps) + " / " +
+               micg::table_printer::fmt(pt.prefetch32_gbps)});
+  }
+  t.print(std::cout);
+
+  const auto out = args.flag("out", "");
+  if (!out.empty()) {
+    micg::tune::save_profile(out, prof);
+    std::cout << "wrote calibration profile to " << out
+              << " (export MICG_CALIB=" << out
+              << " to use it with --tune auto)\n";
+  }
+  return 0;
+}
+
 // ---------------------------------------------------------------------------
 // serve / query
 
@@ -361,6 +407,7 @@ int cmd_serve(const arg_parser& args) {
       args.flag_int("coalesce-lanes", opt.svc.coalesce_lanes));
   opt.svc.landmark_count =
       static_cast<int>(args.flag_int("landmarks", opt.svc.landmark_count));
+  opt.svc.tune = args.flag("tune", opt.svc.tune);
 
   micg::serve::graph_store store;
   for (const auto& spec : args.flag_all("graph")) {
@@ -448,6 +495,7 @@ int main(int argc, char** argv) {
     if (cmd == "msbfs") return cmd_msbfs(args);
     if (cmd == "bc") return cmd_bc(args);
     if (cmd == "pagerank") return cmd_pagerank(args);
+    if (cmd == "calibrate") return cmd_calibrate(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "query") return cmd_query(args);
   } catch (const micg::api::usage_error& e) {
