@@ -1,0 +1,218 @@
+// Weighted SSSP figure (source of BENCH_sssp.json): delta-stepping over
+// the suite graphs with derived edge weights (graph/weighted.hpp).
+//
+//   (a) measured speedup over the sequential Dijkstra oracle, by thread
+//       count, for the auto-picked delta on both shipped backend
+//       families plus the bucket extremes (delta=1 ~ Dijkstra with
+//       buckets, delta=inf ~ Bellman-Ford);
+//   (b) the work/parallelism dial: relaxations executed relative to
+//       Dijkstra's optimum, and buckets processed, as delta widens at a
+//       fixed thread count.
+//
+// Every timed run is also checked bit-exact against seq_dijkstra — a
+// bench that silently benchmarks wrong answers is worse than no bench —
+// and the exactness bit lands in the metrics record (sssp.exact).
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "micg/benchkit/benchkit.hpp"
+#include "micg/bfs/sssp.hpp"
+#include "micg/graph/stats.hpp"
+#include "micg/graph/suite.hpp"
+#include "micg/graph/weighted.hpp"
+#include "micg/support/timer.hpp"
+#include "micg/tune/tune.hpp"
+
+namespace {
+
+using micg::benchkit::series;
+using micg::rt::backend;
+
+constexpr int kBlock = 32;  // the paper's best block size (§V-D)
+
+struct sssp_variant_spec {
+  std::string name;
+  backend policy;
+  std::int64_t delta;  ///< 0 = auto (tune::pick_sssp_delta)
+};
+
+std::vector<sssp_variant_spec> variants() {
+  return {
+      {"OpenMP-delta-auto", backend::omp_dynamic, 0},
+      {"TBB-delta-auto", backend::tbb_simple, 0},
+      {"OpenMP-delta-1", backend::omp_dynamic, 1},
+      {"OpenMP-delta-inf", backend::omp_dynamic,
+       std::int64_t{1} << 40},
+  };
+}
+
+std::int64_t resolve_delta(const micg::graph::csr_graph& g,
+                           std::int64_t delta) {
+  if (delta > 0) return delta;
+  return micg::tune::pick_sssp_delta(
+      micg::graph::compute_graph_stats(g),
+      micg::graph::weight_params{}.max_weight);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  micg::stopwatch total;
+  const auto cfg = micg::benchkit::config::from_args(argc, argv);
+  const auto& mgrid = cfg.measured_threads;
+  const double mscale = cfg.measured_scale;
+  const int runs = cfg.measured_runs;
+
+  std::cout << "Figure sssp: delta-stepping SSSP, derived weights "
+            << "(block size " << kBlock << ", measured scale=" << mscale
+            << ")\n\n";
+
+  const std::vector<const char*> graphs = {"pwtk", "inline_1"};
+  bool all_exact = true;
+
+  // (a) measured speedup over sequential Dijkstra, geomean across graphs.
+  std::vector<series> measured;
+  for (const auto& v : variants()) {
+    std::vector<std::vector<double>> per_graph;
+    for (const char* name : graphs) {
+      const auto& g = micg::benchkit::suite_graph(name, mscale);
+      const auto w =
+          micg::graph::generate_weights(g, micg::graph::weight_params{});
+      const auto source =
+          static_cast<micg::graph::vertex_t>(g.num_vertices() / 2);
+      const auto ref = micg::bfs::seq_dijkstra(
+          g, source, {w.data(), w.size()});
+      const double seq_secs = micg::benchkit::time_stable(
+          [&] { micg::bfs::seq_dijkstra(g, source, {w.data(), w.size()}); },
+          runs);
+      std::vector<double> curve;
+      for (int t : mgrid) {
+        micg::bfs::sssp_options opt;
+        opt.ex.kind = v.policy;
+        opt.ex.threads = t;
+        opt.block = kBlock;
+        opt.delta = resolve_delta(g, v.delta);
+        const auto r =
+            micg::bfs::delta_stepping_sssp(g, source, {w.data(), w.size()},
+                                           opt);
+        if (r.dist != ref) all_exact = false;
+        const double secs = micg::benchkit::time_stable(
+            [&] {
+              micg::bfs::delta_stepping_sssp(g, source,
+                                             {w.data(), w.size()}, opt);
+            },
+            runs);
+        curve.push_back(seq_secs / secs);
+      }
+      per_graph.push_back(std::move(curve));
+    }
+    measured.push_back(micg::benchkit::geomean_series(v.name, per_graph));
+  }
+  micg::benchkit::print_figure(
+      "Fig sssp(a): delta-stepping speedup vs sequential Dijkstra "
+      "(measured, pwtk+inline_1)",
+      mgrid, measured);
+
+  // (b) the delta dial at the sweep's top thread count: work amplification
+  // (relaxations over Dijkstra's optimum, which does exactly one winning
+  // relaxation per settled edge order) and bucket count.
+  const std::vector<int> deltas = {1, 4, 16, 64, 256, 1024};
+  std::vector<series> dial;
+  {
+    std::vector<std::vector<double>> ratio_pg, bucket_pg;
+    for (const char* name : graphs) {
+      const auto& g = micg::benchkit::suite_graph(name, mscale);
+      const auto w =
+          micg::graph::generate_weights(g, micg::graph::weight_params{});
+      const auto source =
+          static_cast<micg::graph::vertex_t>(g.num_vertices() / 2);
+      micg::bfs::sssp_options base;
+      base.ex.threads = mgrid.back();
+      base.block = kBlock;
+      base.delta = 1;
+      const auto opt_work = micg::bfs::delta_stepping_sssp(
+          g, source, {w.data(), w.size()}, base);
+      std::vector<double> ratio, buckets;
+      for (int d : deltas) {
+        micg::bfs::sssp_options opt = base;
+        opt.delta = d;
+        const auto r = micg::bfs::delta_stepping_sssp(
+            g, source, {w.data(), w.size()}, opt);
+        ratio.push_back(static_cast<double>(r.relaxations) /
+                        static_cast<double>(opt_work.relaxations));
+        buckets.push_back(static_cast<double>(r.buckets));
+      }
+      ratio_pg.push_back(std::move(ratio));
+      bucket_pg.push_back(std::move(buckets));
+    }
+    dial.push_back(
+        micg::benchkit::geomean_series("relaxations/delta1", ratio_pg));
+    dial.push_back(micg::benchkit::geomean_series("buckets", bucket_pg));
+  }
+  micg::benchkit::print_figure(
+      "Fig sssp(b): work and bucket count as delta widens (threads=" +
+          std::to_string(mgrid.back()) + ")",
+      deltas, dial);
+
+  // Structured metrics: one instrumented run per variant at the top
+  // thread count, carrying the kernel's own sssp.* counters plus the
+  // bench-level speedup and correctness bit.
+  micg::benchkit::metrics_sink sink(cfg.metrics_json);
+  if (sink.enabled()) {
+    for (const char* name : graphs) {
+      const auto& g = micg::benchkit::suite_graph(name, mscale);
+      const auto w =
+          micg::graph::generate_weights(g, micg::graph::weight_params{});
+      const auto source =
+          static_cast<micg::graph::vertex_t>(g.num_vertices() / 2);
+      const auto ref = micg::bfs::seq_dijkstra(
+          g, source, {w.data(), w.size()});
+      const double seq_secs = micg::benchkit::time_stable(
+          [&] { micg::bfs::seq_dijkstra(g, source, {w.data(), w.size()}); },
+          runs);
+      for (const auto& v : variants()) {
+        micg::bfs::sssp_options opt;
+        opt.ex.kind = v.policy;
+        opt.ex.threads = mgrid.back();
+        opt.block = kBlock;
+        opt.delta = resolve_delta(g, v.delta);
+        const double secs = micg::benchkit::time_stable(
+            [&] {
+              micg::bfs::delta_stepping_sssp(g, source,
+                                             {w.data(), w.size()}, opt);
+            },
+            runs);
+        micg::benchkit::record_run(
+            sink,
+            {{"bench", "fig_sssp"},
+             {"graph", name},
+             {"variant", v.name},
+             {"threads", std::to_string(mgrid.back())}},
+            [&] {
+              const auto r = micg::bfs::delta_stepping_sssp(
+                  g, source, {w.data(), w.size()}, opt);
+              if (auto* rec = micg::obs::recorder::global()) {
+                rec->set_value("sssp.exact",
+                               r.dist == ref ? 1.0 : 0.0);
+                rec->set_value("sssp.secs", secs);
+                rec->set_value("sssp.seq_dijkstra_secs", seq_secs);
+                rec->set_value("sssp.speedup_vs_dijkstra",
+                               seq_secs / secs);
+              }
+            });
+      }
+    }
+  }
+
+  if (!all_exact) {
+    std::cerr << "[fig_sssp] FAIL: a timed configuration diverged from "
+                 "the Dijkstra oracle\n";
+    return 1;
+  }
+  std::cout << "[fig_sssp] all timed configurations matched seq_dijkstra; "
+            << "done in " << micg::table_printer::fmt(total.seconds(), 1)
+            << "s\n";
+  return 0;
+}

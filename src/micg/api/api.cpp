@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <span>
+#include <unordered_map>
 #include <utility>
 
 #include "micg/bfs/centrality.hpp"
 #include "micg/bfs/layered.hpp"
 #include "micg/bfs/msbfs.hpp"
 #include "micg/bfs/sharded.hpp"
+#include "micg/bfs/sssp.hpp"
+#include "micg/graph/components.hpp"
+#include "micg/graph/weighted.hpp"
 #include "micg/color/distance2.hpp"
 #include "micg/color/iterative.hpp"
 #include "micg/color/ordering.hpp"
@@ -315,9 +320,17 @@ bfs_response run(const graph::any_csr& g, const bfs_request& req,
     MICG_CHECK(t >= 0 && t < n, "target vertex out of range");
   }
   const tuned_plan tp(g, req.ex, ctx, opt.ex.sink());
-  if (const tune::knob_plan* plan = tp.get(); plan != nullptr) {
+  const tune::knob_plan* plan = tp.get();
+  if (plan != nullptr && opt.ex.shards > 1) {
+    // The sharded BSP driver pins its own knobs and ignores the picker;
+    // drop the plan *and* re-tag the metrics so they report the fixed
+    // knobs that actually ran instead of an auto plan that never applied.
+    tune::tag_sharded_pin(opt.ex.sink());
+    plan = nullptr;
+  }
+  if (plan != nullptr) {
     if (plan->chunk > 0) opt.ex.chunk = plan->chunk;
-    if (plan->bfs_direction && opt.ex.shards == 1) {
+    if (plan->bfs_direction) {
       // The tuner predicts wide, collapsing frontiers: run the
       // direction-optimizing bitmap traversal instead of the requested
       // queue variant. Levels are identical to every variant (tested),
@@ -637,13 +650,19 @@ pagerank_response run(const graph::any_csr& g, const pagerank_request& req,
   opt.tolerance = req.tolerance;
   opt.max_iterations = static_cast<int>(req.max_iterations);
   const tuned_plan tp(g, req.ex, ctx, opt.ex.sink());
-  if (const tune::knob_plan* plan = tp.get();
-      plan != nullptr && opt.ex.shards == 1) {
+  const tune::knob_plan* plan = tp.get();
+  if (plan != nullptr && opt.ex.shards > 1) {
+    // The sharded driver reduces per chunk and pins its own knobs, so
+    // the picker's plan never applies there; re-tag the metrics to say
+    // so rather than advertising an auto plan that did not run.
+    tune::tag_sharded_pin(opt.ex.sink());
+    plan = nullptr;
+  }
+  if (plan != nullptr) {
     // Memory fast-path knobs are bit-identical by construction (the
     // parity tests pin it) and the reductions use deterministic fixed
     // blocks (rt/reduce.hpp), so the tuner is free to flip knobs and
-    // chunk per host. The sharded driver still reduces per chunk, so
-    // its schedule stays exactly as requested.
+    // chunk per host.
     opt.mem = plan->mem;
     if (plan->chunk > 0) opt.ex.chunk = plan->chunk;
   }
@@ -695,11 +714,148 @@ pagerank_request pagerank_request_from_args(const arg_parser& args) {
 }
 
 // ---------------------------------------------------------------------------
+// sssp
+
+sssp_response run(const graph::any_csr& g, const sssp_request& req,
+                  const run_context& ctx) {
+  sssp_response r;
+  micg::bfs::sssp_options opt;
+  opt.ex = resolve_exec(req.ex, ctx);
+  const std::int64_t n = g.num_vertices();
+  MICG_CHECK(n > 0, "sssp on an empty graph");
+  const std::int64_t source = req.source < 0 ? n / 2 : req.source;
+  MICG_CHECK(source < n, "source vertex out of range");
+  for (const auto t : req.targets) {
+    MICG_CHECK(t >= 0 && t < n, "target vertex out of range");
+  }
+  MICG_CHECK(req.delta >= 0, "delta must be >= 0 (0 = auto-pick)");
+  MICG_CHECK(req.max_weight >= 1 &&
+                 req.max_weight <=
+                     std::numeric_limits<graph::weight_t>::max(),
+             "max_weight must be in [1, 2^31)");
+  opt.delta = req.delta > 0
+                  ? req.delta
+                  : tune::pick_sssp_delta(graph::compute_graph_stats(g),
+                                          req.max_weight);
+  // The knob picker may move the scheduling chunk; like every tuned knob
+  // the answer is invariant (any delta, any chunk -> same distances).
+  // There is no sharded SSSP driver, so shards never pin knobs here.
+  const tuned_plan tp(g, req.ex, ctx, opt.ex.sink());
+  if (const tune::knob_plan* plan = tp.get();
+      plan != nullptr && plan->chunk > 0) {
+    opt.ex.chunk = plan->chunk;
+  }
+  graph::weight_params wp;
+  wp.seed = static_cast<std::uint64_t>(req.weights_seed);
+  wp.max_weight = static_cast<graph::weight_t>(req.max_weight);
+  g.visit([&](const auto& cg) {
+    using VId = typename std::decay_t<decltype(cg)>::vertex_type;
+    // Weights are re-derived per request from {seed, endpoints} — O(|E|),
+    // and by construction identical across layouts, epochs and
+    // compactions, which is what lets weighted queries run against any
+    // pinned snapshot without the store materializing them.
+    const auto w = graph::generate_weights(cg, wp);
+    const auto res = micg::bfs::delta_stepping_sssp(
+        cg, static_cast<VId>(source),
+        std::span<const graph::weight_t>(w), opt);
+    r.reached = res.reached;
+    r.relaxations = res.relaxations;
+    r.buckets = res.buckets;
+    for (const auto t : req.targets) {
+      r.target_dists.push_back(res.dist[static_cast<std::size_t>(t)]);
+    }
+  });
+  r.source = source;
+  r.delta = opt.delta;
+  r.num_vertices = n;
+  return r;
+}
+
+json to_json(const sssp_response& r) {
+  json out(json_object{{"source", json(r.source)},
+                       {"delta", json(r.delta)},
+                       {"num_vertices", json(r.num_vertices)},
+                       {"reached", json(r.reached)},
+                       {"relaxations", json(r.relaxations)},
+                       {"buckets", json(r.buckets)}});
+  if (!r.target_dists.empty()) {
+    out.set("target_dists", int_array_json(r.target_dists));
+  }
+  return out;
+}
+
+sssp_request sssp_request_from_json(const json& v) {
+  check_params_shape(v);
+  sssp_request req;
+  req.ex = exec_params_from_json(v, req.ex);
+  req.source = get_int(v, "source", req.source);
+  req.delta = get_int(v, "delta", req.delta);
+  req.weights_seed = get_int(v, "weights", req.weights_seed);
+  req.max_weight = get_int(v, "max_weight", req.max_weight);
+  req.targets = get_int_array(v, "targets");
+  return req;
+}
+
+sssp_request sssp_request_from_args(const arg_parser& args) {
+  sssp_request req;
+  req.ex = exec_params_from_args(args, req.ex);
+  req.source = args.flag_int("source", req.source);
+  req.delta = args.flag_int("delta", req.delta);
+  req.weights_seed = args.flag_int("weights", req.weights_seed);
+  req.max_weight = args.flag_int("max-weight", req.max_weight);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// cc
+
+cc_response run(const graph::any_csr& g, const cc_request& req,
+                const run_context& ctx) {
+  cc_response r;
+  const rt::exec ex = resolve_exec(req.ex, ctx);
+  const std::int64_t n = g.num_vertices();
+  MICG_CHECK(n > 0, "cc on an empty graph");
+  g.visit([&](const auto& cg) {
+    const auto res = graph::parallel_components(cg, ex);
+    r.num_components = static_cast<std::int64_t>(res.num_components);
+    r.rounds = res.rounds;
+    // Labels are canonical smallest-member ids, not dense: count sizes
+    // through a map keyed by label.
+    std::unordered_map<std::int64_t, std::int64_t> size;
+    for (const auto l : res.label) {
+      r.largest = std::max(r.largest, ++size[static_cast<std::int64_t>(l)]);
+    }
+  });
+  r.num_vertices = n;
+  return r;
+}
+
+json to_json(const cc_response& r) {
+  return json(json_object{{"num_components", json(r.num_components)},
+                          {"largest", json(r.largest)},
+                          {"rounds", json(r.rounds)},
+                          {"num_vertices", json(r.num_vertices)}});
+}
+
+cc_request cc_request_from_json(const json& v) {
+  check_params_shape(v);
+  cc_request req;
+  req.ex = exec_params_from_json(v, req.ex);
+  return req;
+}
+
+cc_request cc_request_from_args(const arg_parser& args) {
+  cc_request req;
+  req.ex = exec_params_from_args(args, req.ex);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
 // dispatch
 
 bool is_query_op(const std::string& op) {
   return op == "info" || op == "bfs" || op == "msbfs" || op == "bc" ||
-         op == "color" || op == "pagerank";
+         op == "color" || op == "pagerank" || op == "sssp" || op == "cc";
 }
 
 json dispatch_query(const graph::any_csr& g, const std::string& op,
@@ -718,6 +874,10 @@ json dispatch_query(const graph::any_csr& g, const std::string& op,
   if (op == "pagerank") {
     return to_json(run(g, pagerank_request_from_json(params), ctx));
   }
+  if (op == "sssp") {
+    return to_json(run(g, sssp_request_from_json(params), ctx));
+  }
+  if (op == "cc") return to_json(run(g, cc_request_from_json(params), ctx));
   MICG_CHECK(false, "unknown query op: " + op);
   return json();  // unreachable
 }

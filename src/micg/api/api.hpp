@@ -322,6 +322,66 @@ pagerank_request pagerank_request_from_json(const json& v);
 pagerank_request pagerank_request_from_args(const arg_parser& args);
 
 // ---------------------------------------------------------------------------
+// sssp (weighted single-source shortest paths)
+
+struct sssp_request {
+  exec_params ex;
+  /// Negative selects the |V|/2 default, like bfs.
+  std::int64_t source = -1;
+  /// Delta-stepping bucket width; 0 picks one from the graph's stats
+  /// (tune::pick_sssp_delta). Every value >= 1 yields identical
+  /// distances — the knob only moves the speed. Wire field "delta".
+  std::int64_t delta = 0;
+  /// Weight-stream seed (graph/weighted.hpp): weights are derived from
+  /// {seed, endpoint pair}, so equal seeds mean bit-identical weights in
+  /// every layout and snapshot epoch. Wire field "weights", CLI flag
+  /// --weights.
+  std::int64_t weights_seed = 1;
+  /// Inclusive weight range upper bound (lower bound is pinned at 1).
+  std::int64_t max_weight = 255;
+  /// Vertices whose distance the response reports; empty reports none.
+  std::vector<std::int64_t> targets;
+};
+
+struct sssp_response {
+  std::int64_t source = 0;
+  std::int64_t delta = 0;  ///< the width actually used (after auto-pick)
+  std::int64_t num_vertices = 0;
+  std::int64_t reached = 0;
+  std::int64_t relaxations = 0;
+  std::int64_t buckets = 0;
+  /// Distance per requested target (-1 = unreachable), aligned with
+  /// sssp_request::targets.
+  std::vector<std::int64_t> target_dists;
+};
+
+sssp_response run(const graph::any_csr& g, const sssp_request& req,
+                  const run_context& ctx = {});
+json to_json(const sssp_response& r);
+sssp_request sssp_request_from_json(const json& v);
+sssp_request sssp_request_from_args(const arg_parser& args);
+
+// ---------------------------------------------------------------------------
+// cc (connected components)
+
+struct cc_request {
+  exec_params ex;
+};
+
+struct cc_response {
+  std::int64_t num_components = 0;
+  std::int64_t largest = 0;  ///< vertices in the largest component
+  std::int64_t rounds = 0;   ///< hook+compress iterations until fixpoint
+  std::int64_t num_vertices = 0;
+};
+
+cc_response run(const graph::any_csr& g, const cc_request& req,
+                const run_context& ctx = {});
+json to_json(const cc_response& r);
+cc_request cc_request_from_json(const json& v);
+cc_request cc_request_from_args(const arg_parser& args);
+
+// ---------------------------------------------------------------------------
 // Generic dispatch (the server's single entry point)
 
 /// Query operations dispatchable by name over a loaded graph.

@@ -1,0 +1,330 @@
+#include "micg/bfs/sssp.hpp"
+
+#include <atomic>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "micg/bfs/block_queue.hpp"
+#include "micg/obs/obs.hpp"
+#include "micg/rt/edge_partition.hpp"
+#include "micg/rt/scheduler.hpp"
+#include "micg/support/assert.hpp"
+
+namespace micg::bfs {
+
+using micg::graph::invalid_vertex_v;
+using micg::graph::weight_t;
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+/// Buckets at or below this edge mass are relaxed serially on the calling
+/// thread. Delta-stepping's bucket spectrum has a long tail of tiny
+/// buckets (often a handful of vertices each); launching two parallel
+/// regions per bucket for those costs far more than the relaxations
+/// themselves and single-handedly erases the parallel win.
+constexpr std::int64_t kSerialEdgeCutoff = 4096;
+
+/// CAS-min on a distance slot; true when this call won the decrease.
+inline bool relax_min(std::atomic<std::int64_t>& slot, std::int64_t nd) {
+  std::int64_t old = slot.load(std::memory_order_relaxed);
+  while (nd < old) {
+    if (slot.compare_exchange_weak(old, nd, std::memory_order_relaxed,
+                                   std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+template <micg::graph::CsrGraph G>
+sssp_result delta_stepping_sssp(const G& g, typename G::vertex_type source,
+                                std::span<const graph::weight_t> weights,
+                                const sssp_options& opt) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
+  MICG_CHECK(source >= 0 && source < n, "source out of range");
+  MICG_CHECK(opt.delta >= 1, "sssp delta must be >= 1");
+  MICG_CHECK(opt.ex.threads >= 1, "need at least one thread");
+  MICG_CHECK(opt.block >= 1, "block size must be positive");
+  MICG_CHECK(weights.size() ==
+                 static_cast<std::size_t>(g.num_directed_edges()),
+             "weights array is not adjacency-parallel");
+
+  const std::int64_t delta = opt.delta;
+  const int threads = opt.ex.threads;
+  std::vector<std::atomic<std::int64_t>> dist(static_cast<std::size_t>(n));
+  for (auto& d : dist) d.store(kInf, std::memory_order_relaxed);
+  dist[static_cast<std::size_t>(source)].store(0, std::memory_order_relaxed);
+
+  // bins[worker][b] holds the vertices this worker filed into bucket b
+  // (absolute index, grown on demand). Worker-private: filled without
+  // synchronization during a relax pass, drained between passes.
+  std::vector<std::vector<std::vector<VId>>> bins(
+      static_cast<std::size_t>(threads));
+  bins[0].resize(1);
+  bins[0][0].push_back(source);
+
+  auto file = [&](int worker, std::int64_t b, VId v) {
+    auto& mine = bins[static_cast<std::size_t>(worker)];
+    if (static_cast<std::size_t>(b) >= mine.size()) {
+      mine.resize(static_cast<std::size_t>(b) + 1);
+    }
+    mine[static_cast<std::size_t>(b)].push_back(v);
+  };
+
+  rt::exec ex = opt.ex;
+  // Reuse one scheduler across all passes for the cilk/tbb backends.
+  rt::task_scheduler sched(ex.pool_or_global(), ex.threads);
+  if (ex.sched == nullptr && !rt::is_omp(ex.kind)) ex.sched = &sched;
+
+  // The current bucket's frontier: the block-accessed queue, re-created
+  // only when a bucket outgrows the largest one seen so far.
+  std::optional<basic_block_queue<VId>> frontier;
+  std::vector<std::int64_t> fd;  // frontier-degree prefix, reused
+  std::vector<VId> scratch;      // serial-path bucket assembly, reused
+  std::atomic<std::int64_t> relaxations{0};
+
+  sssp_result r;
+  r.delta = delta;
+
+  std::int64_t bucket = 0;
+  std::int64_t counted = -1;  // last bucket index added to r.buckets
+  while (bucket >= 0) {
+    if (bucket != counted) {
+      ++r.buckets;
+      counted = bucket;
+    }
+
+    // Assemble the bucket's frontier: drain every worker's bin for this
+    // bucket into the block queue.
+    std::size_t total = 0;
+    std::int64_t edge_mass = 0;
+    for (const auto& mine : bins) {
+      if (static_cast<std::size_t>(bucket) < mine.size()) {
+        const auto& slot = mine[static_cast<std::size_t>(bucket)];
+        total += slot.size();
+        for (const VId v : slot) {
+          edge_mass += static_cast<std::int64_t>(g.degree(v));
+        }
+      }
+    }
+
+    const std::int64_t bucket_floor = bucket * delta;
+
+    if (threads == 1 || edge_mass <= kSerialEdgeCutoff) {
+      // Serial path: relax the bucket inline, no frontier machinery.
+      scratch.clear();
+      for (auto& mine : bins) {
+        if (static_cast<std::size_t>(bucket) >= mine.size()) continue;
+        auto& slot = mine[static_cast<std::size_t>(bucket)];
+        scratch.insert(scratch.end(), slot.begin(), slot.end());
+        slot.clear();
+      }
+      std::int64_t local = 0;
+      for (const VId v : scratch) {
+        const std::int64_t dv =
+            dist[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+        if (dv < bucket_floor) continue;  // settled by an earlier bucket
+        const auto nbrs = g.neighbors(v);
+        const auto* wv =
+            weights.data() +
+            static_cast<std::size_t>(g.xadj()[static_cast<std::size_t>(v)]);
+        for (std::size_t j = 0; j < nbrs.size(); ++j) {
+          const VId w = nbrs[j];
+          const std::int64_t nd = dv + wv[j];
+          if (relax_min(dist[static_cast<std::size_t>(w)], nd)) {
+            ++local;
+            file(0, nd / delta, w);
+          }
+        }
+      }
+      if (local > 0) {
+        relaxations.fetch_add(local, std::memory_order_relaxed);
+      }
+      ++r.rounds;
+
+      std::int64_t next = -1;
+      for (const auto& mine : bins) {
+        for (auto b = static_cast<std::size_t>(bucket); b < mine.size();
+             ++b) {
+          if (!mine[b].empty()) {
+            const auto cand = static_cast<std::int64_t>(b);
+            if (next < 0 || cand < next) next = cand;
+            break;
+          }
+        }
+      }
+      bucket = next;
+      continue;
+    }
+
+    const std::size_t need = total +
+                             static_cast<std::size_t>(threads) *
+                                 static_cast<std::size_t>(opt.block) +
+                             64;
+    if (!frontier.has_value() || frontier->capacity() < need) {
+      frontier.emplace(need, opt.block, threads);
+    } else {
+      frontier->reset();
+    }
+    {
+      rt::exec flush_ex = ex;
+      flush_ex.chunk = 1;  // one dispatch unit per worker bin
+      rt::for_range(flush_ex, static_cast<std::int64_t>(threads),
+                    [&](std::int64_t b, std::int64_t e, int worker) {
+                      for (std::int64_t j = b; j < e; ++j) {
+                        auto& bin = bins[static_cast<std::size_t>(j)];
+                        if (static_cast<std::size_t>(bucket) >= bin.size()) {
+                          continue;
+                        }
+                        auto& slot = bin[static_cast<std::size_t>(bucket)];
+                        for (VId v : slot) frontier->push(worker, v);
+                        slot.clear();
+                      }
+                    });
+    }
+    frontier->flush_all();
+
+    // Edge-balance the relax pass over a frontier-degree prefix
+    // (sentinel slots weigh nothing), so one hub entry cannot serialize
+    // the bucket the way it would under a per-entry split.
+    const auto entries = frontier->raw();
+    const auto s = static_cast<std::int64_t>(entries.size());
+    fd.assign(static_cast<std::size_t>(s) + 1, 0);
+    for (std::int64_t i = 0; i < s; ++i) {
+      const VId v = entries[static_cast<std::size_t>(i)];
+      const std::int64_t deg = v == invalid_vertex_v<VId>
+                                   ? 0
+                                   : static_cast<std::int64_t>(g.degree(v));
+      fd[static_cast<std::size_t>(i) + 1] =
+          fd[static_cast<std::size_t>(i)] + deg;
+    }
+
+    rt::for_range_edges(
+        ex, s, fd.data(), [&](std::int64_t b, std::int64_t e, int worker) {
+          std::int64_t local = 0;
+          for (std::int64_t i = b; i < e; ++i) {
+            const VId v = entries[static_cast<std::size_t>(i)];
+            if (v == invalid_vertex_v<VId>) continue;  // sentinel (§IV-C)
+            const std::int64_t dv =
+                dist[static_cast<std::size_t>(v)].load(
+                    std::memory_order_relaxed);
+            // Settled below this bucket by an earlier one — stale entry.
+            if (dv < bucket_floor) continue;
+            const auto nbrs = g.neighbors(v);
+            const auto* wv =
+                weights.data() +
+                static_cast<std::size_t>(
+                    g.xadj()[static_cast<std::size_t>(v)]);
+            for (std::size_t j = 0; j < nbrs.size(); ++j) {
+              const VId w = nbrs[j];
+              const std::int64_t nd = dv + wv[j];
+              if (relax_min(dist[static_cast<std::size_t>(w)], nd)) {
+                ++local;
+                file(worker, nd / delta, w);
+              }
+            }
+          }
+          if (local > 0) {
+            relaxations.fetch_add(local, std::memory_order_relaxed);
+          }
+        });
+    ++r.rounds;
+
+    // Light relaxations can re-file vertices into the bucket just
+    // processed: repeat it until it drains, then advance to the lowest
+    // non-empty bucket anywhere (none left -> done).
+    std::int64_t next = -1;
+    for (const auto& mine : bins) {
+      for (auto b = static_cast<std::size_t>(bucket); b < mine.size(); ++b) {
+        if (!mine[b].empty()) {
+          const auto cand = static_cast<std::int64_t>(b);
+          if (next < 0 || cand < next) next = cand;
+          break;
+        }
+      }
+    }
+    bucket = next;
+  }
+
+  r.relaxations = relaxations.load(std::memory_order_relaxed);
+  r.dist.resize(static_cast<std::size_t>(n));
+  for (std::size_t v = 0; v < r.dist.size(); ++v) {
+    const std::int64_t d = dist[v].load(std::memory_order_relaxed);
+    r.dist[v] = d == kInf ? -1 : d;
+    if (d != kInf) ++r.reached;
+  }
+
+  if (obs::recorder* rec = opt.ex.sink(); rec != nullptr) {
+    rec->set_meta("kernel", "sssp");
+    rec->set_value("sssp.delta", static_cast<double>(delta));
+    rec->get_counter("sssp.relaxations")
+        .add(0, static_cast<std::uint64_t>(r.relaxations));
+    rec->get_counter("sssp.buckets")
+        .add(0, static_cast<std::uint64_t>(r.buckets));
+    rec->get_counter("sssp.rounds")
+        .add(0, static_cast<std::uint64_t>(r.rounds));
+    rec->get_counter("sssp.reached")
+        .add(0, static_cast<std::uint64_t>(r.reached));
+  }
+  return r;
+}
+
+template <micg::graph::CsrGraph G>
+std::vector<std::int64_t> seq_dijkstra(
+    const G& g, typename G::vertex_type source,
+    std::span<const graph::weight_t> weights) {
+  using VId = typename G::vertex_type;
+  const VId n = g.num_vertices();
+  MICG_CHECK(source >= 0 && source < n, "source out of range");
+  MICG_CHECK(weights.size() ==
+                 static_cast<std::size_t>(g.num_directed_edges()),
+             "weights array is not adjacency-parallel");
+
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(n), kInf);
+  using entry = std::pair<std::int64_t, VId>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(source)] = 0;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[static_cast<std::size_t>(v)]) continue;  // stale entry
+    const auto nbrs = g.neighbors(v);
+    const auto* wv =
+        weights.data() +
+        static_cast<std::size_t>(g.xadj()[static_cast<std::size_t>(v)]);
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      const VId w = nbrs[j];
+      const std::int64_t nd = d + wv[j];
+      auto& dw = dist[static_cast<std::size_t>(w)];
+      if (nd < dw) {
+        dw = nd;
+        heap.emplace(nd, w);
+      }
+    }
+  }
+  for (auto& d : dist) {
+    if (d == kInf) d = -1;
+  }
+  return dist;
+}
+
+#define MICG_INSTANTIATE(G)                                                \
+  template sssp_result delta_stepping_sssp<G>(                             \
+      const G&, typename G::vertex_type, std::span<const graph::weight_t>, \
+      const sssp_options&);                                                \
+  template std::vector<std::int64_t> seq_dijkstra<G>(                      \
+      const G&, typename G::vertex_type, std::span<const graph::weight_t>);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
+
+}  // namespace micg::bfs

@@ -1,0 +1,74 @@
+// Delta-stepping single-source shortest paths (Meyer & Sanders) over the
+// weighted CSR core (graph/weighted.hpp).
+//
+// Tentative distances live in one atomic int64 array relaxed by CAS-min;
+// vertices are grouped into buckets of width `delta` by tentative
+// distance. Each round processes the lowest non-empty bucket: the bucket's
+// frontier is assembled into the paper's block-accessed queue (§IV-C —
+// the same basic_block_queue every BFS variant uses), expansion is
+// edge-balanced over a per-round frontier-degree prefix via
+// rt/edge_partition, and successful relaxations file their target into
+// per-worker bucket bins. A relaxation can re-file a vertex into the
+// *current* bucket (a light edge within the bucket's width); the round
+// repeats until the current bucket drains, then advances — the
+// optimistic-iteration shape of the coloring kernels, applied to
+// priorities. With positive integer weights every relaxation out of
+// bucket k lands in a bucket >= k, so when bucket k drains all distances
+// below (k+1)*delta are final and the result equals Dijkstra's exactly —
+// for ANY delta, which is what the property tests sweep.
+//
+// delta = 1 degenerates to Dijkstra-with-buckets (most rounds, least
+// wasted work); delta = +inf to Bellman-Ford (one bucket, most re-work).
+// The stats-driven default pick lives in micg::tune (the kernel itself
+// takes a concrete delta >= 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "micg/graph/csr.hpp"
+#include "micg/graph/weighted.hpp"
+#include "micg/rt/exec.hpp"
+
+namespace micg::bfs {
+
+struct sssp_options {
+  /// Threads, scheduling chunk, pool and metrics sink. The backend kind
+  /// dispatches the frontier loops like every other kernel.
+  rt::exec ex;
+  /// Bucket width (>= 1). Distances are exact for every value; the knob
+  /// only trades rounds against re-relaxation.
+  std::int64_t delta = 16;
+  /// Block size of the block-accessed frontier queue.
+  int block = 32;
+};
+
+struct sssp_result {
+  /// Tentative-made-final distance per vertex; source = 0, unreachable
+  /// = -1. Exact (equal to sequential Dijkstra) for any delta.
+  std::vector<std::int64_t> dist;
+  std::int64_t reached = 0;      ///< vertices with dist >= 0
+  std::int64_t relaxations = 0;  ///< successful distance decreases
+  std::int64_t rounds = 0;       ///< frontier passes (bucket repeats count)
+  std::int64_t buckets = 0;      ///< distinct bucket indices processed
+  std::int64_t delta = 0;        ///< the width actually used
+};
+
+/// Run delta-stepping from `source`. `weights` must be adjacency-parallel
+/// with positive entries (graph/weighted.hpp). Defined for every shipped
+/// layout (instantiations in sssp.cpp).
+template <micg::graph::CsrGraph G>
+sssp_result delta_stepping_sssp(const G& g, typename G::vertex_type source,
+                                std::span<const graph::weight_t> weights,
+                                const sssp_options& opt);
+
+/// Sequential binary-heap Dijkstra — the correctness reference for
+/// delta-stepping, like seq_bfs for the BFS variants. Returns the dist
+/// array (source = 0, unreachable = -1).
+template <micg::graph::CsrGraph G>
+std::vector<std::int64_t> seq_dijkstra(
+    const G& g, typename G::vertex_type source,
+    std::span<const graph::weight_t> weights);
+
+}  // namespace micg::bfs

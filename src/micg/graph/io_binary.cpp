@@ -15,6 +15,9 @@ namespace {
 
 constexpr std::uint64_t kMagic = 0x4d49434752415048ULL;  // "MICGRAPH"
 constexpr std::uint32_t kVersion = 2;
+/// Version 3 = version 2 + an adjacency-parallel int32 weights array
+/// appended after the adjacency payload (graph/weighted.hpp).
+constexpr std::uint32_t kVersionWeighted = 3;
 
 // Same 32-byte layout as version 1, with the old reserved word split into
 // the two index widths (version-1 writers always wrote it as zero, so the
@@ -129,13 +132,21 @@ void save_binary(const std::string& path, const any_csr& g) {
 
 namespace {
 
-any_csr read_binary_any_impl(std::istream& in) {
+/// Read any supported version. When `weights_out` is non-null the caller
+/// wants a weighted graph: the file must be version 3 and the weights
+/// payload is read (and validated) into *weights_out. A null weights_out
+/// accepts version 3 too and ignores its weights — old call sites can
+/// load the topology of a weighted file.
+any_csr read_binary_any_impl(std::istream& in,
+                             std::vector<weight_t>* weights_out) {
   header h{};
   read_pod(in, h);
   MICG_FAILPOINT("io_binary.header", &in);
   MICG_CHECK(h.magic == kMagic, "not a micgraph binary file");
-  MICG_CHECK(h.version == 1 || h.version == 2,
+  MICG_CHECK(h.version >= 1 && h.version <= kVersionWeighted,
              "unsupported binary graph version");
+  MICG_CHECK(weights_out == nullptr || h.version == kVersionWeighted,
+             "binary graph file carries no weights (version < 3)");
   MICG_CHECK(h.num_vertices >= 0 && h.adj_size >= 0,
              "corrupt binary graph header");
   // Cap both counts so the payload-size arithmetic below cannot overflow
@@ -160,26 +171,39 @@ any_csr read_binary_any_impl(std::istream& in) {
   const std::int64_t have = remaining_bytes(in);
   if (have >= 0 && (vid_bytes == 4 || vid_bytes == 8) &&
       (eid_bytes == 4 || eid_bytes == 8)) {
-    const std::int64_t want =
+    std::int64_t want =
         (h.num_vertices + 1) * static_cast<std::int64_t>(eid_bytes) +
         h.adj_size * static_cast<std::int64_t>(vid_bytes);
+    if (h.version == kVersionWeighted) {
+      want += h.adj_size * static_cast<std::int64_t>(sizeof(weight_t));
+    }
     MICG_CHECK(want <= have,
                "binary graph header over-reports the payload size");
   }
+  any_csr g;
   if (vid_bytes == 4 && eid_bytes == 4) {
-    return read_arrays<std::int32_t, std::int32_t>(in, h.num_vertices,
-                                                   h.adj_size);
+    g = read_arrays<std::int32_t, std::int32_t>(in, h.num_vertices,
+                                                h.adj_size);
+  } else if (vid_bytes == 4 && eid_bytes == 8) {
+    g = read_arrays<std::int32_t, std::int64_t>(in, h.num_vertices,
+                                                h.adj_size);
+  } else if (vid_bytes == 8 && eid_bytes == 8) {
+    g = read_arrays<std::int64_t, std::int64_t>(in, h.num_vertices,
+                                                h.adj_size);
+  } else {
+    MICG_CHECK(false, "binary graph uses an unsupported index layout");
   }
-  if (vid_bytes == 4 && eid_bytes == 8) {
-    return read_arrays<std::int32_t, std::int64_t>(in, h.num_vertices,
-                                                   h.adj_size);
+  if (weights_out != nullptr) {
+    auto w = checked_alloc<weight_t>(static_cast<std::size_t>(h.adj_size),
+                                     "weights array");
+    MICG_FAILPOINT("io_binary.weights", &in);
+    in.read(reinterpret_cast<char*>(w.data()),
+            static_cast<std::streamsize>(w.size() * sizeof(weight_t)));
+    MICG_CHECK(in.good(), "truncated weights array");
+    validate_weights(g, std::span<const weight_t>(w));
+    *weights_out = std::move(w);
   }
-  if (vid_bytes == 8 && eid_bytes == 8) {
-    return read_arrays<std::int64_t, std::int64_t>(in, h.num_vertices,
-                                                   h.adj_size);
-  }
-  MICG_CHECK(false, "binary graph uses an unsupported index layout");
-  return {};  // unreachable
+  return g;
 }
 
 }  // namespace
@@ -190,7 +214,7 @@ any_csr read_binary_any(std::istream& in) {
   // other malformed input (the default swallow-and-set-badbit path is
   // caught by the in.good() checks).
   try {
-    return read_binary_any_impl(in);
+    return read_binary_any_impl(in, nullptr);
   } catch (const std::ios_base::failure& e) {
     throw check_error(std::string("I/O error while reading binary graph: ") +
                       e.what());
@@ -214,9 +238,67 @@ csr_graph load_binary(const std::string& path) {
   return read_binary(in);
 }
 
-#define MICG_INSTANTIATE(G)                                \
-  template void write_binary<G>(std::ostream&, const G&);  \
-  template void save_binary<G>(const std::string&, const G&);
+// ---------------------------------------------------------------------------
+// Weighted (version 3)
+
+template <CsrGraph G>
+void write_binary_weighted(std::ostream& out, const G& g,
+                           std::span<const weight_t> weights) {
+  using VId = typename G::vertex_type;
+  using EId = typename G::edge_type;
+  MICG_CHECK(weights.size() ==
+                 static_cast<std::size_t>(g.num_directed_edges()),
+             "weights array is not adjacency-parallel");
+  header h{kMagic,
+           kVersionWeighted,
+           static_cast<std::uint16_t>(sizeof(VId)),
+           static_cast<std::uint16_t>(sizeof(EId)),
+           static_cast<std::int64_t>(g.num_vertices()),
+           static_cast<std::int64_t>(g.num_directed_edges())};
+  write_pod(out, h);
+  out.write(reinterpret_cast<const char*>(g.xadj().data()),
+            static_cast<std::streamsize>(g.xadj().size() * sizeof(EId)));
+  out.write(reinterpret_cast<const char*>(g.adj().data()),
+            static_cast<std::streamsize>(g.adj().size() * sizeof(VId)));
+  out.write(reinterpret_cast<const char*>(weights.data()),
+            static_cast<std::streamsize>(weights.size() * sizeof(weight_t)));
+  MICG_CHECK(out.good(), "binary graph write failed");
+}
+
+void write_binary_weighted(std::ostream& out, const any_csr& g,
+                           std::span<const weight_t> weights) {
+  g.visit([&](const auto& c) { write_binary_weighted(out, c, weights); });
+}
+
+void save_binary_weighted(const std::string& path, const any_csr& g,
+                          std::span<const weight_t> weights) {
+  std::ofstream out(path, std::ios::binary);
+  MICG_CHECK(out.good(), "cannot open " + path + " for writing");
+  write_binary_weighted(out, g, weights);
+}
+
+weighted_graph read_binary_weighted_any(std::istream& in) {
+  try {
+    weighted_graph wg;
+    wg.g = read_binary_any_impl(in, &wg.weights);
+    return wg;
+  } catch (const std::ios_base::failure& e) {
+    throw check_error(std::string("I/O error while reading binary graph: ") +
+                      e.what());
+  }
+}
+
+weighted_graph load_binary_weighted_any(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MICG_CHECK(in.good(), "cannot open " + path);
+  return read_binary_weighted_any(in);
+}
+
+#define MICG_INSTANTIATE(G)                                             \
+  template void write_binary<G>(std::ostream&, const G&);               \
+  template void save_binary<G>(const std::string&, const G&);           \
+  template void write_binary_weighted<G>(std::ostream&, const G&,       \
+                                         std::span<const weight_t>);
 MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
 #undef MICG_INSTANTIATE
 

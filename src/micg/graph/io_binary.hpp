@@ -6,13 +6,22 @@
 // graph costs half the disk (and reload) traffic of the old fixed-width
 // format. Version-1 files (implicit 4-byte vertex ids / 8-byte edge
 // offsets — the historical csr_graph layout) remain readable.
+//
+// Version 3 appends an adjacency-parallel weights array (int32 per slot,
+// see graph/weighted.hpp) after the adjacency payload; the header layout
+// is unchanged. The unweighted readers accept version-3 files and ignore
+// the weights; the weighted reader rejects version-1/2 files (they carry
+// no weights to read).
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "micg/graph/any_csr.hpp"
 #include "micg/graph/csr.hpp"
+#include "micg/graph/weighted.hpp"
 
 namespace micg::graph {
 
@@ -36,5 +45,31 @@ any_csr load_binary_any(const std::string& path);
 /// csr_graph layout (hard-erroring if the stored graph does not fit it).
 csr_graph read_binary(std::istream& in);
 csr_graph load_binary(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Weighted (version 3)
+
+/// A graph plus its adjacency-parallel weights, as read from a version-3
+/// file.
+struct weighted_graph {
+  any_csr g;
+  std::vector<weight_t> weights;  ///< size == g.num_directed_edges()
+};
+
+/// Write `g` with `weights` as a version-3 file. `weights` must be
+/// adjacency-parallel (checked). Defined for every shipped layout.
+template <CsrGraph G>
+void write_binary_weighted(std::ostream& out, const G& g,
+                           std::span<const weight_t> weights);
+void write_binary_weighted(std::ostream& out, const any_csr& g,
+                           std::span<const weight_t> weights);
+void save_binary_weighted(const std::string& path, const any_csr& g,
+                          std::span<const weight_t> weights);
+
+/// Read a version-3 file, preserving the stored layout. Throws
+/// micg::check_error on corrupt input or on a version-1/2 file (which
+/// carries no weights).
+weighted_graph read_binary_weighted_any(std::istream& in);
+weighted_graph load_binary_weighted_any(const std::string& path);
 
 }  // namespace micg::graph

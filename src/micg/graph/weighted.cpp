@@ -1,0 +1,81 @@
+#include "micg/graph/weighted.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "micg/support/assert.hpp"
+
+namespace micg::graph {
+
+namespace {
+
+void check_params(const weight_params& p) {
+  MICG_CHECK(p.min_weight >= 1,
+             "weight min_weight must be >= 1 (positive weights)");
+  MICG_CHECK(p.min_weight <= p.max_weight,
+             "weight min_weight must be <= max_weight");
+}
+
+}  // namespace
+
+template <CsrGraph G>
+std::vector<weight_t> generate_weights(const G& g, const weight_params& p) {
+  check_params(p);
+  const auto n = g.num_vertices();
+  std::vector<weight_t> w(static_cast<std::size_t>(g.num_directed_edges()));
+  for (typename G::vertex_type v = 0; v < n; ++v) {
+    auto base = static_cast<std::size_t>(g.xadj()[static_cast<std::size_t>(v)]);
+    for (const auto u : g.neighbors(v)) {
+      w[base++] = edge_weight(p, static_cast<std::int64_t>(v),
+                              static_cast<std::int64_t>(u));
+    }
+  }
+  return w;
+}
+
+std::vector<weight_t> generate_weights(const any_csr& g,
+                                       const weight_params& p) {
+  std::vector<weight_t> w;
+  g.visit([&](const auto& cg) { w = generate_weights(cg, p); });
+  return w;
+}
+
+template <CsrGraph G>
+void validate_weights(const G& g, std::span<const weight_t> weights) {
+  using VId = typename G::vertex_type;
+  MICG_CHECK(weights.size() ==
+                 static_cast<std::size_t>(g.num_directed_edges()),
+             "weights array is not adjacency-parallel");
+  const VId n = g.num_vertices();
+  for (VId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto base =
+        static_cast<std::size_t>(g.xadj()[static_cast<std::size_t>(v)]);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      MICG_CHECK(weights[base + i] >= 1, "edge weight must be positive");
+      // The reverse slot {u, v} must carry the same weight (adjacency
+      // lists are sorted, so the back edge is a binary search away).
+      const VId u = nbrs[i];
+      const auto back = g.neighbors(u);
+      const auto it = std::lower_bound(back.begin(), back.end(), v);
+      MICG_CHECK(it != back.end() && *it == v, "adjacency not symmetric");
+      const auto slot = static_cast<std::size_t>(
+          g.xadj()[static_cast<std::size_t>(u)] + (it - back.begin()));
+      MICG_CHECK(weights[slot] == weights[base + i],
+                 "edge weight is not symmetric across stored directions");
+    }
+  }
+}
+
+void validate_weights(const any_csr& g, std::span<const weight_t> weights) {
+  g.visit([&](const auto& cg) { validate_weights(cg, weights); });
+}
+
+#define MICG_INSTANTIATE(G)                                             \
+  template std::vector<weight_t> generate_weights<G>(const G&,          \
+                                                     const weight_params&); \
+  template void validate_weights<G>(const G&, std::span<const weight_t>);
+MICG_FOR_EACH_CSR_LAYOUT(MICG_INSTANTIATE)
+#undef MICG_INSTANTIATE
+
+}  // namespace micg::graph

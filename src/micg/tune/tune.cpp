@@ -164,11 +164,29 @@ std::string knobs_summary(const knob_plan& plan) {
   return out.str();
 }
 
+std::int64_t pick_sssp_delta(const graph::graph_stats& st,
+                             std::int64_t max_weight) {
+  MICG_CHECK(max_weight >= 1, "max_weight must be >= 1");
+  const auto branching =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(st.avg_degree));
+  return std::max<std::int64_t>(1, max_weight / branching);
+}
+
 void tag_plan(obs::recorder* rec, tune_mode mode, const knob_plan& plan) {
   if (rec == nullptr) return;
   rec->set_meta("tune.mode", tune_mode_name(mode));
   rec->set_meta("tune.knobs", knobs_summary(plan));
   rec->set_meta("tune.why", plan.rationale);
+}
+
+void tag_sharded_pin(obs::recorder* rec) {
+  if (rec == nullptr) return;
+  // set_meta is last-write-wins: this overwrites the tags tag_plan
+  // emitted before the api layer discovered the request is sharded.
+  rec->set_meta("tune.mode", tune_mode_name(tune_mode::fixed));
+  rec->set_meta("tune.knobs", "(sharded-pinned)");
+  rec->set_meta("tune.why",
+                "sharded path pins fixed knobs; picker plan not applied");
 }
 
 const calibration_profile& profile_for_mode(tune_mode m) {

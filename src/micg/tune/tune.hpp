@@ -86,9 +86,27 @@ knob_plan pick_knobs(const calibration_profile& prof,
 /// Compact knob summary for metrics tags ("edge/pf0/simd/chunk128/dir").
 std::string knobs_summary(const knob_plan& plan);
 
+/// Default delta-stepping bucket width for a graph: max_weight divided by
+/// the branching factor (clamped to >= 1). Rationale: a settled vertex's
+/// out-relaxations spread over ~avg_degree targets within max_weight of
+/// it, so this width keeps a bucket's expected population near one
+/// frontier "generation" — fewer rounds on meshes (low degree -> wide
+/// buckets), less re-relaxation on hubs (high degree -> narrow buckets).
+/// Output-invariant like every other knob: distances are exact for ANY
+/// delta >= 1 (bfs/sssp.hpp), the pick only moves the speed.
+std::int64_t pick_sssp_delta(const graph::graph_stats& st,
+                             std::int64_t max_weight);
+
 /// Publish tune.mode / tune.knobs / tune.why meta tags on `rec` (no-op
 /// when rec is nullptr).
 void tag_plan(obs::recorder* rec, tune_mode mode, const knob_plan& plan);
+
+/// Re-tag `rec` as effectively fixed because the sharded (BSP) drivers
+/// pin their own knobs and ignore the picker. Called by the api layer
+/// when a non-fixed request runs with shards > 1, *after* tag_plan, so
+/// the emitted metrics say what actually happened instead of advertising
+/// an auto plan that was never applied (no-op when rec is nullptr).
+void tag_sharded_pin(obs::recorder* rec);
 
 /// The profile a non-fixed mode consults: auto_pick -> host_profile();
 /// calibrate -> a quick measured profile, cached for the process.

@@ -140,6 +140,20 @@ TEST(Golden, ColorStdout) {
       normalize_stdout(run_cli("color tiny.mtx --threads 1")));
 }
 
+TEST(Golden, SsspStdout) {
+  // Weights derive from (--weights seed, endpoints), so distances are a
+  // pure function of the fixture and the flags; one thread pins bucket
+  // traversal order (docs/workloads.md).
+  check_golden("sssp_tiny.golden",
+               normalize_stdout(run_cli(
+                   "sssp tiny.mtx --source 0 --delta 16 --threads 1")));
+}
+
+TEST(Golden, CcStdout) {
+  check_golden("cc_tiny.golden",
+               normalize_stdout(run_cli("cc tiny.mtx --threads 1")));
+}
+
 struct metrics_case {
   const char* golden;
   const char* args;  ///< CLI invocation without the --metrics-json flag
@@ -166,7 +180,10 @@ INSTANTIATE_TEST_SUITE_P(
         metrics_case{"msbfs_tiny.metrics.golden",
                      "msbfs tiny.mtx --sources 8 --lanes 4 --threads 1"},
         metrics_case{"bc_tiny.metrics.golden",
-                     "bc tiny.mtx --threads 1 --samples 6"}),
+                     "bc tiny.mtx --threads 1 --samples 6"},
+        metrics_case{"sssp_tiny.metrics.golden",
+                     "sssp tiny.mtx --source 0 --delta 16 --threads 1"},
+        metrics_case{"cc_tiny.metrics.golden", "cc tiny.mtx --threads 1"}),
     [](const auto& info) {
       std::string n = info.param.golden;
       return n.substr(0, n.find('_'));

@@ -17,8 +17,10 @@
 // same seed yields the same graph on every platform and standard library.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -29,6 +31,9 @@
 #include "micg/bfs/msbfs.hpp"
 #include "micg/bfs/seq.hpp"
 #include "micg/bfs/sharded.hpp"
+#include "micg/bfs/sssp.hpp"
+#include "micg/graph/components.hpp"
+#include "micg/graph/weighted.hpp"
 #include "micg/color/greedy.hpp"
 #include "micg/color/iterative.hpp"
 #include "micg/color/jones_plassmann.hpp"
@@ -507,6 +512,176 @@ TEST_F(PropertySweep, ShardedPagerankMatchesSingleShardAcrossShardCounts) {
   }
 }
 
+// ------------------------------------- weighted workloads (SSSP and CC)
+
+// Delta-stepping is exact for ANY bucket width (bfs/sssp.hpp): every
+// family x every layout x (backend, threads) combos x deltas spanning
+// Dijkstra-with-buckets (1) to Bellman-Ford (2^20) must reproduce the
+// sequential Dijkstra oracle's int64 distances EXACTLY — integer weights,
+// EXPECT_EQ, no tolerance.
+TEST_F(PropertySweep, DeltaSteppingMatchesDijkstraAcrossBackendsAndDeltas) {
+  for (const auto& gg : graphs_) {
+    for_each_layout(gg.g, [&](const auto& g, const char* layout) {
+      SCOPED_TRACE(trace(gg, layout));
+      using VId = typename std::decay_t<decltype(g)>::vertex_type;
+      micg::graph::weight_params wp;
+      wp.seed = seed_ + 31;
+      const auto w = micg::graph::generate_weights(g, wp);
+      ASSERT_NO_THROW(micg::graph::validate_weights(
+          g, std::span<const micg::graph::weight_t>(w)));
+      const auto source = static_cast<VId>(g.num_vertices() / 2);
+      const auto ref = micg::bfs::seq_dijkstra(
+          g, source, std::span<const micg::graph::weight_t>(w));
+      struct combo {
+        micg::rt::backend kind;
+        int threads;
+      };
+      for (const combo c : {combo{micg::rt::backend::omp_dynamic, 1},
+                            combo{micg::rt::backend::omp_dynamic, 4},
+                            combo{micg::rt::backend::tbb_simple, 4}}) {
+        for (const std::int64_t delta :
+             {std::int64_t{1}, std::int64_t{7}, std::int64_t{1} << 20}) {
+          SCOPED_TRACE(std::string("backend=") +
+                       micg::rt::backend_name(c.kind) +
+                       " threads=" + std::to_string(c.threads) +
+                       " delta=" + std::to_string(delta));
+          micg::bfs::sssp_options opt;
+          opt.ex.kind = c.kind;
+          opt.ex.threads = c.threads;
+          opt.delta = delta;
+          const auto r = micg::bfs::delta_stepping_sssp(
+              g, source, std::span<const micg::graph::weight_t>(w), opt);
+          ASSERT_EQ(r.dist, ref);
+          EXPECT_EQ(r.delta, delta);
+          EXPECT_GE(r.buckets, 1);
+        }
+      }
+    });
+  }
+}
+
+// The knob invariance the api layer relies on: whatever
+// tune::pick_sssp_delta would choose, and whatever order buckets are
+// drained in across thread counts, the distance vector is one fixed
+// function of (graph, weights, source).
+TEST_F(PropertySweep, SsspDistancesInvariantAcrossDeltaAndThreads) {
+  for (const auto& gg : graphs_) {
+    SCOPED_TRACE(trace(gg));
+    micg::graph::weight_params wp;
+    wp.seed = seed_ + 37;
+    wp.max_weight = 31;  // narrow range: many ties, adversarial ordering
+    const auto w = micg::graph::generate_weights(gg.g, wp);
+    const auto source =
+        static_cast<std::int32_t>(gg.g.num_vertices() / 3);
+    std::vector<std::int64_t> first;
+    for (const std::int64_t delta : {std::int64_t{1}, std::int64_t{5},
+                                     std::int64_t{64}}) {
+      for (const int threads : {1, 3, 4}) {
+        SCOPED_TRACE("delta=" + std::to_string(delta) +
+                     " threads=" + std::to_string(threads));
+        micg::bfs::sssp_options opt;
+        opt.ex.threads = threads;
+        opt.delta = delta;
+        const auto r = micg::bfs::delta_stepping_sssp(
+            gg.g, source, std::span<const micg::graph::weight_t>(w), opt);
+        if (first.empty()) {
+          first = r.dist;
+        } else {
+          ASSERT_EQ(r.dist, first);
+        }
+      }
+    }
+  }
+}
+
+/// Sequential union-find with the same canonical labeling the parallel
+/// kernel promises: label[v] = smallest vertex id in v's component.
+template <class G>
+std::vector<typename G::vertex_type> union_find_labels(const G& g) {
+  using VId = typename G::vertex_type;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<std::size_t> parent(n);
+  for (std::size_t v = 0; v < n; ++v) parent[v] = v;
+  std::function<std::size_t(std::size_t)> find =
+      [&](std::size_t x) -> std::size_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const auto u : g.neighbors(static_cast<VId>(v))) {
+      const auto a = find(v);
+      const auto b = find(static_cast<std::size_t>(u));
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  // Ascending scan: the first vertex hitting a root is the component's
+  // smallest member, i.e. the canonical label.
+  std::vector<VId> label(n);
+  std::vector<VId> canon(n, VId{-1});
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto r = find(v);
+    if (canon[r] < 0) canon[r] = static_cast<VId>(v);
+    label[v] = canon[r];
+  }
+  return label;
+}
+
+TEST_F(PropertySweep, ParallelComponentsMatchUnionFindOracle) {
+  for (const auto& gg : graphs_) {
+    for_each_layout(gg.g, [&](const auto& g, const char* layout) {
+      SCOPED_TRACE(trace(gg, layout));
+      const auto ref = union_find_labels(g);
+      std::size_t expected = 0;
+      for (std::size_t v = 0; v < ref.size(); ++v) {
+        if (ref[v] == static_cast<std::int64_t>(v)) ++expected;
+      }
+      for (const auto kind :
+           {micg::rt::backend::omp_dynamic, micg::rt::backend::tbb_simple}) {
+        for (const int threads : {1, 4}) {
+          SCOPED_TRACE(std::string("backend=") +
+                       micg::rt::backend_name(kind) +
+                       " threads=" + std::to_string(threads));
+          micg::rt::exec ex;
+          ex.kind = kind;
+          ex.threads = threads;
+          const auto r = micg::graph::parallel_components(g, ex);
+          ASSERT_EQ(r.label, ref);
+          EXPECT_EQ(static_cast<std::size_t>(r.num_components), expected);
+        }
+      }
+    });
+  }
+}
+
+// The weight stream is a pure function of {seed, endpoint pair}: equal in
+// every layout (the oracle equality above depends on it) and across
+// regeneration — the property the serving layer's compaction-stable
+// weighted snapshots rest on.
+TEST_F(PropertySweep, WeightStreamIsLayoutInvariantAndSymmetric) {
+  for (const auto& gg : graphs_) {
+    SCOPED_TRACE(trace(gg));
+    micg::graph::weight_params wp;
+    wp.seed = seed_ + 41;
+    const auto ref = micg::graph::generate_weights(gg.g, wp);
+    for_each_layout(gg.g, [&](const auto& g, const char* layout) {
+      SCOPED_TRACE(std::string("layout=") + layout);
+      const auto w = micg::graph::generate_weights(g, wp);
+      ASSERT_EQ(w, ref);
+      ASSERT_NO_THROW(micg::graph::validate_weights(
+          g, std::span<const micg::graph::weight_t>(w)));
+    });
+    // A different seed must actually move the stream.
+    micg::graph::weight_params other = wp;
+    other.seed = wp.seed + 1;
+    if (gg.g.num_directed_edges() > 0) {
+      EXPECT_NE(micg::graph::generate_weights(gg.g, other), ref);
+    }
+  }
+}
+
 // ------------------------------------------------ portable-RNG lock-in
 
 // Raw stream pins: these values are the output of the repo's own
@@ -546,6 +721,28 @@ TEST(RngLockIn, SeededGeneratorsAreStable) {
   EXPECT_EQ(rm.num_vertices(), 512);
   EXPECT_EQ(rm.num_directed_edges(), 5506);
   EXPECT_EQ(fnv1a(rm.adj()), 3245604257454180762ULL);
+}
+
+// Weight-stream pins: edge weights are one splitmix64 step over the
+// seeded endpoint-pair hash (graph/weighted.hpp). If any of these change,
+// every weighted golden and BENCH_sssp.json figure silently changes too.
+// Failures reproduce locally with MICG_PROPERTY_SEED=<seed> (the weighted
+// sweep above); these raw pins are seed-independent.
+TEST(RngLockIn, WeightStreamIsStable) {
+  const micg::graph::weight_params wp;  // seed=1, range [1, 255]
+  EXPECT_EQ(micg::graph::edge_weight(wp, 0, 1), 162);
+  EXPECT_EQ(micg::graph::edge_weight(wp, 1, 0), 162);  // symmetric by def.
+  EXPECT_EQ(micg::graph::edge_weight(wp, 0, 2), 206);
+  EXPECT_EQ(micg::graph::edge_weight(wp, 123456789, 987654321), 71);
+  micg::graph::weight_params other = wp;
+  other.seed = 2;
+  EXPECT_EQ(micg::graph::edge_weight(other, 0, 1), 209);
+
+  const auto er = micg::graph::make_erdos_renyi(500, 5.0, 99);
+  const auto w = micg::graph::generate_weights(er, wp);
+  ASSERT_EQ(w.size(), 2474u);
+  EXPECT_EQ(fnv1a(std::span<const std::int32_t>(w)),
+            546347147370484235ULL);
 }
 
 TEST(RngLockIn, SameSeedSameGraphDifferentSeedDifferentGraph) {

@@ -246,4 +246,129 @@ print(f"validated coalesced metrics: {len(spans)} spans, "
       f"{c['serve.landmark.builds']} landmark builds")
 EOF
 
+# ---------------------------------------------------------------------------
+# Part 3: weighted workloads on the wire. A third server answers sssp and
+# cc through the generic query path. Weights derive from (seed, endpoint
+# pair) — never from storage order — so compactions that rewrite the CSR
+# must not move a single distance. The proof: insert a shortcut and
+# compact (distances move: the edge is real), then erase it and compact
+# again. The edge set is back to the original but the CSR has been
+# rewritten twice; the final sssp (s10) must equal the baseline (s01)
+# byte-for-byte modulo the epoch stamp. The python check asserts that on
+# top of the byte-compared golden.
+
+sock3="$work/serve3.sock"
+"$MICG" serve --listen "unix:$sock3" --graph "g=$work/g.micg" \
+  --threads-per-query 1 --metrics-json "$work/metrics3.json" \
+  >"$work/serve3.log" 2>&1 &
+server_pid=$!
+
+ready=0
+for _ in $(seq 1 200); do
+  if grep -q "^serving 1 graph(s) on " "$work/serve3.log" 2>/dev/null; then
+    ready=1
+    break
+  fi
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "FAIL: weighted server exited before becoming ready" >&2
+    cat "$work/serve3.log" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+if [ "$ready" != 1 ]; then
+  echo "FAIL: weighted server never printed the readiness line" >&2
+  cat "$work/serve3.log" >&2
+  exit 1
+fi
+
+# s01/s02 baseline; s03 buffers a shortcut 0-63 (weight derived from the
+# endpoints); s04 still answers from the pinned snapshot; s05 compacts
+# and s06/s07 see the shortcut; s08+s09 undo it and compact again; s10
+# is the pin proof; s11 is the error path; s12 shows a different weight
+# seed answers differently.
+cat >"$work/script3.ndjson" <<'EOF'
+{"id":"s01","op":"sssp","graph":"g","params":{"threads":1,"source":0,"delta":16,"targets":[7,63]}}
+{"id":"s02","op":"cc","graph":"g","params":{"threads":1}}
+{"id":"s03","op":"insert","graph":"g","params":{"edges":[[0,63]]}}
+{"id":"s04","op":"sssp","graph":"g","params":{"threads":1,"source":0,"delta":16,"targets":[7,63]}}
+{"id":"s05","op":"compact","graph":"g"}
+{"id":"s06","op":"sssp","graph":"g","params":{"threads":1,"source":0,"delta":16,"targets":[7,63]}}
+{"id":"s07","op":"cc","graph":"g","params":{"threads":1}}
+{"id":"s08","op":"erase","graph":"g","params":{"edges":[[0,63]]}}
+{"id":"s09","op":"compact","graph":"g"}
+{"id":"s10","op":"sssp","graph":"g","params":{"threads":1,"source":0,"delta":16,"targets":[7,63]}}
+{"id":"s11","op":"sssp","graph":"g","params":{"source":9000}}
+{"id":"s12","op":"sssp","graph":"g","params":{"threads":1,"source":0,"weights":5,"delta":16,"targets":[7,63]}}
+EOF
+
+"$MICG" query --connect "unix:$sock3" --script "$work/script3.ndjson" \
+  >"$work/session3.out"
+
+if ! diff -u "$GOLDEN_DIR/serve_sssp.golden" "$work/session3.out"; then
+  echo "FAIL: weighted session transcript diverged from golden" >&2
+  echo "(MICG_UPDATE_GOLDENS: cp $work/session3.out" \
+       "tests/golden/serve_sssp.golden)" >&2
+  exit 1
+fi
+
+"$MICG" query --connect "unix:$sock3" shutdown >/dev/null
+wait "$server_pid"
+server_pid=""
+
+grep -q "^shutdown complete$" "$work/serve3.log"
+
+python3 - "$work/session3.out" "$work/metrics3.json" <<'EOF'
+import json
+import sys
+
+by_id = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        msg = json.loads(line)
+        by_id[msg["id"]] = msg
+
+# Buffered mutations stay invisible until compaction: s04 answers from
+# the same pinned snapshot as s01.
+assert by_id["s04"]["result"] == by_id["s01"]["result"], (
+    by_id["s01"], by_id["s04"])
+assert by_id["s04"]["epoch"] == by_id["s01"]["epoch"]
+
+# After compaction the shortcut is real: the weighted path to 63 (and
+# through it, much of the grid) gets cheaper.
+d_base = by_id["s01"]["result"]["target_dists"][1]
+d_short = by_id["s06"]["result"]["target_dists"][1]
+assert d_short < d_base, (d_base, d_short)
+
+# The weighted-snapshot pin: erase + compact restores the original edge
+# set after TWO CSR rewrites, and every distance — plus the one-thread
+# relaxation/bucket trace — returns to the baseline exactly, because
+# weights derive from endpoint pairs, never from adjacency slots.
+assert by_id["s10"]["result"] == by_id["s01"]["result"], (
+    by_id["s01"], by_id["s10"])
+assert by_id["s10"]["epoch"] == by_id["s01"]["epoch"] + 2
+
+# A different weight seed is a different metric space.
+assert by_id["s12"]["result"]["target_dists"] != by_id["s10"]["result"]["target_dists"]
+
+# cc agrees with itself across the flips (the grid stays one component).
+assert by_id["s02"]["result"]["num_components"] == 1, by_id["s02"]
+assert by_id["s07"]["result"] == by_id["s02"]["result"]
+
+assert by_id["s11"]["status"] != "ok", by_id["s11"]
+
+with open(sys.argv[2]) as f:
+    doc = json.load(f)
+r = doc["records"][0]
+assert r["counters"]["serve.requests"] == 12, r["counters"]
+spans = [s for s in r["spans"] if s["name"].startswith("serve.")]
+names = [s["name"] for s in spans]
+assert names.count("serve.sssp/g") == 6, names
+assert names.count("serve.cc/g") == 2, names
+errors = [s for s in spans if s["values"].get("error") == 1.0]
+assert len(errors) == 1, [s["name"] for s in errors]  # s11
+print(f"validated weighted serving: {names.count('serve.sssp/g')} sssp + "
+      f"{names.count('serve.cc/g')} cc spans, pinned across compaction")
+EOF
+
 echo "serve_integration OK"

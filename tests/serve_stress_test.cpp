@@ -164,6 +164,75 @@ TEST(ServeStress, ThirtyTwoInFlightQueriesDuringMutationAndCompaction) {
   EXPECT_EQ(bfs.at("status").as_string(), "ok");
 }
 
+TEST(ServeStress, WeightedQueriesStayExactWhileWriterFlipsSnapshots) {
+  // sssp regenerates the weight array from the pinned snapshot on every
+  // request, so a writer compacting underneath races against that O(E)
+  // generation pass as well as the kernel. Distances through the stable
+  // half of the grid (the writer only touches vertices < 32) must come
+  // out identical on every flip — TSan guards the pin, this guards the
+  // answers.
+  graph_store store;
+  store.add("g", grid16());
+  service svc(store, {.max_inflight = 16, .max_waiting = 64,
+                      .threads_per_query = 2, .compact_every = 4});
+
+  // The baseline answered before any mutation: source and targets sit in
+  // the bottom-right quadrant, far from the writer's toggles, and the
+  // grid metric keeps every shortest path inside that quadrant.
+  const json base = json::parse(svc.handle_line(
+      R"({"op":"sssp","graph":"g","params":{"threads":1,"source":255,)"
+      R"("delta":16,"targets":[136,170,204,238]}})"));
+  ASSERT_EQ(base.at("status").as_string(), "ok");
+  const std::string base_dists = base.at("result").at("target_dists").dump();
+
+  std::atomic<int> ready{0};
+  std::atomic<int> bad{0};
+  std::atomic<int> moved{0};
+  constexpr int kClients = 12;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (ready.load() < kClients + 1) std::this_thread::yield();
+      for (int k = 0; k < 8; ++k) {
+        const char* line =
+            (i + k) % 3 == 0
+                ? R"({"op":"cc","graph":"g","params":{"threads":2}})"
+                : R"({"op":"sssp","graph":"g","params":{"threads":2,)"
+                  R"("source":255,"delta":16,"targets":[136,170,204,238]}})";
+        const json resp = json::parse(svc.handle_line(line));
+        if (resp.at("status").as_string() != "ok") {
+          bad.fetch_add(1);
+          continue;
+        }
+        if ((i + k) % 3 != 0 &&
+            resp.at("result").at("target_dists").dump() != base_dists) {
+          moved.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    ready.fetch_add(1);
+    while (ready.load() < kClients + 1) std::this_thread::yield();
+    for (int k = 0; k < 40; ++k) {
+      const std::string op = k % 2 == 0 ? "insert" : "erase";
+      const std::string line = R"({"op":")" + op +
+                               R"(","graph":"g","params":{"edges":[[)" +
+                               std::to_string(k % 16) + "," +
+                               std::to_string(16 + k % 16) + "]]}}";
+      const json resp = json::parse(svc.handle_line(line));
+      if (resp.at("status").as_string() != "ok") bad.fetch_add(1);
+    }
+  });
+  for (auto& t : clients) t.join();
+  writer.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(moved.load(), 0)
+      << "weighted distances moved under snapshot flips";
+}
+
 TEST(ServeStress, ConcurrentMultiThreadedKernelsOnPrivatePools) {
   graph_store store;
   store.add("g", grid16());

@@ -8,6 +8,8 @@
 //   micg msbfs FILE [--sources K] [--lanes L] [--threads N]
 //   micg bc FILE [--samples K] [--threads N] [--top M] [--mode M] [--lanes L]
 //   micg pagerank FILE [--damping D] [--tolerance T] [--iterations N]
+//   micg sssp FILE [--source V] [--delta D] [--weights SEED] [--threads N]
+//   micg cc FILE [--threads N]
 //   micg serve --listen ADDR --graph NAME=PATH [...]
 //   micg query --connect ADDR OP [--graph NAME] [--params JSON]
 //
@@ -39,7 +41,9 @@
 #include "micg/api/parse.hpp"
 #include "micg/graph/any_csr.hpp"
 #include "micg/graph/generators.hpp"
+#include "micg/graph/io_binary.hpp"
 #include "micg/graph/suite.hpp"
+#include "micg/graph/weighted.hpp"
 #include "micg/obs/emit.hpp"
 #include "micg/obs/obs.hpp"
 #include "micg/serve/client.hpp"
@@ -60,7 +64,7 @@ using micg::graph::csr_graph;
   if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
   std::cerr <<
       "usage:\n"
-      "  micg gen <family> [params] -o FILE\n"
+      "  micg gen <family> [params] -o FILE [--weights SEED [--max-weight W]]\n"
       "      families: chain N | cycle N | star N | complete N | tree K L\n"
       "                | grid2d NX NY | er N AVGDEG SEED\n"
       "                | rmat SCALE EDGEFACTOR SEED | suite NAME SCALE\n"
@@ -74,10 +78,13 @@ using micg::graph::csr_graph;
       "          [--mode batched|repeated] [--lanes L]\n"
       "  micg pagerank FILE [--damping D] [--tolerance T] [--iterations N]\n"
       "          [--top M] [--threads N] [--shards N]\n"
+      "  micg sssp FILE [--source V] [--delta D] [--weights SEED]\n"
+      "          [--max-weight W] [--threads N]\n"
+      "  micg cc FILE [--threads N] [--backend NAME] [--chunk C]\n"
       "  micg calibrate [-o FILE] [--threads N] [--runs R] [--quick]\n"
       "bfs/pagerank: --shards N > 1 partitions the graph and runs the\n"
       "  bulk-synchronous sharded driver, N thread pools of --threads each\n"
-      "bfs/msbfs/bc/color/pagerank: --tune fixed|auto|calibrate picks\n"
+      "bfs/msbfs/bc/color/pagerank/sssp: --tune fixed|auto|calibrate picks\n"
       "  memory/frontier/chunk knobs from a host profile ($MICG_CALIB, or\n"
       "  `micg calibrate -o`) + a graph probe; answers are bit-identical\n"
       "  across modes (docs/performance.md). Default: $MICG_TUNE, then fixed\n"
@@ -89,7 +96,10 @@ using micg::graph::csr_graph;
       "  micg query --connect ADDR OP [--graph NAME] [--params JSON]\n"
       "          [--deadline-ms D] [--id TAG]\n"
       "  micg query --connect ADDR --script FILE|-\n"
-      "color/bfs/msbfs/bc/pagerank/serve: --metrics-json PATH (or\n"
+      "sssp: edge weights are derived from --weights SEED (default 1) in\n"
+      "  [1, --max-weight]; --delta 0 (default) picks the bucket width from\n"
+      "  the graph's stats — any delta yields identical distances\n"
+      "color/bfs/msbfs/bc/pagerank/sssp/cc/serve: --metrics-json PATH (or\n"
       "  MICG_METRICS_JSON) writes a micg.metrics.v1 record of the run\n"
       "ADDR: unix:PATH | PATH | HOST:PORT | :PORT (see docs/serving.md)\n"
       "file formats by extension: .mtx (MatrixMarket), .micg (binary)\n";
@@ -176,6 +186,27 @@ int cmd_gen(const arg_parser& args) {
   const auto out = args.flag("out", "");
   if (out.empty()) usage("gen needs -o FILE");
   const any_csr ag = micg::graph::to_narrowest(std::move(g));
+  const auto wflag = args.flag("weights", "");
+  if (!wflag.empty()) {
+    // Weighted binary (format v3): topology plus the derived weight
+    // stream for this seed, re-validated on load.
+    if (out.size() < 5 || out.substr(out.size() - 5) != ".micg") {
+      usage("--weights needs a .micg output (only the binary format v3 "
+            "carries weights)");
+    }
+    micg::graph::weight_params wp;
+    wp.seed = static_cast<std::uint64_t>(micg::api::parse_int(wflag));
+    wp.max_weight = static_cast<micg::graph::weight_t>(
+        args.flag_int("max-weight", wp.max_weight));
+    const auto w = micg::graph::generate_weights(ag, wp);
+    micg::graph::save_binary_weighted(out, ag, w);
+    std::cout << "wrote " << out << " ["
+              << micg::graph::layout_name(ag.layout())
+              << " weighted seed=" << wp.seed
+              << "]  |V|=" << ag.num_vertices() << " |E|=" << ag.num_edges()
+              << "\n";
+    return 0;
+  }
   micg::api::save_graph(out, ag);
   std::cout << "wrote " << out << " [" << micg::graph::layout_name(ag.layout())
             << "]  |V|=" << ag.num_vertices() << " |E|=" << ag.num_edges()
@@ -331,6 +362,41 @@ int cmd_pagerank(const arg_parser& args) {
     std::cout << "  #" << i + 1 << "  vertex " << r.top[i].vertex << "  pr="
               << micg::table_printer::fmt(r.top[i].score) << "\n";
   }
+  return 0;
+}
+
+int cmd_sssp(const arg_parser& args) {
+  if (args.positional.empty()) usage("sssp needs FILE");
+  const auto ag = micg::api::load_graph(args.positional[0]);
+  const auto req = micg::api::sssp_request_from_args(args);
+  micg::stopwatch sw;
+  run_with_metrics(
+      metrics_path(args), kernel_meta("micg sssp", args.positional[0], ag),
+      [&] {
+        const auto r = micg::api::run(ag, req);
+        std::cout << "sssp: reached " << r.reached << "/" << r.num_vertices
+                  << " from " << r.source << ", " << r.relaxations
+                  << " relaxations in " << r.buckets
+                  << " buckets (delta=" << r.delta << ") in "
+                  << micg::table_printer::fmt(sw.millis()) << " ms\n";
+      });
+  return 0;
+}
+
+int cmd_cc(const arg_parser& args) {
+  if (args.positional.empty()) usage("cc needs FILE");
+  const auto ag = micg::api::load_graph(args.positional[0]);
+  const auto req = micg::api::cc_request_from_args(args);
+  micg::stopwatch sw;
+  run_with_metrics(
+      metrics_path(args), kernel_meta("micg cc", args.positional[0], ag),
+      [&] {
+        const auto r = micg::api::run(ag, req);
+        std::cout << "components: " << r.num_components << " (largest "
+                  << r.largest << "/" << r.num_vertices << ") in " << r.rounds
+                  << " rounds, " << micg::table_printer::fmt(sw.millis())
+                  << " ms\n";
+      });
   return 0;
 }
 
@@ -495,6 +561,8 @@ int main(int argc, char** argv) {
     if (cmd == "msbfs") return cmd_msbfs(args);
     if (cmd == "bc") return cmd_bc(args);
     if (cmd == "pagerank") return cmd_pagerank(args);
+    if (cmd == "sssp") return cmd_sssp(args);
+    if (cmd == "cc") return cmd_cc(args);
     if (cmd == "calibrate") return cmd_calibrate(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "query") return cmd_query(args);

@@ -25,9 +25,15 @@
 # BENCH_*.json document (top-level "host_profile", a micg.calib.v1
 # object) so committed numbers carry the machine they were measured on.
 #
+# Also reproduces BENCH_sssp.json: the weighted-workload series
+# (bench/fig_sssp, delta-stepping against the sequential Dijkstra oracle
+# on derived weights, plus the delta work/parallelism dial). Every record
+# carries sssp.exact — the validator refuses a document where any timed
+# configuration diverged from the oracle.
+#
 # Usage: tools/run_bench.sh [output.json] [serve_output.json] \
 #                           [shard_output.json] [coalesce_output.json] \
-#                           [tune_output.json]
+#                           [tune_output.json] [sssp_output.json]
 #   BUILD_DIR              build tree holding bench/ (default: build)
 #   MICG_SCALE             model-series graph scale       (default: 0.05)
 #   MICG_MEASURED_SCALE    measured-series graph scale    (default: 0.05)
@@ -54,6 +60,7 @@ SERVE_OUT=${2:-BENCH_serve.json}
 SHARD_OUT=${3:-BENCH_shard.json}
 COALESCE_OUT=${4:-BENCH_coalesce.json}
 TUNE_OUT=${5:-BENCH_tune.json}
+SSSP_OUT=${6:-BENCH_sssp.json}
 
 if [ ! -x "$BUILD_DIR/bench/ablate_memlat" ]; then
   echo "error: $BUILD_DIR/bench/ablate_memlat not found — build with" >&2
@@ -69,6 +76,7 @@ MICG_MEMLAT_SCALE=${MICG_MEMLAT_SCALE:-8.0}
 MICG_MEMLAT_THREADS=${MICG_MEMLAT_THREADS:-1,2,4,8}
 MICG_SHARD_SCALE=${MICG_SHARD_SCALE:-0.5}
 MICG_TUNE_SCALE=${MICG_TUNE_SCALE:-8.0}
+MICG_SSSP_SCALE=${MICG_SSSP_SCALE:-0.5}
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -258,9 +266,46 @@ print(f"wrote {path}: {len(records)} tune records; tuned matched/beat "
       f"default on {wins}/{len(summaries)} pairs (best {best:.2f}x)")
 EOF
 
+# Weighted workloads at the shard scale (smoke-sized graphs finish before
+# the bucket structure the delta dial measures can form). The bench exits
+# non-zero by itself if any timed run diverges from the Dijkstra oracle;
+# the validator re-checks that from the emitted records.
+MICG_MEASURED_SCALE="$MICG_SSSP_SCALE" \
+  "$BUILD_DIR/bench/fig_sssp" --metrics-json "$SSSP_OUT"
+
+python3 - "$SSSP_OUT" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+assert doc["schema"] == "micg.metrics.v1", doc.get("schema")
+records = doc["records"]
+assert records, "fig_sssp emitted no records"
+graphs, variants = set(), set()
+for r in records:
+    assert r["meta"]["bench"] == "fig_sssp", r["meta"]
+    graphs.add(r["meta"]["graph"])
+    variants.add(r["meta"]["variant"])
+    v = r["values"]
+    assert v["sssp.exact"] == 1.0, (
+        f"timed run diverged from the Dijkstra oracle: {r['meta']}")
+    assert v["sssp.secs"] > 0 and v["sssp.seq_dijkstra_secs"] > 0, v
+    assert v["sssp.speedup_vs_dijkstra"] > 0, v
+    assert r["counters"]["sssp.relaxations"] > 0, r["counters"]
+    assert r["counters"]["sssp.reached"] > 0, r["counters"]
+assert graphs == {"pwtk", "inline_1"}, graphs
+assert len(variants) == 4, variants
+best = max(r["values"]["sssp.speedup_vs_dijkstra"] for r in records)
+print(f"wrote {path}: {len(records)} sssp records over {len(graphs)} "
+      f"graphs x {len(variants)} variants, all oracle-exact "
+      f"(best speedup vs Dijkstra {best:.2f}x)")
+EOF
+
 # Stamp the calibrated host profile into every document emitted above.
 python3 - "$CALIB" "$OUT" "$SERVE_OUT" "$SHARD_OUT" "$COALESCE_OUT" \
-    "$TUNE_OUT" <<'EOF'
+    "$TUNE_OUT" "$SSSP_OUT" <<'EOF'
 import json
 import sys
 
